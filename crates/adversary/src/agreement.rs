@@ -1,0 +1,279 @@
+//! Agreement functions (Kuznetsov–Rieutord) and the α-model.
+//!
+//! The agreement function of a model maps each potential participating set
+//! `P` to the best level of set consensus solvable when participation is
+//! limited to `P`. For an adversary `A`, `α(P) = setcon(A|P)`.
+
+use std::fmt;
+
+use act_topology::ColorSet;
+use serde::{Deserialize, Serialize};
+
+use crate::adversary::Adversary;
+use crate::setcon::SetconSolver;
+
+/// An agreement function `α : 2^Π → {0, …, n}`, tabulated over the subset
+/// lattice.
+///
+/// # Examples
+///
+/// ```
+/// use act_adversary::{Adversary, AgreementFunction};
+/// use act_topology::ColorSet;
+///
+/// let a = Adversary::t_resilient(3, 1);
+/// let alpha = AgreementFunction::of_adversary(&a);
+/// assert_eq!(alpha.alpha(ColorSet::full(3)), 2);
+/// assert_eq!(alpha.alpha(ColorSet::from_indices([0])), 0); // solo runs not 1-resilient
+/// alpha.validate().unwrap();
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgreementFunction {
+    n: usize,
+    table: Vec<u8>,
+}
+
+/// Error returned by [`AgreementFunction::validate`] when the table violates
+/// one of the structural properties of agreement functions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AgreementFunctionError {
+    /// `α(P) > α(P')` for some `P ⊆ P'`.
+    NotMonotone {
+        /// The smaller set.
+        smaller: ColorSet,
+        /// The larger set.
+        larger: ColorSet,
+    },
+    /// `α(P') > α(P) + |P' \ P|` for some `P ⊆ P'`.
+    UnboundedGrowth {
+        /// The smaller set.
+        smaller: ColorSet,
+        /// The larger set.
+        larger: ColorSet,
+    },
+    /// `α(P) > |P|` for some `P`.
+    ExceedsCardinality {
+        /// The offending set.
+        set: ColorSet,
+    },
+}
+
+impl fmt::Display for AgreementFunctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgreementFunctionError::NotMonotone { smaller, larger } => {
+                write!(f, "agreement function decreases from {smaller} to {larger}")
+            }
+            AgreementFunctionError::UnboundedGrowth { smaller, larger } => {
+                write!(f, "agreement function grows faster than participation from {smaller} to {larger}")
+            }
+            AgreementFunctionError::ExceedsCardinality { set } => {
+                write!(f, "agreement power exceeds the cardinality of {set}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgreementFunctionError {}
+
+impl AgreementFunction {
+    /// The agreement function of an adversary: `α(P) = setcon(A|P)`.
+    pub fn of_adversary(adversary: &Adversary) -> AgreementFunction {
+        let n = adversary.num_processes();
+        let mut solver = SetconSolver::new(adversary);
+        let table = (0..1u64 << n)
+            .map(|bits| solver.setcon(ColorSet::from_bits(bits)) as u8)
+            .collect();
+        AgreementFunction { n, table }
+    }
+
+    /// Builds an agreement function from an arbitrary map. Useful for
+    /// synthetic α-models such as `α(P) = min(|P|, k)` (the `k`-active
+    /// adversaries of Figures 5a–7a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function returns a value exceeding `n`.
+    pub fn from_fn<F: FnMut(ColorSet) -> usize>(n: usize, mut f: F) -> AgreementFunction {
+        let table = (0..1u64 << n)
+            .map(|bits| {
+                let v = f(ColorSet::from_bits(bits));
+                assert!(v <= n, "agreement power {v} exceeds the number of processes");
+                v as u8
+            })
+            .collect();
+        AgreementFunction { n, table }
+    }
+
+    /// The `k`-concurrency / `k`-obstruction-freedom agreement function
+    /// `α(P) = min(|P|, k)`.
+    pub fn k_concurrency(n: usize, k: usize) -> AgreementFunction {
+        AgreementFunction::from_fn(n, |p| p.len().min(k))
+    }
+
+    /// The number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// The agreement power `α(P)` of the participating set `P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `P` mentions processes outside the system.
+    pub fn alpha(&self, p: ColorSet) -> usize {
+        assert!(
+            p.is_subset_of(ColorSet::full(self.n)),
+            "participating set outside the system"
+        );
+        self.table[p.bits() as usize] as usize
+    }
+
+    /// Validates monotonicity (`P ⊆ P' ⇒ α(P) ≤ α(P')`), bounded growth
+    /// (`α(P') ≤ α(P) + |P' \ P|`) and `α(P) ≤ |P|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated property.
+    pub fn validate(&self) -> Result<(), AgreementFunctionError> {
+        let full = ColorSet::full(self.n);
+        for p in full.subsets() {
+            if self.alpha(p) > p.len() {
+                return Err(AgreementFunctionError::ExceedsCardinality { set: p });
+            }
+            // It suffices to check one-step extensions.
+            for q in full.minus(p).iter() {
+                let bigger = p.with(q);
+                if self.alpha(p) > self.alpha(bigger) {
+                    return Err(AgreementFunctionError::NotMonotone {
+                        smaller: p,
+                        larger: bigger,
+                    });
+                }
+                if self.alpha(bigger) > self.alpha(p) + 1 {
+                    return Err(AgreementFunctionError::UnboundedGrowth {
+                        smaller: p,
+                        larger: bigger,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the *bounded decrease* property of fair adversaries holds:
+    /// `α(P \ Q) ≥ α(P) − |Q|` for all `Q ⊆ P` (Section 5.3 of the paper).
+    ///
+    /// This follows from bounded growth, so it holds for every agreement
+    /// function; it is exposed separately because the liveness proof leans
+    /// on it.
+    pub fn has_bounded_decrease(&self) -> bool {
+        let full = ColorSet::full(self.n);
+        full.subsets().all(|p| {
+            p.subsets()
+                .all(|q| self.alpha(p.minus(q)) + q.len() >= self.alpha(p))
+        })
+    }
+
+    /// In the α-model, whether a run with participating set `p` and `f`
+    /// failures is admissible: `α(P) ≥ 1` and `f ≤ α(P) − 1` (Definition 3).
+    pub fn admits(&self, p: ColorSet, failures: usize) -> bool {
+        let a = self.alpha(p);
+        a >= 1 && failures < a
+    }
+}
+
+impl fmt::Debug for AgreementFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AgreementFunction(n={}, α(Π)={})", self.n, self.table[self.table.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_resilient_alpha_values() {
+        // 1-resilient, n = 3: α(P) = 0 for |P| < 2 (such participation can
+        // never satisfy 1-resilience alone? Actually A|P empty iff |P| < n-t)
+        let a = Adversary::t_resilient(3, 1);
+        let alpha = AgreementFunction::of_adversary(&a);
+        assert_eq!(alpha.alpha(ColorSet::EMPTY), 0);
+        assert_eq!(alpha.alpha(ColorSet::from_indices([0])), 0);
+        assert_eq!(alpha.alpha(ColorSet::from_indices([0, 1])), 1);
+        assert_eq!(alpha.alpha(ColorSet::full(3)), 2);
+        alpha.validate().unwrap();
+        assert!(alpha.has_bounded_decrease());
+    }
+
+    #[test]
+    fn k_obstruction_free_alpha_is_min() {
+        let a = Adversary::k_obstruction_free(4, 2);
+        let alpha = AgreementFunction::of_adversary(&a);
+        for p in ColorSet::full(4).subsets() {
+            assert_eq!(alpha.alpha(p), p.len().min(2));
+        }
+        assert_eq!(alpha, AgreementFunction::k_concurrency(4, 2));
+    }
+
+    #[test]
+    fn wait_free_alpha_is_cardinality() {
+        let alpha = AgreementFunction::of_adversary(&Adversary::wait_free(4));
+        for p in ColorSet::full(4).subsets() {
+            assert_eq!(alpha.alpha(p), p.len());
+        }
+        alpha.validate().unwrap();
+    }
+
+    #[test]
+    fn from_fn_and_admits() {
+        let alpha = AgreementFunction::k_concurrency(3, 1);
+        assert!(alpha.admits(ColorSet::from_indices([0]), 0));
+        assert!(!alpha.admits(ColorSet::from_indices([0]), 1));
+        assert!(!alpha.admits(ColorSet::EMPTY, 0));
+        alpha.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        // Non-monotone: α({p1}) = 1, α({p1,p2}) = 0.
+        let bad = AgreementFunction::from_fn(2, |p| usize::from(p.len() == 1));
+        assert!(matches!(
+            bad.validate(),
+            Err(AgreementFunctionError::NotMonotone { .. })
+        ));
+        // Growth 2 in one step.
+        let bad = AgreementFunction::from_fn(2, |p| if p.len() == 2 { 2 } else { 0 });
+        assert!(matches!(
+            bad.validate(),
+            Err(AgreementFunctionError::UnboundedGrowth { .. })
+        ));
+        // α exceeding |P| is caught by from_fn's table check only if > n;
+        // the subtler per-set bound is caught by validate (α(∅) = 1 here,
+        // which is monotone and of bounded growth but exceeds |∅|).
+        let bad = AgreementFunction::from_fn(2, |p| (p.len() + 1).min(2));
+        assert!(matches!(
+            bad.validate(),
+            Err(AgreementFunctionError::ExceedsCardinality { .. })
+        ));
+    }
+
+    #[test]
+    fn figure_5b_agreement_function() {
+        // {p2}, {p1,p3} + supersets.
+        let a = Adversary::superset_closure(
+            3,
+            [ColorSet::from_indices([1]), ColorSet::from_indices([0, 2])],
+        );
+        let alpha = AgreementFunction::of_adversary(&a);
+        assert_eq!(alpha.alpha(ColorSet::full(3)), 2);
+        assert_eq!(alpha.alpha(ColorSet::from_indices([1])), 1);
+        assert_eq!(alpha.alpha(ColorSet::from_indices([0, 2])), 1);
+        assert_eq!(alpha.alpha(ColorSet::from_indices([0])), 0);
+        assert_eq!(alpha.alpha(ColorSet::from_indices([2])), 0);
+        assert_eq!(alpha.alpha(ColorSet::from_indices([0, 1])), 1);
+        assert_eq!(alpha.alpha(ColorSet::from_indices([1, 2])), 1);
+        alpha.validate().unwrap();
+    }
+}

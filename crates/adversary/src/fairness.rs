@@ -1,0 +1,149 @@
+//! Fairness of adversaries (Definition 2).
+//!
+//! An adversary `A` is *fair* when a subset `Q` of the participating
+//! processes `P` cannot achieve better set consensus than `P` itself:
+//! `setcon(A|P,Q) = min(|Q|, setcon(A|P))` for all `Q ⊆ P ⊆ Π`.
+//! Superset-closed and symmetric adversaries are fair; not all adversaries
+//! are.
+
+use act_topology::ColorSet;
+
+use crate::adversary::Adversary;
+use crate::setcon::SetconSolver;
+
+/// A witness that an adversary is unfair: a pair `(P, Q)` violating
+/// Definition 2, with both sides of the equation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnfairnessWitness {
+    /// The participating set.
+    pub p: ColorSet,
+    /// The sub-participation.
+    pub q: ColorSet,
+    /// `setcon(A|P,Q)`.
+    pub restricted_power: usize,
+    /// `min(|Q|, setcon(A|P))`.
+    pub expected_power: usize,
+}
+
+impl Adversary {
+    /// Checks fairness (Definition 2), returning `None` if fair and a
+    /// violating `(P, Q)` pair otherwise.
+    ///
+    /// Exhaustive over the `3^n` nested pairs `Q ⊆ P`; intended for the
+    /// small systems of the paper (`n ≤ 10` is instantaneous).
+    pub fn fairness_witness(&self) -> Option<UnfairnessWitness> {
+        let full = ColorSet::full(self.num_processes());
+        let mut solver = SetconSolver::new(self);
+        for p in full.subsets() {
+            let power = solver.setcon(p);
+            for q in p.subsets() {
+                let restricted = solver.setcon_touching(p, q);
+                let expected = q.len().min(power);
+                if restricted != expected {
+                    return Some(UnfairnessWitness {
+                        p,
+                        q,
+                        restricted_power: restricted,
+                        expected_power: expected,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the adversary is fair (Definition 2).
+    pub fn is_fair(&self) -> bool {
+        self.fairness_witness().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superset_closed_adversaries_are_fair() {
+        let zoo = [
+            Adversary::t_resilient(3, 1),
+            Adversary::t_resilient(4, 2),
+            Adversary::superset_closure(
+                3,
+                [ColorSet::from_indices([1]), ColorSet::from_indices([0, 2])],
+            ),
+            Adversary::superset_closure(
+                4,
+                [ColorSet::from_indices([0, 1]), ColorSet::from_indices([1, 2])],
+            ),
+        ];
+        for a in &zoo {
+            assert!(a.is_fair(), "superset-closed adversary {a} must be fair");
+        }
+    }
+
+    #[test]
+    fn symmetric_adversaries_are_fair() {
+        let zoo = [
+            Adversary::k_obstruction_free(3, 1),
+            Adversary::k_obstruction_free(4, 2),
+            Adversary::symmetric(4, [1, 3]),
+            Adversary::symmetric(3, [2]),
+            Adversary::symmetric(4, [2, 4]),
+        ];
+        for a in &zoo {
+            assert!(a.is_fair(), "symmetric adversary {a} must be fair");
+        }
+    }
+
+    #[test]
+    fn unfair_adversary_detected() {
+        // A = {{p1}, {p2}, {p1,p2,p3}}: setcon(A) = 2 but the coalition
+        // Q = {p1,p3} only reaches power 1 (see DESIGN.md, Figure-2
+        // experiment).
+        let a = Adversary::from_live_sets(
+            3,
+            [
+                ColorSet::from_indices([0]),
+                ColorSet::from_indices([1]),
+                ColorSet::from_indices([0, 1, 2]),
+            ],
+        );
+        assert_eq!(a.setcon(), 2);
+        let w = a.fairness_witness().expect("adversary is unfair");
+        assert_ne!(w.restricted_power, w.expected_power);
+        assert!(!a.is_fair());
+    }
+
+    #[test]
+    fn fair_but_neither_symmetric_nor_superset_closed_exists() {
+        // Figure 2 shows fair adversaries strictly containing the union of
+        // the symmetric and superset-closed classes; exhibit one.
+        let mut found = None;
+        let full = ColorSet::full(3);
+        let all_sets: Vec<ColorSet> = full.non_empty_subsets().collect();
+        // Enumerate adversaries over 3 processes (2^7 families).
+        for mask in 0u32..(1 << all_sets.len()) {
+            let sets: Vec<ColorSet> = all_sets
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &s)| s)
+                .collect();
+            let a = Adversary::from_live_sets(3, sets);
+            if a.is_fair() && !a.is_symmetric() && !a.is_superset_closed() && !a.is_empty() {
+                found = Some(a);
+                break;
+            }
+        }
+        let a = found.expect("a fair, non-symmetric, non-superset-closed adversary exists");
+        assert!(a.is_fair());
+        assert!(!a.is_symmetric());
+        assert!(!a.is_superset_closed());
+    }
+
+    #[test]
+    fn empty_adversary_is_fair() {
+        let a = Adversary::from_live_sets(3, []);
+        assert!(a.is_fair());
+    }
+}

@@ -1,0 +1,40 @@
+//! Adversaries, set-consensus power and agreement functions — Section 3 of
+//! *An Asynchronous Computability Theorem for Fair Adversaries*.
+//!
+//! * [`Adversary`] — a set of live sets, with the constructors of the paper
+//!   (wait-free, `t`-resilience, `k`-obstruction-freedom, superset-closed
+//!   and symmetric adversaries);
+//! * [`Adversary::setcon`] / [`SetconSolver`] — the set-consensus power of
+//!   Definition 1, with the minimal hitting-set characterization
+//!   ([`Adversary::csize`]) for superset-closed adversaries;
+//! * [`AgreementFunction`] — `α(P) = setcon(A|P)`, tabulated, validated
+//!   (monotone, bounded growth) and usable to define synthetic α-models;
+//! * [`Adversary::is_fair`] — Definition 2, checked exhaustively;
+//! * [`zoo`] — the named adversaries of the paper's figures plus full
+//!   enumerations of (fair) adversaries over small systems.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use act_adversary::{Adversary, AgreementFunction};
+//! use act_topology::ColorSet;
+//!
+//! let a = Adversary::t_resilient(3, 1);
+//! assert!(a.is_fair());
+//! let alpha = AgreementFunction::of_adversary(&a);
+//! assert_eq!(alpha.alpha(ColorSet::full(3)), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversary;
+mod agreement;
+mod fairness;
+mod setcon;
+pub mod zoo;
+
+pub use adversary::Adversary;
+pub use agreement::{AgreementFunction, AgreementFunctionError};
+pub use fairness::UnfairnessWitness;
+pub use setcon::{csize_of_sets, SetconSolver};

@@ -1,0 +1,121 @@
+//! A zoo of named adversaries used throughout the paper's figures and the
+//! reproduction's experiments.
+
+use act_topology::ColorSet;
+
+use crate::adversary::Adversary;
+use crate::agreement::AgreementFunction;
+
+/// The 3-process adversary of Figures 5b, 6b and 7b: `{p2}`, `{p1, p3}`
+/// plus all supersets. Superset-closed (hence fair), not symmetric,
+/// agreement power 2.
+pub fn figure_5b_adversary() -> Adversary {
+    Adversary::superset_closure(
+        3,
+        [ColorSet::from_indices([1]), ColorSet::from_indices([0, 2])],
+    )
+}
+
+/// The α-model of Figures 5a, 6a and 7a: `α(P) = min(|P|, 1)`,
+/// i.e. 1-obstruction-freedom over 3 processes.
+pub fn figure_5a_alpha() -> AgreementFunction {
+    AgreementFunction::k_concurrency(3, 1)
+}
+
+/// A 3-process adversary that is **not** fair:
+/// `{{p1}, {p2}, {p1,p2,p3}}`. Its agreement power is 2 but the coalition
+/// `{p1, p3}` can only reach power 1, violating Definition 2.
+pub fn unfair_example() -> Adversary {
+    Adversary::from_live_sets(
+        3,
+        [
+            ColorSet::from_indices([0]),
+            ColorSet::from_indices([1]),
+            ColorSet::from_indices([0, 1, 2]),
+        ],
+    )
+}
+
+/// Every adversary over `n` processes, enumerated (there are
+/// `2^(2^n - 1)` of them — only call this for `n ≤ 3`).
+///
+/// # Panics
+///
+/// Panics if `n > 3`.
+pub fn all_adversaries(n: usize) -> Vec<Adversary> {
+    assert!(n <= 3, "adversary enumeration is doubly exponential; n ≤ 3 only");
+    let all_sets: Vec<ColorSet> = ColorSet::full(n).non_empty_subsets().collect();
+    (0u32..(1 << all_sets.len()))
+        .map(|mask| {
+            Adversary::from_live_sets(
+                n,
+                all_sets
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &s)| s),
+            )
+        })
+        .collect()
+}
+
+/// Every *fair* adversary over `n` processes (`n ≤ 3`).
+pub fn all_fair_adversaries(n: usize) -> Vec<Adversary> {
+    all_adversaries(n).into_iter().filter(Adversary::is_fair).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_adversaries_have_documented_properties() {
+        let fig5b = figure_5b_adversary();
+        assert!(fig5b.is_superset_closed());
+        assert!(fig5b.is_fair());
+        assert!(!fig5b.is_symmetric());
+        assert_eq!(fig5b.setcon(), 2);
+
+        let alpha = figure_5a_alpha();
+        assert_eq!(alpha.alpha(ColorSet::full(3)), 1);
+        alpha.validate().unwrap();
+
+        assert!(!unfair_example().is_fair());
+    }
+
+    #[test]
+    fn adversary_census_over_3_processes() {
+        // Figure 2, checked exhaustively for n = 3: class inclusions.
+        let all = all_adversaries(3);
+        assert_eq!(all.len(), 128);
+        let mut fair = 0;
+        let mut symmetric = 0;
+        let mut superset_closed = 0;
+        for a in &all {
+            let is_fair = a.is_fair();
+            if a.is_symmetric() {
+                symmetric += 1;
+                assert!(is_fair, "symmetric ⊆ fair violated by {a}");
+            }
+            if a.is_superset_closed() {
+                superset_closed += 1;
+                assert!(is_fair, "superset-closed ⊆ fair violated by {a}");
+            }
+            if is_fair {
+                fair += 1;
+            }
+        }
+        assert!(fair > symmetric.max(superset_closed), "fair class is strictly larger");
+        // Symmetric adversaries over 3 processes: one per subset of sizes
+        // {1,2,3}: 8.
+        assert_eq!(symmetric, 8);
+        assert!(fair < all.len(), "unfair adversaries exist");
+    }
+
+    #[test]
+    fn all_fair_census_is_consistent() {
+        let fair = all_fair_adversaries(3);
+        assert!(fair.iter().all(Adversary::is_fair));
+        assert!(!fair.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! `View1` / `View2` of vertices of `Chr² s` (Section 4 of the paper).
+//!
+//! For a vertex `v` of a level-2 complex, `View2(v)` is the set of processes
+//! seen by `χ(v)` in the second immediate snapshot —
+//! `χ(carrier(v, Chr s))` — and `View1(v)` is the set seen in the first:
+//! `χ(carrier(v', s))` where `v'` is `χ(v)`'s own vertex inside
+//! `carrier(v, Chr s)`.
+
+use act_topology::{ColorSet, Complex, Simplex, VertexId};
+
+/// The first- and second-round views of a vertex of a level-2 complex.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Views {
+    /// `View1(v)`: processes seen in the first immediate snapshot.
+    pub view1: ColorSet,
+    /// `View2(v)`: processes seen in the second immediate snapshot.
+    pub view2: ColorSet,
+}
+
+/// Computes `View1` and `View2` of a vertex of a level-2 complex.
+///
+/// # Panics
+///
+/// Panics if the complex is not at subdivision level ≥ 2 relative to its
+/// base, or if the vertex's carrier violates self-inclusion (impossible for
+/// complexes produced by this workspace's subdivisions).
+pub fn views_of(complex: &Complex, v: VertexId) -> Views {
+    let parent = complex
+        .parent()
+        .expect("views are defined on (at least) second subdivisions");
+    let data = complex.vertex(v);
+    let view2 = parent.colors(&data.carrier);
+    let own = data
+        .carrier
+        .vertices()
+        .iter()
+        .copied()
+        .find(|&w| parent.color(w) == data.color)
+        .expect("self-inclusion: a process appears in its own snapshot");
+    let view1 = parent.base_colors_of_vertex(own);
+    Views { view1, view2 }
+}
+
+/// The carrier of `v` in the previous level, as a simplex (the simplicial
+/// form of `View2`).
+pub fn view2_carrier(complex: &Complex, v: VertexId) -> &Simplex {
+    complex.carrier_of_vertex(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_nest_with_carriers() {
+        let chr2 = Complex::standard(3).iterated_subdivision(2);
+        for facet in chr2.facets() {
+            for &v in facet.vertices() {
+                let w = views_of(&chr2, v);
+                let c = chr2.color(v);
+                assert!(w.view1.contains(c), "self-inclusion in round 1");
+                assert!(w.view2.contains(c), "self-inclusion in round 2");
+                // The total knowledge carrier contains both views' unions.
+                let total = chr2.base_colors_of_vertex(v);
+                assert!(w.view1.is_subset_of(total));
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_then_solo_views() {
+        use act_topology::{all_recipes, Osp};
+        // Build the single Chr² facet for the run: round 1 synchronous,
+        // round 2 fully sequential p1, p2, p3.
+        let s = Complex::standard(3);
+        let full = ColorSet::full(3);
+        let _ = all_recipes(full, 1); // exercise the helper
+        let recipe = vec![Osp::synchronous(full), Osp::sequential(full)];
+        let k = s.subdivide_patterned(2, move |_| vec![recipe.clone()]);
+        assert_eq!(k.facet_count(), 1);
+        let facet = &k.facets()[0];
+        for &v in facet.vertices() {
+            let w = views_of(&k, v);
+            assert_eq!(w.view1, full, "everyone saw everyone in round 1");
+            // Round 2 sequential: p_i sees p_1..p_i.
+            let c = k.color(v);
+            assert_eq!(w.view2, ColorSet::from_indices(0..=c.index()));
+        }
+    }
+
+    #[test]
+    fn view2_matches_carrier_colors() {
+        let chr2 = Complex::standard(3).iterated_subdivision(2);
+        let parent = chr2.parent().unwrap();
+        for facet in chr2.facets() {
+            for &v in facet.vertices() {
+                let w = views_of(&chr2, v);
+                assert_eq!(w.view2, parent.colors(view2_carrier(&chr2, v)));
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Experiment E9 — ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **The waiting phase of Algorithm 1** (Lines 5–9): disabling it lets
+//!    processes overtake without a critical excuse, and outputs escape
+//!    `R_A` — measured violation rates under random schedules.
+//! 2. **Definition 9's side condition**: the union (proofs) vs triple
+//!    intersection (printed definition) readings, across every fair
+//!    3-process adversary.
+//! 3. **Immediate-snapshot substrate**: the scheduled Borowsky–Gafni
+//!    protocol vs the OSP oracle, timed.
+
+use act_adversary::{zoo, AgreementFunction};
+use act_affine::{fair_affine_task, fair_affine_task_with, CriticalSideCondition};
+use act_bench::{banner, model_portfolio};
+use act_runtime::{run_adversarial, run_iis_with_bg};
+use act_topology::ColorSet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact::{outputs_to_simplex, AlgorithmOneSystem};
+use rand::SeedableRng;
+
+fn print_experiment_data() {
+    banner("E9.1", "ablation: Algorithm 1 without its waiting phase");
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(91);
+    println!(
+        "{:<22} {:>8} {:>12} {:>12}",
+        "model", "runs", "violations", "with waiting"
+    );
+    for (name, alpha, power) in model_portfolio() {
+        if power == 0 {
+            continue;
+        }
+        let r_a = fair_affine_task(&alpha);
+        let full = ColorSet::full(3);
+        let runs = 400usize;
+        let mut violations = 0usize;
+        let mut control = 0usize;
+        for _ in 0..runs {
+            let mut sys = AlgorithmOneSystem::new_without_waiting(&alpha, full);
+            let outcome = run_adversarial(&mut sys, full, full, &mut rng, |_| 0, 200_000);
+            assert!(outcome.all_correct_terminated);
+            let simplex = outputs_to_simplex(r_a.complex(), &sys.outputs()).unwrap();
+            violations += usize::from(!r_a.complex().contains_simplex(&simplex));
+
+            let mut sys = AlgorithmOneSystem::new(&alpha, full);
+            let outcome = run_adversarial(&mut sys, full, full, &mut rng, |_| 0, 200_000);
+            assert!(outcome.all_correct_terminated);
+            let simplex = outputs_to_simplex(r_a.complex(), &sys.outputs()).unwrap();
+            control += usize::from(!r_a.complex().contains_simplex(&simplex));
+        }
+        println!("{name:<22} {runs:>8} {violations:>12} {control:>12}");
+        assert_eq!(control, 0, "the real algorithm never violates safety");
+        if alpha.alpha(full) < 3 {
+            assert!(
+                violations > 0,
+                "{name}: removing the waiting phase must break safety"
+            );
+        }
+    }
+
+    banner("E9.2", "ablation: Definition 9 side-condition reading (all fair adversaries)");
+    let mut differ = 0usize;
+    let mut total = 0usize;
+    for a in zoo::all_fair_adversaries(3) {
+        if a.setcon() == 0 {
+            continue;
+        }
+        let alpha = AgreementFunction::of_adversary(&a);
+        let union = fair_affine_task_with(&alpha, CriticalSideCondition::Union);
+        let triple = fair_affine_task_with(&alpha, CriticalSideCondition::TripleIntersection);
+        let u = union.complex().canonical_facets();
+        let t = triple.complex().canonical_facets();
+        assert!(t.is_subset(&u), "triple reading is always a refinement");
+        differ += usize::from(t != u);
+        total += 1;
+    }
+    println!("fair models where the readings differ: {differ} / {total}");
+    assert!(differ > 0);
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+
+    let alpha = AgreementFunction::k_concurrency(3, 1);
+    let full = ColorSet::full(3);
+    c.bench_function("exp9_algorithm1_with_waiting", |b| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(92);
+        b.iter(|| {
+            let mut sys = AlgorithmOneSystem::new(&alpha, full);
+            run_adversarial(&mut sys, full, full, &mut rng, |_| 0, 200_000).steps
+        })
+    });
+    c.bench_function("exp9_algorithm1_without_waiting", |b| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(93);
+        b.iter(|| {
+            let mut sys = AlgorithmOneSystem::new_without_waiting(&alpha, full);
+            run_adversarial(&mut sys, full, full, &mut rng, |_| 0, 200_000).steps
+        })
+    });
+    c.bench_function("exp9_bg_is_round_executed", |b| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(94);
+        b.iter(|| run_iis_with_bg(3, full, 1, &mut rng))
+    });
+    c.bench_function("exp9_oracle_is_round", |b| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(95);
+        b.iter(|| act_runtime::random_osp(full, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

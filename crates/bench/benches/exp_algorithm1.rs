@@ -1,0 +1,87 @@
+//! Experiments E1/E2 — Theorem 7: Algorithm 1 solves `R_A` in the
+//! α-model. Safety (Lemma 6: outputs form a simplex of `R_A`) and
+//! liveness (Lemma 5: every correct process decides) over randomized
+//! adversarial schedules for the whole model portfolio, plus timed
+//! throughput of the algorithm.
+
+use act_affine::fair_affine_task;
+use act_bench::{banner, model_portfolio};
+use act_runtime::run_adversarial;
+use act_topology::ColorSet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact::{outputs_to_simplex, AlgorithmOneSystem};
+use rand::SeedableRng;
+
+fn print_experiment_data() {
+    banner("E1/E2", "Algorithm 1 safety + liveness (Theorem 7)");
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    println!(
+        "{:<22} {:>6} {:>8} {:>8} {:>10} {:>14}",
+        "model", "runs", "live", "safe", "avg steps", "distinct out"
+    );
+    for (name, alpha, power) in model_portfolio() {
+        let r_a = fair_affine_task(&alpha);
+        let full = ColorSet::full(3);
+        let mut live = 0usize;
+        let mut safe = 0usize;
+        let mut steps = 0usize;
+        let mut distinct = std::collections::BTreeSet::new();
+        let runs = 300usize;
+        for trial in 0..runs {
+            // Admissible fault pattern: fewer than α(P) failures.
+            let faulty = if power >= 2 && trial % 3 == 0 {
+                ColorSet::from_indices([trial % 3])
+            } else {
+                ColorSet::EMPTY
+            };
+            let correct = full.minus(faulty);
+            let mut sys = AlgorithmOneSystem::new(&alpha, full);
+            let outcome = run_adversarial(
+                &mut sys,
+                full,
+                correct,
+                &mut rng,
+                |_| (trial % 5) * 2,
+                300_000,
+            );
+            live += usize::from(outcome.all_correct_terminated);
+            steps += outcome.steps;
+            let simplex = outputs_to_simplex(r_a.complex(), &sys.outputs()).unwrap();
+            safe += usize::from(r_a.complex().contains_simplex(&simplex));
+            distinct.insert(simplex);
+        }
+        println!(
+            "{:<22} {:>6} {:>8} {:>8} {:>10} {:>14}",
+            name,
+            runs,
+            live,
+            safe,
+            steps / runs,
+            distinct.len()
+        );
+        assert_eq!(live, runs, "liveness must hold on every admissible run");
+        assert_eq!(safe, runs, "safety must hold on every admissible run");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+
+    for (name, alpha, _) in model_portfolio().into_iter().take(3) {
+        c.bench_function(&format!("exp1_algorithm1_run_{name}"), |b| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+            let full = ColorSet::full(3);
+            b.iter(|| {
+                let mut sys = AlgorithmOneSystem::new(&alpha, full);
+                run_adversarial(&mut sys, full, full, &mut rng, |_| 0, 300_000).steps
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

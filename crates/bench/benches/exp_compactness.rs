@@ -1,0 +1,72 @@
+//! Experiment E7 — compact models (Section 1): adversarial models are
+//! generally not compact (every finite prefix of the solo run is
+//! admissible but the limit run is not), while affine models are compact
+//! by construction — solvable tasks are solved within an explicit bound
+//! of iterations.
+
+use act_adversary::{Adversary, AgreementFunction};
+use act_affine::fair_affine_task;
+use act_bench::banner;
+use act_runtime::System;
+use act_tasks::{find_carried_map, SetConsensus};
+use act_topology::{ColorSet, ProcessId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact::{affine_domain, AlgorithmOneSystem};
+
+fn print_experiment_data() {
+    banner("E7", "compactness of affine models vs adversarial models");
+
+    // Non-compactness of 1-resilience: the solo prefix is always
+    // extendable, the limit excluded; Algorithm 1 keeps p1 waiting.
+    let alpha =
+        AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+    assert_eq!(alpha.alpha(ColorSet::from_indices([0])), 0);
+    let mut sys = AlgorithmOneSystem::new(&alpha, ColorSet::full(3));
+    let p1 = ProcessId::new(0);
+    for _ in 0..2_000 {
+        sys.step(p1);
+    }
+    println!(
+        "1-resilient solo run: p1 undecided after 2000 solo steps: {}",
+        !sys.has_terminated(p1)
+    );
+    assert!(!sys.has_terminated(p1));
+
+    // Compactness of R_A^*: 2-set consensus solved within ℓ = 1.
+    let r_a = fair_affine_task(&alpha);
+    let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+    let domain = affine_domain(&r_a, &t.rainbow_inputs(), 1);
+    let found = find_carried_map(&t, &domain, 3_000_000).is_found();
+    println!("R_A^* solves 2-set consensus at explicit bound ℓ = 1: {found}");
+    assert!(found);
+
+    // The bounded-round König consequence, quantitatively: the domain at
+    // ℓ iterations is finite and explicit.
+    for l in 1..=2usize {
+        let d = affine_domain(&r_a, &t.rainbow_inputs(), l);
+        println!("ℓ = {l}: |facets(R_A^ℓ(I))| = {}", d.facet_count());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+
+    let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+    let r_a = fair_affine_task(&alpha);
+    let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+    c.bench_function("exp7_iterate_r_a_once", |b| {
+        let inputs = t.rainbow_inputs();
+        b.iter(|| affine_domain(&r_a, &inputs, 1).facet_count())
+    });
+    c.bench_function("exp7_iterate_r_a_twice", |b| {
+        let inputs = t.rainbow_inputs();
+        b.iter(|| affine_domain(&r_a, &inputs, 2).facet_count())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Experiment E8 — Section 8's structural observation: continuous-map
+//! (point-set) arguments need link-connected complexes, and "only very
+//! special adversaries, such as A_{t-res}, have link-connected
+//! counterparts (see, e.g., the affine task corresponding to
+//! 1-obstruction-freedom in Figure 7a)". We compute connectivity and
+//! link-connectivity of R_A for the portfolio.
+
+use act_affine::fair_affine_task;
+use act_bench::{banner, model_portfolio};
+use act_topology::{
+    betti_numbers, connected_components, euler_characteristic, is_link_connected,
+    link_disconnection_witness,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_experiment_data() {
+    banner("E8", "connectivity structure of R_A (Section 8)");
+    println!(
+        "{:<22} {:>7} {:>12} {:>16} {:>14} {:>5}",
+        "model", "facets", "components", "link-connected", "betti", "chi"
+    );
+    for (name, alpha, power) in model_portfolio() {
+        if power == 0 {
+            continue;
+        }
+        let r = fair_affine_task(&alpha);
+        let comps = connected_components(r.complex());
+        let link = is_link_connected(r.complex());
+        let betti = betti_numbers(r.complex());
+        let chi = euler_characteristic(r.complex());
+        println!(
+            "{:<22} {:>7} {:>12} {:>16} {:>14} {:>5}",
+            name,
+            r.complex().facet_count(),
+            comps,
+            link,
+            format!("{betti:?}"),
+            chi
+        );
+        assert_eq!(betti[0], comps, "β₀ equals the component count");
+        match name.as_str() {
+            "1-obstruction-free" => {
+                assert_eq!(comps, 7, "Figure 7a splits into 7 pieces");
+                assert!(!link, "1-OF is not link-connected (paper, Section 8)");
+                assert!(link_disconnection_witness(r.complex()).is_some());
+                assert_eq!(betti, vec![7, 0, 0], "seven acyclic pieces");
+            }
+            "2-obstruction-free" => {
+                assert_eq!(
+                    betti,
+                    vec![1, 3, 0],
+                    "R_A(2-OF) is connected with three 1-cycles — the holes \
+                     obstructing consensus"
+                );
+            }
+            "1-resilient" | "0-resilient" | "wait-free" => {
+                assert_eq!(comps, 1);
+                assert!(link, "t-resilient tasks are link-connected (shellable, [30])");
+            }
+            _ => {}
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+
+    let (_, alpha, _) = model_portfolio().into_iter().nth(3).unwrap(); // 1-OF
+    let r = fair_affine_task(&alpha);
+    c.bench_function("exp8_connected_components", |b| {
+        b.iter(|| connected_components(r.complex()))
+    });
+    c.bench_function("exp8_link_connectivity", |b| {
+        b.iter(|| is_link_connected(r.complex()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Experiment E3 — Lemma 3 / Corollary 4: the distribution of critical
+//! simplices. For every simplex of `Chr s` and every agreement level `l`,
+//! the minimal hitting set of the critical simplices with power ≥ `l` is
+//! at least `α(χ(σ)) − l + 1` (adjusted for missing participation per
+//! Corollary 4) — verified exhaustively over the model portfolio and the
+//! full fair-adversary census.
+
+use act_adversary::{csize_of_sets, zoo, AgreementFunction};
+use act_affine::CriticalAnalysis;
+use act_bench::{banner, model_portfolio};
+use act_topology::{ColorSet, Complex};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn check_model(chr: &Complex, alpha: &AgreementFunction) -> (usize, usize) {
+    let mut crit = CriticalAnalysis::new(chr, alpha);
+    let mut checked = 0usize;
+    let mut tight = 0usize;
+    let mut all = std::collections::BTreeSet::new();
+    for facet in chr.facets() {
+        for face in facet.non_empty_faces() {
+            all.insert(face);
+        }
+    }
+    for sigma in &all {
+        let carrier = chr.carrier_colors(sigma);
+        let missing = carrier.minus(chr.colors(sigma)).len();
+        let power = alpha.alpha(carrier);
+        for level in 1..=3usize {
+            let witnesses: Vec<ColorSet> = crit
+                .critical_at_least(sigma, level)
+                .iter()
+                .map(|t| chr.colors(t))
+                .collect();
+            let hitting = csize_of_sets(&witnesses);
+            let bound = (power + 1).saturating_sub(level + missing);
+            assert!(
+                hitting >= bound,
+                "Corollary 4 violated: σ = {sigma:?}, l = {level}"
+            );
+            checked += 1;
+            tight += usize::from(hitting == bound);
+        }
+    }
+    (checked, tight)
+}
+
+fn print_experiment_data() {
+    banner("E3", "distribution of critical simplices (Lemma 3 / Corollary 4)");
+    let chr = Complex::standard(3).chromatic_subdivision();
+    println!("{:<22} {:>10} {:>10}", "model", "checked", "tight");
+    for (name, alpha, _) in model_portfolio() {
+        let (checked, tight) = check_model(&chr, &alpha);
+        println!("{name:<22} {checked:>10} {tight:>10}");
+    }
+    // Full census of fair adversaries.
+    let mut census_checked = 0usize;
+    for a in zoo::all_fair_adversaries(3) {
+        let alpha = AgreementFunction::of_adversary(&a);
+        let (c, _) = check_model(&chr, &alpha);
+        census_checked += c;
+    }
+    println!("fair-adversary census: {census_checked} inequalities verified, 0 violations");
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+
+    let chr = Complex::standard(3).chromatic_subdivision();
+    let alpha = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+    c.bench_function("exp3_corollary4_full_check", |b| {
+        b.iter(|| check_model(&chr, &alpha))
+    });
+    let chr4 = Complex::standard(4).chromatic_subdivision();
+    let alpha4 = AgreementFunction::k_concurrency(4, 2);
+    c.bench_function("exp3_corollary4_full_check_n4", |b| {
+        b.iter(|| check_model(&chr4, &alpha4))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

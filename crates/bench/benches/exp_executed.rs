@@ -1,0 +1,84 @@
+//! Experiment E10 — the fully executed `R_A^*` stack: iterate the real
+//! Algorithm 1 (scheduled Borowsky–Gafni snapshots + waiting phase) to
+//! produce affine-model runs, measure how much of `R_A` the executed runs
+//! cover, and solve α-adaptive set consensus with `µ_Q` on top.
+
+use std::collections::HashMap;
+
+use act_affine::fair_affine_task;
+use act_bench::{banner, model_portfolio};
+use act_topology::{ColorSet, ProcessId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact::{execute_affine_iterations, executed_set_consensus};
+use rand::SeedableRng;
+
+fn print_experiment_data() {
+    banner("E10", "executed R_A^* stack: coverage + µ_Q consensus");
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(101);
+    println!(
+        "{:<22} {:>8} {:>10} {:>12} {:>12}",
+        "model", "|R_A|", "runs", "covered", "worst vals"
+    );
+    for (name, alpha, power) in model_portfolio() {
+        if power == 0 {
+            continue;
+        }
+        let task = fair_affine_task(&alpha);
+        let full = ColorSet::full(3);
+        let runs = 600usize;
+        let iterations = execute_affine_iterations(&task, &alpha, full, runs, &mut rng);
+        let covered: std::collections::BTreeSet<_> =
+            iterations.iter().map(|it| it.facet.clone()).collect();
+        let proposals: HashMap<ProcessId, u64> =
+            full.iter().map(|p| (p, p.index() as u64)).collect();
+        let mut worst = 0usize;
+        for it in &iterations {
+            let decisions = executed_set_consensus(&task, &alpha, it, full, &proposals);
+            let mut values: Vec<u64> = decisions.iter().map(|&(_, v)| v).collect();
+            values.sort_unstable();
+            values.dedup();
+            assert!(values.len() <= alpha.alpha(full), "α-agreement on executed runs");
+            worst = worst.max(values.len());
+        }
+        println!(
+            "{:<22} {:>8} {:>10} {:>12} {:>12}",
+            name,
+            task.complex().facet_count(),
+            runs,
+            covered.len(),
+            worst
+        );
+    }
+    println!(
+        "note: failure-free full-participation executions only reach the facets \
+         whose runs need no crashes; coverage below |R_A| is expected"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+
+    let (_, alpha, _) = model_portfolio().into_iter().nth(1).unwrap(); // 1-resilient
+    let task = fair_affine_task(&alpha);
+    let full = ColorSet::full(3);
+    c.bench_function("exp10_executed_iteration", |b| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(102);
+        b.iter(|| execute_affine_iterations(&task, &alpha, full, 1, &mut rng).len())
+    });
+    c.bench_function("exp10_executed_iteration_plus_mu_q", |b| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(103);
+        let proposals: HashMap<ProcessId, u64> =
+            full.iter().map(|p| (p, p.index() as u64)).collect();
+        b.iter(|| {
+            let its = execute_affine_iterations(&task, &alpha, full, 1, &mut rng);
+            executed_set_consensus(&task, &alpha, &its[0], full, &proposals).len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Experiment E6 — Theorem 16 (the FACT): `k`-set consensus is solvable
+//! in a fair adversarial model iff `k ≥ setcon(A)`, decided by the
+//! carried-map pipeline over `R_A` (with the Sperner certificate routing
+//! the parity-type wait-free case).
+
+use act_affine::fair_affine_task;
+use act_bench::{banner, model_portfolio};
+use act_tasks::SetConsensus;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact::{set_consensus_verdict, Solvability};
+
+fn print_experiment_data() {
+    banner("E6", "k-set consensus vs setcon (Theorem 16)");
+    println!(
+        "{:<22} {:>7} {:>14} {:>14}",
+        "model", "setcon", "k=1", "k=2"
+    );
+    for (name, alpha, power) in model_portfolio() {
+        if power == 0 {
+            continue;
+        }
+        let r_a = fair_affine_task(&alpha);
+        let mut cells = Vec::new();
+        for k in 1..=2usize {
+            let t = SetConsensus::new(3, k, &[0, 1, 2]);
+            let verdict = set_consensus_verdict(&t, &r_a, 1, 3_000_000);
+            let cell = match &verdict {
+                Solvability::Solvable { .. } => "solvable",
+                Solvability::NoMapUpTo { .. } => "no-map",
+                Solvability::Exhausted { .. } => "exhausted",
+            };
+            if k >= power {
+                assert!(verdict.is_solvable(), "{name}: k = {k} must be solvable");
+            } else {
+                assert!(
+                    matches!(verdict, Solvability::NoMapUpTo { .. }),
+                    "{name}: k = {k} must be unsolvable"
+                );
+            }
+            cells.push(cell);
+        }
+        println!("{:<22} {:>7} {:>14} {:>14}", name, power, cells[0], cells[1]);
+    }
+    println!("every verdict agrees with setcon — both directions of the FACT hold");
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+
+    let (_, alpha, _) = model_portfolio().into_iter().nth(1).unwrap(); // 1-resilient
+    let r_a = fair_affine_task(&alpha);
+    c.bench_function("exp6_solvable_verdict_k2", |b| {
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        b.iter(|| set_consensus_verdict(&t, &r_a, 1, 3_000_000).is_solvable())
+    });
+    c.bench_function("exp6_unsolvable_verdict_k1", |b| {
+        let t = SetConsensus::new(3, 1, &[0, 1, 2]);
+        b.iter(|| {
+            matches!(
+                set_consensus_verdict(&t, &r_a, 1, 3_000_000),
+                Solvability::NoMapUpTo { .. }
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

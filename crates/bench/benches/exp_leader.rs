@@ -1,0 +1,90 @@
+//! Experiment E4 — Properties 9, 10 and 12 of the leader-election map
+//! `µ_Q` (Section 6.2), verified exhaustively over every facet of `R_A`,
+//! every coalition `Q` and every sub-simplex, for the model portfolio and
+//! the full fair-adversary census.
+
+use act_adversary::{zoo, AgreementFunction};
+use act_affine::fair_affine_task;
+use act_bench::{banner, model_portfolio};
+use act_topology::ColorSet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact::LeaderMap;
+
+fn check_model(alpha: &AgreementFunction) -> usize {
+    let r = fair_affine_task(alpha);
+    let lm = LeaderMap::new(r.complex(), alpha);
+    let full = ColorSet::full(3);
+    let mut checks = 0usize;
+    for facet in r.complex().facets() {
+        for q in full.non_empty_subsets() {
+            let theta = facet.filter(|v| q.contains(r.complex().color(v)));
+            for sub in theta.non_empty_faces() {
+                let mut leaders = ColorSet::EMPTY;
+                for &v in sub.vertices() {
+                    let leader = lm.mu_q(v, q);
+                    assert!(q.contains(leader), "Property 9: leader ∈ Q");
+                    assert!(
+                        r.complex().base_colors_of_vertex(v).contains(leader),
+                        "Property 9: leader observed"
+                    );
+                    let seen = r.complex().base_colors_of_vertex(v);
+                    assert_eq!(
+                        leader,
+                        lm.mu_q(v, q.intersection(seen)),
+                        "Property 12: robustness"
+                    );
+                    leaders = leaders.with(leader);
+                }
+                let carrier = r.complex().carrier_colors(&sub);
+                assert!(
+                    leaders.len() <= alpha.alpha(carrier),
+                    "Property 10: agreement"
+                );
+                checks += 1;
+            }
+        }
+    }
+    checks
+}
+
+fn print_experiment_data() {
+    banner("E4", "µ_Q leader election (Properties 9, 10, 12)");
+    println!("{:<22} {:>12}", "model", "checks");
+    for (name, alpha, power) in model_portfolio() {
+        if power == 0 {
+            continue;
+        }
+        let checks = check_model(&alpha);
+        println!("{name:<22} {checks:>12}");
+    }
+    let mut census = 0usize;
+    let mut models = 0usize;
+    for a in zoo::all_fair_adversaries(3) {
+        if a.setcon() == 0 {
+            continue;
+        }
+        let alpha = AgreementFunction::of_adversary(&a);
+        census += check_model(&alpha);
+        models += 1;
+    }
+    println!("fair census: {census} checks across {models} models, 0 violations");
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+
+    let alpha = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+    c.bench_function("exp4_mu_q_full_verification", |b| b.iter(|| check_model(&alpha)));
+    let r = fair_affine_task(&alpha);
+    let lm = LeaderMap::new(r.complex(), &alpha);
+    let v = r.complex().used_vertices()[0];
+    let q = ColorSet::full(3);
+    c.bench_function("exp4_mu_q_single_query", |b| b.iter(|| lm.mu_q(v, q)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

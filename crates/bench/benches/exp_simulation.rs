@@ -1,0 +1,104 @@
+//! Experiment E5 — Theorem 15 (Lemmas 13, 14): simulating the α-model in
+//! `R_A^*`. α-adaptive set consensus via `µ_Q` (validity, α-agreement,
+//! termination) and the emulated atomic-snapshot memory (atomicity
+//! axioms) over sampled affine-model runs.
+
+use std::collections::HashMap;
+
+use act_affine::fair_affine_task;
+use act_bench::{banner, model_portfolio};
+use act_topology::{ColorSet, ProcessId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact::{iteration_views, AdaptiveSetConsensus, AffineRunGenerator, SnapshotSimulation};
+use rand::SeedableRng;
+
+fn print_experiment_data() {
+    banner("E5", "simulation of the α-model in R_A^* (Theorem 15)");
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(55);
+    println!(
+        "{:<22} {:>6} {:>10} {:>10} {:>12}",
+        "model", "α(Π)", "runs", "max vals", "max rounds"
+    );
+    for (name, alpha, power) in model_portfolio() {
+        if power == 0 {
+            continue;
+        }
+        let task = fair_affine_task(&alpha);
+        let solver = AdaptiveSetConsensus::new(&task, &alpha);
+        let full = ColorSet::full(3);
+        let mut max_vals = 0usize;
+        let mut max_rounds = 0usize;
+        let runs = 200usize;
+        for _ in 0..runs {
+            let proposals: HashMap<ProcessId, u64> =
+                full.iter().map(|p| (p, 7 + p.index() as u64)).collect();
+            let decisions = solver.solve(full, full, &proposals, &mut rng, 64);
+            let mut values: Vec<u64> = decisions.iter().map(|d| d.value).collect();
+            values.sort_unstable();
+            values.dedup();
+            assert!(values.len() <= alpha.alpha(full), "α-agreement");
+            max_vals = max_vals.max(values.len());
+            max_rounds = max_rounds.max(decisions.iter().map(|d| d.round).max().unwrap());
+        }
+        println!(
+            "{:<22} {:>6} {:>10} {:>10} {:>12}",
+            name,
+            alpha.alpha(full),
+            runs,
+            max_vals,
+            max_rounds
+        );
+    }
+
+    // Atomic-snapshot emulation over affine runs.
+    let (_, alpha, _) = &model_portfolio()[1]; // 1-resilient
+    let task = fair_affine_task(alpha);
+    let generator = AffineRunGenerator::new(&task, ColorSet::full(3));
+    let mut sim = SnapshotSimulation::new(3);
+    for round in 0..60 {
+        if round % 2 == 0 {
+            for i in 0..3 {
+                sim.stage_write(ProcessId::new(i), (round * 10 + i) as u64);
+            }
+        }
+        let iter = generator.next_iteration(&mut rng);
+        sim.step_round(&iteration_views(task.complex(), &iter, 3));
+    }
+    sim.check_atomicity().expect("atomicity axioms");
+    println!(
+        "atomic-snapshot emulation: {} snapshots logged, atomicity verified",
+        sim.snapshots().len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+
+    let (_, alpha, _) = model_portfolio().into_iter().nth(5).unwrap(); // figure-5b
+    let task = fair_affine_task(&alpha);
+    let solver = AdaptiveSetConsensus::new(&task, &alpha);
+    let full = ColorSet::full(3);
+    let proposals: HashMap<ProcessId, u64> =
+        full.iter().map(|p| (p, p.index() as u64)).collect();
+    c.bench_function("exp5_adaptive_set_consensus", |b| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(56);
+        b.iter(|| solver.solve(full, full, &proposals, &mut rng, 64).len())
+    });
+    c.bench_function("exp5_snapshot_simulation_round", |b| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(57);
+        let generator = AffineRunGenerator::new(&task, full);
+        let mut sim = SnapshotSimulation::new(3);
+        b.iter(|| {
+            sim.stage_write(ProcessId::new(0), 1);
+            let iter = generator.next_iteration(&mut rng);
+            sim.step_round(&iteration_views(task.complex(), &iter, 3));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

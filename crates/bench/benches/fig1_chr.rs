@@ -1,0 +1,58 @@
+//! Figure 1 — (a) the standard chromatic subdivision `Chr s` and (b) the
+//! affine task `R_{1-res}` of 1-resilience, for 3 processes.
+//!
+//! Regenerates the combinatorial data of both sub-figures and times the
+//! constructions.
+
+use act_affine::t_resilient_task;
+use act_bench::banner;
+use act_topology::{fubini, Complex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn print_figure_data() {
+    banner("Figure 1a", "Chr s, n = 3");
+    let chr = Complex::standard(3).chromatic_subdivision();
+    println!("f-vector (vertices, edges, triangles): {:?}", chr.f_vector());
+    assert_eq!(chr.f_vector(), vec![12, 24, 13]);
+    for n in 1..=5 {
+        let count = Complex::standard(n).chromatic_subdivision().facet_count();
+        println!("facets of Chr s for n = {n}: {count} (Fubini {})", fubini(n));
+        assert_eq!(count as u64, fubini(n));
+    }
+
+    banner("Figure 1b", "R_{1-res}, n = 3");
+    let r = t_resilient_task(3, 1);
+    println!(
+        "R_1-res: {} of 169 facets of Chr² s survive (every process sees ≥ 2 processes)",
+        r.complex().facet_count()
+    );
+    assert_eq!(r.complex().facet_count(), 142);
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_data();
+
+    let mut g = c.benchmark_group("fig1_chr_construction");
+    for n in 2..=4usize {
+        g.bench_with_input(BenchmarkId::new("chr", n), &n, |b, &n| {
+            let s = Complex::standard(n);
+            b.iter(|| s.chromatic_subdivision().facet_count())
+        });
+        g.bench_with_input(BenchmarkId::new("chr2", n), &n, |b, &n| {
+            let s = Complex::standard(n);
+            b.iter(|| s.iterated_subdivision(2).facet_count())
+        });
+    }
+    g.finish();
+
+    c.bench_function("fig1b_r_1res_construction", |b| {
+        b.iter(|| t_resilient_task(3, 1).complex().facet_count())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

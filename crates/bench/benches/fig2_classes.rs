@@ -1,0 +1,64 @@
+//! Figure 2 — the adversary class diagram (superset-closed ⊆ fair,
+//! symmetric ⊆ fair, both strict, t-resilient in the intersection,
+//! k-obstruction-free symmetric but not superset-closed), checked by an
+//! exhaustive census over all 128 adversaries on 3 processes.
+
+use act_adversary::{zoo, Adversary};
+use act_bench::banner;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_figure_data() {
+    banner("Figure 2", "adversary classes over 3 processes (exhaustive census)");
+    let all = zoo::all_adversaries(3);
+    let mut fair = 0;
+    let mut sym = 0;
+    let mut ssc = 0;
+    let mut sym_and_ssc = 0;
+    let mut fair_only = 0;
+    for a in &all {
+        let (f, s, c) = (a.is_fair(), a.is_symmetric(), a.is_superset_closed());
+        assert!(!s || f, "symmetric ⊆ fair");
+        assert!(!c || f, "superset-closed ⊆ fair");
+        fair += usize::from(f);
+        sym += usize::from(s);
+        ssc += usize::from(c);
+        sym_and_ssc += usize::from(s && c);
+        fair_only += usize::from(f && !s && !c);
+    }
+    println!("total adversaries        : {}", all.len());
+    println!("fair                     : {fair}");
+    println!("symmetric                : {sym}");
+    println!("superset-closed          : {ssc}");
+    println!("symmetric ∩ ssc          : {sym_and_ssc}");
+    println!("fair \\ (sym ∪ ssc)       : {fair_only}");
+    println!("unfair                   : {}", all.len() - fair);
+    assert!(fair_only > 0, "the fair class is strictly larger (paper's Figure 2)");
+    // t-resilience sits in the intersection; k-OF is symmetric only.
+    assert!(Adversary::t_resilient(3, 1).is_symmetric());
+    assert!(Adversary::t_resilient(3, 1).is_superset_closed());
+    assert!(Adversary::k_obstruction_free(3, 1).is_symmetric());
+    assert!(!Adversary::k_obstruction_free(3, 1).is_superset_closed());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_data();
+
+    c.bench_function("fig2_fairness_check_t_resilient", |b| {
+        let a = Adversary::t_resilient(3, 1);
+        b.iter(|| a.is_fair())
+    });
+    c.bench_function("fig2_full_census", |b| {
+        b.iter(|| zoo::all_fair_adversaries(3).len())
+    });
+    c.bench_function("fig2_fairness_check_n5", |b| {
+        let a = Adversary::t_resilient(5, 2);
+        b.iter(|| a.is_fair())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

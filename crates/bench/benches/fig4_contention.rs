@@ -1,0 +1,74 @@
+//! Figure 4 — the 2-contention complex `Cont²` of `Chr² s` (Definition 5)
+//! and the two detailed runs of sub-figures 4a/4b.
+
+use act_affine::{contention_complex, is_contention_simplex, max_contention_dim};
+use act_bench::banner;
+use act_topology::{ColorSet, Complex, Osp};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_figure_data() {
+    banner("Figure 4", "the 2-contention complex Cont², n = 3");
+    let chr2 = Complex::standard(3).iterated_subdivision(2);
+    let cont = contention_complex(&chr2);
+    println!("maximal contention simplices : {}", cont.facet_count());
+    println!("contention complex dimension : {}", cont.dim());
+    let mut by_dim = [0usize; 3];
+    for facet in chr2.facets() {
+        for face in facet.non_empty_faces() {
+            if face.dim() >= 1 && is_contention_simplex(&chr2, &face) {
+                by_dim[face.dim() as usize] += 1;
+            }
+        }
+    }
+    println!("contending pairs (counted per facet) : {}", by_dim[1]);
+    println!("contending triples (counted per facet): {}", by_dim[2]);
+
+    // 4a: fully reversed ordered runs contend pairwise.
+    let r1 = Osp::new(vec![
+        ColorSet::from_indices([1]),
+        ColorSet::from_indices([0]),
+        ColorSet::from_indices([2]),
+    ])
+    .unwrap();
+    let r2 = Osp::new(vec![
+        ColorSet::from_indices([2]),
+        ColorSet::from_indices([0]),
+        ColorSet::from_indices([1]),
+    ])
+    .unwrap();
+    let s = Complex::standard(3);
+    let run4a = s.subdivide_patterned(2, move |_| vec![vec![r1.clone(), r2.clone()]]);
+    println!(
+        "4a reversed runs: max contention dim = {}",
+        max_contention_dim(&run4a, &run4a.facets()[0])
+    );
+    assert_eq!(max_contention_dim(&run4a, &run4a.facets()[0]), 2);
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_data();
+
+    let chr2 = Complex::standard(3).iterated_subdivision(2);
+    c.bench_function("fig4_contention_complex_n3", |b| {
+        b.iter(|| contention_complex(&chr2).facet_count())
+    });
+    c.bench_function("fig4_max_contention_per_facet", |b| {
+        b.iter(|| {
+            chr2.facets()
+                .iter()
+                .map(|f| max_contention_dim(&chr2, f))
+                .max()
+        })
+    });
+    let chr2_4 = Complex::standard(4).iterated_subdivision(2);
+    c.bench_function("fig4_contention_complex_n4", |b| {
+        b.iter(|| contention_complex(&chr2_4).facet_count())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Figure 5 — critical simplices (Definition 7) for the two example
+//! models: the 1-obstruction-free α-model (5a) and the adversary
+//! `{p2}, {p1,p3}` + supersets (5b).
+
+use act_adversary::{zoo, AgreementFunction};
+use act_affine::CriticalAnalysis;
+use act_bench::banner;
+use act_topology::Complex;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn distinct_critical(chr: &Complex, alpha: &AgreementFunction) -> Vec<(usize, usize)> {
+    // Returns (dimension, count) pairs of distinct critical simplices.
+    let crit = CriticalAnalysis::new(chr, alpha);
+    let mut distinct = std::collections::BTreeSet::new();
+    for facet in chr.facets() {
+        for face in facet.non_empty_faces() {
+            if crit.is_critical(&face) {
+                distinct.insert(face);
+            }
+        }
+    }
+    let mut by_dim = std::collections::BTreeMap::new();
+    for s in &distinct {
+        *by_dim.entry(s.dim() as usize).or_insert(0usize) += 1;
+    }
+    by_dim.into_iter().collect()
+}
+
+fn print_figure_data() {
+    let chr = Complex::standard(3).chromatic_subdivision();
+
+    banner("Figure 5a", "critical simplices of the 1-OF α-model");
+    let alpha_a = AgreementFunction::k_concurrency(3, 1);
+    let by_dim = distinct_critical(&chr, &alpha_a);
+    println!("critical simplices by dimension: {by_dim:?}");
+    let total_a: usize = by_dim.iter().map(|&(_, c)| c).sum();
+    println!("total: {total_a} (the synchronous simplex of every face of s)");
+    assert_eq!(total_a, 7);
+
+    banner("Figure 5b", "critical simplices of {p2},{p1,p3}+supersets");
+    let alpha_b = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+    let by_dim = distinct_critical(&chr, &alpha_b);
+    println!("critical simplices by dimension: {by_dim:?}");
+    let total_b: usize = by_dim.iter().map(|&(_, c)| c).sum();
+    println!("total: {total_b}");
+    assert!(total_b > total_a, "the richer adversary has more witnesses");
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_data();
+
+    let chr = Complex::standard(3).chromatic_subdivision();
+    let alpha_a = AgreementFunction::k_concurrency(3, 1);
+    let alpha_b = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+    c.bench_function("fig5a_critical_enumeration", |b| {
+        b.iter(|| distinct_critical(&chr, &alpha_a).len())
+    });
+    c.bench_function("fig5b_critical_enumeration", |b| {
+        b.iter(|| distinct_critical(&chr, &alpha_b).len())
+    });
+    let chr4 = Complex::standard(4).chromatic_subdivision();
+    let alpha4 = AgreementFunction::k_concurrency(4, 2);
+    c.bench_function("fig5_critical_enumeration_n4", |b| {
+        b.iter(|| distinct_critical(&chr4, &alpha4).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Figure 6 — the concurrency map `Conc_α` (Definition 8) over `Chr s`
+//! for the two example models: the histogram of concurrency levels over
+//! all simplices, and the star-structure observation of the paper (a
+//! simplex's level is the best agreement power among the critical
+//! simplices it contains).
+
+use act_adversary::{zoo, AgreementFunction};
+use act_affine::CriticalAnalysis;
+use act_bench::banner;
+use act_topology::Complex;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn histogram(chr: &Complex, alpha: &AgreementFunction) -> Vec<(usize, usize)> {
+    let mut crit = CriticalAnalysis::new(chr, alpha);
+    let mut hist = std::collections::BTreeMap::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for facet in chr.facets() {
+        for face in facet.non_empty_faces() {
+            if seen.insert(face.clone()) {
+                *hist.entry(crit.concurrency(&face)).or_insert(0usize) += 1;
+            }
+        }
+    }
+    hist.into_iter().collect()
+}
+
+fn print_figure_data() {
+    let chr = Complex::standard(3).chromatic_subdivision();
+
+    banner("Figure 6a", "concurrency map of the 1-OF α-model");
+    let alpha_a = AgreementFunction::k_concurrency(3, 1);
+    let h = histogram(&chr, &alpha_a);
+    println!("distinct simplices per concurrency level: {h:?}");
+    assert!(h.iter().all(|&(lvl, _)| lvl <= 1), "1-OF levels are 0 or 1");
+
+    banner("Figure 6b", "concurrency map of {p2},{p1,p3}+supersets");
+    let alpha_b = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+    let h = histogram(&chr, &alpha_b);
+    println!("distinct simplices per concurrency level: {h:?}");
+    assert_eq!(
+        h.iter().map(|&(lvl, _)| lvl).collect::<Vec<_>>(),
+        vec![0, 1, 2],
+        "levels 0, 1, 2 all occur (black, orange, green in the figure)"
+    );
+
+    // The star-structure observation: Conc(σ) equals the max power of the
+    // critical simplices contained in σ.
+    let mut crit = CriticalAnalysis::new(&chr, &alpha_b);
+    for facet in chr.facets() {
+        for face in facet.non_empty_faces() {
+            let info = crit.analyze(&face).clone();
+            let expected = info
+                .critical
+                .iter()
+                .map(|t| alpha_b.alpha(chr.carrier_colors(t)))
+                .max()
+                .unwrap_or(0);
+            assert_eq!(info.concurrency, expected);
+        }
+    }
+    println!("star-structure identity verified on every simplex of Chr s");
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_data();
+
+    let chr = Complex::standard(3).chromatic_subdivision();
+    let alpha_b = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+    c.bench_function("fig6_concurrency_histogram", |b| {
+        b.iter(|| histogram(&chr, &alpha_b).len())
+    });
+    let chr4 = Complex::standard(4).chromatic_subdivision();
+    let alpha4 = AgreementFunction::k_concurrency(4, 2);
+    c.bench_function("fig6_concurrency_histogram_n4", |b| {
+        b.iter(|| histogram(&chr4, &alpha4).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Figure 7 — the affine tasks `R_A` (Definition 9) of the two example
+//! models, plus the cross-construction relationship with `R_{k-OF}`
+//! (Definition 6) and `R_{t-res}` (Saraph et al.).
+
+use act_adversary::{zoo, AgreementFunction};
+use act_affine::{
+    fair_affine_task, fair_affine_task_with, k_obstruction_free_task, t_resilient_task,
+    CriticalSideCondition,
+};
+use act_bench::banner;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_figure_data() {
+    banner("Figure 7a", "R_A of the 1-OF α-model");
+    let alpha_a = AgreementFunction::k_concurrency(3, 1);
+    let r_a = fair_affine_task(&alpha_a);
+    println!("facets: {} of 169", r_a.complex().facet_count());
+    let def6 = k_obstruction_free_task(3, 1);
+    println!(
+        "R_1-OF (Def 6): {} facets; equal to R_A: {}",
+        def6.complex().facet_count(),
+        r_a.complex().same_complex(def6.complex())
+    );
+    assert!(r_a.complex().same_complex(def6.complex()));
+
+    banner("Figure 7b", "R_A of {p2},{p1,p3}+supersets");
+    let alpha_b = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+    let r_b = fair_affine_task(&alpha_b);
+    println!("facets: {} of 169", r_b.complex().facet_count());
+
+    banner("Figure 7+", "Definition 9 vs Definition 6 across k (reproduction finding)");
+    for k in 1..=3usize {
+        let alpha = AgreementFunction::k_concurrency(3, k);
+        let union = fair_affine_task_with(&alpha, CriticalSideCondition::Union);
+        let triple = fair_affine_task_with(&alpha, CriticalSideCondition::TripleIntersection);
+        let def6 = k_obstruction_free_task(3, k);
+        println!(
+            "k = {k}: |R_A(union)| = {:>3}  |R_A(triple)| = {:>3}  |R_k-OF(Def 6)| = {:>3}",
+            union.complex().facet_count(),
+            triple.complex().facet_count(),
+            def6.complex().facet_count()
+        );
+        assert!(union
+            .complex()
+            .canonical_facets()
+            .is_subset(&def6.complex().canonical_facets()));
+    }
+    let r1res_direct = t_resilient_task(3, 1);
+    let alpha_1res = AgreementFunction::of_adversary(&act_adversary::Adversary::t_resilient(3, 1));
+    let r1res_general = fair_affine_task(&alpha_1res);
+    println!(
+        "1-resilience: |R_A(Def 9)| = {}  |R_t-res(Saraph)| = {}  equal = {}",
+        r1res_general.complex().facet_count(),
+        r1res_direct.complex().facet_count(),
+        r1res_general.complex().same_complex(r1res_direct.complex())
+    );
+
+    banner("Figure 7 @ n=4", "the divergence at four processes");
+    for k in 1..=3usize {
+        let alpha = AgreementFunction::k_concurrency(4, k);
+        let general = fair_affine_task(&alpha);
+        let direct = k_obstruction_free_task(4, k);
+        let g = general.complex().canonical_facets();
+        let d = direct.complex().canonical_facets();
+        println!(
+            "k = {k}: |R_A| = {:>4}  |R_k-OF| = {:>4}  R_A⊆Def6 = {}  Def6⊆R_A = {}",
+            g.len(),
+            d.len(),
+            g.is_subset(&d),
+            d.is_subset(&g)
+        );
+    }
+    for t in 1..=2usize {
+        let alpha =
+            AgreementFunction::of_adversary(&act_adversary::Adversary::t_resilient(4, t));
+        let general = fair_affine_task(&alpha);
+        let direct = t_resilient_task(4, t);
+        println!(
+            "t = {t}: |R_A| = {:>4}  |R_t-res| = {:>4}  equal = {}",
+            general.complex().facet_count(),
+            direct.complex().facet_count(),
+            general.complex().same_complex(direct.complex())
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_data();
+
+    let alpha_a = AgreementFunction::k_concurrency(3, 1);
+    let alpha_b = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+    c.bench_function("fig7a_r_a_construction_1of", |b| {
+        b.iter(|| fair_affine_task(&alpha_a).complex().facet_count())
+    });
+    c.bench_function("fig7b_r_a_construction_fig5b", |b| {
+        b.iter(|| fair_affine_task(&alpha_b).complex().facet_count())
+    });
+    let alpha4 = AgreementFunction::k_concurrency(4, 2);
+    c.bench_function("fig7_r_a_construction_n4", |b| {
+        b.iter(|| fair_affine_task(&alpha4).complex().facet_count())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! P1–P4 — performance envelope for downstream users: scaling of the
+//! subdivision machinery, `R_A` construction, `setcon`, and the map
+//! search, as a function of system size.
+
+use act_adversary::{Adversary, AgreementFunction, SetconSolver};
+use act_affine::fair_affine_task;
+use act_bench::banner;
+use act_tasks::{find_carried_map, SetConsensus};
+use act_topology::{ColorSet, Complex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fact::affine_domain;
+
+fn print_experiment_data() {
+    banner("P1-P4", "scaling envelope");
+    for n in 2..=5usize {
+        let chr = Complex::standard(n).chromatic_subdivision();
+        println!("n = {n}: |facets(Chr s)| = {}", chr.facet_count());
+    }
+    for n in 2..=4usize {
+        let chr2 = Complex::standard(n).iterated_subdivision(2);
+        println!("n = {n}: |facets(Chr² s)| = {}", chr2.facet_count());
+    }
+    for n in 2..=4usize {
+        let alpha = AgreementFunction::k_concurrency(n, 1.max(n - 1));
+        let r = fair_affine_task(&alpha);
+        println!("n = {n}: |facets(R_(n-1)-OF)| = {}", r.complex().facet_count());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+
+    // P1: subdivision scaling.
+    let mut g = c.benchmark_group("p1_chr_scaling");
+    for n in 2..=5usize {
+        g.bench_with_input(BenchmarkId::new("chr", n), &n, |b, &n| {
+            let s = Complex::standard(n);
+            b.iter(|| s.chromatic_subdivision().facet_count())
+        });
+    }
+    g.finish();
+
+    // P2: R_A construction scaling.
+    let mut g = c.benchmark_group("p2_r_a_scaling");
+    for n in 2..=4usize {
+        g.bench_with_input(BenchmarkId::new("r_a_kof", n), &n, |b, &n| {
+            let alpha = AgreementFunction::k_concurrency(n, 1.max(n - 1));
+            b.iter(|| fair_affine_task(&alpha).complex().facet_count())
+        });
+    }
+    g.finish();
+
+    // P3: setcon scaling over adversary size.
+    let mut g = c.benchmark_group("p3_setcon_scaling");
+    for n in 4..=8usize {
+        g.bench_with_input(BenchmarkId::new("t_resilient", n), &n, |b, &n| {
+            let a = Adversary::t_resilient(n, n / 2);
+            b.iter(|| {
+                let mut solver = SetconSolver::new(&a);
+                solver.setcon(ColorSet::full(n))
+            })
+        });
+    }
+    g.finish();
+
+    // P4: map search on the solvable side.
+    c.bench_function("p4_map_search_2set_1res", |b| {
+        let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+        let r_a = fair_affine_task(&alpha);
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let domain = affine_domain(&r_a, &t.rainbow_inputs(), 1);
+        b.iter(|| find_carried_map(&t, &domain, 3_000_000).is_found())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared support for the figure/experiment regeneration benches.
+//!
+//! Every bench in `benches/` regenerates one figure or validates one
+//! theorem of the paper, printing the same data series the paper reports
+//! (facet counts, class censuses, histograms, verdict tables) before
+//! running its timed measurements. The printed blocks are delimited so
+//! `EXPERIMENTS.md` can be checked against `cargo bench` output.
+
+use act_adversary::{zoo, Adversary, AgreementFunction};
+
+/// Prints a delimited figure/experiment data block.
+pub fn banner(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// The model portfolio used across experiments: name, agreement function,
+/// and `setcon`.
+pub fn model_portfolio() -> Vec<(String, AgreementFunction, usize)> {
+    vec![
+        model("wait-free", Adversary::wait_free(3)),
+        model("1-resilient", Adversary::t_resilient(3, 1)),
+        model("0-resilient", Adversary::t_resilient(3, 0)),
+        model("1-obstruction-free", Adversary::k_obstruction_free(3, 1)),
+        model("2-obstruction-free", Adversary::k_obstruction_free(3, 2)),
+        model("figure-5b", zoo::figure_5b_adversary()),
+    ]
+}
+
+fn model(name: &str, a: Adversary) -> (String, AgreementFunction, usize) {
+    let alpha = AgreementFunction::of_adversary(&a);
+    let power = a.setcon();
+    (name.to_string(), alpha, power)
+}

@@ -1,0 +1,460 @@
+//! Algorithm 1 of the paper: solving the affine task `R_A` in the α-model.
+//!
+//! Every process runs two immediate-snapshot protocols (`FirstIS`,
+//! `SecondIS` — here the genuine Borowsky–Gafni protocol over snapshot
+//! memory), separated by the *waiting phase* of Lines 5–9: a process may
+//! proceed to `SecondIS` once it knows it belongs to a critical simplex
+//! (`crit`), or once the number of potentially contending processes drops
+//! below the current concurrency level (`rank < conc`). After `SecondIS`,
+//! a process that completes a critical simplex publishes its agreement
+//! power in its `Conc` register (Lines 11–12).
+//!
+//! The waiting-phase test reads several registers; following the paper's
+//! pseudocode we model each evaluation of the condition as one atomic scan
+//! (the condition is monotone — once true it stays true — so the
+//! granularity does not affect correctness).
+
+use act_adversary::AgreementFunction;
+use act_runtime::{IsProcess, IsShared, System};
+use act_topology::{ColorSet, Complex, ProcessId, Simplex, VertexId};
+
+/// The per-process output of Algorithm 1: the two immediate-snapshot
+/// views, with the first-round views of every process seen in the second
+/// round (enough to identify a vertex of `Chr² s`).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AlgorithmOneOutput {
+    /// The process.
+    pub process: ProcessId,
+    /// `View1`: the processes seen by `FirstIS`.
+    pub view1: ColorSet,
+    /// The second-round immediate snapshot: each seen process together
+    /// with its `View1`.
+    pub view2: Vec<(ProcessId, ColorSet)>,
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    First(IsProcess<ProcessId>),
+    WriteIs1 { view1: ColorSet },
+    Waiting { view1: ColorSet },
+    Second { view1: ColorSet, is: IsProcess<ColorSet> },
+    WriteIs2 { view1: ColorSet, view2: Vec<(ProcessId, ColorSet)> },
+    CheckConc { view1: ColorSet, view2: Vec<(ProcessId, ColorSet)> },
+    SetConc { view1: ColorSet, view2: Vec<(ProcessId, ColorSet)> },
+    Done(AlgorithmOneOutput),
+    NotParticipating,
+}
+
+/// A complete system running Algorithm 1 for a set of participants in the
+/// α-model, pluggable into the `act-runtime` schedulers.
+///
+/// # Examples
+///
+/// ```
+/// use act_adversary::AgreementFunction;
+/// use act_runtime::{run_adversarial, System};
+/// use act_topology::ColorSet;
+/// use fact::AlgorithmOneSystem;
+/// use rand::SeedableRng;
+///
+/// let alpha = AgreementFunction::k_concurrency(3, 1);
+/// let mut sys = AlgorithmOneSystem::new(&alpha, ColorSet::full(3));
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let correct = ColorSet::full(3);
+/// let outcome = run_adversarial(&mut sys, ColorSet::full(3), correct, &mut rng, |_| 0, 100_000);
+/// assert!(outcome.all_correct_terminated);
+/// ```
+pub struct AlgorithmOneSystem<'a> {
+    alpha: &'a AgreementFunction,
+    n: usize,
+    waiting_enabled: bool,
+    first_shared: IsShared<ProcessId>,
+    second_shared: IsShared<ColorSet>,
+    is1: Vec<Option<ColorSet>>,
+    is2: Vec<Option<ColorSet>>,
+    conc: Vec<usize>,
+    phases: Vec<Phase>,
+}
+
+impl<'a> AlgorithmOneSystem<'a> {
+    /// Creates the system for the given α-model and participating set.
+    pub fn new(alpha: &'a AgreementFunction, participants: ColorSet) -> Self {
+        Self::with_waiting(alpha, participants, true)
+    }
+
+    /// **Ablation constructor**: Algorithm 1 with the waiting phase of
+    /// Lines 5–9 disabled — every process proceeds to `SecondIS`
+    /// immediately. Used as a negative control: without the waiting
+    /// discipline, outputs escape `R_A` (the `exp_ablation` bench
+    /// measures how often).
+    pub fn new_without_waiting(
+        alpha: &'a AgreementFunction,
+        participants: ColorSet,
+    ) -> Self {
+        Self::with_waiting(alpha, participants, false)
+    }
+
+    fn with_waiting(
+        alpha: &'a AgreementFunction,
+        participants: ColorSet,
+        waiting_enabled: bool,
+    ) -> Self {
+        let n = alpha.num_processes();
+        let phases = (0..n)
+            .map(|i| {
+                let p = ProcessId::new(i);
+                if participants.contains(p) {
+                    Phase::First(IsProcess::new(n, p))
+                } else {
+                    Phase::NotParticipating
+                }
+            })
+            .collect();
+        AlgorithmOneSystem {
+            alpha,
+            n,
+            waiting_enabled,
+            first_shared: IsShared::new(n),
+            second_shared: IsShared::new(n),
+            is1: vec![None; n],
+            is2: vec![None; n],
+            conc: vec![0; n],
+            phases,
+        }
+    }
+
+    /// The output of process `p`, if it has decided.
+    pub fn output(&self, p: ProcessId) -> Option<&AlgorithmOneOutput> {
+        match &self.phases[p.index()] {
+            Phase::Done(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// All outputs produced so far.
+    pub fn outputs(&self) -> Vec<AlgorithmOneOutput> {
+        (0..self.n)
+            .filter_map(|i| self.output(ProcessId::new(i)).cloned())
+            .collect()
+    }
+
+    /// Line 7: whether `me` (with `view1`) currently belongs to a critical
+    /// simplex, judging from the published `IS1` registers.
+    fn crit(&self, view1: ColorSet) -> bool {
+        let same: ColorSet = (0..self.n)
+            .map(ProcessId::new)
+            .filter(|&q| self.is1[q.index()] == Some(view1))
+            .collect();
+        self.alpha.alpha(view1) > self.alpha.alpha(view1.minus(same))
+    }
+
+    /// Line 8: the number of processes in `view1` that have not yet
+    /// published a second snapshot and do not share `view1`.
+    fn rank(&self, view1: ColorSet) -> usize {
+        view1
+            .iter()
+            .filter(|&q| self.is2[q.index()].is_none() && self.is1[q.index()] != Some(view1))
+            .count()
+    }
+
+    /// Line 9: the current concurrency level.
+    fn conc_level(&self, view1: ColorSet) -> usize {
+        let shared_max = self.conc.iter().copied().max().unwrap_or(0);
+        self.alpha.alpha(view1).max(shared_max)
+    }
+
+    /// Lines 11–12 condition: whether `me`'s critical simplex has fully
+    /// terminated its second snapshot.
+    fn conc_publish(&self, view1: ColorSet) -> bool {
+        let same_terminated: ColorSet = (0..self.n)
+            .map(ProcessId::new)
+            .filter(|&q| {
+                self.is1[q.index()] == Some(view1) && self.is2[q.index()].is_some()
+            })
+            .collect();
+        self.alpha.alpha(view1) > self.alpha.alpha(view1.minus(same_terminated))
+    }
+}
+
+impl System for AlgorithmOneSystem<'_> {
+    fn step(&mut self, p: ProcessId) -> bool {
+        let i = p.index();
+        // Take the phase out to satisfy the borrow checker; put back after.
+        let phase = std::mem::replace(&mut self.phases[i], Phase::NotParticipating);
+        let next = match phase {
+            Phase::NotParticipating => Phase::NotParticipating,
+            Phase::Done(out) => Phase::Done(out),
+            Phase::First(mut is) => {
+                is.step(p, &mut self.first_shared);
+                match is.view() {
+                    Some(view1) => Phase::WriteIs1 { view1 },
+                    None => Phase::First(is),
+                }
+            }
+            Phase::WriteIs1 { view1 } => {
+                self.is1[i] = Some(view1);
+                Phase::Waiting { view1 }
+            }
+            Phase::Waiting { view1 } => {
+                if !self.waiting_enabled
+                    || self.crit(view1)
+                    || self.rank(view1) < self.conc_level(view1)
+                {
+                    Phase::Second { view1, is: IsProcess::new(self.n, view1) }
+                } else {
+                    Phase::Waiting { view1 }
+                }
+            }
+            Phase::Second { view1, mut is } => {
+                is.step(p, &mut self.second_shared);
+                match is.output() {
+                    Some(out) => {
+                        Phase::WriteIs2 { view1, view2: out.to_vec() }
+                    }
+                    None => Phase::Second { view1, is },
+                }
+            }
+            Phase::WriteIs2 { view1, view2 } => {
+                self.is2[i] = Some(view2.iter().map(|&(q, _)| q).collect());
+                Phase::CheckConc { view1, view2 }
+            }
+            Phase::CheckConc { view1, view2 } => {
+                if self.conc_publish(view1) {
+                    Phase::SetConc { view1, view2 }
+                } else {
+                    Phase::Done(AlgorithmOneOutput { process: p, view1, view2 })
+                }
+            }
+            Phase::SetConc { view1, view2 } => {
+                self.conc[i] = self.alpha.alpha(view1);
+                Phase::Done(AlgorithmOneOutput { process: p, view1, view2 })
+            }
+        };
+        self.phases[i] = next;
+        self.has_terminated(p)
+    }
+
+    fn has_terminated(&self, p: ProcessId) -> bool {
+        matches!(
+            self.phases[p.index()],
+            Phase::Done(_) | Phase::NotParticipating
+        )
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+}
+
+/// Resolves a set of Algorithm-1 outputs to a simplex of a level-2 complex
+/// over the standard simplex (`Chr² s` or a sub-complex such as `R_A`):
+/// each output identifies one vertex by its `(View1, View2)` structure.
+///
+/// Returns `None` if some described vertex does not exist in the complex's
+/// vertex table.
+///
+/// # Panics
+///
+/// Panics if the complex is not a level-2 subdivision of the standard
+/// simplex.
+pub fn outputs_to_simplex(
+    chr2: &Complex,
+    outputs: &[AlgorithmOneOutput],
+) -> Option<Simplex> {
+    assert_eq!(chr2.level(), 2, "Algorithm 1 outputs live in Chr² s");
+    let parent = chr2.parent().expect("level-2 complex has a parent");
+    let mut verts = Vec::with_capacity(outputs.len());
+    for out in outputs {
+        // Level-1 vertices of every process seen in the second round.
+        let mut carrier = Vec::with_capacity(out.view2.len());
+        for &(q, view1_q) in &out.view2 {
+            let base_carrier = Simplex::from_vertices(
+                view1_q.iter().map(|r| VertexId::from_index(r.index())),
+            );
+            carrier.push(parent.find_vertex(q, &base_carrier)?);
+        }
+        let carrier = Simplex::from_vertices(carrier);
+        verts.push(chr2.find_vertex(out.process, &carrier)?);
+    }
+    Some(Simplex::from_vertices(verts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_adversary::{zoo, Adversary};
+    use act_affine::fair_affine_task;
+    use act_runtime::run_adversarial;
+    use rand::SeedableRng;
+
+    fn models() -> Vec<AgreementFunction> {
+        vec![
+            AgreementFunction::k_concurrency(3, 1),
+            AgreementFunction::k_concurrency(3, 2),
+            AgreementFunction::of_adversary(&zoo::figure_5b_adversary()),
+            AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1)),
+            AgreementFunction::of_adversary(&Adversary::wait_free(3)),
+        ]
+    }
+
+    #[test]
+    fn algorithm_one_is_live_and_safe_under_random_schedules() {
+        // Theorem 7 (Lemmas 5 and 6), sampled: in every admissible α-model
+        // run, all correct processes decide and the outputs form a simplex
+        // of R_A.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2024);
+        for alpha in models() {
+            let r_a = fair_affine_task(&alpha);
+            let full = ColorSet::full(3);
+            for participants in full.non_empty_subsets() {
+                let power = alpha.alpha(participants);
+                if power == 0 {
+                    continue; // not admissible
+                }
+                for faulty in participants.subsets() {
+                    if faulty.len() > power - 1 || faulty == participants {
+                        continue;
+                    }
+                    let correct = participants.minus(faulty);
+                    for trial in 0..8 {
+                        let mut sys = AlgorithmOneSystem::new(&alpha, participants);
+                        let budget = trial * 3; // faulty processes crash early or late
+                        let outcome = run_adversarial(
+                            &mut sys,
+                            participants,
+                            correct,
+                            &mut rng,
+                            |_| budget,
+                            200_000,
+                        );
+                        assert!(
+                            outcome.all_correct_terminated,
+                            "liveness violated: α-model run must decide \
+                             (participants {participants}, correct {correct})"
+                        );
+                        let outputs = sys.outputs();
+                        let simplex = outputs_to_simplex(r_a.complex(), &outputs)
+                            .expect("outputs identify Chr² vertices");
+                        assert!(
+                            r_a.complex().contains_simplex(&simplex),
+                            "safety violated: outputs outside R_A \
+                             (participants {participants}, correct {correct})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn waiting_phase_blocks_overtaking() {
+        // 2-obstruction-freedom over 3 processes: after a sequential first
+        // round, the last process (full View1, not critical) must not
+        // complete SecondIS before anyone else. Drive it alone and observe
+        // it stuck in the waiting phase.
+        let alpha = AgreementFunction::k_concurrency(3, 2);
+        let mut sys = AlgorithmOneSystem::new(&alpha, ColorSet::full(3));
+        // Run p1, p2, p3 sequentially through FirstIS + register write.
+        for i in 0..3 {
+            let p = ProcessId::new(i);
+            for _ in 0..64 {
+                if matches!(sys.phases[i], Phase::Waiting { .. }) {
+                    break;
+                }
+                sys.step(p);
+            }
+            assert!(matches!(sys.phases[i], Phase::Waiting { .. }));
+        }
+        // p3 saw everyone; α({p1,p2,p3}) = 2 and rank = 2 (p1, p2 pending
+        // with smaller views): it must wait.
+        let p3 = ProcessId::new(2);
+        for _ in 0..100 {
+            sys.step(p3);
+        }
+        assert!(
+            matches!(sys.phases[2], Phase::Waiting { .. }),
+            "p3 must not overtake without a critical excuse"
+        );
+        // p1 has the smallest view: rank 0 < conc — it may proceed.
+        let p1 = ProcessId::new(0);
+        for _ in 0..100 {
+            sys.step(p1);
+        }
+        assert!(sys.has_terminated(p1), "the smallest-view process proceeds");
+        // Once p1 published IS2, p3's rank drops to 1 < 2: it proceeds.
+        for _ in 0..200 {
+            sys.step(p3);
+        }
+        assert!(sys.has_terminated(p3));
+    }
+
+    #[test]
+    fn ablation_without_waiting_phase_breaks_safety() {
+        // Negative control: drive the first IS sequentially p1, p2, p3,
+        // then the second in reverse. With the waiting phase disabled the
+        // overtaking succeeds and produces a contention pattern excluded
+        // from R_{1-OF}.
+        let alpha = AgreementFunction::k_concurrency(3, 1);
+        let r_a = fair_affine_task(&alpha);
+        let mut sys = AlgorithmOneSystem::new_without_waiting(&alpha, ColorSet::full(3));
+        // Round 1 sequential.
+        for i in 0..3 {
+            let p = ProcessId::new(i);
+            for _ in 0..64 {
+                if matches!(sys.phases[i], Phase::Waiting { .. }) {
+                    break;
+                }
+                sys.step(p);
+            }
+        }
+        // Round 2 in reverse order, run each process to completion.
+        for i in (0..3).rev() {
+            let p = ProcessId::new(i);
+            for _ in 0..200 {
+                sys.step(p);
+            }
+            assert!(sys.has_terminated(p), "no waiting: everyone sails through");
+        }
+        let simplex = outputs_to_simplex(r_a.complex(), &sys.outputs())
+            .expect("outputs are Chr² vertices");
+        assert!(
+            !r_a.complex().contains_simplex(&simplex),
+            "without the waiting phase the outputs escape R_A"
+        );
+        // The same schedule with the waiting phase enabled cannot reverse:
+        // the real algorithm blocks p3 (see waiting_phase_blocks_overtaking).
+    }
+
+    #[test]
+    fn solo_critical_process_need_not_wait() {
+        // 1-OF: a process running solo is critical (its View1 = {itself}
+        // witnesses power 1) and decides without anyone else moving.
+        let alpha = AgreementFunction::k_concurrency(3, 1);
+        let mut sys = AlgorithmOneSystem::new(&alpha, ColorSet::from_indices([1]));
+        let p2 = ProcessId::new(1);
+        for _ in 0..200 {
+            sys.step(p2);
+        }
+        assert!(sys.has_terminated(p2));
+        let out = sys.output(p2).unwrap();
+        assert_eq!(out.view1, ColorSet::from_indices([1]));
+        assert_eq!(out.view2, vec![(p2, ColorSet::from_indices([1]))]);
+    }
+
+    #[test]
+    fn outputs_resolve_into_full_chr2() {
+        let alpha = AgreementFunction::of_adversary(&Adversary::wait_free(3));
+        let chr2 = Complex::standard(3).iterated_subdivision(2);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..20 {
+            let full = ColorSet::full(3);
+            let mut sys = AlgorithmOneSystem::new(&alpha, full);
+            let outcome =
+                run_adversarial(&mut sys, full, full, &mut rng, |_| 0, 200_000);
+            assert!(outcome.all_correct_terminated);
+            let simplex = outputs_to_simplex(&chr2, &sys.outputs()).unwrap();
+            assert_eq!(simplex.len(), 3);
+            assert!(chr2.contains_simplex(&simplex));
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! `fact-cli` — command-line front end for the FACT reproduction.
+//!
+//! ```console
+//! $ fact-cli analyze t-res:3:1
+//! $ fact-cli analyze 'custom:3:{p2};{p1,p3}' --closure
+//! $ fact-cli solve k-of:3:2 2
+//! $ fact-cli simulate fig5b 200
+//! $ fact-cli census
+//! ```
+//!
+//! Models are specified as `wait-free:N`, `t-res:N:T`, `k-of:N:K`,
+//! `fig5b`, or `custom:N:{p1,p2};{p3};…` (live sets by process name;
+//! add `--closure` to close under supersets).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use fact::adversary::{zoo, Adversary, AgreementFunction};
+use fact::affine::fair_affine_task;
+use fact::runtime::run_adversarial;
+use fact::tasks::SetConsensus;
+use fact::topology::{
+    betti_numbers, connected_components, is_link_connected, ColorSet, ProcessId,
+};
+use fact::{
+    executed_set_consensus, execute_affine_iterations, outputs_to_simplex,
+    set_consensus_verdict, AlgorithmOneSystem, Solvability,
+};
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  fact-cli analyze <model> [--closure]   adversary/agreement/affine-task report
+  fact-cli solve <model> <k>             decide k-set consensus via the FACT
+  fact-cli simulate <model> <runs>       run Algorithm 1 under adversarial schedules
+  fact-cli census                        survey all 3-process adversaries
+
+models: wait-free:N | t-res:N:T | k-of:N:K | fig5b | custom:N:{p1,p2};{p3};...";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("solve") => solve(&args[1..]),
+        Some("simulate") => simulate(&args[1..]),
+        Some("census") => census(),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("missing command".into()),
+    }
+}
+
+/// Parses a model spec into an adversary.
+fn parse_model(spec: &str, closure: bool) -> Result<Adversary, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["wait-free", n] => Ok(Adversary::wait_free(parse_n(n)?)),
+        ["t-res", n, t] => {
+            let n = parse_n(n)?;
+            let t: usize = t.parse().map_err(|_| format!("bad t in {spec:?}"))?;
+            if t >= n {
+                return Err("t-resilience requires t < n".into());
+            }
+            Ok(Adversary::t_resilient(n, t))
+        }
+        ["k-of", n, k] => {
+            let n = parse_n(n)?;
+            let k: usize = k.parse().map_err(|_| format!("bad k in {spec:?}"))?;
+            if !(1..=n).contains(&k) {
+                return Err("k-obstruction-freedom requires 1 ≤ k ≤ n".into());
+            }
+            Ok(Adversary::k_obstruction_free(n, k))
+        }
+        ["fig5b"] => Ok(zoo::figure_5b_adversary()),
+        ["custom", n, sets] => {
+            let n = parse_n(n)?;
+            let mut live = Vec::new();
+            for block in sets.split(';') {
+                let block = block.trim().trim_start_matches('{').trim_end_matches('}');
+                let mut cs = ColorSet::EMPTY;
+                for name in block.split(',') {
+                    let name = name.trim();
+                    let idx: usize = name
+                        .strip_prefix('p')
+                        .and_then(|d| d.parse::<usize>().ok())
+                        .ok_or_else(|| format!("bad process name {name:?}"))?;
+                    if idx == 0 || idx > n {
+                        return Err(format!("process {name} outside 1..={n}"));
+                    }
+                    cs = cs.with(ProcessId::new(idx - 1));
+                }
+                if cs.is_empty() {
+                    return Err("empty live set".into());
+                }
+                live.push(cs);
+            }
+            Ok(if closure {
+                Adversary::superset_closure(n, live)
+            } else {
+                Adversary::from_live_sets(n, live)
+            })
+        }
+        _ => Err(format!("unrecognized model spec {spec:?}")),
+    }
+}
+
+fn parse_n(s: &str) -> Result<usize, String> {
+    let n: usize = s.parse().map_err(|_| format!("bad process count {s:?}"))?;
+    if !(1..=5).contains(&n) {
+        return Err("process counts 1..=5 are supported (Chr² explodes beyond)".into());
+    }
+    Ok(n)
+}
+
+fn analyze(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("analyze needs a model spec")?;
+    let closure = args.iter().any(|a| a == "--closure");
+    let a = parse_model(spec, closure)?;
+    let n = a.num_processes();
+    println!("adversary        : {a}");
+    println!("live sets        : {}", a.len());
+    println!("superset-closed  : {}", a.is_superset_closed());
+    println!("symmetric        : {}", a.is_symmetric());
+    match a.fairness_witness() {
+        None => println!("fair             : yes"),
+        Some(w) => println!(
+            "fair             : NO (setcon(A|{},{}) = {} ≠ min(|Q|, setcon(A|P)) = {})",
+            w.p, w.q, w.restricted_power, w.expected_power
+        ),
+    }
+    println!("setcon           : {}", a.setcon());
+    if a.is_superset_closed() {
+        println!("csize            : {}", a.csize());
+    }
+    let alpha = AgreementFunction::of_adversary(&a);
+    println!("agreement function:");
+    for p in ColorSet::full(n).non_empty_subsets() {
+        println!("  alpha({p}) = {}", alpha.alpha(p));
+    }
+    if alpha.alpha(ColorSet::full(n)) == 0 {
+        println!("the model admits no runs; no affine task");
+        return Ok(());
+    }
+    if n > 4 {
+        println!("(R_A construction skipped for n = {n}: Chr² too large)");
+        return Ok(());
+    }
+    let r = fair_affine_task(&alpha);
+    let c = r.complex();
+    println!("affine task R_A  : {} facets (of {} in Chr² s)", c.facet_count(), {
+        let full = fact::topology::Complex::standard(n).iterated_subdivision(2);
+        full.facet_count()
+    });
+    println!("components       : {}", connected_components(c));
+    println!("link-connected   : {}", is_link_connected(c));
+    println!("betti (GF(2))    : {:?}", betti_numbers(c));
+    Ok(())
+}
+
+fn solve(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("solve needs a model spec")?;
+    let k: usize = args
+        .get(1)
+        .ok_or("solve needs k")?
+        .parse()
+        .map_err(|_| "bad k")?;
+    let a = parse_model(spec, false)?;
+    let n = a.num_processes();
+    if !(1..n).contains(&k) {
+        return Err(format!("k must be in 1..{n} to be interesting"));
+    }
+    let alpha = AgreementFunction::of_adversary(&a);
+    if alpha.alpha(ColorSet::full(n)) == 0 {
+        return Err("the model admits no runs".into());
+    }
+    let r_a = fair_affine_task(&alpha);
+    let values: Vec<u64> = (0..=k as u64).collect();
+    let t = SetConsensus::new(n, k, &values);
+    println!("model setcon = {}; deciding {k}-set consensus…", a.setcon());
+    match set_consensus_verdict(&t, &r_a, 1, 5_000_000) {
+        Solvability::Solvable { iterations, .. } => {
+            println!("SOLVABLE with {iterations} iteration(s) of R_A (map verified by construction)")
+        }
+        Solvability::NoMapUpTo { max_iterations } => {
+            println!("NO MAP up to {max_iterations} iteration(s) — unsolvable at that depth")
+        }
+        Solvability::Exhausted { iterations } => {
+            println!("search budget exhausted at {iterations} iteration(s) — verdict unknown")
+        }
+    }
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("simulate needs a model spec")?;
+    let runs: usize = args
+        .get(1)
+        .map(|s| s.parse().map_err(|_| "bad run count"))
+        .transpose()?
+        .unwrap_or(100);
+    let a = parse_model(spec, false)?;
+    let n = a.num_processes();
+    let alpha = AgreementFunction::of_adversary(&a);
+    let full = ColorSet::full(n);
+    if alpha.alpha(full) == 0 {
+        return Err("the model admits no runs".into());
+    }
+    let r_a = fair_affine_task(&alpha);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC11);
+    let mut steps = 0usize;
+    let mut distinct = std::collections::BTreeSet::new();
+    for _ in 0..runs {
+        let mut sys = AlgorithmOneSystem::new(&alpha, full);
+        let outcome = run_adversarial(&mut sys, full, full, &mut rng, |_| 0, 500_000);
+        if !outcome.all_correct_terminated {
+            return Err("liveness violation — this would be a bug".into());
+        }
+        steps += outcome.steps;
+        let sx = outputs_to_simplex(r_a.complex(), &sys.outputs())
+            .ok_or("outputs did not resolve")?;
+        if !r_a.complex().contains_simplex(&sx) {
+            return Err("SAFETY violation — this would be a bug".into());
+        }
+        distinct.insert(sx);
+    }
+    println!("Algorithm 1: {runs} runs, all live and safe");
+    println!("average steps per run : {}", steps / runs.max(1));
+    println!("distinct output facets: {} / {}", distinct.len(), r_a.complex().facet_count());
+
+    // One executed iteration + µ_Q consensus for flavour.
+    let its = execute_affine_iterations(&r_a, &alpha, full, 1, &mut rng);
+    let proposals: HashMap<ProcessId, u64> =
+        full.iter().map(|p| (p, 100 + p.index() as u64)).collect();
+    let decisions = executed_set_consensus(&r_a, &alpha, &its[0], full, &proposals);
+    println!("µ_Q consensus on one executed run: {decisions:?}");
+    Ok(())
+}
+
+fn census() -> Result<(), String> {
+    let all = zoo::all_adversaries(3);
+    let fair = all.iter().filter(|a| a.is_fair()).count();
+    let sym = all.iter().filter(|a| a.is_symmetric()).count();
+    let ssc = all.iter().filter(|a| a.is_superset_closed()).count();
+    println!("adversaries over 3 processes : {}", all.len());
+    println!("fair                         : {fair}");
+    println!("symmetric                    : {sym}");
+    println!("superset-closed              : {ssc}");
+    // Distinct agreement functions among the fair ones with runs.
+    let mut alphas = std::collections::BTreeSet::new();
+    let mut tasks: HashMap<Vec<u8>, usize> = HashMap::new();
+    for a in all.iter().filter(|a| a.is_fair() && a.setcon() >= 1) {
+        let alpha = AgreementFunction::of_adversary(a);
+        let table: Vec<u8> = ColorSet::full(3)
+            .subsets()
+            .map(|p| alpha.alpha(p) as u8)
+            .collect();
+        alphas.insert(table.clone());
+        *tasks.entry(table).or_insert(0) += 1;
+    }
+    println!("distinct agreement functions among fair models with runs: {}", alphas.len());
+    println!("(fair adversaries with the same α share the same R_A and the same tasks)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_specs_parse() {
+        assert_eq!(parse_model("wait-free:3", false).unwrap().len(), 7);
+        assert_eq!(parse_model("t-res:3:1", false).unwrap().setcon(), 2);
+        assert_eq!(parse_model("k-of:4:2", false).unwrap().setcon(), 2);
+        assert!(parse_model("fig5b", false).unwrap().is_superset_closed());
+        let custom = parse_model("custom:3:{p2};{p1,p3}", true).unwrap();
+        assert_eq!(custom, zoo::figure_5b_adversary());
+        let raw = parse_model("custom:3:{p2};{p1,p3}", false).unwrap();
+        assert_eq!(raw.len(), 2);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(parse_model("nope:3", false).is_err());
+        assert!(parse_model("t-res:3:3", false).is_err());
+        assert!(parse_model("k-of:3:0", false).is_err());
+        assert!(parse_model("wait-free:9", false).is_err());
+        assert!(parse_model("custom:3:{p9}", false).is_err());
+        assert!(parse_model("custom:3:{}", false).is_err());
+    }
+
+    #[test]
+    fn commands_dispatch() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate".into()]).is_err());
+        assert!(run(&["census".into()]).is_ok());
+        assert!(run(&["analyze".into(), "k-of:3:1".into()]).is_ok());
+        assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into()]).is_ok());
+    }
+}

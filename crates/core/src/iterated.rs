@@ -1,0 +1,313 @@
+//! The fully *executed* `R_A^*` stack: iterating Algorithm 1 inside the
+//! α-model produces genuine runs of the affine model, on which the `µ_Q`
+//! machinery (and hence the whole Section-6 simulation) operates.
+//!
+//! This closes the loop between the two directions of the equivalence:
+//! Section 5 solves `R_A` *in* the α-model (Algorithm 1, real schedules);
+//! Section 6 simulates the α-model *in* `R_A^*`. Here the affine-model
+//! iterations are not sampled from recipes but executed step by step —
+//! two Borowsky–Gafni immediate snapshots plus the waiting phase per
+//! iteration, under adversarial interleavings.
+
+use std::collections::HashMap;
+
+use act_adversary::AgreementFunction;
+use act_affine::AffineTask;
+use act_runtime::{run_adversarial, AdaptiveConsensusObject};
+use act_topology::{ColorSet, ProcessId};
+use rand::Rng;
+
+use crate::algorithm1::{outputs_to_simplex, AlgorithmOneSystem};
+use crate::leader::LeaderMap;
+use crate::simulation::AffineIteration;
+
+/// Executes `iterations` rounds of Algorithm 1 among `participants`
+/// (failure-free, as in the IIS/affine model) under random schedules,
+/// returning the realized affine-model iterations.
+///
+/// Every returned facet is asserted to lie in the given affine task — the
+/// executable form of Theorem 7 applied round after round.
+///
+/// # Panics
+///
+/// Panics if a round fails to terminate or leaves the affine task
+/// (impossible by Theorem 7 — asserted, not assumed).
+pub fn execute_affine_iterations<R: Rng>(
+    task: &AffineTask,
+    alpha: &AgreementFunction,
+    participants: ColorSet,
+    iterations: usize,
+    rng: &mut R,
+) -> Vec<AffineIteration> {
+    let complex = task.complex();
+    let mut out = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let mut sys = AlgorithmOneSystem::new(alpha, participants);
+        let outcome =
+            run_adversarial(&mut sys, participants, participants, rng, |_| 0, 400_000);
+        assert!(outcome.all_correct_terminated, "Algorithm 1 is live (Lemma 5)");
+        let outputs = sys.outputs();
+        let facet = outputs_to_simplex(complex, &outputs)
+            .expect("Algorithm 1 outputs identify Chr² vertices");
+        assert!(
+            complex.contains_simplex(&facet),
+            "Algorithm 1 outputs stay in R_A (Lemma 6)"
+        );
+        let vertices: HashMap<ProcessId, act_topology::VertexId> = facet
+            .vertices()
+            .iter()
+            .map(|&v| (complex.color(v), v))
+            .collect();
+        out.push(AffineIteration { facet, vertices });
+    }
+    out
+}
+
+/// α-adaptive set consensus over *executed* affine iterations: every
+/// process adopts the proposal of its `µ_Q` leader in the first executed
+/// round and decides. Returns `(process, decided value)` pairs.
+///
+/// The distinct-decision count is bounded by `α(carrier)` (Property 10) —
+/// the caller should assert it, and the tests do.
+pub fn executed_set_consensus(
+    task: &AffineTask,
+    alpha: &AgreementFunction,
+    iteration: &AffineIteration,
+    q: ColorSet,
+    proposals: &HashMap<ProcessId, u64>,
+) -> Vec<(ProcessId, u64)> {
+    let lm = LeaderMap::new(task.complex(), alpha);
+    q.iter()
+        .filter(|p| iteration.vertices.contains_key(p))
+        .map(|p| {
+            let leader = lm.mu_q(iteration.vertices[&p], q);
+            (p, proposals[&leader])
+        })
+        .collect()
+}
+
+/// End-to-end `α(P)`-set consensus **in the α-model itself**: run
+/// Algorithm 1 once under an adversarial schedule (with crashes up to the
+/// model's bound), then have every decided process adopt the proposal of
+/// its `µ_Q` leader. Property 10 bounds the distinct decisions by
+/// `α(carrier)`; validity holds because leaders are observed processes.
+///
+/// This is the paper's headline capability made executable: the α-model
+/// solves its own level of set consensus in a single `R_A` computation.
+///
+/// Returns the decisions of the processes that completed Algorithm 1
+/// (all correct ones — asserted).
+///
+/// # Panics
+///
+/// Panics if the fault pattern is inadmissible or liveness fails (a bug).
+pub fn alpha_model_set_consensus<R: Rng>(
+    task: &AffineTask,
+    alpha: &AgreementFunction,
+    participants: ColorSet,
+    correct: ColorSet,
+    proposals: &HashMap<ProcessId, u64>,
+    rng: &mut R,
+) -> Vec<(ProcessId, u64)> {
+    let power = alpha.alpha(participants);
+    assert!(
+        power >= 1 && participants.minus(correct).len() <= power - 1,
+        "fault pattern must be admissible in the α-model"
+    );
+    let mut sys = AlgorithmOneSystem::new(alpha, participants);
+    let outcome = run_adversarial(
+        &mut sys,
+        participants,
+        correct,
+        rng,
+        |_| 7, // crashed processes stop after a few steps
+        400_000,
+    );
+    assert!(outcome.all_correct_terminated, "Lemma 5: liveness");
+    let outputs = sys.outputs();
+    let complex = task.complex();
+    let simplex = outputs_to_simplex(complex, &outputs)
+        .expect("outputs identify Chr² vertices");
+    assert!(complex.contains_simplex(&simplex), "Lemma 6: safety");
+    let lm = LeaderMap::new(complex, alpha);
+    simplex
+        .vertices()
+        .iter()
+        .map(|&v| {
+            let p = complex.color(v);
+            let leader = lm.mu_q(v, participants);
+            (p, proposals[&leader])
+        })
+        .collect()
+}
+
+/// The α-set-consensus model (Definition 4), executably: processes solve a
+/// task by one access to a shared α-adaptive set-consensus object. Used to
+/// demonstrate the Theorem 1/2 equivalence chain: the decisions produced
+/// by the executed affine stack obey the same specification as the
+/// object-based model.
+pub fn object_model_set_consensus(
+    alpha: &AgreementFunction,
+    order: &[ProcessId],
+    proposals: &HashMap<ProcessId, u64>,
+) -> Vec<(ProcessId, u64)> {
+    let table = alpha.clone();
+    let mut object =
+        AdaptiveConsensusObject::new(move |p: ColorSet| table.alpha(p));
+    // Processes whose propose defers (participation still powerless)
+    // retry after the others have joined.
+    let mut decisions = Vec::with_capacity(order.len());
+    let mut pending: Vec<ProcessId> = Vec::new();
+    for &p in order {
+        match object.propose(p, proposals[&p]) {
+            Some(v) => decisions.push((p, v)),
+            None => pending.push(p),
+        }
+    }
+    for p in pending {
+        let v = object
+            .propose(p, proposals[&p])
+            .expect("full participation has positive power");
+        decisions.push((p, v));
+    }
+    decisions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_adversary::{zoo, Adversary};
+    use act_affine::fair_affine_task;
+    use rand::SeedableRng;
+
+    fn proposals(q: ColorSet) -> HashMap<ProcessId, u64> {
+        q.iter().map(|p| (p, 500 + p.index() as u64)).collect()
+    }
+
+    #[test]
+    fn executed_iterations_stay_in_r_a() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(71);
+        let models = vec![
+            AgreementFunction::k_concurrency(3, 1),
+            AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1)),
+            AgreementFunction::of_adversary(&zoo::figure_5b_adversary()),
+        ];
+        for alpha in models {
+            let task = fair_affine_task(&alpha);
+            let iterations =
+                execute_affine_iterations(&task, &alpha, ColorSet::full(3), 10, &mut rng);
+            assert_eq!(iterations.len(), 10);
+            for it in &iterations {
+                assert_eq!(it.vertices.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn executed_set_consensus_obeys_alpha() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(72);
+        let alpha = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+        let task = fair_affine_task(&alpha);
+        let full = ColorSet::full(3);
+        let props = proposals(full);
+        for _ in 0..30 {
+            let its = execute_affine_iterations(&task, &alpha, full, 1, &mut rng);
+            let decisions = executed_set_consensus(&task, &alpha, &its[0], full, &props);
+            assert_eq!(decisions.len(), 3);
+            let mut values: Vec<u64> = decisions.iter().map(|&(_, v)| v).collect();
+            values.sort_unstable();
+            values.dedup();
+            assert!(values.len() <= alpha.alpha(full), "α-agreement on executed runs");
+            for v in values {
+                assert!(props.values().any(|&p| p == v), "validity");
+            }
+        }
+    }
+
+    #[test]
+    fn object_model_matches_the_same_specification() {
+        // Theorem 2's equivalence, behaviourally: both the object model and
+        // the executed affine stack satisfy termination, validity and
+        // α-agreement for the same α.
+        let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+        let full = ColorSet::full(3);
+        let props = proposals(full);
+        let order: Vec<ProcessId> = full.iter().collect();
+        let decisions = object_model_set_consensus(&alpha, &order, &props);
+        assert_eq!(decisions.len(), 3);
+        let mut values: Vec<u64> = decisions.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert!(values.len() <= alpha.alpha(full));
+        for (p, v) in decisions {
+            assert!(props.values().any(|&x| x == v));
+            let _ = p;
+        }
+    }
+
+    #[test]
+    fn alpha_model_solves_its_own_set_consensus() {
+        // The end-to-end claim, with real crashes: for every named fair
+        // model and every admissible fault pattern, one Algorithm-1 run +
+        // µ_Q yields ≤ α(P) distinct valid decisions for all correct
+        // processes.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(74);
+        let models = vec![
+            AgreementFunction::k_concurrency(3, 1),
+            AgreementFunction::k_concurrency(3, 2),
+            AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1)),
+            AgreementFunction::of_adversary(&Adversary::wait_free(3)),
+            AgreementFunction::of_adversary(&zoo::figure_5b_adversary()),
+        ];
+        for alpha in &models {
+            let task = fair_affine_task(alpha);
+            let full = ColorSet::full(3);
+            let power = alpha.alpha(full);
+            let props = proposals(full);
+            for faulty in full.subsets() {
+                if faulty.len() + 1 > power || faulty == full {
+                    continue;
+                }
+                for _ in 0..6 {
+                    let decisions = alpha_model_set_consensus(
+                        &task,
+                        alpha,
+                        full,
+                        full.minus(faulty),
+                        &props,
+                        &mut rng,
+                    );
+                    // Every correct process decided.
+                    let deciders: ColorSet =
+                        decisions.iter().map(|&(p, _)| p).collect();
+                    assert!(full.minus(faulty).is_subset_of(deciders));
+                    let mut values: Vec<u64> =
+                        decisions.iter().map(|&(_, v)| v).collect();
+                    values.sort_unstable();
+                    values.dedup();
+                    assert!(values.len() <= power, "α-agreement in the α-model");
+                    for v in values {
+                        assert!(props.values().any(|&x| x == v), "validity");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_participation_executions() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(73);
+        let alpha = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+        let task = fair_affine_task(&alpha);
+        // {p2} alone has power 1 in the figure-5b model.
+        let solo = ColorSet::from_indices([1]);
+        assert_eq!(alpha.alpha(solo), 1);
+        let its = execute_affine_iterations(&task, &alpha, solo, 3, &mut rng);
+        for it in its {
+            assert_eq!(it.vertices.len(), 1);
+            let props = proposals(solo);
+            let d = executed_set_consensus(&task, &alpha, &it, solo, &props);
+            assert_eq!(d, vec![(ProcessId::new(1), 501)]);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Protocol complexes of executable protocols.
+//!
+//! The combinatorial-topology view of distributed computing studies the
+//! *protocol complex*: vertices are `(process, output)` pairs, and a set
+//! of vertices forms a simplex when some run produces those outputs
+//! together. This module builds protocol complexes directly from
+//! schedulable [`System`]s — exhaustively for small systems, empirically
+//! (sampled schedules, a sub-complex of the truth) for larger ones — and
+//! is how the repository connects *executed* protocols back to the
+//! chromatic complexes of the theory: the protocol complex of the
+//! one-shot immediate snapshot *is* `Chr s`, and the protocol complex of
+//! Algorithm 1 is a sub-complex of `R_A`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use act_runtime::{explore_schedules, run_adversarial, System};
+use act_topology::{ColorSet, Complex, ProcessId};
+use rand::Rng;
+
+/// A schedulable system whose processes produce observable outputs.
+pub trait OutputSystem: System {
+    /// The per-process output type (orderable so complexes are canonical).
+    type Output: Clone + Ord;
+
+    /// The output of `p`, once decided.
+    fn output_of(&self, p: ProcessId) -> Option<Self::Output>;
+}
+
+impl<V: Clone + Ord> OutputSystem for act_runtime::IsSystem<V> {
+    type Output = Vec<(ProcessId, V)>;
+
+    fn output_of(&self, p: ProcessId) -> Option<Self::Output> {
+        act_runtime::IsSystem::output_of(self, p)
+    }
+}
+
+/// Builds the protocol complex of a system by **bounded-exhaustive**
+/// schedule exploration: every maximal interleaving (and every truncated
+/// branch) contributes the simplex of outputs decided in it.
+///
+/// Returns the complex (a level-0 labeled complex: one vertex per
+/// distinct `(process, output)`, label = output index) together with the
+/// output table, so labels can be decoded.
+///
+/// Only complete for systems whose exploration fits in `max_runs`; the
+/// returned complex is always a sub-complex of the true protocol complex.
+pub fn explored_protocol_complex<S, F>(
+    factory: F,
+    participants: ColorSet,
+    max_depth: usize,
+    max_runs: usize,
+) -> (Complex, Vec<S::Output>)
+where
+    S: OutputSystem,
+    F: Fn() -> S,
+{
+    let mut simplices: BTreeSet<Vec<(ProcessId, S::Output)>> = BTreeSet::new();
+    explore_schedules(
+        &factory,
+        participants,
+        participants,
+        max_depth,
+        max_runs,
+        |sys, _outcome| {
+            let mut outputs: Vec<(ProcessId, S::Output)> = participants
+                .iter()
+                .filter_map(|p| sys.output_of(p).map(|o| (p, o)))
+                .collect();
+            outputs.sort();
+            if !outputs.is_empty() {
+                simplices.insert(outputs);
+            }
+        },
+    );
+    assemble(participants, simplices)
+}
+
+/// Builds an **empirical** protocol complex from sampled adversarial
+/// schedules (with the given per-run crash budgets), a sub-complex of the
+/// true protocol complex that grows with the sample count.
+pub fn sampled_protocol_complex<S, F, R>(
+    factory: F,
+    participants: ColorSet,
+    rng: &mut R,
+    samples: usize,
+    crash_budget: usize,
+    max_steps: usize,
+) -> (Complex, Vec<S::Output>)
+where
+    S: OutputSystem,
+    F: Fn() -> S,
+    R: Rng,
+{
+    let mut simplices: BTreeSet<Vec<(ProcessId, S::Output)>> = BTreeSet::new();
+    for trial in 0..samples {
+        let mut sys = factory();
+        // Vary the correct set and budgets across samples.
+        let all: Vec<ProcessId> = participants.iter().collect();
+        let correct = if crash_budget > 0 && trial % 3 == 0 && all.len() > 1 {
+            participants.without(all[trial % all.len()])
+        } else {
+            participants
+        };
+        let _ = run_adversarial(
+            &mut sys,
+            participants,
+            correct,
+            rng,
+            |_| crash_budget,
+            max_steps,
+        );
+        let mut outputs: Vec<(ProcessId, S::Output)> = participants
+            .iter()
+            .filter_map(|p| sys.output_of(p).map(|o| (p, o)))
+            .collect();
+        outputs.sort();
+        if !outputs.is_empty() {
+            simplices.insert(outputs);
+        }
+    }
+    assemble(participants, simplices)
+}
+
+fn assemble<O: Clone + Ord>(
+    participants: ColorSet,
+    simplices: BTreeSet<Vec<(ProcessId, O)>>,
+) -> (Complex, Vec<O>) {
+    let n = participants
+        .iter()
+        .map(|p| p.index() + 1)
+        .max()
+        .unwrap_or(1);
+    // Intern vertices.
+    let mut vertex_index: BTreeMap<(ProcessId, O), usize> = BTreeMap::new();
+    let mut vertices: Vec<(ProcessId, u64)> = Vec::new();
+    let mut outputs: Vec<O> = Vec::new();
+    let mut facets: Vec<Vec<usize>> = Vec::new();
+    for simplex in &simplices {
+        let mut facet = Vec::with_capacity(simplex.len());
+        for (p, o) in simplex {
+            let next = vertex_index.len();
+            let idx = *vertex_index.entry((*p, o.clone())).or_insert_with(|| {
+                vertices.push((*p, outputs.len() as u64));
+                outputs.push(o.clone());
+                next
+            });
+            facet.push(idx);
+        }
+        facets.push(facet);
+    }
+    if vertices.is_empty() {
+        // Degenerate: no outputs at all; produce a void complex over a
+        // dummy vertex table.
+        let c = Complex::from_labeled_vertices(n, Vec::new(), Vec::new());
+        return (c, outputs);
+    }
+    let full = Complex::from_labeled_vertices(n, vertices, facets);
+    // Prune non-maximal simplices.
+    let pruned = full.sub_complex(full.facets().to_vec());
+    (pruned, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_runtime::IsSystem;
+    use rand::SeedableRng;
+
+    #[test]
+    fn is_protocol_complex_of_two_processes_is_chr_edge() {
+        // The protocol complex of the one-shot immediate snapshot on 2
+        // processes is Chr of an edge: 3 facets, 4 vertices — recovered
+        // purely from executed schedules.
+        let participants = ColorSet::full(2);
+        let (complex, _outputs) = explored_protocol_complex(
+            || IsSystem::new(vec![Some(0u8), Some(1u8)]),
+            participants,
+            40,
+            1_000_000,
+        );
+        let chr = Complex::standard(2).chromatic_subdivision();
+        assert_eq!(complex.facet_count(), chr.facet_count());
+        assert_eq!(complex.used_vertices().len(), chr.num_vertices());
+        assert_eq!(complex.f_vector(), chr.f_vector());
+        assert!(complex.is_chromatic());
+        assert!(complex.is_pure());
+    }
+
+    #[test]
+    fn sampled_is_protocol_complex_of_three_processes_reaches_chr() {
+        // Sampling (with crashes disabled) recovers all 13 facets of Chr s.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(81);
+        let participants = ColorSet::full(3);
+        let (complex, _) = sampled_protocol_complex(
+            || IsSystem::new(vec![Some(0u8), Some(1u8), Some(2u8)]),
+            participants,
+            &mut rng,
+            600,
+            0,
+            100_000,
+        );
+        let chr = Complex::standard(3).chromatic_subdivision();
+        assert_eq!(complex.facet_count(), chr.facet_count());
+        assert_eq!(complex.f_vector(), chr.f_vector());
+    }
+
+    #[test]
+    fn crashes_add_proper_faces_not_new_facets() {
+        // With crash injection the sampled complex still has the same
+        // maximal simplices (faces from truncated runs are absorbed).
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(82);
+        let participants = ColorSet::full(3);
+        let (complex, _) = sampled_protocol_complex(
+            || IsSystem::new(vec![Some(0u8), Some(1u8), Some(2u8)]),
+            participants,
+            &mut rng,
+            800,
+            3,
+            100_000,
+        );
+        let chr = Complex::standard(3).chromatic_subdivision();
+        assert!(complex.facet_count() <= chr.facet_count());
+        assert!(complex.is_chromatic());
+    }
+
+    #[test]
+    fn algorithm_one_protocol_complex_is_inside_r_a() {
+        // The empirical protocol complex of Algorithm 1 embeds into R_A:
+        // every sampled facet, resolved through its output structure,
+        // is a simplex of R_A.
+        use crate::algorithm1::AlgorithmOneSystem;
+        use act_adversary::AgreementFunction;
+        use act_affine::fair_affine_task;
+
+        let alpha = AgreementFunction::k_concurrency(3, 1);
+        let r_a = fair_affine_task(&alpha);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(83);
+        let participants = ColorSet::full(3);
+        let (complex, outputs) = sampled_protocol_complex(
+            || AlgorithmOneWrapper(AlgorithmOneSystem::new(&alpha, participants)),
+            participants,
+            &mut rng,
+            300,
+            0,
+            300_000,
+        );
+        assert!(complex.facet_count() > 5);
+        // Resolve each facet into R_A through the recorded outputs.
+        for facet in complex.facets() {
+            let outs: Vec<crate::algorithm1::AlgorithmOneOutput> = facet
+                .vertices()
+                .iter()
+                .map(|&v| outputs[complex.vertex(v).label as usize].clone())
+                .collect();
+            let sx = crate::algorithm1::outputs_to_simplex(r_a.complex(), &outs)
+                .expect("resolvable");
+            assert!(r_a.complex().contains_simplex(&sx));
+        }
+    }
+
+    /// Wrapper giving Algorithm 1 an `OutputSystem` implementation with an
+    /// orderable output type.
+    struct AlgorithmOneWrapper<'a>(crate::algorithm1::AlgorithmOneSystem<'a>);
+
+    impl System for AlgorithmOneWrapper<'_> {
+        fn step(&mut self, p: ProcessId) -> bool {
+            self.0.step(p)
+        }
+        fn has_terminated(&self, p: ProcessId) -> bool {
+            self.0.has_terminated(p)
+        }
+        fn num_processes(&self) -> usize {
+            self.0.num_processes()
+        }
+    }
+
+    impl OutputSystem for AlgorithmOneWrapper<'_> {
+        type Output = crate::algorithm1::AlgorithmOneOutput;
+
+        fn output_of(&self, p: ProcessId) -> Option<Self::Output> {
+            self.0.output(p).cloned()
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The FACT solvability pipeline (Theorem 16): decide whether a task is
+//! solvable in a fair adversarial model by searching for a chromatic
+//! simplicial map from iterations of `R_A` applied to the task's inputs.
+
+use act_adversary::AgreementFunction;
+use act_affine::AffineTask;
+use act_tasks::{find_carried_map, SearchResult, Task};
+use act_topology::{Complex, VertexMap};
+
+/// The verdict of the bounded FACT pipeline.
+#[derive(Clone, Debug)]
+pub enum Solvability {
+    /// A map was found at the given number of `R_A` iterations.
+    Solvable {
+        /// The iteration count `ℓ`.
+        iterations: usize,
+        /// The witnessing map from `R_A^ℓ(I)` to `O`.
+        map: VertexMap,
+    },
+    /// No map exists for any `ℓ` up to the bound (unsolvability at those
+    /// depths is exact; FACT's "there exists ℓ" was checked up to the
+    /// bound).
+    NoMapUpTo {
+        /// The deepest iteration count checked.
+        max_iterations: usize,
+    },
+    /// The node budget ran out at some depth.
+    Exhausted {
+        /// The iteration count at which the search gave up.
+        iterations: usize,
+    },
+}
+
+impl Solvability {
+    /// Whether a witnessing map was found.
+    pub fn is_solvable(&self) -> bool {
+        matches!(self, Solvability::Solvable { .. })
+    }
+}
+
+/// Builds the domain `R_A^ℓ(I)`: the affine task applied `ℓ` times to the
+/// task's input complex.
+pub fn affine_domain(task: &AffineTask, inputs: &Complex, iterations: usize) -> Complex {
+    assert!(iterations >= 1, "at least one iteration");
+    let mut c = inputs.clone();
+    for _ in 0..iterations {
+        c = task.apply_to(&c);
+    }
+    c
+}
+
+/// Decides solvability of `task` in the fair model captured by `affine`
+/// (its `R_A`), trying `ℓ = 1, …, max_iterations` and bounding each map
+/// search by `max_nodes`.
+pub fn solve_in_model(
+    task: &dyn Task,
+    affine: &AffineTask,
+    max_iterations: usize,
+    max_nodes: usize,
+) -> Solvability {
+    for iterations in 1..=max_iterations {
+        let domain = affine_domain(affine, task.inputs(), iterations);
+        match find_carried_map(task, &domain, max_nodes) {
+            SearchResult::Found(map) => {
+                return Solvability::Solvable { iterations, map }
+            }
+            SearchResult::Unsolvable => continue,
+            SearchResult::Exhausted => {
+                return Solvability::Exhausted { iterations }
+            }
+        }
+    }
+    Solvability::NoMapUpTo { max_iterations }
+}
+
+/// Convenience: the `R_A` of an agreement function together with
+/// [`solve_in_model`].
+pub fn solve_in_fair_model(
+    task: &dyn Task,
+    alpha: &AgreementFunction,
+    max_iterations: usize,
+    max_nodes: usize,
+) -> Solvability {
+    let affine = act_affine::fair_affine_task(alpha);
+    solve_in_model(task, &affine, max_iterations, max_nodes)
+}
+
+/// Decides `k`-set consensus in the model captured by `affine`, on
+/// rainbow-restricted inputs, routing the parity-type case through the
+/// Sperner certificate: when `k = n − 1` and the domain is a genuine
+/// subdivision of the input simplex (the wait-free case — `R_A = Chr² s`),
+/// unsolvability follows from Sperner's lemma rather than search, which
+/// would otherwise have to enumerate an astronomic space.
+pub fn set_consensus_verdict(
+    task: &act_tasks::SetConsensus,
+    affine: &AffineTask,
+    iterations: usize,
+    max_nodes: usize,
+) -> Solvability {
+    let n = task.num_processes();
+    let inputs = task.rainbow_inputs();
+    let domain = affine_domain(affine, &inputs, iterations);
+    if task.k() == n - 1 && act_tasks::is_subdivided_simplex(&domain) {
+        // Any carried map would be a Sperner labeling with no rainbow
+        // facet; the lemma forces an odd number of them.
+        if act_tasks::sperner_certificate(&domain) {
+            return Solvability::NoMapUpTo { max_iterations: iterations };
+        }
+    }
+    match find_carried_map(task, &domain, max_nodes) {
+        SearchResult::Found(map) => Solvability::Solvable { iterations, map },
+        SearchResult::Unsolvable => Solvability::NoMapUpTo { max_iterations: iterations },
+        SearchResult::Exhausted => Solvability::Exhausted { iterations },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_adversary::{zoo, Adversary};
+    use act_tasks::{consensus, verify_carried_map, SetConsensus};
+    use act_topology::ColorSet;
+
+    #[test]
+    fn set_consensus_at_model_power_is_solvable_in_one_iteration() {
+        // k = setcon(A): the µ_Q construction shows a 1-iteration map
+        // exists; the solver must find one. (Rainbow-restricted inputs to
+        // keep the search small; solvability on full inputs is exercised
+        // by the integration tests.)
+        let cases: Vec<(AgreementFunction, usize)> = vec![
+            (AgreementFunction::k_concurrency(3, 1), 1),
+            (AgreementFunction::k_concurrency(3, 2), 2),
+            (AgreementFunction::of_adversary(&zoo::figure_5b_adversary()), 2),
+            (AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1)), 2),
+        ];
+        for (alpha, power) in cases {
+            let t = SetConsensus::new(3, power, &[0, 1, 2]);
+            let inputs = rainbow_inputs(&t);
+            let affine = act_affine::fair_affine_task(&alpha);
+            let domain = affine_domain(&affine, &inputs, 1);
+            let result = find_carried_map(&t, &domain, 2_000_000);
+            let map = result
+                .into_map()
+                .unwrap_or_else(|| panic!("{}-set consensus solvable (α = {power})", power));
+            assert!(verify_carried_map(&t, &domain, &map));
+        }
+    }
+
+    #[test]
+    fn consensus_below_model_power_is_unsolvable() {
+        // k = 1 < setcon(A) = 2: no map at depths 1..2.
+        let models = vec![
+            AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1)),
+            AgreementFunction::of_adversary(&zoo::figure_5b_adversary()),
+        ];
+        for alpha in models {
+            let t = consensus(3, &[0, 1, 2]);
+            let inputs = rainbow_inputs(&t);
+            let affine = act_affine::fair_affine_task(&alpha);
+            for depth in 1..=2 {
+                let domain = affine_domain(&affine, &inputs, depth);
+                let result = find_carried_map(&t, &domain, 2_000_000);
+                assert!(
+                    result.is_unsolvable(),
+                    "consensus must be unsolvable at depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_reports_depth() {
+        let alpha = AgreementFunction::k_concurrency(2, 2); // wait-free, 2 procs
+        let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+        let verdict = solve_in_fair_model(&t, &alpha, 2, 1_000_000);
+        match verdict {
+            Solvability::Solvable { iterations, .. } => assert_eq!(iterations, 1),
+            other => panic!("expected solvable, got {other:?}"),
+        }
+    }
+
+    /// The sub-complex of the inputs where process i proposes value i.
+    fn rainbow_inputs(t: &SetConsensus) -> Complex {
+        let i = t.inputs();
+        let rainbow = i
+            .facets()
+            .iter()
+            .find(|f| {
+                f.vertices()
+                    .iter()
+                    .all(|&v| i.vertex(v).label == i.color(v).index() as u64)
+            })
+            .expect("rainbow facet exists")
+            .clone();
+        i.sub_complex(vec![rainbow])
+    }
+
+    #[test]
+    fn no_map_up_to_is_reported() {
+        let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(2, 0));
+        // 0-resilient 2 processes: setcon 1 — consensus IS solvable.
+        let t = consensus(2, &[0, 1]);
+        let verdict = solve_in_fair_model(&t, &alpha, 1, 1_000_000);
+        assert!(verdict.is_solvable(), "consensus solvable 0-resiliently");
+        let _ = ColorSet::full(2);
+    }
+}

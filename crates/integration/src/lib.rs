@@ -1,0 +1,1 @@
+//! Integration-test shell crate; the tests live in the repository-root `tests/` directory.

@@ -1,0 +1,474 @@
+//! The Borowsky–Gafni simulation: `k + 1` wait-free simulators execute an
+//! `n`-thread snapshot protocol so that at most `k` simulated threads are
+//! blocked by simulator crashes.
+//!
+//! This is the classic bridge between resilience levels (referenced
+//! throughout the paper's related work: t-resilient colorless solvability
+//! ⇔ wait-free solvability by `t + 1` processes). Two ingredients:
+//!
+//! * [`SafeAgreement`] — the agreement building block: all deciders agree
+//!   on a single proposed value, and the object can be blocked only by a
+//!   proposer that crashes inside its (two-step) *unsafe window*;
+//! * [`BgSimulation`] — each simulator round-robins over the simulated
+//!   threads, taking real snapshots of the simulated memory, funnelling
+//!   them through one `SafeAgreement` per `(thread, round)`, and writing
+//!   the agreed view back; a blocked object stalls only its one thread.
+//!
+//! Every register/snapshot access is one scheduler step, so simulator
+//! crashes are expressed with the ordinary adversarial schedulers, and
+//! the blocking bound (`≤ 1` blocked thread per crashed simulator) is
+//! *measured*, not assumed.
+
+use std::collections::HashMap;
+
+use act_topology::{ColorSet, ProcessId};
+
+use crate::scheduler::System;
+
+/// The per-proposer cell of a safe-agreement object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SaCell {
+    value: u64,
+    /// 0 = retreated, 1 = unsafe window, 2 = committed.
+    level: u8,
+}
+
+/// A safe-agreement object (Borowsky–Gafni): `propose` runs a two-step
+/// protocol (raise to level 1, then commit to level 2 unless someone
+/// already committed); `decide` succeeds once no proposer is inside the
+/// level-1 window, returning the committed value with the smallest
+/// proposer id.
+#[derive(Clone, Debug, Default)]
+pub struct SafeAgreement {
+    cells: HashMap<usize, SaCell>,
+}
+
+impl SafeAgreement {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        SafeAgreement::default()
+    }
+
+    /// Step 1 of a proposal: enter the unsafe window with `value`.
+    pub fn propose_enter(&mut self, proposer: usize, value: u64) {
+        self.cells.entry(proposer).or_insert(SaCell { value, level: 1 });
+    }
+
+    /// Step 2 of a proposal: commit, or retreat if someone committed
+    /// first. Returns whether the proposer committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proposer never entered.
+    pub fn propose_exit(&mut self, proposer: usize) -> bool {
+        let committed = self
+            .cells
+            .iter()
+            .any(|(&p, c)| p != proposer && c.level == 2);
+        let cell = self.cells.get_mut(&proposer).expect("proposer entered");
+        cell.level = if committed { 0 } else { 2 };
+        cell.level == 2
+    }
+
+    /// Attempts to decide: `None` while some proposer sits in its unsafe
+    /// window (level 1) or nobody committed yet.
+    pub fn decide(&self) -> Option<u64> {
+        if self.cells.values().any(|c| c.level == 1) {
+            return None;
+        }
+        self.cells
+            .iter()
+            .filter(|(_, c)| c.level == 2)
+            .min_by_key(|(&p, _)| p)
+            .map(|(_, c)| c.value)
+    }
+
+    /// Whether the object is permanently blocked *given* that the set
+    /// `alive` of proposers will take no further steps: some dead
+    /// proposer is stuck at level 1.
+    pub fn blocked_by(&self, dead: &[usize]) -> bool {
+        self.cells
+            .iter()
+            .any(|(p, c)| c.level == 1 && dead.contains(p))
+    }
+}
+
+/// One simulated thread's next pending action, per simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ThreadPhase {
+    /// Take a real snapshot of the simulated memory.
+    Snapshot,
+    /// Enter the safe-agreement window with the snapshot (carried along).
+    SaEnter(u64),
+    /// Exit the window.
+    SaExit,
+    /// Try to decide; on success write the agreed view to memory.
+    Decide,
+}
+
+/// The Borowsky–Gafni simulation as a schedulable [`System`]: simulators
+/// are the real processes; each `step` performs one atomic operation of
+/// the simulation.
+///
+/// The simulated protocol is the full-information round protocol: in
+/// round `r`, a thread snapshots the vector of completed rounds and
+/// publishes round `r`. The simulation's correctness conditions
+/// (agreement per `(thread, round)`, view validity, bounded blocking) are
+/// checked by the test-suite.
+pub struct BgSimulation {
+    num_simulators: usize,
+    num_threads: usize,
+    target_rounds: usize,
+    /// Simulated memory: completed round per thread (monotone).
+    sim_memory: Vec<u64>,
+    /// The agreed snapshot for each (thread, round), once decided.
+    agreed: HashMap<(usize, usize), Vec<u64>>,
+    /// Safe agreement objects per (thread, round). The proposed "value"
+    /// indexes into `proposed_views`.
+    sa: HashMap<(usize, usize), SafeAgreement>,
+    proposed_views: Vec<Vec<u64>>,
+    /// Per simulator: per thread, (round, phase).
+    cursors: Vec<Vec<(usize, ThreadPhase)>>,
+    /// Per simulator: the thread it will work on next (round-robin).
+    rr: Vec<usize>,
+}
+
+impl BgSimulation {
+    /// Creates a simulation of `num_threads` simulated threads by
+    /// `num_simulators` real simulators, targeting `target_rounds` rounds
+    /// per thread.
+    pub fn new(num_simulators: usize, num_threads: usize, target_rounds: usize) -> Self {
+        BgSimulation {
+            num_simulators,
+            num_threads,
+            target_rounds,
+            sim_memory: vec![0; num_threads],
+            agreed: HashMap::new(),
+            sa: HashMap::new(),
+            proposed_views: Vec::new(),
+            cursors: vec![
+                vec![(1usize, ThreadPhase::Snapshot); num_threads];
+                num_simulators
+            ],
+            rr: vec![0; num_simulators],
+        }
+    }
+
+    /// The completed round of each simulated thread.
+    pub fn progress(&self) -> &[u64] {
+        &self.sim_memory
+    }
+
+    /// The agreed view for a `(thread, round)`, if decided.
+    pub fn agreed_view(&self, thread: usize, round: usize) -> Option<&Vec<u64>> {
+        self.agreed.get(&(thread, round))
+    }
+
+    /// The number of simulated threads that completed `target_rounds`.
+    pub fn finished_threads(&self) -> usize {
+        self.sim_memory
+            .iter()
+            .filter(|&&r| r >= self.target_rounds as u64)
+            .count()
+    }
+
+    /// The threads whose pending safe agreement is blocked by the given
+    /// dead simulators (diagnostics for the blocking bound).
+    pub fn blocked_threads(&self, dead: &[usize]) -> Vec<usize> {
+        (0..self.num_threads)
+            .filter(|&t| {
+                let round = self.sim_memory[t] as usize + 1;
+                self.sa
+                    .get(&(t, round))
+                    .is_some_and(|sa| sa.blocked_by(dead) && sa.decide().is_none())
+            })
+            .collect()
+    }
+
+    /// Whether every thread reached the target (used as the termination
+    /// condition in failure-free runs).
+    fn all_done(&self) -> bool {
+        self.finished_threads() == self.num_threads
+    }
+
+    /// One atomic simulation step by `sim`: work on its round-robin
+    /// thread, advancing that thread's pending phase.
+    fn advance(&mut self, sim: usize) {
+        if self.all_done() {
+            return;
+        }
+        // Pick the next thread this simulator can help: skip threads that
+        // are finished or whose SA is currently undecidable for us.
+        let start = self.rr[sim];
+        for off in 0..self.num_threads {
+            let t = (start + off) % self.num_threads;
+            if self.sim_memory[t] >= self.target_rounds as u64 {
+                continue;
+            }
+            let (round, phase) = self.cursors[sim][t].clone();
+            // The thread may have been advanced past `round` by another
+            // simulator: resync.
+            if (self.sim_memory[t] as usize) >= round {
+                self.cursors[sim][t] =
+                    (self.sim_memory[t] as usize + 1, ThreadPhase::Snapshot);
+                self.rr[sim] = (t + 1) % self.num_threads;
+                return; // resync costs one (local) step
+            }
+            match phase {
+                ThreadPhase::Snapshot => {
+                    // One atomic snapshot of the simulated memory.
+                    let view = self.sim_memory.clone();
+                    let id = self.proposed_views.len() as u64;
+                    self.proposed_views.push(view);
+                    self.cursors[sim][t] = (round, ThreadPhase::SaEnter(id));
+                    self.rr[sim] = t;
+                    return;
+                }
+                ThreadPhase::SaEnter(id) => {
+                    self.sa
+                        .entry((t, round))
+                        .or_default()
+                        .propose_enter(sim, id);
+                    self.cursors[sim][t] = (round, ThreadPhase::SaExit);
+                    self.rr[sim] = t;
+                    return;
+                }
+                ThreadPhase::SaExit => {
+                    self.sa
+                        .get_mut(&(t, round))
+                        .expect("entered")
+                        .propose_exit(sim);
+                    self.cursors[sim][t] = (round, ThreadPhase::Decide);
+                    self.rr[sim] = t;
+                    return;
+                }
+                ThreadPhase::Decide => {
+                    let decided = self.sa.get(&(t, round)).and_then(SafeAgreement::decide);
+                    match decided {
+                        Some(id) => {
+                            let view = self.proposed_views[id as usize].clone();
+                            self.agreed.entry((t, round)).or_insert(view);
+                            // Publish the round (monotone max).
+                            if self.sim_memory[t] < round as u64 {
+                                self.sim_memory[t] = round as u64;
+                            }
+                            self.cursors[sim][t] = (round + 1, ThreadPhase::Snapshot);
+                            self.rr[sim] = (t + 1) % self.num_threads;
+                            return;
+                        }
+                        None => {
+                            // Blocked on this thread for now: move on.
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        // Nothing workable: spin (the scheduler counts this as a step).
+    }
+}
+
+impl System for BgSimulation {
+    fn step(&mut self, p: ProcessId) -> bool {
+        self.advance(p.index());
+        self.has_terminated(p)
+    }
+
+    fn has_terminated(&self, _p: ProcessId) -> bool {
+        self.all_done()
+    }
+
+    fn num_processes(&self) -> usize {
+        self.num_simulators
+    }
+}
+
+/// Convenience: the simulators as a participant set.
+pub fn simulators(k_plus_1: usize) -> ColorSet {
+    ColorSet::full(k_plus_1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::run_adversarial;
+    use rand::SeedableRng;
+
+    #[test]
+    fn safe_agreement_solo() {
+        let mut sa = SafeAgreement::new();
+        sa.propose_enter(0, 42);
+        assert_eq!(sa.decide(), None, "unsafe window blocks deciders");
+        assert!(sa.propose_exit(0));
+        assert_eq!(sa.decide(), Some(42));
+    }
+
+    #[test]
+    fn safe_agreement_agrees_under_contention() {
+        // Two proposers interleaved in every order: deciders always get a
+        // single value, and it is one of the proposals.
+        for order in 0..4u8 {
+            let mut sa = SafeAgreement::new();
+            match order {
+                0 => {
+                    sa.propose_enter(0, 10);
+                    sa.propose_enter(1, 11);
+                    sa.propose_exit(0);
+                    sa.propose_exit(1);
+                }
+                1 => {
+                    sa.propose_enter(0, 10);
+                    sa.propose_exit(0);
+                    sa.propose_enter(1, 11);
+                    sa.propose_exit(1);
+                }
+                2 => {
+                    sa.propose_enter(1, 11);
+                    sa.propose_enter(0, 10);
+                    sa.propose_exit(1);
+                    sa.propose_exit(0);
+                }
+                _ => {
+                    sa.propose_enter(1, 11);
+                    sa.propose_exit(1);
+                    sa.propose_enter(0, 10);
+                    sa.propose_exit(0);
+                }
+            }
+            let d = sa.decide().expect("no unsafe window left");
+            assert!(d == 10 || d == 11);
+        }
+    }
+
+    #[test]
+    fn safe_agreement_blocks_only_during_window() {
+        let mut sa = SafeAgreement::new();
+        sa.propose_enter(0, 5);
+        // Proposer 0 crashes inside the window: the object is blocked.
+        assert!(sa.blocked_by(&[0]));
+        assert_eq!(sa.decide(), None);
+        // A different proposer cannot unblock it...
+        sa.propose_enter(1, 6);
+        sa.propose_exit(1);
+        assert_eq!(sa.decide(), None, "level-1 cell still blocks");
+    }
+
+    #[test]
+    fn failure_free_simulation_completes_all_threads() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(61);
+        for sims in 2..=3 {
+            let mut bg = BgSimulation::new(sims, 3, 4);
+            let participants = ColorSet::full(sims);
+            let outcome = run_adversarial(
+                &mut bg,
+                participants,
+                participants,
+                &mut rng,
+                |_| 0,
+                500_000,
+            );
+            assert!(outcome.all_correct_terminated, "{sims} simulators");
+            assert_eq!(bg.finished_threads(), 3);
+            // Every (thread, round) has exactly one agreed view, and the
+            // views are valid: monotone per thread, self-consistent.
+            for t in 0..3 {
+                let mut prev: Option<Vec<u64>> = None;
+                for r in 1..=4usize {
+                    let view = bg.agreed_view(t, r).expect("agreed").clone();
+                    assert_eq!(view.len(), 3);
+                    // The thread's own completed round is at least r−1.
+                    assert!(view[t] >= r as u64 - 1);
+                    if let Some(p) = prev {
+                        assert!(
+                            view.iter().zip(&p).all(|(a, b)| a >= b),
+                            "views are pointwise monotone over rounds"
+                        );
+                    }
+                    prev = Some(view);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_crashed_simulator_blocks_at_most_one_thread() {
+        // The BG guarantee, measured: with 2 simulators and one crashing
+        // at an arbitrary point, at least n − 1 simulated threads still
+        // reach the target.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(62);
+        for budget in [0usize, 1, 2, 3, 5, 8, 13, 21, 34] {
+            let mut bg = BgSimulation::new(2, 3, 3);
+            let participants = ColorSet::full(2);
+            let correct = ColorSet::from_indices([0]);
+            let outcome = run_adversarial(
+                &mut bg,
+                participants,
+                correct,
+                &mut rng,
+                |_| budget,
+                500_000,
+            );
+            // The run ends when all threads finish or steps run out; the
+            // correct simulator alone must push ≥ 2 threads to the end.
+            let _ = outcome;
+            assert!(
+                bg.finished_threads() >= 2,
+                "budget {budget}: {} threads finished, blocked: {:?}",
+                bg.finished_threads(),
+                bg.blocked_threads(&[1])
+            );
+            assert!(
+                bg.blocked_threads(&[1]).len() <= 1,
+                "a single crash blocks at most one safe agreement"
+            );
+        }
+    }
+
+    #[test]
+    fn two_crashes_block_at_most_two_threads() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(63);
+        for budget in [1usize, 4, 9, 16] {
+            let mut bg = BgSimulation::new(3, 4, 3);
+            let participants = ColorSet::full(3);
+            let correct = ColorSet::from_indices([0]);
+            let _ = run_adversarial(
+                &mut bg,
+                participants,
+                correct,
+                &mut rng,
+                |_| budget,
+                500_000,
+            );
+            assert!(
+                bg.finished_threads() >= 2,
+                "budget {budget}: {} finished",
+                bg.finished_threads()
+            );
+            assert!(bg.blocked_threads(&[1, 2]).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn agreement_is_per_thread_round_unique() {
+        // Both simulators may propose different snapshots for the same
+        // (thread, round); the agreed view is unique and is one of the
+        // proposals. (Uniqueness is structural: `agreed` is written once.)
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(64);
+        let mut bg = BgSimulation::new(3, 3, 5);
+        let participants = ColorSet::full(3);
+        let outcome = run_adversarial(
+            &mut bg,
+            participants,
+            participants,
+            &mut rng,
+            |_| 0,
+            500_000,
+        );
+        assert!(outcome.all_correct_terminated);
+        for t in 0..3 {
+            for r in 1..=5 {
+                assert!(bg.agreed_view(t, r).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The iterated immediate snapshot (IIS) runtime.
+//!
+//! Processes proceed through a sequence of independent one-shot IS
+//! memories, running the full-information protocol: the value submitted to
+//! round `r` is the output of round `r − 1`. A finite IIS run is thus
+//! described, round by round, by an ordered set partition — and corresponds
+//! to exactly one facet of `Chr^m s` (Section 2 of the paper).
+//!
+//! Rounds can be *executed* (the Borowsky–Gafni protocol under a scheduler,
+//! [`run_iis_with_bg`]) or *forced* (oracle OSPs, [`random_osp`]); both
+//! yield OSP sequences that [`facet_of_run`] resolves to simplices of the
+//! iterated subdivision.
+
+use act_topology::{ColorSet, Complex, Osp, ProcessId, Simplex};
+use rand::Rng;
+
+use crate::immediate::{osp_from_views, IsSystem};
+use crate::scheduler::run_adversarial;
+
+/// Samples a uniform-ish random ordered set partition of `ground`:
+/// a random permutation cut into blocks at independently chosen points.
+///
+/// # Panics
+///
+/// Panics if `ground` is empty.
+pub fn random_osp<R: Rng>(ground: ColorSet, rng: &mut R) -> Osp {
+    assert!(!ground.is_empty(), "cannot partition the empty set");
+    let mut procs: Vec<ProcessId> = ground.iter().collect();
+    // Fisher–Yates shuffle.
+    for i in (1..procs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        procs.swap(i, j);
+    }
+    let mut blocks = Vec::new();
+    let mut current = ColorSet::EMPTY;
+    for (i, p) in procs.iter().enumerate() {
+        current = current.with(*p);
+        let cut = i + 1 == procs.len() || rng.gen_bool(0.5);
+        if cut {
+            blocks.push(current);
+            current = ColorSet::EMPTY;
+        }
+    }
+    Osp::new(blocks).expect("blocks are disjoint and non-empty by construction")
+}
+
+/// Executes `rounds` IIS rounds among `participants` by running the
+/// Borowsky–Gafni immediate-snapshot protocol under a random schedule for
+/// each round, and returns the per-round ordered set partitions.
+///
+/// In the IIS model there are no failures: every participant completes
+/// every round.
+///
+/// # Panics
+///
+/// Panics if `participants` is empty or a round fails to terminate within
+/// the internal step bound (impossible for the wait-free BG protocol).
+pub fn run_iis_with_bg<R: Rng>(
+    n: usize,
+    participants: ColorSet,
+    rounds: usize,
+    rng: &mut R,
+) -> Vec<Osp> {
+    assert!(!participants.is_empty(), "IIS needs at least one participant");
+    let mut out = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        // Full information: the concrete payloads do not affect the run
+        // structure, so round inputs are just process ids.
+        let inputs: Vec<Option<u8>> = (0..n)
+            .map(|i| participants.contains(ProcessId::new(i)).then_some(i as u8))
+            .collect();
+        let mut sys = IsSystem::new(inputs);
+        let outcome = run_adversarial(
+            &mut sys,
+            participants,
+            participants,
+            rng,
+            |_| 0,
+            100_000,
+        );
+        assert!(outcome.all_correct_terminated, "BG immediate snapshot is wait-free");
+        let views: Vec<(ProcessId, ColorSet)> = sys
+            .views()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|view| (ProcessId::new(i), view)))
+            .collect();
+        out.push(osp_from_views(&views));
+    }
+    out
+}
+
+/// Resolves the facet of `complex` (a level-`m` subdivision of the standard
+/// simplex) reached by the IIS run described by `rounds` (one OSP per
+/// round, all over the same participant set).
+///
+/// Returns `None` when the run leaves `complex` (possible when `complex`
+/// is a strict sub-complex such as an iterated affine task).
+///
+/// # Panics
+///
+/// Panics if the number of rounds differs from the complex's level or the
+/// base is not the standard simplex.
+pub fn facet_of_run(complex: &Complex, rounds: &[Osp]) -> Option<Simplex> {
+    let base = complex.base().clone();
+    assert_eq!(
+        base.num_vertices(),
+        complex.num_processes(),
+        "IIS runs are resolved over the standard simplex"
+    );
+    let base_facet = base.facets()[0].clone();
+    let candidate = complex.simplex_for_recipe(&base_facet, rounds)?;
+    complex.contains_simplex(&candidate).then_some(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_osp_is_valid() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let ground = ColorSet::full(5);
+        for _ in 0..200 {
+            let osp = random_osp(ground, &mut rng);
+            assert_eq!(osp.ground(), ground);
+        }
+    }
+
+    #[test]
+    fn random_osp_hits_every_shape_eventually() {
+        use act_topology::ordered_set_partitions;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let ground = ColorSet::full(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..2000 {
+            seen.insert(random_osp(ground, &mut rng));
+        }
+        assert_eq!(seen.len(), ordered_set_partitions(ground).len());
+    }
+
+    #[test]
+    fn executed_iis_runs_resolve_to_facets() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let n = 3;
+        let chr2 = Complex::standard(n).iterated_subdivision(2);
+        for _ in 0..25 {
+            let rounds = run_iis_with_bg(n, ColorSet::full(n), 2, &mut rng);
+            let facet = facet_of_run(&chr2, &rounds).expect("full Chr² contains every run");
+            assert_eq!(facet.len(), n);
+            // The recipe of the resolved facet is the executed run.
+            assert_eq!(chr2.recipe_of_facet(&facet, 2), rounds);
+        }
+    }
+
+    #[test]
+    fn partial_participation_runs_resolve_to_lower_faces() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let n = 3;
+        let chr = Complex::standard(n).chromatic_subdivision();
+        let pair = ColorSet::from_indices([0, 2]);
+        let rounds = run_iis_with_bg(n, pair, 1, &mut rng);
+        let sx = facet_of_run(&chr, &rounds).unwrap();
+        assert_eq!(sx.len(), 2);
+        assert_eq!(chr.colors(&sx), pair);
+    }
+
+    #[test]
+    fn forced_runs_cover_all_facets() {
+        // Driving facet_of_run with every recipe covers every facet of
+        // Chr² s exactly once.
+        use act_topology::all_recipes;
+        let chr2 = Complex::standard(3).iterated_subdivision(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for recipe in all_recipes(ColorSet::full(3), 2) {
+            let f = facet_of_run(&chr2, &recipe).unwrap();
+            seen.insert(f);
+        }
+        assert_eq!(seen.len(), 169);
+    }
+}

@@ -1,0 +1,414 @@
+//! One-shot immediate snapshot.
+//!
+//! Two implementations, cross-checked against each other and against the
+//! IS properties (self-inclusion, containment, immediacy — Section 2):
+//!
+//! * [`IsProcess`] / [`IsShared`] — the Borowsky–Gafni *participating set*
+//!   algorithm over plain snapshot memory, a genuinely wait-free
+//!   asynchronous protocol whose every register operation is one scheduler
+//!   step;
+//! * [`OracleIs`] — a linearizable one-shot IS object whose behaviour is
+//!   driven directly by an ordered set partition (the combinatorial form
+//!   of an IS run), used when an experiment wants to force a specific run.
+
+use act_topology::{ColorSet, Osp, ProcessId};
+
+use crate::memory::SnapshotMemory;
+use crate::scheduler::System;
+
+/// Shared state of one Borowsky–Gafni immediate-snapshot instance: a
+/// snapshot memory of `(level, value)` pairs.
+#[derive(Clone, Debug)]
+pub struct IsShared<V> {
+    memory: SnapshotMemory<(usize, V)>,
+}
+
+impl<V: Clone> IsShared<V> {
+    /// Creates the shared state for `n` processes.
+    pub fn new(n: usize) -> Self {
+        IsShared { memory: SnapshotMemory::new(n) }
+    }
+
+    /// The number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Shared-memory operation counters (updates, snapshots).
+    pub fn op_counts(&self) -> (usize, usize) {
+        self.memory.op_counts()
+    }
+}
+
+/// Per-process state of the Borowsky–Gafni immediate-snapshot protocol.
+///
+/// The classic recursion: start at level `n`; repeatedly descend one
+/// level, write `(level, value)`, snapshot, and return the set of
+/// processes at or below your level once it has at least `level` members.
+///
+/// # Examples
+///
+/// ```
+/// use act_runtime::{IsProcess, IsShared};
+/// use act_topology::ProcessId;
+///
+/// let mut shared: IsShared<&str> = IsShared::new(1);
+/// let mut p = IsProcess::new(1, "hello");
+/// let me = ProcessId::new(0);
+/// while p.output().is_none() {
+///     p.step(me, &mut shared);
+/// }
+/// assert_eq!(p.output().unwrap(), &[(me, "hello")]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IsProcess<V> {
+    value: V,
+    level: usize,
+    phase: Phase,
+    output: Option<Vec<(ProcessId, V)>>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Write,
+    Snapshot,
+    Done,
+}
+
+impl<V: Clone> IsProcess<V> {
+    /// Creates the protocol state for a system of `n` processes proposing
+    /// `value`.
+    pub fn new(n: usize, value: V) -> Self {
+        IsProcess { value, level: n + 1, phase: Phase::Write, output: None }
+    }
+
+    /// Whether the protocol has produced its immediate snapshot.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// The immediate snapshot: the `(process, value)` pairs seen, once
+    /// available.
+    pub fn output(&self) -> Option<&[(ProcessId, V)]> {
+        self.output.as_deref()
+    }
+
+    /// The set of processes seen, once available.
+    pub fn view(&self) -> Option<ColorSet> {
+        self.output.as_ref().map(|o| o.iter().map(|&(p, _)| p).collect())
+    }
+
+    /// Executes one atomic step of the protocol for process `me`. No-op
+    /// once done. Returns whether the protocol is (now) done.
+    pub fn step(&mut self, me: ProcessId, shared: &mut IsShared<V>) -> bool {
+        match self.phase {
+            Phase::Done => true,
+            Phase::Write => {
+                self.level -= 1;
+                shared.memory.update(me, (self.level, self.value.clone()));
+                self.phase = Phase::Snapshot;
+                false
+            }
+            Phase::Snapshot => {
+                let snap = shared.memory.snapshot();
+                let at_or_below: Vec<(ProcessId, V)> = snap
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, slot)| {
+                        slot.as_ref().and_then(|(lvl, v)| {
+                            (*lvl <= self.level).then(|| (ProcessId::new(i), v.clone()))
+                        })
+                    })
+                    .collect();
+                if at_or_below.len() >= self.level {
+                    self.output = Some(at_or_below);
+                    self.phase = Phase::Done;
+                    true
+                } else {
+                    self.phase = Phase::Write;
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// A complete system running one Borowsky–Gafni IS instance for a set of
+/// participants — used to validate the algorithm under every scheduler.
+#[derive(Clone, Debug)]
+pub struct IsSystem<V> {
+    shared: IsShared<V>,
+    processes: Vec<Option<IsProcess<V>>>,
+}
+
+impl<V: Clone> IsSystem<V> {
+    /// Creates the system; `inputs[i]` is `Some(v)` iff process `i`
+    /// participates with value `v`.
+    pub fn new(inputs: Vec<Option<V>>) -> Self {
+        let n = inputs.len();
+        IsSystem {
+            shared: IsShared::new(n),
+            processes: inputs
+                .into_iter()
+                .map(|input| input.map(|v| IsProcess::new(n, v)))
+                .collect(),
+        }
+    }
+
+    /// The outputs gathered so far: `views[i]` is `Some` once process `i`
+    /// finished.
+    pub fn views(&self) -> Vec<Option<ColorSet>> {
+        self.processes
+            .iter()
+            .map(|p| p.as_ref().and_then(IsProcess::view))
+            .collect()
+    }
+
+    /// The shared state (operation counters etc.).
+    pub fn shared(&self) -> &IsShared<V> {
+        &self.shared
+    }
+
+    /// The full immediate-snapshot output of `p` (the `(process, value)`
+    /// pairs it saw), once decided.
+    pub fn output_of(&self, p: ProcessId) -> Option<Vec<(ProcessId, V)>> {
+        self.processes[p.index()]
+            .as_ref()
+            .and_then(|proc_| proc_.output().map(<[_]>::to_vec))
+    }
+}
+
+impl<V: Clone> System for IsSystem<V> {
+    fn step(&mut self, p: ProcessId) -> bool {
+        match &mut self.processes[p.index()] {
+            Some(proc_) => proc_.step(p, &mut self.shared),
+            None => true,
+        }
+    }
+
+    fn has_terminated(&self, p: ProcessId) -> bool {
+        self.processes[p.index()].as_ref().is_none_or(IsProcess::is_done)
+    }
+
+    fn num_processes(&self) -> usize {
+        self.processes.len()
+    }
+}
+
+/// A linearizable one-shot immediate-snapshot *oracle* whose run is forced
+/// by an ordered set partition: the processes of block `i` jointly return
+/// the values of blocks `1..=i`.
+#[derive(Clone, Debug)]
+pub struct OracleIs<V> {
+    osp: Osp,
+    values: Vec<Option<V>>,
+}
+
+impl<V: Clone> OracleIs<V> {
+    /// Creates an oracle for `n` processes following `osp`.
+    pub fn new(n: usize, osp: Osp) -> Self {
+        OracleIs { osp, values: vec![None; n] }
+    }
+
+    /// Submits `p`'s value (before querying outputs).
+    pub fn submit(&mut self, p: ProcessId, value: V) {
+        self.values[p.index()] = Some(value);
+    }
+
+    /// The immediate snapshot of `p` under the forced run: the values of
+    /// every process in `p`'s view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in the forced run or some process in `p`'s
+    /// view has not submitted a value.
+    pub fn output(&self, p: ProcessId) -> Vec<(ProcessId, V)> {
+        let view = self
+            .osp
+            .view_of(p)
+            .expect("process appears in the forced run");
+        view.iter()
+            .map(|q| {
+                (
+                    q,
+                    self.values[q.index()]
+                        .clone()
+                        .expect("every process in the view has submitted"),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Reconstructs the ordered set partition of an immediate-snapshot run
+/// from its views: block `i` is the set of processes sharing the `i`-th
+/// smallest view.
+///
+/// # Panics
+///
+/// Panics if the views do not satisfy the IS properties (not produced by a
+/// valid IS run).
+pub fn osp_from_views(views: &[(ProcessId, ColorSet)]) -> Osp {
+    let mut sorted: Vec<(ProcessId, ColorSet)> = views.to_vec();
+    sorted.sort_by_key(|&(_, v)| v.len());
+    let mut blocks: Vec<ColorSet> = Vec::new();
+    let mut last_view: Option<ColorSet> = None;
+    for (p, v) in sorted {
+        match last_view {
+            Some(lv) if lv == v => {
+                let b = blocks.last_mut().expect("block exists for repeated view");
+                *b = b.with(p);
+            }
+            _ => {
+                blocks.push(ColorSet::singleton(p));
+                last_view = Some(v);
+            }
+        }
+    }
+    Osp::new(blocks).expect("IS views induce an ordered set partition")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{explore_schedules, run_adversarial};
+    use rand::SeedableRng;
+
+    fn check_is_properties(views: &[(ProcessId, ColorSet)]) {
+        for &(p, v) in views {
+            assert!(v.contains(p), "self-inclusion");
+        }
+        for &(_, v1) in views {
+            for &(_, v2) in views {
+                assert!(v1.is_subset_of(v2) || v2.is_subset_of(v1), "containment");
+            }
+        }
+        for &(p1, v1) in views {
+            for &(_, v2) in views {
+                if v2.contains(p1) {
+                    assert!(v1.is_subset_of(v2), "immediacy");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bg_solo_run_sees_itself() {
+        let mut sys = IsSystem::new(vec![Some(10u32), None, None]);
+        let p0 = ProcessId::new(0);
+        let mut guard = 0;
+        while !sys.has_terminated(p0) {
+            sys.step(p0);
+            guard += 1;
+            assert!(guard < 100, "BG must terminate wait-free");
+        }
+        assert_eq!(sys.views()[0], Some(ColorSet::from_indices([0])));
+    }
+
+    #[test]
+    fn bg_satisfies_is_properties_under_random_schedules() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for trial in 0..200 {
+            let n = 2 + (trial % 3);
+            let inputs: Vec<Option<u32>> = (0..n).map(|i| Some(i as u32 * 10)).collect();
+            let mut sys = IsSystem::new(inputs);
+            let participants = ColorSet::full(n);
+            let outcome = run_adversarial(
+                &mut sys,
+                participants,
+                participants,
+                &mut rng,
+                |_| 0,
+                10_000,
+            );
+            assert!(outcome.all_correct_terminated, "BG is wait-free");
+            let views: Vec<(ProcessId, ColorSet)> = sys
+                .views()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (ProcessId::new(i), v.unwrap()))
+                .collect();
+            check_is_properties(&views);
+            // Values seen match views.
+            for (i, proc_) in sys.processes.iter().enumerate() {
+                let out = proc_.as_ref().unwrap().output().unwrap();
+                for &(q, val) in out {
+                    assert_eq!(val, q.index() as u32 * 10);
+                }
+                let _ = i;
+            }
+        }
+    }
+
+    #[test]
+    fn bg_exhaustive_two_processes() {
+        // Every interleaving of 2 processes yields a valid IS run; all 3
+        // ordered set partitions are reachable.
+        let participants = ColorSet::full(2);
+        let mut seen = std::collections::BTreeSet::new();
+        let runs = explore_schedules(
+            || IsSystem::new(vec![Some(0u8), Some(1u8)]),
+            participants,
+            participants,
+            40,
+            100_000,
+            |sys, outcome| {
+                assert!(outcome.all_correct_terminated);
+                let views: Vec<(ProcessId, ColorSet)> = sys
+                    .views()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (ProcessId::new(i), v.unwrap()))
+                    .collect();
+                check_is_properties(&views);
+                seen.insert(osp_from_views(&views));
+            },
+        );
+        assert!(runs > 0);
+        assert_eq!(seen.len(), 3, "all 3 OSPs of 2 processes are reachable");
+    }
+
+    #[test]
+    fn bg_faulty_processes_do_not_block_correct_ones() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for budget in 0..6 {
+            let mut sys = IsSystem::new(vec![Some(1u8), Some(2), Some(3)]);
+            let participants = ColorSet::full(3);
+            let correct = ColorSet::from_indices([0, 1]);
+            let outcome = run_adversarial(
+                &mut sys,
+                participants,
+                correct,
+                &mut rng,
+                |_| budget,
+                10_000,
+            );
+            assert!(outcome.all_correct_terminated, "IS is wait-free, budget {budget}");
+        }
+    }
+
+    #[test]
+    fn oracle_follows_forced_run() {
+        let osp = Osp::new(vec![
+            ColorSet::from_indices([1]),
+            ColorSet::from_indices([0, 2]),
+        ])
+        .unwrap();
+        let mut oracle = OracleIs::new(3, osp);
+        for i in 0..3 {
+            oracle.submit(ProcessId::new(i), i * 100);
+        }
+        assert_eq!(oracle.output(ProcessId::new(1)), vec![(ProcessId::new(1), 100)]);
+        let out0 = oracle.output(ProcessId::new(0));
+        assert_eq!(out0.len(), 3);
+    }
+
+    #[test]
+    fn osp_from_views_roundtrip() {
+        use act_topology::ordered_set_partitions;
+        for osp in ordered_set_partitions(ColorSet::full(4)) {
+            let views = osp.views();
+            assert_eq!(osp_from_views(&views), osp);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared-memory runtime for the FACT reproduction: the executable side of
+//! Section 2 of *An Asynchronous Computability Theorem for Fair
+//! Adversaries*.
+//!
+//! * [`SnapshotMemory`] / [`RegisterArray`] — simulated atomic-snapshot
+//!   memory and registers, every operation one scheduler step;
+//! * [`IsProcess`] — the Borowsky–Gafni one-shot immediate snapshot over
+//!   snapshot memory, plus the OSP-driven [`OracleIs`];
+//! * [`System`] and the schedulers — explicit replayable schedules
+//!   ([`run_schedule`]), seeded adversarial sampling ([`run_adversarial`])
+//!   and bounded exhaustive exploration ([`explore_schedules`]);
+//! * [`run_iis_with_bg`] / [`facet_of_run`] — the IIS model: executed runs
+//!   resolve to facets of `Chr^m s`;
+//! * [`SharedSnapshotMemory`] — a thread-backed variant for examples that
+//!   want real concurrency.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use act_runtime::{run_iis_with_bg, facet_of_run};
+//! use act_topology::{ColorSet, Complex};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let rounds = run_iis_with_bg(3, ColorSet::full(3), 2, &mut rng);
+//! let chr2 = Complex::standard(3).iterated_subdivision(2);
+//! assert!(facet_of_run(&chr2, &rounds).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod afek;
+mod bg_simulation;
+mod concurrent;
+mod immediate;
+mod iis;
+mod memory;
+mod objects;
+mod scheduler;
+mod trace;
+
+pub use afek::{AfekCell, AfekScan, AfekShared, AfekSystem, AfekUpdate, RecordedScan};
+pub use bg_simulation::{simulators, BgSimulation, SafeAgreement};
+pub use concurrent::SharedSnapshotMemory;
+pub use iis::{facet_of_run, random_osp, run_iis_with_bg};
+pub use immediate::{osp_from_views, IsProcess, IsShared, IsSystem, OracleIs};
+pub use memory::{RegisterArray, SnapshotMemory};
+pub use objects::{AdaptiveConsensusObject, AgreementBound};
+pub use scheduler::{explore_schedules, run_adversarial, run_schedule, RunOutcome, Schedule, System};
+pub use trace::Trace;

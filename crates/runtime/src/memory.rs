@@ -1,0 +1,186 @@
+//! Simulated shared memory: atomic registers and atomic-snapshot memory.
+//!
+//! The paper's base model is asynchronous processes over atomic-snapshot
+//! memory (Section 2). The simulator represents memory states explicitly
+//! and sequentially — each process step is one atomic operation, and the
+//! scheduler chooses the interleaving — which makes runs deterministic and
+//! replayable. Linearizability is by construction.
+
+use std::fmt;
+
+use act_topology::{ColorSet, ProcessId};
+
+/// A single-writer multi-reader atomic register array: one slot per
+/// process, readable by all.
+///
+/// # Examples
+///
+/// ```
+/// use act_runtime::RegisterArray;
+/// use act_topology::ProcessId;
+///
+/// let mut regs: RegisterArray<u32> = RegisterArray::new(3, 0);
+/// regs.write(ProcessId::new(1), 42);
+/// assert_eq!(*regs.read(ProcessId::new(1)), 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RegisterArray<T> {
+    slots: Vec<T>,
+}
+
+impl<T: Clone> RegisterArray<T> {
+    /// Creates an array of `n` registers, all holding `initial`.
+    pub fn new(n: usize, initial: T) -> Self {
+        RegisterArray { slots: vec![initial; n] }
+    }
+}
+
+impl<T> RegisterArray<T> {
+    /// Creates an array from per-process initial values.
+    pub fn from_values(values: Vec<T>) -> Self {
+        RegisterArray { slots: values }
+    }
+
+    /// The number of registers.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Writes `value` into `p`'s register (only `p` may do this).
+    pub fn write(&mut self, p: ProcessId, value: T) {
+        self.slots[p.index()] = value;
+    }
+
+    /// Reads `q`'s register.
+    pub fn read(&self, q: ProcessId) -> &T {
+        &self.slots[q.index()]
+    }
+
+    /// Reads the whole array (a *scan*; note this is NOT atomic in a real
+    /// system — use [`SnapshotMemory`] for atomic snapshots).
+    pub fn scan(&self) -> &[T] {
+        &self.slots
+    }
+}
+
+/// Simulated atomic-snapshot memory (Section 2 of the paper): a vector of
+/// per-process slots supporting `update` and an atomic `snapshot`.
+///
+/// `None` marks a slot never written — the owning process is not yet
+/// *participating*.
+#[derive(Clone)]
+pub struct SnapshotMemory<T> {
+    slots: Vec<Option<T>>,
+    updates: usize,
+    snapshots: usize,
+}
+
+impl<T: Clone> SnapshotMemory<T> {
+    /// Creates a memory with `n` empty slots.
+    pub fn new(n: usize) -> Self {
+        SnapshotMemory { slots: vec![None; n], updates: 0, snapshots: 0 }
+    }
+
+    /// The number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the memory has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// `update(v)` by process `p`: atomically replaces `p`'s slot.
+    pub fn update(&mut self, p: ProcessId, value: T) {
+        self.slots[p.index()] = Some(value);
+        self.updates += 1;
+    }
+
+    /// `snapshot()`: atomically reads all slots.
+    pub fn snapshot(&mut self) -> Vec<Option<T>> {
+        self.snapshots += 1;
+        self.slots.clone()
+    }
+
+    /// A snapshot without mutating operation counters (for assertions).
+    pub fn peek(&self) -> &[Option<T>] {
+        &self.slots
+    }
+
+    /// The set of processes whose slot has been written — the
+    /// *participating set* when first writes are initial states.
+    pub fn participants(&self) -> ColorSet {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| ProcessId::new(i))
+            .collect()
+    }
+
+    /// Operation counters `(updates, snapshots)` — exposed for the
+    /// step-complexity experiments.
+    pub fn op_counts(&self) -> (usize, usize) {
+        (self.updates, self.snapshots)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SnapshotMemory<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotMemory")
+            .field("slots", &self.slots)
+            .field("updates", &self.updates)
+            .field("snapshots", &self.snapshots)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_read_back_writes() {
+        let mut r: RegisterArray<i64> = RegisterArray::new(2, -1);
+        assert_eq!(*r.read(ProcessId::new(0)), -1);
+        r.write(ProcessId::new(0), 7);
+        assert_eq!(*r.read(ProcessId::new(0)), 7);
+        assert_eq!(*r.read(ProcessId::new(1)), -1);
+        assert_eq!(r.scan(), &[7, -1]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn from_values_preserves_order() {
+        let r = RegisterArray::from_values(vec!["a", "b"]);
+        assert_eq!(*r.read(ProcessId::new(1)), "b");
+    }
+
+    #[test]
+    fn snapshot_memory_tracks_participation() {
+        let mut m: SnapshotMemory<u32> = SnapshotMemory::new(3);
+        assert_eq!(m.participants(), ColorSet::EMPTY);
+        m.update(ProcessId::new(2), 5);
+        assert_eq!(m.participants(), ColorSet::from_indices([2]));
+        let snap = m.snapshot();
+        assert_eq!(snap, vec![None, None, Some(5)]);
+        assert_eq!(m.op_counts(), (1, 1));
+    }
+
+    #[test]
+    fn update_overwrites() {
+        let mut m: SnapshotMemory<u32> = SnapshotMemory::new(1);
+        let p = ProcessId::new(0);
+        m.update(p, 1);
+        m.update(p, 2);
+        assert_eq!(m.peek(), &[Some(2)]);
+        assert_eq!(m.op_counts(), (2, 0));
+    }
+}

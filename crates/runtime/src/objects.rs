@@ -1,0 +1,169 @@
+//! Shared α-adaptive set-consensus objects (Definition 4 of the paper).
+//!
+//! The *α-set-consensus model* equips processes with linearizable objects
+//! whose `propose` operation guarantees:
+//!
+//! * **termination** — every invocation returns;
+//! * **validity** — the returned value was previously proposed;
+//! * **α-agreement** — at any point, the number of distinct returned
+//!   values does not exceed `α(P)` for the current participating set `P`.
+//!
+//! The implementation is an *adversarially generous* linearizable object:
+//! it returns the proposer's own value whenever doing so keeps the
+//! distinct-count within `α(P)`, and otherwise falls back to an
+//! already-returned (or the oldest) value — so tests exercising the bound
+//! see the worst legal behaviour.
+
+use act_topology::{ColorSet, ProcessId};
+
+/// The agreement bound: a function from participating sets to the maximal
+/// number of distinct outputs (an `AgreementFunction` table, abstracted to
+/// avoid a dependency cycle).
+pub trait AgreementBound {
+    /// `α(P)` for the participating set `P`.
+    fn bound(&self, participants: ColorSet) -> usize;
+}
+
+impl<F: Fn(ColorSet) -> usize> AgreementBound for F {
+    fn bound(&self, participants: ColorSet) -> usize {
+        self(participants)
+    }
+}
+
+/// A linearizable α-adaptive set-consensus object. Each `propose` is one
+/// atomic step in the simulated world.
+#[derive(Clone, Debug)]
+pub struct AdaptiveConsensusObject<B> {
+    alpha: B,
+    participants: ColorSet,
+    proposals: Vec<(ProcessId, u64)>,
+    returned: Vec<u64>,
+}
+
+impl<B: AgreementBound> AdaptiveConsensusObject<B> {
+    /// Creates the object with the given agreement bound.
+    pub fn new(alpha: B) -> Self {
+        AdaptiveConsensusObject {
+            alpha,
+            participants: ColorSet::EMPTY,
+            proposals: Vec::new(),
+            returned: Vec::new(),
+        }
+    }
+
+    /// The current participating set (processes that have proposed).
+    pub fn participants(&self) -> ColorSet {
+        self.participants
+    }
+
+    /// The distinct values returned so far.
+    pub fn returned_values(&self) -> Vec<u64> {
+        let mut v = self.returned.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Atomically proposes `value` on behalf of `p`. Returns the decided
+    /// value, or `None` while the current participation has agreement
+    /// power 0 — Definition 3 requires `α(P) ≥ 1` before the model makes
+    /// progress, so callers retry after participation grows (the proposal
+    /// is registered either way).
+    pub fn propose(&mut self, p: ProcessId, value: u64) -> Option<u64> {
+        self.participants = self.participants.with(p);
+        if !self.proposals.iter().any(|&(q, _)| q == p) {
+            self.proposals.push((p, value));
+        }
+        let budget = self.alpha.bound(self.participants);
+        if budget == 0 {
+            return None;
+        }
+        let mut distinct = self.returned_values();
+        let decided = if distinct.contains(&value) || distinct.len() < budget {
+            value
+        } else {
+            // Must reuse: pick deterministically among already returned.
+            distinct.sort_unstable();
+            distinct[0]
+        };
+        self.returned.push(decided);
+        debug_assert!(self.returned_values().len() <= budget);
+        Some(decided)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k_bound(k: usize) -> impl AgreementBound {
+        move |p: ColorSet| p.len().min(k)
+    }
+
+    #[test]
+    fn validity_and_termination() {
+        let mut obj = AdaptiveConsensusObject::new(k_bound(2));
+        let d = obj.propose(ProcessId::new(0), 42);
+        assert_eq!(d, Some(42), "first proposer gets its own value");
+        assert_eq!(obj.participants(), ColorSet::from_indices([0]));
+    }
+
+    #[test]
+    fn agreement_bound_is_enforced() {
+        let mut obj = AdaptiveConsensusObject::new(k_bound(2));
+        let d0 = obj.propose(ProcessId::new(0), 10).unwrap();
+        let d1 = obj.propose(ProcessId::new(1), 11).unwrap();
+        let d2 = obj.propose(ProcessId::new(2), 12).unwrap();
+        assert_eq!(d0, 10);
+        assert_eq!(d1, 11, "two distinct values allowed at α = 2");
+        assert!(d2 == 10 || d2 == 11, "third must reuse");
+        assert!(obj.returned_values().len() <= 2);
+    }
+
+    #[test]
+    fn adaptivity_grows_with_participation() {
+        // α(P) = |P|: everyone keeps its own value.
+        let mut obj = AdaptiveConsensusObject::new(|p: ColorSet| p.len());
+        for i in 0..4 {
+            let d = obj.propose(ProcessId::new(i), i as u64 * 7);
+            assert_eq!(d, Some(i as u64 * 7));
+        }
+        assert_eq!(obj.returned_values().len(), 4);
+    }
+
+    #[test]
+    fn consensus_bound_forces_single_value() {
+        let mut obj = AdaptiveConsensusObject::new(k_bound(1));
+        let d0 = obj.propose(ProcessId::new(2), 5).unwrap();
+        for i in 0..2 {
+            assert_eq!(obj.propose(ProcessId::new(i), 100 + i as u64), Some(d0));
+        }
+    }
+
+    #[test]
+    fn repeated_proposals_stay_valid() {
+        let mut obj = AdaptiveConsensusObject::new(k_bound(2));
+        let mut all_proposed = Vec::new();
+        for round in 0..5u64 {
+            for i in 0..3 {
+                let v = round * 10 + i as u64;
+                all_proposed.push(v);
+                let d = obj.propose(ProcessId::new(i), v).unwrap();
+                assert!(all_proposed.contains(&d), "validity");
+            }
+            assert!(obj.returned_values().len() <= 2, "α-agreement at every point");
+        }
+    }
+
+    #[test]
+    fn powerless_participation_defers() {
+        // A 1-resilient-style bound: no progress while only one process
+        // participates; decisions flow once a second one arrives.
+        let mut obj = AdaptiveConsensusObject::new(|p: ColorSet| {
+            if p.len() >= 2 { 1 } else { 0 }
+        });
+        assert_eq!(obj.propose(ProcessId::new(0), 1), None);
+        assert_eq!(obj.propose(ProcessId::new(1), 2), Some(2));
+        assert_eq!(obj.propose(ProcessId::new(0), 1), Some(2));
+    }
+}

@@ -1,0 +1,372 @@
+//! Deterministic, replayable scheduling of asynchronous process systems.
+//!
+//! A [`System`] bundles the shared memory and the per-process protocol
+//! states; the scheduler chooses which process executes its next atomic
+//! step. Runs are driven either by an explicit [`Schedule`], by a seeded
+//! random generator (adversarial sampling), or by bounded exhaustive
+//! exploration (small systems).
+
+use act_topology::{ColorSet, ProcessId};
+
+/// A system of `n` asynchronous processes sharing memory. One call to
+/// [`System::step`] executes exactly one atomic shared-memory operation of
+/// the chosen process.
+pub trait System {
+    /// Executes one atomic step of `p`. Stepping a terminated process is a
+    /// no-op. Returns whether `p` is (now) terminated.
+    fn step(&mut self, p: ProcessId) -> bool;
+
+    /// Whether `p` has terminated (produced its output).
+    fn has_terminated(&self, p: ProcessId) -> bool;
+
+    /// The number of processes.
+    fn num_processes(&self) -> usize;
+}
+
+/// An explicit schedule: the sequence of processes taking steps.
+pub type Schedule = Vec<ProcessId>;
+
+/// The outcome of driving a system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Total steps executed.
+    pub steps: usize,
+    /// Processes that terminated.
+    pub terminated: ColorSet,
+    /// Whether every targeted (correct) process terminated.
+    pub all_correct_terminated: bool,
+    /// The schedule actually executed (for replay).
+    pub schedule: Schedule,
+}
+
+/// Replays an explicit schedule. Steps of already-terminated processes are
+/// executed as no-ops (and still recorded).
+pub fn run_schedule<S: System>(sys: &mut S, schedule: &[ProcessId]) -> RunOutcome {
+    for &p in schedule {
+        sys.step(p);
+    }
+    let terminated = terminated_set(sys);
+    RunOutcome {
+        steps: schedule.len(),
+        terminated,
+        all_correct_terminated: false,
+        schedule: schedule.to_vec(),
+    }
+}
+
+fn terminated_set<S: System>(sys: &S) -> ColorSet {
+    (0..sys.num_processes())
+        .map(ProcessId::new)
+        .filter(|&p| sys.has_terminated(p))
+        .collect()
+}
+
+/// Drives `sys` with a seeded random adversarial schedule:
+///
+/// * processes in `correct` are scheduled until they terminate;
+/// * processes in `participants \ correct` are *faulty*: each takes at most
+///   its crash budget of steps (chosen by `crash_budget(p)`), then stops;
+/// * processes outside `participants` never move.
+///
+/// Returns when every correct process has terminated, or when `max_steps`
+/// is reached (`all_correct_terminated` is then `false` — a liveness
+/// violation if the protocol was supposed to terminate).
+///
+/// # Panics
+///
+/// Panics if `correct` is not a subset of `participants`, or is empty.
+pub fn run_adversarial<S, R, F>(
+    sys: &mut S,
+    participants: ColorSet,
+    correct: ColorSet,
+    rng: &mut R,
+    mut crash_budget: F,
+    max_steps: usize,
+) -> RunOutcome
+where
+    S: System,
+    R: rand::Rng,
+    F: FnMut(ProcessId) -> usize,
+{
+    assert!(correct.is_subset_of(participants), "correct processes must participate");
+    assert!(!correct.is_empty(), "at least one process must be correct");
+    let mut budgets: Vec<Option<usize>> = (0..sys.num_processes())
+        .map(|i| {
+            let p = ProcessId::new(i);
+            if !participants.contains(p) {
+                Some(0)
+            } else if correct.contains(p) {
+                None // unbounded
+            } else {
+                Some(crash_budget(p))
+            }
+        })
+        .collect();
+
+    let mut schedule = Vec::new();
+    let mut steps = 0usize;
+    loop {
+        // Eligible: not terminated, with budget left.
+        let eligible: Vec<ProcessId> = (0..sys.num_processes())
+            .map(ProcessId::new)
+            .filter(|&p| !sys.has_terminated(p) && budgets[p.index()] != Some(0))
+            .collect();
+        let correct_pending =
+            correct.iter().any(|p| !sys.has_terminated(p));
+        if !correct_pending {
+            return RunOutcome {
+                steps,
+                terminated: terminated_set(sys),
+                all_correct_terminated: true,
+                schedule,
+            };
+        }
+        if eligible.is_empty() || steps >= max_steps {
+            return RunOutcome {
+                steps,
+                terminated: terminated_set(sys),
+                all_correct_terminated: false,
+                schedule,
+            };
+        }
+        let p = eligible[rng.gen_range(0..eligible.len())];
+        if let Some(b) = &mut budgets[p.index()] {
+            *b -= 1;
+        }
+        sys.step(p);
+        schedule.push(p);
+        steps += 1;
+    }
+}
+
+/// Bounded exhaustive exploration: enumerates every interleaving of the
+/// participants (faulty processes may stop at any point — modeled by
+/// simply not scheduling them further), invoking `visit` on each maximal
+/// run, until `max_runs` runs have been visited or the space is exhausted.
+///
+/// A run is maximal when every correct process has terminated. The
+/// exploration aborts a branch after `max_depth` steps (counted as a
+/// liveness failure, reported with `all_correct_terminated = false`).
+///
+/// Returns the number of runs visited.
+pub fn explore_schedules<S, F, V>(
+    factory: F,
+    participants: ColorSet,
+    correct: ColorSet,
+    max_depth: usize,
+    max_runs: usize,
+    mut visit: V,
+) -> usize
+where
+    S: System,
+    F: Fn() -> S,
+    V: FnMut(&S, &RunOutcome),
+{
+    assert!(correct.is_subset_of(participants), "correct processes must participate");
+    let mut count = 0usize;
+    let mut prefix: Schedule = Vec::new();
+    explore_rec(
+        &factory,
+        participants,
+        correct,
+        max_depth,
+        max_runs,
+        &mut prefix,
+        &mut count,
+        &mut visit,
+    );
+    count
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore_rec<S, F, V>(
+    factory: &F,
+    participants: ColorSet,
+    correct: ColorSet,
+    max_depth: usize,
+    max_runs: usize,
+    prefix: &mut Schedule,
+    count: &mut usize,
+    visit: &mut V,
+) where
+    S: System,
+    F: Fn() -> S,
+    V: FnMut(&S, &RunOutcome),
+{
+    if *count >= max_runs {
+        return;
+    }
+    // Replay the prefix on a fresh system.
+    let mut sys = factory();
+    for &p in prefix.iter() {
+        sys.step(p);
+    }
+    let correct_pending = correct.iter().any(|p| !sys.has_terminated(p));
+    if !correct_pending || prefix.len() >= max_depth {
+        *count += 1;
+        let outcome = RunOutcome {
+            steps: prefix.len(),
+            terminated: (0..sys.num_processes())
+                .map(ProcessId::new)
+                .filter(|&p| sys.has_terminated(p))
+                .collect(),
+            all_correct_terminated: !correct_pending,
+            schedule: prefix.clone(),
+        };
+        visit(&sys, &outcome);
+        return;
+    }
+    for p in participants.iter() {
+        if sys.has_terminated(p) {
+            continue;
+        }
+        prefix.push(p);
+        explore_rec(
+            factory,
+            participants,
+            correct,
+            max_depth,
+            max_runs,
+            prefix,
+            count,
+            visit,
+        );
+        prefix.pop();
+        if *count >= max_runs {
+            return;
+        }
+    }
+    // Additionally: branches where every remaining non-terminated faulty
+    // process crashes here are covered by the sub-branches that only
+    // schedule correct processes from now on, because crashing is simply
+    // "never scheduled again".
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A toy system: each process must take exactly `k` steps to finish.
+    struct Countdown {
+        remaining: Vec<usize>,
+    }
+
+    impl Countdown {
+        fn new(n: usize, k: usize) -> Self {
+            Countdown { remaining: vec![k; n] }
+        }
+    }
+
+    impl System for Countdown {
+        fn step(&mut self, p: ProcessId) -> bool {
+            let r = &mut self.remaining[p.index()];
+            if *r > 0 {
+                *r -= 1;
+            }
+            *r == 0
+        }
+        fn has_terminated(&self, p: ProcessId) -> bool {
+            self.remaining[p.index()] == 0
+        }
+        fn num_processes(&self) -> usize {
+            self.remaining.len()
+        }
+    }
+
+    #[test]
+    fn run_schedule_replays() {
+        let mut sys = Countdown::new(2, 2);
+        let p0 = ProcessId::new(0);
+        let outcome = run_schedule(&mut sys, &[p0, p0]);
+        assert_eq!(outcome.steps, 2);
+        assert!(sys.has_terminated(p0));
+        assert!(!sys.has_terminated(ProcessId::new(1)));
+        assert_eq!(outcome.terminated, ColorSet::from_indices([0]));
+    }
+
+    #[test]
+    fn adversarial_run_terminates_correct_processes() {
+        let mut sys = Countdown::new(3, 4);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let participants = ColorSet::full(3);
+        let correct = ColorSet::from_indices([0, 2]);
+        let outcome =
+            run_adversarial(&mut sys, participants, correct, &mut rng, |_| 2, 10_000);
+        assert!(outcome.all_correct_terminated);
+        assert!(sys.has_terminated(ProcessId::new(0)));
+        assert!(sys.has_terminated(ProcessId::new(2)));
+        // The faulty process took at most 2 of its 4 steps.
+        assert!(!sys.has_terminated(ProcessId::new(1)));
+    }
+
+    #[test]
+    fn adversarial_run_detects_livelock() {
+        // A process that never finishes.
+        struct Never;
+        impl System for Never {
+            fn step(&mut self, _p: ProcessId) -> bool {
+                false
+            }
+            fn has_terminated(&self, _p: ProcessId) -> bool {
+                false
+            }
+            fn num_processes(&self) -> usize {
+                1
+            }
+        }
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let p = ColorSet::from_indices([0]);
+        let outcome = run_adversarial(&mut Never, p, p, &mut rng, |_| 0, 50);
+        assert!(!outcome.all_correct_terminated);
+        assert_eq!(outcome.steps, 50);
+    }
+
+    #[test]
+    fn exhaustive_exploration_counts_interleavings() {
+        // Two processes, one step each, both correct: the maximal runs are
+        // the 2 orderings.
+        let participants = ColorSet::full(2);
+        let count = explore_schedules(
+            || Countdown::new(2, 1),
+            participants,
+            participants,
+            10,
+            1000,
+            |_sys, outcome| {
+                assert!(outcome.all_correct_terminated);
+                assert_eq!(outcome.steps, 2);
+            },
+        );
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn exploration_respects_run_cap() {
+        let participants = ColorSet::full(3);
+        let count = explore_schedules(
+            || Countdown::new(3, 3),
+            participants,
+            participants,
+            100,
+            17,
+            |_, _| {},
+        );
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "must participate")]
+    fn correct_outside_participants_rejected() {
+        let mut sys = Countdown::new(2, 1);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let _ = run_adversarial(
+            &mut sys,
+            ColorSet::from_indices([0]),
+            ColorSet::from_indices([1]),
+            &mut rng,
+            |_| 0,
+            10,
+        );
+    }
+}

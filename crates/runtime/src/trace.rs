@@ -1,0 +1,116 @@
+//! Run traces: serializable schedules for deterministic replay.
+//!
+//! Every run of the simulator is fully determined by its schedule (the
+//! sequence of process steps), so a trace — participants plus schedule —
+//! reproduces a run bit for bit. Traces serialize with serde, which is
+//! how failing adversarial runs found by randomized experiments are kept
+//! as regression artifacts.
+
+use act_topology::{ColorSet, ProcessId};
+use serde::{Deserialize, Serialize};
+
+use crate::scheduler::{RunOutcome, System};
+
+/// A recorded run: the participants and the exact schedule executed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The participating processes.
+    pub participants: ColorSet,
+    /// The schedule, as process indices.
+    pub steps: Vec<u32>,
+}
+
+impl Trace {
+    /// Captures a trace from a completed run.
+    pub fn from_outcome(participants: ColorSet, outcome: &RunOutcome) -> Trace {
+        Trace {
+            participants,
+            steps: outcome.schedule.iter().map(|p| p.index() as u32).collect(),
+        }
+    }
+
+    /// The schedule as process ids.
+    pub fn schedule(&self) -> Vec<ProcessId> {
+        self.steps.iter().map(|&i| ProcessId::new(i as usize)).collect()
+    }
+
+    /// Replays the trace on a fresh system, returning the set of
+    /// processes that terminated.
+    pub fn replay<S: System>(&self, sys: &mut S) -> ColorSet {
+        for p in self.schedule() {
+            sys.step(p);
+        }
+        (0..sys.num_processes())
+            .map(ProcessId::new)
+            .filter(|&p| sys.has_terminated(p))
+            .collect()
+    }
+
+    /// The number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::immediate::IsSystem;
+    use crate::scheduler::run_adversarial;
+    use rand::SeedableRng;
+
+    fn fresh() -> IsSystem<u8> {
+        IsSystem::new(vec![Some(1), Some(2), Some(3)])
+    }
+
+    #[test]
+    fn replay_reproduces_views_exactly() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        for _ in 0..50 {
+            let mut sys = fresh();
+            let participants = ColorSet::full(3);
+            let outcome =
+                run_adversarial(&mut sys, participants, participants, &mut rng, |_| 0, 50_000);
+            let trace = Trace::from_outcome(participants, &outcome);
+
+            let mut replayed = fresh();
+            let terminated = trace.replay(&mut replayed);
+            assert_eq!(terminated, outcome.terminated);
+            assert_eq!(replayed.views(), sys.views(), "replay is bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn traces_serialize_round_trip() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let mut sys = fresh();
+        let participants = ColorSet::full(3);
+        let outcome =
+            run_adversarial(&mut sys, participants, participants, &mut rng, |_| 0, 50_000);
+        let trace = Trace::from_outcome(participants, &outcome);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.len(), outcome.steps);
+        assert!(!back.is_empty());
+    }
+
+    #[test]
+    fn truncated_trace_leaves_processes_running() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(43);
+        let mut sys = fresh();
+        let participants = ColorSet::full(3);
+        let outcome =
+            run_adversarial(&mut sys, participants, participants, &mut rng, |_| 0, 50_000);
+        let mut trace = Trace::from_outcome(participants, &outcome);
+        trace.steps.truncate(1);
+        let mut replayed = fresh();
+        let terminated = trace.replay(&mut replayed);
+        assert!(terminated.len() < 3, "one step cannot finish everyone");
+    }
+}

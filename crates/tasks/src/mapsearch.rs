@@ -1,0 +1,420 @@
+//! Deciding the existence of a chromatic simplicial map carried by a
+//! task's carrier map — the computational content of the (F)ACT statement
+//! "`T` is solvable iff there is `ℓ` and `φ : R_A^ℓ(I) → O` carried by Δ".
+//!
+//! The decision procedure is a constraint search. Every used vertex of the
+//! (subdivided) domain is a variable whose values are same-colored output
+//! vertices; every facet contributes one table constraint whose allowed
+//! tuples are precomputed (facets have at most `n` vertices and a handful
+//! of candidate values each, so tables are small). Generalized arc
+//! consistency over the tables plus backtracking makes both directions —
+//! finding maps and *exhausting* the space (unsolvability proofs) —
+//! practical for the paper's instances.
+
+use std::collections::HashMap;
+
+use act_topology::{Complex, Simplex, VertexId, VertexMap};
+
+use crate::task::Task;
+
+/// The verdict of a bounded map search.
+#[derive(Clone, Debug)]
+pub enum SearchResult {
+    /// A carried chromatic simplicial map exists.
+    Found(VertexMap),
+    /// No such map exists (the search space was exhausted).
+    Unsolvable,
+    /// The step budget ran out before the search completed.
+    Exhausted,
+}
+
+impl SearchResult {
+    /// Whether a map was found.
+    pub fn is_found(&self) -> bool {
+        matches!(self, SearchResult::Found(_))
+    }
+
+    /// Whether unsolvability was established.
+    pub fn is_unsolvable(&self) -> bool {
+        matches!(self, SearchResult::Unsolvable)
+    }
+
+    /// The found map, if any.
+    pub fn into_map(self) -> Option<VertexMap> {
+        match self {
+            SearchResult::Found(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Internal CSP representation: variables are used domain vertices
+/// (re-indexed densely), values are output vertex ids.
+struct Csp {
+    /// Dense index -> domain vertex.
+    vars: Vec<VertexId>,
+    /// Domain vertex -> dense index.
+    var_of: HashMap<VertexId, usize>,
+    /// Per variable: candidate output vertices (current domains).
+    domains: Vec<Vec<VertexId>>,
+    /// Per facet: member variables and the precomputed allowed tuples
+    /// (aligned with the member order).
+    constraints: Vec<TableConstraint>,
+    /// Per variable: indices of constraints it appears in.
+    constraints_of: Vec<Vec<usize>>,
+}
+
+struct TableConstraint {
+    members: Vec<usize>,
+    tuples: Vec<Vec<VertexId>>,
+}
+
+impl Csp {
+    fn build(task: &dyn Task, domain: &Complex) -> Option<Csp> {
+        let outputs = task.outputs();
+        let vars: Vec<VertexId> = domain.used_vertices();
+        let var_of: HashMap<VertexId, usize> =
+            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+        // Initial per-vertex domains.
+        let mut domains = Vec::with_capacity(vars.len());
+        for &v in &vars {
+            let color = domain.color(v);
+            let carrier = &domain.vertex(v).base_carrier;
+            let cands: Vec<VertexId> = (0..outputs.num_vertices())
+                .map(VertexId::from_index)
+                .filter(|&w| {
+                    outputs.color(w) == color
+                        && outputs.contains_simplex(&Simplex::vertex(w))
+                        && task.allows(carrier, &Simplex::vertex(w))
+                })
+                .collect();
+            if cands.is_empty() {
+                return None;
+            }
+            domains.push(cands);
+        }
+
+        // Table constraints: per facet, enumerate assignments whose every
+        // face maps to an allowed output simplex of its own carrier.
+        let mut constraints = Vec::with_capacity(domain.facet_count());
+        let mut constraints_of = vec![Vec::new(); vars.len()];
+        for facet in domain.facets() {
+            let members: Vec<usize> =
+                facet.vertices().iter().map(|v| var_of[v]).collect();
+            let mut tuples = Vec::new();
+            let mut choice = vec![0usize; members.len()];
+            'outer: loop {
+                let assignment: Vec<VertexId> = members
+                    .iter()
+                    .zip(&choice)
+                    .map(|(&m, &c)| domains[m][c])
+                    .collect();
+                if facet_image_valid(task, domain, facet, &assignment) {
+                    tuples.push(assignment);
+                }
+                let mut i = 0;
+                loop {
+                    if i == members.len() {
+                        break 'outer;
+                    }
+                    choice[i] += 1;
+                    if choice[i] < domains[members[i]].len() {
+                        break;
+                    }
+                    choice[i] = 0;
+                    i += 1;
+                }
+            }
+            if tuples.is_empty() {
+                return None;
+            }
+            let ci = constraints.len();
+            for &m in &members {
+                constraints_of[m].push(ci);
+            }
+            constraints.push(TableConstraint { members, tuples });
+        }
+        Some(Csp { vars, var_of, domains, constraints, constraints_of })
+    }
+
+    /// GAC fixpoint; prunes `domains`. Returns false on wipe-out.
+    fn propagate(&mut self, seed: Option<usize>) -> bool {
+        let mut queue: Vec<usize> = match seed {
+            Some(v) => self.constraints_of[v].clone(),
+            None => (0..self.constraints.len()).collect(),
+        };
+        let mut queued = vec![false; self.constraints.len()];
+        for &q in &queue {
+            queued[q] = true;
+        }
+        while let Some(ci) = queue.pop() {
+            queued[ci] = false;
+            let members = self.constraints[ci].members.clone();
+            for (pos, &m) in members.iter().enumerate() {
+                let before = self.domains[m].len();
+                let dom = &self.domains;
+                let supported: Vec<VertexId> = self.constraints[ci]
+                    .tuples
+                    .iter()
+                    .filter(|t| {
+                        t.iter()
+                            .zip(&members)
+                            .all(|(val, &mm)| dom[mm].contains(val))
+                    })
+                    .map(|t| t[pos])
+                    .collect();
+                self.domains[m].retain(|c| supported.contains(c));
+                if self.domains[m].is_empty() {
+                    return false;
+                }
+                if self.domains[m].len() < before {
+                    for &other in &self.constraints_of[m] {
+                        if !queued[other] {
+                            queued[other] = true;
+                            queue.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Checks that the image of every face of `facet` under the aligned
+/// assignment is an output simplex allowed by the face's carrier.
+fn facet_image_valid(
+    task: &dyn Task,
+    domain: &Complex,
+    facet: &Simplex,
+    assignment: &[VertexId],
+) -> bool {
+    let outputs = task.outputs();
+    let vs = facet.vertices();
+    let m = vs.len();
+    debug_assert!(m <= 63);
+    for mask in 1u64..(1 << m) {
+        let face = Simplex::from_vertices(
+            (0..m).filter(|i| mask & (1 << i) != 0).map(|i| vs[i]),
+        );
+        let image = Simplex::from_vertices(
+            (0..m).filter(|i| mask & (1 << i) != 0).map(|i| assignment[i]),
+        );
+        if !outputs.contains_simplex(&image) {
+            return false;
+        }
+        let carrier = domain.carrier_in_base(&face);
+        if !task.allows(&carrier, &image) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Searches for a chromatic simplicial map `φ : domain → task.outputs()`
+/// carried by `Δ ∘ carrier`, where `domain` is a subdivision (possibly an
+/// iterated affine task) whose base is the task's input complex.
+///
+/// `max_nodes` bounds the number of backtracking nodes explored;
+/// [`SearchResult::Exhausted`] is returned when it runs out, so callers
+/// can distinguish "no map" from "gave up".
+///
+/// # Panics
+///
+/// Panics if the domain's base complex does not match the task's input
+/// complex structurally (vertex count / process count).
+pub fn find_carried_map(task: &dyn Task, domain: &Complex, max_nodes: usize) -> SearchResult {
+    assert_eq!(
+        domain.base().num_vertices(),
+        task.inputs().num_vertices(),
+        "domain must be a subdivision of the task's input complex"
+    );
+    assert_eq!(domain.num_processes(), task.num_processes());
+
+    let mut csp = match Csp::build(task, domain) {
+        Some(c) => c,
+        None => return SearchResult::Unsolvable,
+    };
+    if !csp.propagate(None) {
+        return SearchResult::Unsolvable;
+    }
+
+    let mut nodes = 0usize;
+    match search(&mut csp, &mut nodes, max_nodes) {
+        Assign::Found => {
+            let mut map = VertexMap::new();
+            for (i, &v) in csp.vars.iter().enumerate() {
+                map.set(v, csp.domains[i][0]);
+            }
+            debug_assert!(csp.var_of.len() == csp.vars.len());
+            SearchResult::Found(map)
+        }
+        Assign::NoMap => SearchResult::Unsolvable,
+        Assign::Budget => SearchResult::Exhausted,
+    }
+}
+
+enum Assign {
+    Found,
+    NoMap,
+    Budget,
+}
+
+fn search(csp: &mut Csp, nodes: &mut usize, max_nodes: usize) -> Assign {
+    // Pick the unassigned variable with the smallest domain > 1.
+    let var = (0..csp.domains.len())
+        .filter(|&i| csp.domains[i].len() > 1)
+        .min_by_key(|&i| csp.domains[i].len());
+    let var = match var {
+        None => return Assign::Found, // all singletons and GAC-consistent
+        Some(v) => v,
+    };
+    *nodes += 1;
+    if *nodes > max_nodes {
+        return Assign::Budget;
+    }
+    let candidates = csp.domains[var].clone();
+    for c in candidates {
+        let saved = csp.domains.clone();
+        csp.domains[var] = vec![c];
+        if csp.propagate(Some(var)) {
+            match search(csp, nodes, max_nodes) {
+                Assign::Found => return Assign::Found,
+                Assign::Budget => return Assign::Budget,
+                Assign::NoMap => {}
+            }
+        }
+        csp.domains = saved;
+    }
+    Assign::NoMap
+}
+
+/// Independently verifies that `map` is a total chromatic simplicial map
+/// from `domain` to the task's outputs, carried by `Δ ∘ carrier` on every
+/// simplex (exhaustive over all faces of all facets).
+pub fn verify_carried_map(task: &dyn Task, domain: &Complex, map: &VertexMap) -> bool {
+    let outputs = task.outputs();
+    if !map.is_total_on(domain) {
+        return false;
+    }
+    if !map.is_chromatic(domain, outputs) {
+        return false;
+    }
+    for facet in domain.facets() {
+        for face in facet.non_empty_faces() {
+            let image = match map.image(&face) {
+                Some(i) => i,
+                None => return false,
+            };
+            if !outputs.contains_simplex(&image) {
+                return false;
+            }
+            let carrier = domain.carrier_in_base(&face);
+            if !task.allows(&carrier, &image) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{consensus, SetConsensus, Task, TrivialTask};
+    use act_topology::Complex;
+
+    /// Subdivide a task's input complex m times with Chr.
+    fn chr_domain(task: &dyn Task, m: usize) -> Complex {
+        task.inputs().iterated_subdivision(m)
+    }
+
+    #[test]
+    fn trivial_task_solvable_without_subdivision() {
+        let t = TrivialTask::new(2, &[0, 1]);
+        let domain = t.inputs().clone();
+        let result = find_carried_map(&t, &domain, 100_000);
+        let map = result.into_map().expect("trivial task is solvable");
+        assert!(verify_carried_map(&t, &domain, &map));
+    }
+
+    #[test]
+    fn trivial_task_solvable_after_subdivision() {
+        let t = TrivialTask::new(2, &[0, 1]);
+        let domain = chr_domain(&t, 1);
+        let result = find_carried_map(&t, &domain, 100_000);
+        let map = result.into_map().expect("still solvable after Chr");
+        assert!(verify_carried_map(&t, &domain, &map));
+    }
+
+    #[test]
+    fn consensus_unsolvable_wait_free_two_processes() {
+        // FLP / ACT: consensus is not wait-free solvable — no chromatic
+        // carried map exists from any Chr^m(I), checked for m = 1, 2.
+        let t = consensus(2, &[0, 1]);
+        for m in 1..=2 {
+            let domain = chr_domain(&t, m);
+            let result = find_carried_map(&t, &domain, 1_000_000);
+            assert!(result.is_unsolvable(), "consensus must be unsolvable at m = {m}");
+        }
+    }
+
+    #[test]
+    fn two_set_consensus_solvable_wait_free_two_processes() {
+        // 2 processes, k = 2: trivially solvable (everyone decides own
+        // value).
+        let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+        let domain = chr_domain(&t, 1);
+        let result = find_carried_map(&t, &domain, 100_000);
+        let map = result.into_map().expect("2-set consensus is wait-free solvable");
+        assert!(verify_carried_map(&t, &domain, &map));
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let t = consensus(2, &[0, 1]);
+        let domain = chr_domain(&t, 2);
+        let result = find_carried_map(&t, &domain, 1);
+        assert!(matches!(result, SearchResult::Exhausted | SearchResult::Unsolvable));
+    }
+
+    #[test]
+    fn three_process_two_set_consensus_wait_free_unsolvable() {
+        // Herlihy–Shavit / Saks–Zaharoglou: (n−1)-set consensus is not
+        // wait-free solvable. Parity-type impossibilities are invisible to
+        // local consistency (plain search would have to enumerate an
+        // astronomic space), so this is established with the Sperner
+        // certificate on the wait-free domains Chr^m s.
+        use crate::sperner::sperner_certificate;
+        for m in 1..=2 {
+            let domain = Complex::standard(3).iterated_subdivision(m);
+            assert!(
+                sperner_certificate(&domain),
+                "Sperner certificate must apply at depth {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn consensus_unsolvable_wait_free_three_processes_one_round() {
+        // Consensus constraints (one decided value per run) propagate
+        // strongly: GAC exhausts the rainbow-restricted instance fast.
+        let t = consensus(3, &[0, 1, 2]);
+        let i = t.inputs();
+        let rainbow = i
+            .facets()
+            .iter()
+            .find(|f| {
+                let mut vals: Vec<u64> =
+                    f.vertices().iter().map(|&v| i.vertex(v).label).collect();
+                vals.sort_unstable();
+                vals == vec![0, 1, 2]
+            })
+            .unwrap()
+            .clone();
+        let domain = i.sub_complex(vec![rainbow]).iterated_subdivision(1);
+        let result = find_carried_map(&t, &domain, 1_000_000);
+        assert!(result.is_unsolvable());
+    }
+}

@@ -1,0 +1,333 @@
+//! Further classic tasks: adopt-commit and (generalized) simplex
+//! agreement — both used as additional calibration points for the
+//! carried-map solver.
+
+use act_topology::{ColorSet, Complex, ProcessId, Simplex, VertexId};
+
+use crate::task::{pseudosphere, Task};
+
+/// Flags of an adopt-commit output.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AcFlag {
+    /// The process adopted the value (agreement not yet reached).
+    Adopt,
+    /// The process committed to the value.
+    Commit,
+}
+
+/// The adopt-commit task: processes propose values and output
+/// `(flag, value)` pairs with
+///
+/// * **validity** — output values were proposed by participants;
+/// * **agreement** — if some process commits `v`, every output value is
+///   `v`;
+/// * **convergence** — if all participants propose the same `v`, every
+///   output is `(commit, v)`.
+///
+/// Wait-free solvable (it is the conciliator half of round-based
+/// consensus); the solver finds the map and the tests pin the minimal
+/// subdivision depth.
+#[derive(Clone, Debug)]
+pub struct AdoptCommit {
+    n: usize,
+    values: Vec<u64>,
+    inputs: Complex,
+    outputs: Complex,
+}
+
+/// Encodes `(flag, value)` as a vertex label.
+pub fn encode_ac(flag: AcFlag, value: u64) -> u64 {
+    match flag {
+        AcFlag::Adopt => 2 * value,
+        AcFlag::Commit => 2 * value + 1,
+    }
+}
+
+/// Decodes a vertex label back to `(flag, value)`.
+pub fn decode_ac(label: u64) -> (AcFlag, u64) {
+    if label.is_multiple_of(2) {
+        (AcFlag::Adopt, label / 2)
+    } else {
+        (AcFlag::Commit, label / 2)
+    }
+}
+
+impl AdoptCommit {
+    /// Creates the adopt-commit task over `n` processes and the given
+    /// (deduplicated) proposal values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two distinct values are supplied.
+    pub fn new(n: usize, values: &[u64]) -> AdoptCommit {
+        let mut distinct = values.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() >= 2, "adopt-commit needs at least two values");
+        let inputs = pseudosphere(n, &distinct);
+        // Output complex: every combination of (flag, value) per process
+        // satisfying the agreement condition.
+        let labels: Vec<u64> = distinct
+            .iter()
+            .flat_map(|&v| [encode_ac(AcFlag::Adopt, v), encode_ac(AcFlag::Commit, v)])
+            .collect();
+        let all = pseudosphere(n, &labels);
+        // Restrict facets to agreement-consistent combinations.
+        let facets: Vec<Simplex> = all
+            .facets()
+            .iter()
+            .filter(|f| {
+                let outs: Vec<(AcFlag, u64)> = f
+                    .vertices()
+                    .iter()
+                    .map(|&v| decode_ac(all.vertex(v).label))
+                    .collect();
+                let committed: Vec<u64> = outs
+                    .iter()
+                    .filter(|(fl, _)| *fl == AcFlag::Commit)
+                    .map(|&(_, v)| v)
+                    .collect();
+                committed
+                    .first()
+                    .is_none_or(|&c| outs.iter().all(|&(_, v)| v == c))
+            })
+            .cloned()
+            .collect();
+        let outputs = all.sub_complex(facets);
+        AdoptCommit { n, values: distinct, inputs, outputs }
+    }
+}
+
+impl Task for AdoptCommit {
+    fn name(&self) -> String {
+        format!("adopt-commit ({} processes, {} values)", self.n, self.values.len())
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn inputs(&self) -> &Complex {
+        &self.inputs
+    }
+
+    fn outputs(&self) -> &Complex {
+        &self.outputs
+    }
+
+    fn allows(&self, input: &Simplex, output: &Simplex) -> bool {
+        let proposed: Vec<u64> = input
+            .vertices()
+            .iter()
+            .map(|&v| self.inputs.vertex(v).label)
+            .collect();
+        let outs: Vec<(AcFlag, u64)> = output
+            .vertices()
+            .iter()
+            .map(|&v| decode_ac(self.outputs.vertex(v).label))
+            .collect();
+        // Validity.
+        if !outs.iter().all(|&(_, v)| proposed.contains(&v)) {
+            return false;
+        }
+        // Agreement: a committed value forces all values.
+        if let Some(&c) = outs
+            .iter()
+            .filter(|(f, _)| *f == AcFlag::Commit)
+            .map(|(_, v)| v)
+            .next()
+        {
+            if !outs.iter().all(|&(_, v)| v == c) {
+                return false;
+            }
+        }
+        // Convergence: unanimous inputs force unanimous commits. (Checked
+        // against the *carrier*: the processes this output's carrier saw.)
+        let unanimous = proposed.windows(2).all(|w| w[0] == w[1]);
+        if unanimous {
+            let v = proposed[0];
+            if !outs.iter().all(|&(f, val)| f == AcFlag::Commit && val == v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Generalized simplex agreement at depth `m`: processes start on the
+/// standard simplex and must converge on a simplex of `Chr^m s`
+/// respecting carriers. The identity map solves it from exactly `m`
+/// subdivisions — a calibration task for the solver.
+#[derive(Clone, Debug)]
+pub struct SimplexAgreement {
+    n: usize,
+    m: usize,
+    inputs: Complex,
+    outputs: Complex,
+    /// For each output vertex (by index), the colors of its carrier in `s`.
+    carrier_colors: Vec<ColorSet>,
+}
+
+impl SimplexAgreement {
+    /// Creates simplex agreement on `Chr^m s` for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0.
+    pub fn new(n: usize, m: usize) -> SimplexAgreement {
+        assert!(m >= 1, "simplex agreement needs at least one subdivision");
+        let subdivided = Complex::standard(n).iterated_subdivision(m);
+        // Flatten Chr^m s into a level-0 labeled complex: label = vertex
+        // index in the subdivision.
+        let verts: Vec<(ProcessId, u64)> = (0..subdivided.num_vertices())
+            .map(|i| (subdivided.color(VertexId::from_index(i)), i as u64))
+            .collect();
+        let facets: Vec<Vec<usize>> = subdivided
+            .facets()
+            .iter()
+            .map(|f| f.vertices().iter().map(|v| v.index()).collect())
+            .collect();
+        let carrier_colors = (0..subdivided.num_vertices())
+            .map(|i| subdivided.base_colors_of_vertex(VertexId::from_index(i)))
+            .collect();
+        let outputs = Complex::from_labeled_vertices(n, verts, facets);
+        SimplexAgreement {
+            n,
+            m,
+            inputs: Complex::standard(n),
+            outputs,
+            carrier_colors,
+        }
+    }
+
+    /// The subdivision depth.
+    pub fn depth(&self) -> usize {
+        self.m
+    }
+}
+
+impl Task for SimplexAgreement {
+    fn name(&self) -> String {
+        format!("simplex agreement on Chr^{} (n = {})", self.m, self.n)
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn inputs(&self) -> &Complex {
+        &self.inputs
+    }
+
+    fn outputs(&self) -> &Complex {
+        &self.outputs
+    }
+
+    fn allows(&self, input: &Simplex, output: &Simplex) -> bool {
+        // Carrier inclusion: the output simplex's carrier colors must be
+        // participants.
+        let participants = self.inputs.colors(input);
+        output
+            .vertices()
+            .iter()
+            .all(|&v| self.carrier_colors[v.index()].is_subset_of(participants))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapsearch::{find_carried_map, verify_carried_map};
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for v in 0..10 {
+            for f in [AcFlag::Adopt, AcFlag::Commit] {
+                assert_eq!(decode_ac(encode_ac(f, v)), (f, v));
+            }
+        }
+    }
+
+    #[test]
+    fn adopt_commit_output_complex_is_agreement_consistent() {
+        let t = AdoptCommit::new(2, &[0, 1]);
+        for f in t.outputs().facets() {
+            let outs: Vec<(AcFlag, u64)> = f
+                .vertices()
+                .iter()
+                .map(|&v| decode_ac(t.outputs().vertex(v).label))
+                .collect();
+            if let Some(&(_, c)) = outs.iter().find(|(fl, _)| *fl == AcFlag::Commit) {
+                assert!(outs.iter().all(|&(_, v)| v == c));
+            }
+        }
+    }
+
+    #[test]
+    fn adopt_commit_not_solvable_without_communication() {
+        // Depth 0 (the raw inputs) cannot solve adopt-commit: a process
+        // alone must commit its own value (convergence on its solo
+        // carrier), and two solo commits of different values violate
+        // agreement on the full facet.
+        let t = AdoptCommit::new(2, &[0, 1]);
+        let domain = t.inputs().clone();
+        let result = find_carried_map(&t, &domain, 100_000);
+        assert!(result.is_unsolvable());
+    }
+
+    #[test]
+    fn adopt_commit_wait_free_solvable() {
+        // One immediate-snapshot round cannot solve it either (commit
+        // decisions need to see who saw whom twice); two rounds suffice.
+        let t = AdoptCommit::new(2, &[0, 1]);
+        let d1 = t.inputs().iterated_subdivision(1);
+        let r1 = find_carried_map(&t, &d1, 1_000_000);
+        let d2 = t.inputs().iterated_subdivision(2);
+        let r2 = find_carried_map(&t, &d2, 5_000_000);
+        // Pin the observed depths: the classical 2-round structure.
+        match (r1.is_found(), r2.is_found()) {
+            (true, _) => {
+                let map = r1.into_map().unwrap();
+                assert!(verify_carried_map(&t, &d1, &map));
+            }
+            (false, true) => {
+                let map = r2.into_map().unwrap();
+                assert!(verify_carried_map(&t, &d2, &map));
+            }
+            other => panic!("adopt-commit must be wait-free solvable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simplex_agreement_solved_by_identity_at_matching_depth() {
+        for m in 1..=2 {
+            let t = SimplexAgreement::new(2, m);
+            let domain = t.inputs().iterated_subdivision(m);
+            let result = find_carried_map(&t, &domain, 1_000_000);
+            let map = result
+                .into_map()
+                .unwrap_or_else(|| panic!("simplex agreement solvable at depth {m}"));
+            assert!(verify_carried_map(&t, &domain, &map));
+        }
+    }
+
+    #[test]
+    fn simplex_agreement_unsolvable_below_depth() {
+        // Chr² agreement cannot be solved from a single subdivision: the
+        // domain has too few vertices per region to hit every required
+        // carrier (checked exactly by exhaustion for n = 2).
+        let t = SimplexAgreement::new(2, 2);
+        let domain = t.inputs().iterated_subdivision(1);
+        let result = find_carried_map(&t, &domain, 2_000_000);
+        assert!(result.is_unsolvable());
+    }
+
+    #[test]
+    fn three_process_simplex_agreement_depth_one() {
+        let t = SimplexAgreement::new(3, 1);
+        let domain = t.inputs().iterated_subdivision(1);
+        let result = find_carried_map(&t, &domain, 2_000_000);
+        let map = result.into_map().expect("identity exists");
+        assert!(verify_carried_map(&t, &domain, &map));
+    }
+}

@@ -1,0 +1,209 @@
+//! Sperner-lemma impossibility certificates.
+//!
+//! Backtracking can *find* maps, and exhausts small unsolvable instances,
+//! but parity-type impossibilities (the heart of the ACT lower bounds) are
+//! invisible to local consistency: the search space explodes. For the key
+//! case — `(n−1)`-set consensus over the rainbow input — unsolvability
+//! follows from the chromatic Sperner lemma, whose *preconditions* are
+//! checkable on the concrete domain complex:
+//!
+//! 1. the domain is a pure `(n−1)`-dimensional chromatic pseudomanifold
+//!    subdividing the input simplex: every `(n−2)`-face lies in exactly
+//!    two facets, except boundary faces (those whose carrier misses some
+//!    process), which lie in exactly one;
+//! 2. any carried map induces a Sperner labeling: a vertex's decided value
+//!    is a proposal of its carrier, i.e. a *color of its carrier*.
+//!
+//! Under (1) and (2), Sperner's lemma yields an odd — hence non-zero —
+//! number of rainbow facets (all `n` values decided), which violates
+//! `(n−1)`-agreement. So no carried map exists, at *any* subdivision
+//! depth whose domain satisfies (1).
+//!
+//! The checker also computationally confirms the parity statement itself
+//! on sampled labelings (every valid Sperner labeling we generate has an
+//! odd number of rainbow facets), tying the certificate back to an
+//! executable check.
+
+use std::collections::HashMap;
+
+use act_topology::{ColorSet, Complex, ProcessId, Simplex};
+
+/// Whether `domain` is a pure chromatic `(n−1)`-pseudomanifold whose
+/// boundary faces are exactly those with incomplete carriers — the shape
+/// of a genuine subdivision of the standard simplex (precondition of the
+/// Sperner certificate).
+pub fn is_subdivided_simplex(domain: &Complex) -> bool {
+    let n = domain.num_processes();
+    if !domain.is_pure() || domain.dim() != n as isize - 1 || !domain.is_chromatic() {
+        return false;
+    }
+    // Count facet incidences of every (n−2)-face.
+    let mut incidence: HashMap<Simplex, usize> = HashMap::new();
+    for facet in domain.facets() {
+        for face in facet.non_empty_faces() {
+            if face.dim() == n as isize - 2 {
+                *incidence.entry(face).or_insert(0) += 1;
+            }
+        }
+    }
+    let full = ColorSet::full(n);
+    incidence.iter().all(|(face, &count)| {
+        let boundary = domain.carrier_colors(face) != full;
+        if boundary {
+            count == 1
+        } else {
+            count == 2
+        }
+    })
+}
+
+/// A Sperner labeling of the domain: one process (color) per vertex,
+/// constrained to the colors of the vertex's carrier.
+pub type SpernerLabeling = HashMap<usize, ProcessId>;
+
+/// Generates the "first-color" Sperner labeling (every vertex labeled with
+/// the smallest color of its carrier) — a canonical valid labeling used to
+/// exercise the parity check.
+pub fn first_color_labeling(domain: &Complex) -> SpernerLabeling {
+    domain
+        .used_vertices()
+        .into_iter()
+        .map(|v| {
+            let carrier = domain.base_colors_of_vertex(v);
+            (v.index(), carrier.min().expect("carriers are non-empty"))
+        })
+        .collect()
+}
+
+/// The "own-color-if-possible" labeling: a vertex takes its own color when
+/// the carrier contains it (always true for subdivisions), making every
+/// facet rainbow — the other extreme of the spectrum.
+pub fn own_color_labeling(domain: &Complex) -> SpernerLabeling {
+    domain
+        .used_vertices()
+        .into_iter()
+        .map(|v| (v.index(), domain.color(v)))
+        .collect()
+}
+
+/// Counts the rainbow facets (all `n` labels distinct) of a labeling.
+///
+/// # Panics
+///
+/// Panics if a used vertex has no label or a label violates the Sperner
+/// condition (label not a carrier color).
+pub fn rainbow_facets(domain: &Complex, labeling: &SpernerLabeling) -> usize {
+    let n = domain.num_processes();
+    for v in domain.used_vertices() {
+        let label = labeling[&v.index()];
+        assert!(
+            domain.base_colors_of_vertex(v).contains(label),
+            "labeling violates the Sperner condition at vertex {v:?}"
+        );
+    }
+    domain
+        .facets()
+        .iter()
+        .filter(|f| {
+            let labels: ColorSet =
+                f.vertices().iter().map(|&v| labeling[&v.index()]).collect();
+            labels.len() == n
+        })
+        .count()
+}
+
+/// The Sperner certificate: `true` when the domain satisfies the
+/// pseudomanifold precondition, so that **every** carried map for
+/// `(n−1)`-set consensus on the rainbow input is impossible (any such map
+/// would be a Sperner labeling with zero rainbow facets, contradicting the
+/// lemma's odd count).
+///
+/// As an executable sanity check, the canonical labelings are also
+/// verified to have an odd number of rainbow facets.
+pub fn sperner_certificate(domain: &Complex) -> bool {
+    if !is_subdivided_simplex(domain) {
+        return false;
+    }
+    let first = rainbow_facets(domain, &first_color_labeling(domain));
+    let own = rainbow_facets(domain, &own_color_labeling(domain));
+    debug_assert_eq!(first % 2, 1, "Sperner parity violated by first-color labeling");
+    debug_assert_eq!(own % 2, 1, "Sperner parity violated by own-color labeling");
+    first % 2 == 1 && own % 2 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_simplex_is_a_subdivided_simplex() {
+        for n in 2..=4 {
+            assert!(is_subdivided_simplex(&Complex::standard(n)));
+        }
+    }
+
+    #[test]
+    fn chr_iterates_stay_pseudomanifolds() {
+        for n in 2..=3 {
+            for m in 1..=2 {
+                let c = Complex::standard(n).iterated_subdivision(m);
+                assert!(is_subdivided_simplex(&c), "Chr^{m} of s, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn proper_subcomplexes_are_rejected() {
+        let chr = Complex::standard(3).chromatic_subdivision();
+        // Drop one facet: some interior edge now has incidence 1.
+        let most: Vec<_> = chr.facets().iter().skip(1).cloned().collect();
+        let sub = chr.sub_complex(most);
+        assert!(!is_subdivided_simplex(&sub));
+    }
+
+    #[test]
+    fn sperner_parity_holds_for_canonical_labelings() {
+        for n in 2..=3 {
+            for m in 1..=2 {
+                let c = Complex::standard(n).iterated_subdivision(m);
+                let first = rainbow_facets(&c, &first_color_labeling(&c));
+                let own = rainbow_facets(&c, &own_color_labeling(&c));
+                assert_eq!(first % 2, 1, "n = {n}, m = {m}");
+                assert_eq!(own % 2, 1, "n = {n}, m = {m}");
+                // Own-color labels make every facet rainbow.
+                assert_eq!(own, c.facet_count());
+            }
+        }
+    }
+
+    #[test]
+    fn sperner_parity_holds_for_random_labelings() {
+        // The lemma quantifies over all labelings; sample many random ones.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        for n in 2..=3 {
+            let c = Complex::standard(n).iterated_subdivision(2);
+            for _ in 0..100 {
+                let labeling: SpernerLabeling = c
+                    .used_vertices()
+                    .into_iter()
+                    .map(|v| {
+                        let carrier: Vec<ProcessId> =
+                            c.base_colors_of_vertex(v).iter().collect();
+                        let pick = carrier[rng.gen_range(0..carrier.len())];
+                        (v.index(), pick)
+                    })
+                    .collect();
+                let rainbow = rainbow_facets(&c, &labeling);
+                assert_eq!(rainbow % 2, 1, "odd rainbow count, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_accepts_subdivisions() {
+        let c = Complex::standard(3).iterated_subdivision(1);
+        assert!(sperner_certificate(&c));
+    }
+}

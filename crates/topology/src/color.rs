@@ -1,0 +1,444 @@
+//! Process identifiers ("colors") and sets of processes.
+//!
+//! In the chromatic-complex formalism of Herlihy–Shavit, each vertex of a
+//! complex carries a *color* identifying a process. We represent colors as
+//! small integer indices and sets of colors as 64-bit bitmasks, which makes
+//! the subset-lattice computations of the paper (agreement functions,
+//! adversary restrictions, carriers) cheap and allocation-free.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of processes supported by [`ColorSet`]'s bitmask.
+pub const MAX_PROCESSES: usize = 64;
+
+/// The identifier of a process, i.e. a *color* in the chromatic-complex
+/// sense. Processes of an `n`-process system are `ProcessId::new(0)` through
+/// `ProcessId::new(n - 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use act_topology::ProcessId;
+///
+/// let p = ProcessId::new(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "p3"); // papers index processes from 1
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process identifier from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_PROCESSES`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < MAX_PROCESSES,
+            "process index {index} exceeds the supported maximum of {MAX_PROCESSES}"
+        );
+        ProcessId(index as u32)
+    }
+
+    /// The zero-based index of this process.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper names processes p1..pn, one-based.
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(p: ProcessId) -> usize {
+        p.index()
+    }
+}
+
+/// A set of processes (a set of colors), represented as a bitmask.
+///
+/// `ColorSet` is the workhorse of the adversary and carrier computations:
+/// live sets, participating sets, carriers in the standard simplex `s`, and
+/// the `View1`/`View2` sets of the paper are all `ColorSet`s.
+///
+/// # Examples
+///
+/// ```
+/// use act_topology::{ColorSet, ProcessId};
+///
+/// let all = ColorSet::full(3);
+/// let q = ColorSet::from_indices([0, 2]);
+/// assert!(q.is_subset_of(all));
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(all.minus(q), ColorSet::singleton(ProcessId::new(1)));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ColorSet(u64);
+
+impl ColorSet {
+    /// The empty set of processes.
+    pub const EMPTY: ColorSet = ColorSet(0);
+
+    /// Creates the set `{p0, ..., p(n-1)}` of all processes of an
+    /// `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PROCESSES`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes are supported");
+        if n == MAX_PROCESSES {
+            ColorSet(u64::MAX)
+        } else {
+            ColorSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Creates a singleton set.
+    #[inline]
+    pub fn singleton(p: ProcessId) -> Self {
+        ColorSet(1u64 << p.0)
+    }
+
+    /// Creates a set from zero-based process indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= MAX_PROCESSES`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        let mut s = ColorSet::EMPTY;
+        for i in indices {
+            s = s.with(ProcessId::new(i));
+        }
+        s
+    }
+
+    /// Creates a set directly from its bitmask representation.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        ColorSet(bits)
+    }
+
+    /// The bitmask representation of this set.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The number of processes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `p` belongs to the set.
+    #[inline]
+    pub fn contains(self, p: ProcessId) -> bool {
+        self.0 & (1u64 << p.0) != 0
+    }
+
+    /// The set with `p` added.
+    #[inline]
+    #[must_use]
+    pub fn with(self, p: ProcessId) -> Self {
+        ColorSet(self.0 | (1u64 << p.0))
+    }
+
+    /// The set with `p` removed.
+    #[inline]
+    #[must_use]
+    pub fn without(self, p: ProcessId) -> Self {
+        ColorSet(self.0 & !(1u64 << p.0))
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: ColorSet) -> Self {
+        ColorSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersection(self, other: ColorSet) -> Self {
+        ColorSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    #[must_use]
+    pub fn minus(self, other: ColorSet) -> Self {
+        ColorSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: ColorSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self ⊊ other`.
+    #[inline]
+    pub fn is_proper_subset_of(self, other: ColorSet) -> bool {
+        self != other && self.is_subset_of(other)
+    }
+
+    /// Whether the two sets have a process in common.
+    #[inline]
+    pub fn intersects(self, other: ColorSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// The smallest process in the set, if any. Used by the paper's
+    /// deterministic selections (e.g. `min_Q`).
+    #[inline]
+    pub fn min(self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessId(self.0.trailing_zeros()))
+        }
+    }
+
+    /// Iterates over the processes of the set in increasing index order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Iterates over all subsets of this set (including the empty set and
+    /// the set itself), in an arbitrary but deterministic order.
+    ///
+    /// This is the standard "subset enumeration of a bitmask" trick and is
+    /// used pervasively by the adversary computations.
+    pub fn subsets(self) -> Subsets {
+        Subsets { mask: self.0, current: 0, done: false }
+    }
+
+    /// Iterates over the non-empty subsets of this set.
+    pub fn non_empty_subsets(self) -> impl Iterator<Item = ColorSet> {
+        self.subsets().filter(|s| !s.is_empty())
+    }
+}
+
+impl fmt::Debug for ColorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ColorSet{self}")
+    }
+}
+
+impl fmt::Display for ColorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ProcessId> for ColorSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ColorSet::EMPTY;
+        for p in iter {
+            s = s.with(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessId> for ColorSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            *self = self.with(p);
+        }
+    }
+}
+
+impl IntoIterator for ColorSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the processes of a [`ColorSet`], produced by
+/// [`ColorSet::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let tz = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(ProcessId(tz))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+/// Iterator over all subsets of a [`ColorSet`], produced by
+/// [`ColorSet::subsets`].
+#[derive(Clone, Debug)]
+pub struct Subsets {
+    mask: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for Subsets {
+    type Item = ColorSet;
+
+    fn next(&mut self) -> Option<ColorSet> {
+        if self.done {
+            return None;
+        }
+        let result = ColorSet(self.current);
+        if self.current == self.mask {
+            self.done = true;
+        } else {
+            // Standard sub-mask enumeration step.
+            self.current = (self.current.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_set_has_expected_members() {
+        let s = ColorSet::full(4);
+        assert_eq!(s.len(), 4);
+        for i in 0..4 {
+            assert!(s.contains(ProcessId::new(i)));
+        }
+        assert!(!s.contains(ProcessId::new(4)));
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        assert!(ColorSet::EMPTY.is_empty());
+        assert_eq!(ColorSet::EMPTY.len(), 0);
+        assert_eq!(ColorSet::EMPTY.min(), None);
+        assert_eq!(ColorSet::EMPTY.iter().count(), 0);
+    }
+
+    #[test]
+    fn with_and_without_are_inverse() {
+        let p = ProcessId::new(3);
+        let s = ColorSet::from_indices([0, 1]);
+        assert_eq!(s.with(p).without(p), s);
+        assert_eq!(s.with(p).len(), 3);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = ColorSet::from_indices([0, 1]);
+        let b = ColorSet::from_indices([0, 1, 2]);
+        assert!(a.is_subset_of(b));
+        assert!(a.is_proper_subset_of(b));
+        assert!(!b.is_subset_of(a));
+        assert!(a.is_subset_of(a));
+        assert!(!a.is_proper_subset_of(a));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ColorSet::from_indices([0, 1, 2]);
+        let b = ColorSet::from_indices([1, 2, 3]);
+        assert_eq!(a.union(b), ColorSet::from_indices([0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), ColorSet::from_indices([1, 2]));
+        assert_eq!(a.minus(b), ColorSet::from_indices([0]));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(ColorSet::from_indices([3])));
+    }
+
+    #[test]
+    fn min_returns_smallest() {
+        let s = ColorSet::from_indices([5, 2, 7]);
+        assert_eq!(s.min(), Some(ProcessId::new(2)));
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let s = ColorSet::from_indices([4, 1, 6]);
+        let v: Vec<usize> = s.iter().map(|p| p.index()).collect();
+        assert_eq!(v, vec![1, 4, 6]);
+    }
+
+    #[test]
+    fn subsets_enumerates_power_set() {
+        let s = ColorSet::from_indices([0, 2, 3]);
+        let subs: Vec<ColorSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        // All distinct, all subsets.
+        for (i, a) in subs.iter().enumerate() {
+            assert!(a.is_subset_of(s));
+            for b in &subs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn subsets_of_empty_is_just_empty() {
+        let subs: Vec<ColorSet> = ColorSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![ColorSet::EMPTY]);
+    }
+
+    #[test]
+    fn display_formats_match_paper_conventions() {
+        let s = ColorSet::from_indices([0, 2]);
+        assert_eq!(s.to_string(), "{p1,p3}");
+        assert_eq!(ProcessId::new(0).to_string(), "p1");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: ColorSet = [0usize, 3].into_iter().map(ProcessId::new).collect();
+        assert_eq!(s, ColorSet::from_indices([0, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn oversized_process_id_panics() {
+        let _ = ProcessId::new(64);
+    }
+}

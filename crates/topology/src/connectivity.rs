@@ -1,0 +1,186 @@
+//! Graph connectivity, vertex links and link-connectivity of complexes.
+//!
+//! Section 8 of the paper observes that continuous-map arguments need
+//! *link-connected* complexes, and that "only very special adversaries,
+//! such as `A_{t-res}`, have link-connected counterparts (see, e.g., the
+//! affine task corresponding to 1-obstruction-freedom in Figure 7a)".
+//! This module provides the machinery to check that observation
+//! computationally: connected components of a complex's 1-skeleton, the
+//! link of a vertex, and link-connectivity.
+
+use std::collections::HashMap;
+
+use crate::complex::Complex;
+use crate::simplex::{Simplex, VertexId};
+
+/// Union-find over a fixed universe.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The number of connected components of the complex's 1-skeleton,
+/// counted over the vertices used by its facets (0 for a void complex).
+///
+/// Two vertices are connected when they appear together in some simplex
+/// (equivalently, in some facet).
+pub fn connected_components(complex: &Complex) -> usize {
+    let used = complex.used_vertices();
+    if used.is_empty() {
+        return 0;
+    }
+    let index: HashMap<VertexId, usize> =
+        used.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut uf = UnionFind::new(used.len());
+    for facet in complex.facets() {
+        let vs = facet.vertices();
+        for w in vs.windows(2) {
+            uf.union(index[&w[0]], index[&w[1]]);
+        }
+    }
+    let mut roots = std::collections::BTreeSet::new();
+    for i in 0..used.len() {
+        roots.insert(uf.find(i));
+    }
+    roots.len()
+}
+
+/// Whether the complex's 1-skeleton is connected (void complexes are not).
+pub fn is_connected(complex: &Complex) -> bool {
+    connected_components(complex) == 1
+}
+
+/// The link of a vertex: `Lk(v) = {σ : v ∉ σ, σ ∪ {v} ∈ K}`, returned as
+/// a complex sharing the vertex table (its facets are `f \ {v}` for the
+/// facets `f` containing `v`).
+pub fn vertex_link(complex: &Complex, v: VertexId) -> Complex {
+    let facets: Vec<Simplex> = complex
+        .facets()
+        .iter()
+        .filter(|f| f.contains(v))
+        .map(|f| f.filter(|w| w != v))
+        .filter(|s| !s.is_empty())
+        .collect();
+    complex.sub_complex(facets)
+}
+
+/// A vertex whose link is disconnected, if any — the witness that the
+/// complex is *not* link-connected.
+pub fn link_disconnection_witness(complex: &Complex) -> Option<VertexId> {
+    complex.used_vertices().into_iter().find(|&v| {
+        let link = vertex_link(complex, v);
+        !link.is_void() && connected_components(&link) > 1
+    })
+}
+
+/// Whether every used vertex has a connected (or empty) link.
+pub fn is_link_connected(complex: &Complex) -> bool {
+    link_disconnection_witness(complex).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::ProcessId;
+
+    #[test]
+    fn standard_simplex_is_link_connected() {
+        for n in 2..=4 {
+            let s = Complex::standard(n);
+            assert!(is_connected(&s));
+            assert!(is_link_connected(&s));
+        }
+    }
+
+    #[test]
+    fn subdivisions_are_link_connected() {
+        for m in 1..=2 {
+            let c = Complex::standard(3).iterated_subdivision(m);
+            assert!(is_connected(&c), "Chr^{m} s connected");
+            assert!(is_link_connected(&c), "Chr^{m} s link-connected");
+        }
+    }
+
+    #[test]
+    fn two_triangles_joined_at_a_vertex_fail_link_connectivity() {
+        // Two triangles sharing exactly one vertex: the shared vertex's
+        // link is two disjoint edges.
+        let verts = vec![
+            (ProcessId::new(0), 0),
+            (ProcessId::new(1), 0),
+            (ProcessId::new(2), 0),
+            (ProcessId::new(1), 1),
+            (ProcessId::new(2), 1),
+        ];
+        let c = Complex::from_labeled_vertices(3, verts, vec![vec![0, 1, 2], vec![0, 3, 4]]);
+        assert!(is_connected(&c));
+        let witness = link_disconnection_witness(&c);
+        assert_eq!(witness, Some(VertexId::from_index(0)));
+        assert!(!is_link_connected(&c));
+        let link = vertex_link(&c, VertexId::from_index(0));
+        assert_eq!(connected_components(&link), 2);
+    }
+
+    #[test]
+    fn disconnected_complex_components() {
+        let verts = vec![
+            (ProcessId::new(0), 0),
+            (ProcessId::new(1), 0),
+            (ProcessId::new(0), 1),
+            (ProcessId::new(1), 1),
+        ];
+        let c = Complex::from_labeled_vertices(2, verts, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(connected_components(&c), 2);
+        assert!(!is_connected(&c));
+        // Each vertex's link is a single vertex: connected.
+        assert!(is_link_connected(&c));
+    }
+
+    #[test]
+    fn void_complex_has_no_components() {
+        let s = Complex::standard(2);
+        let void = s.sub_complex(Vec::<Simplex>::new());
+        assert_eq!(connected_components(&void), 0);
+        assert!(!is_connected(&void));
+        assert!(is_link_connected(&void));
+    }
+
+    #[test]
+    fn link_of_interior_vertex_of_chr_is_a_cycle() {
+        // The central vertex of Chr s (n = 3) has a link that is a cycle
+        // of edges: connected, pure of dimension 1.
+        let chr = Complex::standard(3).chromatic_subdivision();
+        let central = chr
+            .used_vertices()
+            .into_iter()
+            .find(|&v| chr.vertex(v).carrier.len() == 3 && {
+                // interior: carrier is the full simplex
+                chr.base_colors_of_vertex(v).len() == 3
+            })
+            .unwrap();
+        let link = vertex_link(&chr, central);
+        assert!(is_connected(&link));
+        assert!(link.is_pure());
+        assert_eq!(link.dim(), 1);
+    }
+}

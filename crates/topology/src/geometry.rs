@@ -1,0 +1,324 @@
+//! Geometric realization coordinates for iterated chromatic subdivisions.
+//!
+//! Kozlov's embedding (Appendix A of the paper) places the vertex `(i, t)`
+//! of `Chr s` at
+//!
+//! ```text
+//!   1/(2k−1) · x_i  +  2/(2k−1) · Σ_{j ∈ t, j ≠ i} x_j,     k = |t|,
+//! ```
+//!
+//! where `x_j` are the coordinates of the carrier's vertices. Applying the
+//! formula recursively yields coordinates for every vertex of `Chr^m s`,
+//! which is how the paper's figures are drawn. The benches export these
+//! coordinates so the figures can be re-rendered.
+
+use crate::complex::Complex;
+use crate::simplex::VertexId;
+
+/// Coordinates (one point per vertex id of the complex's level) of the
+/// geometric realization `|Chr^m s| ⊂ R^n`, with the base vertex of color
+/// `i` at the `i`-th unit vector.
+///
+/// Returns a vector indexed by vertex id; each point has `n` barycentric
+/// coordinates summing to 1.
+///
+/// # Panics
+///
+/// Panics if the base complex is not the standard simplex (bases with
+/// several vertices per color have no canonical embedding).
+pub fn realization_coordinates(complex: &Complex) -> Vec<Vec<f64>> {
+    let n = complex.num_processes();
+    let base = complex.base();
+    assert_eq!(
+        base.num_vertices(),
+        n,
+        "geometric realization requires the standard-simplex base"
+    );
+
+    // Walk the parent chain, computing coordinates level by level.
+    let mut chain: Vec<Complex> = Vec::new();
+    let mut c = complex.clone();
+    loop {
+        chain.push(c.clone());
+        match c.parent() {
+            Some(p) => c = p.clone(),
+            None => break,
+        }
+    }
+    chain.reverse(); // base first
+
+    let mut coords: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut x = vec![0.0; n];
+            x[i] = 1.0;
+            x
+        })
+        .collect();
+
+    for level in chain.iter().skip(1) {
+        let mut next: Vec<Vec<f64>> = Vec::with_capacity(level.num_vertices());
+        for idx in 0..level.num_vertices() {
+            let v = VertexId::from_index(idx);
+            let data = level.vertex(v);
+            let k = data.carrier.len() as f64;
+            let own_weight = 1.0 / (2.0 * k - 1.0);
+            let other_weight = 2.0 / (2.0 * k - 1.0);
+            let mut x = vec![0.0; n];
+            for &w in data.carrier.vertices() {
+                let parent = level.parent().expect("non-base level has a parent");
+                let weight = if parent.color(w) == data.color { own_weight } else { other_weight };
+                for (xi, pi) in x.iter_mut().zip(&coords[w.index()]) {
+                    *xi += weight * pi;
+                }
+            }
+            next.push(x);
+        }
+        coords = next;
+    }
+    coords
+}
+
+/// The volume of each facet of a subdivision, as a fraction of the base
+/// simplex's volume: the absolute determinant of the matrix of the
+/// facet's barycentric coordinate vectors.
+///
+/// A genuine subdivision has all-positive facet volumes summing to 1
+/// ([`verify_subdivision_geometry`] checks exactly that), which is how we
+/// certify computationally that `Chr` *is* a subdivision (Kozlov's
+/// theorem, cited as [22] in the paper).
+///
+/// # Panics
+///
+/// Panics if the complex is not pure of full dimension over the standard
+/// simplex base.
+pub fn facet_volume_fractions(complex: &Complex) -> Vec<f64> {
+    let n = complex.num_processes();
+    assert!(
+        complex.is_pure() && complex.dim() == n as isize - 1,
+        "volumes are defined for pure full-dimensional complexes"
+    );
+    let coords = realization_coordinates(complex);
+    complex
+        .facets()
+        .iter()
+        .map(|facet| {
+            let m: Vec<Vec<f64>> =
+                facet.vertices().iter().map(|v| coords[v.index()].clone()).collect();
+            determinant(m).abs()
+        })
+        .collect()
+}
+
+/// Checks that the complex is a geometric subdivision of the standard
+/// simplex: every facet has positive volume and the volumes sum to 1
+/// (within `tolerance`).
+///
+/// # Errors
+///
+/// Returns a description of the violated condition.
+pub fn verify_subdivision_geometry(complex: &Complex, tolerance: f64) -> Result<(), String> {
+    let volumes = facet_volume_fractions(complex);
+    for (i, &v) in volumes.iter().enumerate() {
+        if v <= tolerance {
+            return Err(format!("facet {i} is geometrically degenerate (volume {v})"));
+        }
+    }
+    let total: f64 = volumes.iter().sum();
+    if (total - 1.0).abs() > tolerance {
+        return Err(format!("facet volumes sum to {total}, expected 1"));
+    }
+    Ok(())
+}
+
+/// Determinant by Gaussian elimination with partial pivoting.
+fn determinant(mut m: Vec<Vec<f64>>) -> f64 {
+    let n = m.len();
+    debug_assert!(m.iter().all(|row| row.len() == n));
+    let mut det = 1.0;
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).unwrap())
+            .unwrap();
+        if m[pivot][col].abs() < 1e-15 {
+            return 0.0;
+        }
+        if pivot != col {
+            m.swap(pivot, col);
+            det = -det;
+        }
+        det *= m[col][col];
+        for row in col + 1..n {
+            let factor = m[row][col] / m[col][col];
+            let pivot_row = m[col].clone();
+            for (cell, pv) in m[row][col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * pv;
+            }
+        }
+    }
+    det
+}
+
+/// Projects barycentric coordinates over 3 processes to the plane, using
+/// an equilateral triangle (for figure export).
+///
+/// # Panics
+///
+/// Panics if a point does not have exactly 3 coordinates.
+pub fn barycentric_to_plane(point: &[f64]) -> (f64, f64) {
+    assert_eq!(point.len(), 3, "planar projection is for 3-process systems");
+    // Corners of an equilateral triangle.
+    const CORNERS: [(f64, f64); 3] = [(0.0, 0.0), (1.0, 0.0), (0.5, 0.866_025_403_784_438_6)];
+    let mut x = 0.0;
+    let mut y = 0.0;
+    for (w, (cx, cy)) in point.iter().zip(CORNERS) {
+        x += w * cx;
+        y += w * cy;
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn base_coordinates_are_unit_vectors() {
+        let s = Complex::standard(3);
+        let coords = realization_coordinates(&s);
+        assert_eq!(coords.len(), 3);
+        for (i, c) in coords.iter().enumerate() {
+            for (j, &x) in c.iter().enumerate() {
+                assert_close(x, if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn chr_coordinates_are_barycentric() {
+        let chr = Complex::standard(3).chromatic_subdivision();
+        let coords = realization_coordinates(&chr);
+        assert_eq!(coords.len(), chr.num_vertices());
+        for c in &coords {
+            let sum: f64 = c.iter().sum();
+            assert_close(sum, 1.0);
+            assert!(c.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn solo_vertex_sits_at_corner() {
+        // The vertex (p, {p}) of Chr s has carrier of size 1, so the Kozlov
+        // formula puts it exactly at p's corner.
+        let chr = Complex::standard(3).chromatic_subdivision();
+        let coords = realization_coordinates(&chr);
+        for (idx, point) in coords.iter().enumerate() {
+            let v = VertexId::from_index(idx);
+            if chr.vertex(v).carrier.len() == 1 {
+                let c = chr.color(v).index();
+                assert_close(point[c], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn central_vertex_weights() {
+        // The vertex (p, s) (full carrier) of Chr s for n = 3 has k = 3:
+        // weights 1/5 on its own corner and 2/5 on the others.
+        let chr = Complex::standard(3).chromatic_subdivision();
+        let coords = realization_coordinates(&chr);
+        for (idx, point) in coords.iter().enumerate() {
+            let v = VertexId::from_index(idx);
+            if chr.vertex(v).carrier.len() == 3 {
+                let c = chr.color(v).index();
+                assert_close(point[c], 0.2);
+                for (j, &x) in point.iter().enumerate() {
+                    if j != c {
+                        assert_close(x, 0.4);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_vertices_get_distinct_coordinates() {
+        let chr2 = Complex::standard(3).iterated_subdivision(2);
+        let coords = realization_coordinates(&chr2);
+        for i in 0..coords.len() {
+            for j in i + 1..coords.len() {
+                let d: f64 = coords[i]
+                    .iter()
+                    .zip(&coords[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                // Distinct vertices of a subdivision can share a geometric
+                // point only if they have different colors (chromatic
+                // vertices at the same point). Same-color vertices must
+                // differ.
+                let vi = VertexId::from_index(i);
+                let vj = VertexId::from_index(j);
+                if chr2.color(vi) == chr2.color(vj) {
+                    assert!(d > 1e-9, "same-color vertices {i} and {j} coincide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chr_is_a_geometric_subdivision() {
+        // The computational form of Kozlov's theorem: Chr^m s tiles |s|
+        // with positive-volume simplices summing to the whole.
+        for n in 2..=4 {
+            let chr = Complex::standard(n).chromatic_subdivision();
+            verify_subdivision_geometry(&chr, 1e-9).unwrap();
+        }
+        for m in 1..=3 {
+            let c = Complex::standard(3).iterated_subdivision(m);
+            verify_subdivision_geometry(&c, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn strict_subcomplex_volume_is_less_than_one() {
+        let chr = Complex::standard(3).chromatic_subdivision();
+        let most: Vec<_> = chr.facets().iter().skip(1).cloned().collect();
+        let sub = chr.sub_complex(most);
+        let err = verify_subdivision_geometry(&sub, 1e-9).unwrap_err();
+        assert!(err.contains("sum"), "missing volume is detected: {err}");
+    }
+
+    #[test]
+    fn volume_fractions_of_chr_edge() {
+        // Chr of an edge splits it 1/3 + 1/3 + 1/3 (Kozlov's embedding
+        // puts the two interior points at the third points).
+        let chr = Complex::standard(2).chromatic_subdivision();
+        let mut vols = facet_volume_fractions(&chr);
+        vols.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vols.len(), 3);
+        for v in vols {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12, "got {v}");
+        }
+    }
+
+    #[test]
+    fn determinant_basics() {
+        assert!((determinant(vec![vec![1.0, 0.0], vec![0.0, 1.0]]) - 1.0).abs() < 1e-12);
+        assert!((determinant(vec![vec![0.0, 1.0], vec![1.0, 0.0]]) + 1.0).abs() < 1e-12);
+        assert_eq!(determinant(vec![vec![1.0, 2.0], vec![2.0, 4.0]]), 0.0);
+    }
+
+    #[test]
+    fn plane_projection_is_affine() {
+        let (x, y) = barycentric_to_plane(&[1.0, 0.0, 0.0]);
+        assert_close(x, 0.0);
+        assert_close(y, 0.0);
+        let (x, y) = barycentric_to_plane(&[0.0, 0.0, 1.0]);
+        assert_close(x, 0.5);
+        assert!(y > 0.8);
+    }
+}

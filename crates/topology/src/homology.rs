@@ -1,0 +1,221 @@
+//! Simplicial homology over GF(2): Betti numbers and Euler
+//! characteristics of complexes.
+//!
+//! The ACT literature characterizes solvability through connectivity
+//! properties of protocol complexes; Section 8 of the paper discusses why
+//! point-set arguments need link-connectivity. This module computes the
+//! actual invariants — `β₀` (components), `β₁`, `β₂`, … over GF(2) — so
+//! the reproduction can report the homotopy-level structure of every
+//! affine task: subdivisions of the simplex are acyclic, while e.g.
+//! `R_{1-OF}` splits into seven acyclic pieces.
+//!
+//! Boundary-matrix ranks are computed by Gaussian elimination over GF(2)
+//! with `u64`-packed bit rows — ample for the paper's complexes (a few
+//! hundred simplices per dimension).
+
+use std::collections::HashMap;
+
+use crate::complex::Complex;
+use crate::simplex::Simplex;
+
+/// Dense GF(2) matrix with bit-packed rows.
+struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(rows: usize, cols: usize) -> Self {
+        let words = cols.div_ceil(64);
+        BitMatrix { rows, cols, words, data: vec![0; rows * words] }
+    }
+
+    fn set(&mut self, r: usize, c: usize) {
+        self.data[r * self.words + c / 64] ^= 1u64 << (c % 64);
+    }
+
+    fn get(&self, r: usize, c: usize) -> bool {
+        self.data[r * self.words + c / 64] >> (c % 64) & 1 == 1
+    }
+
+    /// Rank over GF(2), destroying the matrix.
+    fn rank(mut self) -> usize {
+        let mut rank = 0;
+        for col in 0..self.cols {
+            // Find a pivot row at or below `rank`.
+            let pivot = (rank..self.rows).find(|&r| self.get(r, col));
+            let Some(pivot) = pivot else { continue };
+            // Swap rows.
+            for w in 0..self.words {
+                self.data.swap(rank * self.words + w, pivot * self.words + w);
+            }
+            // Eliminate the column from every other row.
+            for r in 0..self.rows {
+                if r != rank && self.get(r, col) {
+                    for w in 0..self.words {
+                        let v = self.data[rank * self.words + w];
+                        self.data[r * self.words + w] ^= v;
+                    }
+                }
+            }
+            rank += 1;
+            if rank == self.rows {
+                break;
+            }
+        }
+        rank
+    }
+}
+
+/// The GF(2) Betti numbers `β₀, …, β_dim` of a complex (empty for a void
+/// complex).
+///
+/// `β₀` counts connected components; a complex homotopy-equivalent to a
+/// point has Betti vector `[1, 0, …, 0]`.
+pub fn betti_numbers(complex: &Complex) -> Vec<usize> {
+    let dim = complex.dim();
+    if dim < 0 {
+        return Vec::new();
+    }
+    let dim = dim as usize;
+    // Enumerate simplices per dimension with stable indices.
+    let mut by_dim: Vec<Vec<Simplex>> = vec![Vec::new(); dim + 1];
+    let mut index: Vec<HashMap<Simplex, usize>> = vec![HashMap::new(); dim + 1];
+    for s in complex.all_simplices() {
+        let d = s.dim() as usize;
+        if !index[d].contains_key(&s) {
+            index[d].insert(s.clone(), by_dim[d].len());
+            by_dim[d].push(s);
+        }
+    }
+    // Boundary ranks: rank_d = rank of ∂_d : C_d -> C_{d-1}, d ≥ 1.
+    let mut ranks = vec![0usize; dim + 2];
+    for d in 1..=dim {
+        let rows = by_dim[d].len();
+        let cols = by_dim[d - 1].len();
+        if rows == 0 || cols == 0 {
+            continue;
+        }
+        let mut m = BitMatrix::new(rows, cols);
+        for (r, s) in by_dim[d].iter().enumerate() {
+            for face in s.non_empty_faces() {
+                if face.dim() == d as isize - 1 {
+                    m.set(r, index[d - 1][&face]);
+                }
+            }
+        }
+        ranks[d] = m.rank();
+    }
+    // β_d = dim C_d − rank ∂_d − rank ∂_{d+1}.
+    (0..=dim)
+        .map(|d| by_dim[d].len() - ranks[d] - ranks[d + 1])
+        .collect()
+}
+
+/// The Euler characteristic `Σ (−1)^d · f_d`.
+pub fn euler_characteristic(complex: &Complex) -> isize {
+    complex
+        .f_vector()
+        .iter()
+        .enumerate()
+        .map(|(d, &count)| if d % 2 == 0 { count as isize } else { -(count as isize) })
+        .sum()
+}
+
+/// Whether the complex has the GF(2) homology of a point
+/// (`β = [1, 0, …, 0]`).
+pub fn is_acyclic(complex: &Complex) -> bool {
+    let betti = betti_numbers(complex);
+    betti.first() == Some(&1) && betti.iter().skip(1).all(|&b| b == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::ProcessId;
+    use crate::complex::Complex;
+
+    #[test]
+    fn standard_simplices_are_acyclic() {
+        for n in 1..=4 {
+            let s = Complex::standard(n);
+            assert!(is_acyclic(&s), "n = {n}");
+            assert_eq!(euler_characteristic(&s), 1);
+        }
+    }
+
+    #[test]
+    fn subdivisions_are_acyclic() {
+        // |Chr^m s| = |s| is contractible.
+        for m in 1..=2 {
+            let c = Complex::standard(3).iterated_subdivision(m);
+            assert!(is_acyclic(&c), "Chr^{m}");
+            assert_eq!(euler_characteristic(&c), 1);
+        }
+    }
+
+    #[test]
+    fn circle_has_beta_one() {
+        // A hollow triangle (three edges, no 2-face): β = [1, 1].
+        let verts = vec![
+            (ProcessId::new(0), 0),
+            (ProcessId::new(1), 0),
+            (ProcessId::new(2), 0),
+        ];
+        let c = Complex::from_labeled_vertices(
+            3,
+            verts,
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+        );
+        assert_eq!(betti_numbers(&c), vec![1, 1]);
+        assert_eq!(euler_characteristic(&c), 0);
+        assert!(!is_acyclic(&c));
+    }
+
+    #[test]
+    fn sphere_boundary_has_top_homology() {
+        // The boundary of the tetrahedron: β = [1, 0, 1] (a 2-sphere).
+        let s = Complex::standard(4);
+        let boundary = s.skeleton(2);
+        assert_eq!(betti_numbers(&boundary), vec![1, 0, 1]);
+        assert_eq!(euler_characteristic(&boundary), 2);
+    }
+
+    #[test]
+    fn disjoint_pieces_add_beta_zero() {
+        let verts = vec![
+            (ProcessId::new(0), 0),
+            (ProcessId::new(1), 0),
+            (ProcessId::new(0), 1),
+            (ProcessId::new(1), 1),
+        ];
+        let c = Complex::from_labeled_vertices(2, verts, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(betti_numbers(&c), vec![2, 0]);
+        assert_eq!(euler_characteristic(&c), 2);
+    }
+
+    #[test]
+    fn void_complex_has_no_betti_numbers() {
+        let s = Complex::standard(2);
+        let void = s.sub_complex(Vec::<crate::simplex::Simplex>::new());
+        assert!(betti_numbers(&void).is_empty());
+        assert_eq!(euler_characteristic(&void), 0);
+    }
+
+    #[test]
+    fn beta_zero_matches_connected_components() {
+        use crate::connectivity::connected_components;
+        let chr = Complex::standard(3).chromatic_subdivision();
+        // Take a few random-ish sub-complexes and compare β₀ with the
+        // union-find component count.
+        for step in 1..6 {
+            let facets: Vec<_> =
+                chr.facets().iter().step_by(step).cloned().collect();
+            let sub = chr.sub_complex(facets);
+            let betti = betti_numbers(&sub);
+            assert_eq!(betti[0], connected_components(&sub), "step {step}");
+        }
+    }
+}

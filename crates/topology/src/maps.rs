@@ -1,0 +1,208 @@
+//! Simplicial, chromatic and carrier maps between complexes.
+//!
+//! The (F)ACT characterizations are stated in terms of *chromatic simplicial
+//! maps carried by the task's carrier map Δ*. This module provides the
+//! vertex-map representation and the verification predicates; the search for
+//! such maps lives in the `act-tasks` crate.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::complex::Complex;
+use crate::simplex::{Simplex, VertexId};
+
+/// A vertex-to-vertex map from a domain complex to a codomain complex,
+/// inducing a candidate simplicial map.
+///
+/// # Examples
+///
+/// ```
+/// use act_topology::{Complex, VertexMap, VertexId};
+///
+/// let s = Complex::standard(3);
+/// let chr = s.chromatic_subdivision();
+/// // Map every vertex of Chr s to the base vertex of its own color:
+/// // this is the chromatic simplicial "color-collapse" map.
+/// let mut m = VertexMap::new();
+/// for v in chr.used_vertices() {
+///     m.set(v, VertexId::from_index(chr.color(v).index()));
+/// }
+/// assert!(m.is_simplicial(&chr, &s));
+/// assert!(m.is_chromatic(&chr, &s));
+/// ```
+#[derive(Clone, Default)]
+pub struct VertexMap {
+    map: HashMap<VertexId, VertexId>,
+}
+
+impl VertexMap {
+    /// Creates an empty (nowhere-defined) vertex map.
+    pub fn new() -> Self {
+        VertexMap::default()
+    }
+
+    /// Sets the image of `v`, returning the previous image if any.
+    pub fn set(&mut self, v: VertexId, image: VertexId) -> Option<VertexId> {
+        self.map.insert(v, image)
+    }
+
+    /// The image of `v`, if defined.
+    pub fn get(&self, v: VertexId) -> Option<VertexId> {
+        self.map.get(&v).copied()
+    }
+
+    /// Removes the image of `v`.
+    pub fn unset(&mut self, v: VertexId) -> Option<VertexId> {
+        self.map.remove(&v)
+    }
+
+    /// The number of vertices with a defined image.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no vertex has a defined image.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether every vertex used by `domain` has an image.
+    pub fn is_total_on(&self, domain: &Complex) -> bool {
+        domain.used_vertices().iter().all(|v| self.map.contains_key(v))
+    }
+
+    /// The image of a simplex: the set of images of its vertices (which may
+    /// be smaller if the map collapses vertices).
+    ///
+    /// Returns `None` if some vertex has no image.
+    pub fn image(&self, simplex: &Simplex) -> Option<Simplex> {
+        let mut verts = Vec::with_capacity(simplex.len());
+        for &v in simplex.vertices() {
+            verts.push(self.get(v)?);
+        }
+        Some(Simplex::from_vertices(verts))
+    }
+
+    /// Whether the induced map is simplicial: the image of every facet of
+    /// `domain` (hence of every simplex) is a simplex of `codomain`.
+    ///
+    /// Returns `false` if the map is not total on `domain`.
+    pub fn is_simplicial(&self, domain: &Complex, codomain: &Complex) -> bool {
+        domain.facets().iter().all(|f| {
+            self.image(f).is_some_and(|img| codomain.contains_simplex(&img))
+        })
+    }
+
+    /// Whether the map preserves colors on every mapped vertex.
+    pub fn is_chromatic(&self, domain: &Complex, codomain: &Complex) -> bool {
+        self.map.iter().all(|(&v, &w)| domain.color(v) == codomain.color(w))
+    }
+
+    /// Whether the induced simplicial map is carried by the carrier map
+    /// `delta`: for every facet `σ` of `domain`, `φ(σ) ∈ delta(σ)`.
+    ///
+    /// `delta` receives the domain facet and the candidate image and decides
+    /// whether the image lies in `Δ(σ)`. (Checking facets suffices: carrier
+    /// maps are monotone, so faces are carried automatically.)
+    pub fn is_carried_by<F>(&self, domain: &Complex, mut delta: F) -> bool
+    where
+        F: FnMut(&Simplex, &Simplex) -> bool,
+    {
+        domain.facets().iter().all(|f| {
+            self.image(f).is_some_and(|img| delta(f, &img))
+        })
+    }
+}
+
+impl fmt::Debug for VertexMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VertexMap").field("assigned", &self.map.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::ProcessId;
+
+    fn color_collapse(domain: &Complex) -> VertexMap {
+        let mut m = VertexMap::new();
+        for v in domain.used_vertices() {
+            m.set(v, VertexId::from_index(domain.color(v).index()));
+        }
+        m
+    }
+
+    #[test]
+    fn color_collapse_is_chromatic_simplicial() {
+        let s = Complex::standard(4);
+        let chr = s.chromatic_subdivision();
+        let m = color_collapse(&chr);
+        assert!(m.is_total_on(&chr));
+        assert!(m.is_simplicial(&chr, &s));
+        assert!(m.is_chromatic(&chr, &s));
+    }
+
+    #[test]
+    fn non_chromatic_map_detected() {
+        let s = Complex::standard(2);
+        let chr = s.chromatic_subdivision();
+        let mut m = color_collapse(&chr);
+        // Swap the image of one vertex to the wrong color.
+        let v = chr.used_vertices()[0];
+        let wrong = VertexId::from_index(1 - chr.color(v).index());
+        m.set(v, wrong);
+        assert!(!m.is_chromatic(&chr, &s));
+    }
+
+    #[test]
+    fn partial_map_is_not_simplicial() {
+        let s = Complex::standard(2);
+        let chr = s.chromatic_subdivision();
+        let m = VertexMap::new();
+        assert!(!m.is_simplicial(&chr, &s));
+        assert!(!m.is_total_on(&chr));
+    }
+
+    #[test]
+    fn carried_by_carrier_colors() {
+        // The color-collapse map Chr s -> s is carried by the carrier map
+        // σ ↦ carrier(σ, s): φ(σ)'s colors are a subset of carrier colors.
+        let s = Complex::standard(3);
+        let chr = s.chromatic_subdivision();
+        let m = color_collapse(&chr);
+        assert!(m.is_carried_by(&chr, |sigma, img| {
+            s.colors(img).is_subset_of(chr.carrier_colors(sigma))
+        }));
+    }
+
+    #[test]
+    fn image_collapses_duplicates() {
+        let s = Complex::standard(2);
+        let chr = s.chromatic_subdivision();
+        let mut m = VertexMap::new();
+        for v in chr.used_vertices() {
+            m.set(v, VertexId::from_index(0));
+        }
+        let facet = chr.facets()[0].clone();
+        let img = m.image(&facet).unwrap();
+        assert_eq!(img.len(), 1);
+        // Collapsing map is simplicial (image is a vertex of s) but not
+        // chromatic.
+        assert!(m.is_simplicial(&chr, &s));
+        assert!(!m.is_chromatic(&chr, &s));
+        let _ = m.unset(chr.used_vertices()[0]);
+        assert!(m.image(&facet).is_none());
+    }
+
+    #[test]
+    fn set_returns_previous() {
+        let mut m = VertexMap::new();
+        let v = VertexId::from_index(0);
+        assert_eq!(m.set(v, VertexId::from_index(1)), None);
+        assert_eq!(m.set(v, VertexId::from_index(2)), Some(VertexId::from_index(1)));
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        let _ = ProcessId::new(0);
+    }
+}

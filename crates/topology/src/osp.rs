@@ -1,0 +1,333 @@
+//! Ordered set partitions and their correspondence with immediate-snapshot
+//! runs.
+//!
+//! A facet of the standard chromatic subdivision `Chr σ` of a simplex `σ`
+//! corresponds to an *ordered set partition* (OSP) of the colors of `σ`:
+//! the sequence of concurrency classes of an immediate-snapshot (IS) run.
+//! In the run `(B1, ..., Bm)`, the processes of block `Bj` all obtain the
+//! snapshot `B1 ∪ ... ∪ Bj` (cf. Figure 3 of the paper).
+//!
+//! The number of OSPs of a `k`-element set is the `k`-th Fubini (ordered
+//! Bell) number: 1, 1, 3, 13, 75, 541, 4683, ... — exactly the facet count
+//! of `Chr` of a `(k-1)`-simplex.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::color::{ColorSet, ProcessId};
+
+/// An ordered set partition of a set of processes: a sequence of disjoint,
+/// non-empty blocks whose union is the ground set.
+///
+/// Interpreted as an immediate-snapshot schedule, block `i` is the `i`-th
+/// concurrency class; every process in block `i` sees exactly the union of
+/// blocks `1..=i`.
+///
+/// # Examples
+///
+/// ```
+/// use act_topology::{ColorSet, Osp};
+///
+/// // The ordered run {p2}, {p1}, {p3} from Figure 3a of the paper.
+/// let run = Osp::new(vec![
+///     ColorSet::from_indices([1]),
+///     ColorSet::from_indices([0]),
+///     ColorSet::from_indices([2]),
+/// ]).unwrap();
+/// assert_eq!(run.view_of(act_topology::ProcessId::new(0)),
+///            Some(ColorSet::from_indices([0, 1])));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Osp {
+    blocks: Vec<ColorSet>,
+}
+
+/// Error returned by [`Osp::new`] when the proposed blocks do not form an
+/// ordered set partition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OspError {
+    /// A block was empty.
+    EmptyBlock,
+    /// Two blocks shared a process.
+    OverlappingBlocks,
+}
+
+impl fmt::Display for OspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OspError::EmptyBlock => write!(f, "ordered set partition contains an empty block"),
+            OspError::OverlappingBlocks => {
+                write!(f, "ordered set partition blocks are not disjoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OspError {}
+
+impl Osp {
+    /// Creates an ordered set partition from its blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a block is empty or two blocks intersect.
+    pub fn new(blocks: Vec<ColorSet>) -> Result<Self, OspError> {
+        let mut seen = ColorSet::EMPTY;
+        for b in &blocks {
+            if b.is_empty() {
+                return Err(OspError::EmptyBlock);
+            }
+            if seen.intersects(*b) {
+                return Err(OspError::OverlappingBlocks);
+            }
+            seen = seen.union(*b);
+        }
+        Ok(Osp { blocks })
+    }
+
+    /// The single-block ("synchronous") partition of `ground`, or the empty
+    /// partition if `ground` is empty.
+    pub fn synchronous(ground: ColorSet) -> Self {
+        if ground.is_empty() {
+            Osp { blocks: Vec::new() }
+        } else {
+            Osp { blocks: vec![ground] }
+        }
+    }
+
+    /// The fully sequential partition running the processes of `ground` one
+    /// at a time, in increasing index order.
+    pub fn sequential(ground: ColorSet) -> Self {
+        Osp { blocks: ground.iter().map(ColorSet::singleton).collect() }
+    }
+
+    /// The blocks of the partition, in schedule order.
+    pub fn blocks(&self) -> &[ColorSet] {
+        &self.blocks
+    }
+
+    /// The number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The ground set (union of all blocks).
+    pub fn ground(&self) -> ColorSet {
+        self.blocks.iter().fold(ColorSet::EMPTY, |a, b| a.union(*b))
+    }
+
+    /// The immediate-snapshot view of process `p` in this run: the union of
+    /// all blocks up to and including `p`'s own. Returns `None` if `p` does
+    /// not appear in the partition.
+    pub fn view_of(&self, p: ProcessId) -> Option<ColorSet> {
+        let mut acc = ColorSet::EMPTY;
+        for b in &self.blocks {
+            acc = acc.union(*b);
+            if b.contains(p) {
+                return Some(acc);
+            }
+        }
+        None
+    }
+
+    /// All `(process, view)` pairs of the run, grouped by block.
+    pub fn views(&self) -> Vec<(ProcessId, ColorSet)> {
+        let mut out = Vec::with_capacity(self.ground().len());
+        let mut acc = ColorSet::EMPTY;
+        for b in &self.blocks {
+            acc = acc.union(*b);
+            for p in b.iter() {
+                out.push((p, acc));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Osp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Osp({self})")
+    }
+}
+
+impl fmt::Display for Osp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates every ordered set partition of `ground`, in a deterministic
+/// order. The empty ground set yields exactly one empty partition.
+///
+/// # Examples
+///
+/// ```
+/// use act_topology::{ColorSet, ordered_set_partitions, fubini};
+///
+/// let all = ordered_set_partitions(ColorSet::full(3));
+/// assert_eq!(all.len(), 13); // Fubini(3): the 13 facets of Chr s, n = 3
+/// assert_eq!(all.len() as u64, fubini(3));
+/// ```
+pub fn ordered_set_partitions(ground: ColorSet) -> Vec<Osp> {
+    let mut out = Vec::new();
+    let mut blocks = Vec::new();
+    recurse(ground, &mut blocks, &mut out);
+    out
+}
+
+fn recurse(remaining: ColorSet, blocks: &mut Vec<ColorSet>, out: &mut Vec<Osp>) {
+    if remaining.is_empty() {
+        out.push(Osp { blocks: blocks.clone() });
+        return;
+    }
+    // Choose every non-empty subset of `remaining` as the next block.
+    for first in remaining.non_empty_subsets() {
+        blocks.push(first);
+        recurse(remaining.minus(first), blocks, out);
+        blocks.pop();
+    }
+}
+
+/// The `k`-th Fubini (ordered Bell) number: the number of ordered set
+/// partitions of a `k`-element set, i.e. the facet count of `Chr` of a
+/// `(k-1)`-simplex.
+///
+/// # Panics
+///
+/// Panics on overflow (`k > 20` or so); callers never get near that.
+pub fn fubini(k: usize) -> u64 {
+    // a(n) = sum_{j=1..n} C(n, j) * a(n - j), a(0) = 1.
+    let mut a = vec![1u64; k + 1];
+    for n in 1..=k {
+        let mut total: u64 = 0;
+        let mut binom: u64 = 1;
+        for j in 1..=n {
+            binom = binom * (n - j + 1) as u64 / j as u64;
+            total = total
+                .checked_add(binom.checked_mul(a[n - j]).expect("fubini overflow"))
+                .expect("fubini overflow");
+        }
+        a[n] = total;
+    }
+    a[k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fubini_matches_known_values() {
+        let expected = [1u64, 1, 3, 13, 75, 541, 4683, 47293];
+        for (k, &v) in expected.iter().enumerate() {
+            assert_eq!(fubini(k), v, "fubini({k})");
+        }
+    }
+
+    #[test]
+    fn enumeration_count_matches_fubini() {
+        for n in 0..=5 {
+            let ground = ColorSet::full(n);
+            assert_eq!(ordered_set_partitions(ground).len() as u64, fubini(n));
+        }
+    }
+
+    #[test]
+    fn enumeration_is_duplicate_free_and_valid() {
+        let ground = ColorSet::full(4);
+        let all = ordered_set_partitions(ground);
+        for osp in &all {
+            assert_eq!(osp.ground(), ground);
+            // Blocks disjoint and non-empty is enforced by construction;
+            // re-validate through the public constructor.
+            assert!(Osp::new(osp.blocks().to_vec()).is_ok());
+        }
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+
+    #[test]
+    fn views_satisfy_is_properties() {
+        // Self-inclusion, containment, immediacy (Section 2 of the paper).
+        for osp in ordered_set_partitions(ColorSet::full(4)) {
+            let views = osp.views();
+            for &(p, v) in &views {
+                assert!(v.contains(p), "self-inclusion");
+            }
+            for &(_, v1) in &views {
+                for &(_, v2) in &views {
+                    assert!(
+                        v1.is_subset_of(v2) || v2.is_subset_of(v1),
+                        "containment violated in {osp}"
+                    );
+                }
+            }
+            for &(p1, v1) in &views {
+                for &(_, v2) in &views {
+                    if v2.contains(p1) {
+                        assert!(v1.is_subset_of(v2), "immediacy violated in {osp}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure_3a_ordered_run_views() {
+        // Figure 3a: run {p2}, {p1}, {p3}.
+        let run = Osp::new(vec![
+            ColorSet::from_indices([1]),
+            ColorSet::from_indices([0]),
+            ColorSet::from_indices([2]),
+        ])
+        .unwrap();
+        assert_eq!(run.view_of(ProcessId::new(1)), Some(ColorSet::from_indices([1])));
+        assert_eq!(run.view_of(ProcessId::new(0)), Some(ColorSet::from_indices([0, 1])));
+        assert_eq!(run.view_of(ProcessId::new(2)), Some(ColorSet::from_indices([0, 1, 2])));
+    }
+
+    #[test]
+    fn figure_3b_synchronous_run_views() {
+        // Figure 3b: run {p1, p2, p3}: everyone sees everyone.
+        let run = Osp::synchronous(ColorSet::full(3));
+        for i in 0..3 {
+            assert_eq!(run.view_of(ProcessId::new(i)), Some(ColorSet::full(3)));
+        }
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        assert_eq!(
+            Osp::new(vec![ColorSet::EMPTY]).unwrap_err(),
+            OspError::EmptyBlock
+        );
+        assert_eq!(
+            Osp::new(vec![ColorSet::from_indices([0]), ColorSet::from_indices([0, 1])])
+                .unwrap_err(),
+            OspError::OverlappingBlocks
+        );
+    }
+
+    #[test]
+    fn view_of_absent_process_is_none() {
+        let run = Osp::sequential(ColorSet::from_indices([0, 1]));
+        assert_eq!(run.view_of(ProcessId::new(5)), None);
+    }
+
+    #[test]
+    fn sequential_and_synchronous_shapes() {
+        let g = ColorSet::full(3);
+        assert_eq!(Osp::sequential(g).num_blocks(), 3);
+        assert_eq!(Osp::synchronous(g).num_blocks(), 1);
+        assert_eq!(Osp::synchronous(ColorSet::EMPTY).num_blocks(), 0);
+    }
+}

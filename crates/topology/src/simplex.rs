@@ -1,0 +1,331 @@
+//! Simplices: sorted sets of vertex identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex within one level of a [`Complex`].
+///
+/// Vertex ids are only meaningful relative to the complex (and subdivision
+/// level) that issued them.
+///
+/// [`Complex`]: crate::Complex
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct VertexId(pub(crate) u32);
+
+impl VertexId {
+    /// The zero-based index of this vertex in its level's vertex table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a vertex id from a raw index. Only meaningful for indices
+    /// obtained from the same complex.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        VertexId(u32::try_from(index).expect("vertex index exceeds u32"))
+    }
+}
+
+/// A simplex: a non-empty-or-empty set of vertices of a single level of a
+/// complex, stored sorted and duplicate-free.
+///
+/// The *dimension* of a simplex is its cardinality minus one; the empty
+/// simplex has dimension −1 and is used as the identity for carrier unions.
+///
+/// # Examples
+///
+/// ```
+/// use act_topology::{Simplex, VertexId};
+///
+/// let s = Simplex::from_vertices([VertexId::from_index(2), VertexId::from_index(0)]);
+/// assert_eq!(s.dim(), 1);
+/// assert!(s.contains(VertexId::from_index(0)));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Simplex {
+    verts: Vec<VertexId>,
+}
+
+impl Simplex {
+    /// The empty simplex (dimension −1).
+    pub fn empty() -> Self {
+        Simplex { verts: Vec::new() }
+    }
+
+    /// A single-vertex simplex.
+    pub fn vertex(v: VertexId) -> Self {
+        Simplex { verts: vec![v] }
+    }
+
+    /// Builds a simplex from vertices, sorting and deduplicating.
+    pub fn from_vertices<I: IntoIterator<Item = VertexId>>(verts: I) -> Self {
+        let mut v: Vec<VertexId> = verts.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Simplex { verts: v }
+    }
+
+    /// The vertices of the simplex, in increasing id order.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.verts
+    }
+
+    /// The number of vertices.
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Whether this is the empty simplex.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// The dimension (`len() - 1`; −1 for the empty simplex).
+    pub fn dim(&self) -> isize {
+        self.verts.len() as isize - 1
+    }
+
+    /// Whether `v` is a vertex of this simplex.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.verts.binary_search(&v).is_ok()
+    }
+
+    /// Whether `self` is a face of `other` (subset of vertices; every
+    /// simplex is a face of itself).
+    pub fn is_face_of(&self, other: &Simplex) -> bool {
+        if self.verts.len() > other.verts.len() {
+            return false;
+        }
+        // Merge-walk: both are sorted.
+        let mut it = other.verts.iter();
+        'outer: for v in &self.verts {
+            for w in it.by_ref() {
+                match w.cmp(v) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether `self` is a proper face of `other`.
+    pub fn is_proper_face_of(&self, other: &Simplex) -> bool {
+        self.verts.len() < other.verts.len() && self.is_face_of(other)
+    }
+
+    /// The union of two simplices (join of vertex sets).
+    #[must_use]
+    pub fn union(&self, other: &Simplex) -> Simplex {
+        let mut v = Vec::with_capacity(self.verts.len() + other.verts.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.verts.len() && j < other.verts.len() {
+            match self.verts[i].cmp(&other.verts[j]) {
+                std::cmp::Ordering::Less => {
+                    v.push(self.verts[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    v.push(other.verts[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    v.push(self.verts[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        v.extend_from_slice(&self.verts[i..]);
+        v.extend_from_slice(&other.verts[j..]);
+        Simplex { verts: v }
+    }
+
+    /// The intersection of two simplices.
+    #[must_use]
+    pub fn intersection(&self, other: &Simplex) -> Simplex {
+        let mut v = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.verts.len() && j < other.verts.len() {
+            match self.verts[i].cmp(&other.verts[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    v.push(self.verts[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Simplex { verts: v }
+    }
+
+    /// The set difference `self \ other`.
+    #[must_use]
+    pub fn minus(&self, other: &Simplex) -> Simplex {
+        Simplex {
+            verts: self.verts.iter().copied().filter(|v| !other.contains(*v)).collect(),
+        }
+    }
+
+    /// Whether the two simplices share a vertex.
+    pub fn intersects(&self, other: &Simplex) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.verts.len() && j < other.verts.len() {
+            match self.verts[i].cmp(&other.verts[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Iterates over all faces of this simplex, including the empty face
+    /// and the simplex itself (`2^len` faces).
+    ///
+    /// Intended for the small simplices of chromatic complexes (at most one
+    /// vertex per process).
+    pub fn faces(&self) -> Faces<'_> {
+        Faces { simplex: self, next_mask: 0, done: false }
+    }
+
+    /// Iterates over the non-empty faces of this simplex.
+    pub fn non_empty_faces(&self) -> impl Iterator<Item = Simplex> + '_ {
+        self.faces().filter(|f| !f.is_empty())
+    }
+
+    /// The face consisting of the vertices selected by `keep`.
+    pub fn filter<F: FnMut(VertexId) -> bool>(&self, mut keep: F) -> Simplex {
+        Simplex { verts: self.verts.iter().copied().filter(|&v| keep(v)).collect() }
+    }
+}
+
+impl fmt::Debug for Simplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Simplex[")?;
+        for (i, v) in self.verts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", v.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<VertexId> for Simplex {
+    fn from_iter<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        Simplex::from_vertices(iter)
+    }
+}
+
+/// Iterator over the faces of a [`Simplex`], produced by [`Simplex::faces`].
+#[derive(Clone, Debug)]
+pub struct Faces<'a> {
+    simplex: &'a Simplex,
+    next_mask: u64,
+    done: bool,
+}
+
+impl Iterator for Faces<'_> {
+    type Item = Simplex;
+
+    fn next(&mut self) -> Option<Simplex> {
+        if self.done {
+            return None;
+        }
+        let mask = self.next_mask;
+        let n = self.simplex.verts.len();
+        debug_assert!(n <= 63, "faces() supports simplices of at most 63 vertices");
+        let verts = self
+            .simplex
+            .verts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1u64 << i) != 0)
+            .map(|(_, &v)| v)
+            .collect();
+        if mask + 1 == 1u64 << n {
+            self.done = true;
+        } else {
+            self.next_mask = mask + 1;
+        }
+        Some(Simplex { verts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sx(ids: &[usize]) -> Simplex {
+        Simplex::from_vertices(ids.iter().map(|&i| VertexId::from_index(i)))
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = sx(&[3, 1, 3, 0]);
+        assert_eq!(s.vertices().iter().map(|v| v.index()).collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn empty_simplex_dimension() {
+        assert_eq!(Simplex::empty().dim(), -1);
+        assert!(Simplex::empty().is_empty());
+    }
+
+    #[test]
+    fn face_relations() {
+        let big = sx(&[0, 1, 2, 5]);
+        assert!(sx(&[1, 5]).is_face_of(&big));
+        assert!(sx(&[1, 5]).is_proper_face_of(&big));
+        assert!(big.is_face_of(&big));
+        assert!(!big.is_proper_face_of(&big));
+        assert!(!sx(&[1, 3]).is_face_of(&big));
+        assert!(Simplex::empty().is_face_of(&big));
+    }
+
+    #[test]
+    fn union_intersection_minus() {
+        let a = sx(&[0, 2, 4]);
+        let b = sx(&[2, 3]);
+        assert_eq!(a.union(&b), sx(&[0, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), sx(&[2]));
+        assert_eq!(a.minus(&b), sx(&[0, 4]));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&sx(&[1, 5])));
+    }
+
+    #[test]
+    fn faces_enumerates_power_set() {
+        let s = sx(&[0, 1, 2]);
+        let faces: Vec<Simplex> = s.faces().collect();
+        assert_eq!(faces.len(), 8);
+        for f in &faces {
+            assert!(f.is_face_of(&s));
+        }
+        let mut sorted = faces.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn faces_of_empty() {
+        let faces: Vec<Simplex> = Simplex::empty().faces().collect();
+        assert_eq!(faces, vec![Simplex::empty()]);
+    }
+
+    #[test]
+    fn filter_selects_subset() {
+        let s = sx(&[0, 1, 2, 3]);
+        let even = s.filter(|v| v.index() % 2 == 0);
+        assert_eq!(even, sx(&[0, 2]));
+    }
+}

@@ -1,0 +1,520 @@
+//! The standard chromatic subdivision `Chr` and recipe-driven subdivisions.
+//!
+//! A facet of `Chr σ` corresponds to an ordered set partition ([`Osp`]) of
+//! the colors of `σ` (an immediate-snapshot run, Section 2 of the paper);
+//! the vertex of color `c` is `(c, face of σ spanned by c's view)`.
+//! Subdividing every facet of a complex and gluing along shared faces
+//! (vertices are deduplicated by their canonical key `(color, carrier)`)
+//! yields `Chr K`. Iterating gives `Chr^m K`, which captures the `m`-round
+//! iterated-immediate-snapshot model.
+//!
+//! A *recipe* is a fixed-length sequence of OSPs describing a facet of
+//! `Chr^ℓ σ` relative to `σ`; recipe-driven subdivision
+//! ([`Complex::subdivide_patterned`]) generates only the facets whose recipe
+//! is allowed, which is exactly the iteration operation on affine tasks
+//! (`L^m` of the paper).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::color::{ColorSet, ProcessId};
+use crate::complex::{Complex, Structure, VertexData};
+use crate::osp::{ordered_set_partitions, Osp};
+use crate::simplex::{Simplex, VertexId};
+
+/// A facet of `Chr^ℓ σ` described relative to `σ`: one ordered set
+/// partition of `χ(σ)` per subdivision round.
+pub type Recipe = Vec<Osp>;
+
+/// Enumerates all depth-`ℓ` recipes over the color set `ground`:
+/// all sequences of `ℓ` ordered set partitions of `ground`.
+pub fn all_recipes(ground: ColorSet, depth: usize) -> Vec<Recipe> {
+    let osps = ordered_set_partitions(ground);
+    let mut out: Vec<Recipe> = vec![Vec::new()];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(out.len() * osps.len());
+        for prefix in &out {
+            for osp in &osps {
+                let mut r = prefix.clone();
+                r.push(osp.clone());
+                next.push(r);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+struct LevelBuilder {
+    vertices: Vec<VertexData>,
+    key_index: HashMap<(ProcessId, Simplex), VertexId>,
+    facets: Vec<Simplex>,
+    facet_seen: HashMap<Simplex, ()>,
+}
+
+impl LevelBuilder {
+    fn new() -> Self {
+        LevelBuilder {
+            vertices: Vec::new(),
+            key_index: HashMap::new(),
+            facets: Vec::new(),
+            facet_seen: HashMap::new(),
+        }
+    }
+
+    fn intern(
+        &mut self,
+        color: ProcessId,
+        carrier: Simplex,
+        base_carrier: Simplex,
+        base_colors: ColorSet,
+    ) -> VertexId {
+        if let Some(&v) = self.key_index.get(&(color, carrier.clone())) {
+            return v;
+        }
+        let id = VertexId::from_index(self.vertices.len());
+        self.vertices.push(VertexData {
+            color,
+            carrier: carrier.clone(),
+            base_carrier,
+            base_colors,
+            label: 0,
+        });
+        self.key_index.insert((color, carrier), id);
+        id
+    }
+
+    fn push_facet(&mut self, facet: Simplex) {
+        if self.facet_seen.insert(facet.clone(), ()).is_none() {
+            self.facets.push(facet);
+        }
+    }
+}
+
+impl Complex {
+    /// The standard chromatic subdivision `Chr K` of this complex.
+    ///
+    /// Every facet is replaced by its chromatic subdivision; shared faces
+    /// are glued (vertices deduplicated by `(color, carrier)`), so the
+    /// result is a genuine subdivision of `K`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_topology::Complex;
+    ///
+    /// let chr2 = Complex::standard(3).chromatic_subdivision().chromatic_subdivision();
+    /// assert_eq!(chr2.facet_count(), 13 * 13); // Chr² s for n = 3
+    /// assert_eq!(chr2.level(), 2);
+    /// ```
+    pub fn chromatic_subdivision(&self) -> Complex {
+        self.subdivide_patterned(1, |colors| all_recipes(colors, 1))
+    }
+
+    /// The `m`-fold iterated standard chromatic subdivision `Chr^m K`.
+    pub fn iterated_subdivision(&self, m: usize) -> Complex {
+        let mut c = self.clone();
+        for _ in 0..m {
+            c = c.chromatic_subdivision();
+        }
+        c
+    }
+
+    /// Recipe-driven subdivision: for every facet `σ` of this complex,
+    /// generates the facets of `Chr^ℓ σ` whose recipe (relative to `σ`)
+    /// appears in `recipes(χ(σ))`, then glues shared faces.
+    ///
+    /// With `recipes = all_recipes(·, 1)` this is `Chr`; with the recipe set
+    /// of an affine task `L` it computes one iteration step of `L` applied
+    /// to this complex.
+    ///
+    /// Returns a complex `ℓ` levels deeper. The intermediate levels contain
+    /// exactly the simplices generated as carriers along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recipe's ground set does not match the facet's colors or
+    /// its length differs from other recipes'.
+    pub fn subdivide_patterned<F>(&self, depth: usize, recipes: F) -> Complex
+    where
+        F: Fn(ColorSet) -> Vec<Recipe>,
+    {
+        assert!(depth >= 1, "subdivision depth must be at least 1");
+        let mut builders: Vec<LevelBuilder> = (0..depth).map(|_| LevelBuilder::new()).collect();
+
+        // Cache recipe sets per facet color set.
+        let mut recipe_cache: HashMap<ColorSet, Arc<Vec<Recipe>>> = HashMap::new();
+
+        for facet in self.facets() {
+            let colors = self.colors(facet);
+            assert_eq!(
+                colors.len(),
+                facet.len(),
+                "subdivide_patterned requires a chromatic complex"
+            );
+            let recipe_set = recipe_cache
+                .entry(colors)
+                .or_insert_with(|| Arc::new(recipes(colors)))
+                .clone();
+            // Map color -> vertex of σ, color -> base data, valid at the
+            // *input* level; updated per round below.
+            for recipe in recipe_set.iter() {
+                assert_eq!(recipe.len(), depth, "recipe depth mismatch");
+                // `current` is the simplex being subdivided at each round;
+                // `lookup` maps color -> (vertex id, base_carrier, base_colors)
+                // within `current`'s level.
+                let mut current_ids: Vec<(ProcessId, VertexId, Simplex, ColorSet)> = facet
+                    .vertices()
+                    .iter()
+                    .map(|&v| {
+                        let d = self.vertex(v);
+                        (d.color, v, d.base_carrier.clone(), d.base_colors)
+                    })
+                    .collect();
+                for (round, osp) in recipe.iter().enumerate() {
+                    assert_eq!(
+                        osp.ground(),
+                        colors,
+                        "recipe OSP ground set must equal the facet's colors"
+                    );
+                    let builder = &mut builders[round];
+                    let mut next_ids = Vec::with_capacity(current_ids.len());
+                    for &(c, _, _, _) in &current_ids {
+                        let view = osp
+                            .view_of(c)
+                            .expect("osp covers every color of the facet");
+                        // Carrier: the face of `current` spanned by `view`.
+                        let carrier = Simplex::from_vertices(
+                            current_ids
+                                .iter()
+                                .filter(|&&(cc, _, _, _)| view.contains(cc))
+                                .map(|&(_, v, _, _)| v),
+                        );
+                        let mut base_carrier = Simplex::empty();
+                        let mut base_colors = ColorSet::EMPTY;
+                        for &(cc, _, ref bc, bcol) in &current_ids {
+                            if view.contains(cc) {
+                                base_carrier = base_carrier.union(bc);
+                                base_colors = base_colors.union(bcol);
+                            }
+                        }
+                        let id = builder.intern(c, carrier, base_carrier.clone(), base_colors);
+                        next_ids.push((c, id, base_carrier, base_colors));
+                    }
+                    builder.push_facet(Simplex::from_vertices(
+                        next_ids.iter().map(|&(_, v, _, _)| v),
+                    ));
+                    current_ids = next_ids;
+                }
+            }
+        }
+
+        // Assemble the chain of complexes.
+        let mut parent = self.clone();
+        let mut result = None;
+        for (i, b) in builders.into_iter().enumerate() {
+            let structure = Arc::new(Structure {
+                n: self.num_processes(),
+                level: parent.level() + 1,
+                parent: Some(parent.clone()),
+                vertices: b.vertices,
+                key_index: b.key_index,
+            });
+            let complex = Complex::assemble(structure, b.facets);
+            parent = complex.clone();
+            if i + 1 == depth {
+                result = Some(complex);
+            }
+        }
+        result.expect("depth >= 1")
+    }
+
+    /// Resolves the simplex of this complex described by a recipe relative
+    /// to a base facet: round `i` of `recipe` is the ordered set partition
+    /// of some color set `C ⊆ χ(base_facet)` describing the `i`-th
+    /// immediate snapshot.
+    ///
+    /// Returns `None` if some described vertex does not exist at the
+    /// corresponding level (possible when this complex was built by a
+    /// patterned subdivision that never generated it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recipe`'s length differs from this complex's level, if
+    /// the rounds use different ground sets, or if the ground set is not a
+    /// subset of the base facet's colors.
+    pub fn simplex_for_recipe(
+        &self,
+        base_facet: &Simplex,
+        recipe: &[Osp],
+    ) -> Option<Simplex> {
+        assert_eq!(recipe.len(), self.level(), "recipe length must equal the level");
+        // Collect the level chain: base, level 1, ..., self.
+        let mut chain: Vec<Complex> = Vec::with_capacity(self.level() + 1);
+        let mut c = self.clone();
+        loop {
+            chain.push(c.clone());
+            match c.parent() {
+                Some(p) => c = p.clone(),
+                None => break,
+            }
+        }
+        chain.reverse();
+        let base = &chain[0];
+        let ground = recipe.first().map(|o| o.ground()).unwrap_or(ColorSet::EMPTY);
+        assert!(
+            ground.is_subset_of(base.colors(base_facet)),
+            "recipe ground set must be contained in the base facet's colors"
+        );
+        // current: color -> vertex id at the current level.
+        let mut current: Vec<(ProcessId, crate::simplex::VertexId)> = base_facet
+            .vertices()
+            .iter()
+            .filter(|&&v| ground.contains(base.color(v)))
+            .map(|&v| (base.color(v), v))
+            .collect();
+        for (round, osp) in recipe.iter().enumerate() {
+            assert_eq!(osp.ground(), ground, "recipe rounds use inconsistent ground sets");
+            let level = &chain[round + 1];
+            let mut next = Vec::with_capacity(current.len());
+            for &(color, _) in &current {
+                let view = osp.view_of(color).expect("ground covers every color");
+                let carrier = Simplex::from_vertices(
+                    current
+                        .iter()
+                        .filter(|(c2, _)| view.contains(*c2))
+                        .map(|&(_, v)| v),
+                );
+                let v = level.find_vertex(color, &carrier)?;
+                next.push((color, v));
+            }
+            current = next;
+        }
+        Some(Simplex::from_vertices(current.into_iter().map(|(_, v)| v)))
+    }
+
+    /// Recovers the recipe round of a facet of this (subdivision) complex:
+    /// the ordered set partition of the facet's colors describing it
+    /// relative to its carrier in the parent level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a level-0 complex or a non-facet simplex whose
+    /// carriers do not nest properly.
+    pub fn osp_of_facet(&self, facet: &Simplex) -> Osp {
+        assert!(self.level() > 0, "level-0 complexes have no subdivision recipe");
+        // Group colors by carrier, ordered by carrier size (carriers of a
+        // Chr facet are totally ordered by containment).
+        let mut by_carrier: Vec<(usize, ColorSet)> = Vec::new();
+        let mut groups: HashMap<Simplex, ColorSet> = HashMap::new();
+        for &v in facet.vertices() {
+            let d = self.vertex(v);
+            groups
+                .entry(d.carrier.clone())
+                .and_modify(|cs| *cs = cs.with(d.color))
+                .or_insert_with(|| ColorSet::singleton(d.color));
+        }
+        for (carrier, cs) in groups {
+            by_carrier.push((carrier.len(), cs));
+        }
+        by_carrier.sort_by_key(|&(len, _)| len);
+        Osp::new(by_carrier.into_iter().map(|(_, cs)| cs).collect())
+            .expect("facet carriers induce a valid ordered set partition")
+    }
+
+    /// Recovers the full depth-`ℓ` recipe of a facet of `Chr^ℓ` relative to
+    /// its carrier facet `ℓ` levels up: element `i` is the OSP of round
+    /// `i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` exceeds this complex's level.
+    pub fn recipe_of_facet(&self, facet: &Simplex, depth: usize) -> Recipe {
+        assert!(depth <= self.level(), "recipe depth exceeds subdivision level");
+        let mut rounds = Vec::with_capacity(depth);
+        let mut complex = self.clone();
+        let mut current = facet.clone();
+        for _ in 0..depth {
+            rounds.push(complex.osp_of_facet(&current));
+            let parent = complex.parent().expect("level checked above").clone();
+            current = complex.carrier_in_parent(&current);
+            complex = parent;
+        }
+        rounds.reverse();
+        rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osp::fubini;
+
+    #[test]
+    fn chr_facet_counts_match_fubini() {
+        for n in 1..=4 {
+            let chr = Complex::standard(n).chromatic_subdivision();
+            assert_eq!(chr.facet_count() as u64, fubini(n), "n = {n}");
+            assert!(chr.is_pure());
+            assert!(chr.is_chromatic());
+            assert_eq!(chr.dim(), n as isize - 1);
+        }
+    }
+
+    #[test]
+    fn chr_of_triangle_is_figure_1a() {
+        // Figure 1a: 13 triangles, 12 vertices, 24 edges.
+        let chr = Complex::standard(3).chromatic_subdivision();
+        assert_eq!(chr.f_vector(), vec![12, 24, 13]);
+    }
+
+    #[test]
+    fn chr2_facet_count_is_fubini_squared() {
+        let chr2 = Complex::standard(3).iterated_subdivision(2);
+        assert_eq!(chr2.facet_count(), 169);
+        assert_eq!(chr2.level(), 2);
+        assert!(chr2.is_pure());
+        assert!(chr2.is_chromatic());
+    }
+
+    #[test]
+    fn chr_vertices_have_consistent_carriers() {
+        let s = Complex::standard(3);
+        let chr = s.chromatic_subdivision();
+        for facet in chr.facets() {
+            // Carriers of a facet are totally ordered by inclusion
+            // (containment property) and satisfy immediacy.
+            for &v in facet.vertices() {
+                let d = chr.vertex(v);
+                assert!(
+                    d.base_colors.contains(d.color),
+                    "self-inclusion: a process sees itself"
+                );
+                for &w in facet.vertices() {
+                    let dw = chr.vertex(w);
+                    assert!(
+                        d.carrier.is_face_of(&dw.carrier) || dw.carrier.is_face_of(&d.carrier),
+                        "containment"
+                    );
+                    if dw.base_colors.contains(d.color) {
+                        assert!(d.carrier.is_face_of(&dw.carrier), "immediacy");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_faces_are_shared() {
+        // Chr glues subdivided facets along shared faces: Chr of the
+        // boundary edge between two triangles appears once.
+        let verts = vec![
+            (ProcessId::new(0), 0),
+            (ProcessId::new(1), 0),
+            (ProcessId::new(2), 0),
+            (ProcessId::new(2), 1),
+        ];
+        // Two triangles sharing the {p1, p2} edge.
+        let c = Complex::from_labeled_vertices(3, verts, vec![vec![0, 1, 2], vec![0, 1, 3]]);
+        let chr = c.chromatic_subdivision();
+        assert_eq!(chr.facet_count(), 26);
+        // Vertices: 12 per triangle, minus the 4 vertices of the
+        // subdivided common edge counted twice.
+        assert_eq!(chr.num_vertices(), 20);
+    }
+
+    #[test]
+    fn osp_roundtrip() {
+        let chr = Complex::standard(3).chromatic_subdivision();
+        let mut seen = std::collections::BTreeSet::new();
+        for facet in chr.facets() {
+            let osp = chr.osp_of_facet(facet);
+            assert_eq!(osp.ground(), ColorSet::full(3));
+            seen.insert(osp);
+        }
+        assert_eq!(seen.len(), 13, "all 13 OSPs are realized exactly once");
+    }
+
+    #[test]
+    fn recipe_of_facet_roundtrip() {
+        let chr2 = Complex::standard(3).iterated_subdivision(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for facet in chr2.facets() {
+            let recipe = chr2.recipe_of_facet(facet, 2);
+            assert_eq!(recipe.len(), 2);
+            seen.insert(recipe);
+        }
+        assert_eq!(seen.len(), 169, "recipes identify facets uniquely");
+    }
+
+    #[test]
+    fn subdivide_patterned_with_single_recipe() {
+        // Only the synchronous run: one facet per facet of the input.
+        let s = Complex::standard(3);
+        let sub = s.subdivide_patterned(1, |colors| vec![vec![Osp::synchronous(colors)]]);
+        assert_eq!(sub.facet_count(), 1);
+        // The synchronous facet is the "central" simplex: every vertex has
+        // full base colors.
+        let f = &sub.facets()[0];
+        for &v in f.vertices() {
+            assert_eq!(sub.base_colors_of_vertex(v), ColorSet::full(3));
+        }
+    }
+
+    #[test]
+    fn patterned_depth_two_equals_two_single_steps() {
+        let s = Complex::standard(2);
+        let a = s.subdivide_patterned(2, |c| all_recipes(c, 2));
+        let b = s.iterated_subdivision(2);
+        assert_eq!(a.facet_count(), b.facet_count());
+        assert!(a.same_complex(&b));
+    }
+
+    #[test]
+    fn simplex_for_recipe_roundtrip() {
+        let chr2 = Complex::standard(3).iterated_subdivision(2);
+        let base_facet = Complex::standard(3).facets()[0].clone();
+        for facet in chr2.facets() {
+            let recipe = chr2.recipe_of_facet(facet, 2);
+            let resolved = chr2.simplex_for_recipe(&base_facet, &recipe).unwrap();
+            assert_eq!(&resolved, facet);
+        }
+    }
+
+    #[test]
+    fn simplex_for_recipe_partial_participation() {
+        let chr = Complex::standard(3).chromatic_subdivision();
+        let base_facet = Complex::standard(3).facets()[0].clone();
+        let pair = ColorSet::from_indices([0, 2]);
+        let run = vec![Osp::sequential(pair)];
+        let sx = chr.simplex_for_recipe(&base_facet, &run).unwrap();
+        assert_eq!(sx.len(), 2);
+        assert_eq!(chr.colors(&sx), pair);
+        assert!(chr.contains_simplex(&sx));
+        // p1 ran first: its vertex saw only itself.
+        for &v in sx.vertices() {
+            let seen = chr.base_colors_of_vertex(v);
+            if chr.color(v).index() == 0 {
+                assert_eq!(seen, ColorSet::from_indices([0]));
+            } else {
+                assert_eq!(seen, pair);
+            }
+        }
+    }
+
+    #[test]
+    fn all_recipes_counts() {
+        let g = ColorSet::full(3);
+        assert_eq!(all_recipes(g, 1).len(), 13);
+        assert_eq!(all_recipes(g, 2).len(), 169);
+    }
+
+    #[test]
+    fn carrier_in_base_tracks_participation() {
+        let chr2 = Complex::standard(3).iterated_subdivision(2);
+        for facet in chr2.facets() {
+            // A full facet's carrier is the whole base simplex.
+            assert_eq!(chr2.carrier_colors(facet), ColorSet::full(3));
+        }
+    }
+}

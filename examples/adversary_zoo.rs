@@ -1,0 +1,76 @@
+//! A tour of the adversary classes of Figure 2: build adversaries of every
+//! flavor, compute their agreement functions, check fairness, and exhibit
+//! the strictness of every inclusion — all machine-checked.
+//!
+//! Run with: `cargo run --release --example adversary_zoo`
+
+use fact::adversary::{zoo, Adversary, AgreementFunction};
+use fact::topology::ColorSet;
+
+fn describe(name: &str, a: &Adversary) {
+    let alpha = AgreementFunction::of_adversary(a);
+    alpha.validate().expect("agreement functions are monotone of bounded growth");
+    println!(
+        "{name:<28} live sets {:>3}  setcon {}  superset-closed {:<5} symmetric {:<5} fair {}",
+        a.len(),
+        a.setcon(),
+        a.is_superset_closed(),
+        a.is_symmetric(),
+        a.is_fair()
+    );
+}
+
+fn main() {
+    println!("-- the named models of the paper (n = 3) --");
+    describe("wait-free", &Adversary::wait_free(3));
+    describe("1-resilient", &Adversary::t_resilient(3, 1));
+    describe("0-resilient", &Adversary::t_resilient(3, 0));
+    describe("1-obstruction-free", &Adversary::k_obstruction_free(3, 1));
+    describe("2-obstruction-free", &Adversary::k_obstruction_free(3, 2));
+    describe("figure 5b ({p2},{p1,p3}+ssc)", &zoo::figure_5b_adversary());
+    describe("unfair example", &zoo::unfair_example());
+
+    println!("\n-- the class diagram of Figure 2, checked exhaustively --");
+    let all = zoo::all_adversaries(3);
+    let mut fair_not_sym_not_ssc = None;
+    let mut sym_not_ssc = None;
+    let mut ssc_not_sym = None;
+    let mut unfair = None;
+    for a in &all {
+        let (f, s, c) = (a.is_fair(), a.is_symmetric(), a.is_superset_closed());
+        assert!(!s || f, "symmetric ⊆ fair");
+        assert!(!c || f, "superset-closed ⊆ fair");
+        if f && !s && !c && !a.is_empty() && fair_not_sym_not_ssc.is_none() {
+            fair_not_sym_not_ssc = Some(a.clone());
+        }
+        if s && !c && sym_not_ssc.is_none() {
+            sym_not_ssc = Some(a.clone());
+        }
+        if c && !s && ssc_not_sym.is_none() {
+            ssc_not_sym = Some(a.clone());
+        }
+        if !f && unfair.is_none() {
+            unfair = Some(a.clone());
+        }
+    }
+    println!("all {} adversaries over 3 processes enumerated", all.len());
+    println!("fair \\ (symmetric ∪ ssc) : e.g. {}", fair_not_sym_not_ssc.unwrap());
+    println!("symmetric \\ ssc          : e.g. {}", sym_not_ssc.unwrap());
+    println!("ssc \\ symmetric          : e.g. {}", ssc_not_sym.unwrap());
+    println!("not fair                 : e.g. {}", unfair.unwrap());
+
+    println!("\n-- agreement functions adapt to participation --");
+    let a = zoo::figure_5b_adversary();
+    let alpha = AgreementFunction::of_adversary(&a);
+    for p in ColorSet::full(3).non_empty_subsets() {
+        println!("alpha({p}) = {}", alpha.alpha(p));
+    }
+
+    println!("\n-- why the unfair example is unfair --");
+    let u = zoo::unfair_example();
+    let w = u.fairness_witness().expect("the example is unfair");
+    println!(
+        "A = {u}: setcon(A|{},{}) = {} but min(|Q|, setcon(A|P)) = {}",
+        w.p, w.q, w.restricted_power, w.expected_power
+    );
+}

@@ -1,0 +1,170 @@
+//! Regenerates every figure of the paper as computed combinatorial data
+//! (counts, structures, and planar coordinates for the 3-process
+//! complexes), printed as text and exported as JSON next to the binary's
+//! working directory (`figures/*.json`).
+//!
+//! Run with: `cargo run --release --example figures`
+
+use std::collections::BTreeMap;
+use std::fs;
+
+use fact::adversary::{zoo, Adversary, AgreementFunction};
+use fact::affine::{
+    contention_complex, fair_affine_task, k_obstruction_free_task, t_resilient_task,
+    CriticalAnalysis,
+};
+use fact::topology::{
+    barycentric_to_plane, realization_coordinates, ColorSet, Complex, VertexId,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FigureComplex {
+    name: String,
+    facet_count: usize,
+    f_vector: Vec<usize>,
+    /// Planar coordinates of every vertex (3-process complexes only).
+    vertices: Vec<VertexPoint>,
+    /// Facets as vertex-index lists.
+    facets: Vec<Vec<usize>>,
+}
+
+#[derive(Serialize)]
+struct VertexPoint {
+    index: usize,
+    color: usize,
+    x: f64,
+    y: f64,
+}
+
+fn export(complex: &Complex, name: &str) -> FigureComplex {
+    let coords = realization_coordinates(complex);
+    let vertices = (0..complex.num_vertices())
+        .map(|i| {
+            let (x, y) = barycentric_to_plane(&coords[i]);
+            VertexPoint { index: i, color: complex.color(VertexId::from_index(i)).index(), x, y }
+        })
+        .collect();
+    let facets = complex
+        .facets()
+        .iter()
+        .map(|f| f.vertices().iter().map(|v| v.index()).collect())
+        .collect();
+    FigureComplex {
+        name: name.to_string(),
+        facet_count: complex.facet_count(),
+        f_vector: complex.f_vector(),
+        vertices,
+        facets,
+    }
+}
+
+fn main() {
+    fs::create_dir_all("figures").expect("create figures dir");
+    let mut summary: BTreeMap<String, usize> = BTreeMap::new();
+
+    // Figure 1a: Chr s for n = 3.
+    let chr = Complex::standard(3).chromatic_subdivision();
+    let fig = export(&chr, "fig1a_chr_s");
+    println!("Figure 1a  Chr s        : f-vector {:?}", fig.f_vector);
+    summary.insert("fig1a_facets".into(), fig.facet_count);
+    write_json("figures/fig1a_chr_s.json", &fig);
+
+    // Figure 1b: R_{1-res} for n = 3.
+    let r1res = t_resilient_task(3, 1);
+    let fig = export(r1res.complex(), "fig1b_r_1res");
+    println!("Figure 1b  R_1-res      : {} facets", fig.facet_count);
+    summary.insert("fig1b_facets".into(), fig.facet_count);
+    write_json("figures/fig1b_r_1res.json", &fig);
+
+    // Figure 2: adversary classes over 3 processes, counted exhaustively.
+    let all = zoo::all_adversaries(3);
+    let fair = all.iter().filter(|a| a.is_fair()).count();
+    let sym = all.iter().filter(|a| a.is_symmetric()).count();
+    let ssc = all.iter().filter(|a| a.is_superset_closed()).count();
+    println!(
+        "Figure 2   classes      : {} adversaries, {fair} fair, {sym} symmetric, {ssc} superset-closed",
+        all.len()
+    );
+    summary.insert("fig2_total".into(), all.len());
+    summary.insert("fig2_fair".into(), fair);
+    summary.insert("fig2_symmetric".into(), sym);
+    summary.insert("fig2_superset_closed".into(), ssc);
+
+    // Figure 3: the two example IS runs and their views.
+    use fact::topology::Osp;
+    let ordered = Osp::new(vec![
+        ColorSet::from_indices([1]),
+        ColorSet::from_indices([0]),
+        ColorSet::from_indices([2]),
+    ])
+    .unwrap();
+    let sync = Osp::synchronous(ColorSet::full(3));
+    println!("Figure 3a  ordered run  : {ordered} -> views {:?}", ordered.views());
+    println!("Figure 3b  sync run     : {sync} -> views {:?}", sync.views());
+
+    // Figure 4: the 2-contention complex of Chr² s.
+    let chr2 = Complex::standard(3).iterated_subdivision(2);
+    let cont = contention_complex(&chr2);
+    println!(
+        "Figure 4c  Cont²        : {} maximal contention simplices, dim {}",
+        cont.facet_count(),
+        cont.dim()
+    );
+    summary.insert("fig4_cont2_facets".into(), cont.facet_count());
+
+    // Figures 5 and 6: critical simplices and concurrency maps for the
+    // two example models.
+    let models: Vec<(&str, AgreementFunction)> = vec![
+        ("5a/6a (1-OF)", AgreementFunction::k_concurrency(3, 1)),
+        (
+            "5b/6b ({p2},{p1,p3}+ssc)",
+            AgreementFunction::of_adversary(&zoo::figure_5b_adversary()),
+        ),
+    ];
+    for (name, alpha) in &models {
+        let crit = CriticalAnalysis::new(&chr, alpha);
+        let mut distinct = std::collections::BTreeSet::new();
+        for facet in chr.facets() {
+            for face in facet.non_empty_faces() {
+                if crit.is_critical(&face) {
+                    distinct.insert(face);
+                }
+            }
+        }
+        let mut conc_histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut crit2 = CriticalAnalysis::new(&chr, alpha);
+        for facet in chr.facets() {
+            for face in facet.non_empty_faces() {
+                *conc_histogram.entry(crit2.concurrency(&face)).or_insert(0) += 1;
+            }
+        }
+        println!(
+            "Figure {name}: {} critical simplices; concurrency histogram {conc_histogram:?}",
+            distinct.len()
+        );
+    }
+
+    // Figure 7: the affine tasks R_A for both models, plus the Def-6
+    // cross-checks.
+    for (name, alpha) in &models {
+        let r = fair_affine_task(alpha);
+        println!("Figure 7 {name}: R_A has {} facets", r.complex().facet_count());
+        let tag = format!("fig7_{}", name.chars().take(2).collect::<String>());
+        summary.insert(tag, r.complex().facet_count());
+    }
+    let r_of = k_obstruction_free_task(3, 1);
+    println!(
+        "           R_1-OF (Def 6): {} facets (equals R_A of 1-OF)",
+        r_of.complex().facet_count()
+    );
+    let _ = Adversary::wait_free(3);
+
+    write_json("figures/summary.json", &summary);
+    println!("\nJSON exports written to figures/");
+}
+
+fn write_json<T: Serialize>(path: &str, value: &T) {
+    fs::write(path, serde_json::to_string_pretty(value).expect("serialize"))
+        .expect("write figure JSON");
+}

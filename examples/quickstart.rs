@@ -1,0 +1,47 @@
+//! Quickstart: from an adversary to its affine task and a solvability
+//! verdict, in a few lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fact::adversary::{Adversary, AgreementFunction};
+use fact::affine::fair_affine_task;
+use fact::affine_domain;
+use fact::tasks::{find_carried_map, verify_carried_map, SetConsensus};
+use fact::topology::ColorSet;
+
+fn main() {
+    // 1. A fair adversary: 1-resilience over 3 processes.
+    let adversary = Adversary::t_resilient(3, 1);
+    println!("adversary      : {adversary}");
+    println!("fair           : {}", adversary.is_fair());
+    println!("setcon         : {}", adversary.setcon());
+
+    // 2. Its agreement function α(P) = setcon(A|P).
+    let alpha = AgreementFunction::of_adversary(&adversary);
+    for p in ColorSet::full(3).non_empty_subsets() {
+        println!("alpha({p}) = {}", alpha.alpha(p));
+    }
+
+    // 3. The affine task R_A ⊆ Chr² s (Definition 9).
+    let r_a = fair_affine_task(&alpha);
+    println!(
+        "R_A            : {} facets out of 169 in Chr² s",
+        r_a.complex().facet_count(),
+    );
+
+    // 4. FACT in action: 2-set consensus is solvable (setcon = 2) with a
+    //    single iteration of R_A, consensus is not.
+    let two_set = SetConsensus::new(3, 2, &[0, 1, 2]);
+    let inputs = two_set.rainbow_inputs();
+    let domain = affine_domain(&r_a, &inputs, 1);
+    let verdict = find_carried_map(&two_set, &domain, 3_000_000);
+    let map = verdict.into_map().expect("2-set consensus is solvable at setcon");
+    assert!(verify_carried_map(&two_set, &domain, &map));
+    println!("2-set consensus: solvable with 1 iteration of R_A (map verified)");
+
+    let consensus = SetConsensus::new(3, 1, &[0, 1, 2]);
+    let domain = affine_domain(&r_a, &consensus.rainbow_inputs(), 1);
+    let verdict = find_carried_map(&consensus, &domain, 3_000_000);
+    assert!(verdict.is_unsolvable());
+    println!("consensus      : no map exists at depth 1 (as FACT predicts)");
+}

@@ -1,0 +1,134 @@
+//! Structural laws of affine tasks, checked across the fair-adversary
+//! census: carrier-map monotonicity of `Δ`, recipe/`Δ` consistency,
+//! purity and chromaticity of `R_A`, and iteration coherence.
+
+use act_adversary::{zoo, AgreementFunction};
+use act_affine::{fair_affine_task, AffineTask};
+use act_topology::ColorSet;
+
+fn census_tasks() -> Vec<AffineTask> {
+    zoo::all_fair_adversaries(3)
+        .into_iter()
+        .filter(|a| a.setcon() >= 1)
+        .map(|a| fair_affine_task(&AgreementFunction::of_adversary(&a)))
+        .collect()
+}
+
+#[test]
+fn r_a_is_always_a_valid_affine_task() {
+    for task in census_tasks() {
+        let c = task.complex();
+        assert!(c.is_pure(), "{}: pure", task.name());
+        assert!(c.is_chromatic(), "{}: chromatic", task.name());
+        assert_eq!(c.dim(), 2, "{}: full dimension", task.name());
+        assert!(!c.is_void(), "{}: non-empty", task.name());
+    }
+}
+
+#[test]
+fn delta_is_a_carrier_map() {
+    // Δ(t') ⊆ Δ(t) whenever t' ⊆ t: every simplex of the smaller
+    // restriction appears in the larger one.
+    let full = ColorSet::full(3);
+    for task in census_tasks().into_iter().take(12) {
+        for c_small in full.non_empty_subsets() {
+            for c_big in full.non_empty_subsets() {
+                if !c_small.is_subset_of(c_big) || c_small == c_big {
+                    continue;
+                }
+                let small = task.delta(c_small);
+                let big = task.delta(c_big);
+                for facet in small.facets() {
+                    assert!(
+                        big.contains_simplex(facet),
+                        "{}: Δ({c_small}) ⊄ Δ({c_big})",
+                        task.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn recipes_agree_with_delta_facets() {
+    // Every recipe over C resolves to a simplex of Δ(C) with all of C's
+    // colors; conversely every full-dimensional facet of Δ(C) with colors
+    // exactly C arises from a recipe.
+    let full = ColorSet::full(3);
+    for task in census_tasks().into_iter().take(12) {
+        for c in full.non_empty_subsets() {
+            let recipes = task.recipes(c);
+            let delta = task.delta(c);
+            let full_facets: Vec<_> = delta
+                .facets()
+                .iter()
+                .filter(|f| delta.colors(f) == c)
+                .cloned()
+                .collect();
+            assert_eq!(
+                recipes.len(),
+                full_facets.len(),
+                "{}: recipe count vs Δ({c}) full facets",
+                task.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn wait_free_restrictions_are_never_empty_but_others_may_be() {
+    // For the wait-free model every participation has runs; for weaker
+    // models small participations may have to wait ("participation must
+    // increase before outputs are produced").
+    let full = ColorSet::full(3);
+    let wait_free = fair_affine_task(&AgreementFunction::k_concurrency(3, 3));
+    for c in full.non_empty_subsets() {
+        assert!(!wait_free.recipes(c).is_empty());
+    }
+    let one_res = fair_affine_task(&AgreementFunction::of_adversary(
+        &act_adversary::Adversary::t_resilient(3, 1),
+    ));
+    let solo = ColorSet::from_indices([0]);
+    assert!(
+        one_res.recipes(solo).is_empty(),
+        "a solo process has no 1-resilient runs"
+    );
+    assert!(one_res.delta(solo).is_void());
+}
+
+#[test]
+fn iteration_is_coherent_with_application() {
+    // L.iterate(2) equals L applied to L.iterate(1).
+    let task = fair_affine_task(&AgreementFunction::k_concurrency(2, 1));
+    let l1 = task.iterate(1);
+    let l2 = task.iterate(2);
+    let l2b = task.apply_to(&l1);
+    assert_eq!(l2.facet_count(), l2b.facet_count());
+    assert!(l2.same_complex(&l2b));
+}
+
+#[test]
+fn iterated_task_facet_count_multiplies_for_full_recipes() {
+    // Each facet of L^m spawns |recipes(Π)| facets in L^{m+1} (full
+    // participation), so the counts multiply exactly.
+    let task = fair_affine_task(&AgreementFunction::k_concurrency(2, 1));
+    let r = task.recipes(ColorSet::full(2)).len();
+    let l1 = task.iterate(1);
+    let l2 = task.iterate(2);
+    assert_eq!(l1.facet_count(), r);
+    assert_eq!(l2.facet_count(), r * r);
+}
+
+#[test]
+fn census_facet_count_statistics() {
+    // Record the spread of |R_A| across the census: bounded by |Chr² s|
+    // and bounded below by the weakest non-trivial model's task.
+    let counts: Vec<usize> =
+        census_tasks().iter().map(|t| t.complex().facet_count()).collect();
+    let min = counts.iter().min().unwrap();
+    let max = counts.iter().max().unwrap();
+    assert!(*min >= 1);
+    assert!(*max <= 169);
+    assert!(counts.contains(&169), "wait-free is in the census");
+}

