@@ -65,7 +65,10 @@ impl fmt::Display for AgreementFunctionError {
                 write!(f, "agreement function decreases from {smaller} to {larger}")
             }
             AgreementFunctionError::UnboundedGrowth { smaller, larger } => {
-                write!(f, "agreement function grows faster than participation from {smaller} to {larger}")
+                write!(
+                    f,
+                    "agreement function grows faster than participation from {smaller} to {larger}"
+                )
             }
             AgreementFunctionError::ExceedsCardinality { set } => {
                 write!(f, "agreement power exceeds the cardinality of {set}")
@@ -98,7 +101,10 @@ impl AgreementFunction {
         let table = (0..1u64 << n)
             .map(|bits| {
                 let v = f(ColorSet::from_bits(bits));
-                assert!(v <= n, "agreement power {v} exceeds the number of processes");
+                assert!(
+                    v <= n,
+                    "agreement power {v} exceeds the number of processes"
+                );
                 v as u8
             })
             .collect();
@@ -185,7 +191,12 @@ impl AgreementFunction {
 
 impl fmt::Debug for AgreementFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "AgreementFunction(n={}, α(Π)={})", self.n, self.table[self.table.len() - 1])
+        write!(
+            f,
+            "AgreementFunction(n={}, α(Π)={})",
+            self.n,
+            self.table[self.table.len() - 1]
+        )
     }
 }
 

@@ -73,7 +73,10 @@ mod tests {
             ),
             Adversary::superset_closure(
                 4,
-                [ColorSet::from_indices([0, 1]), ColorSet::from_indices([1, 2])],
+                [
+                    ColorSet::from_indices([0, 1]),
+                    ColorSet::from_indices([1, 2]),
+                ],
             ),
         ];
         for a in &zoo {

@@ -35,7 +35,10 @@ pub struct SetconSolver<'a> {
 impl<'a> SetconSolver<'a> {
     /// Creates a solver for the given adversary.
     pub fn new(adversary: &'a Adversary) -> Self {
-        SetconSolver { adversary, memo: HashMap::new() }
+        SetconSolver {
+            adversary,
+            memo: HashMap::new(),
+        }
     }
 
     /// `setcon(A|P)`: the agreement power of the adversary restricted to
@@ -169,8 +172,14 @@ mod tests {
     fn symmetric_formula_matches_recursion() {
         // For symmetric adversaries, setcon = number of distinct live-set
         // sizes (Section 3).
-        let cases: Vec<Vec<usize>> =
-            vec![vec![1], vec![2], vec![1, 3], vec![2, 3], vec![1, 2, 3], vec![3]];
+        let cases: Vec<Vec<usize>> = vec![
+            vec![1],
+            vec![2],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 2, 3],
+            vec![3],
+        ];
         for sizes in cases {
             let a = Adversary::symmetric(3, sizes.iter().copied());
             assert_eq!(a.setcon(), sizes.len(), "sizes = {sizes:?}");
@@ -190,7 +199,10 @@ mod tests {
             ),
             Adversary::superset_closure(
                 4,
-                [ColorSet::from_indices([0, 1]), ColorSet::from_indices([2, 3])],
+                [
+                    ColorSet::from_indices([0, 1]),
+                    ColorSet::from_indices([2, 3]),
+                ],
             ),
             Adversary::superset_closure(4, [ColorSet::from_indices([0])]),
         ];

@@ -43,7 +43,10 @@ pub fn unfair_example() -> Adversary {
 ///
 /// Panics if `n > 3`.
 pub fn all_adversaries(n: usize) -> Vec<Adversary> {
-    assert!(n <= 3, "adversary enumeration is doubly exponential; n ≤ 3 only");
+    assert!(
+        n <= 3,
+        "adversary enumeration is doubly exponential; n ≤ 3 only"
+    );
     let all_sets: Vec<ColorSet> = ColorSet::full(n).non_empty_subsets().collect();
     (0u32..(1 << all_sets.len()))
         .map(|mask| {
@@ -61,7 +64,10 @@ pub fn all_adversaries(n: usize) -> Vec<Adversary> {
 
 /// Every *fair* adversary over `n` processes (`n ≤ 3`).
 pub fn all_fair_adversaries(n: usize) -> Vec<Adversary> {
-    all_adversaries(n).into_iter().filter(Adversary::is_fair).collect()
+    all_adversaries(n)
+        .into_iter()
+        .filter(Adversary::is_fair)
+        .collect()
 }
 
 #[cfg(test)]
@@ -105,7 +111,10 @@ mod tests {
                 fair += 1;
             }
         }
-        assert!(fair > symmetric.max(superset_closed), "fair class is strictly larger");
+        assert!(
+            fair > symmetric.max(superset_closed),
+            "fair class is strictly larger"
+        );
         // Symmetric adversaries over 3 processes: one per subset of sizes
         // {1,2,3}: 8.
         assert_eq!(symmetric, 8);

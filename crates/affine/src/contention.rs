@@ -179,9 +179,21 @@ mod tests {
         let k = s.subdivide_patterned(2, move |_| vec![vec![r1.clone(), r2.clone()]]);
         let facet = &k.facets()[0];
         let vs = facet.vertices();
-        let p1 = vs.iter().copied().find(|&v| k.color(v).index() == 0).unwrap();
-        let p2 = vs.iter().copied().find(|&v| k.color(v).index() == 1).unwrap();
-        let p3 = vs.iter().copied().find(|&v| k.color(v).index() == 2).unwrap();
+        let p1 = vs
+            .iter()
+            .copied()
+            .find(|&v| k.color(v).index() == 0)
+            .unwrap();
+        let p2 = vs
+            .iter()
+            .copied()
+            .find(|&v| k.color(v).index() == 1)
+            .unwrap();
+        let p3 = vs
+            .iter()
+            .copied()
+            .find(|&v| k.color(v).index() == 2)
+            .unwrap();
         assert!(are_contending(&k, p1, p2));
         assert!(!are_contending(&k, p1, p3));
         assert!(!are_contending(&k, p2, p3));
@@ -196,7 +208,10 @@ mod tests {
         let k = chr2();
         let cont = contention_complex(&k);
         assert!(!cont.is_void());
-        assert!(cont.dim() >= 2, "fully reversed runs give 2-dimensional contention");
+        assert!(
+            cont.dim() >= 2,
+            "fully reversed runs give 2-dimensional contention"
+        );
         // Every maximal simplex really is a contention simplex.
         for f in cont.facets() {
             assert!(is_contention_simplex(&k, f));

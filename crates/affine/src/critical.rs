@@ -33,6 +33,12 @@ pub struct CriticalInfo {
 /// Evaluator of Definitions 7 and 8 over a fixed level-1 complex (`Chr` of
 /// the standard simplex) and agreement function, with memoization.
 ///
+/// The memo cache is thread-private: the parallel facet filter of the
+/// `R_A` construction (`fair.rs`) creates one `CriticalAnalysis` per
+/// worker thread, so no locking is needed on the hot path. The type is
+/// `Send` (asserted by a test), which is what the scoped-thread fan-out
+/// requires.
+///
 /// # Examples
 ///
 /// ```
@@ -71,7 +77,11 @@ impl<'a> CriticalAnalysis<'a> {
             alpha.num_processes(),
             "complex and agreement function sizes differ"
         );
-        CriticalAnalysis { chr, alpha, cache: HashMap::new() }
+        CriticalAnalysis {
+            chr,
+            alpha,
+            cache: HashMap::new(),
+        }
     }
 
     /// The agreement function in use.
@@ -306,6 +316,14 @@ mod tests {
             }
         }
         assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn critical_analysis_is_send() {
+        // The parallel R_A filter moves per-worker instances into scoped
+        // threads; keep the type Send.
+        fn assert_send<T: Send>() {}
+        assert_send::<CriticalAnalysis<'_>>();
     }
 
     #[test]

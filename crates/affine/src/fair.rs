@@ -30,7 +30,7 @@
 //! verified against this `R_A` for `n ≤ 4`.
 
 use act_adversary::AgreementFunction;
-use act_topology::{Complex, Simplex};
+use act_topology::{parallel_filter_facets, subdivision_threads, Complex, Simplex};
 
 use crate::contention::is_contention_simplex;
 use crate::critical::CriticalAnalysis;
@@ -74,12 +74,11 @@ pub fn fair_affine_task(alpha: &AgreementFunction) -> AffineTask {
 }
 
 /// [`fair_affine_task`] with an explicit side-condition reading.
-pub fn fair_affine_task_with(
-    alpha: &AgreementFunction,
-    side: CriticalSideCondition,
-) -> AffineTask {
+pub fn fair_affine_task_with(alpha: &AgreementFunction, side: CriticalSideCondition) -> AffineTask {
     let n = alpha.num_processes();
-    alpha.validate().expect("structurally valid agreement function");
+    alpha
+        .validate()
+        .expect("structurally valid agreement function");
     assert!(
         alpha.alpha(act_topology::ColorSet::full(n)) >= 1,
         "the model must admit at least one run (α(Π) ≥ 1)"
@@ -90,19 +89,23 @@ pub fn fair_affine_task_with(
 }
 
 /// The facet filter of Definition 9, applied to a level-2 complex.
+///
+/// The filter fans out over facet chunks; each worker owns a private
+/// memoizing [`CriticalAnalysis`], and the per-chunk results are
+/// concatenated in chunk order, so the kept-facet list (and hence the
+/// complex) is identical to a serial filter for every thread count.
 fn restrict_to_fair(
     chr2: &Complex,
     alpha: &AgreementFunction,
     side: CriticalSideCondition,
 ) -> Complex {
     let parent = chr2.parent().expect("level-2 complex").clone();
-    let mut crit = CriticalAnalysis::new(&parent, alpha);
-    let kept: Vec<Simplex> = chr2
-        .facets()
-        .iter()
-        .filter(|sigma| facet_satisfies_p(chr2, &mut crit, sigma, side))
-        .cloned()
-        .collect();
+    let kept: Vec<Simplex> = parallel_filter_facets(
+        chr2.facets(),
+        subdivision_threads(),
+        || CriticalAnalysis::new(&parent, alpha),
+        |crit, sigma| facet_satisfies_p(chr2, crit, sigma, side),
+    );
     chr2.sub_complex(kept)
 }
 
@@ -200,10 +203,11 @@ mod tests {
         let r = fair_affine_task(&alpha);
         let chr2 = r.complex();
         let full = ColorSet::full(3);
-        let sync = chr2
-            .facets()
-            .iter()
-            .find(|f| f.vertices().iter().all(|&v| chr2.base_colors_of_vertex(v) == full));
+        let sync = chr2.facets().iter().find(|f| {
+            f.vertices()
+                .iter()
+                .all(|&v| chr2.base_colors_of_vertex(v) == full)
+        });
         assert!(sync.is_some(), "the synchronous facet survives in R_A");
     }
 }

@@ -10,7 +10,7 @@
 //! Kuznetsov–Rieutord (reference [25] of the paper) would slot in here;
 //! they are listed as future work by the paper and are out of scope.
 
-use act_topology::{Complex, Simplex};
+use act_topology::{parallel_filter_facets, subdivision_threads, Complex, Simplex};
 
 use crate::contention::max_contention_dim;
 use crate::task::AffineTask;
@@ -26,11 +26,19 @@ use crate::task::AffineTask;
 pub fn k_obstruction_free_task(n: usize, k: usize) -> AffineTask {
     assert!((1..=n).contains(&k), "k must be in 1..=n");
     let chr2 = Complex::standard(n).iterated_subdivision(2);
-    let complex =
-        chr2.pure_complement(|theta| {
-            theta.dim() >= k as isize && crate::contention::is_contention_simplex(&chr2, theta)
-        });
-    AffineTask::new(format!("R_{k}-OF"), complex)
+    // Pure complement as a chunked, order-preserving facet filter (the
+    // facets of Chr² s are all maximal, so filtering them is equivalent).
+    let kept: Vec<Simplex> = parallel_filter_facets(
+        chr2.facets(),
+        subdivision_threads(),
+        || (),
+        |(), facet| {
+            !facet.non_empty_faces().any(|theta| {
+                theta.dim() >= k as isize && crate::contention::is_contention_simplex(&chr2, &theta)
+            })
+        },
+    );
+    AffineTask::new(format!("R_{k}-OF"), chr2.sub_complex(kept))
 }
 
 /// The affine task `R_{t-res}` of the `t`-resilient adversary
@@ -45,16 +53,18 @@ pub fn k_obstruction_free_task(n: usize, k: usize) -> AffineTask {
 pub fn t_resilient_task(n: usize, t: usize) -> AffineTask {
     assert!(t < n, "t-resilience requires t < n");
     let chr2 = Complex::standard(n).iterated_subdivision(2);
-    let kept: Vec<Simplex> = chr2
-        .facets()
-        .iter()
-        .filter(|f| {
+    // Chunked, order-preserving filter: identical to a serial filter for
+    // every thread count.
+    let kept: Vec<Simplex> = parallel_filter_facets(
+        chr2.facets(),
+        subdivision_threads(),
+        || (),
+        |(), f| {
             f.vertices()
                 .iter()
                 .all(|&v| chr2.base_colors_of_vertex(v).len() >= n - t)
-        })
-        .cloned()
-        .collect();
+        },
+    );
     AffineTask::new(format!("R_{t}-res"), chr2.sub_complex(kept))
 }
 
@@ -68,7 +78,11 @@ pub fn wait_free_task(n: usize) -> AffineTask {
 /// task's complex (diagnostics for Figure 7).
 pub fn max_contention_of_task(task: &AffineTask) -> isize {
     let k = task.complex();
-    k.facets().iter().map(|f| max_contention_dim(k, f)).max().unwrap_or(-1)
+    k.facets()
+        .iter()
+        .map(|f| max_contention_dim(k, f))
+        .max()
+        .unwrap_or(-1)
 }
 
 #[cfg(test)]
@@ -156,8 +170,7 @@ mod tests {
         for (n, k) in [(2, 1), (3, 1), (3, 2)] {
             let alpha = AgreementFunction::k_concurrency(n, k);
             let union = fair_affine_task_with(&alpha, CriticalSideCondition::Union);
-            let triple =
-                fair_affine_task_with(&alpha, CriticalSideCondition::TripleIntersection);
+            let triple = fair_affine_task_with(&alpha, CriticalSideCondition::TripleIntersection);
             let u = union.complex().canonical_facets();
             let t = triple.complex().canonical_facets();
             assert!(t.is_subset(&u), "triple ⊆ union for n = {n}, k = {k}");

@@ -44,9 +44,16 @@ impl AffineTask {
         );
         assert!(!complex.is_void(), "affine tasks are non-empty");
         assert!(complex.is_pure(), "affine tasks are pure complexes");
-        assert_eq!(complex.dim(), n as isize - 1, "affine tasks have full dimension");
+        assert_eq!(
+            complex.dim(),
+            n as isize - 1,
+            "affine tasks have full dimension"
+        );
         assert!(complex.is_chromatic(), "affine tasks are chromatic");
-        AffineTask { name: name.into(), complex }
+        AffineTask {
+            name: name.into(),
+            complex,
+        }
     }
 
     /// The task's display name.
@@ -104,8 +111,7 @@ impl AffineTask {
             let mut verts = Vec::new();
             for c in participants.iter() {
                 let view2 = r2.view_of(c).expect("recipe covers all participants");
-                let carrier1 =
-                    Simplex::from_vertices(view2.iter().map(|p| level1[&p]));
+                let carrier1 = Simplex::from_vertices(view2.iter().map(|p| level1[&p]));
                 match self.complex.find_vertex(c, &carrier1) {
                     Some(v) => verts.push(v),
                     None => continue 'recipes,
@@ -160,11 +166,7 @@ impl AffineTask {
     ///
     /// Panics if a recipe does not describe a facet of `Chr² s` over `n`
     /// processes, or the resulting complex is not a valid affine task.
-    pub fn from_recipes(
-        name: impl Into<String>,
-        n: usize,
-        recipes: &[Recipe],
-    ) -> AffineTask {
+    pub fn from_recipes(name: impl Into<String>, n: usize, recipes: &[Recipe]) -> AffineTask {
         let chr2 = Complex::standard(n).iterated_subdivision(2);
         let base_facet = Complex::standard(n).facets()[0].clone();
         let facets: Vec<Simplex> = recipes
@@ -247,9 +249,13 @@ mod tests {
             .facets()
             .iter()
             .filter(|f| {
-                f.vertices()
-                    .iter()
-                    .all(|&v| chr2.parent().unwrap().colors(chr2.carrier_of_vertex(v)).len() == 3)
+                f.vertices().iter().all(|&v| {
+                    chr2.parent()
+                        .unwrap()
+                        .colors(chr2.carrier_of_vertex(v))
+                        .len()
+                        == 3
+                })
             })
             .cloned()
             .collect();

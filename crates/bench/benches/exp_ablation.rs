@@ -57,7 +57,10 @@ fn print_experiment_data() {
         }
     }
 
-    banner("E9.2", "ablation: Definition 9 side-condition reading (all fair adversaries)");
+    banner(
+        "E9.2",
+        "ablation: Definition 9 side-condition reading (all fair adversaries)",
+    );
     let mut differ = 0usize;
     let mut total = 0usize;
     for a in zoo::all_fair_adversaries(3) {

@@ -18,8 +18,7 @@ fn print_experiment_data() {
 
     // Non-compactness of 1-resilience: the solo prefix is always
     // extendable, the limit excluded; Algorithm 1 keeps p1 waiting.
-    let alpha =
-        AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+    let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
     assert_eq!(alpha.alpha(ColorSet::from_indices([0])), 0);
     let mut sys = AlgorithmOneSystem::new(&alpha, ColorSet::full(3));
     let p1 = ProcessId::new(0);

@@ -55,7 +55,10 @@ fn print_experiment_data() {
             }
             "1-resilient" | "0-resilient" | "wait-free" => {
                 assert_eq!(comps, 1);
-                assert!(link, "t-resilient tasks are link-connected (shellable, [30])");
+                assert!(
+                    link,
+                    "t-resilient tasks are link-connected (shellable, [30])"
+                );
             }
             _ => {}
         }

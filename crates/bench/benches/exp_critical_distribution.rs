@@ -45,7 +45,10 @@ fn check_model(chr: &Complex, alpha: &AgreementFunction) -> (usize, usize) {
 }
 
 fn print_experiment_data() {
-    banner("E3", "distribution of critical simplices (Lemma 3 / Corollary 4)");
+    banner(
+        "E3",
+        "distribution of critical simplices (Lemma 3 / Corollary 4)",
+    );
     let chr = Complex::standard(3).chromatic_subdivision();
     println!("{:<22} {:>10} {:>10}", "model", "checked", "tight");
     for (name, alpha, _) in model_portfolio() {

@@ -37,7 +37,10 @@ fn print_experiment_data() {
             let mut values: Vec<u64> = decisions.iter().map(|&(_, v)| v).collect();
             values.sort_unstable();
             values.dedup();
-            assert!(values.len() <= alpha.alpha(full), "α-agreement on executed runs");
+            assert!(
+                values.len() <= alpha.alpha(full),
+                "α-agreement on executed runs"
+            );
             worst = worst.max(values.len());
         }
         println!(

@@ -39,7 +39,10 @@ fn print_experiment_data() {
             }
             cells.push(cell);
         }
-        println!("{:<22} {:>7} {:>14} {:>14}", name, power, cells[0], cells[1]);
+        println!(
+            "{:<22} {:>7} {:>14} {:>14}",
+            name, power, cells[0], cells[1]
+        );
     }
     println!("every verdict agrees with setcon — both directions of the FACT hold");
 }

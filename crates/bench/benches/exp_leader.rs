@@ -74,7 +74,9 @@ fn bench(c: &mut Criterion) {
     print_experiment_data();
 
     let alpha = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
-    c.bench_function("exp4_mu_q_full_verification", |b| b.iter(|| check_model(&alpha)));
+    c.bench_function("exp4_mu_q_full_verification", |b| {
+        b.iter(|| check_model(&alpha))
+    });
     let r = fair_affine_task(&alpha);
     let lm = LeaderMap::new(r.complex(), &alpha);
     let v = r.complex().used_vertices()[0];

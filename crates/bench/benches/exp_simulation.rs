@@ -78,8 +78,7 @@ fn bench(c: &mut Criterion) {
     let task = fair_affine_task(&alpha);
     let solver = AdaptiveSetConsensus::new(&task, &alpha);
     let full = ColorSet::full(3);
-    let proposals: HashMap<ProcessId, u64> =
-        full.iter().map(|p| (p, p.index() as u64)).collect();
+    let proposals: HashMap<ProcessId, u64> = full.iter().map(|p| (p, p.index() as u64)).collect();
     c.bench_function("exp5_adaptive_set_consensus", |b| {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(56);
         b.iter(|| solver.solve(full, full, &proposals, &mut rng, 64).len())

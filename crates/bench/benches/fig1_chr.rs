@@ -12,11 +12,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn print_figure_data() {
     banner("Figure 1a", "Chr s, n = 3");
     let chr = Complex::standard(3).chromatic_subdivision();
-    println!("f-vector (vertices, edges, triangles): {:?}", chr.f_vector());
+    println!(
+        "f-vector (vertices, edges, triangles): {:?}",
+        chr.f_vector()
+    );
     assert_eq!(chr.f_vector(), vec![12, 24, 13]);
     for n in 1..=5 {
         let count = Complex::standard(n).chromatic_subdivision().facet_count();
-        println!("facets of Chr s for n = {n}: {count} (Fubini {})", fubini(n));
+        println!(
+            "facets of Chr s for n = {n}: {count} (Fubini {})",
+            fubini(n)
+        );
         assert_eq!(count as u64, fubini(n));
     }
 

@@ -8,7 +8,10 @@ use act_bench::banner;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn print_figure_data() {
-    banner("Figure 2", "adversary classes over 3 processes (exhaustive census)");
+    banner(
+        "Figure 2",
+        "adversary classes over 3 processes (exhaustive census)",
+    );
     let all = zoo::all_adversaries(3);
     let mut fair = 0;
     let mut sym = 0;
@@ -32,7 +35,10 @@ fn print_figure_data() {
     println!("symmetric ∩ ssc          : {sym_and_ssc}");
     println!("fair \\ (sym ∪ ssc)       : {fair_only}");
     println!("unfair                   : {}", all.len() - fair);
-    assert!(fair_only > 0, "the fair class is strictly larger (paper's Figure 2)");
+    assert!(
+        fair_only > 0,
+        "the fair class is strictly larger (paper's Figure 2)"
+    );
     // t-resilience sits in the intersection; k-OF is symmetric only.
     assert!(Adversary::t_resilient(3, 1).is_symmetric());
     assert!(Adversary::t_resilient(3, 1).is_superset_closed());

@@ -34,7 +34,10 @@ fn print_figure_data() {
         let rounds = run_iis_with_bg(3, ColorSet::full(3), 1, &mut rng);
         seen.insert(facet_of_run(&chr, &rounds).unwrap());
     }
-    println!("executed BG runs realized {} / 13 facets of Chr s", seen.len());
+    println!(
+        "executed BG runs realized {} / 13 facets of Chr s",
+        seen.len()
+    );
     assert_eq!(seen.len(), 13);
 }
 

@@ -28,7 +28,10 @@ fn print_figure_data() {
     let r_b = fair_affine_task(&alpha_b);
     println!("facets: {} of 169", r_b.complex().facet_count());
 
-    banner("Figure 7+", "Definition 9 vs Definition 6 across k (reproduction finding)");
+    banner(
+        "Figure 7+",
+        "Definition 9 vs Definition 6 across k (reproduction finding)",
+    );
     for k in 1..=3usize {
         let alpha = AgreementFunction::k_concurrency(3, k);
         let union = fair_affine_task_with(&alpha, CriticalSideCondition::Union);
@@ -71,8 +74,7 @@ fn print_figure_data() {
         );
     }
     for t in 1..=2usize {
-        let alpha =
-            AgreementFunction::of_adversary(&act_adversary::Adversary::t_resilient(4, t));
+        let alpha = AgreementFunction::of_adversary(&act_adversary::Adversary::t_resilient(4, t));
         let general = fair_affine_task(&alpha);
         let direct = t_resilient_task(4, t);
         println!(

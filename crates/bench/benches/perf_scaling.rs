@@ -1,17 +1,19 @@
-//! P1–P4 — performance envelope for downstream users: scaling of the
-//! subdivision machinery, `R_A` construction, `setcon`, and the map
-//! search, as a function of system size.
+//! P1–P5 — performance envelope for downstream users: scaling of the
+//! subdivision machinery, `R_A` construction, `setcon`, the map search,
+//! and the serial-vs-parallel speedup of the subdivision engine, as a
+//! function of system size.
 
 use act_adversary::{Adversary, AgreementFunction, SetconSolver};
 use act_affine::fair_affine_task;
 use act_bench::banner;
 use act_tasks::{find_carried_map, SetConsensus};
-use act_topology::{ColorSet, Complex};
+use act_topology::{subdivision_threads, ColorSet, Complex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fact::affine_domain;
+use std::time::Instant;
 
 fn print_experiment_data() {
-    banner("P1-P4", "scaling envelope");
+    banner("P1-P5", "scaling envelope");
     for n in 2..=5usize {
         let chr = Complex::standard(n).chromatic_subdivision();
         println!("n = {n}: |facets(Chr s)| = {}", chr.facet_count());
@@ -23,8 +25,31 @@ fn print_experiment_data() {
     for n in 2..=4usize {
         let alpha = AgreementFunction::k_concurrency(n, 1.max(n - 1));
         let r = fair_affine_task(&alpha);
-        println!("n = {n}: |facets(R_(n-1)-OF)| = {}", r.complex().facet_count());
+        println!(
+            "n = {n}: |facets(R_(n-1)-OF)| = {}",
+            r.complex().facet_count()
+        );
     }
+    // P5: serial-vs-parallel speedup of the subdivision engine on the
+    // heaviest deterministic build in the figures, Chr² s at n = 4
+    // (5 625 facets). The two builds are byte-identical; only the wall
+    // clock differs.
+    let workers = subdivision_threads();
+    let chr = Complex::standard(4).chromatic_subdivision();
+    let t0 = Instant::now();
+    let serial = chr.chromatic_subdivision_threaded(1);
+    let serial_time = t0.elapsed();
+    let t1 = Instant::now();
+    let parallel = chr.chromatic_subdivision_threaded(workers);
+    let parallel_time = t1.elapsed();
+    assert_eq!(serial, parallel, "deterministic merge must be exact");
+    println!(
+        "n = 4: Chr² s serial {:.1?} vs {} workers {:.1?} — speedup {:.2}x",
+        serial_time,
+        workers,
+        parallel_time,
+        serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(f64::EPSILON)
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -60,6 +85,18 @@ fn bench(c: &mut Criterion) {
                 solver.setcon(ColorSet::full(n))
             })
         });
+    }
+    g.finish();
+
+    // P5: serial vs parallel subdivision on Chr² s, n = 4.
+    let mut g = c.benchmark_group("p5_parallel_subdivision");
+    let chr4 = Complex::standard(4).chromatic_subdivision();
+    for &threads in &[1usize, subdivision_threads()] {
+        g.bench_with_input(
+            BenchmarkId::new("chr2_n4", threads),
+            &threads,
+            |b, &threads| b.iter(|| chr4.chromatic_subdivision_threaded(threads).facet_count()),
+        );
     }
     g.finish();
 

@@ -35,12 +35,28 @@ pub struct AlgorithmOneOutput {
 #[derive(Clone, Debug)]
 enum Phase {
     First(IsProcess<ProcessId>),
-    WriteIs1 { view1: ColorSet },
-    Waiting { view1: ColorSet },
-    Second { view1: ColorSet, is: IsProcess<ColorSet> },
-    WriteIs2 { view1: ColorSet, view2: Vec<(ProcessId, ColorSet)> },
-    CheckConc { view1: ColorSet, view2: Vec<(ProcessId, ColorSet)> },
-    SetConc { view1: ColorSet, view2: Vec<(ProcessId, ColorSet)> },
+    WriteIs1 {
+        view1: ColorSet,
+    },
+    Waiting {
+        view1: ColorSet,
+    },
+    Second {
+        view1: ColorSet,
+        is: IsProcess<ColorSet>,
+    },
+    WriteIs2 {
+        view1: ColorSet,
+        view2: Vec<(ProcessId, ColorSet)>,
+    },
+    CheckConc {
+        view1: ColorSet,
+        view2: Vec<(ProcessId, ColorSet)>,
+    },
+    SetConc {
+        view1: ColorSet,
+        view2: Vec<(ProcessId, ColorSet)>,
+    },
     Done(AlgorithmOneOutput),
     NotParticipating,
 }
@@ -87,10 +103,7 @@ impl<'a> AlgorithmOneSystem<'a> {
     /// immediately. Used as a negative control: without the waiting
     /// discipline, outputs escape `R_A` (the `exp_ablation` bench
     /// measures how often).
-    pub fn new_without_waiting(
-        alpha: &'a AgreementFunction,
-        participants: ColorSet,
-    ) -> Self {
+    pub fn new_without_waiting(alpha: &'a AgreementFunction, participants: ColorSet) -> Self {
         Self::with_waiting(alpha, participants, false)
     }
 
@@ -168,9 +181,7 @@ impl<'a> AlgorithmOneSystem<'a> {
     fn conc_publish(&self, view1: ColorSet) -> bool {
         let same_terminated: ColorSet = (0..self.n)
             .map(ProcessId::new)
-            .filter(|&q| {
-                self.is1[q.index()] == Some(view1) && self.is2[q.index()].is_some()
-            })
+            .filter(|&q| self.is1[q.index()] == Some(view1) && self.is2[q.index()].is_some())
             .collect();
         self.alpha.alpha(view1) > self.alpha.alpha(view1.minus(same_terminated))
     }
@@ -200,7 +211,10 @@ impl System for AlgorithmOneSystem<'_> {
                     || self.crit(view1)
                     || self.rank(view1) < self.conc_level(view1)
                 {
-                    Phase::Second { view1, is: IsProcess::new(self.n, view1) }
+                    Phase::Second {
+                        view1,
+                        is: IsProcess::new(self.n, view1),
+                    }
                 } else {
                     Phase::Waiting { view1 }
                 }
@@ -208,9 +222,10 @@ impl System for AlgorithmOneSystem<'_> {
             Phase::Second { view1, mut is } => {
                 is.step(p, &mut self.second_shared);
                 match is.output() {
-                    Some(out) => {
-                        Phase::WriteIs2 { view1, view2: out.to_vec() }
-                    }
+                    Some(out) => Phase::WriteIs2 {
+                        view1,
+                        view2: out.to_vec(),
+                    },
                     None => Phase::Second { view1, is },
                 }
             }
@@ -222,12 +237,20 @@ impl System for AlgorithmOneSystem<'_> {
                 if self.conc_publish(view1) {
                     Phase::SetConc { view1, view2 }
                 } else {
-                    Phase::Done(AlgorithmOneOutput { process: p, view1, view2 })
+                    Phase::Done(AlgorithmOneOutput {
+                        process: p,
+                        view1,
+                        view2,
+                    })
                 }
             }
             Phase::SetConc { view1, view2 } => {
                 self.conc[i] = self.alpha.alpha(view1);
-                Phase::Done(AlgorithmOneOutput { process: p, view1, view2 })
+                Phase::Done(AlgorithmOneOutput {
+                    process: p,
+                    view1,
+                    view2,
+                })
             }
         };
         self.phases[i] = next;
@@ -257,10 +280,7 @@ impl System for AlgorithmOneSystem<'_> {
 ///
 /// Panics if the complex is not a level-2 subdivision of the standard
 /// simplex.
-pub fn outputs_to_simplex(
-    chr2: &Complex,
-    outputs: &[AlgorithmOneOutput],
-) -> Option<Simplex> {
+pub fn outputs_to_simplex(chr2: &Complex, outputs: &[AlgorithmOneOutput]) -> Option<Simplex> {
     assert_eq!(chr2.level(), 2, "Algorithm 1 outputs live in Chr² s");
     let parent = chr2.parent().expect("level-2 complex has a parent");
     let mut verts = Vec::with_capacity(outputs.len());
@@ -268,9 +288,8 @@ pub fn outputs_to_simplex(
         // Level-1 vertices of every process seen in the second round.
         let mut carrier = Vec::with_capacity(out.view2.len());
         for &(q, view1_q) in &out.view2 {
-            let base_carrier = Simplex::from_vertices(
-                view1_q.iter().map(|r| VertexId::from_index(r.index())),
-            );
+            let base_carrier =
+                Simplex::from_vertices(view1_q.iter().map(|r| VertexId::from_index(r.index())));
             carrier.push(parent.find_vertex(q, &base_carrier)?);
         }
         let carrier = Simplex::from_vertices(carrier);
@@ -415,8 +434,8 @@ mod tests {
             }
             assert!(sys.has_terminated(p), "no waiting: everyone sails through");
         }
-        let simplex = outputs_to_simplex(r_a.complex(), &sys.outputs())
-            .expect("outputs are Chr² vertices");
+        let simplex =
+            outputs_to_simplex(r_a.complex(), &sys.outputs()).expect("outputs are Chr² vertices");
         assert!(
             !r_a.complex().contains_simplex(&simplex),
             "without the waiting phase the outputs escape R_A"
@@ -449,8 +468,7 @@ mod tests {
         for _ in 0..20 {
             let full = ColorSet::full(3);
             let mut sys = AlgorithmOneSystem::new(&alpha, full);
-            let outcome =
-                run_adversarial(&mut sys, full, full, &mut rng, |_| 0, 200_000);
+            let outcome = run_adversarial(&mut sys, full, full, &mut rng, |_| 0, 200_000);
             assert!(outcome.all_correct_terminated);
             let simplex = outputs_to_simplex(&chr2, &sys.outputs()).unwrap();
             assert_eq!(simplex.len(), 3);

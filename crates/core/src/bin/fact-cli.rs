@@ -19,12 +19,10 @@ use fact::adversary::{zoo, Adversary, AgreementFunction};
 use fact::affine::fair_affine_task;
 use fact::runtime::run_adversarial;
 use fact::tasks::SetConsensus;
-use fact::topology::{
-    betti_numbers, connected_components, is_link_connected, ColorSet, ProcessId,
-};
+use fact::topology::{betti_numbers, connected_components, is_link_connected, ColorSet, ProcessId};
 use fact::{
-    executed_set_consensus, execute_affine_iterations, outputs_to_simplex,
-    set_consensus_verdict, AlgorithmOneSystem, Solvability,
+    execute_affine_iterations, executed_set_consensus, outputs_to_simplex, set_consensus_verdict,
+    AlgorithmOneSystem, Solvability,
 };
 use rand::SeedableRng;
 
@@ -158,10 +156,14 @@ fn analyze(args: &[String]) -> Result<(), String> {
     }
     let r = fair_affine_task(&alpha);
     let c = r.complex();
-    println!("affine task R_A  : {} facets (of {} in Chr² s)", c.facet_count(), {
-        let full = fact::topology::Complex::standard(n).iterated_subdivision(2);
-        full.facet_count()
-    });
+    println!(
+        "affine task R_A  : {} facets (of {} in Chr² s)",
+        c.facet_count(),
+        {
+            let full = fact::topology::Complex::standard(n).iterated_subdivision(2);
+            full.facet_count()
+        }
+    );
     println!("components       : {}", connected_components(c));
     println!("link-connected   : {}", is_link_connected(c));
     println!("betti (GF(2))    : {:?}", betti_numbers(c));
@@ -190,7 +192,9 @@ fn solve(args: &[String]) -> Result<(), String> {
     println!("model setcon = {}; deciding {k}-set consensus…", a.setcon());
     match set_consensus_verdict(&t, &r_a, 1, 5_000_000) {
         Solvability::Solvable { iterations, .. } => {
-            println!("SOLVABLE with {iterations} iteration(s) of R_A (map verified by construction)")
+            println!(
+                "SOLVABLE with {iterations} iteration(s) of R_A (map verified by construction)"
+            )
         }
         Solvability::NoMapUpTo { max_iterations } => {
             println!("NO MAP up to {max_iterations} iteration(s) — unsolvable at that depth")
@@ -227,8 +231,8 @@ fn simulate(args: &[String]) -> Result<(), String> {
             return Err("liveness violation — this would be a bug".into());
         }
         steps += outcome.steps;
-        let sx = outputs_to_simplex(r_a.complex(), &sys.outputs())
-            .ok_or("outputs did not resolve")?;
+        let sx =
+            outputs_to_simplex(r_a.complex(), &sys.outputs()).ok_or("outputs did not resolve")?;
         if !r_a.complex().contains_simplex(&sx) {
             return Err("SAFETY violation — this would be a bug".into());
         }
@@ -236,7 +240,11 @@ fn simulate(args: &[String]) -> Result<(), String> {
     }
     println!("Algorithm 1: {runs} runs, all live and safe");
     println!("average steps per run : {}", steps / runs.max(1));
-    println!("distinct output facets: {} / {}", distinct.len(), r_a.complex().facet_count());
+    println!(
+        "distinct output facets: {} / {}",
+        distinct.len(),
+        r_a.complex().facet_count()
+    );
 
     // One executed iteration + µ_Q consensus for flavour.
     let its = execute_affine_iterations(&r_a, &alpha, full, 1, &mut rng);
@@ -268,7 +276,10 @@ fn census() -> Result<(), String> {
         alphas.insert(table.clone());
         *tasks.entry(table).or_insert(0) += 1;
     }
-    println!("distinct agreement functions among fair models with runs: {}", alphas.len());
+    println!(
+        "distinct agreement functions among fair models with runs: {}",
+        alphas.len()
+    );
     println!("(fair adversaries with the same α share the same R_A and the same tasks)");
     Ok(())
 }

@@ -43,9 +43,11 @@ pub fn execute_affine_iterations<R: Rng>(
     let mut out = Vec::with_capacity(iterations);
     for _ in 0..iterations {
         let mut sys = AlgorithmOneSystem::new(alpha, participants);
-        let outcome =
-            run_adversarial(&mut sys, participants, participants, rng, |_| 0, 400_000);
-        assert!(outcome.all_correct_terminated, "Algorithm 1 is live (Lemma 5)");
+        let outcome = run_adversarial(&mut sys, participants, participants, rng, |_| 0, 400_000);
+        assert!(
+            outcome.all_correct_terminated,
+            "Algorithm 1 is live (Lemma 5)"
+        );
         let outputs = sys.outputs();
         let facet = outputs_to_simplex(complex, &outputs)
             .expect("Algorithm 1 outputs identify Chr² vertices");
@@ -111,7 +113,7 @@ pub fn alpha_model_set_consensus<R: Rng>(
 ) -> Vec<(ProcessId, u64)> {
     let power = alpha.alpha(participants);
     assert!(
-        power >= 1 && participants.minus(correct).len() <= power - 1,
+        power >= 1 && participants.minus(correct).len() < power,
         "fault pattern must be admissible in the α-model"
     );
     let mut sys = AlgorithmOneSystem::new(alpha, participants);
@@ -126,8 +128,7 @@ pub fn alpha_model_set_consensus<R: Rng>(
     assert!(outcome.all_correct_terminated, "Lemma 5: liveness");
     let outputs = sys.outputs();
     let complex = task.complex();
-    let simplex = outputs_to_simplex(complex, &outputs)
-        .expect("outputs identify Chr² vertices");
+    let simplex = outputs_to_simplex(complex, &outputs).expect("outputs identify Chr² vertices");
     assert!(complex.contains_simplex(&simplex), "Lemma 6: safety");
     let lm = LeaderMap::new(complex, alpha);
     simplex
@@ -152,8 +153,7 @@ pub fn object_model_set_consensus(
     proposals: &HashMap<ProcessId, u64>,
 ) -> Vec<(ProcessId, u64)> {
     let table = alpha.clone();
-    let mut object =
-        AdaptiveConsensusObject::new(move |p: ColorSet| table.alpha(p));
+    let mut object = AdaptiveConsensusObject::new(move |p: ColorSet| table.alpha(p));
     // Processes whose propose defers (participation still powerless)
     // retry after the others have joined.
     let mut decisions = Vec::with_capacity(order.len());
@@ -217,7 +217,10 @@ mod tests {
             let mut values: Vec<u64> = decisions.iter().map(|&(_, v)| v).collect();
             values.sort_unstable();
             values.dedup();
-            assert!(values.len() <= alpha.alpha(full), "α-agreement on executed runs");
+            assert!(
+                values.len() <= alpha.alpha(full),
+                "α-agreement on executed runs"
+            );
             for v in values {
                 assert!(props.values().any(|&p| p == v), "validity");
             }
@@ -278,11 +281,9 @@ mod tests {
                         &mut rng,
                     );
                     // Every correct process decided.
-                    let deciders: ColorSet =
-                        decisions.iter().map(|&(p, _)| p).collect();
+                    let deciders: ColorSet = decisions.iter().map(|&(p, _)| p).collect();
                     assert!(full.minus(faulty).is_subset_of(deciders));
-                    let mut values: Vec<u64> =
-                        decisions.iter().map(|&(_, v)| v).collect();
+                    let mut values: Vec<u64> = decisions.iter().map(|&(_, v)| v).collect();
                     values.sort_unstable();
                     values.dedup();
                     assert!(values.len() <= power, "α-agreement in the α-model");

@@ -39,10 +39,19 @@ impl<'a> LeaderMap<'a> {
     /// Panics if the complex is not a level-2 subdivision or the process
     /// counts disagree.
     pub fn new(complex: &'a Complex, alpha: &'a AgreementFunction) -> Self {
-        assert_eq!(complex.level(), 2, "µ_Q is defined on sub-complexes of Chr² s");
+        assert_eq!(
+            complex.level(),
+            2,
+            "µ_Q is defined on sub-complexes of Chr² s"
+        );
         assert_eq!(complex.num_processes(), alpha.num_processes());
         let parent = complex.parent().expect("level-2 complex").clone();
-        LeaderMap { complex, parent, alpha, critical_views: RefCell::new(HashMap::new()) }
+        LeaderMap {
+            complex,
+            parent,
+            alpha,
+            critical_views: RefCell::new(HashMap::new()),
+        }
     }
 
     fn critical_views_of(&self, carrier: &Simplex) -> Vec<ColorSet> {
@@ -56,7 +65,9 @@ impl<'a> LeaderMap<'a> {
             .iter()
             .map(|t| self.parent.carrier_colors(t))
             .collect();
-        self.critical_views.borrow_mut().insert(carrier.clone(), views.clone());
+        self.critical_views
+            .borrow_mut()
+            .insert(carrier.clone(), views.clone());
         views
     }
 
@@ -99,7 +110,9 @@ impl<'a> LeaderMap<'a> {
                 .gamma_q(v, q)
                 .expect("γ_Q always has a candidate (self-inclusion)"),
         };
-        view.intersection(q).min().expect("selected view intersects Q")
+        view.intersection(q)
+            .min()
+            .expect("selected view intersects Q")
     }
 }
 

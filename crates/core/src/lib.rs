@@ -62,9 +62,7 @@ pub use iterated::{
     object_model_set_consensus,
 };
 pub use leader::LeaderMap;
-pub use protocol_complex::{
-    explored_protocol_complex, sampled_protocol_complex, OutputSystem,
-};
+pub use protocol_complex::{explored_protocol_complex, sampled_protocol_complex, OutputSystem};
 pub use simulation::{
     iteration_views, AdaptiveSetConsensus, AffineIteration, AffineRunGenerator, Decision,
     SnapshotSimulation,

@@ -252,8 +252,8 @@ mod tests {
                 .iter()
                 .map(|&v| outputs[complex.vertex(v).label as usize].clone())
                 .collect();
-            let sx = crate::algorithm1::outputs_to_simplex(r_a.complex(), &outs)
-                .expect("resolvable");
+            let sx =
+                crate::algorithm1::outputs_to_simplex(r_a.complex(), &outs).expect("resolvable");
             assert!(r_a.complex().contains_simplex(&sx));
         }
     }

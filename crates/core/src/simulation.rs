@@ -61,7 +61,11 @@ impl<'a> AffineRunGenerator<'a> {
             !recipes.is_empty(),
             "the affine task admits no run for participation {participants}"
         );
-        AffineRunGenerator { task, participants, recipes }
+        AffineRunGenerator {
+            task,
+            participants,
+            recipes,
+        }
     }
 
     /// The number of distinct allowed runs per iteration.
@@ -310,9 +314,7 @@ impl SnapshotSimulation {
     /// Together with per-slot monotone sequence numbers these imply the
     /// history is linearizable as an atomic-snapshot memory.
     pub fn check_atomicity(&self) -> Result<(), String> {
-        let dominates = |a: &SeqVector, b: &SeqVector| {
-            a.iter().zip(b).all(|(x, y)| x.0 >= y.0)
-        };
+        let dominates = |a: &SeqVector, b: &SeqVector| a.iter().zip(b).all(|(x, y)| x.0 >= y.0);
         for (i, (p1, r1, s1)) in self.snapshots.iter().enumerate() {
             for (p2, r2, s2) in self.snapshots.iter().skip(i + 1) {
                 if !dominates(s1, s2) && !dominates(s2, s1) {
@@ -381,8 +383,7 @@ mod tests {
                 for _ in 0..10 {
                     let decisions = solver.solve(full, q, &props, &mut rng, 64);
                     assert_eq!(decisions.len(), q.len(), "everyone in Q decides");
-                    let mut values: Vec<u64> =
-                        decisions.iter().map(|d| d.value).collect();
+                    let mut values: Vec<u64> = decisions.iter().map(|d| d.value).collect();
                     values.sort_unstable();
                     values.dedup();
                     assert!(

@@ -40,6 +40,12 @@ impl Solvability {
 
 /// Builds the domain `R_A^ℓ(I)`: the affine task applied `ℓ` times to the
 /// task's input complex.
+///
+/// Each application runs through the parallel subdivision engine
+/// (`subdivide_patterned`), fanning out over `act_topology::
+/// subdivision_threads()` workers with a deterministic merge — the domain
+/// is identical for every thread count (`RAYON_NUM_THREADS=1` forces the
+/// serial build).
 pub fn affine_domain(task: &AffineTask, inputs: &Complex, iterations: usize) -> Complex {
     assert!(iterations >= 1, "at least one iteration");
     let mut c = inputs.clone();
@@ -61,13 +67,9 @@ pub fn solve_in_model(
     for iterations in 1..=max_iterations {
         let domain = affine_domain(affine, task.inputs(), iterations);
         match find_carried_map(task, &domain, max_nodes) {
-            SearchResult::Found(map) => {
-                return Solvability::Solvable { iterations, map }
-            }
+            SearchResult::Found(map) => return Solvability::Solvable { iterations, map },
             SearchResult::Unsolvable => continue,
-            SearchResult::Exhausted => {
-                return Solvability::Exhausted { iterations }
-            }
+            SearchResult::Exhausted => return Solvability::Exhausted { iterations },
         }
     }
     Solvability::NoMapUpTo { max_iterations }
@@ -104,12 +106,16 @@ pub fn set_consensus_verdict(
         // Any carried map would be a Sperner labeling with no rainbow
         // facet; the lemma forces an odd number of them.
         if act_tasks::sperner_certificate(&domain) {
-            return Solvability::NoMapUpTo { max_iterations: iterations };
+            return Solvability::NoMapUpTo {
+                max_iterations: iterations,
+            };
         }
     }
     match find_carried_map(task, &domain, max_nodes) {
         SearchResult::Found(map) => Solvability::Solvable { iterations, map },
-        SearchResult::Unsolvable => Solvability::NoMapUpTo { max_iterations: iterations },
+        SearchResult::Unsolvable => Solvability::NoMapUpTo {
+            max_iterations: iterations,
+        },
         SearchResult::Exhausted => Solvability::Exhausted { iterations },
     }
 }
@@ -130,8 +136,14 @@ mod tests {
         let cases: Vec<(AgreementFunction, usize)> = vec![
             (AgreementFunction::k_concurrency(3, 1), 1),
             (AgreementFunction::k_concurrency(3, 2), 2),
-            (AgreementFunction::of_adversary(&zoo::figure_5b_adversary()), 2),
-            (AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1)), 2),
+            (
+                AgreementFunction::of_adversary(&zoo::figure_5b_adversary()),
+                2,
+            ),
+            (
+                AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1)),
+                2,
+            ),
         ];
         for (alpha, power) in cases {
             let t = SetConsensus::new(3, power, &[0, 1, 2]);

@@ -36,7 +36,11 @@ pub struct AfekCell<V> {
 
 impl<V: Clone> AfekCell<V> {
     fn empty(n: usize) -> Self {
-        AfekCell { value: None, seq: 0, embedded: vec![None; n] }
+        AfekCell {
+            value: None,
+            seq: 0,
+            embedded: vec![None; n],
+        }
     }
 }
 
@@ -143,8 +147,7 @@ impl<V: Clone> AfekScan<V> {
                     .zip(&self.second)
                     .all(|(a, b)| a.seq == b.seq)
                 {
-                    self.result =
-                        Some(self.second.iter().map(|c| c.value.clone()).collect());
+                    self.result = Some(self.second.iter().map(|c| c.value.clone()).collect());
                     self.phase = ScanPhase::Done;
                     return true;
                 }
@@ -179,7 +182,11 @@ pub struct AfekUpdate<V> {
 impl<V: Clone> AfekUpdate<V> {
     /// Starts an update of `value` in an `n`-process system.
     pub fn new(n: usize, value: V) -> Self {
-        AfekUpdate { value, scan: AfekScan::new(n), wrote: false }
+        AfekUpdate {
+            value,
+            scan: AfekScan::new(n),
+            wrote: false,
+        }
     }
 
     /// Whether the update has completed.
@@ -201,7 +208,11 @@ impl<V: Clone> AfekUpdate<V> {
         let old = shared.read(p); // one extra read to fetch own seq
         shared.write(
             p,
-            AfekCell { value: Some(self.value.clone()), seq: old.seq + 1, embedded },
+            AfekCell {
+                value: Some(self.value.clone()),
+                seq: old.seq + 1,
+                embedded,
+            },
         );
         self.wrote = true;
         true
@@ -243,14 +254,19 @@ impl<V: Clone> AfekSystem<V> {
             .map(|mut queue| {
                 queue.reverse();
                 match queue.pop() {
-                    Some(v) => {
-                        Program::Updating { queue, op: AfekUpdate::new(n, v) }
-                    }
+                    Some(v) => Program::Updating {
+                        queue,
+                        op: AfekUpdate::new(n, v),
+                    },
                     None => Program::Idle,
                 }
             })
             .collect();
-        AfekSystem { shared: AfekShared::new(n), programs, recorded: Vec::new() }
+        AfekSystem {
+            shared: AfekShared::new(n),
+            programs,
+            recorded: Vec::new(),
+        }
     }
 
     /// All scans recorded so far, in completion order.
@@ -274,7 +290,10 @@ impl<V: Clone> AfekSystem<V> {
             Program::Updating { mut queue, mut op } => {
                 if op.step(p, &mut self.shared) {
                     let _ = &mut queue;
-                    Program::Scanning { queue, op: AfekScan::new(n) }
+                    Program::Scanning {
+                        queue,
+                        op: AfekScan::new(n),
+                    }
                 } else {
                     Program::Updating { queue, op }
                 }
@@ -286,7 +305,10 @@ impl<V: Clone> AfekSystem<V> {
                         view: op.result().expect("done").to_vec(),
                     });
                     match queue.pop() {
-                        Some(v) => Program::Updating { queue, op: AfekUpdate::new(n, v) },
+                        Some(v) => Program::Updating {
+                            queue,
+                            op: AfekUpdate::new(n, v),
+                        },
                         None => Program::Idle,
                     }
                 } else {
@@ -460,7 +482,14 @@ mod tests {
         let mut sys = AfekSystem::new(scripts(2, 1));
         let participants = ColorSet::full(2);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
-        let _ = run_adversarial(&mut sys, participants, participants, &mut rng, |_| 0, 50_000);
+        let _ = run_adversarial(
+            &mut sys,
+            participants,
+            participants,
+            &mut rng,
+            |_| 0,
+            50_000,
+        );
         let (reads, writes) = sys.op_counts();
         assert!(reads > 0 && writes > 0);
     }

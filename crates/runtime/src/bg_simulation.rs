@@ -51,7 +51,9 @@ impl SafeAgreement {
 
     /// Step 1 of a proposal: enter the unsafe window with `value`.
     pub fn propose_enter(&mut self, proposer: usize, value: u64) {
-        self.cells.entry(proposer).or_insert(SaCell { value, level: 1 });
+        self.cells
+            .entry(proposer)
+            .or_insert(SaCell { value, level: 1 });
     }
 
     /// Step 2 of a proposal: commit, or retreat if someone committed
@@ -146,10 +148,7 @@ impl BgSimulation {
             agreed: HashMap::new(),
             sa: HashMap::new(),
             proposed_views: Vec::new(),
-            cursors: vec![
-                vec![(1usize, ThreadPhase::Snapshot); num_threads];
-                num_simulators
-            ],
+            cursors: vec![vec![(1usize, ThreadPhase::Snapshot); num_threads]; num_simulators],
             rr: vec![0; num_simulators],
         }
     }
@@ -209,8 +208,7 @@ impl BgSimulation {
             // The thread may have been advanced past `round` by another
             // simulator: resync.
             if (self.sim_memory[t] as usize) >= round {
-                self.cursors[sim][t] =
-                    (self.sim_memory[t] as usize + 1, ThreadPhase::Snapshot);
+                self.cursors[sim][t] = (self.sim_memory[t] as usize + 1, ThreadPhase::Snapshot);
                 self.rr[sim] = (t + 1) % self.num_threads;
                 return; // resync costs one (local) step
             }

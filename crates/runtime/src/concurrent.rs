@@ -35,7 +35,9 @@ pub struct SharedSnapshotMemory<T> {
 impl<T: Clone> SharedSnapshotMemory<T> {
     /// Creates a memory with `n` empty slots.
     pub fn new(n: usize) -> Self {
-        SharedSnapshotMemory { inner: Arc::new(Mutex::new(vec![None; n])) }
+        SharedSnapshotMemory {
+            inner: Arc::new(Mutex::new(vec![None; n])),
+        }
     }
 
     /// Atomically replaces `p`'s slot.

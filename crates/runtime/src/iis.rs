@@ -61,7 +61,10 @@ pub fn run_iis_with_bg<R: Rng>(
     rounds: usize,
     rng: &mut R,
 ) -> Vec<Osp> {
-    assert!(!participants.is_empty(), "IIS needs at least one participant");
+    assert!(
+        !participants.is_empty(),
+        "IIS needs at least one participant"
+    );
     let mut out = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         // Full information: the concrete payloads do not affect the run
@@ -70,15 +73,11 @@ pub fn run_iis_with_bg<R: Rng>(
             .map(|i| participants.contains(ProcessId::new(i)).then_some(i as u8))
             .collect();
         let mut sys = IsSystem::new(inputs);
-        let outcome = run_adversarial(
-            &mut sys,
-            participants,
-            participants,
-            rng,
-            |_| 0,
-            100_000,
+        let outcome = run_adversarial(&mut sys, participants, participants, rng, |_| 0, 100_000);
+        assert!(
+            outcome.all_correct_terminated,
+            "BG immediate snapshot is wait-free"
         );
-        assert!(outcome.all_correct_terminated, "BG immediate snapshot is wait-free");
         let views: Vec<(ProcessId, ColorSet)> = sys
             .views()
             .iter()

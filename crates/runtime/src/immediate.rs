@@ -26,7 +26,9 @@ pub struct IsShared<V> {
 impl<V: Clone> IsShared<V> {
     /// Creates the shared state for `n` processes.
     pub fn new(n: usize) -> Self {
-        IsShared { memory: SnapshotMemory::new(n) }
+        IsShared {
+            memory: SnapshotMemory::new(n),
+        }
     }
 
     /// The number of processes.
@@ -79,7 +81,12 @@ impl<V: Clone> IsProcess<V> {
     /// Creates the protocol state for a system of `n` processes proposing
     /// `value`.
     pub fn new(n: usize, value: V) -> Self {
-        IsProcess { value, level: n + 1, phase: Phase::Write, output: None }
+        IsProcess {
+            value,
+            level: n + 1,
+            phase: Phase::Write,
+            output: None,
+        }
     }
 
     /// Whether the protocol has produced its immediate snapshot.
@@ -95,7 +102,9 @@ impl<V: Clone> IsProcess<V> {
 
     /// The set of processes seen, once available.
     pub fn view(&self) -> Option<ColorSet> {
-        self.output.as_ref().map(|o| o.iter().map(|&(p, _)| p).collect())
+        self.output
+            .as_ref()
+            .map(|o| o.iter().map(|&(p, _)| p).collect())
     }
 
     /// Executes one atomic step of the protocol for process `me`. No-op
@@ -187,7 +196,9 @@ impl<V: Clone> System for IsSystem<V> {
     }
 
     fn has_terminated(&self, p: ProcessId) -> bool {
-        self.processes[p.index()].as_ref().is_none_or(IsProcess::is_done)
+        self.processes[p.index()]
+            .as_ref()
+            .is_none_or(IsProcess::is_done)
     }
 
     fn num_processes(&self) -> usize {
@@ -207,7 +218,10 @@ pub struct OracleIs<V> {
 impl<V: Clone> OracleIs<V> {
     /// Creates an oracle for `n` processes following `osp`.
     pub fn new(n: usize, osp: Osp) -> Self {
-        OracleIs { osp, values: vec![None; n] }
+        OracleIs {
+            osp,
+            values: vec![None; n],
+        }
     }
 
     /// Submits `p`'s value (before querying outputs).
@@ -383,7 +397,10 @@ mod tests {
                 |_| budget,
                 10_000,
             );
-            assert!(outcome.all_correct_terminated, "IS is wait-free, budget {budget}");
+            assert!(
+                outcome.all_correct_terminated,
+                "IS is wait-free, budget {budget}"
+            );
         }
     }
 
@@ -398,7 +415,10 @@ mod tests {
         for i in 0..3 {
             oracle.submit(ProcessId::new(i), i * 100);
         }
-        assert_eq!(oracle.output(ProcessId::new(1)), vec![(ProcessId::new(1), 100)]);
+        assert_eq!(
+            oracle.output(ProcessId::new(1)),
+            vec![(ProcessId::new(1), 100)]
+        );
         let out0 = oracle.output(ProcessId::new(0));
         assert_eq!(out0.len(), 3);
     }

@@ -33,8 +33,8 @@
 mod afek;
 mod bg_simulation;
 mod concurrent;
-mod immediate;
 mod iis;
+mod immediate;
 mod memory;
 mod objects;
 mod scheduler;
@@ -47,5 +47,7 @@ pub use iis::{facet_of_run, random_osp, run_iis_with_bg};
 pub use immediate::{osp_from_views, IsProcess, IsShared, IsSystem, OracleIs};
 pub use memory::{RegisterArray, SnapshotMemory};
 pub use objects::{AdaptiveConsensusObject, AgreementBound};
-pub use scheduler::{explore_schedules, run_adversarial, run_schedule, RunOutcome, Schedule, System};
+pub use scheduler::{
+    explore_schedules, run_adversarial, run_schedule, RunOutcome, Schedule, System,
+};
 pub use trace::Trace;

@@ -31,7 +31,9 @@ pub struct RegisterArray<T> {
 impl<T: Clone> RegisterArray<T> {
     /// Creates an array of `n` registers, all holding `initial`.
     pub fn new(n: usize, initial: T) -> Self {
-        RegisterArray { slots: vec![initial; n] }
+        RegisterArray {
+            slots: vec![initial; n],
+        }
     }
 }
 
@@ -83,7 +85,11 @@ pub struct SnapshotMemory<T> {
 impl<T: Clone> SnapshotMemory<T> {
     /// Creates a memory with `n` empty slots.
     pub fn new(n: usize) -> Self {
-        SnapshotMemory { slots: vec![None; n], updates: 0, snapshots: 0 }
+        SnapshotMemory {
+            slots: vec![None; n],
+            updates: 0,
+            snapshots: 0,
+        }
     }
 
     /// The number of slots.

@@ -151,7 +151,10 @@ mod tests {
                 let d = obj.propose(ProcessId::new(i), v).unwrap();
                 assert!(all_proposed.contains(&d), "validity");
             }
-            assert!(obj.returned_values().len() <= 2, "α-agreement at every point");
+            assert!(
+                obj.returned_values().len() <= 2,
+                "α-agreement at every point"
+            );
         }
     }
 
@@ -159,9 +162,7 @@ mod tests {
     fn powerless_participation_defers() {
         // A 1-resilient-style bound: no progress while only one process
         // participates; decisions flow once a second one arrives.
-        let mut obj = AdaptiveConsensusObject::new(|p: ColorSet| {
-            if p.len() >= 2 { 1 } else { 0 }
-        });
+        let mut obj = AdaptiveConsensusObject::new(|p: ColorSet| if p.len() >= 2 { 1 } else { 0 });
         assert_eq!(obj.propose(ProcessId::new(0), 1), None);
         assert_eq!(obj.propose(ProcessId::new(1), 2), Some(2));
         assert_eq!(obj.propose(ProcessId::new(0), 1), Some(2));

@@ -88,7 +88,10 @@ where
     R: rand::Rng,
     F: FnMut(ProcessId) -> usize,
 {
-    assert!(correct.is_subset_of(participants), "correct processes must participate");
+    assert!(
+        correct.is_subset_of(participants),
+        "correct processes must participate"
+    );
     assert!(!correct.is_empty(), "at least one process must be correct");
     let mut budgets: Vec<Option<usize>> = (0..sys.num_processes())
         .map(|i| {
@@ -111,8 +114,7 @@ where
             .map(ProcessId::new)
             .filter(|&p| !sys.has_terminated(p) && budgets[p.index()] != Some(0))
             .collect();
-        let correct_pending =
-            correct.iter().any(|p| !sys.has_terminated(p));
+        let correct_pending = correct.iter().any(|p| !sys.has_terminated(p));
         if !correct_pending {
             return RunOutcome {
                 steps,
@@ -162,7 +164,10 @@ where
     F: Fn() -> S,
     V: FnMut(&S, &RunOutcome),
 {
-    assert!(correct.is_subset_of(participants), "correct processes must participate");
+    assert!(
+        correct.is_subset_of(participants),
+        "correct processes must participate"
+    );
     let mut count = 0usize;
     let mut prefix: Schedule = Vec::new();
     explore_rec(
@@ -254,7 +259,9 @@ mod tests {
 
     impl Countdown {
         fn new(n: usize, k: usize) -> Self {
-            Countdown { remaining: vec![k; n] }
+            Countdown {
+                remaining: vec![k; n],
+            }
         }
     }
 
@@ -291,8 +298,7 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
         let participants = ColorSet::full(3);
         let correct = ColorSet::from_indices([0, 2]);
-        let outcome =
-            run_adversarial(&mut sys, participants, correct, &mut rng, |_| 2, 10_000);
+        let outcome = run_adversarial(&mut sys, participants, correct, &mut rng, |_| 2, 10_000);
         assert!(outcome.all_correct_terminated);
         assert!(sys.has_terminated(ProcessId::new(0)));
         assert!(sys.has_terminated(ProcessId::new(2)));

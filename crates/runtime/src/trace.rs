@@ -31,7 +31,10 @@ impl Trace {
 
     /// The schedule as process ids.
     pub fn schedule(&self) -> Vec<ProcessId> {
-        self.steps.iter().map(|&i| ProcessId::new(i as usize)).collect()
+        self.steps
+            .iter()
+            .map(|&i| ProcessId::new(i as usize))
+            .collect()
     }
 
     /// Replays the trace on a fresh system, returning the set of
@@ -74,8 +77,14 @@ mod tests {
         for _ in 0..50 {
             let mut sys = fresh();
             let participants = ColorSet::full(3);
-            let outcome =
-                run_adversarial(&mut sys, participants, participants, &mut rng, |_| 0, 50_000);
+            let outcome = run_adversarial(
+                &mut sys,
+                participants,
+                participants,
+                &mut rng,
+                |_| 0,
+                50_000,
+            );
             let trace = Trace::from_outcome(participants, &outcome);
 
             let mut replayed = fresh();
@@ -90,8 +99,14 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
         let mut sys = fresh();
         let participants = ColorSet::full(3);
-        let outcome =
-            run_adversarial(&mut sys, participants, participants, &mut rng, |_| 0, 50_000);
+        let outcome = run_adversarial(
+            &mut sys,
+            participants,
+            participants,
+            &mut rng,
+            |_| 0,
+            50_000,
+        );
         let trace = Trace::from_outcome(participants, &outcome);
         let json = serde_json::to_string(&trace).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
@@ -105,8 +120,14 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(43);
         let mut sys = fresh();
         let participants = ColorSet::full(3);
-        let outcome =
-            run_adversarial(&mut sys, participants, participants, &mut rng, |_| 0, 50_000);
+        let outcome = run_adversarial(
+            &mut sys,
+            participants,
+            participants,
+            &mut rng,
+            |_| 0,
+            50_000,
+        );
         let mut trace = Trace::from_outcome(participants, &outcome);
         trace.steps.truncate(1);
         let mut replayed = fresh();

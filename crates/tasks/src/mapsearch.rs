@@ -100,8 +100,7 @@ impl Csp {
         let mut constraints = Vec::with_capacity(domain.facet_count());
         let mut constraints_of = vec![Vec::new(); vars.len()];
         for facet in domain.facets() {
-            let members: Vec<usize> =
-                facet.vertices().iter().map(|v| var_of[v]).collect();
+            let members: Vec<usize> = facet.vertices().iter().map(|v| var_of[v]).collect();
             let mut tuples = Vec::new();
             let mut choice = vec![0usize; members.len()];
             'outer: loop {
@@ -135,7 +134,13 @@ impl Csp {
             }
             constraints.push(TableConstraint { members, tuples });
         }
-        Some(Csp { vars, var_of, domains, constraints, constraints_of })
+        Some(Csp {
+            vars,
+            var_of,
+            domains,
+            constraints,
+            constraints_of,
+        })
     }
 
     /// GAC fixpoint; prunes `domains`. Returns false on wipe-out.
@@ -195,11 +200,11 @@ fn facet_image_valid(
     let m = vs.len();
     debug_assert!(m <= 63);
     for mask in 1u64..(1 << m) {
-        let face = Simplex::from_vertices(
-            (0..m).filter(|i| mask & (1 << i) != 0).map(|i| vs[i]),
-        );
+        let face = Simplex::from_vertices((0..m).filter(|i| mask & (1 << i) != 0).map(|i| vs[i]));
         let image = Simplex::from_vertices(
-            (0..m).filter(|i| mask & (1 << i) != 0).map(|i| assignment[i]),
+            (0..m)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| assignment[i]),
         );
         if !outputs.contains_simplex(&image) {
             return false;
@@ -356,7 +361,10 @@ mod tests {
         for m in 1..=2 {
             let domain = chr_domain(&t, m);
             let result = find_carried_map(&t, &domain, 1_000_000);
-            assert!(result.is_unsolvable(), "consensus must be unsolvable at m = {m}");
+            assert!(
+                result.is_unsolvable(),
+                "consensus must be unsolvable at m = {m}"
+            );
         }
     }
 
@@ -367,7 +375,9 @@ mod tests {
         let t = SetConsensus::new(2, 2, &[0, 1, 2]);
         let domain = chr_domain(&t, 1);
         let result = find_carried_map(&t, &domain, 100_000);
-        let map = result.into_map().expect("2-set consensus is wait-free solvable");
+        let map = result
+            .into_map()
+            .expect("2-set consensus is wait-free solvable");
         assert!(verify_carried_map(&t, &domain, &map));
     }
 
@@ -376,7 +386,10 @@ mod tests {
         let t = consensus(2, &[0, 1]);
         let domain = chr_domain(&t, 2);
         let result = find_carried_map(&t, &domain, 1);
-        assert!(matches!(result, SearchResult::Exhausted | SearchResult::Unsolvable));
+        assert!(matches!(
+            result,
+            SearchResult::Exhausted | SearchResult::Unsolvable
+        ));
     }
 
     #[test]
@@ -406,8 +419,7 @@ mod tests {
             .facets()
             .iter()
             .find(|f| {
-                let mut vals: Vec<u64> =
-                    f.vertices().iter().map(|&v| i.vertex(v).label).collect();
+                let mut vals: Vec<u64> = f.vertices().iter().map(|&v| i.vertex(v).label).collect();
                 vals.sort_unstable();
                 vals == vec![0, 1, 2]
             })

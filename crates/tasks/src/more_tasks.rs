@@ -63,7 +63,10 @@ impl AdoptCommit {
         let mut distinct = values.to_vec();
         distinct.sort_unstable();
         distinct.dedup();
-        assert!(distinct.len() >= 2, "adopt-commit needs at least two values");
+        assert!(
+            distinct.len() >= 2,
+            "adopt-commit needs at least two values"
+        );
         let inputs = pseudosphere(n, &distinct);
         // Output complex: every combination of (flag, value) per process
         // satisfying the agreement condition.
@@ -94,13 +97,22 @@ impl AdoptCommit {
             .cloned()
             .collect();
         let outputs = all.sub_complex(facets);
-        AdoptCommit { n, values: distinct, inputs, outputs }
+        AdoptCommit {
+            n,
+            values: distinct,
+            inputs,
+            outputs,
+        }
     }
 }
 
 impl Task for AdoptCommit {
     fn name(&self) -> String {
-        format!("adopt-commit ({} processes, {} values)", self.n, self.values.len())
+        format!(
+            "adopt-commit ({} processes, {} values)",
+            self.n,
+            self.values.len()
+        )
     }
 
     fn num_processes(&self) -> usize {

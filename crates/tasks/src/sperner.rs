@@ -105,8 +105,7 @@ pub fn rainbow_facets(domain: &Complex, labeling: &SpernerLabeling) -> usize {
         .facets()
         .iter()
         .filter(|f| {
-            let labels: ColorSet =
-                f.vertices().iter().map(|&v| labeling[&v.index()]).collect();
+            let labels: ColorSet = f.vertices().iter().map(|&v| labeling[&v.index()]).collect();
             labels.len() == n
         })
         .count()
@@ -126,7 +125,11 @@ pub fn sperner_certificate(domain: &Complex) -> bool {
     }
     let first = rainbow_facets(domain, &first_color_labeling(domain));
     let own = rainbow_facets(domain, &own_color_labeling(domain));
-    debug_assert_eq!(first % 2, 1, "Sperner parity violated by first-color labeling");
+    debug_assert_eq!(
+        first % 2,
+        1,
+        "Sperner parity violated by first-color labeling"
+    );
     debug_assert_eq!(own % 2, 1, "Sperner parity violated by own-color labeling");
     first % 2 == 1 && own % 2 == 1
 }
@@ -189,8 +192,7 @@ mod tests {
                     .used_vertices()
                     .into_iter()
                     .map(|v| {
-                        let carrier: Vec<ProcessId> =
-                            c.base_colors_of_vertex(v).iter().collect();
+                        let carrier: Vec<ProcessId> = c.base_colors_of_vertex(v).iter().collect();
                         let pick = carrier[rng.gen_range(0..carrier.len())];
                         (v.index(), pick)
                     })

@@ -37,7 +37,10 @@ pub trait Task {
 ///
 /// Panics if `values` is empty or `n` is 0.
 pub fn pseudosphere(n: usize, values: &[u64]) -> Complex {
-    assert!(n >= 1 && !values.is_empty(), "pseudosphere needs processes and values");
+    assert!(
+        n >= 1 && !values.is_empty(),
+        "pseudosphere needs processes and values"
+    );
     let mut verts = Vec::with_capacity(n * values.len());
     for p in 0..n {
         for &v in values {
@@ -121,10 +124,7 @@ impl SetConsensus {
         // Facets: choose one value per process such that ≤ k distinct.
         let mut choice = vec![0usize; n];
         'outer: loop {
-            let mut used: Vec<u64> = choice
-                .iter()
-                .map(|&c| distinct[c])
-                .collect();
+            let mut used: Vec<u64> = choice.iter().map(|&c| distinct[c]).collect();
             used.sort_unstable();
             used.dedup();
             if used.len() <= k {
@@ -148,7 +148,13 @@ impl SetConsensus {
             }
         }
         let outputs = Complex::from_labeled_vertices(n, verts, facets);
-        SetConsensus { n, k, values: distinct, inputs, outputs }
+        SetConsensus {
+            n,
+            k,
+            values: distinct,
+            inputs,
+            outputs,
+        }
     }
 
     /// The agreement parameter `k`.
@@ -172,9 +178,9 @@ impl SetConsensus {
             .facets()
             .iter()
             .find(|f| {
-                f.vertices().iter().all(|&v| {
-                    i.vertex(v).label == self.values[i.color(v).index() % m]
-                })
+                f.vertices()
+                    .iter()
+                    .all(|&v| i.vertex(v).label == self.values[i.color(v).index() % m])
             })
             .expect("the rainbow facet exists in the pseudosphere")
             .clone();
@@ -268,9 +274,10 @@ impl Task for TrivialTask {
         output.vertices().iter().all(|&ov| {
             let color = self.outputs.color(ov);
             let value = self.outputs.vertex(ov).label;
-            input.vertices().iter().any(|&iv| {
-                self.inputs.color(iv) == color && self.inputs.vertex(iv).label == value
-            })
+            input
+                .vertices()
+                .iter()
+                .any(|&iv| self.inputs.color(iv) == color && self.inputs.vertex(iv).label == value)
         })
     }
 }
@@ -288,7 +295,9 @@ impl LeaderElection {
     /// Creates leader election over `n` processes: consensus on ids.
     pub fn new(n: usize) -> LeaderElection {
         let ids: Vec<u64> = (0..n as u64).collect();
-        LeaderElection { inner: SetConsensus::new(n, 1, &ids) }
+        LeaderElection {
+            inner: SetConsensus::new(n, 1, &ids),
+        }
     }
 }
 
@@ -331,9 +340,18 @@ mod tests {
     #[test]
     fn set_consensus_outputs_respect_k() {
         let t = SetConsensus::new(3, 2, &[0, 1, 2]);
-        for f in t.outputs().facet_count().checked_sub(0).map(|_| t.outputs().facets()).unwrap() {
-            let mut vals: Vec<u64> =
-                f.vertices().iter().map(|&v| t.outputs().vertex(v).label).collect();
+        for f in t
+            .outputs()
+            .facet_count()
+            .checked_sub(0)
+            .map(|_| t.outputs().facets())
+            .unwrap()
+        {
+            let mut vals: Vec<u64> = f
+                .vertices()
+                .iter()
+                .map(|&v| t.outputs().vertex(v).label)
+                .collect();
             vals.sort_unstable();
             vals.dedup();
             assert!(vals.len() <= 2);
@@ -352,8 +370,7 @@ mod tests {
             .facets()
             .iter()
             .find(|f| {
-                let labels: Vec<u64> =
-                    f.vertices().iter().map(|&v| i.vertex(v).label).collect();
+                let labels: Vec<u64> = f.vertices().iter().map(|&v| i.vertex(v).label).collect();
                 labels == vec![0, 1]
             })
             .unwrap();

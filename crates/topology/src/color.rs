@@ -81,9 +81,7 @@ impl From<ProcessId> for usize {
 /// assert_eq!(q.len(), 2);
 /// assert_eq!(all.minus(q), ColorSet::singleton(ProcessId::new(1)));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ColorSet(u64);
 
 impl ColorSet {
@@ -98,7 +96,10 @@ impl ColorSet {
     /// Panics if `n > MAX_PROCESSES`.
     #[inline]
     pub fn full(n: usize) -> Self {
-        assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes are supported");
+        assert!(
+            n <= MAX_PROCESSES,
+            "at most {MAX_PROCESSES} processes are supported"
+        );
         if n == MAX_PROCESSES {
             ColorSet(u64::MAX)
         } else {
@@ -230,7 +231,11 @@ impl ColorSet {
     /// This is the standard "subset enumeration of a bitmask" trick and is
     /// used pervasively by the adversary computations.
     pub fn subsets(self) -> Subsets {
-        Subsets { mask: self.0, current: 0, done: false }
+        Subsets {
+            mask: self.0,
+            current: 0,
+            done: false,
+        }
     }
 
     /// Iterates over the non-empty subsets of this set.

@@ -20,7 +20,7 @@ use crate::color::{ColorSet, ProcessId};
 use crate::simplex::{Simplex, VertexId};
 
 /// Data attached to a single vertex of a complex.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VertexData {
     /// The process (color) of this vertex.
     pub color: ProcessId,
@@ -123,7 +123,10 @@ impl Complex {
             .map(|f| {
                 let sx = Simplex::from_vertices(f.into_iter().map(VertexId::from_index));
                 for v in sx.vertices() {
-                    assert!(v.index() < vertices.len(), "facet references unknown vertex");
+                    assert!(
+                        v.index() < vertices.len(),
+                        "facet references unknown vertex"
+                    );
                 }
                 let mut colors = ColorSet::EMPTY;
                 for v in sx.vertices() {
@@ -155,7 +158,11 @@ impl Complex {
                 star_index[v.index()].push(i as u32);
             }
         }
-        Complex { structure, facets: Arc::new(facets), star_index: Arc::new(star_index) }
+        Complex {
+            structure,
+            facets: Arc::new(facets),
+            star_index: Arc::new(star_index),
+        }
     }
 
     /// The number of processes (colors) of the system.
@@ -224,7 +231,10 @@ impl Complex {
 
     /// The colors of a simplex: `χ(σ)`.
     pub fn colors(&self, simplex: &Simplex) -> ColorSet {
-        simplex.vertices().iter().fold(ColorSet::EMPTY, |acc, &v| acc.with(self.color(v)))
+        simplex
+            .vertices()
+            .iter()
+            .fold(ColorSet::EMPTY, |acc, &v| acc.with(self.color(v)))
     }
 
     /// The carrier of vertex `v` in the parent level (empty at level 0).
@@ -261,10 +271,9 @@ impl Complex {
 
     /// The colors of the carrier of a simplex in the base complex.
     pub fn carrier_colors(&self, simplex: &Simplex) -> ColorSet {
-        simplex
-            .vertices()
-            .iter()
-            .fold(ColorSet::EMPTY, |acc, &v| acc.union(self.base_colors_of_vertex(v)))
+        simplex.vertices().iter().fold(ColorSet::EMPTY, |acc, &v| {
+            acc.union(self.base_colors_of_vertex(v))
+        })
     }
 
     /// The facets (maximal simplices) of this complex.
@@ -452,7 +461,10 @@ impl Complex {
     /// Looks up a subdivision vertex by its canonical key
     /// `(color, carrier-in-parent)`.
     pub fn find_vertex(&self, color: ProcessId, carrier: &Simplex) -> Option<VertexId> {
-        self.structure.key_index.get(&(color, carrier.clone())).copied()
+        self.structure
+            .key_index
+            .get(&(color, carrier.clone()))
+            .copied()
     }
 
     /// A canonical, structure-independent description of this complex's
@@ -461,7 +473,12 @@ impl Complex {
     pub fn canonical_facets(&self) -> BTreeSet<BTreeSet<CanonicalVertex>> {
         self.facets
             .iter()
-            .map(|f| f.vertices().iter().map(|&v| self.canonical_vertex(v)).collect())
+            .map(|f| {
+                f.vertices()
+                    .iter()
+                    .map(|&v| self.canonical_vertex(v))
+                    .collect()
+            })
             .collect()
     }
 
@@ -498,6 +515,38 @@ impl Complex {
         // maximal simplices, so facet-set equality is complex equality.
         self.canonical_facets() == other.canonical_facets()
     }
+}
+
+impl PartialEq for Complex {
+    /// Structural equality of the interned representations: same process
+    /// count, same level chain, same vertex tables, same facet lists.
+    ///
+    /// Because subdivision vertices are hash-consed in first-occurrence
+    /// order, two complexes built by the same construction — serially or in
+    /// parallel, in any thread count — compare equal. For complexes built
+    /// through *different* constructions over the same base (where interned
+    /// ids may differ), use [`Complex::same_complex`].
+    fn eq(&self, other: &Self) -> bool {
+        structures_eq(&self.structure, &other.structure) && *self.facets == *other.facets
+    }
+}
+
+impl Eq for Complex {}
+
+fn structures_eq(a: &Arc<Structure>, b: &Arc<Structure>) -> bool {
+    if Arc::ptr_eq(a, b) {
+        return true;
+    }
+    // `key_index` is derived from `vertices` (and `star_index` from the
+    // facets), so vertex-table equality covers them.
+    a.n == b.n
+        && a.level == b.level
+        && a.vertices == b.vertices
+        && match (&a.parent, &b.parent) {
+            (None, None) => true,
+            (Some(p), Some(q)) => p == q,
+            _ => false,
+        }
 }
 
 impl fmt::Debug for Complex {
@@ -565,7 +614,9 @@ impl SimplexSet {
 
 impl FromIterator<Simplex> for SimplexSet {
     fn from_iter<I: IntoIterator<Item = Simplex>>(iter: I) -> Self {
-        SimplexSet { set: iter.into_iter().collect() }
+        SimplexSet {
+            set: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -671,6 +722,20 @@ mod tests {
     }
 
     #[test]
+    fn independently_built_subdivisions_compare_equal() {
+        // Equality is derived from the interned tables, so two independent
+        // builds of `Chr s` (fresh arenas, fresh Arcs) are `==`.
+        let a = Complex::standard(3).chromatic_subdivision();
+        let b = Complex::standard(3).chromatic_subdivision();
+        assert_eq!(a, b);
+        // And it is structural, not pointer-based: a proper sub-complex of
+        // the same structure differs.
+        let sub = a.sub_complex(vec![a.facets()[0].clone()]);
+        assert_ne!(a, sub);
+        assert_ne!(a, Complex::standard(3));
+    }
+
+    #[test]
     fn same_complex_detects_equality_and_difference() {
         let a = Complex::standard(3);
         let b = Complex::standard(3);
@@ -739,7 +804,11 @@ mod tests {
         let chr = Complex::standard(3).chromatic_subdivision();
         let one_facet = chr.sub_complex(vec![chr.facets()[0].clone()]);
         assert_eq!(one_facet.used_vertices().len(), 3);
-        assert_eq!(one_facet.num_vertices(), chr.num_vertices(), "table is shared");
+        assert_eq!(
+            one_facet.num_vertices(),
+            chr.num_vertices(),
+            "table is shared"
+        );
     }
 
     #[test]
@@ -765,7 +834,10 @@ mod tests {
         for i in 0..3 {
             let v = VertexId::from_index(i);
             assert_eq!(s.vertex(v).base_carrier, Simplex::vertex(v));
-            assert_eq!(s.base_colors_of_vertex(v), ColorSet::singleton(ProcessId::new(i)));
+            assert_eq!(
+                s.base_colors_of_vertex(v),
+                ColorSet::singleton(ProcessId::new(i))
+            );
         }
     }
 }

@@ -20,7 +20,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -49,8 +51,7 @@ pub fn connected_components(complex: &Complex) -> usize {
     if used.is_empty() {
         return 0;
     }
-    let index: HashMap<VertexId, usize> =
-        used.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: HashMap<VertexId, usize> = used.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut uf = UnionFind::new(used.len());
     for facet in complex.facets() {
         let vs = facet.vertices();
@@ -173,9 +174,11 @@ mod tests {
         let central = chr
             .used_vertices()
             .into_iter()
-            .find(|&v| chr.vertex(v).carrier.len() == 3 && {
-                // interior: carrier is the full simplex
-                chr.base_colors_of_vertex(v).len() == 3
+            .find(|&v| {
+                chr.vertex(v).carrier.len() == 3 && {
+                    // interior: carrier is the full simplex
+                    chr.base_colors_of_vertex(v).len() == 3
+                }
             })
             .unwrap();
         let link = vertex_link(&chr, central);

@@ -66,7 +66,11 @@ pub fn realization_coordinates(complex: &Complex) -> Vec<Vec<f64>> {
             let mut x = vec![0.0; n];
             for &w in data.carrier.vertices() {
                 let parent = level.parent().expect("non-base level has a parent");
-                let weight = if parent.color(w) == data.color { own_weight } else { other_weight };
+                let weight = if parent.color(w) == data.color {
+                    own_weight
+                } else {
+                    other_weight
+                };
                 for (xi, pi) in x.iter_mut().zip(&coords[w.index()]) {
                     *xi += weight * pi;
                 }
@@ -102,8 +106,11 @@ pub fn facet_volume_fractions(complex: &Complex) -> Vec<f64> {
         .facets()
         .iter()
         .map(|facet| {
-            let m: Vec<Vec<f64>> =
-                facet.vertices().iter().map(|v| coords[v.index()].clone()).collect();
+            let m: Vec<Vec<f64>> = facet
+                .vertices()
+                .iter()
+                .map(|v| coords[v.index()].clone())
+                .collect();
             determinant(m).abs()
         })
         .collect()
@@ -120,7 +127,9 @@ pub fn verify_subdivision_geometry(complex: &Complex, tolerance: f64) -> Result<
     let volumes = facet_volume_fractions(complex);
     for (i, &v) in volumes.iter().enumerate() {
         if v <= tolerance {
-            return Err(format!("facet {i} is geometrically degenerate (volume {v})"));
+            return Err(format!(
+                "facet {i} is geometrically degenerate (volume {v})"
+            ));
         }
     }
     let total: f64 = volumes.iter().sum();

@@ -29,7 +29,12 @@ struct BitMatrix {
 impl BitMatrix {
     fn new(rows: usize, cols: usize) -> Self {
         let words = cols.div_ceil(64);
-        BitMatrix { rows, cols, words, data: vec![0; rows * words] }
+        BitMatrix {
+            rows,
+            cols,
+            words,
+            data: vec![0; rows * words],
+        }
     }
 
     fn set(&mut self, r: usize, c: usize) {
@@ -49,7 +54,8 @@ impl BitMatrix {
             let Some(pivot) = pivot else { continue };
             // Swap rows.
             for w in 0..self.words {
-                self.data.swap(rank * self.words + w, pivot * self.words + w);
+                self.data
+                    .swap(rank * self.words + w, pivot * self.words + w);
             }
             // Eliminate the column from every other row.
             for r in 0..self.rows {
@@ -120,7 +126,13 @@ pub fn euler_characteristic(complex: &Complex) -> isize {
         .f_vector()
         .iter()
         .enumerate()
-        .map(|(d, &count)| if d % 2 == 0 { count as isize } else { -(count as isize) })
+        .map(|(d, &count)| {
+            if d % 2 == 0 {
+                count as isize
+            } else {
+                -(count as isize)
+            }
+        })
         .sum()
 }
 
@@ -164,11 +176,7 @@ mod tests {
             (ProcessId::new(1), 0),
             (ProcessId::new(2), 0),
         ];
-        let c = Complex::from_labeled_vertices(
-            3,
-            verts,
-            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
-        );
+        let c = Complex::from_labeled_vertices(3, verts, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
         assert_eq!(betti_numbers(&c), vec![1, 1]);
         assert_eq!(euler_characteristic(&c), 0);
         assert!(!is_acyclic(&c));
@@ -211,8 +219,7 @@ mod tests {
         // Take a few random-ish sub-complexes and compare β₀ with the
         // union-find component count.
         for step in 1..6 {
-            let facets: Vec<_> =
-                chr.facets().iter().step_by(step).cloned().collect();
+            let facets: Vec<_> = chr.facets().iter().step_by(step).cloned().collect();
             let sub = chr.sub_complex(facets);
             let betti = betti_numbers(&sub);
             assert_eq!(betti[0], connected_components(&sub), "step {step}");

@@ -42,23 +42,26 @@ mod complex;
 mod connectivity;
 mod geometry;
 mod homology;
+mod intern;
 mod maps;
 mod osp;
+mod parallel;
 mod simplex;
 mod subdivision;
 
 pub use color::{ColorSet, Iter, ProcessId, Subsets, MAX_PROCESSES};
 pub use complex::{CanonicalVertex, Complex, SimplexSet, VertexData};
 pub use connectivity::{
-    connected_components, is_connected, is_link_connected, link_disconnection_witness,
-    vertex_link,
+    connected_components, is_connected, is_link_connected, link_disconnection_witness, vertex_link,
 };
 pub use geometry::{
     barycentric_to_plane, facet_volume_fractions, realization_coordinates,
     verify_subdivision_geometry,
 };
 pub use homology::{betti_numbers, euler_characteristic, is_acyclic};
+pub use intern::InternArena;
 pub use maps::VertexMap;
-pub use osp::{fubini, ordered_set_partitions, Osp, OspError};
+pub use osp::{fubini, ordered_set_partitions, osp_table, Osp, OspError};
+pub use parallel::{parallel_filter_facets, subdivision_threads};
 pub use simplex::{Faces, Simplex, VertexId};
 pub use subdivision::{all_recipes, Recipe};

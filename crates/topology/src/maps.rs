@@ -68,7 +68,10 @@ impl VertexMap {
 
     /// Whether every vertex used by `domain` has an image.
     pub fn is_total_on(&self, domain: &Complex) -> bool {
-        domain.used_vertices().iter().all(|v| self.map.contains_key(v))
+        domain
+            .used_vertices()
+            .iter()
+            .all(|v| self.map.contains_key(v))
     }
 
     /// The image of a simplex: the set of images of its vertices (which may
@@ -89,13 +92,16 @@ impl VertexMap {
     /// Returns `false` if the map is not total on `domain`.
     pub fn is_simplicial(&self, domain: &Complex, codomain: &Complex) -> bool {
         domain.facets().iter().all(|f| {
-            self.image(f).is_some_and(|img| codomain.contains_simplex(&img))
+            self.image(f)
+                .is_some_and(|img| codomain.contains_simplex(&img))
         })
     }
 
     /// Whether the map preserves colors on every mapped vertex.
     pub fn is_chromatic(&self, domain: &Complex, codomain: &Complex) -> bool {
-        self.map.iter().all(|(&v, &w)| domain.color(v) == codomain.color(w))
+        self.map
+            .iter()
+            .all(|(&v, &w)| domain.color(v) == codomain.color(w))
     }
 
     /// Whether the induced simplicial map is carried by the carrier map
@@ -108,15 +114,18 @@ impl VertexMap {
     where
         F: FnMut(&Simplex, &Simplex) -> bool,
     {
-        domain.facets().iter().all(|f| {
-            self.image(f).is_some_and(|img| delta(f, &img))
-        })
+        domain
+            .facets()
+            .iter()
+            .all(|f| self.image(f).is_some_and(|img| delta(f, &img)))
     }
 }
 
 impl fmt::Debug for VertexMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("VertexMap").field("assigned", &self.map.len()).finish()
+        f.debug_struct("VertexMap")
+            .field("assigned", &self.map.len())
+            .finish()
     }
 }
 
@@ -200,7 +209,10 @@ mod tests {
         let mut m = VertexMap::new();
         let v = VertexId::from_index(0);
         assert_eq!(m.set(v, VertexId::from_index(1)), None);
-        assert_eq!(m.set(v, VertexId::from_index(2)), Some(VertexId::from_index(1)));
+        assert_eq!(
+            m.set(v, VertexId::from_index(2)),
+            Some(VertexId::from_index(1))
+        );
         assert_eq!(m.len(), 1);
         assert!(!m.is_empty());
         let _ = ProcessId::new(0);

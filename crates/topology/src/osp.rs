@@ -11,7 +11,9 @@
 //! Bell) number: 1, 1, 3, 13, 75, 541, 4683, ... — exactly the facet count
 //! of `Chr` of a `(k-1)`-simplex.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -92,14 +94,18 @@ impl Osp {
         if ground.is_empty() {
             Osp { blocks: Vec::new() }
         } else {
-            Osp { blocks: vec![ground] }
+            Osp {
+                blocks: vec![ground],
+            }
         }
     }
 
     /// The fully sequential partition running the processes of `ground` one
     /// at a time, in increasing index order.
     pub fn sequential(ground: ColorSet) -> Self {
-        Osp { blocks: ground.iter().map(ColorSet::singleton).collect() }
+        Osp {
+            blocks: ground.iter().map(ColorSet::singleton).collect(),
+        }
     }
 
     /// The blocks of the partition, in schedule order.
@@ -176,6 +182,32 @@ impl fmt::Display for Osp {
 /// assert_eq!(all.len() as u64, fubini(3));
 /// ```
 pub fn ordered_set_partitions(ground: ColorSet) -> Vec<Osp> {
+    osp_table(ground).as_ref().clone()
+}
+
+/// The memoized table of ordered set partitions of `ground`, shared
+/// process-wide: every subdivision round and every adversary of a census
+/// re-uses one enumeration per color set instead of recomputing it.
+///
+/// The table is behind an `Arc`, so holding it is cheap; use
+/// [`ordered_set_partitions`] when an owned `Vec` is needed.
+pub fn osp_table(ground: ColorSet) -> Arc<Vec<Osp>> {
+    static OSP_TABLE: OnceLock<Mutex<HashMap<ColorSet, Arc<Vec<Osp>>>>> = OnceLock::new();
+    let cache = OSP_TABLE.get_or_init(|| Mutex::new(HashMap::new()));
+    let lock = |m: &'static Mutex<HashMap<ColorSet, Arc<Vec<Osp>>>>| {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    };
+    if let Some(hit) = lock(cache).get(&ground) {
+        return Arc::clone(hit);
+    }
+    // Enumerate outside the lock so concurrent misses on other color sets
+    // are not serialized; the first finisher wins on a racing key.
+    let computed = Arc::new(enumerate(ground));
+    let mut guard = lock(cache);
+    Arc::clone(guard.entry(ground).or_insert(computed))
+}
+
+fn enumerate(ground: ColorSet) -> Vec<Osp> {
     let mut out = Vec::new();
     let mut blocks = Vec::new();
     recurse(ground, &mut blocks, &mut out);
@@ -184,7 +216,9 @@ pub fn ordered_set_partitions(ground: ColorSet) -> Vec<Osp> {
 
 fn recurse(remaining: ColorSet, blocks: &mut Vec<ColorSet>, out: &mut Vec<Osp>) {
     if remaining.is_empty() {
-        out.push(Osp { blocks: blocks.clone() });
+        out.push(Osp {
+            blocks: blocks.clone(),
+        });
         return;
     }
     // Choose every non-empty subset of `remaining` as the next block.
@@ -256,6 +290,15 @@ mod tests {
     }
 
     #[test]
+    fn osp_table_is_memoized_and_consistent() {
+        let g = ColorSet::full(4);
+        let a = osp_table(g);
+        let b = osp_table(g);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup hits the cache");
+        assert_eq!(*a, ordered_set_partitions(g));
+    }
+
+    #[test]
     fn views_satisfy_is_properties() {
         // Self-inclusion, containment, immediacy (Section 2 of the paper).
         for osp in ordered_set_partitions(ColorSet::full(4)) {
@@ -290,9 +333,18 @@ mod tests {
             ColorSet::from_indices([2]),
         ])
         .unwrap();
-        assert_eq!(run.view_of(ProcessId::new(1)), Some(ColorSet::from_indices([1])));
-        assert_eq!(run.view_of(ProcessId::new(0)), Some(ColorSet::from_indices([0, 1])));
-        assert_eq!(run.view_of(ProcessId::new(2)), Some(ColorSet::from_indices([0, 1, 2])));
+        assert_eq!(
+            run.view_of(ProcessId::new(1)),
+            Some(ColorSet::from_indices([1]))
+        );
+        assert_eq!(
+            run.view_of(ProcessId::new(0)),
+            Some(ColorSet::from_indices([0, 1]))
+        );
+        assert_eq!(
+            run.view_of(ProcessId::new(2)),
+            Some(ColorSet::from_indices([0, 1, 2]))
+        );
     }
 
     #[test]
@@ -311,8 +363,11 @@ mod tests {
             OspError::EmptyBlock
         );
         assert_eq!(
-            Osp::new(vec![ColorSet::from_indices([0]), ColorSet::from_indices([0, 1])])
-                .unwrap_err(),
+            Osp::new(vec![
+                ColorSet::from_indices([0]),
+                ColorSet::from_indices([0, 1])
+            ])
+            .unwrap_err(),
             OspError::OverlappingBlocks
         );
     }

@@ -1,0 +1,159 @@
+//! Deterministic fork/join helpers for the subdivision engine.
+//!
+//! The engine parallelizes by splitting facet lists into contiguous chunks,
+//! processing each chunk on a scoped OS thread (`std::thread::scope`), and
+//! merging per-chunk results *in chunk order*. Because the chunks partition
+//! the serial iteration order, the merged output is byte-identical to a
+//! serial build for every thread count.
+//!
+//! The default thread count honours the `RAYON_NUM_THREADS` environment
+//! variable (the convention of the rayon ecosystem), falling back to the
+//! machine's available parallelism. `RAYON_NUM_THREADS=1` forces serial
+//! execution — which, by the determinism guarantee above, produces exactly
+//! the same complexes as any parallel run.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+use crate::simplex::Simplex;
+
+/// The number of worker threads subdivision-engine operations fan out to:
+/// `RAYON_NUM_THREADS` if set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn subdivision_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `0..len` into at most `chunks` contiguous, non-empty, ascending
+/// ranges of near-equal size.
+pub(crate) fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Runs `f` over the chunk ranges of `0..len` on up to `threads` scoped
+/// threads, returning the per-chunk results in chunk order.
+///
+/// With `threads <= 1` (or a single chunk) no thread is spawned.
+pub(crate) fn parallel_map_ranges<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(len, threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let mut out = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move || f(range))
+            })
+            .collect();
+        for handle in handles {
+            out.push(handle.join().expect("subdivision worker panicked"));
+        }
+    });
+    out
+}
+
+/// Filters a facet list on up to `threads` scoped threads, preserving
+/// order: each worker owns a private predicate state created by `init`
+/// (e.g. a memoizing critical-simplex analysis), and the per-chunk results
+/// are concatenated in chunk order, so the output equals the serial filter
+/// for every thread count.
+pub fn parallel_filter_facets<S, I, P>(
+    facets: &[Simplex],
+    threads: usize,
+    init: I,
+    pred: P,
+) -> Vec<Simplex>
+where
+    I: Fn() -> S + Sync,
+    P: Fn(&mut S, &Simplex) -> bool + Sync,
+{
+    parallel_map_ranges(facets.len(), threads, |range| {
+        let mut state = init();
+        facets[range]
+            .iter()
+            .filter(|f| pred(&mut state, f))
+            .cloned()
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::VertexId;
+
+    #[test]
+    fn chunk_ranges_partition_the_input() {
+        for len in 0..40 {
+            for chunks in 1..8 {
+                let ranges = chunk_ranges(len, chunks);
+                let mut covered = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "contiguous and ascending");
+                    assert!(!r.is_empty());
+                    covered = r.end;
+                }
+                assert_eq!(covered, len);
+                if len > 0 {
+                    assert_eq!(ranges.len(), chunks.min(len));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_chunk_order() {
+        let out = parallel_map_ranges(10, 4, |r| r.clone());
+        assert_eq!(out, chunk_ranges(10, 4));
+    }
+
+    #[test]
+    fn parallel_filter_matches_serial_for_every_thread_count() {
+        let facets: Vec<Simplex> = (0..25)
+            .map(|i| Simplex::vertex(VertexId::from_index(i)))
+            .collect();
+        let keep = |_: &mut (), f: &Simplex| !f.vertices()[0].index().is_multiple_of(3);
+        let serial = parallel_filter_facets(&facets, 1, || (), keep);
+        for threads in 2..6 {
+            let parallel = parallel_filter_facets(&facets, threads, || (), keep);
+            assert_eq!(parallel, serial);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(subdivision_threads() >= 1);
+    }
+}

@@ -168,7 +168,12 @@ impl Simplex {
     #[must_use]
     pub fn minus(&self, other: &Simplex) -> Simplex {
         Simplex {
-            verts: self.verts.iter().copied().filter(|v| !other.contains(*v)).collect(),
+            verts: self
+                .verts
+                .iter()
+                .copied()
+                .filter(|v| !other.contains(*v))
+                .collect(),
         }
     }
 
@@ -191,7 +196,11 @@ impl Simplex {
     /// Intended for the small simplices of chromatic complexes (at most one
     /// vertex per process).
     pub fn faces(&self) -> Faces<'_> {
-        Faces { simplex: self, next_mask: 0, done: false }
+        Faces {
+            simplex: self,
+            next_mask: 0,
+            done: false,
+        }
     }
 
     /// Iterates over the non-empty faces of this simplex.
@@ -201,7 +210,9 @@ impl Simplex {
 
     /// The face consisting of the vertices selected by `keep`.
     pub fn filter<F: FnMut(VertexId) -> bool>(&self, mut keep: F) -> Simplex {
-        Simplex { verts: self.verts.iter().copied().filter(|&v| keep(v)).collect() }
+        Simplex {
+            verts: self.verts.iter().copied().filter(|&v| keep(v)).collect(),
+        }
     }
 }
 
@@ -270,7 +281,10 @@ mod tests {
     #[test]
     fn construction_sorts_and_dedups() {
         let s = sx(&[3, 1, 3, 0]);
-        assert_eq!(s.vertices().iter().map(|v| v.index()).collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(
+            s.vertices().iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
         assert_eq!(s.dim(), 2);
     }
 

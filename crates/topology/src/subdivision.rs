@@ -18,8 +18,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::color::{ColorSet, ProcessId};
-use crate::complex::{Complex, Structure, VertexData};
-use crate::osp::{ordered_set_partitions, Osp};
+use crate::complex::{Complex, Structure};
+use crate::intern::{FacetAccumulator, InternArena};
+use crate::osp::{osp_table, Osp};
+use crate::parallel::{parallel_map_ranges, subdivision_threads};
 use crate::simplex::{Simplex, VertexId};
 
 /// A facet of `Chr^ℓ σ` described relative to `σ`: one ordered set
@@ -29,12 +31,12 @@ pub type Recipe = Vec<Osp>;
 /// Enumerates all depth-`ℓ` recipes over the color set `ground`:
 /// all sequences of `ℓ` ordered set partitions of `ground`.
 pub fn all_recipes(ground: ColorSet, depth: usize) -> Vec<Recipe> {
-    let osps = ordered_set_partitions(ground);
+    let osps = osp_table(ground);
     let mut out: Vec<Recipe> = vec![Vec::new()];
     for _ in 0..depth {
         let mut next = Vec::with_capacity(out.len() * osps.len());
         for prefix in &out {
-            for osp in &osps {
+            for osp in osps.iter() {
                 let mut r = prefix.clone();
                 r.push(osp.clone());
                 next.push(r);
@@ -45,50 +47,131 @@ pub fn all_recipes(ground: ColorSet, depth: usize) -> Vec<Recipe> {
     out
 }
 
+/// One subdivision round under construction: an interning arena for the
+/// round's vertices plus its (order-preserving, deduplicated) facet list.
 struct LevelBuilder {
-    vertices: Vec<VertexData>,
-    key_index: HashMap<(ProcessId, Simplex), VertexId>,
-    facets: Vec<Simplex>,
-    facet_seen: HashMap<Simplex, ()>,
+    arena: InternArena,
+    facets: FacetAccumulator,
 }
 
 impl LevelBuilder {
     fn new() -> Self {
         LevelBuilder {
-            vertices: Vec::new(),
-            key_index: HashMap::new(),
-            facets: Vec::new(),
-            facet_seen: HashMap::new(),
+            arena: InternArena::new(),
+            facets: FacetAccumulator::new(),
         }
     }
 
-    fn intern(
-        &mut self,
-        color: ProcessId,
-        carrier: Simplex,
-        base_carrier: Simplex,
-        base_colors: ColorSet,
-    ) -> VertexId {
-        if let Some(&v) = self.key_index.get(&(color, carrier.clone())) {
-            return v;
-        }
-        let id = VertexId::from_index(self.vertices.len());
-        self.vertices.push(VertexData {
-            color,
-            carrier: carrier.clone(),
-            base_carrier,
-            base_colors,
-            label: 0,
-        });
-        self.key_index.insert((color, carrier), id);
-        id
+    fn new_chain(depth: usize) -> Vec<LevelBuilder> {
+        (0..depth).map(|_| LevelBuilder::new()).collect()
     }
+}
 
-    fn push_facet(&mut self, facet: Simplex) {
-        if self.facet_seen.insert(facet.clone(), ()).is_none() {
-            self.facets.push(facet);
+/// Expands one input facet into the level builders: for every allowed
+/// recipe, walks the rounds interning the generated vertices and facets.
+///
+/// Round-0 carriers reference the *input* level's (global) vertex ids;
+/// round `r ≥ 1` carriers reference the ids issued by `builders[r - 1]`.
+/// Base-carrier data always references the base (level-0) complex, so it is
+/// chunk-independent.
+fn expand_facet(
+    input: &Complex,
+    facet: &Simplex,
+    recipe_cache: &HashMap<ColorSet, Arc<Vec<Recipe>>>,
+    builders: &mut [LevelBuilder],
+) {
+    let colors = input.colors(facet);
+    let recipe_set = &recipe_cache[&colors];
+    for recipe in recipe_set.iter() {
+        // `current_ids` is the simplex being subdivided at each round, as
+        // (color, vertex id, base_carrier, base_colors) per vertex.
+        let mut current_ids: Vec<(ProcessId, VertexId, Simplex, ColorSet)> = facet
+            .vertices()
+            .iter()
+            .map(|&v| {
+                let d = input.vertex(v);
+                (d.color, v, d.base_carrier.clone(), d.base_colors)
+            })
+            .collect();
+        for (round, osp) in recipe.iter().enumerate() {
+            assert_eq!(
+                osp.ground(),
+                colors,
+                "recipe OSP ground set must equal the facet's colors"
+            );
+            let builder = &mut builders[round];
+            let mut next_ids = Vec::with_capacity(current_ids.len());
+            for &(c, _, _, _) in &current_ids {
+                let view = osp.view_of(c).expect("osp covers every color of the facet");
+                // Carrier: the face of `current` spanned by `view`.
+                let carrier = Simplex::from_vertices(
+                    current_ids
+                        .iter()
+                        .filter(|&&(cc, _, _, _)| view.contains(cc))
+                        .map(|&(_, v, _, _)| v),
+                );
+                let mut base_carrier = Simplex::empty();
+                let mut base_colors = ColorSet::EMPTY;
+                for &(cc, _, ref bc, bcol) in &current_ids {
+                    if view.contains(cc) {
+                        base_carrier = base_carrier.union(bc);
+                        base_colors = base_colors.union(bcol);
+                    }
+                }
+                let id = builder
+                    .arena
+                    .intern(c, carrier, base_carrier.clone(), base_colors);
+                next_ids.push((c, id, base_carrier, base_colors));
+            }
+            builder.facets.push(Simplex::from_vertices(
+                next_ids.iter().map(|&(_, v, _, _)| v),
+            ));
+            current_ids = next_ids;
         }
     }
+}
+
+/// Rewrites a simplex's vertex ids through a local→global id map.
+fn remap(simplex: &Simplex, map: &[VertexId]) -> Simplex {
+    Simplex::from_vertices(simplex.vertices().iter().map(|&v| map[v.index()]))
+}
+
+/// Merges per-chunk builder chains into one global chain, replaying every
+/// chunk's intern and facet sequences *in chunk order*.
+///
+/// Chunks are contiguous ranges of the input facet list, so replaying them
+/// in order reproduces the serial first-occurrence order of every vertex
+/// key and facet exactly: the merged tables are byte-identical to a serial
+/// build. Cross-chunk duplicates are safe because the base data of a vertex
+/// is a function of its canonical key `(color, carrier)`.
+fn merge_builder_chains(chunks: Vec<Vec<LevelBuilder>>, depth: usize) -> Vec<LevelBuilder> {
+    let mut global = LevelBuilder::new_chain(depth);
+    for chain in chunks {
+        // `prev_map`: local vertex index at the previous round -> global id.
+        let mut prev_map: Vec<VertexId> = Vec::new();
+        for (round, local) in chain.into_iter().enumerate() {
+            let g = &mut global[round];
+            let mut map = Vec::with_capacity(local.arena.len());
+            for d in local.arena.vertex_table() {
+                // Round-0 carriers already hold input-level (global) ids;
+                // deeper carriers hold the previous round's local ids.
+                let carrier = if round == 0 {
+                    d.carrier.clone()
+                } else {
+                    remap(&d.carrier, &prev_map)
+                };
+                map.push(
+                    g.arena
+                        .intern(d.color, carrier, d.base_carrier.clone(), d.base_colors),
+                );
+            }
+            for f in local.facets.into_facets() {
+                g.facets.push(remap(&f, &map));
+            }
+            prev_map = map;
+        }
+    }
+    global
 }
 
 impl Complex {
@@ -111,11 +194,24 @@ impl Complex {
         self.subdivide_patterned(1, |colors| all_recipes(colors, 1))
     }
 
+    /// [`Complex::chromatic_subdivision`] with an explicit worker-thread
+    /// count (the default uses [`crate::subdivision_threads`]). The result
+    /// is identical for every thread count.
+    pub fn chromatic_subdivision_threaded(&self, threads: usize) -> Complex {
+        self.subdivide_patterned_threaded(1, |colors| all_recipes(colors, 1), threads)
+    }
+
     /// The `m`-fold iterated standard chromatic subdivision `Chr^m K`.
     pub fn iterated_subdivision(&self, m: usize) -> Complex {
+        self.iterated_subdivision_threaded(m, subdivision_threads())
+    }
+
+    /// [`Complex::iterated_subdivision`] with an explicit worker-thread
+    /// count. The result is identical for every thread count.
+    pub fn iterated_subdivision_threaded(&self, m: usize, threads: usize) -> Complex {
         let mut c = self.clone();
         for _ in 0..m {
-            c = c.chromatic_subdivision();
+            c = c.chromatic_subdivision_threaded(threads);
         }
         c
     }
@@ -134,17 +230,37 @@ impl Complex {
     /// # Panics
     ///
     /// Panics if a recipe's ground set does not match the facet's colors or
-    /// its length differs from other recipes'.
+    /// its length differs from `depth`.
     pub fn subdivide_patterned<F>(&self, depth: usize, recipes: F) -> Complex
     where
         F: Fn(ColorSet) -> Vec<Recipe>,
     {
+        self.subdivide_patterned_threaded(depth, recipes, subdivision_threads())
+    }
+
+    /// [`Complex::subdivide_patterned`] with an explicit worker-thread
+    /// count.
+    ///
+    /// Input facets are fanned out over contiguous chunks, each chunk
+    /// builds private interning arenas, and the per-chunk arenas are merged
+    /// in chunk order — reproducing the serial first-occurrence order of
+    /// every vertex and facet, so the result is byte-identical for every
+    /// thread count (`threads = 1` is the serial build).
+    pub fn subdivide_patterned_threaded<F>(
+        &self,
+        depth: usize,
+        recipes: F,
+        threads: usize,
+    ) -> Complex
+    where
+        F: Fn(ColorSet) -> Vec<Recipe>,
+    {
         assert!(depth >= 1, "subdivision depth must be at least 1");
-        let mut builders: Vec<LevelBuilder> = (0..depth).map(|_| LevelBuilder::new()).collect();
 
-        // Cache recipe sets per facet color set.
+        // Recipe sets are computed once per distinct facet color set, up
+        // front, so worker threads only read the shared cache (and the
+        // closure needs no `Sync` bound).
         let mut recipe_cache: HashMap<ColorSet, Arc<Vec<Recipe>>> = HashMap::new();
-
         for facet in self.facets() {
             let colors = self.colors(facet);
             assert_eq!(
@@ -152,75 +268,47 @@ impl Complex {
                 facet.len(),
                 "subdivide_patterned requires a chromatic complex"
             );
-            let recipe_set = recipe_cache
-                .entry(colors)
-                .or_insert_with(|| Arc::new(recipes(colors)))
-                .clone();
-            // Map color -> vertex of σ, color -> base data, valid at the
-            // *input* level; updated per round below.
-            for recipe in recipe_set.iter() {
-                assert_eq!(recipe.len(), depth, "recipe depth mismatch");
-                // `current` is the simplex being subdivided at each round;
-                // `lookup` maps color -> (vertex id, base_carrier, base_colors)
-                // within `current`'s level.
-                let mut current_ids: Vec<(ProcessId, VertexId, Simplex, ColorSet)> = facet
-                    .vertices()
-                    .iter()
-                    .map(|&v| {
-                        let d = self.vertex(v);
-                        (d.color, v, d.base_carrier.clone(), d.base_colors)
-                    })
-                    .collect();
-                for (round, osp) in recipe.iter().enumerate() {
-                    assert_eq!(
-                        osp.ground(),
-                        colors,
-                        "recipe OSP ground set must equal the facet's colors"
-                    );
-                    let builder = &mut builders[round];
-                    let mut next_ids = Vec::with_capacity(current_ids.len());
-                    for &(c, _, _, _) in &current_ids {
-                        let view = osp
-                            .view_of(c)
-                            .expect("osp covers every color of the facet");
-                        // Carrier: the face of `current` spanned by `view`.
-                        let carrier = Simplex::from_vertices(
-                            current_ids
-                                .iter()
-                                .filter(|&&(cc, _, _, _)| view.contains(cc))
-                                .map(|&(_, v, _, _)| v),
-                        );
-                        let mut base_carrier = Simplex::empty();
-                        let mut base_colors = ColorSet::EMPTY;
-                        for &(cc, _, ref bc, bcol) in &current_ids {
-                            if view.contains(cc) {
-                                base_carrier = base_carrier.union(bc);
-                                base_colors = base_colors.union(bcol);
-                            }
-                        }
-                        let id = builder.intern(c, carrier, base_carrier.clone(), base_colors);
-                        next_ids.push((c, id, base_carrier, base_colors));
-                    }
-                    builder.push_facet(Simplex::from_vertices(
-                        next_ids.iter().map(|&(_, v, _, _)| v),
-                    ));
-                    current_ids = next_ids;
+            recipe_cache.entry(colors).or_insert_with(|| {
+                let set = recipes(colors);
+                for recipe in &set {
+                    assert_eq!(recipe.len(), depth, "recipe depth mismatch");
                 }
-            }
+                Arc::new(set)
+            });
         }
+
+        let facets = self.facets();
+        let threads = threads.clamp(1, facets.len().max(1));
+        let builders = if threads <= 1 {
+            let mut chain = LevelBuilder::new_chain(depth);
+            for facet in facets {
+                expand_facet(self, facet, &recipe_cache, &mut chain);
+            }
+            chain
+        } else {
+            let chunk_chains = parallel_map_ranges(facets.len(), threads, |range| {
+                let mut chain = LevelBuilder::new_chain(depth);
+                for facet in &facets[range] {
+                    expand_facet(self, facet, &recipe_cache, &mut chain);
+                }
+                chain
+            });
+            merge_builder_chains(chunk_chains, depth)
+        };
 
         // Assemble the chain of complexes.
         let mut parent = self.clone();
         let mut result = None;
         for (i, b) in builders.into_iter().enumerate() {
+            let (vertices, key_index) = b.arena.into_parts();
             let structure = Arc::new(Structure {
                 n: self.num_processes(),
                 level: parent.level() + 1,
                 parent: Some(parent.clone()),
-                vertices: b.vertices,
-                key_index: b.key_index,
+                vertices,
+                key_index,
             });
-            let complex = Complex::assemble(structure, b.facets);
+            let complex = Complex::assemble(structure, b.facets.into_facets());
             parent = complex.clone();
             if i + 1 == depth {
                 result = Some(complex);
@@ -243,12 +331,12 @@ impl Complex {
     /// Panics if `recipe`'s length differs from this complex's level, if
     /// the rounds use different ground sets, or if the ground set is not a
     /// subset of the base facet's colors.
-    pub fn simplex_for_recipe(
-        &self,
-        base_facet: &Simplex,
-        recipe: &[Osp],
-    ) -> Option<Simplex> {
-        assert_eq!(recipe.len(), self.level(), "recipe length must equal the level");
+    pub fn simplex_for_recipe(&self, base_facet: &Simplex, recipe: &[Osp]) -> Option<Simplex> {
+        assert_eq!(
+            recipe.len(),
+            self.level(),
+            "recipe length must equal the level"
+        );
         // Collect the level chain: base, level 1, ..., self.
         let mut chain: Vec<Complex> = Vec::with_capacity(self.level() + 1);
         let mut c = self.clone();
@@ -261,7 +349,10 @@ impl Complex {
         }
         chain.reverse();
         let base = &chain[0];
-        let ground = recipe.first().map(|o| o.ground()).unwrap_or(ColorSet::EMPTY);
+        let ground = recipe
+            .first()
+            .map(|o| o.ground())
+            .unwrap_or(ColorSet::EMPTY);
         assert!(
             ground.is_subset_of(base.colors(base_facet)),
             "recipe ground set must be contained in the base facet's colors"
@@ -274,7 +365,11 @@ impl Complex {
             .map(|&v| (base.color(v), v))
             .collect();
         for (round, osp) in recipe.iter().enumerate() {
-            assert_eq!(osp.ground(), ground, "recipe rounds use inconsistent ground sets");
+            assert_eq!(
+                osp.ground(),
+                ground,
+                "recipe rounds use inconsistent ground sets"
+            );
             let level = &chain[round + 1];
             let mut next = Vec::with_capacity(current.len());
             for &(color, _) in &current {
@@ -302,7 +397,10 @@ impl Complex {
     /// Panics if called on a level-0 complex or a non-facet simplex whose
     /// carriers do not nest properly.
     pub fn osp_of_facet(&self, facet: &Simplex) -> Osp {
-        assert!(self.level() > 0, "level-0 complexes have no subdivision recipe");
+        assert!(
+            self.level() > 0,
+            "level-0 complexes have no subdivision recipe"
+        );
         // Group colors by carrier, ordered by carrier size (carriers of a
         // Chr facet are totally ordered by containment).
         let mut by_carrier: Vec<(usize, ColorSet)> = Vec::new();
@@ -330,7 +428,10 @@ impl Complex {
     ///
     /// Panics if `depth` exceeds this complex's level.
     pub fn recipe_of_facet(&self, facet: &Simplex, depth: usize) -> Recipe {
-        assert!(depth <= self.level(), "recipe depth exceeds subdivision level");
+        assert!(
+            depth <= self.level(),
+            "recipe depth exceeds subdivision level"
+        );
         let mut rounds = Vec::with_capacity(depth);
         let mut complex = self.clone();
         let mut current = facet.clone();
@@ -507,6 +608,35 @@ mod tests {
         let g = ColorSet::full(3);
         assert_eq!(all_recipes(g, 1).len(), 13);
         assert_eq!(all_recipes(g, 2).len(), 169);
+    }
+
+    #[test]
+    fn parallel_subdivision_is_byte_identical_to_serial() {
+        // The deterministic merge reproduces the serial build exactly —
+        // same vertex tables, same ids, same facet order — for every
+        // thread count. `==` compares the interned tables structurally.
+        let inputs = [
+            Complex::standard(3).chromatic_subdivision(),
+            Complex::standard(4).chromatic_subdivision(),
+        ];
+        for input in &inputs {
+            let serial = input.chromatic_subdivision_threaded(1);
+            for threads in [2, 3, 5, 8] {
+                let parallel = input.chromatic_subdivision_threaded(threads);
+                assert_eq!(serial, parallel, "threads = {threads}");
+                assert_eq!(serial.facets(), parallel.facets());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_patterned_depth_two_is_byte_identical_to_serial() {
+        let s = Complex::standard(3).chromatic_subdivision();
+        let serial = s.subdivide_patterned_threaded(2, |c| all_recipes(c, 2), 1);
+        let parallel = s.subdivide_patterned_threaded(2, |c| all_recipes(c, 2), 4);
+        assert_eq!(serial, parallel);
+        // Intermediate levels are merged identically too.
+        assert_eq!(serial.parent().unwrap(), parallel.parent().unwrap());
     }
 
     #[test]

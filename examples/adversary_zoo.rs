@@ -9,7 +9,9 @@ use fact::topology::ColorSet;
 
 fn describe(name: &str, a: &Adversary) {
     let alpha = AgreementFunction::of_adversary(a);
-    alpha.validate().expect("agreement functions are monotone of bounded growth");
+    alpha
+        .validate()
+        .expect("agreement functions are monotone of bounded growth");
     println!(
         "{name:<28} live sets {:>3}  setcon {}  superset-closed {:<5} symmetric {:<5} fair {}",
         a.len(),
@@ -54,7 +56,10 @@ fn main() {
         }
     }
     println!("all {} adversaries over 3 processes enumerated", all.len());
-    println!("fair \\ (symmetric ∪ ssc) : e.g. {}", fair_not_sym_not_ssc.unwrap());
+    println!(
+        "fair \\ (symmetric ∪ ssc) : e.g. {}",
+        fair_not_sym_not_ssc.unwrap()
+    );
     println!("symmetric \\ ssc          : e.g. {}", sym_not_ssc.unwrap());
     println!("ssc \\ symmetric          : e.g. {}", ssc_not_sym.unwrap());
     println!("not fair                 : e.g. {}", unfair.unwrap());

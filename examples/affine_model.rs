@@ -23,7 +23,10 @@ fn main() {
     let r_a = fair_affine_task(&alpha);
     let full = ColorSet::full(3);
 
-    println!("model: 1-resilience over 3 processes (α(Π) = {})", alpha.alpha(full));
+    println!(
+        "model: 1-resilience over 3 processes (α(Π) = {})",
+        alpha.alpha(full)
+    );
     println!("R_A  : {} facets\n", r_a.complex().facet_count());
 
     // Execute 50 affine-model iterations with the real algorithm.
@@ -60,7 +63,10 @@ fn main() {
     println!("object model decisions     : {object_decisions:?}");
 
     // Traces make any of these runs reproducible.
-    let trace = Trace { participants: full, steps: vec![0, 1, 2, 0, 1, 2] };
+    let trace = Trace {
+        participants: full,
+        steps: vec![0, 1, 2, 0, 1, 2],
+    };
     println!(
         "\ntraces serialize for regression replay, e.g. {}",
         serde_json::to_string(&trace).expect("serializable")

@@ -16,10 +16,10 @@
 use fact::adversary::{Adversary, AgreementFunction};
 use fact::affine::fair_affine_task;
 use fact::affine_domain;
+use fact::runtime::System;
 use fact::tasks::{find_carried_map, SetConsensus};
 use fact::topology::{ColorSet, ProcessId};
 use fact::AlgorithmOneSystem;
-use fact::runtime::System;
 
 fn main() {
     let adversary = Adversary::t_resilient(3, 1);

@@ -13,9 +13,7 @@ use fact::affine::{
     contention_complex, fair_affine_task, k_obstruction_free_task, t_resilient_task,
     CriticalAnalysis,
 };
-use fact::topology::{
-    barycentric_to_plane, realization_coordinates, ColorSet, Complex, VertexId,
-};
+use fact::topology::{barycentric_to_plane, realization_coordinates, ColorSet, Complex, VertexId};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -42,7 +40,12 @@ fn export(complex: &Complex, name: &str) -> FigureComplex {
     let vertices = (0..complex.num_vertices())
         .map(|i| {
             let (x, y) = barycentric_to_plane(&coords[i]);
-            VertexPoint { index: i, color: complex.color(VertexId::from_index(i)).index(), x, y }
+            VertexPoint {
+                index: i,
+                color: complex.color(VertexId::from_index(i)).index(),
+                x,
+                y,
+            }
         })
         .collect();
     let facets = complex
@@ -100,8 +103,14 @@ fn main() {
     ])
     .unwrap();
     let sync = Osp::synchronous(ColorSet::full(3));
-    println!("Figure 3a  ordered run  : {ordered} -> views {:?}", ordered.views());
-    println!("Figure 3b  sync run     : {sync} -> views {:?}", sync.views());
+    println!(
+        "Figure 3a  ordered run  : {ordered} -> views {:?}",
+        ordered.views()
+    );
+    println!(
+        "Figure 3b  sync run     : {sync} -> views {:?}",
+        sync.views()
+    );
 
     // Figure 4: the 2-contention complex of Chr² s.
     let chr2 = Complex::standard(3).iterated_subdivision(2);
@@ -149,7 +158,10 @@ fn main() {
     // cross-checks.
     for (name, alpha) in &models {
         let r = fair_affine_task(alpha);
-        println!("Figure 7 {name}: R_A has {} facets", r.complex().facet_count());
+        println!(
+            "Figure 7 {name}: R_A has {} facets",
+            r.complex().facet_count()
+        );
         let tag = format!("fig7_{}", name.chars().take(2).collect::<String>());
         summary.insert(tag, r.complex().facet_count());
     }
@@ -165,6 +177,9 @@ fn main() {
 }
 
 fn write_json<T: Serialize>(path: &str, value: &T) {
-    fs::write(path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write figure JSON");
+    fs::write(
+        path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write figure JSON");
 }

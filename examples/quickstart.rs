@@ -35,7 +35,9 @@ fn main() {
     let inputs = two_set.rainbow_inputs();
     let domain = affine_domain(&r_a, &inputs, 1);
     let verdict = find_carried_map(&two_set, &domain, 3_000_000);
-    let map = verdict.into_map().expect("2-set consensus is solvable at setcon");
+    let map = verdict
+        .into_map()
+        .expect("2-set consensus is solvable at setcon");
     assert!(verify_carried_map(&two_set, &domain, &map));
     println!("2-set consensus: solvable with 1 iteration of R_A (map verified)");
 

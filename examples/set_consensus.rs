@@ -56,8 +56,8 @@ fn main() {
             200_000,
         );
         assert!(outcome.all_correct_terminated, "Lemma 5: liveness");
-        let simplex = outputs_to_simplex(r_a.complex(), &sys.outputs())
-            .expect("outputs are Chr² vertices");
+        let simplex =
+            outputs_to_simplex(r_a.complex(), &sys.outputs()).expect("outputs are Chr² vertices");
         assert!(
             r_a.complex().contains_simplex(&simplex),
             "Lemma 6: outputs form a simplex of R_A"

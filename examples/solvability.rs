@@ -28,7 +28,10 @@ fn main() {
         ),
     ];
 
-    println!("{:<22} {:>7} {:>12} {:>12}", "model", "setcon", "k=1", "k=2");
+    println!(
+        "{:<22} {:>7} {:>12} {:>12}",
+        "model", "setcon", "k=1", "k=2"
+    );
     for (name, alpha, power) in models {
         let r_a = fair_affine_task(&alpha);
         let mut verdicts = Vec::new();

@@ -124,8 +124,10 @@ fn iterated_task_facet_count_multiplies_for_full_recipes() {
 fn census_facet_count_statistics() {
     // Record the spread of |R_A| across the census: bounded by |Chr² s|
     // and bounded below by the weakest non-trivial model's task.
-    let counts: Vec<usize> =
-        census_tasks().iter().map(|t| t.complex().facet_count()).collect();
+    let counts: Vec<usize> = census_tasks()
+        .iter()
+        .map(|t| t.complex().facet_count())
+        .collect();
     let min = counts.iter().min().unwrap();
     let max = counts.iter().max().unwrap();
     assert!(*min >= 1);

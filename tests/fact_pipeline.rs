@@ -37,17 +37,10 @@ fn every_fair_adversary_round_trips_through_the_pipeline() {
                 continue;
             }
             let mut sys = AlgorithmOneSystem::new(&alpha, full);
-            let outcome = run_adversarial(
-                &mut sys,
-                full,
-                full,
-                &mut rng,
-                |_| seed as usize,
-                200_000,
-            );
+            let outcome =
+                run_adversarial(&mut sys, full, full, &mut rng, |_| seed as usize, 200_000);
             assert!(outcome.all_correct_terminated, "liveness for {a}");
-            let simplex =
-                outputs_to_simplex(r_a.complex(), &sys.outputs()).expect("resolvable");
+            let simplex = outputs_to_simplex(r_a.complex(), &sys.outputs()).expect("resolvable");
             assert!(r_a.complex().contains_simplex(&simplex), "safety for {a}");
         }
 
@@ -71,7 +64,10 @@ fn fact_theorem_16_matches_setcon_for_named_models() {
     // solvable side at one iteration of R_A, the unsolvable side by
     // search exhaustion or the Sperner certificate.
     let models: Vec<(Adversary, AgreementFunction)> = vec![
-        (Adversary::wait_free(3), AgreementFunction::of_adversary(&Adversary::wait_free(3))),
+        (
+            Adversary::wait_free(3),
+            AgreementFunction::of_adversary(&Adversary::wait_free(3)),
+        ),
         (
             Adversary::t_resilient(3, 1),
             AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1)),
@@ -173,8 +169,7 @@ fn algorithm_one_exhaustive_two_process_schedules() {
             let outputs = sys.outputs();
             if outcome.all_correct_terminated {
                 complete_runs += 1;
-                let sx = outputs_to_simplex(r_a.complex(), &outputs)
-                    .expect("outputs resolve");
+                let sx = outputs_to_simplex(r_a.complex(), &outputs).expect("outputs resolve");
                 assert!(r_a.complex().contains_simplex(&sx), "exhaustive safety");
                 seen.insert(sx);
             } else if !outputs.is_empty() {
@@ -186,7 +181,10 @@ fn algorithm_one_exhaustive_two_process_schedules() {
         },
     );
     assert!(runs > 100, "explored {runs} interleavings");
-    assert!(complete_runs > 0, "complete runs exist within the depth bound");
+    assert!(
+        complete_runs > 0,
+        "complete runs exist within the depth bound"
+    );
     // DFS with a run cap varies only the tail of the schedule, so a single
     // realized facet is expected; the point of this test is the exhaustive
     // safety check above.
@@ -212,8 +210,9 @@ fn safety_is_schedule_independent() {
             // Arbitrary fault pattern: every process gets a random budget;
             // many of these runs are NOT admissible in the α-model.
             let mut sys = AlgorithmOneSystem::new(&alpha, full);
-            let budgets: Vec<usize> =
-                (0..3).map(|i| ((trial as usize) * 7 + i * 13) % 40).collect();
+            let budgets: Vec<usize> = (0..3)
+                .map(|i| ((trial as usize) * 7 + i * 13) % 40)
+                .collect();
             let correct = ColorSet::from_indices([(trial % 3) as usize]);
             let outcome = run_adversarial(
                 &mut sys,

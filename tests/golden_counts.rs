@@ -1,0 +1,134 @@
+//! Golden-count regression suite: locks every deterministic count behind
+//! the figures and tables of EXPERIMENTS.md, so any change to the
+//! subdivision/affine-task engine that perturbs a figure fails
+//! immediately — and fails here, with the figure's name on it, rather
+//! than deep inside a theorem validation.
+//!
+//! All counts are cross-checked against EXPERIMENTS.md; update both
+//! together (and only with an argument for why the figure changed).
+
+use act_adversary::{zoo, Adversary, AgreementFunction};
+use act_affine::{contention_complex, fair_affine_task, k_obstruction_free_task, t_resilient_task};
+use act_topology::{fubini, Complex};
+
+/// Figure 1a: `Chr s` facet counts follow the Fubini numbers 1, 3, 13,
+/// 75, 541 for n = 1..=5, and the triangle's f-vector is [12, 24, 13].
+#[test]
+fn golden_chr_facet_counts_are_fubini() {
+    let expected = [1usize, 3, 13, 75, 541];
+    for (n, &count) in (1..=5).zip(expected.iter()) {
+        let chr = Complex::standard(n).chromatic_subdivision();
+        assert_eq!(chr.facet_count(), count, "Chr s, n = {n}");
+        assert_eq!(chr.facet_count() as u64, fubini(n), "Fubini({n})");
+    }
+    let chr3 = Complex::standard(3).chromatic_subdivision();
+    assert_eq!(chr3.f_vector(), vec![12, 24, 13], "Figure 1a f-vector");
+}
+
+/// `Chr² s` at n = 3: 169 = 13² facets (the home of every affine task in
+/// the paper).
+#[test]
+fn golden_chr2_facet_count() {
+    let chr2 = Complex::standard(3).iterated_subdivision(2);
+    assert_eq!(chr2.facet_count(), 169);
+}
+
+/// Figure 1b: `R_{1-res}` keeps 142 of the 169 facets.
+#[test]
+fn golden_one_resilient_task() {
+    assert_eq!(t_resilient_task(3, 1).complex().facet_count(), 142);
+}
+
+/// Figure 7a: `R_{1-OF}` (Definition 6) has 73 facets.
+#[test]
+fn golden_one_obstruction_free_task() {
+    assert_eq!(k_obstruction_free_task(3, 1).complex().facet_count(), 73);
+}
+
+/// Figure 7b: `R_A` of the Figure-5b adversary has 145 facets.
+#[test]
+fn golden_figure_5b_affine_task() {
+    let alpha = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+    assert_eq!(fair_affine_task(&alpha).complex().facet_count(), 145);
+}
+
+/// Figure 4c: the 2-contention complex `Cont²` has 99 maximal contention
+/// simplices, of dimension 2.
+#[test]
+fn golden_contention_complex() {
+    let chr2 = Complex::standard(3).iterated_subdivision(2);
+    let cont = contention_complex(&chr2);
+    assert_eq!(cont.facet_count(), 99);
+    assert_eq!(cont.dim(), 2);
+}
+
+/// Figure 2: the census of all 128 adversaries over 3 processes — 44
+/// fair, 8 symmetric, 19 superset-closed, 84 unfair.
+#[test]
+fn golden_adversary_census() {
+    let all = zoo::all_adversaries(3);
+    assert_eq!(all.len(), 128);
+    let fair = all.iter().filter(|a| a.is_fair()).count();
+    let symmetric = all.iter().filter(|a| a.is_symmetric()).count();
+    let superset_closed = all.iter().filter(|a| a.is_superset_closed()).count();
+    assert_eq!(fair, 44);
+    assert_eq!(symmetric, 8);
+    assert_eq!(superset_closed, 19);
+    assert_eq!(all.len() - fair, 84);
+    assert_eq!(zoo::all_fair_adversaries(3).len(), 44);
+}
+
+/// The Def 9 vs Def 6 table of EXPERIMENTS.md at n = 3: facet counts of
+/// `R_A` (union side condition) against `R_{k-OF}` for every k.
+#[test]
+fn golden_def9_vs_def6_table_n3() {
+    let expected = [(1usize, 73usize, 73usize), (2, 142, 163), (3, 169, 169)];
+    for &(k, def9, def6) in &expected {
+        let alpha = AgreementFunction::k_concurrency(3, k);
+        assert_eq!(
+            fair_affine_task(&alpha).complex().facet_count(),
+            def9,
+            "R_A, n = 3, k = {k}"
+        );
+        assert_eq!(
+            k_obstruction_free_task(3, k).complex().facet_count(),
+            def6,
+            "R_k-OF, n = 3, k = {k}"
+        );
+    }
+}
+
+/// The Def 9 vs Def 6 table of EXPERIMENTS.md at n = 4 (the slow rows:
+/// each side filters the 5 625 facets of `Chr² s`).
+#[test]
+fn golden_def9_vs_def6_table_n4() {
+    let expected = [
+        (1usize, 1015usize, 1015usize),
+        (2, 3587, 4773),
+        (3, 4949, 5601),
+    ];
+    for &(k, def9, def6) in &expected {
+        let alpha = AgreementFunction::k_concurrency(4, k);
+        assert_eq!(
+            fair_affine_task(&alpha).complex().facet_count(),
+            def9,
+            "R_A, n = 4, k = {k}"
+        );
+        assert_eq!(
+            k_obstruction_free_task(4, k).complex().facet_count(),
+            def6,
+            "R_k-OF, n = 4, k = {k}"
+        );
+    }
+}
+
+/// `R_A` on t-resilient adversaries coincides with `R_{t-res}`, and the
+/// wait-free `R_A` is all of `Chr² s` (the remaining named counts of the
+/// figures).
+#[test]
+fn golden_t_resilient_and_wait_free_counts() {
+    let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+    assert_eq!(fair_affine_task(&alpha).complex().facet_count(), 142);
+    let wait_free = AgreementFunction::of_adversary(&Adversary::wait_free(3));
+    assert_eq!(fair_affine_task(&wait_free).complex().facet_count(), 169);
+}

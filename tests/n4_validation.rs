@@ -38,8 +38,16 @@ fn r_a_vs_def6_at_n4() {
         })
         .collect();
     assert_eq!(counts[0], (1, 1015, 1015, true, true), "k = 1 equal");
-    assert_eq!(counts[1], (2, 3587, 4773, false, false), "k = 2 incomparable");
-    assert_eq!(counts[2], (3, 4949, 5601, true, false), "k = 3 strict subset");
+    assert_eq!(
+        counts[1],
+        (2, 3587, 4773, false, false),
+        "k = 2 incomparable"
+    );
+    assert_eq!(
+        counts[2],
+        (3, 4949, 5601, true, false),
+        "k = 3 strict subset"
+    );
 }
 
 #[test]
@@ -87,8 +95,7 @@ fn property_10_exhaustive_at_n4() {
             for q in full.non_empty_subsets() {
                 let theta = facet.filter(|v| q.contains(r_a.complex().color(v)));
                 for sub in theta.non_empty_faces() {
-                    let leaders: ColorSet =
-                        sub.vertices().iter().map(|&v| lm.mu_q(v, q)).collect();
+                    let leaders: ColorSet = sub.vertices().iter().map(|&v| lm.mu_q(v, q)).collect();
                     let carrier = r_a.complex().carrier_colors(&sub);
                     assert!(
                         leaders.len() <= alpha.alpha(carrier),

@@ -2,8 +2,7 @@
 //! topology: executed runs land exactly where the theory says they do.
 
 use act_runtime::{
-    explore_schedules, facet_of_run, osp_from_views, run_adversarial, run_iis_with_bg,
-    IsSystem,
+    explore_schedules, facet_of_run, osp_from_views, run_adversarial, run_iis_with_bg, IsSystem,
 };
 use act_topology::{ordered_set_partitions, ColorSet, Complex, ProcessId};
 use rand::SeedableRng;
@@ -34,7 +33,11 @@ fn executed_double_rounds_land_in_chr2() {
         assert!(chr2.contains_simplex(&facet));
         seen.insert(facet);
     }
-    assert!(seen.len() > 50, "many distinct Chr² facets realized: {}", seen.len());
+    assert!(
+        seen.len() > 50,
+        "many distinct Chr² facets realized: {}",
+        seen.len()
+    );
 }
 
 #[test]
@@ -92,8 +95,14 @@ fn crashed_processes_shrink_realized_simplices() {
         let mut sys = IsSystem::new(vec![Some(0u8), Some(1), Some(2)]);
         let participants = ColorSet::full(3);
         let correct = ColorSet::from_indices([0, 1]);
-        let outcome =
-            run_adversarial(&mut sys, participants, correct, &mut rng, |_| budget, 100_000);
+        let outcome = run_adversarial(
+            &mut sys,
+            participants,
+            correct,
+            &mut rng,
+            |_| budget,
+            100_000,
+        );
         assert!(outcome.all_correct_terminated);
         let views: Vec<(ProcessId, ColorSet)> = sys
             .views()

@@ -14,9 +14,18 @@ fn models() -> Vec<(String, AgreementFunction)> {
     let mut out: Vec<(String, AgreementFunction)> = vec![
         ("1-OF".into(), AgreementFunction::k_concurrency(3, 1)),
         ("2-OF".into(), AgreementFunction::k_concurrency(3, 2)),
-        ("wait-free".into(), AgreementFunction::of_adversary(&Adversary::wait_free(3))),
-        ("1-res".into(), AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1))),
-        ("0-res".into(), AgreementFunction::of_adversary(&Adversary::t_resilient(3, 0))),
+        (
+            "wait-free".into(),
+            AgreementFunction::of_adversary(&Adversary::wait_free(3)),
+        ),
+        (
+            "1-res".into(),
+            AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1)),
+        ),
+        (
+            "0-res".into(),
+            AgreementFunction::of_adversary(&Adversary::t_resilient(3, 0)),
+        ),
         (
             "fig5b".into(),
             AgreementFunction::of_adversary(&zoo::figure_5b_adversary()),

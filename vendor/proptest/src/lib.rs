@@ -1,0 +1,356 @@
+//! Offline vendored property-testing harness under the `proptest` name.
+//!
+//! Implements the API surface this workspace uses: the `proptest!` macro
+//! (with optional `#![proptest_config(...)]`), `prop_assert!`/
+//! `prop_assert_eq!`, integer-range strategies, `prop_map`, and
+//! `collection::{vec, btree_set}`. Unlike the real crate there is no
+//! shrinking; failures report the case index and seed so a failing case
+//! can be replayed deterministically.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of pseudo-random values of one type.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.uniform_range(self.start as u128, self.end as u128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.uniform_range(*self.start() as u128, *self.end() as u128 + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.sample(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// Inclusive element-count bounds for collection strategies.
+    pub trait SizeBounds {
+        /// `(min, max)` element counts, both inclusive.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeBounds for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeBounds for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeBounds for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec`s of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) min: usize,
+        pub(crate) max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.uniform_range(self.min as u128, self.max as u128 + 1) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s of values from an element strategy.
+    ///
+    /// Duplicates drawn from the element strategy collapse, so the set may
+    /// end up smaller than the drawn size (the real crate retries; every
+    /// in-repo property holds for arbitrary sets, so this is fine).
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) min: usize,
+        pub(crate) max: usize,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.uniform_range(self.min as u128, self.max as u128 + 1) as usize;
+            (0..target).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_set`).
+
+    use crate::strategy::{BTreeSetStrategy, SizeBounds, Strategy, VecStrategy};
+
+    /// Strategy for vectors with element counts in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// Strategy for ordered sets with drawn element counts in `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl SizeBounds) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        let (min, max) = size.bounds();
+        BTreeSetStrategy { element, min, max }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration, error type, and the deterministic case RNG.
+
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fmt;
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property assertion.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// The deterministic per-case generator: seeded from the fully
+    /// qualified test name and the case index, so each case replays
+    /// exactly, independent of execution order.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for `(test, case)`.
+        pub fn deterministic(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            TestRng {
+                inner: SmallRng::seed_from_u64(hash),
+            }
+        }
+
+        /// Uniform draw from `[lo, hi)`.
+        pub fn uniform_range(&mut self, lo: u128, hi: u128) -> u128 {
+            assert!(lo < hi, "cannot sample from empty range");
+            lo + (self.inner.next_u64() as u128) % (hi - lo)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the standard `use proptest::prelude::*;` brings in.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run $cfg:expr;) => {};
+    (@run $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut proptest_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut proptest_rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    ::std::panic!(
+                        "property `{}` failed at case {} of {}: {}",
+                        stringify!($name),
+                        case,
+                        cfg.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `{:?}` != `{:?}`", left, right),
+            ));
+        }
+    }};
+}
