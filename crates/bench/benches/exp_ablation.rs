@@ -11,7 +11,7 @@
 
 use act_adversary::{zoo, AgreementFunction};
 use act_affine::{fair_affine_task, fair_affine_task_with, CriticalSideCondition};
-use act_bench::{banner, model_portfolio};
+use act_bench::{banner, metric, model_portfolio};
 use act_runtime::{run_adversarial, run_iis_with_bg};
 use act_topology::ColorSet;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -78,6 +78,8 @@ fn print_experiment_data() {
     }
     println!("fair models where the readings differ: {differ} / {total}");
     assert!(differ > 0);
+    metric("exp9_readings_differ", differ as u64);
+    metric("exp9_fair_models", total as u64);
 }
 
 fn bench(c: &mut Criterion) {

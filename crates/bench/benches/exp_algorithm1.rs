@@ -5,7 +5,7 @@
 //! throughput of the algorithm.
 
 use act_affine::fair_affine_task;
-use act_bench::{banner, model_portfolio};
+use act_bench::{banner, metric, model_portfolio};
 use act_runtime::run_adversarial;
 use act_topology::ColorSet;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -61,6 +61,7 @@ fn print_experiment_data() {
         );
         assert_eq!(live, runs, "liveness must hold on every admissible run");
         assert_eq!(safe, runs, "safety must hold on every admissible run");
+        metric(&format!("exp1_live_runs_{name}"), live as u64);
     }
 }
 

@@ -6,7 +6,7 @@
 
 use act_adversary::{Adversary, AgreementFunction};
 use act_affine::fair_affine_task;
-use act_bench::banner;
+use act_bench::{banner, metric};
 use act_runtime::System;
 use act_tasks::{find_carried_map, SetConsensus};
 use act_topology::{ColorSet, ProcessId};
@@ -44,6 +44,7 @@ fn print_experiment_data() {
     for l in 1..=2usize {
         let d = affine_domain(&r_a, &t.rainbow_inputs(), l);
         println!("ℓ = {l}: |facets(R_A^ℓ(I))| = {}", d.facet_count());
+        metric(&format!("exp7_domain_facets_l{l}"), d.facet_count() as u64);
     }
 }
 

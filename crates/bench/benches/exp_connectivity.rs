@@ -6,7 +6,7 @@
 //! link-connectivity of R_A for the portfolio.
 
 use act_affine::fair_affine_task;
-use act_bench::{banner, model_portfolio};
+use act_bench::{banner, metric, model_portfolio};
 use act_topology::{
     betti_numbers, connected_components, euler_characteristic, is_link_connected,
     link_disconnection_witness,
@@ -38,6 +38,7 @@ fn print_experiment_data() {
             chi
         );
         assert_eq!(betti[0], comps, "β₀ equals the component count");
+        metric(&format!("exp8_components_{name}"), comps as u64);
         match name.as_str() {
             "1-obstruction-free" => {
                 assert_eq!(comps, 7, "Figure 7a splits into 7 pieces");

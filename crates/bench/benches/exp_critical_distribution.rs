@@ -7,7 +7,7 @@
 
 use act_adversary::{csize_of_sets, zoo, AgreementFunction};
 use act_affine::CriticalAnalysis;
-use act_bench::{banner, model_portfolio};
+use act_bench::{banner, metric, model_portfolio};
 use act_topology::{ColorSet, Complex};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -63,6 +63,7 @@ fn print_experiment_data() {
         census_checked += c;
     }
     println!("fair-adversary census: {census_checked} inequalities verified, 0 violations");
+    metric("exp3_census_inequalities", census_checked as u64);
 }
 
 fn bench(c: &mut Criterion) {

@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 
 use act_affine::fair_affine_task;
-use act_bench::{banner, model_portfolio};
+use act_bench::{banner, metric, model_portfolio};
 use act_topology::{ColorSet, ProcessId};
 use criterion::{criterion_group, criterion_main, Criterion};
 use fact::{execute_affine_iterations, executed_set_consensus};
@@ -51,6 +51,7 @@ fn print_experiment_data() {
             covered.len(),
             worst
         );
+        metric(&format!("exp10_covered_{name}"), covered.len() as u64);
     }
     println!(
         "note: failure-free full-participation executions only reach the facets \

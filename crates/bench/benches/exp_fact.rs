@@ -4,7 +4,7 @@
 //! the parity-type wait-free case).
 
 use act_affine::fair_affine_task;
-use act_bench::{banner, model_portfolio};
+use act_bench::{banner, metric, model_portfolio};
 use act_tasks::SetConsensus;
 use criterion::{criterion_group, criterion_main, Criterion};
 use fact::{set_consensus_verdict, Solvability};
@@ -45,6 +45,10 @@ fn print_experiment_data() {
         );
     }
     println!("every verdict agrees with setcon — both directions of the FACT hold");
+    metric(
+        "exp6_models_checked",
+        model_portfolio().iter().filter(|(_, _, p)| *p > 0).count() as u64,
+    );
 }
 
 fn bench(c: &mut Criterion) {

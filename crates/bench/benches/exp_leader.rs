@@ -5,7 +5,7 @@
 
 use act_adversary::{zoo, AgreementFunction};
 use act_affine::fair_affine_task;
-use act_bench::{banner, model_portfolio};
+use act_bench::{banner, metric, model_portfolio};
 use act_topology::ColorSet;
 use criterion::{criterion_group, criterion_main, Criterion};
 use fact::LeaderMap;
@@ -68,6 +68,8 @@ fn print_experiment_data() {
         models += 1;
     }
     println!("fair census: {census} checks across {models} models, 0 violations");
+    metric("exp4_census_checks", census as u64);
+    metric("exp4_census_models", models as u64);
 }
 
 fn bench(c: &mut Criterion) {

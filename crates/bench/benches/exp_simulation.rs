@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 
 use act_affine::fair_affine_task;
-use act_bench::{banner, model_portfolio};
+use act_bench::{banner, metric, model_portfolio};
 use act_topology::{ColorSet, ProcessId};
 use criterion::{criterion_group, criterion_main, Criterion};
 use fact::{iteration_views, AdaptiveSetConsensus, AffineRunGenerator, SnapshotSimulation};
@@ -69,6 +69,7 @@ fn print_experiment_data() {
         "atomic-snapshot emulation: {} snapshots logged, atomicity verified",
         sim.snapshots().len()
     );
+    metric("exp5_snapshots_logged", sim.snapshots().len() as u64);
 }
 
 fn bench(c: &mut Criterion) {

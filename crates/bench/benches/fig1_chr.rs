@@ -5,7 +5,7 @@
 //! constructions.
 
 use act_affine::t_resilient_task;
-use act_bench::banner;
+use act_bench::{banner, metric};
 use act_topology::{fubini, Complex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -33,6 +33,8 @@ fn print_figure_data() {
         r.complex().facet_count()
     );
     assert_eq!(r.complex().facet_count(), 142);
+    metric("fig1a_chr_facets_n3", chr.facet_count() as u64);
+    metric("fig1b_r1res_facets", r.complex().facet_count() as u64);
 }
 
 fn bench(c: &mut Criterion) {

@@ -4,7 +4,7 @@
 //! exhaustive census over all 128 adversaries on 3 processes.
 
 use act_adversary::{zoo, Adversary};
-use act_bench::banner;
+use act_bench::{banner, metric};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn print_figure_data() {
@@ -44,6 +44,10 @@ fn print_figure_data() {
     assert!(Adversary::t_resilient(3, 1).is_superset_closed());
     assert!(Adversary::k_obstruction_free(3, 1).is_symmetric());
     assert!(!Adversary::k_obstruction_free(3, 1).is_superset_closed());
+    metric("fig2_total_adversaries", all.len() as u64);
+    metric("fig2_fair", fair as u64);
+    metric("fig2_symmetric", sym as u64);
+    metric("fig2_superset_closed", ssc as u64);
 }
 
 fn bench(c: &mut Criterion) {

@@ -3,7 +3,7 @@
 //! and the correspondence between *executed* runs (Borowsky–Gafni under a
 //! scheduler) and facets of `Chr s`.
 
-use act_bench::banner;
+use act_bench::{banner, metric};
 use act_runtime::{facet_of_run, run_iis_with_bg};
 use act_topology::{ColorSet, Complex, Osp};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -39,6 +39,7 @@ fn print_figure_data() {
         seen.len()
     );
     assert_eq!(seen.len(), 13);
+    metric("fig3_chr_facets_realized", seen.len() as u64);
 }
 
 fn bench(c: &mut Criterion) {

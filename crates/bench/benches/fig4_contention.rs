@@ -2,7 +2,7 @@
 //! and the two detailed runs of sub-figures 4a/4b.
 
 use act_affine::{contention_complex, is_contention_simplex, max_contention_dim};
-use act_bench::banner;
+use act_bench::{banner, metric};
 use act_topology::{ColorSet, Complex, Osp};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -22,6 +22,8 @@ fn print_figure_data() {
     }
     println!("contending pairs (counted per facet) : {}", by_dim[1]);
     println!("contending triples (counted per facet): {}", by_dim[2]);
+    metric("fig4_cont2_facets", cont.facet_count() as u64);
+    metric("fig4_contending_pairs", by_dim[1] as u64);
 
     // 4a: fully reversed ordered runs contend pairwise.
     let r1 = Osp::new(vec![

@@ -4,7 +4,7 @@
 
 use act_adversary::{zoo, AgreementFunction};
 use act_affine::CriticalAnalysis;
-use act_bench::banner;
+use act_bench::{banner, metric};
 use act_topology::Complex;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -44,6 +44,8 @@ fn print_figure_data() {
     let total_b: usize = by_dim.iter().map(|&(_, c)| c).sum();
     println!("total: {total_b}");
     assert!(total_b > total_a, "the richer adversary has more witnesses");
+    metric("fig5a_critical_total", total_a as u64);
+    metric("fig5b_critical_total", total_b as u64);
 }
 
 fn bench(c: &mut Criterion) {

@@ -6,7 +6,7 @@
 
 use act_adversary::{zoo, AgreementFunction};
 use act_affine::CriticalAnalysis;
-use act_bench::banner;
+use act_bench::{banner, metric};
 use act_topology::Complex;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -59,6 +59,7 @@ fn print_figure_data() {
         }
     }
     println!("star-structure identity verified on every simplex of Chr s");
+    metric("fig6b_concurrency_levels", h.len() as u64);
 }
 
 fn bench(c: &mut Criterion) {

@@ -7,7 +7,7 @@ use act_affine::{
     fair_affine_task, fair_affine_task_with, k_obstruction_free_task, t_resilient_task,
     CriticalSideCondition,
 };
-use act_bench::banner;
+use act_bench::{banner, metric};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn print_figure_data() {
@@ -27,6 +27,8 @@ fn print_figure_data() {
     let alpha_b = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
     let r_b = fair_affine_task(&alpha_b);
     println!("facets: {} of 169", r_b.complex().facet_count());
+    metric("fig7a_r_1of_facets", r_a.complex().facet_count() as u64);
+    metric("fig7b_r_5b_facets", r_b.complex().facet_count() as u64);
 
     banner(
         "Figure 7+",

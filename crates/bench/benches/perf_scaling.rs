@@ -5,7 +5,7 @@
 
 use act_adversary::{Adversary, AgreementFunction, SetconSolver};
 use act_affine::fair_affine_task;
-use act_bench::banner;
+use act_bench::{banner, metric};
 use act_tasks::{find_carried_map, SetConsensus};
 use act_topology::{subdivision_threads, ColorSet, Complex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -43,6 +43,8 @@ fn print_experiment_data() {
     let parallel = chr.chromatic_subdivision_threaded(workers);
     let parallel_time = t1.elapsed();
     assert_eq!(serial, parallel, "deterministic merge must be exact");
+    metric("p5_chr2_facets_n4", parallel.facet_count() as u64);
+    metric("p5_workers", workers as u64);
     println!(
         "n = 4: Chr² s serial {:.1?} vs {} workers {:.1?} — speedup {:.2}x",
         serial_time,

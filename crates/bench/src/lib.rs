@@ -13,6 +13,15 @@ pub fn banner(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");
 }
 
+/// Records a figure/experiment scalar (a facet count, census size,
+/// verdict tally, …) both to stdout and to the bench target's
+/// `BENCH_<name>.json` report, so CI can diff the numbers the paper
+/// reports without scraping the text output.
+pub fn metric(key: &str, value: u64) {
+    println!("metric {key} = {value}");
+    criterion::record_metric(key, value);
+}
+
 /// The model portfolio used across experiments: name, agreement function,
 /// and `setcon`.
 pub fn model_portfolio() -> Vec<(String, AgreementFunction, usize)> {

@@ -6,35 +6,93 @@
 //! $ fact-cli solve k-of:3:2 2
 //! $ fact-cli simulate fig5b 200
 //! $ fact-cli census
+//! $ fact-cli solve t-res:3:1 2 --report report.json
+//! $ fact-cli validate-report report.json
+//! $ fact-cli replay target/act-artifacts/liveness-1234-0.json t-res:3:1
 //! ```
 //!
 //! Models are specified as `wait-free:N`, `t-res:N:T`, `k-of:N:K`,
 //! `fig5b`, or `custom:N:{p1,p2};{p3};…` (live sets by process name;
 //! add `--closure` to close under supersets).
+//!
+//! Telemetry: set `ACT_OBS_OUT=stderr` (or a file path) to stream
+//! JSON-lines events, or pass `--report <path>` to capture the run's
+//! events into a validated [`RunReport`] JSON file.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use fact::adversary::{zoo, Adversary, AgreementFunction};
 use fact::affine::fair_affine_task;
-use fact::runtime::run_adversarial;
+use fact::runtime::{run_adversarial, Trace, TraceArtifact};
 use fact::tasks::SetConsensus;
 use fact::topology::{betti_numbers, connected_components, is_link_connected, ColorSet, ProcessId};
 use fact::{
     execute_affine_iterations, executed_set_consensus, outputs_to_simplex, set_consensus_verdict,
-    AlgorithmOneSystem, Solvability,
+    validate_report_json, AlgorithmOneSystem, RunReport, Solvability,
 };
 use rand::SeedableRng;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let report_path = match extract_report_flag(&mut args) {
+        Ok(p) => p,
+        Err(msg) => return usage_error(&msg),
+    };
+    // With --report, the run's telemetry is captured in memory and lands
+    // in the report; otherwise ACT_OBS_OUT (if set) picks the stream.
+    let sink = if report_path.is_some() {
+        let s = act_obs::MemorySink::shared();
+        act_obs::install(s.clone());
+        Some(s)
+    } else {
+        act_obs::init_from_env();
+        None
+    };
+    let result = run(&args);
+    if let (Some(path), Some(sink)) = (&report_path, &sink) {
+        let lines = sink.drain();
+        let command = args.first().cloned().unwrap_or_default();
+        let model = match command.as_str() {
+            "analyze" | "solve" | "simulate" => args.get(1).cloned().unwrap_or_default(),
+            "replay" => args.get(2).cloned().unwrap_or_default(),
+            _ => String::new(),
+        };
+        let verdict = result.as_ref().ok().cloned().flatten();
+        let report = RunReport::from_events(&command, &model, result.is_ok(), verdict, &lines);
+        let json = match serde_json::to_string_pretty(&report) {
+            Ok(j) => j,
+            Err(e) => return usage_error(&format!("serialize report: {e}")),
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            return usage_error(&format!("write report {path:?}: {e}"));
+        }
+        eprintln!("report written to {path}");
+    }
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(msg) => usage_error(&msg),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!();
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Removes `--report <path>` from the argument list, returning the path.
+fn extract_report_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == "--report") {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err("--report needs a file path".into());
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(path))
         }
     }
 }
@@ -45,15 +103,27 @@ usage:
   fact-cli solve <model> <k>             decide k-set consensus via the FACT
   fact-cli simulate <model> <runs>       run Algorithm 1 under adversarial schedules
   fact-cli census                        survey all 3-process adversaries
+  fact-cli validate-report <path>        check a --report JSON file
+  fact-cli replay <path> <model>         replay a captured trace artifact
 
-models: wait-free:N | t-res:N:T | k-of:N:K | fig5b | custom:N:{p1,p2};{p3};...";
+options:
+  --report <path>   capture the run's telemetry into a RunReport JSON file
 
-fn run(args: &[String]) -> Result<(), String> {
+models: wait-free:N | t-res:N:T | k-of:N:K | fig5b | custom:N:{p1,p2};{p3};...
+
+telemetry: ACT_OBS_OUT=stderr|<file> streams JSON-lines events;
+ACT_OBS_ARTIFACTS=<dir> captures liveness-failing runs as replayable traces.";
+
+/// Dispatches a command, returning its one-line verdict (when it has
+/// one) for the `--report` summary.
+fn run(args: &[String]) -> Result<Option<String>, String> {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("solve") => solve(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("census") => census(),
+        Some("validate-report") => validate_report(&args[1..]),
+        Some("replay") => replay(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".into()),
     }
@@ -121,11 +191,16 @@ fn parse_n(s: &str) -> Result<usize, String> {
     Ok(n)
 }
 
-fn analyze(args: &[String]) -> Result<(), String> {
+fn analyze(args: &[String]) -> Result<Option<String>, String> {
     let spec = args.first().ok_or("analyze needs a model spec")?;
     let closure = args.iter().any(|a| a == "--closure");
     let a = parse_model(spec, closure)?;
     let n = a.num_processes();
+    let verdict = Some(format!(
+        "setcon={} fair={}",
+        a.setcon(),
+        a.fairness_witness().is_none()
+    ));
     println!("adversary        : {a}");
     println!("live sets        : {}", a.len());
     println!("superset-closed  : {}", a.is_superset_closed());
@@ -148,11 +223,11 @@ fn analyze(args: &[String]) -> Result<(), String> {
     }
     if alpha.alpha(ColorSet::full(n)) == 0 {
         println!("the model admits no runs; no affine task");
-        return Ok(());
+        return Ok(verdict);
     }
     if n > 4 {
         println!("(R_A construction skipped for n = {n}: Chr² too large)");
-        return Ok(());
+        return Ok(verdict);
     }
     let r = fair_affine_task(&alpha);
     let c = r.complex();
@@ -167,10 +242,10 @@ fn analyze(args: &[String]) -> Result<(), String> {
     println!("components       : {}", connected_components(c));
     println!("link-connected   : {}", is_link_connected(c));
     println!("betti (GF(2))    : {:?}", betti_numbers(c));
-    Ok(())
+    Ok(verdict)
 }
 
-fn solve(args: &[String]) -> Result<(), String> {
+fn solve(args: &[String]) -> Result<Option<String>, String> {
     let spec = args.first().ok_or("solve needs a model spec")?;
     let k: usize = args
         .get(1)
@@ -190,7 +265,8 @@ fn solve(args: &[String]) -> Result<(), String> {
     let values: Vec<u64> = (0..=k as u64).collect();
     let t = SetConsensus::new(n, k, &values);
     println!("model setcon = {}; deciding {k}-set consensus…", a.setcon());
-    match set_consensus_verdict(&t, &r_a, 1, 5_000_000) {
+    let verdict = set_consensus_verdict(&t, &r_a, 1, 5_000_000);
+    match &verdict {
         Solvability::Solvable { iterations, .. } => {
             println!(
                 "SOLVABLE with {iterations} iteration(s) of R_A (map verified by construction)"
@@ -203,10 +279,10 @@ fn solve(args: &[String]) -> Result<(), String> {
             println!("search budget exhausted at {iterations} iteration(s) — verdict unknown")
         }
     }
-    Ok(())
+    Ok(Some(verdict.verdict_name().to_string()))
 }
 
-fn simulate(args: &[String]) -> Result<(), String> {
+fn simulate(args: &[String]) -> Result<Option<String>, String> {
     let spec = args.first().ok_or("simulate needs a model spec")?;
     let runs: usize = args
         .get(1)
@@ -252,10 +328,10 @@ fn simulate(args: &[String]) -> Result<(), String> {
         full.iter().map(|p| (p, 100 + p.index() as u64)).collect();
     let decisions = executed_set_consensus(&r_a, &alpha, &its[0], full, &proposals);
     println!("µ_Q consensus on one executed run: {decisions:?}");
-    Ok(())
+    Ok(Some(format!("{runs} runs live and safe")))
 }
 
-fn census() -> Result<(), String> {
+fn census() -> Result<Option<String>, String> {
     let all = zoo::all_adversaries(3);
     let fair = all.iter().filter(|a| a.is_fair()).count();
     let sym = all.iter().filter(|a| a.is_symmetric()).count();
@@ -281,7 +357,66 @@ fn census() -> Result<(), String> {
         alphas.len()
     );
     println!("(fair adversaries with the same α share the same R_A and the same tasks)");
-    Ok(())
+    Ok(None)
+}
+
+fn validate_report(args: &[String]) -> Result<Option<String>, String> {
+    let path = args.first().ok_or("validate-report needs a file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let report = validate_report_json(&text)?;
+    println!(
+        "valid run report: command={:?} model={:?} ok={} events={}",
+        report.command,
+        report.model,
+        report.ok,
+        report.events.len()
+    );
+    for (name, count) in &report.counters {
+        let us = report.timings_us.get(name).copied();
+        match us {
+            Some(us) => println!("  {name:<24} ×{count:<6} {us} µs"),
+            None => println!("  {name:<24} ×{count}"),
+        }
+    }
+    Ok(Some("valid".into()))
+}
+
+fn replay(args: &[String]) -> Result<Option<String>, String> {
+    let path = args.first().ok_or("replay needs an artifact path")?;
+    let spec = args.get(1).ok_or("replay needs a model spec")?;
+    let a = parse_model(spec, false)?;
+    let alpha = AgreementFunction::of_adversary(&a);
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    // Accept full artifacts and bare (possibly pre-context) traces.
+    let (trace, reason) = match serde_json::from_str::<TraceArtifact>(&text) {
+        Ok(artifact) => (artifact.trace, artifact.reason),
+        Err(_) => (
+            serde_json::from_str::<Trace>(&text)
+                .map_err(|e| format!("parse {path:?}: neither artifact nor trace: {e}"))?,
+            "bare-trace".to_string(),
+        ),
+    };
+    println!(
+        "replaying {reason} trace: {} steps, participants {}",
+        trace.len(),
+        trace.participants
+    );
+    let mut sys = AlgorithmOneSystem::new(&alpha, trace.participants);
+    let terminated = trace.replay(&mut sys);
+    println!("terminated            : {terminated}");
+    let verdict = match trace.correct_terminated(terminated) {
+        Some(true) => "correct set terminated — the recorded failure did NOT reproduce",
+        Some(false) => "liveness failure reproduced (correct set did not terminate)",
+        None => {
+            if trace.participants.is_subset_of(terminated) {
+                "all participants terminated"
+            } else {
+                "some participants still running (trace has no recorded correct set)"
+            }
+        }
+    };
+    println!("verdict               : {verdict}");
+    Ok(Some(verdict.to_string()))
 }
 
 #[cfg(test)]
@@ -317,5 +452,24 @@ mod tests {
         assert!(run(&["census".into()]).is_ok());
         assert!(run(&["analyze".into(), "k-of:3:1".into()]).is_ok());
         assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into()]).is_ok());
+        assert!(run(&["validate-report".into()]).is_err());
+        assert!(run(&["replay".into(), "/no/such/file".into(), "t-res:3:1".into()]).is_err());
+    }
+
+    #[test]
+    fn report_flag_is_extracted() {
+        let mut args: Vec<String> = ["solve", "--report", "out.json", "t-res:3:1", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let path = extract_report_flag(&mut args).unwrap();
+        assert_eq!(path.as_deref(), Some("out.json"));
+        assert_eq!(args, ["solve", "t-res:3:1", "2"]);
+
+        let mut none: Vec<String> = vec!["census".into()];
+        assert_eq!(extract_report_flag(&mut none).unwrap(), None);
+
+        let mut bad: Vec<String> = vec!["census".into(), "--report".into()];
+        assert!(extract_report_flag(&mut bad).is_err());
     }
 }

@@ -47,6 +47,7 @@ mod algorithm1;
 mod iterated;
 mod leader;
 mod protocol_complex;
+mod report;
 mod simulation;
 mod solver;
 
@@ -63,6 +64,7 @@ pub use iterated::{
 };
 pub use leader::LeaderMap;
 pub use protocol_complex::{explored_protocol_complex, sampled_protocol_complex, OutputSystem};
+pub use report::{validate_report_json, RunReport, REPORT_SCHEMA_VERSION};
 pub use simulation::{
     iteration_views, AdaptiveSetConsensus, AffineIteration, AffineRunGenerator, Decision,
     SnapshotSimulation,

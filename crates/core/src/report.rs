@@ -1,0 +1,159 @@
+//! Machine-readable run reports for `fact-cli --report`.
+//!
+//! A [`RunReport`] bundles the outcome of one CLI invocation with the
+//! telemetry stream the run emitted: every `act-obs` event, plus event
+//! counts and summed span timings aggregated by event name. The JSON
+//! shape is versioned ([`REPORT_SCHEMA_VERSION`]) and checked by
+//! [`validate_report_json`], which CI runs against every report the
+//! pipeline produces.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Version stamp written into every report.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// One CLI run: its verdict plus the aggregated telemetry stream.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Schema version of this report ([`REPORT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The CLI command that ran (`analyze`, `solve`, …).
+    pub command: String,
+    /// The model spec the command ran against (empty for `census`).
+    pub model: String,
+    /// Whether the command succeeded.
+    pub ok: bool,
+    /// Command verdict/summary, when the command produces one.
+    pub verdict: Option<String>,
+    /// Event counts keyed by event name (`"ev"`).
+    pub counters: BTreeMap<String, u64>,
+    /// Summed `elapsed_us` per event name, for events that carry one.
+    pub timings_us: BTreeMap<String, u64>,
+    /// The raw event stream, one parsed JSON object per emitted line.
+    pub events: Vec<Value>,
+}
+
+impl RunReport {
+    /// Builds a report from the JSON-lines telemetry a run captured.
+    ///
+    /// Lines that fail to parse are skipped (the sink is line-oriented
+    /// and never interleaves, so this only happens if a non-telemetry
+    /// writer shares the stream).
+    pub fn from_events(
+        command: &str,
+        model: &str,
+        ok: bool,
+        verdict: Option<String>,
+        lines: &[String],
+    ) -> RunReport {
+        let mut counters = BTreeMap::new();
+        let mut timings_us = BTreeMap::new();
+        let mut events = Vec::new();
+        for line in lines {
+            let Ok(v) = serde_json::from_str::<Value>(line) else {
+                continue;
+            };
+            if let Ok(Value::Str(name)) = v.field("ev") {
+                *counters.entry(name.clone()).or_insert(0) += 1;
+                if let Ok(&Value::UInt(us)) = v.field("elapsed_us") {
+                    *timings_us.entry(name.clone()).or_insert(0) += us;
+                }
+            }
+            events.push(v);
+        }
+        RunReport {
+            schema_version: REPORT_SCHEMA_VERSION,
+            command: command.to_string(),
+            model: model.to_string(),
+            ok,
+            verdict,
+            counters,
+            timings_us,
+            events,
+        }
+    }
+}
+
+/// Parses and validates a report, returning it or a description of the
+/// first problem found.
+pub fn validate_report_json(json: &str) -> Result<RunReport, String> {
+    let report: RunReport =
+        serde_json::from_str(json).map_err(|e| format!("not a run report: {e}"))?;
+    if report.schema_version != REPORT_SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} (this binary understands {})",
+            report.schema_version, REPORT_SCHEMA_VERSION
+        ));
+    }
+    if report.command.is_empty() {
+        return Err("empty command".into());
+    }
+    for (name, ev) in report.events.iter().enumerate() {
+        let Ok(Value::Str(_)) = ev.field("ev") else {
+            return Err(format!("event {name} lacks a string `ev` field"));
+        };
+        let Ok(Value::UInt(_)) = ev.field("seq") else {
+            return Err(format!("event {name} lacks a `seq` field"));
+        };
+    }
+    let total: u64 = report.counters.values().sum();
+    if total != report.events.len() as u64 {
+        return Err(format!(
+            "counter totals ({total}) disagree with the event stream ({})",
+            report.events.len()
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let lines = vec![
+            r#"{"ev":"solver.iteration","seq":1,"elapsed_us":120,"verdict":"solvable"}"#
+                .to_string(),
+            r#"{"ev":"solver.iteration","seq":2,"elapsed_us":80,"verdict":"no-map"}"#.to_string(),
+            r#"{"ev":"mapsearch.done","seq":3,"nodes":7}"#.to_string(),
+            "not json at all".to_string(),
+        ];
+        let report =
+            RunReport::from_events("solve", "t-res:3:1", true, Some("SOLVABLE".into()), &lines);
+        assert_eq!(report.events.len(), 3);
+        assert_eq!(report.counters["solver.iteration"], 2);
+        assert_eq!(report.counters["mapsearch.done"], 1);
+        assert_eq!(report.timings_us["solver.iteration"], 200);
+        assert!(!report.timings_us.contains_key("mapsearch.done"));
+
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back = validate_report_json(&json).expect("valid report");
+        assert_eq!(back.command, "solve");
+        assert_eq!(back.verdict.as_deref(), Some("SOLVABLE"));
+        assert_eq!(back.counters, report.counters);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        assert!(validate_report_json("[]").is_err());
+        assert!(validate_report_json("{\"schema_version\":1}").is_err());
+
+        let mut report = RunReport::from_events("solve", "m", true, None, &[]);
+        report.schema_version = 99;
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate_report_json(&json)
+            .unwrap_err()
+            .contains("schema version"));
+
+        // A counter total that disagrees with the stream is caught.
+        let mut report = RunReport::from_events("solve", "m", true, None, &[]);
+        report.counters.insert("phantom".into(), 3);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate_report_json(&json)
+            .unwrap_err()
+            .contains("disagree"));
+    }
+}

@@ -4,7 +4,7 @@
 
 use act_adversary::AgreementFunction;
 use act_affine::AffineTask;
-use act_tasks::{find_carried_map, SearchResult, Task};
+use act_tasks::{find_carried_map_with_stats, SearchResult, Task};
 use act_topology::{Complex, VertexMap};
 
 /// The verdict of the bounded FACT pipeline.
@@ -36,6 +36,15 @@ impl Solvability {
     pub fn is_solvable(&self) -> bool {
         matches!(self, Solvability::Solvable { .. })
     }
+
+    /// A short machine-readable name of the verdict.
+    pub fn verdict_name(&self) -> &'static str {
+        match self {
+            Solvability::Solvable { .. } => "solvable",
+            Solvability::NoMapUpTo { .. } => "no-map",
+            Solvability::Exhausted { .. } => "exhausted",
+        }
+    }
 }
 
 /// Builds the domain `R_A^ℓ(I)`: the affine task applied `ℓ` times to the
@@ -65,8 +74,19 @@ pub fn solve_in_model(
     max_nodes: usize,
 ) -> Solvability {
     for iterations in 1..=max_iterations {
+        let span = act_obs::span("solver.iteration");
         let domain = affine_domain(affine, task.inputs(), iterations);
-        match find_carried_map(task, &domain, max_nodes) {
+        let (result, stats) = find_carried_map_with_stats(task, &domain, max_nodes);
+        if act_obs::enabled() {
+            span.finish()
+                .u64("iterations", iterations as u64)
+                .u64("domain_facets", domain.facet_count() as u64)
+                .u64("domain_vertices", domain.used_vertices().len() as u64)
+                .u64("nodes", stats.nodes as u64)
+                .str("verdict", result.verdict_name())
+                .emit();
+        }
+        match result {
             SearchResult::Found(map) => return Solvability::Solvable { iterations, map },
             SearchResult::Unsolvable => continue,
             SearchResult::Exhausted => return Solvability::Exhausted { iterations },
@@ -102,29 +122,49 @@ pub fn set_consensus_verdict(
     let n = task.num_processes();
     let inputs = task.rainbow_inputs();
     let domain = affine_domain(affine, &inputs, iterations);
+    let span = act_obs::span("solver.set_consensus");
     if task.k() == n - 1 && act_tasks::is_subdivided_simplex(&domain) {
         // Any carried map would be a Sperner labeling with no rainbow
         // facet; the lemma forces an odd number of them.
         if act_tasks::sperner_certificate(&domain) {
+            if act_obs::enabled() {
+                span.finish()
+                    .str("route", "sperner")
+                    .str("verdict", "no-map")
+                    .u64("k", task.k() as u64)
+                    .u64("domain_facets", domain.facet_count() as u64)
+                    .emit();
+            }
             return Solvability::NoMapUpTo {
                 max_iterations: iterations,
             };
         }
     }
-    match find_carried_map(task, &domain, max_nodes) {
+    let (result, stats) = find_carried_map_with_stats(task, &domain, max_nodes);
+    let verdict = match result {
         SearchResult::Found(map) => Solvability::Solvable { iterations, map },
         SearchResult::Unsolvable => Solvability::NoMapUpTo {
             max_iterations: iterations,
         },
         SearchResult::Exhausted => Solvability::Exhausted { iterations },
+    };
+    if act_obs::enabled() {
+        span.finish()
+            .str("route", "search")
+            .str("verdict", verdict.verdict_name())
+            .u64("k", task.k() as u64)
+            .u64("domain_facets", domain.facet_count() as u64)
+            .u64("nodes", stats.nodes as u64)
+            .emit();
     }
+    verdict
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use act_adversary::{zoo, Adversary};
-    use act_tasks::{consensus, verify_carried_map, SetConsensus};
+    use act_tasks::{consensus, find_carried_map, verify_carried_map, SetConsensus};
     use act_topology::ColorSet;
 
     #[test]
@@ -205,6 +245,62 @@ mod tests {
             .expect("rainbow facet exists")
             .clone();
         i.sub_complex(vec![rainbow])
+    }
+
+    #[test]
+    fn exhausted_and_sperner_routes_emit_matching_telemetry() {
+        // Other tests in this binary may run concurrently and emit their
+        // own events into the process-global sink, so assert on the
+        // presence and shape of the events this test provokes rather
+        // than on exact totals.
+        let sink = act_obs::MemorySink::shared();
+        act_obs::install(sink.clone());
+        let nodes_before = act_tasks::SEARCH_NODES.get();
+
+        // A zero-node budget exhausts immediately: 2-set consensus under
+        // 2-concurrency is solvable but only by branching, so the search
+        // must charge at least one node.
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let affine = act_affine::fair_affine_task(&AgreementFunction::k_concurrency(3, 2));
+        let verdict = solve_in_model(&t, &affine, 3, 0);
+        assert!(
+            matches!(verdict, Solvability::Exhausted { iterations: 1 }),
+            "zero budget must exhaust at the first depth, got {verdict:?}"
+        );
+        assert!(
+            act_tasks::SEARCH_NODES.get() > nodes_before,
+            "an exhausted search still charges nodes to the counter"
+        );
+
+        // The wait-free (n−1)-set consensus case routes through the
+        // Sperner certificate — search would have to enumerate an
+        // astronomic space.
+        let wf = AgreementFunction::of_adversary(&Adversary::wait_free(3));
+        let r_a = act_affine::fair_affine_task(&wf);
+        let verdict = set_consensus_verdict(&t, &r_a, 1, 3_000_000);
+        assert!(matches!(verdict, Solvability::NoMapUpTo { .. }));
+
+        act_obs::uninstall();
+        let lines = sink.lines();
+        let exhausted: Vec<&String> = lines
+            .iter()
+            .filter(|l| {
+                l.contains("\"ev\":\"solver.iteration\"") && l.contains("\"verdict\":\"exhausted\"")
+            })
+            .collect();
+        assert_eq!(exhausted.len(), 1, "one exhausted iteration event");
+        assert!(exhausted[0].contains("\"iterations\":1"));
+        let sperner: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"ev\":\"solver.set_consensus\""))
+            .collect();
+        assert_eq!(sperner.len(), 1, "one set-consensus event");
+        assert!(
+            sperner[0].contains("\"route\":\"sperner\"")
+                && sperner[0].contains("\"verdict\":\"no-map\""),
+            "the wait-free case must report the Sperner route: {}",
+            sperner[0]
+        );
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! `act-obs` — zero-dependency run telemetry for the FACT reproduction.
+//!
+//! The solver and the runtime schedulers are the expensive, failure-prone
+//! layers of the pipeline; this crate gives them a common, allocation-shy
+//! observability substrate:
+//!
+//! * a process-global **JSON-lines event sink** ([`Sink`]) — stderr, a
+//!   file, or an in-memory buffer for tests — installed explicitly
+//!   ([`install`]) or from the `ACT_OBS_OUT` environment variable
+//!   ([`init_from_env`]);
+//! * **events** ([`event`]): one JSON object per line, built field by
+//!   field with no intermediate allocations when telemetry is disabled;
+//! * **span timers** ([`span`]): monotonic wall-clock timers that finish
+//!   into an event carrying `elapsed_us`;
+//! * **monotonic counters** ([`Counter`]): process-global atomics for
+//!   cheap cross-call aggregation (total search nodes, liveness failures,
+//!   …), snapshotted into events on demand;
+//! * an **artifact directory** ([`artifacts_dir`]) where failing runs are
+//!   captured as replayable JSON (see `act_runtime::TraceArtifact`).
+//!
+//! # Near-zero cost when disabled
+//!
+//! Every entry point first checks one relaxed atomic load
+//! ([`enabled`]). With no sink installed, [`event`] returns an inert
+//! builder whose methods are no-ops, [`span`] does not even read the
+//! clock, and [`Counter::add`] is a single uncontended atomic add. The
+//! instrumented hot paths (subdivision, map search, schedulers) therefore
+//! produce bit-identical results — and indistinguishable timings — with
+//! telemetry off, which the golden-count and serial≡parallel exactness
+//! suites rely on.
+//!
+//! # Event schema
+//!
+//! Every line is a flat JSON object with at least:
+//!
+//! ```json
+//! {"ev": "<event name>", "seq": <u64>}
+//! ```
+//!
+//! `seq` is a process-global monotonic sequence number (events emitted
+//! from worker threads interleave, but `seq` orders them totally).
+//! Remaining fields are event-specific scalars: `u64`, `i64`, `f64`,
+//! `bool`, or strings. Span events add `elapsed_us`. The schema is
+//! documented per instrumentation site in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A destination for telemetry lines. Implementations must tolerate
+/// concurrent `write_line` calls from multiple threads.
+pub trait Sink: Send + Sync {
+    /// Writes one complete JSON line (no trailing newline included).
+    fn write_line(&self, line: &str);
+}
+
+/// Sink writing one line per event to standard error.
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn write_line(&self, line: &str) {
+        eprintln!("{line}");
+    }
+}
+
+/// Sink appending one line per event to a file.
+pub struct FileSink {
+    file: Mutex<std::fs::File>,
+}
+
+impl FileSink {
+    /// Opens (creating or appending to) the file at `path`.
+    pub fn open(path: &str) -> std::io::Result<FileSink> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(FileSink {
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl Sink for FileSink {
+    fn write_line(&self, line: &str) {
+        let mut f = self.file.lock().expect("file sink poisoned");
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// In-memory sink for tests and for `fact-cli --report`: collects every
+/// emitted line for later inspection.
+#[derive(Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// Creates an empty shared memory sink.
+    pub fn shared() -> Arc<MemorySink> {
+        Arc::new(MemorySink::default())
+    }
+
+    /// A snapshot of the lines collected so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Removes and returns every collected line.
+    pub fn drain(&self) -> Vec<String> {
+        std::mem::take(&mut *self.lines.lock().expect("memory sink poisoned"))
+    }
+}
+
+impl Sink for MemorySink {
+    fn write_line(&self, line: &str) {
+        self.lines
+            .lock()
+            .expect("memory sink poisoned")
+            .push(line.to_string());
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn sink_slot() -> &'static RwLock<Option<Arc<dyn Sink>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn Sink>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Whether a sink is installed. One relaxed atomic load — the gate every
+/// instrumentation site checks before doing any telemetry work.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the process-global event sink (replacing any
+/// previous one) and enables telemetry.
+pub fn install(sink: Arc<dyn Sink>) {
+    *sink_slot().write().expect("sink slot poisoned") = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disables telemetry and drops the installed sink, if any.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    *sink_slot().write().expect("sink slot poisoned") = None;
+}
+
+/// Installs a sink according to `ACT_OBS_OUT`: `stderr` (or `-`) for
+/// [`StderrSink`], any other non-empty value as a [`FileSink`] path.
+/// Returns whether a sink was installed.
+pub fn init_from_env() -> bool {
+    match std::env::var("ACT_OBS_OUT") {
+        Ok(v) if v == "stderr" || v == "-" => {
+            install(Arc::new(StderrSink));
+            true
+        }
+        Ok(v) if !v.trim().is_empty() => match FileSink::open(v.trim()) {
+            Ok(sink) => {
+                install(Arc::new(sink));
+                true
+            }
+            Err(e) => {
+                eprintln!("act-obs: cannot open ACT_OBS_OUT={v:?}: {e}");
+                false
+            }
+        },
+        _ => false,
+    }
+}
+
+/// The directory where failing runs are captured as replayable JSON
+/// artifacts: `ACT_OBS_ARTIFACTS` if set, else `target/act-artifacts`
+/// when telemetry is enabled, else `None` (capture disabled).
+pub fn artifacts_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("ACT_OBS_ARTIFACTS") {
+        if !dir.trim().is_empty() {
+            return Some(PathBuf::from(dir.trim()));
+        }
+    }
+    enabled().then(|| PathBuf::from("target/act-artifacts"))
+}
+
+/// A fresh process-unique artifact id (monotonic within the process).
+pub fn next_artifact_id() -> u64 {
+    static ARTIFACT_ID: AtomicU64 = AtomicU64::new(0);
+    ARTIFACT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+fn emit_line(line: &str) {
+    if let Some(sink) = sink_slot().read().expect("sink slot poisoned").as_ref() {
+        sink.write_line(line);
+    }
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON-lines event under construction. Obtained from [`event`] or
+/// [`Span::finish`]; inert (every method a no-op) when telemetry is
+/// disabled at creation time.
+#[must_use = "an Event does nothing until .emit() is called"]
+pub struct Event {
+    buf: Option<String>,
+}
+
+/// Starts an event named `name`. When no sink is installed the returned
+/// builder is inert and allocation-free.
+pub fn event(name: &str) -> Event {
+    if !enabled() {
+        return Event { buf: None };
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut buf = String::with_capacity(96);
+    buf.push_str("{\"ev\":");
+    push_json_str(&mut buf, name);
+    let _ = write!(buf, ",\"seq\":{seq}");
+    Event { buf: Some(buf) }
+}
+
+impl Event {
+    fn key(&mut self, k: &str) -> bool {
+        if let Some(buf) = &mut self.buf {
+            buf.push(',');
+            push_json_str(buf, k);
+            buf.push(':');
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        if self.key(k) {
+            let _ = write!(self.buf.as_mut().expect("buf present"), "{v}");
+        }
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, k: &str, v: i64) -> Self {
+        if self.key(k) {
+            let _ = write!(self.buf.as_mut().expect("buf present"), "{v}");
+        }
+        self
+    }
+
+    /// Adds a floating-point field (`null` for non-finite values).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        if self.key(k) {
+            let buf = self.buf.as_mut().expect("buf present");
+            if v.is_finite() {
+                let s = v.to_string();
+                buf.push_str(&s);
+                // Keep floats distinguishable from integers on re-parse.
+                if !s.contains(['.', 'e', 'E']) {
+                    buf.push_str(".0");
+                }
+            } else {
+                buf.push_str("null");
+            }
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        if self.key(k) {
+            self.buf
+                .as_mut()
+                .expect("buf present")
+                .push_str(if v { "true" } else { "false" });
+        }
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        if self.key(k) {
+            push_json_str(self.buf.as_mut().expect("buf present"), v);
+        }
+        self
+    }
+
+    /// Finishes the event and writes it to the sink (no-op when inert).
+    pub fn emit(self) {
+        if let Some(mut buf) = self.buf {
+            buf.push('}');
+            emit_line(&buf);
+        }
+    }
+}
+
+/// A monotonic wall-clock span. Created by [`span`]; does not read the
+/// clock when telemetry is disabled.
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts a span named `name`.
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Span {
+    /// Microseconds elapsed since the span started, if it is live.
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_micros() as u64)
+    }
+
+    /// Finishes the span into an event named after it, carrying
+    /// `elapsed_us`. Add further fields, then call [`Event::emit`].
+    pub fn finish(self) -> Event {
+        match self.start {
+            None => Event { buf: None },
+            Some(start) => event(self.name).u64("elapsed_us", start.elapsed().as_micros() as u64),
+        }
+    }
+}
+
+/// A process-global monotonic counter, cheap enough to bump from hot
+/// paths (one uncontended relaxed atomic add).
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a named counter (usable in `static` position).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Emits a `counter` event snapshotting the current value.
+    pub fn emit(&self) {
+        event("counter")
+            .str("name", self.name)
+            .u64("value", self.get())
+            .emit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes sink-swapping tests (the sink is process-global).
+    fn with_memory_sink<R>(f: impl FnOnce(&MemorySink) -> R) -> R {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = MemorySink::shared();
+        install(sink.clone());
+        let out = f(&sink);
+        uninstall();
+        out
+    }
+
+    #[test]
+    fn disabled_events_are_inert() {
+        // Not under the lock: uninstalled state is the default; emitting
+        // must be a no-op rather than a panic.
+        if enabled() {
+            return; // another test holds the sink; nothing to check here
+        }
+        event("x").u64("n", 1).emit();
+        assert!(span("y").elapsed_us().is_none());
+        span("y").finish().u64("n", 2).emit();
+    }
+
+    #[test]
+    fn events_are_json_lines_with_sequence_numbers() {
+        let lines = with_memory_sink(|sink| {
+            event("alpha").u64("n", 3).bool("ok", true).emit();
+            event("beta").str("s", "a\"b\\c\nd").i64("z", -4).emit();
+            sink.drain()
+        });
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ev\":\"alpha\",\"seq\":"));
+        assert!(lines[0].ends_with(",\"n\":3,\"ok\":true}"));
+        assert!(lines[1].contains("\"s\":\"a\\\"b\\\\c\\nd\""));
+        assert!(lines[1].contains("\"z\":-4"));
+    }
+
+    #[test]
+    fn spans_record_elapsed_time() {
+        let lines = with_memory_sink(|sink| {
+            let s = span("work");
+            assert!(s.elapsed_us().is_some());
+            s.finish().u64("items", 7).emit();
+            sink.drain()
+        });
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"ev\":\"work\""));
+        assert!(lines[0].contains("\"elapsed_us\":"));
+        assert!(lines[0].ends_with("\"items\":7}"));
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        static NODES: Counter = Counter::new("test.nodes");
+        let before = NODES.get();
+        NODES.add(5);
+        NODES.add(2);
+        assert_eq!(NODES.get(), before + 7);
+        let lines = with_memory_sink(|sink| {
+            NODES.emit();
+            sink.drain()
+        });
+        assert!(lines[0].contains("\"name\":\"test.nodes\""));
+    }
+
+    #[test]
+    fn artifacts_dir_follows_enablement() {
+        // With no env override and telemetry disabled there is no
+        // artifact capture.
+        if std::env::var("ACT_OBS_ARTIFACTS").is_ok() {
+            return;
+        }
+        with_memory_sink(|_| {
+            assert_eq!(artifacts_dir(), Some(PathBuf::from("target/act-artifacts")));
+        });
+    }
+
+    #[test]
+    fn memory_sink_collects_lines() {
+        let sink = MemorySink::default();
+        sink.write_line("a");
+        sink.write_line("b");
+        assert_eq!(sink.lines(), vec!["a", "b"]);
+        assert_eq!(sink.drain().len(), 2);
+        assert!(sink.lines().is_empty());
+    }
+}

@@ -48,6 +48,7 @@ pub use immediate::{osp_from_views, IsProcess, IsShared, IsSystem, OracleIs};
 pub use memory::{RegisterArray, SnapshotMemory};
 pub use objects::{AdaptiveConsensusObject, AgreementBound};
 pub use scheduler::{
-    explore_schedules, run_adversarial, run_schedule, RunOutcome, Schedule, System,
+    explore_schedules, explore_schedules_cloned, run_adversarial, run_schedule, RunOutcome,
+    Schedule, System, LIVENESS_FAILURES,
 };
-pub use trace::Trace;
+pub use trace::{Trace, TraceArtifact};

@@ -37,20 +37,37 @@ pub struct RunOutcome {
     pub all_correct_terminated: bool,
     /// The schedule actually executed (for replay).
     pub schedule: Schedule,
+    /// The processes the run targeted: the `correct` set of an adversarial
+    /// run or exploration, or the set of scheduled processes of an explicit
+    /// replay.
+    pub correct: ColorSet,
+    /// Per-process initial crash budgets of an adversarial run (`None` for
+    /// unbounded/correct processes). Empty for replays and exploration,
+    /// where budgets do not apply.
+    pub crash_budgets: Vec<Option<u32>>,
 }
 
 /// Replays an explicit schedule. Steps of already-terminated processes are
 /// executed as no-ops (and still recorded).
+///
+/// Liveness is reported against the scheduled processes: the outcome's
+/// `correct` set is the set of processes appearing in `schedule`, and
+/// `all_correct_terminated` holds iff every one of them has terminated
+/// after the replay.
 pub fn run_schedule<S: System>(sys: &mut S, schedule: &[ProcessId]) -> RunOutcome {
+    let mut scheduled = ColorSet::EMPTY;
     for &p in schedule {
         sys.step(p);
+        scheduled = scheduled.with(p);
     }
     let terminated = terminated_set(sys);
     RunOutcome {
         steps: schedule.len(),
         terminated,
-        all_correct_terminated: false,
+        all_correct_terminated: scheduled.is_subset_of(terminated),
         schedule: schedule.to_vec(),
+        correct: scheduled,
+        crash_budgets: Vec::new(),
     }
 }
 
@@ -105,10 +122,12 @@ where
             }
         })
         .collect();
+    let initial_budgets: Vec<Option<u32>> = budgets.iter().map(|b| b.map(|v| v as u32)).collect();
+    let span = act_obs::span("scheduler.run_adversarial");
 
     let mut schedule = Vec::new();
     let mut steps = 0usize;
-    loop {
+    let outcome = loop {
         // Eligible: not terminated, with budget left.
         let eligible: Vec<ProcessId> = (0..sys.num_processes())
             .map(ProcessId::new)
@@ -116,19 +135,23 @@ where
             .collect();
         let correct_pending = correct.iter().any(|p| !sys.has_terminated(p));
         if !correct_pending {
-            return RunOutcome {
+            break RunOutcome {
                 steps,
                 terminated: terminated_set(sys),
                 all_correct_terminated: true,
                 schedule,
+                correct,
+                crash_budgets: initial_budgets,
             };
         }
         if eligible.is_empty() || steps >= max_steps {
-            return RunOutcome {
+            break RunOutcome {
                 steps,
                 terminated: terminated_set(sys),
                 all_correct_terminated: false,
                 schedule,
+                correct,
+                crash_budgets: initial_budgets,
             };
         }
         let p = eligible[rng.gen_range(0..eligible.len())];
@@ -138,8 +161,25 @@ where
         sys.step(p);
         schedule.push(p);
         steps += 1;
+    };
+    if act_obs::enabled() {
+        span.finish()
+            .u64("steps", outcome.steps as u64)
+            .u64("terminated", outcome.terminated.len() as u64)
+            .bool("live", outcome.all_correct_terminated)
+            .emit();
     }
+    if !outcome.all_correct_terminated {
+        LIVENESS_FAILURES.add(1);
+        crate::trace::capture_liveness_artifact(participants, &outcome, max_steps);
+    }
+    outcome
 }
+
+/// Process-global count of liveness failures observed by
+/// [`run_adversarial`] (telemetry; see [`act_obs::Counter`]).
+pub static LIVENESS_FAILURES: act_obs::Counter =
+    act_obs::Counter::new("scheduler.liveness_failures");
 
 /// Bounded exhaustive exploration: enumerates every interleaving of the
 /// participants (faulty processes may stop at any point — modeled by
@@ -149,6 +189,12 @@ where
 /// A run is maximal when every correct process has terminated. The
 /// exploration aborts a branch after `max_depth` steps (counted as a
 /// liveness failure, reported with `all_correct_terminated = false`).
+///
+/// Every branch re-executes its whole prefix on a fresh system from
+/// `factory`, which makes exploration quadratic in depth but works for any
+/// [`System`]. When the system is [`Clone`], prefer
+/// [`explore_schedules_cloned`], which forks the system state at each
+/// branch point instead and visits the identical run set.
 ///
 /// Returns the number of runs visited.
 pub fn explore_schedules<S, F, V>(
@@ -168,7 +214,8 @@ where
         correct.is_subset_of(participants),
         "correct processes must participate"
     );
-    let mut count = 0usize;
+    let span = act_obs::span("scheduler.explore");
+    let mut stats = ExploreStats::default();
     let mut prefix: Schedule = Vec::new();
     explore_rec(
         &factory,
@@ -177,10 +224,97 @@ where
         max_depth,
         max_runs,
         &mut prefix,
-        &mut count,
+        &mut stats,
         &mut visit,
     );
-    count
+    stats.emit(span, "replay");
+    stats.runs
+}
+
+/// Bounded exhaustive exploration over a [`Clone`] system: identical run
+/// set, visit order, and outcomes as [`explore_schedules`] from the same
+/// initial state, but each branch point clones the current system and
+/// takes one step instead of replaying the whole prefix — linear instead
+/// of quadratic in depth.
+///
+/// Returns the number of runs visited.
+pub fn explore_schedules_cloned<S, V>(
+    initial: &S,
+    participants: ColorSet,
+    correct: ColorSet,
+    max_depth: usize,
+    max_runs: usize,
+    mut visit: V,
+) -> usize
+where
+    S: System + Clone,
+    V: FnMut(&S, &RunOutcome),
+{
+    assert!(
+        correct.is_subset_of(participants),
+        "correct processes must participate"
+    );
+    let span = act_obs::span("scheduler.explore");
+    let mut stats = ExploreStats::default();
+    let mut prefix: Schedule = Vec::new();
+    explore_rec_cloned(
+        initial,
+        participants,
+        correct,
+        max_depth,
+        max_runs,
+        &mut prefix,
+        &mut stats,
+        &mut visit,
+    );
+    stats.emit(span, "cloned");
+    stats.runs
+}
+
+/// Telemetry tallies of one exploration.
+#[derive(Default)]
+struct ExploreStats {
+    runs: usize,
+    steps: usize,
+    liveness_failures: usize,
+}
+
+impl ExploreStats {
+    fn visit_run(&mut self, outcome: &RunOutcome) {
+        self.runs += 1;
+        self.steps += outcome.steps;
+        if !outcome.all_correct_terminated {
+            self.liveness_failures += 1;
+        }
+    }
+
+    fn emit(&self, span: act_obs::Span, strategy: &str) {
+        if act_obs::enabled() {
+            span.finish()
+                .str("strategy", strategy)
+                .u64("runs", self.runs as u64)
+                .u64("steps", self.steps as u64)
+                .u64("liveness_failures", self.liveness_failures as u64)
+                .emit();
+        }
+    }
+}
+
+/// Builds the outcome of a maximal (or depth-aborted) explored run.
+fn explored_outcome<S: System>(
+    sys: &S,
+    correct: ColorSet,
+    correct_pending: bool,
+    prefix: &Schedule,
+) -> RunOutcome {
+    RunOutcome {
+        steps: prefix.len(),
+        terminated: terminated_set(sys),
+        all_correct_terminated: !correct_pending,
+        schedule: prefix.clone(),
+        correct,
+        crash_budgets: Vec::new(),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -191,14 +325,14 @@ fn explore_rec<S, F, V>(
     max_depth: usize,
     max_runs: usize,
     prefix: &mut Schedule,
-    count: &mut usize,
+    stats: &mut ExploreStats,
     visit: &mut V,
 ) where
     S: System,
     F: Fn() -> S,
     V: FnMut(&S, &RunOutcome),
 {
-    if *count >= max_runs {
+    if stats.runs >= max_runs {
         return;
     }
     // Replay the prefix on a fresh system.
@@ -208,16 +342,8 @@ fn explore_rec<S, F, V>(
     }
     let correct_pending = correct.iter().any(|p| !sys.has_terminated(p));
     if !correct_pending || prefix.len() >= max_depth {
-        *count += 1;
-        let outcome = RunOutcome {
-            steps: prefix.len(),
-            terminated: (0..sys.num_processes())
-                .map(ProcessId::new)
-                .filter(|&p| sys.has_terminated(p))
-                .collect(),
-            all_correct_terminated: !correct_pending,
-            schedule: prefix.clone(),
-        };
+        let outcome = explored_outcome(&sys, correct, correct_pending, prefix);
+        stats.visit_run(&outcome);
         visit(&sys, &outcome);
         return;
     }
@@ -233,11 +359,11 @@ fn explore_rec<S, F, V>(
             max_depth,
             max_runs,
             prefix,
-            count,
+            stats,
             visit,
         );
         prefix.pop();
-        if *count >= max_runs {
+        if stats.runs >= max_runs {
             return;
         }
     }
@@ -247,12 +373,62 @@ fn explore_rec<S, F, V>(
     // "never scheduled again".
 }
 
+#[allow(clippy::too_many_arguments)]
+fn explore_rec_cloned<S, V>(
+    sys: &S,
+    participants: ColorSet,
+    correct: ColorSet,
+    max_depth: usize,
+    max_runs: usize,
+    prefix: &mut Schedule,
+    stats: &mut ExploreStats,
+    visit: &mut V,
+) where
+    S: System + Clone,
+    V: FnMut(&S, &RunOutcome),
+{
+    if stats.runs >= max_runs {
+        return;
+    }
+    let correct_pending = correct.iter().any(|p| !sys.has_terminated(p));
+    if !correct_pending || prefix.len() >= max_depth {
+        let outcome = explored_outcome(sys, correct, correct_pending, prefix);
+        stats.visit_run(&outcome);
+        visit(sys, &outcome);
+        return;
+    }
+    for p in participants.iter() {
+        if sys.has_terminated(p) {
+            continue;
+        }
+        // Fork the system state instead of replaying the prefix.
+        let mut child = sys.clone();
+        child.step(p);
+        prefix.push(p);
+        explore_rec_cloned(
+            &child,
+            participants,
+            correct,
+            max_depth,
+            max_runs,
+            prefix,
+            stats,
+            visit,
+        );
+        prefix.pop();
+        if stats.runs >= max_runs {
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
 
     /// A toy system: each process must take exactly `k` steps to finish.
+    #[derive(Clone)]
     struct Countdown {
         remaining: Vec<usize>,
     }
@@ -290,6 +466,38 @@ mod tests {
         assert!(sys.has_terminated(p0));
         assert!(!sys.has_terminated(ProcessId::new(1)));
         assert_eq!(outcome.terminated, ColorSet::from_indices([0]));
+    }
+
+    #[test]
+    fn replayed_completing_schedule_reports_liveness() {
+        // Regression: `run_schedule` used to hardcode
+        // `all_correct_terminated: false`, so even a schedule that ran
+        // every scheduled process to completion was reported as a liveness
+        // failure on replay.
+        let mut sys = Countdown::new(2, 2);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let outcome = run_schedule(&mut sys, &[p0, p1, p0, p1]);
+        assert_eq!(outcome.terminated, ColorSet::full(2));
+        assert_eq!(outcome.correct, ColorSet::full(2));
+        assert!(
+            outcome.all_correct_terminated,
+            "a completing schedule must report liveness truthfully"
+        );
+
+        // A partial schedule leaves p1 running: liveness fails for the
+        // scheduled set.
+        let mut sys = Countdown::new(2, 2);
+        let outcome = run_schedule(&mut sys, &[p0, p0, p1]);
+        assert_eq!(outcome.correct, ColorSet::full(2));
+        assert!(!outcome.all_correct_terminated);
+
+        // Liveness is judged against scheduled processes only: never
+        // scheduling p1 at all is not a failure.
+        let mut sys = Countdown::new(2, 2);
+        let outcome = run_schedule(&mut sys, &[p0, p0]);
+        assert_eq!(outcome.correct, ColorSet::from_indices([0]));
+        assert!(outcome.all_correct_terminated);
     }
 
     #[test]
@@ -359,6 +567,62 @@ mod tests {
             |_, _| {},
         );
         assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn cloned_and_factory_exploration_visit_identical_run_sets() {
+        // Satellite regression: the clone-forking exploration must visit
+        // exactly the same runs, in the same order, with the same
+        // outcomes, as the prefix-replaying factory path — including under
+        // faulty participants, depth aborts, and run caps.
+        type Visited = Vec<(Schedule, ColorSet, bool)>;
+        fn record(out: &mut Visited, o: &RunOutcome) {
+            out.push((o.schedule.clone(), o.terminated, o.all_correct_terminated));
+        }
+        let cases = [
+            // (n, k, participants, correct, max_depth, max_runs)
+            (2, 1, ColorSet::full(2), ColorSet::full(2), 10, 1000),
+            (
+                3,
+                2,
+                ColorSet::full(3),
+                ColorSet::from_indices([0]),
+                8,
+                1000,
+            ),
+            (3, 3, ColorSet::full(3), ColorSet::full(3), 4, 1000), // depth aborts
+            (3, 3, ColorSet::full(3), ColorSet::full(3), 100, 17), // run cap
+            (
+                3,
+                2,
+                ColorSet::from_indices([0, 2]),
+                ColorSet::from_indices([0, 2]),
+                10,
+                1000,
+            ),
+        ];
+        for (n, k, participants, correct, max_depth, max_runs) in cases {
+            let mut via_factory: Visited = Vec::new();
+            let count_f = explore_schedules(
+                || Countdown::new(n, k),
+                participants,
+                correct,
+                max_depth,
+                max_runs,
+                |_sys, o| record(&mut via_factory, o),
+            );
+            let mut via_clone: Visited = Vec::new();
+            let count_c = explore_schedules_cloned(
+                &Countdown::new(n, k),
+                participants,
+                correct,
+                max_depth,
+                max_runs,
+                |_sys, o| record(&mut via_clone, o),
+            );
+            assert_eq!(count_f, count_c, "run counts agree (n={n}, k={k})");
+            assert_eq!(via_factory, via_clone, "identical run sets (n={n}, k={k})");
+        }
     }
 
     #[test]

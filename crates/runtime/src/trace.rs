@@ -4,28 +4,77 @@
 //! sequence of process steps), so a trace — participants plus schedule —
 //! reproduces a run bit for bit. Traces serialize with serde, which is
 //! how failing adversarial runs found by randomized experiments are kept
-//! as regression artifacts.
+//! as regression artifacts: when a run fails liveness and telemetry is
+//! enabled (see [`act_obs`]), the scheduler captures a [`TraceArtifact`]
+//! under the artifact directory for later replay.
+
+use std::path::PathBuf;
 
 use act_topology::{ColorSet, ProcessId};
 use serde::{Deserialize, Serialize};
 
 use crate::scheduler::{RunOutcome, System};
 
-/// A recorded run: the participants and the exact schedule executed.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// A recorded run: the participants and the exact schedule executed,
+/// together with the adversarial configuration that produced it (the
+/// correct set and per-process crash budgets), so a captured liveness
+/// failure replays with full context.
+///
+/// # Format compatibility
+///
+/// The serialized form adds `correct` and `crash_budgets` on top of the
+/// original `{participants, steps}` schema. Both are optional:
+/// deserialization accepts old JSON without them (they become `None`),
+/// which keeps historical regression artifacts replayable.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 pub struct Trace {
     /// The participating processes.
     pub participants: ColorSet,
     /// The schedule, as process indices.
     pub steps: Vec<u32>,
+    /// The processes the run was required to terminate (the correct set
+    /// of an adversarial run). `None` for traces predating this field.
+    pub correct: Option<ColorSet>,
+    /// Per-process initial crash budgets (`None` entries are unbounded /
+    /// correct processes). `None` for traces predating this field or runs
+    /// without budgets.
+    pub crash_budgets: Option<Vec<Option<u32>>>,
+}
+
+// Hand-written (rather than derived) so that JSON predating the
+// `correct` / `crash_budgets` fields still deserializes: missing fields
+// become `None` instead of an error.
+impl Deserialize for Trace {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let participants = ColorSet::from_value(v.field("participants")?)?;
+        let steps = Vec::<u32>::from_value(v.field("steps")?)?;
+        let correct = match v.field("correct") {
+            Ok(val) => Option::<ColorSet>::from_value(val)?,
+            Err(_) => None,
+        };
+        let crash_budgets = match v.field("crash_budgets") {
+            Ok(val) => Option::<Vec<Option<u32>>>::from_value(val)?,
+            Err(_) => None,
+        };
+        Ok(Trace {
+            participants,
+            steps,
+            correct,
+            crash_budgets,
+        })
+    }
 }
 
 impl Trace {
-    /// Captures a trace from a completed run.
+    /// Captures a trace from a completed run, including the run's correct
+    /// set and crash budgets when the outcome carries them.
     pub fn from_outcome(participants: ColorSet, outcome: &RunOutcome) -> Trace {
         Trace {
             participants,
             steps: outcome.schedule.iter().map(|p| p.index() as u32).collect(),
+            correct: (!outcome.correct.is_empty()).then_some(outcome.correct),
+            crash_budgets: (!outcome.crash_budgets.is_empty())
+                .then(|| outcome.crash_budgets.clone()),
         }
     }
 
@@ -49,6 +98,13 @@ impl Trace {
             .collect()
     }
 
+    /// Whether the recorded correct set terminated, judged against the
+    /// `terminated` set a replay returned. `None` when the trace predates
+    /// the `correct` field.
+    pub fn correct_terminated(&self, terminated: ColorSet) -> Option<bool> {
+        self.correct.map(|c| c.is_subset_of(terminated))
+    }
+
     /// The number of recorded steps.
     pub fn len(&self) -> usize {
         self.steps.len()
@@ -58,6 +114,60 @@ impl Trace {
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
     }
+}
+
+/// A replayable capture of a failing run, written as pretty-printed JSON
+/// under the telemetry artifact directory (see [`act_obs::artifacts_dir`]).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceArtifact {
+    /// Artifact schema version (currently 1).
+    pub schema_version: u32,
+    /// Why the run was captured (e.g. `"liveness-failure"`).
+    pub reason: String,
+    /// The step bound the run was driven under.
+    pub max_steps: u64,
+    /// The captured trace.
+    pub trace: Trace,
+}
+
+impl TraceArtifact {
+    /// Reads an artifact back from a JSON file.
+    pub fn load(path: &std::path::Path) -> Result<TraceArtifact, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("parse {path:?}: {e}"))
+    }
+}
+
+/// Captures a liveness-failing adversarial run as a JSON artifact when
+/// telemetry artifact capture is enabled (see [`act_obs::artifacts_dir`]).
+/// Returns the written path, or `None` when capture is disabled or the
+/// write failed.
+pub(crate) fn capture_liveness_artifact(
+    participants: ColorSet,
+    outcome: &RunOutcome,
+    max_steps: usize,
+) -> Option<PathBuf> {
+    let dir = act_obs::artifacts_dir()?;
+    std::fs::create_dir_all(&dir).ok()?;
+    let artifact = TraceArtifact {
+        schema_version: 1,
+        reason: "liveness-failure".to_string(),
+        max_steps: max_steps as u64,
+        trace: Trace::from_outcome(participants, outcome),
+    };
+    let path = dir.join(format!(
+        "liveness-{}-{}.json",
+        std::process::id(),
+        act_obs::next_artifact_id()
+    ));
+    let json = serde_json::to_string_pretty(&artifact).ok()?;
+    std::fs::write(&path, json).ok()?;
+    act_obs::event("artifact.captured")
+        .str("path", &path.display().to_string())
+        .str("reason", "liveness-failure")
+        .u64("trace_steps", artifact.trace.len() as u64)
+        .emit();
+    Some(path)
 }
 
 #[cfg(test)]
@@ -91,6 +201,7 @@ mod tests {
             let terminated = trace.replay(&mut replayed);
             assert_eq!(terminated, outcome.terminated);
             assert_eq!(replayed.views(), sys.views(), "replay is bit-for-bit");
+            assert_eq!(trace.correct_terminated(terminated), Some(true));
         }
     }
 
@@ -113,6 +224,42 @@ mod tests {
         assert_eq!(back, trace);
         assert_eq!(back.len(), outcome.steps);
         assert!(!back.is_empty());
+        // The adversarial context rides along.
+        assert_eq!(back.correct, Some(participants));
+        assert_eq!(back.crash_budgets.as_ref().map(Vec::len), Some(3));
+    }
+
+    #[test]
+    fn old_trace_json_without_context_still_deserializes() {
+        // Backward compatibility: artifacts written before the `correct` /
+        // `crash_budgets` fields existed carry only participants + steps.
+        let old = r#"{"participants":7,"steps":[0,1,2,0,1,2]}"#;
+        let trace: Trace = serde_json::from_str(old).expect("old schema parses");
+        assert_eq!(trace.participants, ColorSet::full(3));
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace.correct, None);
+        assert_eq!(trace.crash_budgets, None);
+        assert_eq!(trace.correct_terminated(ColorSet::full(3)), None);
+        // And it still replays.
+        let mut sys = fresh();
+        let terminated = trace.replay(&mut sys);
+        assert!(terminated.is_subset_of(ColorSet::full(3)));
+    }
+
+    #[test]
+    fn adversarial_context_is_captured_from_outcomes() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(44);
+        let mut sys = fresh();
+        let participants = ColorSet::full(3);
+        let correct = ColorSet::from_indices([0, 2]);
+        let outcome = run_adversarial(&mut sys, participants, correct, &mut rng, |_| 2, 50_000);
+        let trace = Trace::from_outcome(participants, &outcome);
+        assert_eq!(trace.correct, Some(correct));
+        let budgets = trace.crash_budgets.clone().expect("budgets captured");
+        assert_eq!(budgets, vec![None, Some(2), None]);
+        // Round-trips through JSON with the context intact.
+        let back: Trace = serde_json::from_str(&serde_json::to_string(&trace).unwrap()).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]

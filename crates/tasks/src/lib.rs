@@ -30,7 +30,10 @@ mod more_tasks;
 mod sperner;
 mod task;
 
-pub use mapsearch::{find_carried_map, verify_carried_map, SearchResult};
+pub use mapsearch::{
+    find_carried_map, find_carried_map_with_stats, verify_carried_map, SearchResult, SearchStats,
+    SEARCH_NODES, SEARCH_PRUNES,
+};
 pub use more_tasks::{decode_ac, encode_ac, AcFlag, AdoptCommit, SimplexAgreement};
 pub use sperner::{
     first_color_labeling, is_subdivided_simplex, own_color_labeling, rainbow_facets,

@@ -46,7 +46,40 @@ impl SearchResult {
             _ => None,
         }
     }
+
+    /// A short machine-readable name of the verdict.
+    pub fn verdict_name(&self) -> &'static str {
+        match self {
+            SearchResult::Found(_) => "found",
+            SearchResult::Unsolvable => "unsolvable",
+            SearchResult::Exhausted => "exhausted",
+        }
+    }
 }
+
+/// Telemetry tallies of one [`find_carried_map`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// CSP variables (used domain vertices).
+    pub variables: usize,
+    /// Table constraints (facets of the domain).
+    pub constraints: usize,
+    /// Backtracking nodes visited.
+    pub nodes: usize,
+    /// Candidate values pruned by generalized arc consistency.
+    pub prunes: usize,
+    /// Domain wipe-outs (dead ends detected by propagation).
+    pub wipeouts: usize,
+    /// Node budget left when the search returned (0 when exhausted).
+    pub budget_remaining: usize,
+    /// Subdivision depth (level) of the searched domain.
+    pub depth: usize,
+}
+
+/// Process-global count of backtracking nodes across all map searches.
+pub static SEARCH_NODES: act_obs::Counter = act_obs::Counter::new("mapsearch.nodes");
+/// Process-global count of GAC prunes across all map searches.
+pub static SEARCH_PRUNES: act_obs::Counter = act_obs::Counter::new("mapsearch.prunes");
 
 /// Internal CSP representation: variables are used domain vertices
 /// (re-indexed densely), values are output vertex ids.
@@ -144,7 +177,7 @@ impl Csp {
     }
 
     /// GAC fixpoint; prunes `domains`. Returns false on wipe-out.
-    fn propagate(&mut self, seed: Option<usize>) -> bool {
+    fn propagate(&mut self, seed: Option<usize>, stats: &mut SearchStats) -> bool {
         let mut queue: Vec<usize> = match seed {
             Some(v) => self.constraints_of[v].clone(),
             None => (0..self.constraints.len()).collect(),
@@ -170,7 +203,9 @@ impl Csp {
                     .map(|t| t[pos])
                     .collect();
                 self.domains[m].retain(|c| supported.contains(c));
+                stats.prunes += before - self.domains[m].len();
                 if self.domains[m].is_empty() {
+                    stats.wipeouts += 1;
                     return false;
                 }
                 if self.domains[m].len() < before {
@@ -230,6 +265,18 @@ fn facet_image_valid(
 /// Panics if the domain's base complex does not match the task's input
 /// complex structurally (vertex count / process count).
 pub fn find_carried_map(task: &dyn Task, domain: &Complex, max_nodes: usize) -> SearchResult {
+    find_carried_map_with_stats(task, domain, max_nodes).0
+}
+
+/// [`find_carried_map`], additionally returning the search telemetry
+/// (nodes visited, prunes, wipe-outs, budget remaining). When a telemetry
+/// sink is installed (see [`act_obs`]) the stats are also emitted as a
+/// `mapsearch.done` event.
+pub fn find_carried_map_with_stats(
+    task: &dyn Task,
+    domain: &Complex,
+    max_nodes: usize,
+) -> (SearchResult, SearchStats) {
     assert_eq!(
         domain.base().num_vertices(),
         task.inputs().num_vertices(),
@@ -237,16 +284,48 @@ pub fn find_carried_map(task: &dyn Task, domain: &Complex, max_nodes: usize) -> 
     );
     assert_eq!(domain.num_processes(), task.num_processes());
 
+    let span = act_obs::span("mapsearch.done");
+    let mut stats = SearchStats {
+        budget_remaining: max_nodes,
+        depth: domain.level(),
+        ..SearchStats::default()
+    };
+    let result = search_with_stats(task, domain, max_nodes, &mut stats);
+    stats.budget_remaining = max_nodes.saturating_sub(stats.nodes);
+    SEARCH_NODES.add(stats.nodes as u64);
+    SEARCH_PRUNES.add(stats.prunes as u64);
+    if act_obs::enabled() {
+        span.finish()
+            .str("verdict", result.verdict_name())
+            .u64("depth", stats.depth as u64)
+            .u64("variables", stats.variables as u64)
+            .u64("constraints", stats.constraints as u64)
+            .u64("nodes", stats.nodes as u64)
+            .u64("prunes", stats.prunes as u64)
+            .u64("wipeouts", stats.wipeouts as u64)
+            .u64("budget_remaining", stats.budget_remaining as u64)
+            .emit();
+    }
+    (result, stats)
+}
+
+fn search_with_stats(
+    task: &dyn Task,
+    domain: &Complex,
+    max_nodes: usize,
+    stats: &mut SearchStats,
+) -> SearchResult {
     let mut csp = match Csp::build(task, domain) {
         Some(c) => c,
         None => return SearchResult::Unsolvable,
     };
-    if !csp.propagate(None) {
+    stats.variables = csp.vars.len();
+    stats.constraints = csp.constraints.len();
+    if !csp.propagate(None, stats) {
         return SearchResult::Unsolvable;
     }
 
-    let mut nodes = 0usize;
-    match search(&mut csp, &mut nodes, max_nodes) {
+    match search(&mut csp, stats, max_nodes) {
         Assign::Found => {
             let mut map = VertexMap::new();
             for (i, &v) in csp.vars.iter().enumerate() {
@@ -266,7 +345,7 @@ enum Assign {
     Budget,
 }
 
-fn search(csp: &mut Csp, nodes: &mut usize, max_nodes: usize) -> Assign {
+fn search(csp: &mut Csp, stats: &mut SearchStats, max_nodes: usize) -> Assign {
     // Pick the unassigned variable with the smallest domain > 1.
     let var = (0..csp.domains.len())
         .filter(|&i| csp.domains[i].len() > 1)
@@ -275,16 +354,16 @@ fn search(csp: &mut Csp, nodes: &mut usize, max_nodes: usize) -> Assign {
         None => return Assign::Found, // all singletons and GAC-consistent
         Some(v) => v,
     };
-    *nodes += 1;
-    if *nodes > max_nodes {
+    stats.nodes += 1;
+    if stats.nodes > max_nodes {
         return Assign::Budget;
     }
     let candidates = csp.domains[var].clone();
     for c in candidates {
         let saved = csp.domains.clone();
         csp.domains[var] = vec![c];
-        if csp.propagate(Some(var)) {
-            match search(csp, nodes, max_nodes) {
+        if csp.propagate(Some(var), stats) {
+            match search(csp, stats, max_nodes) {
                 Assign::Found => return Assign::Found,
                 Assign::Budget => return Assign::Budget,
                 Assign::NoMap => {}
@@ -379,6 +458,37 @@ mod tests {
             .into_map()
             .expect("2-set consensus is wait-free solvable");
         assert!(verify_carried_map(&t, &domain, &map));
+    }
+
+    #[test]
+    fn search_stats_match_verdicts() {
+        // A found map consumes little budget and reports the CSP size.
+        let t = TrivialTask::new(2, &[0, 1]);
+        let domain = t.inputs().clone();
+        let (result, stats) = find_carried_map_with_stats(&t, &domain, 100_000);
+        assert!(result.is_found());
+        assert_eq!(stats.variables, domain.used_vertices().len());
+        assert_eq!(stats.constraints, domain.facet_count());
+        assert_eq!(stats.depth, 0);
+        assert_eq!(stats.budget_remaining, 100_000 - stats.nodes);
+
+        // An exhausted search reports an empty budget.
+        let t = consensus(2, &[0, 1]);
+        let domain = chr_domain(&t, 2);
+        let (result, stats) = find_carried_map_with_stats(&t, &domain, 1);
+        assert_eq!(stats.depth, 2);
+        if matches!(result, SearchResult::Exhausted) {
+            assert_eq!(stats.budget_remaining, 0);
+            assert!(stats.nodes > 1, "budget of 1 was overrun");
+        }
+
+        // An unsolvable verdict comes from propagation: prunes and
+        // wipe-outs are observed.
+        let t = consensus(2, &[0, 1]);
+        let domain = chr_domain(&t, 1);
+        let (result, stats) = find_carried_map_with_stats(&t, &domain, 1_000_000);
+        assert!(result.is_unsolvable());
+        assert!(stats.prunes > 0, "unsolvability requires pruning work");
     }
 
     #[test]

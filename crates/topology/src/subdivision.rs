@@ -256,6 +256,7 @@ impl Complex {
         F: Fn(ColorSet) -> Vec<Recipe>,
     {
         assert!(depth >= 1, "subdivision depth must be at least 1");
+        let span = act_obs::span("subdivide.patterned");
 
         // Recipe sets are computed once per distinct facet color set, up
         // front, so worker threads only read the shared cache (and the
@@ -286,10 +287,25 @@ impl Complex {
             }
             chain
         } else {
+            // Per-chunk telemetry is emitted from the worker threads
+            // (sinks are `Sync`); the global `seq` field totally orders
+            // the interleaved events.
             let chunk_chains = parallel_map_ranges(facets.len(), threads, |range| {
+                let chunk_span = act_obs::span("subdivide.chunk");
+                let chunk_start = range.start;
+                let chunk_len = range.len();
                 let mut chain = LevelBuilder::new_chain(depth);
                 for facet in &facets[range] {
                     expand_facet(self, facet, &recipe_cache, &mut chain);
+                }
+                if act_obs::enabled() {
+                    let interned: usize = chain.iter().map(|b| b.arena.len()).sum();
+                    chunk_span
+                        .finish()
+                        .u64("chunk_start", chunk_start as u64)
+                        .u64("facets_in", chunk_len as u64)
+                        .u64("interned_vertices", interned as u64)
+                        .emit();
                 }
                 chain
             });
@@ -314,7 +330,17 @@ impl Complex {
                 result = Some(complex);
             }
         }
-        result.expect("depth >= 1")
+        let result = result.expect("depth >= 1");
+        if act_obs::enabled() {
+            span.finish()
+                .u64("depth", depth as u64)
+                .u64("threads", threads as u64)
+                .u64("facets_in", facets.len() as u64)
+                .u64("facets_out", result.facet_count() as u64)
+                .u64("interned_vertices", result.num_vertices() as u64)
+                .emit();
+        }
+        result
     }
 
     /// Resolves the simplex of this complex described by a recipe relative

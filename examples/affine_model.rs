@@ -66,6 +66,8 @@ fn main() {
     let trace = Trace {
         participants: full,
         steps: vec![0, 1, 2, 0, 1, 2],
+        correct: None,
+        crash_budgets: None,
     };
     println!(
         "\ntraces serialize for regression replay, e.g. {}",

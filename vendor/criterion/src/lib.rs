@@ -6,8 +6,15 @@
 //! times each routine over a fixed number of samples and prints a
 //! mean/min/max summary line per benchmark — there is no statistical
 //! analysis, HTML report, or baseline comparison.
+//!
+//! On top of the real criterion's surface, every result (and any metric
+//! recorded with [`record_metric`]) is kept in a process-global registry;
+//! `criterion_main!` flushes it as `BENCH_<crate>.json` at exit (into
+//! `ACT_BENCH_JSON_DIR`, or the current directory), which is how CI
+//! collects machine-readable benchmark output.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -47,6 +54,75 @@ impl Bencher {
     }
 }
 
+struct BenchRecord {
+    id: String,
+    samples: usize,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+static METRICS: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+
+/// Records a named scalar alongside the timing results (figure counts,
+/// problem sizes, …); it lands in the `metrics` object of the JSON
+/// report written by [`write_json_report`].
+pub fn record_metric(key: &str, value: u64) {
+    METRICS.lock().unwrap().push((key.to_string(), value));
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the accumulated results and metrics as `BENCH_<name>.json`,
+/// into `ACT_BENCH_JSON_DIR` (created if needed) or the current
+/// directory. Called by `criterion_main!` with the bench target's crate
+/// name; calling it again after more benchmarks re-writes the file.
+pub fn write_json_report(name: &str) {
+    let results = RESULTS.lock().unwrap();
+    let metrics = METRICS.lock().unwrap();
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(name)));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+            json_escape(&r.id),
+            r.samples,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"metrics\": {");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{}\": {}", json_escape(k), v));
+    }
+    json.push_str("}\n}\n");
+    let dir = std::env::var("ACT_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let _ = std::fs::create_dir_all(&dir);
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("benchmark report written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
 fn report(id: &str, durations: &[Duration]) {
     if durations.is_empty() {
         println!("{id:<50} no samples");
@@ -56,6 +132,13 @@ fn report(id: &str, durations: &[Duration]) {
     let mean = total / durations.len() as u32;
     let min = durations.iter().min().unwrap();
     let max = durations.iter().max().unwrap();
+    RESULTS.lock().unwrap().push(BenchRecord {
+        id: id.to_string(),
+        samples: durations.len(),
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+        max_ns: max.as_nanos(),
+    });
     println!(
         "{id:<50} time: [{} {} {}]  ({} samples)",
         fmt_duration(*min),
@@ -170,12 +253,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark binary's `main`.
+/// Declares the benchmark binary's `main`. After all groups run, the
+/// accumulated results are flushed as `BENCH_<crate>.json` (the bench
+/// target name, since each bench target compiles as its own crate).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report(::core::env!("CARGO_CRATE_NAME"));
         }
     };
 }
