@@ -1,0 +1,187 @@
+//! P6 — the map-search engine after the bitset/trail/residue rewrite:
+//! serial and default engines on the PR-2 reference instance
+//! (`p4_map_search_2set_1res`), unsolvable propagation-heavy searches,
+//! and the incremental `DomainCache` against from-scratch domain builds.
+//!
+//! The `speedup_vs_pr2*` metrics compare against the mean recorded by
+//! the PR-2 engine for the same instance in `BENCH_perf_scaling.json`
+//! (7 286 497 ns). `ACT_BENCH_SAMPLES` overrides the per-benchmark
+//! sample count (default 10) so CI smoke runs can keep this cheap.
+
+use act_adversary::{Adversary, AgreementFunction};
+use act_affine::fair_affine_task;
+use act_bench::{banner, metric};
+use act_tasks::{
+    consensus, find_carried_map, find_carried_map_with_config, find_carried_map_with_stats,
+    SearchConfig, SetConsensus, Task,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fact::{affine_domain, DomainCache};
+use std::time::Instant;
+
+/// Mean of `p4_map_search_2set_1res` recorded by the PR-2 engine
+/// (domain-cloning backtracking over `Vec<VertexId>` domains).
+const PR2_P4_MEAN_NS: u64 = 7_286_497;
+
+fn samples() -> usize {
+    std::env::var("ACT_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+/// Mean wall clock of `samples()` runs of `f`, in nanoseconds.
+fn mean_ns<F: FnMut()>(mut f: F) -> u64 {
+    f(); // warm-up, matching the vendored criterion's Bencher
+    let n = samples() as u32;
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    (start.elapsed() / n).as_nanos() as u64
+}
+
+fn print_experiment_data() {
+    banner("P6", "map-search engine");
+    let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+    let r_a = fair_affine_task(&alpha);
+    let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+    let inputs = t.rainbow_inputs();
+    let domain = affine_domain(&r_a, &inputs, 1);
+
+    // Engine speedups on the PR-2 reference instance. The serial number
+    // isolates the bitset/trail/residue gains; the default engine adds
+    // the root-split fan-out on multi-core machines.
+    let serial = mean_ns(|| {
+        let config = SearchConfig::serial(3_000_000);
+        assert!(find_carried_map_with_config(&t, &domain, &config)
+            .0
+            .is_found());
+    });
+    let default = mean_ns(|| {
+        assert!(find_carried_map(&t, &domain, 3_000_000).is_found());
+    });
+    metric("p4_serial_mean_ns", serial);
+    metric("p4_default_mean_ns", default);
+    metric(
+        "speedup_serial_vs_pr2",
+        (PR2_P4_MEAN_NS + serial / 2) / serial.max(1),
+    );
+    metric(
+        "speedup_serial_vs_pr2_x100",
+        PR2_P4_MEAN_NS * 100 / serial.max(1),
+    );
+    metric(
+        "speedup_vs_pr2",
+        (PR2_P4_MEAN_NS + default / 2) / default.max(1),
+    );
+    metric("speedup_vs_pr2_x100", PR2_P4_MEAN_NS * 100 / default.max(1));
+    println!(
+        "p4 reference instance: PR-2 {} ns → serial {} ns ({:.1}x), default {} ns ({:.1}x)",
+        PR2_P4_MEAN_NS,
+        serial,
+        PR2_P4_MEAN_NS as f64 / serial.max(1) as f64,
+        default,
+        PR2_P4_MEAN_NS as f64 / default.max(1) as f64,
+    );
+
+    // Residual-support effectiveness on the same search.
+    let (result, stats) = find_carried_map_with_stats(&t, &domain, 3_000_000);
+    assert!(result.is_found());
+    metric("p4_nodes", stats.nodes as u64);
+    metric("p4_workers", stats.workers as u64);
+    metric(
+        "residue_hit_rate_x100",
+        (stats.residue_hit_rate() * 100.0) as u64,
+    );
+    println!(
+        "p4 search: {} nodes, {} workers, residue hit rate {:.1}% ({} hits / {} misses)",
+        stats.nodes,
+        stats.workers,
+        stats.residue_hit_rate() * 100.0,
+        stats.residue_hits,
+        stats.residue_misses,
+    );
+
+    // DomainCache: extending the R_A tower by one level vs rebuilding
+    // R_A²(I) from scratch.
+    let scratch = mean_ns(|| {
+        assert!(affine_domain(&r_a, &inputs, 2).facet_count() > 0);
+    });
+    // The tower up to ℓ = 1 is paid once outside the measurement; each
+    // sample clones it (cheap Arc clones) and extends it by one level.
+    let mut seeded = DomainCache::new();
+    seeded.domain(&r_a, &inputs, 1);
+    let cached = mean_ns(|| {
+        let mut cache = seeded.clone();
+        assert!(cache.domain(&r_a, &inputs, 2).facet_count() > 0);
+    });
+    metric("domain_scratch_l2_mean_ns", scratch);
+    metric("domain_cached_l2_mean_ns", cached);
+    println!("R_A²(I): from scratch {scratch} ns, cached tower {cached} ns");
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment_data();
+    let n = samples();
+
+    let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+    let r_a = fair_affine_task(&alpha);
+    let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+    let inputs = t.rainbow_inputs();
+    let domain = affine_domain(&r_a, &inputs, 1);
+
+    // The PR-2 reference instance, same id as perf_scaling for direct
+    // comparison across reports.
+    let mut g = c.benchmark_group("p4_map_search");
+    g.sample_size(n);
+    g.bench_with_input(BenchmarkId::new("2set_1res", "serial"), &(), |b, ()| {
+        let config = SearchConfig::serial(3_000_000);
+        b.iter(|| {
+            find_carried_map_with_config(&t, &domain, &config)
+                .0
+                .is_found()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("2set_1res", "default"), &(), |b, ()| {
+        b.iter(|| find_carried_map(&t, &domain, 3_000_000).is_found())
+    });
+    g.finish();
+    c.bench_function("p4_map_search_2set_1res", |b| {
+        b.iter(|| find_carried_map(&t, &domain, 3_000_000).is_found())
+    });
+
+    // Unsolvable side: pure propagation work (consensus on Chr²).
+    c.bench_function("p6_consensus_unsolvable_chr2", |b| {
+        let t = consensus(2, &[0, 1]);
+        let domain = t.inputs().iterated_subdivision(2);
+        b.iter(|| find_carried_map(&t, &domain, 1_000_000).is_unsolvable())
+    });
+
+    // Domain construction: from-scratch vs incremental tower.
+    let mut g = c.benchmark_group("p6_domain_build");
+    g.sample_size(n);
+    g.bench_with_input(BenchmarkId::new("r_a_l2", "scratch"), &(), |b, ()| {
+        b.iter(|| affine_domain(&r_a, &inputs, 2).facet_count())
+    });
+    g.bench_with_input(BenchmarkId::new("r_a_l2", "cached"), &(), |b, ()| {
+        // The tower up to ℓ = 1 is paid once outside the measurement;
+        // each sample then measures one incremental extension.
+        let base = DomainCache::new();
+        let mut seeded = base.clone();
+        seeded.domain(&r_a, &inputs, 1);
+        b.iter(|| {
+            let mut cache = seeded.clone();
+            cache.domain(&r_a, &inputs, 2).facet_count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

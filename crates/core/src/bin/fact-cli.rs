@@ -28,8 +28,9 @@ use fact::runtime::{run_adversarial, Trace, TraceArtifact};
 use fact::tasks::SetConsensus;
 use fact::topology::{betti_numbers, connected_components, is_link_connected, ColorSet, ProcessId};
 use fact::{
-    execute_affine_iterations, executed_set_consensus, outputs_to_simplex, set_consensus_verdict,
-    validate_report_json, AlgorithmOneSystem, RunReport, Solvability,
+    execute_affine_iterations, executed_set_consensus, outputs_to_simplex,
+    set_consensus_verdict_cached, validate_report_json, AlgorithmOneSystem, DomainCache, RunReport,
+    Solvability,
 };
 use rand::SeedableRng;
 
@@ -39,6 +40,14 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(msg) => return usage_error(&msg),
     };
+    match extract_threads_flag(&mut args) {
+        // Both the subdivision engine and the map-search engine read
+        // RAYON_NUM_THREADS; setting it before any work starts makes the
+        // flag govern every parallel fan-out of the run.
+        Ok(Some(n)) => std::env::set_var("RAYON_NUM_THREADS", n.to_string()),
+        Ok(None) => {}
+        Err(msg) => return usage_error(&msg),
+    }
     // With --report, the run's telemetry is captured in memory and lands
     // in the report; otherwise ACT_OBS_OUT (if set) picks the stream.
     let sink = if report_path.is_some() {
@@ -97,10 +106,32 @@ fn extract_report_flag(args: &mut Vec<String>) -> Result<Option<String>, String>
     }
 }
 
+/// Removes `--threads <n>` from the argument list, returning the count.
+fn extract_threads_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    match args.iter().position(|a| a == "--threads") {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err("--threads needs a worker count".into());
+            }
+            let raw = args.remove(i + 1);
+            args.remove(i);
+            let n: usize = raw
+                .parse()
+                .map_err(|_| format!("bad --threads value {raw:?}"))?;
+            if n == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
 const USAGE: &str = "\
 usage:
   fact-cli analyze <model> [--closure]   adversary/agreement/affine-task report
-  fact-cli solve <model> <k>             decide k-set consensus via the FACT
+  fact-cli solve <model> <k> [iters]     decide k-set consensus via the FACT,
+                                         deepening R_A^ℓ up to ℓ = iters (default 1)
   fact-cli simulate <model> <runs>       run Algorithm 1 under adversarial schedules
   fact-cli census                        survey all 3-process adversaries
   fact-cli validate-report <path>        check a --report JSON file
@@ -108,6 +139,8 @@ usage:
 
 options:
   --report <path>   capture the run's telemetry into a RunReport JSON file
+  --threads <n>     worker threads for subdivision and map search
+                    (sets RAYON_NUM_THREADS; 1 forces the serial engines)
 
 models: wait-free:N | t-res:N:T | k-of:N:K | fig5b | custom:N:{p1,p2};{p3};...
 
@@ -252,6 +285,16 @@ fn solve(args: &[String]) -> Result<Option<String>, String> {
         .ok_or("solve needs k")?
         .parse()
         .map_err(|_| "bad k")?;
+    let max_iters: usize = match args.get(2) {
+        None => 1,
+        Some(raw) => {
+            let n: usize = raw.parse().map_err(|_| format!("bad iters {raw:?}"))?;
+            if n == 0 {
+                return Err("iters must be at least 1".into());
+            }
+            n
+        }
+    };
     let a = parse_model(spec, false)?;
     let n = a.num_processes();
     if !(1..n).contains(&k) {
@@ -265,7 +308,16 @@ fn solve(args: &[String]) -> Result<Option<String>, String> {
     let values: Vec<u64> = (0..=k as u64).collect();
     let t = SetConsensus::new(n, k, &values);
     println!("model setcon = {}; deciding {k}-set consensus…", a.setcon());
-    let verdict = set_consensus_verdict(&t, &r_a, 1, 5_000_000);
+    // One DomainCache across the deepening loop: each new ℓ extends the
+    // R_A^ℓ tower by a single subdivision round instead of rebuilding.
+    let mut cache = DomainCache::new();
+    let mut verdict = set_consensus_verdict_cached(&mut cache, &t, &r_a, 1, 5_000_000);
+    for iters in 2..=max_iters {
+        if !matches!(verdict, Solvability::NoMapUpTo { .. }) {
+            break;
+        }
+        verdict = set_consensus_verdict_cached(&mut cache, &t, &r_a, iters, 5_000_000);
+    }
     match &verdict {
         Solvability::Solvable { iterations, .. } => {
             println!(
@@ -454,6 +506,36 @@ mod tests {
         assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into()]).is_ok());
         assert!(run(&["validate-report".into()]).is_err());
         assert!(run(&["replay".into(), "/no/such/file".into(), "t-res:3:1".into()]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_is_extracted() {
+        let mut args: Vec<String> = ["solve", "--threads", "4", "t-res:3:1", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let n = extract_threads_flag(&mut args).unwrap();
+        assert_eq!(n, Some(4));
+        assert_eq!(args, ["solve", "t-res:3:1", "2"]);
+
+        let mut none: Vec<String> = vec!["census".into()];
+        assert_eq!(extract_threads_flag(&mut none).unwrap(), None);
+
+        let mut missing: Vec<String> = vec!["census".into(), "--threads".into()];
+        assert!(extract_threads_flag(&mut missing).is_err());
+
+        let mut zero: Vec<String> = vec!["--threads".into(), "0".into()];
+        assert!(extract_threads_flag(&mut zero).is_err());
+
+        let mut junk: Vec<String> = vec!["--threads".into(), "lots".into()];
+        assert!(extract_threads_flag(&mut junk).is_err());
+    }
+
+    #[test]
+    fn solve_accepts_an_iteration_bound() {
+        assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into(), "2".into()]).is_ok());
+        assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into(), "0".into()]).is_err());
+        assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into(), "x".into()]).is_err());
     }
 
     #[test]

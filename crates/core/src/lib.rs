@@ -70,5 +70,6 @@ pub use simulation::{
     SnapshotSimulation,
 };
 pub use solver::{
-    affine_domain, set_consensus_verdict, solve_in_fair_model, solve_in_model, Solvability,
+    affine_domain, affine_domain_cached, set_consensus_verdict, set_consensus_verdict_cached,
+    solve_in_fair_model, solve_in_model, DomainCache, Solvability,
 };

@@ -64,6 +64,91 @@ pub fn affine_domain(task: &AffineTask, inputs: &Complex, iterations: usize) -> 
     c
 }
 
+/// An incrementally maintained tower of domains `R_A^1(I) ⊆ … ⊆ R_A^ℓ(I)`.
+///
+/// [`affine_domain`] rebuilds from scratch on every call, so a pipeline
+/// that tries `ℓ = 1, …, L` pays `1 + 2 + ⋯ + L` subdivision rounds — and
+/// each round is the dominant cost at depth. The cache keeps every level
+/// built so far and extends the tower by exactly **one** `apply_to` per
+/// new level, turning the pipeline's domain cost linear in `L`.
+///
+/// The cache is keyed by `(affine.complex(), inputs)` — an [`AffineTask`]
+/// is fully determined by its complex (its recipes are derived from it) —
+/// and is transparently invalidated when either changes. Levels are
+/// structurally equal (`==`) to the from-scratch [`affine_domain`] builds
+/// thanks to the subdivision engine's deterministic interning.
+///
+/// # Examples
+///
+/// ```
+/// use act_adversary::AgreementFunction;
+/// use act_topology::Complex;
+/// use fact::{affine_domain, DomainCache};
+///
+/// let alpha = AgreementFunction::k_concurrency(2, 2);
+/// let affine = act_affine::fair_affine_task(&alpha);
+/// let inputs = Complex::standard(2);
+/// let mut cache = DomainCache::new();
+/// let d2 = cache.domain(&affine, &inputs, 2).clone(); // builds levels 1, 2
+/// let d3 = cache.domain(&affine, &inputs, 3).clone(); // ONE more apply_to
+/// assert_eq!(d2, affine_domain(&affine, &inputs, 2));
+/// assert_eq!(d3, affine_domain(&affine, &inputs, 3));
+/// assert_eq!(cache.cached_levels(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DomainCache {
+    /// `(affine.complex(), inputs)` the tower was built for.
+    key: Option<(Complex, Complex)>,
+    /// `levels[ℓ - 1] = R_A^ℓ(I)`.
+    levels: Vec<Complex>,
+}
+
+impl DomainCache {
+    /// An empty cache.
+    pub fn new() -> DomainCache {
+        DomainCache::default()
+    }
+
+    /// How many levels of the tower are currently cached.
+    pub fn cached_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The domain `R_A^ℓ(I)`, reusing every previously built level and
+    /// running at most `ℓ − cached_levels` new subdivision rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn domain(&mut self, affine: &AffineTask, inputs: &Complex, iterations: usize) -> &Complex {
+        assert!(iterations >= 1, "at least one iteration");
+        let matches = self
+            .key
+            .as_ref()
+            .is_some_and(|(a, i)| a == affine.complex() && i == inputs);
+        if !matches {
+            self.key = Some((affine.complex().clone(), inputs.clone()));
+            self.levels.clear();
+        }
+        while self.levels.len() < iterations {
+            let next = affine.apply_to(self.levels.last().unwrap_or(inputs));
+            self.levels.push(next);
+        }
+        &self.levels[iterations - 1]
+    }
+}
+
+/// [`affine_domain`] through a [`DomainCache`]: identical result, but
+/// repeated calls at growing `ℓ` only pay for the new levels.
+pub fn affine_domain_cached(
+    cache: &mut DomainCache,
+    task: &AffineTask,
+    inputs: &Complex,
+    iterations: usize,
+) -> Complex {
+    cache.domain(task, inputs, iterations).clone()
+}
+
 /// Decides solvability of `task` in the fair model captured by `affine`
 /// (its `R_A`), trying `ℓ = 1, …, max_iterations` and bounding each map
 /// search by `max_nodes`.
@@ -73,9 +158,12 @@ pub fn solve_in_model(
     max_iterations: usize,
     max_nodes: usize,
 ) -> Solvability {
+    // One incremental tower for the whole deepening loop: depth ℓ costs
+    // one apply_to, not ℓ.
+    let mut cache = DomainCache::new();
     for iterations in 1..=max_iterations {
         let span = act_obs::span("solver.iteration");
-        let domain = affine_domain(affine, task.inputs(), iterations);
+        let domain = cache.domain(affine, task.inputs(), iterations).clone();
         let (result, stats) = find_carried_map_with_stats(task, &domain, max_nodes);
         if act_obs::enabled() {
             span.finish()
@@ -119,9 +207,22 @@ pub fn set_consensus_verdict(
     iterations: usize,
     max_nodes: usize,
 ) -> Solvability {
+    set_consensus_verdict_cached(&mut DomainCache::new(), task, affine, iterations, max_nodes)
+}
+
+/// [`set_consensus_verdict`] through a caller-owned [`DomainCache`], so
+/// sweeps over `ℓ` (or over `k` in one model) reuse the domain tower
+/// instead of resubdividing from scratch each time.
+pub fn set_consensus_verdict_cached(
+    cache: &mut DomainCache,
+    task: &act_tasks::SetConsensus,
+    affine: &AffineTask,
+    iterations: usize,
+    max_nodes: usize,
+) -> Solvability {
     let n = task.num_processes();
     let inputs = task.rainbow_inputs();
-    let domain = affine_domain(affine, &inputs, iterations);
+    let domain = cache.domain(affine, &inputs, iterations).clone();
     let span = act_obs::span("solver.set_consensus");
     if task.k() == n - 1 && act_tasks::is_subdivided_simplex(&domain) {
         // Any carried map would be a Sperner labeling with no rainbow
@@ -301,6 +402,41 @@ mod tests {
             "the wait-free case must report the Sperner route: {}",
             sperner[0]
         );
+    }
+
+    #[test]
+    fn domain_cache_matches_from_scratch_builds() {
+        // The incremental tower must be structurally equal (`==`, not just
+        // same_complex) to affine_domain's from-scratch rebuilds at every
+        // level, in any query order, and invalidate on key change.
+        let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+        let affine = act_affine::fair_affine_task(&alpha);
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let inputs = rainbow_inputs(&t);
+
+        let mut cache = DomainCache::new();
+        for level in 1..=3 {
+            let cached = cache.domain(&affine, &inputs, level).clone();
+            assert_eq!(cached, affine_domain(&affine, &inputs, level));
+            assert_eq!(cache.cached_levels(), level);
+        }
+        // Re-querying a lower level reuses the tower without rebuilding.
+        let lvl2 = cache.domain(&affine, &inputs, 2).clone();
+        assert_eq!(cache.cached_levels(), 3);
+        assert_eq!(lvl2, affine_domain(&affine, &inputs, 2));
+
+        // A different input complex invalidates the tower.
+        let full = t.inputs().clone();
+        let fresh = cache.domain(&affine, &full, 1).clone();
+        assert_eq!(cache.cached_levels(), 1);
+        assert_eq!(fresh, affine_domain(&affine, &full, 1));
+
+        // And the cached set-consensus verdict agrees with the uncached
+        // route on a solvable case.
+        let mut cache = DomainCache::new();
+        let cached = set_consensus_verdict_cached(&mut cache, &t, &affine, 1, 2_000_000);
+        let direct = set_consensus_verdict(&t, &affine, 1, 2_000_000);
+        assert!(cached.is_solvable() && direct.is_solvable());
     }
 
     #[test]

@@ -387,6 +387,70 @@ impl Counter {
     }
 }
 
+/// A process-global hit/miss tally for cache-style instrumentation
+/// (memo tables, GAC residual supports, …): two uncontended relaxed
+/// atomics, cheap enough for hot paths, snapshotted into a `rate_counter`
+/// event on demand.
+pub struct RateCounter {
+    name: &'static str,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RateCounter {
+    /// Creates a named rate counter (usable in `static` position).
+    pub const fn new(name: &'static str) -> RateCounter {
+        RateCounter {
+            name,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `n` hits.
+    #[inline]
+    pub fn hit(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` misses.
+    #[inline]
+    pub fn miss(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The hit rate in `[0, 1]` (0 when nothing was recorded).
+    pub fn rate(&self) -> f64 {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Emits a `rate_counter` event snapshotting hits, misses, and rate.
+    pub fn emit(&self) {
+        event("rate_counter")
+            .str("name", self.name)
+            .u64("hits", self.hits())
+            .u64("misses", self.misses())
+            .f64("rate", self.rate())
+            .emit();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +518,27 @@ mod tests {
             sink.drain()
         });
         assert!(lines[0].contains("\"name\":\"test.nodes\""));
+    }
+
+    #[test]
+    fn rate_counters_track_hits_and_misses() {
+        static RES: RateCounter = RateCounter::new("test.residue");
+        let (h0, m0) = (RES.hits(), RES.misses());
+        RES.hit(3);
+        RES.miss(1);
+        assert_eq!(RES.hits(), h0 + 3);
+        assert_eq!(RES.misses(), m0 + 1);
+        assert!(RES.rate() > 0.0 && RES.rate() <= 1.0);
+        let lines = with_memory_sink(|sink| {
+            RES.emit();
+            sink.drain()
+        });
+        assert!(lines[0].contains("\"ev\":\"rate_counter\""));
+        assert!(lines[0].contains("\"name\":\"test.residue\""));
+        assert!(lines[0].contains("\"rate\":"));
+
+        static EMPTY: RateCounter = RateCounter::new("test.empty");
+        assert_eq!(EMPTY.rate(), 0.0, "no observations → rate 0");
     }
 
     #[test]

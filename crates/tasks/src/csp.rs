@@ -1,0 +1,579 @@
+//! The CSP core of the carried-map search: bitset domains, a
+//! backtracking trail, table constraints with GAC residual supports, and
+//! parallel, memoized constraint-table construction.
+//!
+//! Variables are the used vertices of the (subdivided) domain complex,
+//! re-indexed densely; the values of a variable are its same-colored
+//! candidate output vertices, re-indexed densely per variable so that a
+//! current domain is a handful of `u64` words. The search never clones
+//! domains: every removal is recorded on a trail and undone on
+//! backtrack. Immutable data (candidate lists, constraint tuples,
+//! support lists) is built once — in parallel over facets, memoized by
+//! the facet's intern-key signature — and shared by every search worker
+//! behind `Arc`s; only the mutable [`State`] is cloned per worker.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use act_topology::{parallel_map_ranges, Complex, ProcessId, Simplex, VertexId};
+
+use crate::mapsearch::SearchStats;
+use crate::task::Task;
+
+/// Sentinel for "no residual support cached yet".
+const NO_RESIDUE: u32 = u32::MAX;
+
+/// Immutable tuple data of one constraint *shape*: tuples and support
+/// lists in dense value-index space. Facets with equal intern-key
+/// signatures (same per-position `(color, base-carrier)` pairs) admit
+/// exactly the same assignments, so they share one `TupleData`.
+pub(crate) struct TupleData {
+    /// Facet size (number of member variables).
+    pub(crate) arity: usize,
+    /// Prefix offsets into the per-position value space: position `p`
+    /// owns value slots `pos_off[p]..pos_off[p + 1]`; `pos_off[arity]`
+    /// is the constraint's total value-slot count (its residue block
+    /// size).
+    pub(crate) pos_off: Vec<u32>,
+    /// Allowed tuples, flattened: tuple `t` occupies
+    /// `tuples[t * arity..(t + 1) * arity]`, each entry a dense value
+    /// index of the member at that position.
+    pub(crate) tuples: Vec<u32>,
+    /// Support lists: `supports[pos_off[p] + v]` are the indices of the
+    /// tuples whose position-`p` entry is value `v`.
+    pub(crate) supports: Vec<Vec<u32>>,
+}
+
+impl TupleData {
+    /// Number of allowed tuples.
+    #[cfg(test)]
+    pub(crate) fn num_tuples(&self) -> usize {
+        self.tuples.len().checked_div(self.arity).unwrap_or(0)
+    }
+}
+
+/// One table constraint: its member variables plus the shared tuple
+/// data and the offset of its residue block in [`State::residues`].
+pub(crate) struct TableConstraint {
+    /// Member variables, aligned with the tuple positions.
+    pub(crate) members: Vec<u32>,
+    /// Shared tuple data (memoized across same-signature facets).
+    pub(crate) data: Arc<TupleData>,
+    /// Start of this constraint's residue block.
+    pub(crate) residue_base: u32,
+}
+
+/// The immutable half of the CSP, shared by all search workers.
+pub(crate) struct Tables {
+    /// Dense index → domain vertex.
+    pub(crate) vars: Vec<VertexId>,
+    /// Per variable: candidate output vertices (dense value index →
+    /// output vertex), memoized by `(color, base-carrier)`.
+    pub(crate) values: Vec<Arc<Vec<VertexId>>>,
+    /// Per variable: start word of its domain bitset in
+    /// [`State::words`]; `word_off[vars.len()]` is the total word count.
+    pub(crate) word_off: Vec<u32>,
+    /// The table constraints, one per facet of the domain.
+    pub(crate) constraints: Vec<TableConstraint>,
+    /// Per variable: indices of constraints it appears in.
+    pub(crate) constraints_of: Vec<Vec<u32>>,
+    /// Total residue-slot count across all constraints.
+    pub(crate) residue_len: usize,
+}
+
+/// The mutable half of the CSP: current domains (bitsets + counts), the
+/// backtracking trail, and the GAC residues. Cloned once per parallel
+/// search worker; never cloned per node.
+#[derive(Clone)]
+pub(crate) struct State {
+    /// Domain bitsets, all variables concatenated (see
+    /// [`Tables::word_off`]).
+    pub(crate) words: Vec<u64>,
+    /// Current domain size per variable.
+    pub(crate) count: Vec<u32>,
+    /// Removal trail: `(variable, value)` in removal order.
+    pub(crate) trail: Vec<(u32, u32)>,
+    /// Last witnessing tuple per constraint × position × value
+    /// ([`NO_RESIDUE`] when none cached). Stale entries are sound: a
+    /// residue is always re-validated against the current domains
+    /// before it is trusted.
+    pub(crate) residues: Vec<u32>,
+}
+
+impl Tables {
+    /// The word range of variable `var`'s domain bitset.
+    #[inline]
+    fn word_range(&self, var: usize) -> std::ops::Range<usize> {
+        self.word_off[var] as usize..self.word_off[var + 1] as usize
+    }
+
+    /// Builds the initial (full) state: every candidate present, empty
+    /// trail, no residues.
+    fn initial_state(&self) -> State {
+        let total_words = *self.word_off.last().expect("offsets non-empty") as usize;
+        let mut words = vec![0u64; total_words];
+        let mut count = Vec::with_capacity(self.vars.len());
+        for (var, vals) in self.values.iter().enumerate() {
+            let n = vals.len();
+            count.push(n as u32);
+            let range = self.word_range(var);
+            for (i, w) in words[range].iter_mut().enumerate() {
+                let lo = i * 64;
+                let bits = n.saturating_sub(lo).min(64);
+                *w = if bits == 64 {
+                    !0u64
+                } else {
+                    (1u64 << bits) - 1
+                };
+            }
+        }
+        State {
+            words,
+            count,
+            trail: Vec::new(),
+            residues: vec![NO_RESIDUE; self.residue_len],
+        }
+    }
+}
+
+impl State {
+    /// Whether value `val` is in `var`'s current domain.
+    #[inline]
+    pub(crate) fn contains(&self, tables: &Tables, var: usize, val: u32) -> bool {
+        let w = tables.word_off[var] as usize + (val / 64) as usize;
+        self.words[w] & (1u64 << (val % 64)) != 0
+    }
+
+    /// Removes `val` from `var`'s domain, recording it on the trail.
+    /// Must only be called for present values.
+    #[inline]
+    pub(crate) fn remove(&mut self, tables: &Tables, var: usize, val: u32) {
+        let w = tables.word_off[var] as usize + (val / 64) as usize;
+        debug_assert!(self.words[w] & (1u64 << (val % 64)) != 0);
+        self.words[w] &= !(1u64 << (val % 64));
+        self.count[var] -= 1;
+        self.trail.push((var as u32, val));
+    }
+
+    /// Undoes every removal past `mark` (a previous `trail.len()`).
+    pub(crate) fn undo_to(&mut self, tables: &Tables, mark: usize) {
+        while self.trail.len() > mark {
+            let (var, val) = self.trail.pop().expect("trail non-empty");
+            let w = tables.word_off[var as usize] as usize + (val / 64) as usize;
+            self.words[w] |= 1u64 << (val % 64);
+            self.count[var as usize] += 1;
+        }
+    }
+
+    /// The current domain values of `var`, in increasing order.
+    pub(crate) fn domain_values(&self, tables: &Tables, var: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count[var] as usize);
+        for (i, &w) in self.words[tables.word_range(var)].iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                out.push((i * 64) as u32 + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// The single remaining value of a singleton domain.
+    pub(crate) fn single_value(&self, tables: &Tables, var: usize) -> u32 {
+        debug_assert_eq!(self.count[var], 1);
+        for (i, &w) in self.words[tables.word_range(var)].iter().enumerate() {
+            if w != 0 {
+                return (i * 64) as u32 + w.trailing_zeros();
+            }
+        }
+        unreachable!("singleton domain has a bit set")
+    }
+
+    /// Whether tuple `t` of constraint `ci` is valid under the current
+    /// domains (every entry still present).
+    #[inline]
+    fn tuple_valid(&self, tables: &Tables, c: &TableConstraint, t: u32) -> bool {
+        let arity = c.data.arity;
+        let base = t as usize * arity;
+        for (pos, &m) in c.members.iter().enumerate() {
+            if !self.contains(tables, m as usize, c.data.tuples[base + pos]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// GAC fixpoint over the constraint tables, pruning `state`'s domains in
+/// place (every removal lands on the trail). Seeding with a variable
+/// revises only its constraints first; `None` revises everything.
+/// Returns `false` on a domain wipe-out.
+///
+/// Per (constraint, position, value), the last witnessing tuple is
+/// cached in `state.residues` and re-validated before the support lists
+/// are rescanned — on the deep, repetitive subtrees of the search the
+/// residue check almost always succeeds, replacing the table scan with
+/// an O(arity) bit test.
+pub(crate) fn propagate(
+    tables: &Tables,
+    state: &mut State,
+    seed: Option<usize>,
+    stats: &mut SearchStats,
+) -> bool {
+    let mut queue: Vec<u32> = match seed {
+        Some(v) => tables.constraints_of[v].clone(),
+        None => (0..tables.constraints.len() as u32).collect(),
+    };
+    let mut queued = vec![false; tables.constraints.len()];
+    for &q in &queue {
+        queued[q as usize] = true;
+    }
+    while let Some(ci) = queue.pop() {
+        queued[ci as usize] = false;
+        let c = &tables.constraints[ci as usize];
+        for (pos, &m) in c.members.iter().enumerate() {
+            let m = m as usize;
+            let mut removed = false;
+            for val in state.domain_values(tables, m) {
+                let ridx = c.residue_base as usize + c.data.pos_off[pos] as usize + val as usize;
+                let r = state.residues[ridx];
+                if r != NO_RESIDUE && state.tuple_valid(tables, c, r) {
+                    stats.residue_hits += 1;
+                    continue;
+                }
+                stats.residue_misses += 1;
+                let supports = &c.data.supports[c.data.pos_off[pos] as usize + val as usize];
+                match supports.iter().find(|&&t| state.tuple_valid(tables, c, t)) {
+                    Some(&t) => state.residues[ridx] = t,
+                    None => {
+                        state.remove(tables, m, val);
+                        stats.prunes += 1;
+                        removed = true;
+                        if state.count[m] == 0 {
+                            stats.wipeouts += 1;
+                            return false;
+                        }
+                    }
+                }
+            }
+            if removed {
+                for &other in &tables.constraints_of[m] {
+                    if !queued[other as usize] {
+                        queued[other as usize] = true;
+                        queue.push(other);
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Checks that the image of every face of `facet` under the aligned
+/// assignment is an output simplex allowed by the face's carrier.
+pub(crate) fn facet_image_valid(
+    task: &dyn Task,
+    domain: &Complex,
+    facet: &Simplex,
+    assignment: &[VertexId],
+) -> bool {
+    let outputs = task.outputs();
+    let vs = facet.vertices();
+    let m = vs.len();
+    debug_assert!(m <= 63);
+    for mask in 1u64..(1 << m) {
+        let face = Simplex::from_vertices((0..m).filter(|i| mask & (1 << i) != 0).map(|i| vs[i]));
+        let image = Simplex::from_vertices(
+            (0..m)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| assignment[i]),
+        );
+        if !outputs.contains_simplex(&image) {
+            return false;
+        }
+        let carrier = domain.carrier_in_base(&face);
+        if !task.allows(&carrier, &image) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates the allowed tuples of one facet over the given candidate
+/// lists, producing the shared [`TupleData`] (tuples in dense
+/// value-index space plus support lists). Returns `None` when the facet
+/// admits no assignment at all (the whole CSP is then unsatisfiable).
+fn build_tuple_data(
+    task: &dyn Task,
+    domain: &Complex,
+    facet: &Simplex,
+    candidates: &[&Arc<Vec<VertexId>>],
+) -> Option<Arc<TupleData>> {
+    let arity = candidates.len();
+    let mut pos_off = Vec::with_capacity(arity + 1);
+    let mut total = 0u32;
+    for c in candidates {
+        pos_off.push(total);
+        total += c.len() as u32;
+    }
+    pos_off.push(total);
+
+    let mut tuples: Vec<u32> = Vec::new();
+    let mut choice = vec![0u32; arity];
+    let mut assignment = vec![VertexId::from_index(0); arity];
+    'outer: loop {
+        for (i, &c) in choice.iter().enumerate() {
+            assignment[i] = candidates[i][c as usize];
+        }
+        if facet_image_valid(task, domain, facet, &assignment) {
+            tuples.extend_from_slice(&choice);
+        }
+        let mut i = 0;
+        loop {
+            if i == arity {
+                break 'outer;
+            }
+            choice[i] += 1;
+            if (choice[i] as usize) < candidates[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+    if tuples.is_empty() {
+        return None;
+    }
+
+    let mut supports: Vec<Vec<u32>> = vec![Vec::new(); total as usize];
+    for t in 0..tuples.len() / arity {
+        for pos in 0..arity {
+            let val = tuples[t * arity + pos];
+            supports[(pos_off[pos] + val) as usize].push(t as u32);
+        }
+    }
+    Some(Arc::new(TupleData {
+        arity,
+        pos_off,
+        tuples,
+        supports,
+    }))
+}
+
+/// Builds the CSP for the carried-map search: candidate lists memoized
+/// by `(color, base-carrier)`, constraint tables built concurrently over
+/// facet chunks (up to `threads` workers) and memoized by the facet's
+/// intern-key signature. Returns `None` when some vertex has no
+/// candidate or some facet no allowed tuple — the search is then
+/// unsatisfiable without visiting a single node.
+pub(crate) fn build(task: &dyn Task, domain: &Complex, threads: usize) -> Option<(Tables, State)> {
+    let outputs = task.outputs();
+    let vars: Vec<VertexId> = domain.used_vertices();
+    let var_of: HashMap<VertexId, u32> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+
+    // Candidate lists, memoized by the vertex's intern key: interned
+    // subdivisions repeat (color, base-carrier) pairs across many
+    // vertices, and the candidate set is a function of that key alone.
+    let mut candidate_memo: HashMap<(ProcessId, Simplex), Arc<Vec<VertexId>>> = HashMap::new();
+    let mut values: Vec<Arc<Vec<VertexId>>> = Vec::with_capacity(vars.len());
+    for &v in &vars {
+        let color = domain.color(v);
+        let carrier = &domain.vertex(v).base_carrier;
+        let cands = candidate_memo
+            .entry((color, carrier.clone()))
+            .or_insert_with(|| {
+                Arc::new(
+                    (0..outputs.num_vertices())
+                        .map(VertexId::from_index)
+                        .filter(|&w| {
+                            outputs.color(w) == color
+                                && outputs.contains_simplex(&Simplex::vertex(w))
+                                && task.allows(carrier, &Simplex::vertex(w))
+                        })
+                        .collect(),
+                )
+            })
+            .clone();
+        if cands.is_empty() {
+            return None;
+        }
+        values.push(cands);
+    }
+
+    // Constraint tables, one per facet, built concurrently in facet
+    // chunks. Each chunk worker memoizes tuple data by the facet's
+    // signature; the per-chunk results are merged in chunk order, so
+    // the constraint list is identical for every thread count.
+    let facets = domain.facets();
+    let chunked: Vec<Vec<Option<TableConstraint>>> =
+        parallel_map_ranges(facets.len(), threads.max(1), |range| {
+            let mut memo: HashMap<Vec<(ProcessId, Simplex)>, Arc<TupleData>> = HashMap::new();
+            let mut out = Vec::with_capacity(range.len());
+            for facet in &facets[range] {
+                let members: Vec<u32> = facet.vertices().iter().map(|v| var_of[v]).collect();
+                let signature = domain.simplex_signature(facet);
+                let data = match memo.get(&signature) {
+                    Some(d) => Some(d.clone()),
+                    None => {
+                        let candidates: Vec<&Arc<Vec<VertexId>>> =
+                            members.iter().map(|&m| &values[m as usize]).collect();
+                        let built = build_tuple_data(task, domain, facet, &candidates);
+                        if let Some(d) = &built {
+                            memo.insert(signature, d.clone());
+                        }
+                        built
+                    }
+                };
+                out.push(data.map(|data| TableConstraint {
+                    members,
+                    data,
+                    residue_base: 0, // assigned after the merge
+                }));
+            }
+            out
+        });
+
+    let mut constraints: Vec<TableConstraint> = Vec::with_capacity(facets.len());
+    let mut residue_len = 0u32;
+    for c in chunked.into_iter().flatten() {
+        let mut c = c?;
+        c.residue_base = residue_len;
+        residue_len += *c.data.pos_off.last().expect("pos_off non-empty");
+        constraints.push(c);
+    }
+
+    let mut constraints_of = vec![Vec::new(); vars.len()];
+    for (ci, c) in constraints.iter().enumerate() {
+        for &m in &c.members {
+            constraints_of[m as usize].push(ci as u32);
+        }
+    }
+
+    let mut word_off = Vec::with_capacity(vars.len() + 1);
+    let mut off = 0u32;
+    for vals in &values {
+        word_off.push(off);
+        off += vals.len().div_ceil(64) as u32;
+    }
+    word_off.push(off);
+
+    let tables = Tables {
+        vars,
+        values,
+        word_off,
+        constraints,
+        constraints_of,
+        residue_len: residue_len as usize,
+    };
+    let state = tables.initial_state();
+    Some((tables, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{consensus, SetConsensus};
+
+    #[test]
+    fn build_produces_bitset_domains_matching_candidates() {
+        let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+        let domain = t.inputs().iterated_subdivision(1);
+        let (tables, state) = build(&t, &domain, 1).expect("satisfiable");
+        assert_eq!(tables.vars.len(), domain.used_vertices().len());
+        assert_eq!(tables.constraints.len(), domain.facet_count());
+        for c in &tables.constraints {
+            assert!(c.data.num_tuples() > 0, "empty tables are rejected early");
+        }
+        for var in 0..tables.vars.len() {
+            let vals = state.domain_values(&tables, var);
+            assert_eq!(vals.len(), tables.values[var].len());
+            assert_eq!(state.count[var] as usize, vals.len());
+            for &val in &vals {
+                assert!(state.contains(&tables, var, val));
+            }
+        }
+    }
+
+    #[test]
+    fn trail_remove_and_undo_round_trips() {
+        let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+        let domain = t.inputs().iterated_subdivision(1);
+        let (tables, mut state) = build(&t, &domain, 1).expect("satisfiable");
+        let var = (0..tables.vars.len())
+            .find(|&v| state.count[v] > 1)
+            .expect("some branching variable");
+        let before = state.domain_values(&tables, var);
+        let mark = state.trail.len();
+        for &val in &before[1..] {
+            state.remove(&tables, var, val);
+        }
+        assert_eq!(state.count[var], 1);
+        assert_eq!(state.single_value(&tables, var), before[0]);
+        state.undo_to(&tables, mark);
+        assert_eq!(state.domain_values(&tables, var), before);
+        assert_eq!(state.trail.len(), mark);
+    }
+
+    #[test]
+    fn parallel_table_build_matches_serial() {
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let domain = t.inputs().iterated_subdivision(1);
+        let (serial, _) = build(&t, &domain, 1).expect("satisfiable");
+        for threads in [2usize, 4] {
+            let (parallel, _) = build(&t, &domain, threads).expect("satisfiable");
+            assert_eq!(serial.constraints.len(), parallel.constraints.len());
+            for (a, b) in serial.constraints.iter().zip(&parallel.constraints) {
+                assert_eq!(a.members, b.members);
+                assert_eq!(a.data.tuples, b.data.tuples);
+                assert_eq!(a.data.pos_off, b.data.pos_off);
+                assert_eq!(a.residue_base, b.residue_base);
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_tables_are_shared_across_same_signature_facets() {
+        // At level 1 a facet's (color, base_carrier) signature still
+        // determines the facet, but from level 2 on base carriers lose
+        // information and signatures repeat (e.g. every facet subdividing
+        // Chr¹'s central simplex has the all-full signature); the memo
+        // must make same-signature facets share their TupleData.
+        let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+        let domain = t.inputs().iterated_subdivision(2);
+        let (tables, _) = build(&t, &domain, 1).expect("satisfiable");
+        let mut by_sig: HashMap<Vec<(ProcessId, Simplex)>, *const TupleData> = HashMap::new();
+        let mut shared = 0usize;
+        for (ci, c) in tables.constraints.iter().enumerate() {
+            let sig = domain.simplex_signature(&domain.facets()[ci]);
+            match by_sig.get(&sig) {
+                Some(&ptr) => {
+                    assert!(
+                        std::ptr::eq(ptr, Arc::as_ptr(&c.data)),
+                        "same signature shares data"
+                    );
+                    shared += 1;
+                }
+                None => {
+                    by_sig.insert(sig, Arc::as_ptr(&c.data));
+                }
+            }
+        }
+        assert!(shared > 0, "interned subdivisions repeat signatures");
+    }
+
+    #[test]
+    fn propagation_prunes_like_the_paper_instances() {
+        // 2-process consensus on Chr¹: GAC alone wipes out a domain.
+        let t = consensus(2, &[0, 1]);
+        let domain = t.inputs().iterated_subdivision(1);
+        let (tables, mut state) = build(&t, &domain, 1).expect("builds");
+        let mut stats = SearchStats::default();
+        assert!(!propagate(&tables, &mut state, None, &mut stats));
+        assert!(stats.prunes > 0);
+        assert_eq!(stats.wipeouts, 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! The map-search engine: trail-backtracking MRV search over the bitset
+//! CSP of [`crate::csp`], run serially or fanned out over scoped worker
+//! threads that split the root variable's candidate values.
+//!
+//! # Parallel protocol
+//!
+//! After the root GAC fixpoint, the engine picks the same
+//! smallest-domain variable the serial search would branch on first and
+//! partitions its values into contiguous chunks, one per worker
+//! (reusing [`act_topology::parallel_map_ranges`], the subdivision
+//! engine's deterministic fork/join). Each worker clones the mutable
+//! CSP state once, searches its branches in value order, and:
+//!
+//! * checks a shared `AtomicBool` *found/abort* flag at every node,
+//!   stopping early once any worker has a witness;
+//! * draws every node from a shared atomic *budget pool* of
+//!   `max_nodes`, so the whole parallel search is bounded exactly like
+//!   the serial one;
+//! * on success, records `(branch index, witness)` in a shared slot
+//!   that keeps the **lowest branch index** — the deterministic rule
+//!   for which worker's witness is returned.
+//!
+//! Verdicts are deterministic across thread counts: `Found` iff some
+//! branch has a solution, `Unsolvable` iff every branch exhausts its
+//! subtree with no map (no worker ran out of budget), `Exhausted`
+//! otherwise.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use act_topology::{parallel_map_ranges, subdivision_threads, Complex, VertexMap};
+
+use crate::csp::{build, propagate, State, Tables};
+use crate::mapsearch::{SearchResult, SearchStats};
+use crate::task::Task;
+
+/// Tuning knobs of one map search.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchConfig {
+    /// Node budget shared by all workers (the atomic pool).
+    pub max_nodes: usize,
+    /// Worker threads the root branches are split across.
+    pub threads: usize,
+}
+
+impl SearchConfig {
+    /// A config using the environment's thread count
+    /// ([`mapsearch_threads`]).
+    pub fn new(max_nodes: usize) -> SearchConfig {
+        SearchConfig {
+            max_nodes,
+            threads: mapsearch_threads(),
+        }
+    }
+
+    /// A single-threaded config (the serial engine).
+    pub fn serial(max_nodes: usize) -> SearchConfig {
+        SearchConfig {
+            max_nodes,
+            threads: 1,
+        }
+    }
+
+    /// Overrides the thread count.
+    pub fn with_threads(mut self, threads: usize) -> SearchConfig {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// The number of worker threads map searches fan out to: the same
+/// `RAYON_NUM_THREADS`-honouring count as the subdivision engine
+/// (`RAYON_NUM_THREADS=1` forces the serial engine).
+pub fn mapsearch_threads() -> usize {
+    subdivision_threads()
+}
+
+/// Shared node-budget pool: every node, on every worker, draws one unit.
+struct BudgetPool {
+    remaining: AtomicUsize,
+}
+
+impl BudgetPool {
+    fn new(max_nodes: usize) -> BudgetPool {
+        BudgetPool {
+            remaining: AtomicUsize::new(max_nodes),
+        }
+    }
+
+    /// Draws one node from the pool; `false` means the budget ran out
+    /// (the node is still counted by the caller, mirroring the serial
+    /// engine's "the overrunning node is observed" accounting).
+    fn charge(&self) -> bool {
+        self.remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// Outcome of one (sub)search.
+enum Assign {
+    Found,
+    NoMap,
+    Budget,
+    Aborted,
+}
+
+/// Recursive MRV backtracking over the shared tables. Leaves the state
+/// fully assigned on [`Assign::Found`].
+fn search(
+    tables: &Tables,
+    state: &mut State,
+    stats: &mut SearchStats,
+    pool: &BudgetPool,
+    abort: &AtomicBool,
+) -> Assign {
+    if abort.load(Ordering::Relaxed) {
+        return Assign::Aborted;
+    }
+    // Pick the unassigned variable with the smallest domain > 1.
+    let var = (0..tables.vars.len())
+        .filter(|&i| state.count[i] > 1)
+        .min_by_key(|&i| state.count[i]);
+    let var = match var {
+        None => return Assign::Found, // all singletons and GAC-consistent
+        Some(v) => v,
+    };
+    stats.nodes += 1;
+    if !pool.charge() {
+        return Assign::Budget;
+    }
+    for val in state.domain_values(tables, var) {
+        let mark = state.trail.len();
+        assign(tables, state, var, val);
+        if propagate(tables, state, Some(var), stats) {
+            match search(tables, state, stats, pool, abort) {
+                Assign::Found => return Assign::Found,
+                Assign::Budget => return Assign::Budget,
+                Assign::Aborted => return Assign::Aborted,
+                Assign::NoMap => {}
+            }
+        }
+        state.undo_to(tables, mark);
+    }
+    Assign::NoMap
+}
+
+/// Narrows `var` to exactly `val`, trailing every other removal.
+fn assign(tables: &Tables, state: &mut State, var: usize, val: u32) {
+    for other in state.domain_values(tables, var) {
+        if other != val {
+            state.remove(tables, var, other);
+        }
+    }
+}
+
+/// Reads the witnessing map out of a fully assigned state.
+fn extract_map(tables: &Tables, state: &State) -> VertexMap {
+    let mut map = VertexMap::new();
+    for (i, &v) in tables.vars.iter().enumerate() {
+        let val = state.single_value(tables, i);
+        map.set(v, tables.values[i][val as usize]);
+    }
+    map
+}
+
+/// Per-worker report for telemetry and verdict aggregation.
+struct WorkerReport {
+    id: usize,
+    stats: SearchStats,
+    reason: &'static str,
+    budget_ran_out: bool,
+}
+
+fn emit_worker_event(report: &WorkerReport) {
+    if act_obs::enabled() {
+        act_obs::event("mapsearch.worker")
+            .u64("worker", report.id as u64)
+            .u64("nodes", report.stats.nodes as u64)
+            .u64("prunes", report.stats.prunes as u64)
+            .u64("wipeouts", report.stats.wipeouts as u64)
+            .u64("residue_hits", report.stats.residue_hits as u64)
+            .u64("residue_misses", report.stats.residue_misses as u64)
+            .str("reason", report.reason)
+            .emit();
+    }
+}
+
+/// Runs the full search (build → root GAC → serial or parallel
+/// backtracking), accumulating telemetry into `stats`.
+pub(crate) fn run(
+    task: &dyn Task,
+    domain: &Complex,
+    config: &SearchConfig,
+    stats: &mut SearchStats,
+) -> SearchResult {
+    let threads = config.threads.max(1);
+    // The calling thread always does at least the build and root GAC;
+    // the parallel path overrides this with the real fan-out width.
+    stats.workers = 1;
+    let (tables, mut root) = match build(task, domain, threads) {
+        Some(b) => b,
+        None => return SearchResult::Unsolvable,
+    };
+    stats.variables = tables.vars.len();
+    stats.constraints = tables.constraints.len();
+    if !propagate(&tables, &mut root, None, stats) {
+        return SearchResult::Unsolvable;
+    }
+
+    let pool = BudgetPool::new(config.max_nodes);
+    let abort = AtomicBool::new(false);
+
+    // The root branching variable: the serial search's first MRV pick.
+    let split = (0..tables.vars.len())
+        .filter(|&i| root.count[i] > 1)
+        .min_by_key(|&i| root.count[i]);
+    let split = match split {
+        None => {
+            // GAC alone solved it.
+            stats.workers = 1;
+            return SearchResult::Found(extract_map(&tables, &root));
+        }
+        Some(v) => v,
+    };
+
+    let branches = root.domain_values(&tables, split);
+    let workers = threads.min(branches.len());
+    if workers <= 1 {
+        // Serial engine: one worker owns the whole tree.
+        stats.workers = 1;
+        let result = match search(&tables, &mut root, stats, &pool, &abort) {
+            Assign::Found => SearchResult::Found(extract_map(&tables, &root)),
+            Assign::NoMap => SearchResult::Unsolvable,
+            Assign::Budget => SearchResult::Exhausted,
+            Assign::Aborted => unreachable!("serial search never aborts"),
+        };
+        emit_worker_event(&WorkerReport {
+            id: 0,
+            stats: *stats,
+            reason: result.verdict_name(),
+            budget_ran_out: matches!(result, SearchResult::Exhausted),
+        });
+        return result;
+    }
+
+    // Parallel engine: contiguous branch chunks, one scoped worker each.
+    // The winning witness is the one from the lowest branch index that
+    // reported Found — a deterministic rule given the reported set.
+    let best: Mutex<Option<(usize, VertexMap)>> = Mutex::new(None);
+    let worker_id = AtomicUsize::new(0);
+    let reports: Vec<WorkerReport> = parallel_map_ranges(branches.len(), workers, |range| {
+        let id = worker_id.fetch_add(1, Ordering::Relaxed);
+        let mut state = root.clone();
+        let mut wstats = SearchStats::default();
+        let mut reason = "no-map";
+        let mut budget_ran_out = false;
+        for b in range {
+            if abort.load(Ordering::Relaxed) {
+                if reason == "no-map" {
+                    reason = "aborted";
+                }
+                break;
+            }
+            let mark = state.trail.len();
+            assign(&tables, &mut state, split, branches[b]);
+            if propagate(&tables, &mut state, Some(split), &mut wstats) {
+                match search(&tables, &mut state, &mut wstats, &pool, &abort) {
+                    Assign::Found => {
+                        let map = extract_map(&tables, &state);
+                        let mut slot = best.lock().expect("witness slot poisoned");
+                        if slot.as_ref().is_none_or(|(bb, _)| b < *bb) {
+                            *slot = Some((b, map));
+                        }
+                        abort.store(true, Ordering::Relaxed);
+                        reason = "found";
+                        break;
+                    }
+                    Assign::Budget => {
+                        reason = "exhausted";
+                        budget_ran_out = true;
+                        break;
+                    }
+                    Assign::Aborted => {
+                        reason = "aborted";
+                        break;
+                    }
+                    Assign::NoMap => {}
+                }
+            }
+            state.undo_to(&tables, mark);
+        }
+        let report = WorkerReport {
+            id,
+            stats: wstats,
+            reason,
+            budget_ran_out,
+        };
+        emit_worker_event(&report);
+        report
+    });
+
+    stats.workers = reports.len();
+    let mut any_exhausted = false;
+    for r in &reports {
+        stats.nodes += r.stats.nodes;
+        stats.prunes += r.stats.prunes;
+        stats.wipeouts += r.stats.wipeouts;
+        stats.residue_hits += r.stats.residue_hits;
+        stats.residue_misses += r.stats.residue_misses;
+        any_exhausted |= r.budget_ran_out;
+    }
+    if let Some((_, map)) = best.into_inner().expect("witness slot poisoned") {
+        SearchResult::Found(map)
+    } else if any_exhausted {
+        SearchResult::Exhausted
+    } else {
+        // No witness and no worker aborted (abort is only ever set by a
+        // Found), so every branch was exhausted exactly.
+        SearchResult::Unsolvable
+    }
+}

@@ -25,14 +25,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csp;
+mod engine;
 mod mapsearch;
 mod more_tasks;
 mod sperner;
 mod task;
 
+pub use engine::{mapsearch_threads, SearchConfig};
 pub use mapsearch::{
-    find_carried_map, find_carried_map_with_stats, verify_carried_map, SearchResult, SearchStats,
-    SEARCH_NODES, SEARCH_PRUNES,
+    find_carried_map, find_carried_map_with_config, find_carried_map_with_stats,
+    verify_carried_map, SearchResult, SearchStats, SEARCH_NODES, SEARCH_PRUNES, SEARCH_RESIDUE,
 };
 pub use more_tasks::{decode_ac, encode_ac, AcFlag, AdoptCommit, SimplexAgreement};
 pub use sperner::{

@@ -5,16 +5,24 @@
 //! The decision procedure is a constraint search. Every used vertex of the
 //! (subdivided) domain is a variable whose values are same-colored output
 //! vertices; every facet contributes one table constraint whose allowed
-//! tuples are precomputed (facets have at most `n` vertices and a handful
-//! of candidate values each, so tables are small). Generalized arc
-//! consistency over the tables plus backtracking makes both directions —
-//! finding maps and *exhausting* the space (unsolvability proofs) —
-//! practical for the paper's instances.
+//! tuples are precomputed. Generalized arc consistency over the tables
+//! plus backtracking makes both directions — finding maps and *exhausting*
+//! the space (unsolvability proofs) — practical for the paper's instances.
+//!
+//! The implementation is split across two private modules:
+//!
+//! * [`crate::csp`] — bitset domains (candidate sets as `u64`-word masks
+//!   over dense per-variable value indices), a backtracking trail
+//!   (removals are undone instead of domains cloned), GAC with residual
+//!   supports, and parallel, signature-memoized constraint-table
+//!   construction;
+//! * [`crate::engine`] — the MRV backtracking search itself, serial or
+//!   split across scoped workers over the root variable's values with a
+//!   shared abort flag and a pooled node budget (see [`SearchConfig`]).
 
-use std::collections::HashMap;
+use act_topology::{Complex, VertexMap};
 
-use act_topology::{Complex, Simplex, VertexId, VertexMap};
-
+use crate::engine::{run, SearchConfig};
 use crate::task::Task;
 
 /// The verdict of a bounded map search.
@@ -64,7 +72,7 @@ pub struct SearchStats {
     pub variables: usize,
     /// Table constraints (facets of the domain).
     pub constraints: usize,
-    /// Backtracking nodes visited.
+    /// Backtracking nodes visited (summed across workers).
     pub nodes: usize,
     /// Candidate values pruned by generalized arc consistency.
     pub prunes: usize,
@@ -74,191 +82,43 @@ pub struct SearchStats {
     pub budget_remaining: usize,
     /// Subdivision depth (level) of the searched domain.
     pub depth: usize,
+    /// Search workers the root branches were split across.
+    pub workers: usize,
+    /// GAC residual-support checks that validated the cached tuple.
+    pub residue_hits: usize,
+    /// GAC residual-support checks that had to rescan the table.
+    pub residue_misses: usize,
+}
+
+impl SearchStats {
+    /// The residual-support hit rate in `[0, 1]` (0 when no check ran).
+    pub fn residue_hit_rate(&self) -> f64 {
+        let total = self.residue_hits + self.residue_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.residue_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Process-global count of backtracking nodes across all map searches.
 pub static SEARCH_NODES: act_obs::Counter = act_obs::Counter::new("mapsearch.nodes");
 /// Process-global count of GAC prunes across all map searches.
 pub static SEARCH_PRUNES: act_obs::Counter = act_obs::Counter::new("mapsearch.prunes");
-
-/// Internal CSP representation: variables are used domain vertices
-/// (re-indexed densely), values are output vertex ids.
-struct Csp {
-    /// Dense index -> domain vertex.
-    vars: Vec<VertexId>,
-    /// Domain vertex -> dense index.
-    var_of: HashMap<VertexId, usize>,
-    /// Per variable: candidate output vertices (current domains).
-    domains: Vec<Vec<VertexId>>,
-    /// Per facet: member variables and the precomputed allowed tuples
-    /// (aligned with the member order).
-    constraints: Vec<TableConstraint>,
-    /// Per variable: indices of constraints it appears in.
-    constraints_of: Vec<Vec<usize>>,
-}
-
-struct TableConstraint {
-    members: Vec<usize>,
-    tuples: Vec<Vec<VertexId>>,
-}
-
-impl Csp {
-    fn build(task: &dyn Task, domain: &Complex) -> Option<Csp> {
-        let outputs = task.outputs();
-        let vars: Vec<VertexId> = domain.used_vertices();
-        let var_of: HashMap<VertexId, usize> =
-            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-
-        // Initial per-vertex domains.
-        let mut domains = Vec::with_capacity(vars.len());
-        for &v in &vars {
-            let color = domain.color(v);
-            let carrier = &domain.vertex(v).base_carrier;
-            let cands: Vec<VertexId> = (0..outputs.num_vertices())
-                .map(VertexId::from_index)
-                .filter(|&w| {
-                    outputs.color(w) == color
-                        && outputs.contains_simplex(&Simplex::vertex(w))
-                        && task.allows(carrier, &Simplex::vertex(w))
-                })
-                .collect();
-            if cands.is_empty() {
-                return None;
-            }
-            domains.push(cands);
-        }
-
-        // Table constraints: per facet, enumerate assignments whose every
-        // face maps to an allowed output simplex of its own carrier.
-        let mut constraints = Vec::with_capacity(domain.facet_count());
-        let mut constraints_of = vec![Vec::new(); vars.len()];
-        for facet in domain.facets() {
-            let members: Vec<usize> = facet.vertices().iter().map(|v| var_of[v]).collect();
-            let mut tuples = Vec::new();
-            let mut choice = vec![0usize; members.len()];
-            'outer: loop {
-                let assignment: Vec<VertexId> = members
-                    .iter()
-                    .zip(&choice)
-                    .map(|(&m, &c)| domains[m][c])
-                    .collect();
-                if facet_image_valid(task, domain, facet, &assignment) {
-                    tuples.push(assignment);
-                }
-                let mut i = 0;
-                loop {
-                    if i == members.len() {
-                        break 'outer;
-                    }
-                    choice[i] += 1;
-                    if choice[i] < domains[members[i]].len() {
-                        break;
-                    }
-                    choice[i] = 0;
-                    i += 1;
-                }
-            }
-            if tuples.is_empty() {
-                return None;
-            }
-            let ci = constraints.len();
-            for &m in &members {
-                constraints_of[m].push(ci);
-            }
-            constraints.push(TableConstraint { members, tuples });
-        }
-        Some(Csp {
-            vars,
-            var_of,
-            domains,
-            constraints,
-            constraints_of,
-        })
-    }
-
-    /// GAC fixpoint; prunes `domains`. Returns false on wipe-out.
-    fn propagate(&mut self, seed: Option<usize>, stats: &mut SearchStats) -> bool {
-        let mut queue: Vec<usize> = match seed {
-            Some(v) => self.constraints_of[v].clone(),
-            None => (0..self.constraints.len()).collect(),
-        };
-        let mut queued = vec![false; self.constraints.len()];
-        for &q in &queue {
-            queued[q] = true;
-        }
-        while let Some(ci) = queue.pop() {
-            queued[ci] = false;
-            let members = self.constraints[ci].members.clone();
-            for (pos, &m) in members.iter().enumerate() {
-                let before = self.domains[m].len();
-                let dom = &self.domains;
-                let supported: Vec<VertexId> = self.constraints[ci]
-                    .tuples
-                    .iter()
-                    .filter(|t| {
-                        t.iter()
-                            .zip(&members)
-                            .all(|(val, &mm)| dom[mm].contains(val))
-                    })
-                    .map(|t| t[pos])
-                    .collect();
-                self.domains[m].retain(|c| supported.contains(c));
-                stats.prunes += before - self.domains[m].len();
-                if self.domains[m].is_empty() {
-                    stats.wipeouts += 1;
-                    return false;
-                }
-                if self.domains[m].len() < before {
-                    for &other in &self.constraints_of[m] {
-                        if !queued[other] {
-                            queued[other] = true;
-                            queue.push(other);
-                        }
-                    }
-                }
-            }
-        }
-        true
-    }
-}
-
-/// Checks that the image of every face of `facet` under the aligned
-/// assignment is an output simplex allowed by the face's carrier.
-fn facet_image_valid(
-    task: &dyn Task,
-    domain: &Complex,
-    facet: &Simplex,
-    assignment: &[VertexId],
-) -> bool {
-    let outputs = task.outputs();
-    let vs = facet.vertices();
-    let m = vs.len();
-    debug_assert!(m <= 63);
-    for mask in 1u64..(1 << m) {
-        let face = Simplex::from_vertices((0..m).filter(|i| mask & (1 << i) != 0).map(|i| vs[i]));
-        let image = Simplex::from_vertices(
-            (0..m)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(|i| assignment[i]),
-        );
-        if !outputs.contains_simplex(&image) {
-            return false;
-        }
-        let carrier = domain.carrier_in_base(&face);
-        if !task.allows(&carrier, &image) {
-            return false;
-        }
-    }
-    true
-}
+/// Process-global residual-support hit/miss tally across all searches.
+pub static SEARCH_RESIDUE: act_obs::RateCounter = act_obs::RateCounter::new("mapsearch.residue");
 
 /// Searches for a chromatic simplicial map `φ : domain → task.outputs()`
 /// carried by `Δ ∘ carrier`, where `domain` is a subdivision (possibly an
 /// iterated affine task) whose base is the task's input complex.
 ///
-/// `max_nodes` bounds the number of backtracking nodes explored;
-/// [`SearchResult::Exhausted`] is returned when it runs out, so callers
-/// can distinguish "no map" from "gave up".
+/// `max_nodes` bounds the number of backtracking nodes explored (pooled
+/// across all workers); [`SearchResult::Exhausted`] is returned when it
+/// runs out, so callers can distinguish "no map" from "gave up". The
+/// search fans out over [`crate::engine::mapsearch_threads`] workers
+/// (`RAYON_NUM_THREADS=1` forces the serial engine); verdicts are
+/// identical for every thread count.
 ///
 /// # Panics
 ///
@@ -271,11 +131,21 @@ pub fn find_carried_map(task: &dyn Task, domain: &Complex, max_nodes: usize) -> 
 /// [`find_carried_map`], additionally returning the search telemetry
 /// (nodes visited, prunes, wipe-outs, budget remaining). When a telemetry
 /// sink is installed (see [`act_obs`]) the stats are also emitted as a
-/// `mapsearch.done` event.
+/// `mapsearch.done` event (plus one `mapsearch.worker` event per worker).
 pub fn find_carried_map_with_stats(
     task: &dyn Task,
     domain: &Complex,
     max_nodes: usize,
+) -> (SearchResult, SearchStats) {
+    find_carried_map_with_config(task, domain, &SearchConfig::new(max_nodes))
+}
+
+/// [`find_carried_map_with_stats`] with explicit engine knobs: the node
+/// budget and the worker-thread count (see [`SearchConfig`]).
+pub fn find_carried_map_with_config(
+    task: &dyn Task,
+    domain: &Complex,
+    config: &SearchConfig,
 ) -> (SearchResult, SearchStats) {
     assert_eq!(
         domain.base().num_vertices(),
@@ -286,14 +156,16 @@ pub fn find_carried_map_with_stats(
 
     let span = act_obs::span("mapsearch.done");
     let mut stats = SearchStats {
-        budget_remaining: max_nodes,
+        budget_remaining: config.max_nodes,
         depth: domain.level(),
         ..SearchStats::default()
     };
-    let result = search_with_stats(task, domain, max_nodes, &mut stats);
-    stats.budget_remaining = max_nodes.saturating_sub(stats.nodes);
+    let result = run(task, domain, config, &mut stats);
+    stats.budget_remaining = config.max_nodes.saturating_sub(stats.nodes);
     SEARCH_NODES.add(stats.nodes as u64);
     SEARCH_PRUNES.add(stats.prunes as u64);
+    SEARCH_RESIDUE.hit(stats.residue_hits as u64);
+    SEARCH_RESIDUE.miss(stats.residue_misses as u64);
     if act_obs::enabled() {
         span.finish()
             .str("verdict", result.verdict_name())
@@ -304,74 +176,13 @@ pub fn find_carried_map_with_stats(
             .u64("prunes", stats.prunes as u64)
             .u64("wipeouts", stats.wipeouts as u64)
             .u64("budget_remaining", stats.budget_remaining as u64)
+            .u64("workers", stats.workers as u64)
+            .u64("residue_hits", stats.residue_hits as u64)
+            .u64("residue_misses", stats.residue_misses as u64)
+            .f64("residue_hit_rate", stats.residue_hit_rate())
             .emit();
     }
     (result, stats)
-}
-
-fn search_with_stats(
-    task: &dyn Task,
-    domain: &Complex,
-    max_nodes: usize,
-    stats: &mut SearchStats,
-) -> SearchResult {
-    let mut csp = match Csp::build(task, domain) {
-        Some(c) => c,
-        None => return SearchResult::Unsolvable,
-    };
-    stats.variables = csp.vars.len();
-    stats.constraints = csp.constraints.len();
-    if !csp.propagate(None, stats) {
-        return SearchResult::Unsolvable;
-    }
-
-    match search(&mut csp, stats, max_nodes) {
-        Assign::Found => {
-            let mut map = VertexMap::new();
-            for (i, &v) in csp.vars.iter().enumerate() {
-                map.set(v, csp.domains[i][0]);
-            }
-            debug_assert!(csp.var_of.len() == csp.vars.len());
-            SearchResult::Found(map)
-        }
-        Assign::NoMap => SearchResult::Unsolvable,
-        Assign::Budget => SearchResult::Exhausted,
-    }
-}
-
-enum Assign {
-    Found,
-    NoMap,
-    Budget,
-}
-
-fn search(csp: &mut Csp, stats: &mut SearchStats, max_nodes: usize) -> Assign {
-    // Pick the unassigned variable with the smallest domain > 1.
-    let var = (0..csp.domains.len())
-        .filter(|&i| csp.domains[i].len() > 1)
-        .min_by_key(|&i| csp.domains[i].len());
-    let var = match var {
-        None => return Assign::Found, // all singletons and GAC-consistent
-        Some(v) => v,
-    };
-    stats.nodes += 1;
-    if stats.nodes > max_nodes {
-        return Assign::Budget;
-    }
-    let candidates = csp.domains[var].clone();
-    for c in candidates {
-        let saved = csp.domains.clone();
-        csp.domains[var] = vec![c];
-        if csp.propagate(Some(var), stats) {
-            match search(csp, stats, max_nodes) {
-                Assign::Found => return Assign::Found,
-                Assign::Budget => return Assign::Budget,
-                Assign::NoMap => {}
-            }
-        }
-        csp.domains = saved;
-    }
-    Assign::NoMap
 }
 
 /// Independently verifies that `map` is a total chromatic simplicial map
@@ -471,6 +282,7 @@ mod tests {
         assert_eq!(stats.constraints, domain.facet_count());
         assert_eq!(stats.depth, 0);
         assert_eq!(stats.budget_remaining, 100_000 - stats.nodes);
+        assert!(stats.workers >= 1);
 
         // An exhausted search reports an empty budget.
         let t = consensus(2, &[0, 1]);
@@ -538,5 +350,44 @@ mod tests {
         let domain = i.sub_complex(vec![rainbow]).iterated_subdivision(1);
         let result = find_carried_map(&t, &domain, 1_000_000);
         assert!(result.is_unsolvable());
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_on_verdict_and_witness_validity() {
+        // The p4-style solvable instance branches, so the parallel
+        // engine genuinely splits work; every thread count must return
+        // the same verdict and a verifiable witness.
+        let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+        let domain = chr_domain(&t, 1);
+        for threads in [1usize, 2, 4] {
+            let config = SearchConfig::serial(100_000).with_threads(threads);
+            let (result, stats) = find_carried_map_with_config(&t, &domain, &config);
+            let map = result.into_map().expect("solvable at every thread count");
+            assert!(verify_carried_map(&t, &domain, &map));
+            assert!(stats.workers >= 1 && stats.workers <= threads);
+        }
+        // And an unsolvable instance stays exactly unsolvable (never
+        // Exhausted) under the pooled budget.
+        let t = consensus(2, &[0, 1]);
+        let domain = chr_domain(&t, 2);
+        for threads in [1usize, 2, 4] {
+            let config = SearchConfig::serial(1_000_000).with_threads(threads);
+            let (result, _) = find_carried_map_with_config(&t, &domain, &config);
+            assert!(result.is_unsolvable(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn residue_hit_rate_is_observed_on_branching_searches() {
+        let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+        let domain = chr_domain(&t, 1);
+        let (result, stats) = find_carried_map_with_stats(&t, &domain, 1_000_000);
+        assert!(result.is_found());
+        assert!(
+            stats.residue_hits + stats.residue_misses > 0,
+            "GAC ran support checks"
+        );
+        let rate = stats.residue_hit_rate();
+        assert!((0.0..=1.0).contains(&rate));
     }
 }

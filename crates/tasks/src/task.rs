@@ -9,7 +9,10 @@ use act_topology::{ColorSet, Complex, ProcessId, Simplex};
 /// predicate. Implementations must keep `allows` *monotone*: if an output
 /// simplex is allowed, so is each of its faces (this is what makes `Δ` a
 /// carrier map and enables incremental pruning in the map search).
-pub trait Task {
+///
+/// `Send + Sync` is a supertrait so the parallel map-search engine can
+/// share a `&dyn Task` across its scoped worker threads.
+pub trait Task: Send + Sync {
     /// Display name of the task.
     fn name(&self) -> String;
 

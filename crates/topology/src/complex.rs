@@ -458,6 +458,27 @@ impl Complex {
         counts
     }
 
+    /// The intern-key signature of a simplex: the ordered list of
+    /// `(color, base-carrier)` pairs of its vertices.
+    ///
+    /// Two simplices with equal signatures are indistinguishable to any
+    /// computation that only consults vertex colors and base carriers
+    /// (carrier maps `Δ ∘ carrier`, candidate output sets, …). Interned
+    /// subdivisions repeat identical signatures across thousands of
+    /// facets, so the signature is the natural memoization key for
+    /// per-facet tables (the map-search engine keys its constraint-tuple
+    /// cache on it).
+    pub fn simplex_signature(&self, simplex: &Simplex) -> Vec<(ProcessId, Simplex)> {
+        simplex
+            .vertices()
+            .iter()
+            .map(|&v| {
+                let data = self.vertex(v);
+                (data.color, data.base_carrier.clone())
+            })
+            .collect()
+    }
+
     /// Looks up a subdivision vertex by its canonical key
     /// `(color, carrier-in-parent)`.
     pub fn find_vertex(&self, color: ProcessId, carrier: &Simplex) -> Option<VertexId> {
@@ -826,6 +847,34 @@ mod tests {
         assert!(void.f_vector().is_empty());
         assert_eq!(void.dim(), -1);
         assert!(void.is_void());
+    }
+
+    #[test]
+    fn simplex_signatures_key_on_color_and_base_carrier() {
+        let chr = Complex::standard(3).chromatic_subdivision();
+        // The central facet (every vertex carried by the whole base facet)
+        // has a signature distinct from any corner facet.
+        let sigs: Vec<_> = chr
+            .facets()
+            .iter()
+            .map(|f| chr.simplex_signature(f))
+            .collect();
+        assert_eq!(sigs.len(), 13);
+        for (f, sig) in chr.facets().iter().zip(&sigs) {
+            assert_eq!(sig.len(), f.len());
+            for (&v, (color, base)) in f.vertices().iter().zip(sig) {
+                assert_eq!(chr.color(v), *color);
+                assert_eq!(&chr.vertex(v).base_carrier, base);
+            }
+        }
+        // A second subdivision repeats signatures: strictly fewer unique
+        // signatures than facets (the memoization win).
+        let chr2 = chr.chromatic_subdivision();
+        let mut unique: BTreeSet<Vec<(ProcessId, Simplex)>> = BTreeSet::new();
+        for f in chr2.facets() {
+            unique.insert(chr2.simplex_signature(f));
+        }
+        assert!(unique.len() < chr2.facet_count());
     }
 
     #[test]

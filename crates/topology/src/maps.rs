@@ -30,7 +30,7 @@ use crate::simplex::{Simplex, VertexId};
 /// assert!(m.is_simplicial(&chr, &s));
 /// assert!(m.is_chromatic(&chr, &s));
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct VertexMap {
     map: HashMap<VertexId, VertexId>,
 }

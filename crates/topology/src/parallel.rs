@@ -55,8 +55,12 @@ pub(crate) fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
 /// Runs `f` over the chunk ranges of `0..len` on up to `threads` scoped
 /// threads, returning the per-chunk results in chunk order.
 ///
-/// With `threads <= 1` (or a single chunk) no thread is spawned.
-pub(crate) fn parallel_map_ranges<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+/// With `threads <= 1` (or a single chunk) no thread is spawned. Because
+/// the chunks partition `0..len` in order, concatenating the results
+/// reproduces the serial iteration order — the primitive both the
+/// subdivision engine and the map-search engine build their deterministic
+/// fan-outs on.
+pub fn parallel_map_ranges<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,

@@ -3,6 +3,7 @@
 //! telemetry stream aggregates into a valid `RunReport`.
 
 use act_runtime::{run_adversarial, IsSystem, TraceArtifact};
+use act_tasks::{find_carried_map_with_config, SearchConfig, SetConsensus, Task};
 use act_topology::ColorSet;
 use fact::adversary::{Adversary, AgreementFunction};
 use fact::{validate_report_json, RunReport, Solvability};
@@ -11,6 +12,10 @@ use rand::SeedableRng;
 fn fresh() -> IsSystem<u8> {
     IsSystem::new(vec![Some(1), Some(2), Some(3)])
 }
+
+/// The telemetry sink is process-global; tests that install one must not
+/// overlap or they would capture each other's events.
+static SINK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[test]
 fn liveness_failure_artifact_replays_bit_for_bit() {
@@ -55,6 +60,7 @@ fn liveness_failure_artifact_replays_bit_for_bit() {
 
 #[test]
 fn pipeline_telemetry_aggregates_into_a_valid_report() {
+    let _guard = SINK_LOCK.lock().unwrap();
     let sink = act_obs::MemorySink::shared();
     act_obs::install(sink.clone());
 
@@ -87,4 +93,96 @@ fn pipeline_telemetry_aggregates_into_a_valid_report() {
     let back = validate_report_json(&json).expect("round-trips through validation");
     assert_eq!(back.verdict.as_deref(), Some("solvable"));
     assert_eq!(back.events.len(), report.events.len());
+}
+
+#[test]
+fn map_search_emits_per_worker_events_with_the_documented_shape() {
+    let _guard = SINK_LOCK.lock().unwrap();
+    let sink = act_obs::MemorySink::shared();
+    act_obs::install(sink.clone());
+
+    // A branching solvable instance searched with an explicit 2-way
+    // fan-out, so the parallel engine emits one mapsearch.worker event
+    // per worker alongside the aggregated mapsearch.done.
+    let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+    let domain = t.inputs().iterated_subdivision(1);
+    let config = SearchConfig::serial(100_000).with_threads(2);
+    let (result, stats) = find_carried_map_with_config(&t, &domain, &config);
+    assert!(result.is_found());
+
+    act_obs::uninstall();
+    let lines = sink.drain();
+
+    /// Extracts a numeric field (`"name":123`) from a JSON-lines event.
+    fn numeric_field(line: &str, name: &str) -> Option<u64> {
+        let tag = format!("\"{name}\":");
+        let rest = &line[line.find(&tag)? + tag.len()..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        digits.parse().ok()
+    }
+
+    let workers: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"mapsearch.worker\""))
+        .collect();
+    assert_eq!(
+        workers.len(),
+        stats.workers,
+        "one worker event per search worker"
+    );
+    let mut ids = Vec::new();
+    for w in &workers {
+        for field in [
+            "worker",
+            "nodes",
+            "prunes",
+            "wipeouts",
+            "residue_hits",
+            "residue_misses",
+        ] {
+            assert!(
+                numeric_field(w, field).is_some(),
+                "worker event carries numeric {field:?}: {w}"
+            );
+        }
+        assert!(
+            ["found", "no-map", "exhausted", "aborted", "unsolvable"]
+                .iter()
+                .any(|r| w.contains(&format!("\"reason\":\"{r}\""))),
+            "worker event carries a known reason: {w}"
+        );
+        ids.push(numeric_field(w, "worker").unwrap());
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), workers.len(), "worker ids are distinct");
+    assert!(
+        workers.iter().any(|w| w.contains("\"reason\":\"found\"")),
+        "some worker reported the witness"
+    );
+
+    // The aggregated done event carries the new worker/residue fields.
+    let done: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"mapsearch.done\""))
+        .collect();
+    assert_eq!(done.len(), 1, "one aggregated event per search");
+    for field in [
+        "workers",
+        "residue_hits",
+        "residue_misses",
+        "nodes",
+        "budget_remaining",
+    ] {
+        assert!(
+            numeric_field(done[0], field).is_some(),
+            "done event carries numeric {field:?}: {}",
+            done[0]
+        );
+    }
+    assert_eq!(
+        numeric_field(done[0], "workers"),
+        Some(stats.workers as u64)
+    );
+    assert!(done[0].contains("\"residue_hit_rate\":"));
 }

@@ -92,6 +92,7 @@ fn json_escape(s: &str) -> String {
 pub fn write_json_report(name: &str) {
     let results = RESULTS.lock().unwrap();
     let metrics = METRICS.lock().unwrap();
+    let results = dedupe_by_id(&results);
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(name)));
     json.push_str("  \"results\": [\n");
@@ -121,6 +122,21 @@ pub fn write_json_report(name: &str) {
         Ok(()) => println!("benchmark report written to {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+}
+
+/// Keeps one record per id — the **last** run wins (a re-run of a
+/// benchmark supersedes its earlier timing), at the position of the id's
+/// first appearance so report order stays stable.
+fn dedupe_by_id(results: &[BenchRecord]) -> Vec<&BenchRecord> {
+    let mut order: Vec<&str> = Vec::new();
+    let mut last: std::collections::HashMap<&str, &BenchRecord> = std::collections::HashMap::new();
+    for r in results {
+        if !last.contains_key(r.id.as_str()) {
+            order.push(&r.id);
+        }
+        last.insert(&r.id, r);
+    }
+    order.into_iter().map(|id| last[id]).collect()
 }
 
 fn report(id: &str, durations: &[Duration]) {
@@ -264,4 +280,29 @@ macro_rules! criterion_main {
             $crate::write_json_report(::core::env!("CARGO_CRATE_NAME"));
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, mean_ns: u128) -> BenchRecord {
+        BenchRecord {
+            id: id.to_string(),
+            samples: 3,
+            mean_ns,
+            min_ns: mean_ns - 1,
+            max_ns: mean_ns + 1,
+        }
+    }
+
+    #[test]
+    fn duplicate_result_ids_keep_the_last_run() {
+        let records = vec![record("a/1", 10), record("b/1", 20), record("a/1", 30)];
+        let deduped = dedupe_by_id(&records);
+        assert_eq!(deduped.len(), 2);
+        assert_eq!(deduped[0].id, "a/1");
+        assert_eq!(deduped[0].mean_ns, 30, "the re-run supersedes the first");
+        assert_eq!(deduped[1].id, "b/1");
+    }
 }
