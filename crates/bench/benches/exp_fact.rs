@@ -28,6 +28,7 @@ fn print_experiment_data() {
                 Solvability::Solvable { .. } => "solvable",
                 Solvability::NoMapUpTo { .. } => "no-map",
                 Solvability::Exhausted { .. } => "exhausted",
+                Solvability::TimedOut { .. } => "timed-out",
             };
             if k >= power {
                 assert!(verdict.is_solvable(), "{name}: k = {k} must be solvable");

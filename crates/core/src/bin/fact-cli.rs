@@ -25,12 +25,12 @@ use std::process::ExitCode;
 use fact::adversary::{zoo, Adversary, AgreementFunction};
 use fact::affine::fair_affine_task;
 use fact::runtime::{run_adversarial, Trace, TraceArtifact};
-use fact::tasks::SetConsensus;
+use fact::tasks::{SearchConfig, SetConsensus};
 use fact::topology::{betti_numbers, connected_components, is_link_connected, ColorSet, ProcessId};
 use fact::{
     execute_affine_iterations, executed_set_consensus, outputs_to_simplex,
-    set_consensus_verdict_cached, validate_report_json, AlgorithmOneSystem, DomainCache, RunReport,
-    Solvability,
+    set_consensus_verdict_with_config, validate_report_json, AlgorithmOneSystem, DomainCache,
+    FactError, RunReport, Solvability,
 };
 use rand::SeedableRng;
 
@@ -38,7 +38,7 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let report_path = match extract_report_flag(&mut args) {
         Ok(p) => p,
-        Err(msg) => return usage_error(&msg),
+        Err(msg) => return fail(FactError::Usage(msg)),
     };
     match extract_threads_flag(&mut args) {
         // Both the subdivision engine and the map-search engine read
@@ -46,8 +46,12 @@ fn main() -> ExitCode {
         // flag govern every parallel fan-out of the run.
         Ok(Some(n)) => std::env::set_var("RAYON_NUM_THREADS", n.to_string()),
         Ok(None) => {}
-        Err(msg) => return usage_error(&msg),
+        Err(msg) => return fail(FactError::Usage(msg)),
     }
+    let deadline_ms = match extract_deadline_flag(&mut args) {
+        Ok(d) => d,
+        Err(msg) => return fail(FactError::Usage(msg)),
+    };
     // With --report, the run's telemetry is captured in memory and lands
     // in the report; otherwise ACT_OBS_OUT (if set) picks the stream.
     let sink = if report_path.is_some() {
@@ -58,7 +62,18 @@ fn main() -> ExitCode {
         act_obs::init_from_env();
         None
     };
-    let result = run(&args);
+    let degraded_before = fact::tasks::ENGINE_DEGRADED.get();
+    let mut result = run(&args, deadline_ms);
+    // A run that completed but lost a search branch to a caught panic is
+    // reported as degraded (exit code 3): its non-Found verdicts are not
+    // exhaustive, and CI must not treat them as clean.
+    let degraded_runs = fact::tasks::ENGINE_DEGRADED.get() - degraded_before;
+    if result.is_ok() && degraded_runs > 0 {
+        result = Err(FactError::Degraded(format!(
+            "{degraded_runs} map search(es) caught a worker panic; \
+             non-Found verdicts are not exhaustive"
+        )));
+    }
     if let (Some(path), Some(sink)) = (&report_path, &sink) {
         let lines = sink.drain();
         let command = args.first().cloned().unwrap_or_default();
@@ -71,24 +86,28 @@ fn main() -> ExitCode {
         let report = RunReport::from_events(&command, &model, result.is_ok(), verdict, &lines);
         let json = match serde_json::to_string_pretty(&report) {
             Ok(j) => j,
-            Err(e) => return usage_error(&format!("serialize report: {e}")),
+            Err(e) => return fail(FactError::Runtime(format!("serialize report: {e}"))),
         };
         if let Err(e) = std::fs::write(path, json) {
-            return usage_error(&format!("write report {path:?}: {e}"));
+            return fail(FactError::Runtime(format!("write report {path:?}: {e}")));
         }
         eprintln!("report written to {path}");
     }
     match result {
         Ok(_) => ExitCode::SUCCESS,
-        Err(msg) => usage_error(&msg),
+        Err(e) => fail(e),
     }
 }
 
-fn usage_error(msg: &str) -> ExitCode {
-    eprintln!("error: {msg}");
-    eprintln!();
-    eprintln!("{USAGE}");
-    ExitCode::FAILURE
+/// Prints the error (plus usage when the invocation was malformed) and
+/// maps it to its exit code: 1 runtime, 2 usage, 3 degraded, 4 timed out.
+fn fail(e: FactError) -> ExitCode {
+    eprintln!("error: {e}");
+    if e.is_usage() {
+        eprintln!();
+        eprintln!("{USAGE}");
+    }
+    ExitCode::from(e.exit_code())
 }
 
 /// Removes `--report <path>` from the argument list, returning the path.
@@ -127,6 +146,25 @@ fn extract_threads_flag(args: &mut Vec<String>) -> Result<Option<usize>, String>
     }
 }
 
+/// Removes `--deadline-ms <n>` from the argument list, returning the
+/// wall-clock budget for map searches in milliseconds.
+fn extract_deadline_flag(args: &mut Vec<String>) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == "--deadline-ms") {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err("--deadline-ms needs a millisecond count".into());
+            }
+            let raw = args.remove(i + 1);
+            args.remove(i);
+            let n: u64 = raw
+                .parse()
+                .map_err(|_| format!("bad --deadline-ms value {raw:?}"))?;
+            Ok(Some(n))
+        }
+    }
+}
+
 const USAGE: &str = "\
 usage:
   fact-cli analyze <model> [--closure]   adversary/agreement/affine-task report
@@ -141,6 +179,12 @@ options:
   --report <path>   capture the run's telemetry into a RunReport JSON file
   --threads <n>     worker threads for subdivision and map search
                     (sets RAYON_NUM_THREADS; 1 forces the serial engines)
+  --deadline-ms <n> wall-clock budget for each map search; expiry yields
+                    a timed-out verdict (exit code 4), not a hang
+
+exit codes: 0 success | 1 runtime failure | 2 usage error
+            3 degraded run (a search branch was lost to a caught panic)
+            4 search deadline expired
 
 models: wait-free:N | t-res:N:T | k-of:N:K | fig5b | custom:N:{p1,p2};{p3};...
 
@@ -149,16 +193,16 @@ ACT_OBS_ARTIFACTS=<dir> captures liveness-failing runs as replayable traces.";
 
 /// Dispatches a command, returning its one-line verdict (when it has
 /// one) for the `--report` summary.
-fn run(args: &[String]) -> Result<Option<String>, String> {
+fn run(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, FactError> {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
-        Some("solve") => solve(&args[1..]),
+        Some("solve") => solve(&args[1..], deadline_ms),
         Some("simulate") => simulate(&args[1..]),
         Some("census") => census(),
         Some("validate-report") => validate_report(&args[1..]),
         Some("replay") => replay(&args[1..]),
-        Some(other) => Err(format!("unknown command {other:?}")),
-        None => Err("missing command".into()),
+        Some(other) => Err(FactError::Usage(format!("unknown command {other:?}"))),
+        None => Err(FactError::Usage("missing command".into())),
     }
 }
 
@@ -224,8 +268,10 @@ fn parse_n(s: &str) -> Result<usize, String> {
     Ok(n)
 }
 
-fn analyze(args: &[String]) -> Result<Option<String>, String> {
-    let spec = args.first().ok_or("analyze needs a model spec")?;
+fn analyze(args: &[String]) -> Result<Option<String>, FactError> {
+    let spec = args
+        .first()
+        .ok_or_else(|| "analyze needs a model spec".to_string())?;
     let closure = args.iter().any(|a| a == "--closure");
     let a = parse_model(spec, closure)?;
     let n = a.num_processes();
@@ -278,19 +324,21 @@ fn analyze(args: &[String]) -> Result<Option<String>, String> {
     Ok(verdict)
 }
 
-fn solve(args: &[String]) -> Result<Option<String>, String> {
-    let spec = args.first().ok_or("solve needs a model spec")?;
+fn solve(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, FactError> {
+    let spec = args
+        .first()
+        .ok_or_else(|| "solve needs a model spec".to_string())?;
     let k: usize = args
         .get(1)
-        .ok_or("solve needs k")?
+        .ok_or_else(|| "solve needs k".to_string())?
         .parse()
-        .map_err(|_| "bad k")?;
+        .map_err(|_| "bad k".to_string())?;
     let max_iters: usize = match args.get(2) {
         None => 1,
         Some(raw) => {
             let n: usize = raw.parse().map_err(|_| format!("bad iters {raw:?}"))?;
             if n == 0 {
-                return Err("iters must be at least 1".into());
+                return Err(FactError::Usage("iters must be at least 1".into()));
             }
             n
         }
@@ -298,25 +346,31 @@ fn solve(args: &[String]) -> Result<Option<String>, String> {
     let a = parse_model(spec, false)?;
     let n = a.num_processes();
     if !(1..n).contains(&k) {
-        return Err(format!("k must be in 1..{n} to be interesting"));
+        return Err(FactError::Usage(format!(
+            "k must be in 1..{n} to be interesting"
+        )));
     }
     let alpha = AgreementFunction::of_adversary(&a);
     if alpha.alpha(ColorSet::full(n)) == 0 {
-        return Err("the model admits no runs".into());
+        return Err(FactError::Runtime("the model admits no runs".into()));
     }
     let r_a = fair_affine_task(&alpha);
     let values: Vec<u64> = (0..=k as u64).collect();
     let t = SetConsensus::new(n, k, &values);
     println!("model setcon = {}; deciding {k}-set consensus…", a.setcon());
+    let mut config = SearchConfig::new(5_000_000);
+    if let Some(ms) = deadline_ms {
+        config = config.with_deadline(std::time::Duration::from_millis(ms));
+    }
     // One DomainCache across the deepening loop: each new ℓ extends the
     // R_A^ℓ tower by a single subdivision round instead of rebuilding.
     let mut cache = DomainCache::new();
-    let mut verdict = set_consensus_verdict_cached(&mut cache, &t, &r_a, 1, 5_000_000);
+    let mut verdict = set_consensus_verdict_with_config(&mut cache, &t, &r_a, 1, &config);
     for iters in 2..=max_iters {
         if !matches!(verdict, Solvability::NoMapUpTo { .. }) {
             break;
         }
-        verdict = set_consensus_verdict_cached(&mut cache, &t, &r_a, iters, 5_000_000);
+        verdict = set_consensus_verdict_with_config(&mut cache, &t, &r_a, iters, &config);
     }
     match &verdict {
         Solvability::Solvable { iterations, .. } => {
@@ -330,15 +384,23 @@ fn solve(args: &[String]) -> Result<Option<String>, String> {
         Solvability::Exhausted { iterations } => {
             println!("search budget exhausted at {iterations} iteration(s) — verdict unknown")
         }
+        Solvability::TimedOut { iterations } => {
+            println!("search deadline expired at {iterations} iteration(s) — verdict unknown");
+            return Err(FactError::TimedOut {
+                iterations: *iterations,
+            });
+        }
     }
     Ok(Some(verdict.verdict_name().to_string()))
 }
 
-fn simulate(args: &[String]) -> Result<Option<String>, String> {
-    let spec = args.first().ok_or("simulate needs a model spec")?;
+fn simulate(args: &[String]) -> Result<Option<String>, FactError> {
+    let spec = args
+        .first()
+        .ok_or_else(|| "simulate needs a model spec".to_string())?;
     let runs: usize = args
         .get(1)
-        .map(|s| s.parse().map_err(|_| "bad run count"))
+        .map(|s| s.parse().map_err(|_| "bad run count".to_string()))
         .transpose()?
         .unwrap_or(100);
     let a = parse_model(spec, false)?;
@@ -346,7 +408,7 @@ fn simulate(args: &[String]) -> Result<Option<String>, String> {
     let alpha = AgreementFunction::of_adversary(&a);
     let full = ColorSet::full(n);
     if alpha.alpha(full) == 0 {
-        return Err("the model admits no runs".into());
+        return Err(FactError::Runtime("the model admits no runs".into()));
     }
     let r_a = fair_affine_task(&alpha);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC11);
@@ -356,13 +418,17 @@ fn simulate(args: &[String]) -> Result<Option<String>, String> {
         let mut sys = AlgorithmOneSystem::new(&alpha, full);
         let outcome = run_adversarial(&mut sys, full, full, &mut rng, |_| 0, 500_000);
         if !outcome.all_correct_terminated {
-            return Err("liveness violation — this would be a bug".into());
+            return Err(FactError::Runtime(
+                "liveness violation — this would be a bug".into(),
+            ));
         }
         steps += outcome.steps;
-        let sx =
-            outputs_to_simplex(r_a.complex(), &sys.outputs()).ok_or("outputs did not resolve")?;
+        let sx = outputs_to_simplex(r_a.complex(), &sys.outputs())
+            .ok_or_else(|| FactError::Runtime("outputs did not resolve".into()))?;
         if !r_a.complex().contains_simplex(&sx) {
-            return Err("SAFETY violation — this would be a bug".into());
+            return Err(FactError::Runtime(
+                "SAFETY violation — this would be a bug".into(),
+            ));
         }
         distinct.insert(sx);
     }
@@ -383,7 +449,7 @@ fn simulate(args: &[String]) -> Result<Option<String>, String> {
     Ok(Some(format!("{runs} runs live and safe")))
 }
 
-fn census() -> Result<Option<String>, String> {
+fn census() -> Result<Option<String>, FactError> {
     let all = zoo::all_adversaries(3);
     let fair = all.iter().filter(|a| a.is_fair()).count();
     let sym = all.iter().filter(|a| a.is_symmetric()).count();
@@ -412,10 +478,13 @@ fn census() -> Result<Option<String>, String> {
     Ok(None)
 }
 
-fn validate_report(args: &[String]) -> Result<Option<String>, String> {
-    let path = args.first().ok_or("validate-report needs a file path")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
-    let report = validate_report_json(&text)?;
+fn validate_report(args: &[String]) -> Result<Option<String>, FactError> {
+    let path = args
+        .first()
+        .ok_or_else(|| "validate-report needs a file path".to_string())?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| FactError::Runtime(format!("read {path:?}: {e}")))?;
+    let report = validate_report_json(&text).map_err(FactError::Runtime)?;
     println!(
         "valid run report: command={:?} model={:?} ok={} events={}",
         report.command,
@@ -433,18 +502,24 @@ fn validate_report(args: &[String]) -> Result<Option<String>, String> {
     Ok(Some("valid".into()))
 }
 
-fn replay(args: &[String]) -> Result<Option<String>, String> {
-    let path = args.first().ok_or("replay needs an artifact path")?;
-    let spec = args.get(1).ok_or("replay needs a model spec")?;
+fn replay(args: &[String]) -> Result<Option<String>, FactError> {
+    let path = args
+        .first()
+        .ok_or_else(|| "replay needs an artifact path".to_string())?;
+    let spec = args
+        .get(1)
+        .ok_or_else(|| "replay needs a model spec".to_string())?;
     let a = parse_model(spec, false)?;
     let alpha = AgreementFunction::of_adversary(&a);
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| FactError::Runtime(format!("read {path:?}: {e}")))?;
     // Accept full artifacts and bare (possibly pre-context) traces.
     let (trace, reason) = match serde_json::from_str::<TraceArtifact>(&text) {
         Ok(artifact) => (artifact.trace, artifact.reason),
         Err(_) => (
-            serde_json::from_str::<Trace>(&text)
-                .map_err(|e| format!("parse {path:?}: neither artifact nor trace: {e}"))?,
+            serde_json::from_str::<Trace>(&text).map_err(|e| {
+                FactError::Runtime(format!("parse {path:?}: neither artifact nor trace: {e}"))
+            })?,
             "bare-trace".to_string(),
         ),
     };
@@ -453,8 +528,17 @@ fn replay(args: &[String]) -> Result<Option<String>, String> {
         trace.len(),
         trace.participants
     );
+    if let Some(plan) = &trace.fault_plan {
+        // The recorded schedule already reflects every injected fault, so
+        // the replay never re-injects; the plan is provenance only.
+        println!(
+            "fault plan            : seed {:#x}, {} event(s) (recorded, not re-injected)",
+            plan.seed,
+            plan.events.len()
+        );
+    }
     let mut sys = AlgorithmOneSystem::new(&alpha, trace.participants);
-    let terminated = trace.replay(&mut sys);
+    let terminated = trace.replay(&mut sys)?;
     println!("terminated            : {terminated}");
     let verdict = match trace.correct_terminated(terminated) {
         Some(true) => "correct set terminated — the recorded failure did NOT reproduce",
@@ -499,13 +583,42 @@ mod tests {
 
     #[test]
     fn commands_dispatch() {
-        assert!(run(&[]).is_err());
-        assert!(run(&["frobnicate".into()]).is_err());
-        assert!(run(&["census".into()]).is_ok());
-        assert!(run(&["analyze".into(), "k-of:3:1".into()]).is_ok());
-        assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into()]).is_ok());
-        assert!(run(&["validate-report".into()]).is_err());
-        assert!(run(&["replay".into(), "/no/such/file".into(), "t-res:3:1".into()]).is_err());
+        assert!(run(&[], None).is_err());
+        assert!(run(&["frobnicate".into()], None).is_err());
+        assert!(run(&["census".into()], None).is_ok());
+        assert!(run(&["analyze".into(), "k-of:3:1".into()], None).is_ok());
+        assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into()], None).is_ok());
+        assert!(run(&["validate-report".into()], None).is_err());
+        assert!(run(
+            &["replay".into(), "/no/such/file".into(), "t-res:3:1".into()],
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn errors_carry_their_exit_codes() {
+        // Malformed invocations are usage errors (exit 2)…
+        let e = run(&["frobnicate".into()], None).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(e.is_usage());
+        // …while failures on well-formed invocations are runtime (exit 1).
+        let e = run(
+            &["replay".into(), "/no/such/file".into(), "t-res:3:1".into()],
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+        assert!(!e.is_usage());
+    }
+
+    #[test]
+    fn zero_deadline_times_out_the_solve() {
+        // A deadline that has already expired must surface as TimedOut
+        // (exit 4), never as Exhausted or a hang.
+        let e = run(&["solve".into(), "k-of:3:1".into(), "1".into()], Some(0)).unwrap_err();
+        assert!(matches!(e, FactError::TimedOut { .. }), "got {e:?}");
+        assert_eq!(e.exit_code(), 4);
     }
 
     #[test]
@@ -533,9 +646,34 @@ mod tests {
 
     #[test]
     fn solve_accepts_an_iteration_bound() {
-        assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into(), "2".into()]).is_ok());
-        assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into(), "0".into()]).is_err());
-        assert!(run(&["solve".into(), "k-of:3:1".into(), "1".into(), "x".into()]).is_err());
+        let solve = |iters: &str| {
+            run(
+                &["solve".into(), "k-of:3:1".into(), "1".into(), iters.into()],
+                None,
+            )
+        };
+        assert!(solve("2").is_ok());
+        assert!(solve("0").is_err());
+        assert!(solve("x").is_err());
+    }
+
+    #[test]
+    fn deadline_flag_is_extracted() {
+        let mut args: Vec<String> = ["solve", "--deadline-ms", "250", "t-res:3:1", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(extract_deadline_flag(&mut args).unwrap(), Some(250));
+        assert_eq!(args, ["solve", "t-res:3:1", "2"]);
+
+        let mut none: Vec<String> = vec!["census".into()];
+        assert_eq!(extract_deadline_flag(&mut none).unwrap(), None);
+
+        let mut missing: Vec<String> = vec!["census".into(), "--deadline-ms".into()];
+        assert!(extract_deadline_flag(&mut missing).is_err());
+
+        let mut junk: Vec<String> = vec!["--deadline-ms".into(), "soon".into()];
+        assert!(extract_deadline_flag(&mut junk).is_err());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod algorithm1;
+mod error;
 mod iterated;
 mod leader;
 mod protocol_complex;
@@ -58,6 +59,7 @@ pub use act_tasks as tasks;
 pub use act_topology as topology;
 
 pub use algorithm1::{outputs_to_simplex, AlgorithmOneOutput, AlgorithmOneSystem};
+pub use error::FactError;
 pub use iterated::{
     alpha_model_set_consensus, execute_affine_iterations, executed_set_consensus,
     object_model_set_consensus,
@@ -71,5 +73,6 @@ pub use simulation::{
 };
 pub use solver::{
     affine_domain, affine_domain_cached, set_consensus_verdict, set_consensus_verdict_cached,
-    solve_in_fair_model, solve_in_model, DomainCache, Solvability,
+    set_consensus_verdict_with_config, solve_in_fair_model, solve_in_model,
+    solve_in_model_with_config, DomainCache, Solvability,
 };

@@ -4,7 +4,7 @@
 
 use act_adversary::AgreementFunction;
 use act_affine::AffineTask;
-use act_tasks::{find_carried_map_with_stats, SearchResult, Task};
+use act_tasks::{find_carried_map_with_config, SearchConfig, SearchResult, Task};
 use act_topology::{Complex, VertexMap};
 
 /// The verdict of the bounded FACT pipeline.
@@ -29,6 +29,15 @@ pub enum Solvability {
         /// The iteration count at which the search gave up.
         iterations: usize,
     },
+    /// The wall-clock deadline ([`SearchConfig::deadline`]) expired at
+    /// some depth — distinct from [`Exhausted`]: the node budget may
+    /// have been plentiful, the clock was not.
+    ///
+    /// [`Exhausted`]: Solvability::Exhausted
+    TimedOut {
+        /// The iteration count at which the deadline fired.
+        iterations: usize,
+    },
 }
 
 impl Solvability {
@@ -43,6 +52,7 @@ impl Solvability {
             Solvability::Solvable { .. } => "solvable",
             Solvability::NoMapUpTo { .. } => "no-map",
             Solvability::Exhausted { .. } => "exhausted",
+            Solvability::TimedOut { .. } => "timed-out",
         }
     }
 }
@@ -130,11 +140,52 @@ impl DomainCache {
             self.key = Some((affine.complex().clone(), inputs.clone()));
             self.levels.clear();
         }
+        // Self-healing: a poisoned tower level (empty, or a level count
+        // that does not strictly grow — e.g. a worker died mid-build in a
+        // previous use) is detected and the tower rebuilt from the last
+        // sound level, instead of serving a corrupt domain.
+        if let Some(bad) = self.first_invalid_level(inputs) {
+            if act_obs::enabled() {
+                act_obs::event("solver.cache_rebuilt")
+                    .u64("level", bad as u64)
+                    .u64("cached", self.levels.len() as u64)
+                    .emit();
+            }
+            self.levels.truncate(bad - 1);
+        }
         while self.levels.len() < iterations {
             let next = affine.apply_to(self.levels.last().unwrap_or(inputs));
             self.levels.push(next);
         }
         &self.levels[iterations - 1]
+    }
+
+    /// The first (1-based) tower level that is structurally unsound:
+    /// empty, or whose subdivision level does not strictly exceed its
+    /// predecessor's. `None` when the whole tower is sound.
+    fn first_invalid_level(&self, inputs: &Complex) -> Option<usize> {
+        let mut prev = inputs.level();
+        for (i, c) in self.levels.iter().enumerate() {
+            if c.facet_count() == 0 || c.level() <= prev {
+                return Some(i + 1);
+            }
+            prev = c.level();
+        }
+        None
+    }
+
+    /// Chaos hook: corrupts tower level `level` (1-based) in place,
+    /// returning whether the level existed. The next [`Self::domain`]
+    /// call must detect the poison and rebuild from the preceding sound
+    /// level — exercised by the chaos suite.
+    pub fn poison_level(&mut self, level: usize) -> bool {
+        match level.checked_sub(1).and_then(|i| self.levels.get_mut(i)) {
+            Some(slot) => {
+                *slot = Complex::standard(1);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -158,13 +209,25 @@ pub fn solve_in_model(
     max_iterations: usize,
     max_nodes: usize,
 ) -> Solvability {
+    solve_in_model_with_config(task, affine, max_iterations, &SearchConfig::new(max_nodes))
+}
+
+/// [`solve_in_model`] with explicit engine knobs ([`SearchConfig`]):
+/// thread count and the optional wall-clock deadline, which surfaces as
+/// [`Solvability::TimedOut`].
+pub fn solve_in_model_with_config(
+    task: &dyn Task,
+    affine: &AffineTask,
+    max_iterations: usize,
+    config: &SearchConfig,
+) -> Solvability {
     // One incremental tower for the whole deepening loop: depth ℓ costs
     // one apply_to, not ℓ.
     let mut cache = DomainCache::new();
     for iterations in 1..=max_iterations {
         let span = act_obs::span("solver.iteration");
         let domain = cache.domain(affine, task.inputs(), iterations).clone();
-        let (result, stats) = find_carried_map_with_stats(task, &domain, max_nodes);
+        let (result, stats) = find_carried_map_with_config(task, &domain, config);
         if act_obs::enabled() {
             span.finish()
                 .u64("iterations", iterations as u64)
@@ -178,6 +241,7 @@ pub fn solve_in_model(
             SearchResult::Found(map) => return Solvability::Solvable { iterations, map },
             SearchResult::Unsolvable => continue,
             SearchResult::Exhausted => return Solvability::Exhausted { iterations },
+            SearchResult::TimedOut => return Solvability::TimedOut { iterations },
         }
     }
     Solvability::NoMapUpTo { max_iterations }
@@ -220,6 +284,25 @@ pub fn set_consensus_verdict_cached(
     iterations: usize,
     max_nodes: usize,
 ) -> Solvability {
+    set_consensus_verdict_with_config(
+        cache,
+        task,
+        affine,
+        iterations,
+        &SearchConfig::new(max_nodes),
+    )
+}
+
+/// [`set_consensus_verdict_cached`] with explicit engine knobs
+/// ([`SearchConfig`]): thread count and the optional wall-clock
+/// deadline, which surfaces as [`Solvability::TimedOut`].
+pub fn set_consensus_verdict_with_config(
+    cache: &mut DomainCache,
+    task: &act_tasks::SetConsensus,
+    affine: &AffineTask,
+    iterations: usize,
+    config: &SearchConfig,
+) -> Solvability {
     let n = task.num_processes();
     let inputs = task.rainbow_inputs();
     let domain = cache.domain(affine, &inputs, iterations).clone();
@@ -241,13 +324,14 @@ pub fn set_consensus_verdict_cached(
             };
         }
     }
-    let (result, stats) = find_carried_map_with_stats(task, &domain, max_nodes);
+    let (result, stats) = find_carried_map_with_config(task, &domain, config);
     let verdict = match result {
         SearchResult::Found(map) => Solvability::Solvable { iterations, map },
         SearchResult::Unsolvable => Solvability::NoMapUpTo {
             max_iterations: iterations,
         },
         SearchResult::Exhausted => Solvability::Exhausted { iterations },
+        SearchResult::TimedOut => Solvability::TimedOut { iterations },
     };
     if act_obs::enabled() {
         span.finish()
@@ -437,6 +521,32 @@ mod tests {
         let cached = set_consensus_verdict_cached(&mut cache, &t, &affine, 1, 2_000_000);
         let direct = set_consensus_verdict(&t, &affine, 1, 2_000_000);
         assert!(cached.is_solvable() && direct.is_solvable());
+    }
+
+    #[test]
+    fn poisoned_cache_levels_are_rebuilt() {
+        let alpha = AgreementFunction::k_concurrency(2, 2);
+        let affine = act_affine::fair_affine_task(&alpha);
+        let inputs = Complex::standard(2);
+        let mut cache = DomainCache::new();
+        let sound = cache.domain(&affine, &inputs, 3).clone();
+        assert_eq!(cache.cached_levels(), 3);
+
+        // Poison the middle level: the next query must detect it and
+        // rebuild from level 1, serving a domain equal to the sound one.
+        assert!(cache.poison_level(2));
+        let healed = cache.domain(&affine, &inputs, 3).clone();
+        assert_eq!(healed, sound, "rebuild restores the exact tower");
+        assert_eq!(cache.cached_levels(), 3);
+
+        // Poisoning the base level forces a full rebuild.
+        assert!(cache.poison_level(1));
+        let healed = cache.domain(&affine, &inputs, 2).clone();
+        assert_eq!(healed, affine_domain(&affine, &inputs, 2));
+
+        // Out-of-range levels are reported, not panicked on.
+        assert!(!cache.poison_level(0));
+        assert!(!cache.poison_level(99));
     }
 
     #[test]

@@ -92,7 +92,9 @@ impl FileSink {
 
 impl Sink for FileSink {
     fn write_line(&self, line: &str) {
-        let mut f = self.file.lock().expect("file sink poisoned");
+        // Telemetry must never turn a caught worker panic into a second
+        // failure: a poisoned lock still guards a valid File, so recover.
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
         let _ = writeln!(f, "{line}");
     }
 }
@@ -112,12 +114,12 @@ impl MemorySink {
 
     /// A snapshot of the lines collected so far.
     pub fn lines(&self) -> Vec<String> {
-        self.lines.lock().expect("memory sink poisoned").clone()
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Removes and returns every collected line.
     pub fn drain(&self) -> Vec<String> {
-        std::mem::take(&mut *self.lines.lock().expect("memory sink poisoned"))
+        std::mem::take(&mut *self.lines.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -125,7 +127,7 @@ impl Sink for MemorySink {
     fn write_line(&self, line: &str) {
         self.lines
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push(line.to_string());
     }
 }
@@ -148,14 +150,14 @@ pub fn enabled() -> bool {
 /// Installs `sink` as the process-global event sink (replacing any
 /// previous one) and enables telemetry.
 pub fn install(sink: Arc<dyn Sink>) {
-    *sink_slot().write().expect("sink slot poisoned") = Some(sink);
+    *sink_slot().write().unwrap_or_else(|e| e.into_inner()) = Some(sink);
     ENABLED.store(true, Ordering::Release);
 }
 
 /// Disables telemetry and drops the installed sink, if any.
 pub fn uninstall() {
     ENABLED.store(false, Ordering::Release);
-    *sink_slot().write().expect("sink slot poisoned") = None;
+    *sink_slot().write().unwrap_or_else(|e| e.into_inner()) = None;
 }
 
 /// Installs a sink according to `ACT_OBS_OUT`: `stderr` (or `-`) for
@@ -184,11 +186,18 @@ pub fn init_from_env() -> bool {
 /// The directory where failing runs are captured as replayable JSON
 /// artifacts: `ACT_OBS_ARTIFACTS` if set, else `target/act-artifacts`
 /// when telemetry is enabled, else `None` (capture disabled).
+///
+/// A set-but-blank `ACT_OBS_ARTIFACTS` is malformed; it warns once and
+/// falls back to the default rather than disabling capture silently.
 pub fn artifacts_dir() -> Option<PathBuf> {
     if let Ok(dir) = std::env::var("ACT_OBS_ARTIFACTS") {
         if !dir.trim().is_empty() {
             return Some(PathBuf::from(dir.trim()));
         }
+        static WARN: std::sync::Once = std::sync::Once::new();
+        WARN.call_once(|| {
+            eprintln!("act-obs: ACT_OBS_ARTIFACTS is set but blank; using the default directory");
+        });
     }
     enabled().then(|| PathBuf::from("target/act-artifacts"))
 }
@@ -200,7 +209,11 @@ pub fn next_artifact_id() -> u64 {
 }
 
 fn emit_line(line: &str) {
-    if let Some(sink) = sink_slot().read().expect("sink slot poisoned").as_ref() {
+    if let Some(sink) = sink_slot()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+    {
         sink.write_line(line);
     }
 }
@@ -551,6 +564,71 @@ mod tests {
         with_memory_sink(|_| {
             assert_eq!(artifacts_dir(), Some(PathBuf::from("target/act-artifacts")));
         });
+    }
+
+    #[test]
+    fn unopenable_obs_out_warns_and_stays_disabled() {
+        // An ACT_OBS_OUT value that cannot be opened as a file (here: an
+        // existing directory) must warn and leave telemetry off, not
+        // panic or half-install a sink.
+        with_memory_sink(|_| {
+            uninstall();
+            let dir = std::env::temp_dir();
+            std::env::set_var("ACT_OBS_OUT", &dir);
+            let installed = init_from_env();
+            std::env::remove_var("ACT_OBS_OUT");
+            assert!(!installed);
+            assert!(!enabled());
+        });
+    }
+
+    #[test]
+    fn blank_obs_out_is_ignored() {
+        with_memory_sink(|_| {
+            uninstall();
+            std::env::set_var("ACT_OBS_OUT", "   ");
+            let installed = init_from_env();
+            std::env::remove_var("ACT_OBS_OUT");
+            assert!(!installed);
+            assert!(!enabled());
+        });
+    }
+
+    #[test]
+    fn blank_artifacts_env_falls_back_to_default() {
+        with_memory_sink(|_| {
+            std::env::set_var("ACT_OBS_ARTIFACTS", "  ");
+            let dir = artifacts_dir();
+            std::env::remove_var("ACT_OBS_ARTIFACTS");
+            assert_eq!(dir, Some(PathBuf::from("target/act-artifacts")));
+        });
+    }
+
+    #[test]
+    fn artifacts_env_overrides_default() {
+        with_memory_sink(|_| {
+            std::env::set_var("ACT_OBS_ARTIFACTS", " /tmp/act-chaos ");
+            let dir = artifacts_dir();
+            std::env::remove_var("ACT_OBS_ARTIFACTS");
+            assert_eq!(dir, Some(PathBuf::from("/tmp/act-chaos")));
+        });
+    }
+
+    #[test]
+    fn poisoned_sink_locks_recover() {
+        // A panic while holding a sink lock poisons it; telemetry must
+        // keep flowing afterwards instead of cascading the failure.
+        let sink = Arc::new(MemorySink::default());
+        let s2 = sink.clone();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = s2.lines.lock().unwrap();
+            panic!("poison the memory sink");
+        }));
+        std::panic::set_hook(hook);
+        sink.write_line("after-poison");
+        assert_eq!(sink.lines(), vec!["after-poison"]);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! * [`System`] and the schedulers — explicit replayable schedules
 //!   ([`run_schedule`]), seeded adversarial sampling ([`run_adversarial`])
 //!   and bounded exhaustive exploration ([`explore_schedules`]);
+//! * [`FaultPlan`] / [`FaultInjector`] — the chaos layer: seeded,
+//!   replayable crash / stall / perturbation injection into the
+//!   schedulers ([`run_adversarial_with_faults`],
+//!   [`explore_schedules_with_faults`]);
 //! * [`run_iis_with_bg`] / [`facet_of_run`] — the IIS model: executed runs
 //!   resolve to facets of `Chr^m s`;
 //! * [`SharedSnapshotMemory`] — a thread-backed variant for examples that
@@ -33,6 +37,7 @@
 mod afek;
 mod bg_simulation;
 mod concurrent;
+mod fault;
 mod iis;
 mod immediate;
 mod memory;
@@ -43,12 +48,16 @@ mod trace;
 pub use afek::{AfekCell, AfekScan, AfekShared, AfekSystem, AfekUpdate, RecordedScan};
 pub use bg_simulation::{simulators, BgSimulation, SafeAgreement};
 pub use concurrent::SharedSnapshotMemory;
+pub use fault::{
+    explore_schedules_with_faults, run_adversarial_with_faults, FaultEvent, FaultInjector,
+    FaultPlan, FaultReport,
+};
 pub use iis::{facet_of_run, random_osp, run_iis_with_bg};
 pub use immediate::{osp_from_views, IsProcess, IsShared, IsSystem, OracleIs};
 pub use memory::{RegisterArray, SnapshotMemory};
 pub use objects::{AdaptiveConsensusObject, AgreementBound};
 pub use scheduler::{
     explore_schedules, explore_schedules_cloned, run_adversarial, run_schedule, RunOutcome,
-    Schedule, System, LIVENESS_FAILURES,
+    Schedule, ScheduleError, System, LIVENESS_FAILURES,
 };
 pub use trace::{Trace, TraceArtifact};

@@ -26,6 +26,34 @@ pub trait System {
 /// An explicit schedule: the sequence of processes taking steps.
 pub type Schedule = Vec<ProcessId>;
 
+/// A schedule referenced a process the system does not have: step
+/// `step` named `process`, but the system only has `num_processes`
+/// processes. Returned by [`run_schedule`] (and trace replay) instead
+/// of indexing out of range inside the system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// Index into the schedule of the offending step.
+    pub step: usize,
+    /// The out-of-range process the step named.
+    pub process: ProcessId,
+    /// The system's process count.
+    pub num_processes: usize,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "schedule step {} names process {}, but the system has only {} processes",
+            self.step,
+            self.process.index(),
+            self.num_processes
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// The outcome of driving a system.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunOutcome {
@@ -54,24 +82,40 @@ pub struct RunOutcome {
 /// `correct` set is the set of processes appearing in `schedule`, and
 /// `all_correct_terminated` holds iff every one of them has terminated
 /// after the replay.
-pub fn run_schedule<S: System>(sys: &mut S, schedule: &[ProcessId]) -> RunOutcome {
+///
+/// Every step is bounds-checked against the system's process count
+/// *before* any step executes, so a corrupted schedule returns
+/// [`ScheduleError`] with the system untouched instead of indexing out
+/// of range mid-run.
+pub fn run_schedule<S: System>(
+    sys: &mut S,
+    schedule: &[ProcessId],
+) -> Result<RunOutcome, ScheduleError> {
+    let n = sys.num_processes();
+    if let Some((step, &process)) = schedule.iter().enumerate().find(|(_, p)| p.index() >= n) {
+        return Err(ScheduleError {
+            step,
+            process,
+            num_processes: n,
+        });
+    }
     let mut scheduled = ColorSet::EMPTY;
     for &p in schedule {
         sys.step(p);
         scheduled = scheduled.with(p);
     }
     let terminated = terminated_set(sys);
-    RunOutcome {
+    Ok(RunOutcome {
         steps: schedule.len(),
         terminated,
         all_correct_terminated: scheduled.is_subset_of(terminated),
         schedule: schedule.to_vec(),
         correct: scheduled,
         crash_budgets: Vec::new(),
-    }
+    })
 }
 
-fn terminated_set<S: System>(sys: &S) -> ColorSet {
+pub(crate) fn terminated_set<S: System>(sys: &S) -> ColorSet {
     (0..sys.num_processes())
         .map(ProcessId::new)
         .filter(|&p| sys.has_terminated(p))
@@ -97,8 +141,44 @@ pub fn run_adversarial<S, R, F>(
     participants: ColorSet,
     correct: ColorSet,
     rng: &mut R,
+    crash_budget: F,
+    max_steps: usize,
+) -> RunOutcome
+where
+    S: System,
+    R: rand::Rng,
+    F: FnMut(ProcessId) -> usize,
+{
+    let outcome = run_adversarial_inner(
+        sys,
+        participants,
+        correct,
+        rng,
+        crash_budget,
+        max_steps,
+        None,
+    );
+    if !outcome.all_correct_terminated {
+        LIVENESS_FAILURES.add(1);
+        crate::trace::capture_liveness_artifact(participants, &outcome, max_steps);
+    }
+    outcome
+}
+
+/// The adversarial scheduling loop shared by [`run_adversarial`] and the
+/// fault-injection wrapper ([`crate::fault::run_adversarial_with_faults`]):
+/// when an injector is supplied, it gets a hook at every decision point
+/// (crash events before eligibility, stall filtering of the eligible set,
+/// and perturbation of the random pick). Liveness accounting and artifact
+/// capture are the wrappers' responsibility.
+pub(crate) fn run_adversarial_inner<S, R, F>(
+    sys: &mut S,
+    participants: ColorSet,
+    correct: ColorSet,
+    rng: &mut R,
     mut crash_budget: F,
     max_steps: usize,
+    mut injector: Option<&mut crate::fault::FaultInjector>,
 ) -> RunOutcome
 where
     S: System,
@@ -128,8 +208,14 @@ where
     let mut schedule = Vec::new();
     let mut steps = 0usize;
     let outcome = loop {
+        // Injected crash events fire at their step index, zeroing the
+        // target's remaining budget (correct processes are exempt — a
+        // fair adversary may not crash them).
+        if let Some(inj) = injector.as_deref_mut() {
+            inj.apply_crashes(steps, correct, &mut budgets);
+        }
         // Eligible: not terminated, with budget left.
-        let eligible: Vec<ProcessId> = (0..sys.num_processes())
+        let mut eligible: Vec<ProcessId> = (0..sys.num_processes())
             .map(ProcessId::new)
             .filter(|&p| !sys.has_terminated(p) && budgets[p.index()] != Some(0))
             .collect();
@@ -154,7 +240,17 @@ where
                 crash_budgets: initial_budgets,
             };
         }
-        let p = eligible[rng.gen_range(0..eligible.len())];
+        if let Some(inj) = injector.as_deref_mut() {
+            // Stalled processes are withheld from the pick — unless that
+            // would empty the eligible set, which an (eventually fair)
+            // stall may not do.
+            eligible = inj.filter_stalls(eligible, steps);
+        }
+        let mut idx = rng.gen_range(0..eligible.len());
+        if let Some(inj) = injector.as_deref_mut() {
+            idx = inj.perturb(steps, idx, eligible.len());
+        }
+        let p = eligible[idx];
         if let Some(b) = &mut budgets[p.index()] {
             *b -= 1;
         }
@@ -168,10 +264,6 @@ where
             .u64("terminated", outcome.terminated.len() as u64)
             .bool("live", outcome.all_correct_terminated)
             .emit();
-    }
-    if !outcome.all_correct_terminated {
-        LIVENESS_FAILURES.add(1);
-        crate::trace::capture_liveness_artifact(participants, &outcome, max_steps);
     }
     outcome
 }
@@ -301,7 +393,7 @@ impl ExploreStats {
 }
 
 /// Builds the outcome of a maximal (or depth-aborted) explored run.
-fn explored_outcome<S: System>(
+pub(crate) fn explored_outcome<S: System>(
     sys: &S,
     correct: ColorSet,
     correct_pending: bool,
@@ -461,7 +553,7 @@ mod tests {
     fn run_schedule_replays() {
         let mut sys = Countdown::new(2, 2);
         let p0 = ProcessId::new(0);
-        let outcome = run_schedule(&mut sys, &[p0, p0]);
+        let outcome = run_schedule(&mut sys, &[p0, p0]).expect("in-range schedule");
         assert_eq!(outcome.steps, 2);
         assert!(sys.has_terminated(p0));
         assert!(!sys.has_terminated(ProcessId::new(1)));
@@ -477,7 +569,7 @@ mod tests {
         let mut sys = Countdown::new(2, 2);
         let p0 = ProcessId::new(0);
         let p1 = ProcessId::new(1);
-        let outcome = run_schedule(&mut sys, &[p0, p1, p0, p1]);
+        let outcome = run_schedule(&mut sys, &[p0, p1, p0, p1]).expect("in-range schedule");
         assert_eq!(outcome.terminated, ColorSet::full(2));
         assert_eq!(outcome.correct, ColorSet::full(2));
         assert!(
@@ -488,16 +580,35 @@ mod tests {
         // A partial schedule leaves p1 running: liveness fails for the
         // scheduled set.
         let mut sys = Countdown::new(2, 2);
-        let outcome = run_schedule(&mut sys, &[p0, p0, p1]);
+        let outcome = run_schedule(&mut sys, &[p0, p0, p1]).expect("in-range schedule");
         assert_eq!(outcome.correct, ColorSet::full(2));
         assert!(!outcome.all_correct_terminated);
 
         // Liveness is judged against scheduled processes only: never
         // scheduling p1 at all is not a failure.
         let mut sys = Countdown::new(2, 2);
-        let outcome = run_schedule(&mut sys, &[p0, p0]);
+        let outcome = run_schedule(&mut sys, &[p0, p0]).expect("in-range schedule");
         assert_eq!(outcome.correct, ColorSet::from_indices([0]));
         assert!(outcome.all_correct_terminated);
+    }
+
+    #[test]
+    fn out_of_range_schedule_is_a_typed_error_and_leaves_the_system_untouched() {
+        let mut sys = Countdown::new(2, 2);
+        let p0 = ProcessId::new(0);
+        let bogus = ProcessId::new(5);
+        let err = run_schedule(&mut sys, &[p0, bogus, p0]).expect_err("process 5 of 2");
+        assert_eq!(
+            err,
+            ScheduleError {
+                step: 1,
+                process: bogus,
+                num_processes: 2
+            }
+        );
+        assert!(err.to_string().contains("names process 5"));
+        // Validation happens before any step executes.
+        assert_eq!(sys.remaining, vec![2, 2]);
     }
 
     #[test]

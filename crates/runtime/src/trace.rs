@@ -13,7 +13,8 @@ use std::path::PathBuf;
 use act_topology::{ColorSet, ProcessId};
 use serde::{Deserialize, Serialize};
 
-use crate::scheduler::{RunOutcome, System};
+use crate::fault::FaultPlan;
+use crate::scheduler::{RunOutcome, ScheduleError, System};
 
 /// A recorded run: the participants and the exact schedule executed,
 /// together with the adversarial configuration that produced it (the
@@ -22,8 +23,9 @@ use crate::scheduler::{RunOutcome, System};
 ///
 /// # Format compatibility
 ///
-/// The serialized form adds `correct` and `crash_budgets` on top of the
-/// original `{participants, steps}` schema. Both are optional:
+/// The serialized form adds `correct` and `crash_budgets` (PR 2) and
+/// `fault_plan` (the chaos layer) on top of the original
+/// `{participants, steps}` schema. All three are optional:
 /// deserialization accepts old JSON without them (they become `None`),
 /// which keeps historical regression artifacts replayable.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
@@ -39,11 +41,16 @@ pub struct Trace {
     /// correct processes). `None` for traces predating this field or runs
     /// without budgets.
     pub crash_budgets: Option<Vec<Option<u32>>>,
+    /// The fault plan that was injected into the run, when it was driven
+    /// through the chaos layer (see [`crate::fault`]). Recorded for
+    /// provenance: replay needs only the schedule (the plan already
+    /// shaped it), so replays never re-inject.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 // Hand-written (rather than derived) so that JSON predating the
-// `correct` / `crash_budgets` fields still deserializes: missing fields
-// become `None` instead of an error.
+// `correct` / `crash_budgets` / `fault_plan` fields still deserializes:
+// missing fields become `None` instead of an error.
 impl Deserialize for Trace {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let participants = ColorSet::from_value(v.field("participants")?)?;
@@ -56,11 +63,16 @@ impl Deserialize for Trace {
             Ok(val) => Option::<Vec<Option<u32>>>::from_value(val)?,
             Err(_) => None,
         };
+        let fault_plan = match v.field("fault_plan") {
+            Ok(val) => Option::<FaultPlan>::from_value(val)?,
+            Err(_) => None,
+        };
         Ok(Trace {
             participants,
             steps,
             correct,
             crash_budgets,
+            fault_plan,
         })
     }
 }
@@ -75,7 +87,15 @@ impl Trace {
             correct: (!outcome.correct.is_empty()).then_some(outcome.correct),
             crash_budgets: (!outcome.crash_budgets.is_empty())
                 .then(|| outcome.crash_budgets.clone()),
+            fault_plan: None,
         }
+    }
+
+    /// Attaches the fault plan that shaped this run (provenance only;
+    /// replay never re-injects).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Trace {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// The schedule as process ids.
@@ -87,15 +107,29 @@ impl Trace {
     }
 
     /// Replays the trace on a fresh system, returning the set of
-    /// processes that terminated.
-    pub fn replay<S: System>(&self, sys: &mut S) -> ColorSet {
-        for p in self.schedule() {
-            sys.step(p);
+    /// processes that terminated. The schedule is bounds-checked against
+    /// the system first: a corrupted trace yields [`ScheduleError`]
+    /// instead of an out-of-range index panic.
+    pub fn replay<S: System>(&self, sys: &mut S) -> Result<ColorSet, ScheduleError> {
+        self.replay_outcome(sys).map(|o| o.terminated)
+    }
+
+    /// Replays the trace and reconstructs the full [`RunOutcome`] of the
+    /// original run: the schedule is re-executed, and when the trace
+    /// carries adversarial context (`correct`, `crash_budgets`) the
+    /// outcome is judged against the *recorded* correct set instead of
+    /// the scheduled one — so a replayed artifact reproduces the
+    /// captured outcome field for field.
+    pub fn replay_outcome<S: System>(&self, sys: &mut S) -> Result<RunOutcome, ScheduleError> {
+        let mut outcome = crate::scheduler::run_schedule(sys, &self.schedule())?;
+        if let Some(correct) = self.correct {
+            outcome.all_correct_terminated = correct.is_subset_of(outcome.terminated);
+            outcome.correct = correct;
         }
-        (0..sys.num_processes())
-            .map(ProcessId::new)
-            .filter(|&p| sys.has_terminated(p))
-            .collect()
+        if let Some(budgets) = &self.crash_budgets {
+            outcome.crash_budgets = budgets.clone();
+        }
+        Ok(outcome)
     }
 
     /// Whether the recorded correct set terminated, judged against the
@@ -147,16 +181,51 @@ pub(crate) fn capture_liveness_artifact(
     outcome: &RunOutcome,
     max_steps: usize,
 ) -> Option<PathBuf> {
+    capture_artifact(participants, outcome, max_steps, "liveness-failure", None)
+}
+
+/// Captures a failing fault-injected run, recording the plan that shaped
+/// it alongside the schedule (see [`crate::fault`]).
+pub(crate) fn capture_fault_artifact(
+    participants: ColorSet,
+    outcome: &RunOutcome,
+    max_steps: usize,
+    plan: &FaultPlan,
+) -> Option<PathBuf> {
+    capture_artifact(
+        participants,
+        outcome,
+        max_steps,
+        "fault-liveness-failure",
+        Some(plan.clone()),
+    )
+}
+
+/// Writes a [`TraceArtifact`] for a failing run under the artifact
+/// directory. The filename is prefixed by the first word of `reason`,
+/// so liveness and fault captures sort apart.
+fn capture_artifact(
+    participants: ColorSet,
+    outcome: &RunOutcome,
+    max_steps: usize,
+    reason: &str,
+    fault_plan: Option<FaultPlan>,
+) -> Option<PathBuf> {
     let dir = act_obs::artifacts_dir()?;
     std::fs::create_dir_all(&dir).ok()?;
+    let mut trace = Trace::from_outcome(participants, outcome);
+    if let Some(plan) = fault_plan {
+        trace = trace.with_fault_plan(plan);
+    }
     let artifact = TraceArtifact {
         schema_version: 1,
-        reason: "liveness-failure".to_string(),
+        reason: reason.to_string(),
         max_steps: max_steps as u64,
-        trace: Trace::from_outcome(participants, outcome),
+        trace,
     };
+    let prefix = reason.split('-').next().unwrap_or("run");
     let path = dir.join(format!(
-        "liveness-{}-{}.json",
+        "{prefix}-{}-{}.json",
         std::process::id(),
         act_obs::next_artifact_id()
     ));
@@ -164,7 +233,7 @@ pub(crate) fn capture_liveness_artifact(
     std::fs::write(&path, json).ok()?;
     act_obs::event("artifact.captured")
         .str("path", &path.display().to_string())
-        .str("reason", "liveness-failure")
+        .str("reason", reason)
         .u64("trace_steps", artifact.trace.len() as u64)
         .emit();
     Some(path)
@@ -198,10 +267,17 @@ mod tests {
             let trace = Trace::from_outcome(participants, &outcome);
 
             let mut replayed = fresh();
-            let terminated = trace.replay(&mut replayed);
+            let terminated = trace.replay(&mut replayed).expect("recorded schedule");
             assert_eq!(terminated, outcome.terminated);
             assert_eq!(replayed.views(), sys.views(), "replay is bit-for-bit");
             assert_eq!(trace.correct_terminated(terminated), Some(true));
+
+            // The full outcome is reconstructed field for field.
+            let mut replayed = fresh();
+            let replayed_outcome = trace
+                .replay_outcome(&mut replayed)
+                .expect("recorded schedule");
+            assert_eq!(replayed_outcome, outcome);
         }
     }
 
@@ -240,9 +316,10 @@ mod tests {
         assert_eq!(trace.correct, None);
         assert_eq!(trace.crash_budgets, None);
         assert_eq!(trace.correct_terminated(ColorSet::full(3)), None);
+        assert_eq!(trace.fault_plan, None);
         // And it still replays.
         let mut sys = fresh();
-        let terminated = trace.replay(&mut sys);
+        let terminated = trace.replay(&mut sys).expect("old schedule still replays");
         assert!(terminated.is_subset_of(ColorSet::full(3)));
     }
 
@@ -278,7 +355,25 @@ mod tests {
         let mut trace = Trace::from_outcome(participants, &outcome);
         trace.steps.truncate(1);
         let mut replayed = fresh();
-        let terminated = trace.replay(&mut replayed);
+        let terminated = trace
+            .replay(&mut replayed)
+            .expect("truncation stays in range");
         assert!(terminated.len() < 3, "one step cannot finish everyone");
+    }
+
+    #[test]
+    fn corrupted_trace_replays_to_a_typed_error() {
+        let trace = Trace {
+            participants: ColorSet::full(3),
+            steps: vec![0, 9, 1],
+            correct: None,
+            crash_budgets: None,
+            fault_plan: None,
+        };
+        let mut sys = fresh();
+        let err = trace.replay(&mut sys).expect_err("process 9 of 3");
+        assert_eq!(err.step, 1);
+        assert_eq!(err.process.index(), 9);
+        assert_eq!(err.num_processes, 3);
     }
 }

@@ -110,7 +110,7 @@ impl Tables {
     /// Builds the initial (full) state: every candidate present, empty
     /// trail, no residues.
     fn initial_state(&self) -> State {
-        let total_words = *self.word_off.last().expect("offsets non-empty") as usize;
+        let total_words = self.word_off.last().copied().unwrap_or(0) as usize;
         let mut words = vec![0u64; total_words];
         let mut count = Vec::with_capacity(self.vars.len());
         for (var, vals) in self.values.iter().enumerate() {
@@ -158,7 +158,9 @@ impl State {
     /// Undoes every removal past `mark` (a previous `trail.len()`).
     pub(crate) fn undo_to(&mut self, tables: &Tables, mark: usize) {
         while self.trail.len() > mark {
-            let (var, val) = self.trail.pop().expect("trail non-empty");
+            let Some((var, val)) = self.trail.pop() else {
+                break; // unreachable: guarded by the loop condition
+            };
             let w = tables.word_off[var as usize] as usize + (val / 64) as usize;
             self.words[w] |= 1u64 << (val % 64);
             self.count[var as usize] += 1;
@@ -442,7 +444,7 @@ pub(crate) fn build(task: &dyn Task, domain: &Complex, threads: usize) -> Option
     for c in chunked.into_iter().flatten() {
         let mut c = c?;
         c.residue_base = residue_len;
-        residue_len += *c.data.pos_off.last().expect("pos_off non-empty");
+        residue_len += c.data.pos_off.last().copied().unwrap_or(0);
         constraints.push(c);
     }
 

@@ -7,28 +7,47 @@
 //! After the root GAC fixpoint, the engine picks the same
 //! smallest-domain variable the serial search would branch on first and
 //! partitions its values into contiguous chunks, one per worker
-//! (reusing [`act_topology::parallel_map_ranges`], the subdivision
-//! engine's deterministic fork/join). Each worker clones the mutable
-//! CSP state once, searches its branches in value order, and:
+//! (reusing [`act_topology::parallel_map_ranges_catch`], the subdivision
+//! engine's deterministic fork/join with panic containment). Each worker
+//! clones the mutable CSP state once, searches its branches in value
+//! order, and:
 //!
 //! * checks a shared `AtomicBool` *found/abort* flag at every node,
 //!   stopping early once any worker has a witness;
 //! * draws every node from a shared atomic *budget pool* of
 //!   `max_nodes`, so the whole parallel search is bounded exactly like
 //!   the serial one;
+//! * checks the wall-clock deadline (when [`SearchConfig::deadline`] is
+//!   set) at every node, aborting the whole fan-out into
+//!   [`SearchResult::TimedOut`] when it expires;
 //! * on success, records `(branch index, witness)` in a shared slot
 //!   that keeps the **lowest branch index** — the deterministic rule
 //!   for which worker's witness is returned.
 //!
+//! # Graceful degradation
+//!
+//! A panicking worker poisons only its own chunk: the panic is caught at
+//! the fork/join boundary, an `engine.degraded` event is emitted, and the
+//! engine retries the chunk's branches serially on the calling thread
+//! (each retry itself under `catch_unwind`). A branch that completes on
+//! retry contributes to the verdict exactly as if its worker had never
+//! panicked; a branch that cannot complete even serially marks the run
+//! *degraded* ([`SearchStats::degraded`]), and a degraded run never
+//! claims `Unsolvable` — the strongest verdict it can report without a
+//! witness is [`SearchResult::Exhausted`], because some subtree was
+//! never exhausted.
+//!
 //! Verdicts are deterministic across thread counts: `Found` iff some
 //! branch has a solution, `Unsolvable` iff every branch exhausts its
-//! subtree with no map (no worker ran out of budget), `Exhausted`
-//! otherwise.
+//! subtree with no map (no worker ran out of budget or time, and no
+//! branch was lost to a panic), `Exhausted`/`TimedOut` otherwise.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use act_topology::{parallel_map_ranges, subdivision_threads, Complex, VertexMap};
+use act_topology::{parallel_map_ranges_catch, subdivision_threads, Complex, VertexMap};
 
 use crate::csp::{build, propagate, State, Tables};
 use crate::mapsearch::{SearchResult, SearchStats};
@@ -41,6 +60,12 @@ pub struct SearchConfig {
     pub max_nodes: usize,
     /// Worker threads the root branches are split across.
     pub threads: usize,
+    /// Optional wall-clock deadline for the whole search. When it
+    /// expires the engine aborts every worker and returns
+    /// [`SearchResult::TimedOut`] (distinct from the node-budget
+    /// [`SearchResult::Exhausted`]). `None` (the default) disables the
+    /// watchdog; verdicts are then time-independent.
+    pub deadline: Option<Duration>,
 }
 
 impl SearchConfig {
@@ -50,6 +75,7 @@ impl SearchConfig {
         SearchConfig {
             max_nodes,
             threads: mapsearch_threads(),
+            deadline: None,
         }
     }
 
@@ -58,12 +84,19 @@ impl SearchConfig {
         SearchConfig {
             max_nodes,
             threads: 1,
+            deadline: None,
         }
     }
 
     /// Overrides the thread count.
     pub fn with_threads(mut self, threads: usize) -> SearchConfig {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> SearchConfig {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -73,6 +106,67 @@ impl SearchConfig {
 /// (`RAYON_NUM_THREADS=1` forces the serial engine).
 pub fn mapsearch_threads() -> usize {
     subdivision_threads()
+}
+
+/// Process-global count of parallel map searches that caught a worker
+/// panic and entered degraded mode (telemetry; see [`act_obs::Counter`]).
+pub static ENGINE_DEGRADED: act_obs::Counter = act_obs::Counter::new("engine.degraded_total");
+
+/// Deterministic fault-injection hooks for the parallel engine, used by
+/// the chaos suite: arm a root-branch index and the next parallel map
+/// search panics when a worker reaches that branch. The hooks only fire
+/// on the parallel fan-out (workers and their serial retries), never on
+/// the plain serial engine, so a serial baseline run is always clean.
+pub mod chaos {
+    use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+    const OFF: u8 = 0;
+    const ONCE: u8 = 1;
+    const ALWAYS: u8 = 2;
+
+    static MODE: AtomicU8 = AtomicU8::new(OFF);
+    static BRANCH: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+    /// Arms a one-shot panic: the first worker to reach root branch
+    /// `branch` panics, then the hook disarms itself — so the engine's
+    /// serial retry of the poisoned chunk succeeds (recovery path).
+    pub fn panic_once_on_branch(branch: usize) {
+        BRANCH.store(branch, Ordering::SeqCst);
+        MODE.store(ONCE, Ordering::SeqCst);
+    }
+
+    /// Arms a persistent panic: every attempt at root branch `branch`,
+    /// including serial retries, panics until [`disarm`] is called
+    /// (degraded path — the branch can never complete).
+    pub fn panic_always_on_branch(branch: usize) {
+        BRANCH.store(branch, Ordering::SeqCst);
+        MODE.store(ALWAYS, Ordering::SeqCst);
+    }
+
+    /// Disarms the hook.
+    pub fn disarm() {
+        MODE.store(OFF, Ordering::SeqCst);
+        BRANCH.store(usize::MAX, Ordering::SeqCst);
+    }
+
+    /// Called by the parallel engine at the start of every root branch.
+    pub(crate) fn maybe_panic(branch: usize) {
+        if BRANCH.load(Ordering::SeqCst) != branch {
+            return;
+        }
+        match MODE.load(Ordering::SeqCst) {
+            ALWAYS => panic!("chaos: injected worker panic at root branch {branch}"),
+            // The compare-exchange guarantees exactly one panic even if
+            // several workers race to the armed branch.
+            ONCE if MODE
+                .compare_exchange(ONCE, OFF, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok() =>
+            {
+                panic!("chaos: injected worker panic at root branch {branch}");
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Shared node-budget pool: every node, on every worker, draws one unit.
@@ -97,25 +191,58 @@ impl BudgetPool {
     }
 }
 
+/// The run-wide limits every worker checks at each node: the pooled
+/// budget, the shared abort flag, and the wall-clock deadline.
+struct Limits<'a> {
+    pool: &'a BudgetPool,
+    abort: &'a AtomicBool,
+    timed_out: &'a AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl Limits<'_> {
+    /// Charges one node against the deadline and the budget pool,
+    /// reporting the overrun kind when either is exceeded.
+    fn charge(&self) -> Option<Assign> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.timed_out.store(true, Ordering::Relaxed);
+                self.abort.store(true, Ordering::Relaxed);
+                return Some(Assign::TimedOut);
+            }
+        }
+        if !self.pool.charge() {
+            return Some(Assign::Budget);
+        }
+        None
+    }
+
+    /// What an abort observed mid-search means: a deadline expiry
+    /// anywhere turns the whole run into a timeout; otherwise some
+    /// worker found a witness.
+    fn abort_kind(&self) -> Assign {
+        if self.timed_out.load(Ordering::Relaxed) {
+            Assign::TimedOut
+        } else {
+            Assign::Aborted
+        }
+    }
+}
+
 /// Outcome of one (sub)search.
 enum Assign {
     Found,
     NoMap,
     Budget,
+    TimedOut,
     Aborted,
 }
 
 /// Recursive MRV backtracking over the shared tables. Leaves the state
 /// fully assigned on [`Assign::Found`].
-fn search(
-    tables: &Tables,
-    state: &mut State,
-    stats: &mut SearchStats,
-    pool: &BudgetPool,
-    abort: &AtomicBool,
-) -> Assign {
-    if abort.load(Ordering::Relaxed) {
-        return Assign::Aborted;
+fn search(tables: &Tables, state: &mut State, stats: &mut SearchStats, limits: &Limits) -> Assign {
+    if limits.abort.load(Ordering::Relaxed) {
+        return limits.abort_kind();
     }
     // Pick the unassigned variable with the smallest domain > 1.
     let var = (0..tables.vars.len())
@@ -126,16 +253,17 @@ fn search(
         Some(v) => v,
     };
     stats.nodes += 1;
-    if !pool.charge() {
-        return Assign::Budget;
+    if let Some(overrun) = limits.charge() {
+        return overrun;
     }
     for val in state.domain_values(tables, var) {
         let mark = state.trail.len();
         assign(tables, state, var, val);
         if propagate(tables, state, Some(var), stats) {
-            match search(tables, state, stats, pool, abort) {
+            match search(tables, state, stats, limits) {
                 Assign::Found => return Assign::Found,
                 Assign::Budget => return Assign::Budget,
+                Assign::TimedOut => return Assign::TimedOut,
                 Assign::Aborted => return Assign::Aborted,
                 Assign::NoMap => {}
             }
@@ -162,6 +290,17 @@ fn extract_map(tables: &Tables, state: &State) -> VertexMap {
         map.set(v, tables.values[i][val as usize]);
     }
     map
+}
+
+/// Records a witness under the lowest-branch-index rule, recovering the
+/// slot if a panicking worker poisoned the mutex (the data is a plain
+/// `Option` the winner fully overwrites, so a poisoned lock is safe to
+/// re-enter).
+fn record_witness(best: &Mutex<Option<(usize, VertexMap)>>, branch: usize, map: VertexMap) {
+    let mut slot = best.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if slot.as_ref().is_none_or(|(b, _)| branch < *b) {
+        *slot = Some((branch, map));
+    }
 }
 
 /// Per-worker report for telemetry and verdict aggregation.
@@ -195,6 +334,8 @@ pub(crate) fn run(
     stats: &mut SearchStats,
 ) -> SearchResult {
     let threads = config.threads.max(1);
+    let started = Instant::now();
+    let deadline = config.deadline.map(|d| started + d);
     // The calling thread always does at least the build and root GAC;
     // the parallel path overrides this with the real fan-out width.
     stats.workers = 1;
@@ -210,6 +351,13 @@ pub(crate) fn run(
 
     let pool = BudgetPool::new(config.max_nodes);
     let abort = AtomicBool::new(false);
+    let timed_out = AtomicBool::new(false);
+    let limits = Limits {
+        pool: &pool,
+        abort: &abort,
+        timed_out: &timed_out,
+        deadline,
+    };
 
     // The root branching variable: the serial search's first MRV pick.
     let split = (0..tables.vars.len())
@@ -229,11 +377,12 @@ pub(crate) fn run(
     if workers <= 1 {
         // Serial engine: one worker owns the whole tree.
         stats.workers = 1;
-        let result = match search(&tables, &mut root, stats, &pool, &abort) {
+        let result = match search(&tables, &mut root, stats, &limits) {
             Assign::Found => SearchResult::Found(extract_map(&tables, &root)),
             Assign::NoMap => SearchResult::Unsolvable,
             Assign::Budget => SearchResult::Exhausted,
-            Assign::Aborted => unreachable!("serial search never aborts"),
+            Assign::TimedOut => SearchResult::TimedOut,
+            Assign::Aborted => unreachable!("serial search only aborts via the deadline"),
         };
         emit_worker_event(&WorkerReport {
             id: 0,
@@ -241,6 +390,7 @@ pub(crate) fn run(
             reason: result.verdict_name(),
             budget_ran_out: matches!(result, SearchResult::Exhausted),
         });
+        emit_deadline_event(&timed_out, started);
         return result;
     }
 
@@ -249,29 +399,30 @@ pub(crate) fn run(
     // reported Found — a deterministic rule given the reported set.
     let best: Mutex<Option<(usize, VertexMap)>> = Mutex::new(None);
     let worker_id = AtomicUsize::new(0);
-    let reports: Vec<WorkerReport> = parallel_map_ranges(branches.len(), workers, |range| {
+    let chunk_results = parallel_map_ranges_catch(branches.len(), workers, |range| {
         let id = worker_id.fetch_add(1, Ordering::Relaxed);
         let mut state = root.clone();
         let mut wstats = SearchStats::default();
         let mut reason = "no-map";
         let mut budget_ran_out = false;
         for b in range {
+            chaos::maybe_panic(b);
             if abort.load(Ordering::Relaxed) {
                 if reason == "no-map" {
-                    reason = "aborted";
+                    reason = match limits.abort_kind() {
+                        Assign::TimedOut => "timed-out",
+                        _ => "aborted",
+                    };
                 }
                 break;
             }
             let mark = state.trail.len();
             assign(&tables, &mut state, split, branches[b]);
             if propagate(&tables, &mut state, Some(split), &mut wstats) {
-                match search(&tables, &mut state, &mut wstats, &pool, &abort) {
+                match search(&tables, &mut state, &mut wstats, &limits) {
                     Assign::Found => {
                         let map = extract_map(&tables, &state);
-                        let mut slot = best.lock().expect("witness slot poisoned");
-                        if slot.as_ref().is_none_or(|(bb, _)| b < *bb) {
-                            *slot = Some((b, map));
-                        }
+                        record_witness(&best, b, map);
                         abort.store(true, Ordering::Relaxed);
                         reason = "found";
                         break;
@@ -279,6 +430,10 @@ pub(crate) fn run(
                     Assign::Budget => {
                         reason = "exhausted";
                         budget_ran_out = true;
+                        break;
+                    }
+                    Assign::TimedOut => {
+                        reason = "timed-out";
                         break;
                     }
                     Assign::Aborted => {
@@ -300,23 +455,134 @@ pub(crate) fn run(
         report
     });
 
+    // Aggregate the chunks; a panicked chunk is retried serially here on
+    // the calling thread, branch by branch, each retry contained by its
+    // own catch_unwind (a fresh state clone per branch keeps a mid-search
+    // panic from corrupting the next branch's domains).
+    let mut reports: Vec<WorkerReport> = Vec::with_capacity(chunk_results.len());
+    let mut lost_branches = 0usize;
+    for (range, chunk) in chunk_results {
+        match chunk {
+            Ok(report) => reports.push(report),
+            Err(message) => {
+                stats.caught_panics += 1;
+                ENGINE_DEGRADED.add(1);
+                if act_obs::enabled() {
+                    act_obs::event("engine.degraded")
+                        .u64("chunk_start", range.start as u64)
+                        .u64("chunk_end", range.end as u64)
+                        .str("error", &message)
+                        .emit();
+                }
+                let id = worker_id.fetch_add(1, Ordering::Relaxed);
+                let mut wstats = SearchStats::default();
+                let mut reason = "no-map";
+                let mut budget_ran_out = false;
+                for b in range {
+                    if abort.load(Ordering::Relaxed) {
+                        if reason == "no-map" {
+                            reason = match limits.abort_kind() {
+                                Assign::TimedOut => "timed-out",
+                                _ => "aborted",
+                            };
+                        }
+                        break;
+                    }
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        chaos::maybe_panic(b);
+                        let mut state = root.clone();
+                        let mut bstats = SearchStats::default();
+                        assign(&tables, &mut state, split, branches[b]);
+                        let outcome = if propagate(&tables, &mut state, Some(split), &mut bstats) {
+                            search(&tables, &mut state, &mut bstats, &limits)
+                        } else {
+                            Assign::NoMap
+                        };
+                        let map = match outcome {
+                            Assign::Found => Some(extract_map(&tables, &state)),
+                            _ => None,
+                        };
+                        (outcome, map, bstats)
+                    }));
+                    match attempt {
+                        Err(_) => {
+                            // The branch cannot complete even serially:
+                            // its subtree was never exhausted, so the
+                            // run is degraded.
+                            lost_branches += 1;
+                        }
+                        Ok((outcome, map, bstats)) => {
+                            wstats.absorb(&bstats);
+                            match outcome {
+                                Assign::Found => {
+                                    if let Some(map) = map {
+                                        record_witness(&best, b, map);
+                                    }
+                                    abort.store(true, Ordering::Relaxed);
+                                    reason = "found";
+                                    break;
+                                }
+                                Assign::Budget => {
+                                    reason = "exhausted";
+                                    budget_ran_out = true;
+                                    break;
+                                }
+                                Assign::TimedOut => {
+                                    reason = "timed-out";
+                                    break;
+                                }
+                                Assign::Aborted => {
+                                    reason = "aborted";
+                                    break;
+                                }
+                                Assign::NoMap => {}
+                            }
+                        }
+                    }
+                }
+                let report = WorkerReport {
+                    id,
+                    stats: wstats,
+                    reason,
+                    budget_ran_out,
+                };
+                emit_worker_event(&report);
+                reports.push(report);
+            }
+        }
+    }
+
     stats.workers = reports.len();
+    stats.degraded = lost_branches > 0;
     let mut any_exhausted = false;
     for r in &reports {
-        stats.nodes += r.stats.nodes;
-        stats.prunes += r.stats.prunes;
-        stats.wipeouts += r.stats.wipeouts;
-        stats.residue_hits += r.stats.residue_hits;
-        stats.residue_misses += r.stats.residue_misses;
+        stats.absorb(&r.stats);
         any_exhausted |= r.budget_ran_out;
     }
-    if let Some((_, map)) = best.into_inner().expect("witness slot poisoned") {
+    emit_deadline_event(&timed_out, started);
+    let witness = best
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some((_, map)) = witness {
         SearchResult::Found(map)
-    } else if any_exhausted {
+    } else if timed_out.load(Ordering::Relaxed) {
+        SearchResult::TimedOut
+    } else if any_exhausted || lost_branches > 0 {
+        // No worker aborted without cause (abort is only ever set by a
+        // Found or a deadline), so a missing witness with complete
+        // branches means exhaustive unsolvability — but a degraded run
+        // lost a subtree and must not claim it.
         SearchResult::Exhausted
     } else {
-        // No witness and no worker aborted (abort is only ever set by a
-        // Found), so every branch was exhausted exactly.
         SearchResult::Unsolvable
+    }
+}
+
+/// Emits the `engine.deadline` event when the watchdog fired.
+fn emit_deadline_event(timed_out: &AtomicBool, started: Instant) {
+    if timed_out.load(Ordering::Relaxed) && act_obs::enabled() {
+        act_obs::event("engine.deadline")
+            .u64("elapsed_us", started.elapsed().as_micros() as u64)
+            .emit();
     }
 }

@@ -34,6 +34,12 @@ pub enum SearchResult {
     Unsolvable,
     /// The step budget ran out before the search completed.
     Exhausted,
+    /// The wall-clock deadline ([`SearchConfig::deadline`]) expired
+    /// before the search completed. Distinct from [`Exhausted`]: the
+    /// node budget may have been plentiful, the clock was not.
+    ///
+    /// [`Exhausted`]: SearchResult::Exhausted
+    TimedOut,
 }
 
 impl SearchResult {
@@ -61,6 +67,7 @@ impl SearchResult {
             SearchResult::Found(_) => "found",
             SearchResult::Unsolvable => "unsolvable",
             SearchResult::Exhausted => "exhausted",
+            SearchResult::TimedOut => "timed-out",
         }
     }
 }
@@ -88,6 +95,13 @@ pub struct SearchStats {
     pub residue_hits: usize,
     /// GAC residual-support checks that had to rescan the table.
     pub residue_misses: usize,
+    /// Worker panics caught and contained by the parallel engine (each
+    /// one triggers a serial retry of the poisoned chunk).
+    pub caught_panics: usize,
+    /// Whether the run is *degraded*: some branch could not complete
+    /// even after the serial retry, so its subtree was never exhausted.
+    /// A degraded run never reports [`SearchResult::Unsolvable`].
+    pub degraded: bool,
 }
 
 impl SearchStats {
@@ -99,6 +113,16 @@ impl SearchStats {
         } else {
             self.residue_hits as f64 / total as f64
         }
+    }
+
+    /// Folds another worker's tallies into this one (the additive
+    /// counters only; sizes, depth, and flags are the caller's).
+    pub(crate) fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.prunes += other.prunes;
+        self.wipeouts += other.wipeouts;
+        self.residue_hits += other.residue_hits;
+        self.residue_misses += other.residue_misses;
     }
 }
 
@@ -180,6 +204,8 @@ pub fn find_carried_map_with_config(
             .u64("residue_hits", stats.residue_hits as u64)
             .u64("residue_misses", stats.residue_misses as u64)
             .f64("residue_hit_rate", stats.residue_hit_rate())
+            .u64("caught_panics", stats.caught_panics as u64)
+            .bool("degraded", stats.degraded)
             .emit();
     }
     (result, stats)

@@ -68,6 +68,7 @@ fn main() {
         steps: vec![0, 1, 2, 0, 1, 2],
         correct: None,
         crash_budgets: None,
+        fault_plan: None,
     };
     println!(
         "\ntraces serialize for regression replay, e.g. {}",

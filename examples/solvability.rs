@@ -42,6 +42,7 @@ fn main() {
                 Solvability::Solvable { .. } => "solvable",
                 Solvability::NoMapUpTo { .. } => "no 1-rd map",
                 Solvability::Exhausted { .. } => "gave up",
+                Solvability::TimedOut { .. } => "timed out",
             };
             // FACT: k-set consensus is solvable iff k ≥ setcon(A); at
             // k = setcon a single iteration suffices (the µ_Q map).

@@ -1,0 +1,341 @@
+//! Chaos suite: injected worker panics, wall-clock deadlines, and
+//! scheduler fault injection. The contract under test is *graceful
+//! degradation*: a fault may cost coverage (a degraded verdict, a lost
+//! branch, a captured artifact) but may never silently flip a verdict,
+//! crash the engine, or produce an unreplayable failure.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use act_runtime::{run_adversarial_with_faults, FaultPlan, TraceArtifact};
+use act_tasks::{
+    chaos, find_carried_map_with_config, verify_carried_map, SearchConfig, SearchResult,
+    SetConsensus, Task, ENGINE_DEGRADED,
+};
+use act_topology::{ColorSet, Complex};
+use fact::adversary::{Adversary, AgreementFunction};
+use fact::AlgorithmOneSystem;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Chaos hooks, telemetry sinks, and the artifact env var are process
+/// globals; every test that touches one serializes here.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with the default panic printout silenced (injected panics
+/// are intentional) and the chaos hook guaranteed disarmed afterwards.
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    chaos::disarm();
+    out
+}
+
+/// The golden instances of the mapsearch suite, both small enough to
+/// search in milliseconds and both genuinely *branching*: the solvable
+/// one is the p4-style instance, and the unsolvable one is 2-set
+/// consensus on the rainbow inputs, whose impossibility is Sperner's
+/// parity argument — invisible to local propagation, so the parallel
+/// fan-out actually engages before the engine proves it. (Plain
+/// consensus would not do: its constraints propagate so strongly that
+/// root GAC refutes the instance with zero search nodes.)
+fn golden(solvable: bool) -> (SetConsensus, Complex) {
+    if solvable {
+        let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+        let domain = t.inputs().iterated_subdivision(1);
+        (t, domain)
+    } else {
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let domain = t.rainbow_inputs().iterated_subdivision(1);
+        (t, domain)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance criterion of the chaos layer: a worker panic
+    /// injected into the parallel map search (threads ≥ 2) yields the
+    /// same verdict as the serial engine on every golden instance, with
+    /// the recovery observable (`engine.degraded` event + counter).
+    #[test]
+    fn injected_worker_panic_never_flips_the_verdict(
+        threads in 2usize..5,
+        branch in 0usize..4,
+        solvable in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let _guard = lock();
+        let (t, domain) = golden(solvable);
+        let serial =
+            find_carried_map_with_config(&t, &domain, &SearchConfig::serial(1_000_000)).0;
+
+        let sink = act_obs::MemorySink::shared();
+        act_obs::install(sink.clone());
+        let before = ENGINE_DEGRADED.get();
+        let (result, stats) = with_quiet_panics(|| {
+            chaos::panic_once_on_branch(branch);
+            find_carried_map_with_config(
+                &t,
+                &domain,
+                &SearchConfig::serial(1_000_000).with_threads(threads),
+            )
+        });
+        act_obs::uninstall();
+
+        prop_assert!(
+            result.verdict_name() == serial.verdict_name(),
+            "threads={} branch={} solvable={}: {} vs {}",
+            threads,
+            branch,
+            solvable,
+            result.verdict_name(),
+            serial.verdict_name()
+        );
+        if let SearchResult::Found(map) = &result {
+            prop_assert!(verify_carried_map(&t, &domain, map));
+        }
+        if stats.caught_panics > 0 {
+            // The one-shot panic disarms itself, so the serial retry of
+            // the poisoned chunk completes: recovered, not degraded.
+            prop_assert!(!stats.degraded, "a recovered run is not degraded");
+            prop_assert!(ENGINE_DEGRADED.get() > before, "counter moved");
+            let lines = sink.drain();
+            prop_assert!(
+                lines.iter().any(|l| l.contains("\"ev\":\"engine.degraded\"")),
+                "the caught panic is reported"
+            );
+        }
+    }
+}
+
+/// The CI gate: a degraded run (a branch lost even to the serial retry)
+/// must never claim exhaustive unsolvability — the verdict downgrades to
+/// `Exhausted`, and the degradation is visible in the stats.
+#[test]
+fn a_degraded_run_never_reports_unsolvable() {
+    let _guard = lock();
+    let (t, domain) = golden(false);
+    let serial = find_carried_map_with_config(&t, &domain, &SearchConfig::serial(1_000_000)).0;
+    assert!(
+        matches!(serial, SearchResult::Unsolvable),
+        "the healthy baseline is exactly Unsolvable"
+    );
+
+    let mut any_degraded = false;
+    for branch in 0..4 {
+        let (result, stats) = with_quiet_panics(|| {
+            chaos::panic_always_on_branch(branch);
+            find_carried_map_with_config(
+                &t,
+                &domain,
+                &SearchConfig::serial(1_000_000).with_threads(3),
+            )
+        });
+        if stats.degraded {
+            any_degraded = true;
+            assert!(
+                matches!(result, SearchResult::Exhausted),
+                "branch {branch}: a lost subtree downgrades Unsolvable to Exhausted, got {}",
+                result.verdict_name()
+            );
+        } else {
+            // The armed branch was never fanned out to; the verdict must
+            // then be the clean one.
+            assert!(matches!(result, SearchResult::Unsolvable));
+        }
+    }
+    assert!(
+        any_degraded,
+        "at least one armed branch must actually degrade the run"
+    );
+}
+
+/// The chaos hook lives in the parallel fan-out only: a fully serial
+/// search is never touched, even while armed.
+#[test]
+fn armed_chaos_hooks_never_touch_the_serial_engine() {
+    let _guard = lock();
+    let (t, domain) = golden(true);
+    let (result, stats) = with_quiet_panics(|| {
+        chaos::panic_always_on_branch(0);
+        find_carried_map_with_config(&t, &domain, &SearchConfig::serial(1_000_000))
+    });
+    assert_eq!(stats.caught_panics, 0);
+    assert!(!stats.degraded);
+    let map = result.into_map().expect("the serial engine is unharmed");
+    assert!(verify_carried_map(&t, &domain, &map));
+}
+
+/// An expired wall-clock deadline yields `TimedOut` — a verdict distinct
+/// from `Exhausted` (budget) — and emits `engine.deadline`, on both the
+/// serial and the parallel engine.
+#[test]
+fn an_expired_deadline_reports_timed_out_not_exhausted() {
+    let _guard = lock();
+    let (t, domain) = golden(true);
+    for threads in [1usize, 3] {
+        let sink = act_obs::MemorySink::shared();
+        act_obs::install(sink.clone());
+        let config = SearchConfig::serial(1_000_000)
+            .with_threads(threads)
+            .with_deadline(Duration::ZERO);
+        let (result, _) = find_carried_map_with_config(&t, &domain, &config);
+        act_obs::uninstall();
+        assert!(
+            matches!(result, SearchResult::TimedOut),
+            "threads={threads}: got {}",
+            result.verdict_name()
+        );
+        let lines = sink.drain();
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"ev\":\"engine.deadline\"")),
+            "threads={threads}: the watchdog reports itself"
+        );
+    }
+}
+
+/// Fault-injected adversarial runs stay fair-adversary-consistent: with
+/// a generous step bound every correct process terminates despite the
+/// plan, for a whole matrix of seeds.
+#[test]
+fn seeded_fault_plans_preserve_liveness_under_generous_bounds() {
+    let _guard = lock();
+    // No artifact env var: a liveness failure here would be a test bug,
+    // not something to capture.
+    std::env::remove_var("ACT_OBS_ARTIFACTS");
+    let a = Adversary::t_resilient(3, 1);
+    let alpha = AgreementFunction::of_adversary(&a);
+    let full = ColorSet::full(3);
+    let correct = ColorSet::from_indices([0, 1]);
+    for seed in 0..24u64 {
+        let plan = FaultPlan::seeded(seed, 3, 40);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut sys = AlgorithmOneSystem::new(&alpha, full);
+        let (outcome, report) =
+            run_adversarial_with_faults(&mut sys, full, correct, &mut rng, |_| 1, 500_000, &plan);
+        assert!(
+            outcome.all_correct_terminated,
+            "seed {seed}: injected faults must not break liveness (report: {report:?})"
+        );
+        // The same seed is exactly reproducible.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut sys = AlgorithmOneSystem::new(&alpha, full);
+        let (again, report_again) =
+            run_adversarial_with_faults(&mut sys, full, correct, &mut rng, |_| 1, 500_000, &plan);
+        assert_eq!(outcome, again, "seed {seed}: injection is deterministic");
+        assert_eq!(report, report_again);
+    }
+}
+
+/// The replay acceptance criterion: every failing fault injection is
+/// captured as an artifact that replays to the *identical* `RunOutcome`
+/// — 100% of captured artifacts, across a seed matrix.
+#[test]
+fn every_captured_fault_artifact_replays_to_the_identical_outcome() {
+    let _guard = lock();
+    let dir = std::env::temp_dir().join(format!("act-chaos-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("ACT_OBS_ARTIFACTS", &dir);
+
+    let a = Adversary::t_resilient(3, 1);
+    let alpha = AgreementFunction::of_adversary(&a);
+    let full = ColorSet::full(3);
+    let mut outcomes = Vec::new();
+    for seed in 0..12u64 {
+        let plan = FaultPlan::seeded(seed, 3, 10);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut sys = AlgorithmOneSystem::new(&alpha, full);
+        // A starvation-tight step bound forces a liveness failure, so
+        // every seed captures exactly one artifact.
+        let (outcome, _) =
+            run_adversarial_with_faults(&mut sys, full, full, &mut rng, |_| 0, 2, &plan);
+        assert!(!outcome.all_correct_terminated, "2 steps must not suffice");
+        outcomes.push((plan, outcome));
+    }
+    std::env::remove_var("ACT_OBS_ARTIFACTS");
+
+    // Artifact ids are process-monotonic: sorting by the numeric suffix
+    // pairs each artifact with its run.
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("artifact directory created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort_by_key(|p| {
+        p.file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.rsplit('-').next())
+            .and_then(|s| s.parse::<u64>().ok())
+            .expect("fault artifact filenames end in a numeric id")
+    });
+    assert_eq!(entries.len(), outcomes.len(), "one artifact per failure");
+
+    for (path, (plan, outcome)) in entries.iter().zip(&outcomes) {
+        let artifact = TraceArtifact::load(path).expect("artifact loads");
+        assert_eq!(artifact.reason, "fault-liveness-failure");
+        assert_eq!(
+            artifact.trace.fault_plan.as_ref(),
+            Some(plan),
+            "the plan is recorded for provenance"
+        );
+        let mut sys = AlgorithmOneSystem::new(&alpha, full);
+        let replayed = artifact
+            .trace
+            .replay_outcome(&mut sys)
+            .expect("captured schedules are in range");
+        assert_eq!(
+            &replayed, outcome,
+            "{path:?}: replay reproduces the outcome field for field"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `fault.injected` telemetry makes every applied fault visible.
+#[test]
+fn applied_faults_are_reported_as_events() {
+    let _guard = lock();
+    let sink = act_obs::MemorySink::shared();
+    act_obs::install(sink.clone());
+    let a = Adversary::t_resilient(3, 1);
+    let alpha = AgreementFunction::of_adversary(&a);
+    let full = ColorSet::full(3);
+    let correct = ColorSet::from_indices([0, 1]);
+    // One event of each kind, all guaranteed to fire early in the run.
+    let plan = FaultPlan {
+        seed: 0,
+        events: vec![
+            act_runtime::FaultEvent::Crash {
+                step: 0,
+                process: 2,
+            },
+            act_runtime::FaultEvent::Stall {
+                process: 1,
+                from_step: 0,
+                duration: 2,
+            },
+            act_runtime::FaultEvent::Perturb { step: 1, offset: 1 },
+        ],
+    };
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let mut sys = AlgorithmOneSystem::new(&alpha, full);
+    let (outcome, report) =
+        run_adversarial_with_faults(&mut sys, full, correct, &mut rng, |_| 1, 500_000, &plan);
+    act_obs::uninstall();
+    assert!(outcome.all_correct_terminated);
+    assert!(report.any_applied());
+    let lines = sink.drain();
+    let injected: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"fault.injected\""))
+        .collect();
+    assert!(!injected.is_empty(), "applied faults emit events");
+    assert!(injected.iter().any(|l| l.contains("\"kind\":\"crash\"")));
+}

@@ -49,7 +49,7 @@ fn liveness_failure_artifact_replays_bit_for_bit() {
     // Bit-for-bit: the replayed system reaches the same state and the
     // recorded failure reproduces.
     let mut replayed = fresh();
-    let terminated = artifact.trace.replay(&mut replayed);
+    let terminated = artifact.trace.replay(&mut replayed).expect("valid trace");
     assert_eq!(terminated, outcome.terminated);
     assert_eq!(replayed.views(), sys.views(), "replay is bit-for-bit");
     assert_eq!(artifact.trace.correct_terminated(terminated), Some(false));
@@ -146,9 +146,16 @@ fn map_search_emits_per_worker_events_with_the_documented_shape() {
             );
         }
         assert!(
-            ["found", "no-map", "exhausted", "aborted", "unsolvable"]
-                .iter()
-                .any(|r| w.contains(&format!("\"reason\":\"{r}\""))),
+            [
+                "found",
+                "no-map",
+                "exhausted",
+                "aborted",
+                "unsolvable",
+                "timed-out"
+            ]
+            .iter()
+            .any(|r| w.contains(&format!("\"reason\":\"{r}\""))),
             "worker event carries a known reason: {w}"
         );
         ids.push(numeric_field(w, "worker").unwrap());

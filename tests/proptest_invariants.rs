@@ -281,7 +281,7 @@ proptest! {
         prop_assert!(outcome.all_correct_terminated);
         let trace = Trace::from_outcome(full, &outcome);
         let mut replayed = AlgorithmOneSystem::new(&alpha, full);
-        let terminated = trace.replay(&mut replayed);
+        let terminated = trace.replay(&mut replayed).expect("recorded trace is in range");
         prop_assert_eq!(terminated, outcome.terminated);
         prop_assert_eq!(replayed.outputs(), sys.outputs());
     }

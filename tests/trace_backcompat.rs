@@ -1,0 +1,129 @@
+//! Golden-fixture backward compatibility for the trace artifact format.
+//!
+//! Each PR that touched the serialized [`Trace`] schema left optional
+//! fields behind: the original format is bare `{participants, steps}`,
+//! PR 2 wrapped it in a [`TraceArtifact`], PR 3 added the adversarial
+//! context (`correct`, `crash_budgets`), and the chaos layer added
+//! `fault_plan`. Every historical format must keep deserializing and
+//! replaying — regression artifacts on disk outlive the code that wrote
+//! them.
+
+use act_runtime::{FaultEvent, FaultPlan, IsSystem, Trace, TraceArtifact};
+use act_topology::ColorSet;
+
+const TRACE_PR1: &str = include_str!("fixtures/trace_pr1.json");
+const ARTIFACT_PR2: &str = include_str!("fixtures/artifact_pr2.json");
+const ARTIFACT_PR3: &str = include_str!("fixtures/artifact_pr3.json");
+const ARTIFACT_PR4: &str = include_str!("fixtures/artifact_pr4.json");
+
+fn fresh() -> IsSystem<u8> {
+    IsSystem::new(vec![Some(1), Some(2), Some(3)])
+}
+
+/// Replaying the same trace twice must reconstruct identical outcomes:
+/// the schedule alone determines the run.
+fn assert_deterministic_replay(trace: &Trace) {
+    let a = trace.replay_outcome(&mut fresh()).expect("fixture replays");
+    let b = trace.replay_outcome(&mut fresh()).expect("fixture replays");
+    assert_eq!(a, b, "replay is deterministic");
+    assert!(a.terminated.is_subset_of(trace.participants));
+}
+
+#[test]
+fn pr1_bare_trace_deserializes_and_replays() {
+    let trace: Trace = serde_json::from_str(TRACE_PR1).expect("PR 1 schema parses");
+    assert_eq!(trace.participants, ColorSet::full(3));
+    assert_eq!(trace.len(), 6);
+    assert_eq!(trace.correct, None, "predates the correct field");
+    assert_eq!(trace.crash_budgets, None);
+    assert_eq!(trace.fault_plan, None);
+    assert_eq!(trace.correct_terminated(ColorSet::full(3)), None);
+    assert_deterministic_replay(&trace);
+}
+
+#[test]
+fn pr2_artifact_without_context_deserializes_and_replays() {
+    let artifact: TraceArtifact = serde_json::from_str(ARTIFACT_PR2).expect("PR 2 schema parses");
+    assert_eq!(artifact.schema_version, 1);
+    assert_eq!(artifact.reason, "liveness-failure");
+    assert_eq!(artifact.max_steps, 2);
+    assert_eq!(artifact.trace.correct, None);
+    assert_eq!(artifact.trace.crash_budgets, None);
+    assert_eq!(artifact.trace.fault_plan, None);
+    assert_deterministic_replay(&artifact.trace);
+    // Two steps cannot finish a 3-process IS round: the recorded failure
+    // still reproduces on replay.
+    let outcome = artifact
+        .trace
+        .replay_outcome(&mut fresh())
+        .expect("fixture replays");
+    assert!(outcome.terminated.len() < 3);
+}
+
+#[test]
+fn pr3_artifact_with_adversarial_context_deserializes_and_replays() {
+    let artifact: TraceArtifact = serde_json::from_str(ARTIFACT_PR3).expect("PR 3 schema parses");
+    let trace = &artifact.trace;
+    assert_eq!(trace.correct, Some(ColorSet::from_indices([0, 2])));
+    assert_eq!(trace.crash_budgets, Some(vec![None, Some(1), None]));
+    assert_eq!(trace.fault_plan, None, "predates the chaos layer");
+    assert_deterministic_replay(trace);
+    // The replayed outcome is judged against the *recorded* correct set,
+    // and the recorded budgets ride along.
+    let outcome = trace.replay_outcome(&mut fresh()).expect("fixture replays");
+    assert_eq!(outcome.correct, ColorSet::from_indices([0, 2]));
+    assert_eq!(outcome.crash_budgets, vec![None, Some(1), None]);
+    assert_eq!(
+        outcome.all_correct_terminated,
+        outcome.correct.is_subset_of(outcome.terminated)
+    );
+}
+
+#[test]
+fn pr4_artifact_with_fault_plan_deserializes_and_replays() {
+    let artifact: TraceArtifact = serde_json::from_str(ARTIFACT_PR4).expect("PR 4 schema parses");
+    let trace = &artifact.trace;
+    assert_eq!(artifact.reason, "fault-liveness-failure");
+    let plan = trace.fault_plan.clone().expect("plan recorded");
+    assert_eq!(
+        plan,
+        FaultPlan {
+            seed: 42,
+            events: vec![
+                FaultEvent::Crash {
+                    step: 2,
+                    process: 2
+                },
+                FaultEvent::Stall {
+                    process: 1,
+                    from_step: 0,
+                    duration: 2
+                },
+                FaultEvent::Perturb { step: 1, offset: 1 },
+            ],
+        }
+    );
+    // Replay needs only the schedule — the plan already shaped it, so a
+    // replay never re-injects and reproduces the run byte for byte.
+    assert_deterministic_replay(trace);
+}
+
+#[test]
+fn every_fixture_round_trips_through_the_current_serializer() {
+    // Re-serializing a historical artifact with today's code and parsing
+    // it back must lose nothing: the current schema is a superset.
+    for (name, text) in [
+        ("pr2", ARTIFACT_PR2),
+        ("pr3", ARTIFACT_PR3),
+        ("pr4", ARTIFACT_PR4),
+    ] {
+        let artifact: TraceArtifact = serde_json::from_str(text).expect(name);
+        let rewritten = serde_json::to_string(&artifact).expect(name);
+        let back: TraceArtifact = serde_json::from_str(&rewritten).expect(name);
+        assert_eq!(back, artifact, "{name} survives a modern round trip");
+    }
+    let trace: Trace = serde_json::from_str(TRACE_PR1).expect("pr1");
+    let back: Trace =
+        serde_json::from_str(&serde_json::to_string(&trace).expect("pr1")).expect("pr1");
+    assert_eq!(back, trace, "pr1 survives a modern round trip");
+}
