@@ -1,0 +1,110 @@
+"""CI smoke client for `fact-cli serve`.
+
+Fires a mixed concurrent workload at a freshly started server — several
+client threads issuing the same small query portfolio plus a malformed
+spec each — then checks the serving counters add up: every distinct
+query runs the engine exactly once (the rest are store hits or
+coalesced joins), errors answer with the usage code without killing the
+connection, and a wire shutdown drains the server.
+
+Usage: python3 ci/serve_smoke.py HOST:PORT EXPECTED_WORKERS
+"""
+
+import json
+import os
+import socket
+import sys
+import threading
+
+THREADS = 6
+QUERIES = [
+    ("t-res:3:1", 1),
+    ("t-res:3:1", 2),
+    ("k-of:3:2", 2),
+    ("t-res:3:2", 2),
+]
+
+
+def connect(host, port):
+    sock = socket.create_connection((host, port), timeout=60)
+    return sock, sock.makefile("r", encoding="utf-8")
+
+
+def rpc(sock, reader, request):
+    sock.sendall((json.dumps(request) + "\n").encode())
+    line = reader.readline()
+    assert line, "server closed the connection before answering"
+    response = json.loads(line)
+    assert response["id"] == request["id"], (request, response)
+    return response
+
+
+def client(host, port, tid, solved, errored):
+    sock, reader = connect(host, port)
+    try:
+        for i, (model, k) in enumerate(QUERIES):
+            r = rpc(sock, reader, {"op": "solve", "id": tid * 100 + i, "model": model, "k": k})
+            solved.append(r)
+        bad = rpc(
+            sock, reader, {"op": "solve", "id": tid * 100 + 99, "model": "bogus:9", "k": 1}
+        )
+        errored.append(bad)
+    finally:
+        sock.close()
+
+
+def main():
+    addr, expected_workers = sys.argv[1], int(sys.argv[2])
+    host, port = addr.rsplit(":", 1)
+    port = int(port)
+
+    solved, errored = [], []
+    threads = [
+        threading.Thread(target=client, args=(host, port, tid, solved, errored))
+        for tid in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(solved) == THREADS * len(QUERIES), len(solved)
+    for r in solved:
+        assert r["ok"], r
+        assert r["authoritative"], r
+        assert r["verdict"] in ("solvable", "no-map"), r
+        assert r["source"] in ("engine", "store", "coalesced"), r
+    # Identical queries must agree wherever they were answered from.
+    by_query = {}
+    for r in solved:
+        key = r["id"] % 100
+        by_query.setdefault(key, set()).add((r["verdict"], r["iterations"], r["witness_len"]))
+    for key, distinct in by_query.items():
+        assert len(distinct) == 1, (key, distinct)
+    for r in errored:
+        assert not r["ok"] and r["code"] == 2, r
+
+    sock, reader = connect(host, port)
+    stats = rpc(sock, reader, {"op": "stats", "id": 1})["stats"]
+    distinct, total = len(QUERIES), len(solved)
+    assert stats["workers"] == expected_workers, stats
+    # Single flight: one engine run per distinct query, never more.
+    assert stats["engine_runs"] == distinct, stats
+    assert stats["misses"] == distinct, stats
+    assert stats["hits"] + stats["coalesced"] == total - distinct, stats
+    assert stats["store_corrupt"] == 0, stats
+    assert stats["rejected"] == 0, stats
+    assert stats["queue_depth"] == 0 and stats["inflight"] == 0, stats
+
+    # Every authoritative verdict is on disk, one entry per distinct query.
+    entries = [f for f in os.listdir("serve-store") if f.endswith(".json")]
+    assert len(entries) == distinct, entries
+
+    bye = rpc(sock, reader, {"op": "shutdown", "id": 2})
+    assert bye["ok"] and bye["op"] == "shutdown", bye
+    sock.close()
+    print(f"serve smoke OK at {expected_workers} worker(s): {stats}")
+
+
+if __name__ == "__main__":
+    main()

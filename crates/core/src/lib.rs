@@ -51,6 +51,7 @@ mod protocol_complex;
 mod report;
 mod simulation;
 mod solver;
+mod spec;
 
 pub use act_adversary as adversary;
 pub use act_affine as affine;
@@ -76,3 +77,4 @@ pub use solver::{
     set_consensus_verdict_with_config, solve_in_fair_model, solve_in_model,
     solve_in_model_with_config, DomainCache, Solvability,
 };
+pub use spec::{ModelSpec, TaskSpec, MAX_PROCESSES};

@@ -1,0 +1,354 @@
+//! Canonical model and task specifications.
+//!
+//! The CLI, the serving layer, and the persistent verdict store all need
+//! to agree on what a "model" and a "task" are — and the store keys
+//! verdicts by a *content address* derived from the spec text, so two
+//! spellings of the same model must canonicalize to the same string.
+//! This module is the single parser both front ends use:
+//!
+//! * [`ModelSpec`] — `wait-free:N`, `t-res:N:T`, `k-of:N:K`, `fig5b`,
+//!   and `custom:N:{p1,p2};{p3};…` (with optional superset closure);
+//! * [`TaskSpec`] — `set-consensus:N:K`, the decision problems the FACT
+//!   pipeline answers (`k`-set consensus over values `0..=k`);
+//! * [`ModelSpec::canonical_string`] / [`TaskSpec::canonical_string`] —
+//!   a round-trippable normal form (`parse(canonical_string(s)) == s`),
+//!   with custom live sets superset-closed at parse time (when asked),
+//!   sorted, and deduplicated, so the canonical text fully determines
+//!   the adversary.
+//!
+//! Malformed specs are reported as plain `String` errors, which the CLI
+//! maps to [`FactError::Usage`](crate::FactError) (exit code 2) and the
+//! server maps to an error reply with the same code.
+
+use act_adversary::Adversary;
+use act_tasks::SetConsensus;
+use act_topology::{ColorSet, ProcessId};
+
+/// The largest supported process count (`Chr² s` explodes beyond it).
+pub const MAX_PROCESSES: usize = 5;
+
+/// A parsed, canonicalizable model specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelSpec {
+    /// `wait-free:N` — the wait-free adversary (all non-empty live sets).
+    WaitFree {
+        /// Process count.
+        n: usize,
+    },
+    /// `t-res:N:T` — the `T`-resilient adversary.
+    TResilient {
+        /// Process count.
+        n: usize,
+        /// Resilience bound (`t < n`).
+        t: usize,
+    },
+    /// `k-of:N:K` — the `K`-obstruction-free adversary.
+    KObstructionFree {
+        /// Process count.
+        n: usize,
+        /// Concurrency bound (`1 ≤ k ≤ n`).
+        k: usize,
+    },
+    /// `fig5b` — the Figure 5(b) adversary of the paper.
+    Fig5b,
+    /// `custom:N:{…};…` — explicit live sets, already closed (when the
+    /// spec asked for closure), sorted, and deduplicated.
+    Custom {
+        /// Process count.
+        n: usize,
+        /// The live sets, sorted and deduplicated.
+        live: Vec<ColorSet>,
+    },
+}
+
+impl ModelSpec {
+    /// Parses a model spec. `closure` closes `custom` live sets under
+    /// supersets (the CLI's `--closure` flag); it is folded into the
+    /// parsed value, so the canonical string needs no flag.
+    pub fn parse(spec: &str, closure: bool) -> Result<ModelSpec, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["wait-free", n] => Ok(ModelSpec::WaitFree { n: parse_n(n)? }),
+            ["t-res", n, t] => {
+                let n = parse_n(n)?;
+                let t: usize = t.parse().map_err(|_| format!("bad t in {spec:?}"))?;
+                if t >= n {
+                    return Err("t-resilience requires t < n".into());
+                }
+                Ok(ModelSpec::TResilient { n, t })
+            }
+            ["k-of", n, k] => {
+                let n = parse_n(n)?;
+                let k: usize = k.parse().map_err(|_| format!("bad k in {spec:?}"))?;
+                if !(1..=n).contains(&k) {
+                    return Err("k-obstruction-freedom requires 1 ≤ k ≤ n".into());
+                }
+                Ok(ModelSpec::KObstructionFree { n, k })
+            }
+            ["fig5b"] => Ok(ModelSpec::Fig5b),
+            ["custom", n, sets] => {
+                let n = parse_n(n)?;
+                let mut live = Vec::new();
+                for block in sets.split(';') {
+                    let block = block.trim().trim_start_matches('{').trim_end_matches('}');
+                    let mut cs = ColorSet::EMPTY;
+                    for name in block.split(',') {
+                        let name = name.trim();
+                        let idx: usize = name
+                            .strip_prefix('p')
+                            .and_then(|d| d.parse::<usize>().ok())
+                            .ok_or_else(|| format!("bad process name {name:?}"))?;
+                        if idx == 0 || idx > n {
+                            return Err(format!("process {name} outside 1..={n}"));
+                        }
+                        cs = cs.with(ProcessId::new(idx - 1));
+                    }
+                    if cs.is_empty() {
+                        return Err("empty live set".into());
+                    }
+                    live.push(cs);
+                }
+                if closure {
+                    live = ColorSet::full(n)
+                        .non_empty_subsets()
+                        .filter(|s| live.iter().any(|l| l.is_subset_of(*s)))
+                        .collect();
+                }
+                live.sort();
+                live.dedup();
+                Ok(ModelSpec::Custom { n, live })
+            }
+            _ => Err(format!("unrecognized model spec {spec:?}")),
+        }
+    }
+
+    /// The canonical text of this spec: parsing it back (with `closure =
+    /// false`) yields an equal [`ModelSpec`], and equal adversaries
+    /// spelled through the same variant share one canonical string.
+    pub fn canonical_string(&self) -> String {
+        match self {
+            ModelSpec::WaitFree { n } => format!("wait-free:{n}"),
+            ModelSpec::TResilient { n, t } => format!("t-res:{n}:{t}"),
+            ModelSpec::KObstructionFree { n, k } => format!("k-of:{n}:{k}"),
+            ModelSpec::Fig5b => "fig5b".to_string(),
+            ModelSpec::Custom { n, live } => {
+                let sets: Vec<String> = live
+                    .iter()
+                    .map(|cs| {
+                        let names: Vec<String> =
+                            cs.iter().map(|p| format!("p{}", p.index() + 1)).collect();
+                        format!("{{{}}}", names.join(","))
+                    })
+                    .collect();
+                format!("custom:{n}:{}", sets.join(";"))
+            }
+        }
+    }
+
+    /// The number of processes in the model.
+    pub fn num_processes(&self) -> usize {
+        match self {
+            ModelSpec::WaitFree { n }
+            | ModelSpec::TResilient { n, .. }
+            | ModelSpec::KObstructionFree { n, .. }
+            | ModelSpec::Custom { n, .. } => *n,
+            ModelSpec::Fig5b => 3,
+        }
+    }
+
+    /// Builds the adversary this spec names.
+    pub fn adversary(&self) -> Adversary {
+        match self {
+            ModelSpec::WaitFree { n } => Adversary::wait_free(*n),
+            ModelSpec::TResilient { n, t } => Adversary::t_resilient(*n, *t),
+            ModelSpec::KObstructionFree { n, k } => Adversary::k_obstruction_free(*n, *k),
+            ModelSpec::Fig5b => act_adversary::zoo::figure_5b_adversary(),
+            ModelSpec::Custom { n, live } => Adversary::from_live_sets(*n, live.clone()),
+        }
+    }
+}
+
+/// A parsed, canonicalizable task specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskSpec {
+    /// `set-consensus:N:K` — `K`-set consensus over `N` processes with
+    /// the value convention `0..=K` (what `fact-cli solve` decides).
+    SetConsensus {
+        /// Process count.
+        n: usize,
+        /// Agreement bound (`1 ≤ k < n` for a non-trivial question).
+        k: usize,
+    },
+}
+
+impl TaskSpec {
+    /// `k`-set consensus over `n` processes, validating `1 ≤ k < n`.
+    pub fn set_consensus(n: usize, k: usize) -> Result<TaskSpec, String> {
+        if !(1..=MAX_PROCESSES).contains(&n) {
+            return Err(format!(
+                "process counts 1..={MAX_PROCESSES} are supported (Chr² explodes beyond)"
+            ));
+        }
+        if !(1..n).contains(&k) {
+            return Err(format!("k must be in 1..{n} to be interesting"));
+        }
+        Ok(TaskSpec::SetConsensus { n, k })
+    }
+
+    /// Parses a task spec (`set-consensus:N:K`).
+    pub fn parse(spec: &str) -> Result<TaskSpec, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["set-consensus", n, k] => {
+                let n = parse_n(n)?;
+                let k: usize = k.parse().map_err(|_| format!("bad k in {spec:?}"))?;
+                TaskSpec::set_consensus(n, k)
+            }
+            _ => Err(format!("unrecognized task spec {spec:?}")),
+        }
+    }
+
+    /// The canonical text of this spec (round-trips through [`parse`]).
+    ///
+    /// [`parse`]: TaskSpec::parse
+    pub fn canonical_string(&self) -> String {
+        match self {
+            TaskSpec::SetConsensus { n, k } => format!("set-consensus:{n}:{k}"),
+        }
+    }
+
+    /// Builds the task instance this spec names.
+    pub fn task(&self) -> SetConsensus {
+        match self {
+            TaskSpec::SetConsensus { n, k } => {
+                let values: Vec<u64> = (0..=*k as u64).collect();
+                SetConsensus::new(*n, *k, &values)
+            }
+        }
+    }
+}
+
+fn parse_n(s: &str) -> Result<usize, String> {
+    let n: usize = s.parse().map_err(|_| format!("bad process count {s:?}"))?;
+    if !(1..=MAX_PROCESSES).contains(&n) {
+        return Err(format!(
+            "process counts 1..={MAX_PROCESSES} are supported (Chr² explodes beyond)"
+        ));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_adversary::zoo;
+    use act_tasks::Task;
+
+    #[test]
+    fn model_specs_parse_and_build_the_right_adversaries() {
+        assert_eq!(
+            ModelSpec::parse("wait-free:3", false)
+                .unwrap()
+                .adversary()
+                .len(),
+            7
+        );
+        assert_eq!(
+            ModelSpec::parse("t-res:3:1", false)
+                .unwrap()
+                .adversary()
+                .setcon(),
+            2
+        );
+        assert_eq!(
+            ModelSpec::parse("k-of:4:2", false)
+                .unwrap()
+                .adversary()
+                .setcon(),
+            2
+        );
+        assert!(ModelSpec::parse("fig5b", false)
+            .unwrap()
+            .adversary()
+            .is_superset_closed());
+        let custom = ModelSpec::parse("custom:3:{p2};{p1,p3}", true).unwrap();
+        assert_eq!(custom.adversary(), zoo::figure_5b_adversary());
+        let raw = ModelSpec::parse("custom:3:{p2};{p1,p3}", false).unwrap();
+        assert_eq!(raw.adversary().len(), 2);
+    }
+
+    #[test]
+    fn bad_model_specs_are_rejected() {
+        for bad in [
+            "nope:3",
+            "t-res:3:3",
+            "k-of:3:0",
+            "wait-free:9",
+            "custom:3:{p9}",
+            "custom:3:{}",
+            "t-res:x:1",
+            "",
+        ] {
+            assert!(ModelSpec::parse(bad, false).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn canonical_strings_round_trip() {
+        for spec in [
+            "wait-free:3",
+            "t-res:3:1",
+            "k-of:4:2",
+            "fig5b",
+            "custom:3:{p2};{p1,p3}",
+        ] {
+            let parsed = ModelSpec::parse(spec, false).unwrap();
+            let canon = parsed.canonical_string();
+            let reparsed = ModelSpec::parse(&canon, false).unwrap();
+            assert_eq!(parsed, reparsed, "{spec} → {canon} must round-trip");
+            assert_eq!(canon, reparsed.canonical_string());
+        }
+    }
+
+    #[test]
+    fn custom_canonicalization_is_spelling_independent() {
+        // Set order, whitespace, and duplicates do not change the
+        // canonical text — the store key depends on this.
+        let a = ModelSpec::parse("custom:3:{p1,p3};{p2}", false).unwrap();
+        let b = ModelSpec::parse("custom:3:{p2}; {p3,p1} ;{p2}", false).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_string(), b.canonical_string());
+
+        // Closure is folded in at parse time: the canonical string of a
+        // closed spec reparses (with closure = false) to the same model.
+        let closed = ModelSpec::parse("custom:3:{p2};{p1,p3}", true).unwrap();
+        let canon = closed.canonical_string();
+        let reparsed = ModelSpec::parse(&canon, false).unwrap();
+        assert_eq!(closed, reparsed);
+        assert_eq!(reparsed.adversary(), zoo::figure_5b_adversary());
+    }
+
+    #[test]
+    fn task_specs_round_trip_and_validate() {
+        let t = TaskSpec::parse("set-consensus:3:1").unwrap();
+        assert_eq!(t, TaskSpec::set_consensus(3, 1).unwrap());
+        assert_eq!(t.canonical_string(), "set-consensus:3:1");
+        assert_eq!(TaskSpec::parse(&t.canonical_string()).unwrap(), t);
+        let built = t.task();
+        assert_eq!(built.num_processes(), 3);
+        assert_eq!(built.k(), 1);
+
+        assert!(TaskSpec::parse("set-consensus:3:0").is_err());
+        assert!(TaskSpec::parse("set-consensus:3:3").is_err());
+        assert!(TaskSpec::parse("set-consensus:9:1").is_err());
+        assert!(TaskSpec::parse("frob:3:1").is_err());
+    }
+
+    #[test]
+    fn num_processes_matches_the_adversary() {
+        for spec in ["wait-free:2", "t-res:3:1", "k-of:4:2", "fig5b"] {
+            let m = ModelSpec::parse(spec, false).unwrap();
+            assert_eq!(m.num_processes(), m.adversary().num_processes());
+        }
+    }
+}

@@ -400,6 +400,61 @@ impl Counter {
     }
 }
 
+/// A process-global instantaneous gauge (queue depth, in-flight jobs,
+/// …): unlike a [`Counter`] it moves both ways. One relaxed atomic;
+/// cheap enough to update from request hot paths, snapshotted into a
+/// `gauge` event on demand.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a named gauge (usable in `static` position).
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments the gauge.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements the gauge, saturating at zero (a racy extra decrement
+    /// must not wrap to `u64::MAX`).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Emits a `gauge` event snapshotting the current value.
+    pub fn emit(&self) {
+        event("gauge")
+            .str("name", self.name)
+            .u64("value", self.get())
+            .emit();
+    }
+}
+
 /// A process-global hit/miss tally for cache-style instrumentation
 /// (memo tables, GAC residual supports, …): two uncontended relaxed
 /// atomics, cheap enough for hot paths, snapshotted into a `rate_counter`
@@ -531,6 +586,29 @@ mod tests {
             sink.drain()
         });
         assert!(lines[0].contains("\"name\":\"test.nodes\""));
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_saturate_at_zero() {
+        static DEPTH: Gauge = Gauge::new("test.depth");
+        DEPTH.set(0);
+        DEPTH.inc();
+        DEPTH.inc();
+        assert_eq!(DEPTH.get(), 2);
+        DEPTH.dec();
+        assert_eq!(DEPTH.get(), 1);
+        DEPTH.dec();
+        DEPTH.dec(); // extra decrement must not wrap
+        assert_eq!(DEPTH.get(), 0);
+        DEPTH.set(7);
+        assert_eq!(DEPTH.get(), 7);
+        let lines = with_memory_sink(|sink| {
+            DEPTH.emit();
+            sink.drain()
+        });
+        assert!(lines[0].contains("\"ev\":\"gauge\""));
+        assert!(lines[0].contains("\"name\":\"test.depth\""));
+        assert!(lines[0].contains("\"value\":7"));
     }
 
     #[test]

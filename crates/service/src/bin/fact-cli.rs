@@ -4,6 +4,8 @@
 //! $ fact-cli analyze t-res:3:1
 //! $ fact-cli analyze 'custom:3:{p2};{p1,p3}' --closure
 //! $ fact-cli solve k-of:3:2 2
+//! $ fact-cli solve t-res:3:1 1 --store target/verdicts
+//! $ fact-cli serve --addr 127.0.0.1:7878 --store target/verdicts
 //! $ fact-cli simulate fig5b 200
 //! $ fact-cli census
 //! $ fact-cli solve t-res:3:1 2 --report report.json
@@ -15,22 +17,29 @@
 //! `fig5b`, or `custom:N:{p1,p2};{p3};…` (live sets by process name;
 //! add `--closure` to close under supersets).
 //!
+//! `solve --store <dir>` and `serve --store <dir>` share one persistent
+//! content-addressed verdict store: a one-shot CLI run warms the server
+//! and vice versa.
+//!
 //! Telemetry: set `ACT_OBS_OUT=stderr` (or a file path) to stream
 //! JSON-lines events, or pass `--report <path>` to capture the run's
 //! events into a validated [`RunReport`] JSON file.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use act_service::{
+    deepening_verdict, ServeConfig, ServeOptions, StoreKey, StoredVerdict, VerdictStore,
+};
 use fact::adversary::{zoo, Adversary, AgreementFunction};
 use fact::affine::fair_affine_task;
 use fact::runtime::{run_adversarial, Trace, TraceArtifact};
-use fact::tasks::{SearchConfig, SetConsensus};
+use fact::tasks::SearchConfig;
 use fact::topology::{betti_numbers, connected_components, is_link_connected, ColorSet, ProcessId};
 use fact::{
-    execute_affine_iterations, executed_set_consensus, outputs_to_simplex,
-    set_consensus_verdict_with_config, validate_report_json, AlgorithmOneSystem, DomainCache,
-    FactError, RunReport, Solvability,
+    execute_affine_iterations, executed_set_consensus, outputs_to_simplex, validate_report_json,
+    AlgorithmOneSystem, DomainCache, FactError, ModelSpec, RunReport, Solvability, TaskSpec,
 };
 use rand::SeedableRng;
 
@@ -112,15 +121,36 @@ fn fail(e: FactError) -> ExitCode {
 
 /// Removes `--report <path>` from the argument list, returning the path.
 fn extract_report_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
-    match args.iter().position(|a| a == "--report") {
+    extract_value_flag(args, "--report")
+}
+
+/// Removes `<flag> <value>` from the argument list, returning the value.
+fn extract_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => {
             if i + 1 >= args.len() {
-                return Err("--report needs a file path".into());
+                return Err(format!("{flag} needs a value"));
             }
-            let path = args.remove(i + 1);
+            let value = args.remove(i + 1);
             args.remove(i);
-            Ok(Some(path))
+            Ok(Some(value))
+        }
+    }
+}
+
+/// Removes `<flag> <n>` (a count, at least 1) from the argument list.
+fn extract_count_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<usize>, String> {
+    match extract_value_flag(args, flag)? {
+        None => Ok(None),
+        Some(raw) => {
+            let n: usize = raw
+                .parse()
+                .map_err(|_| format!("bad {flag} value {raw:?}"))?;
+            if n == 0 {
+                return Err(format!("{flag} must be at least 1"));
+            }
+            Ok(Some(n))
         }
     }
 }
@@ -170,6 +200,9 @@ usage:
   fact-cli analyze <model> [--closure]   adversary/agreement/affine-task report
   fact-cli solve <model> <k> [iters]     decide k-set consensus via the FACT,
                                          deepening R_A^ℓ up to ℓ = iters (default 1)
+            [--store <dir>]              answer from / persist into a verdict store
+  fact-cli serve [--stdio] [--addr H:P]  run the solvability query service
+            [--store <dir>] [--workers <n>] [--queue <n>]
   fact-cli simulate <model> <runs>       run Algorithm 1 under adversarial schedules
   fact-cli census                        survey all 3-process adversaries
   fact-cli validate-report <path>        check a --report JSON file
@@ -181,12 +214,17 @@ options:
                     (sets RAYON_NUM_THREADS; 1 forces the serial engines)
   --deadline-ms <n> wall-clock budget for each map search; expiry yields
                     a timed-out verdict (exit code 4), not a hang
+                    (under serve: the default per-request budget)
 
 exit codes: 0 success | 1 runtime failure | 2 usage error
             3 degraded run (a search branch was lost to a caught panic)
             4 search deadline expired
 
 models: wait-free:N | t-res:N:T | k-of:N:K | fig5b | custom:N:{p1,p2};{p3};...
+
+serving: `serve` speaks newline-delimited JSON (see README \"Serving\");
+shutdown is the wire request {\"op\":\"shutdown\"} — it drains the queue,
+answers every admitted job, and only then acknowledges and exits.
 
 telemetry: ACT_OBS_OUT=stderr|<file> streams JSON-lines events;
 ACT_OBS_ARTIFACTS=<dir> captures liveness-failing runs as replayable traces.";
@@ -197,6 +235,7 @@ fn run(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fact
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("solve") => solve(&args[1..], deadline_ms),
+        Some("serve") => serve(&args[1..], deadline_ms),
         Some("simulate") => simulate(&args[1..]),
         Some("census") => census(),
         Some("validate-report") => validate_report(&args[1..]),
@@ -206,66 +245,10 @@ fn run(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fact
     }
 }
 
-/// Parses a model spec into an adversary.
+/// Parses a model spec into an adversary (through the canonical
+/// [`ModelSpec`] parser shared with the serving layer).
 fn parse_model(spec: &str, closure: bool) -> Result<Adversary, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts.as_slice() {
-        ["wait-free", n] => Ok(Adversary::wait_free(parse_n(n)?)),
-        ["t-res", n, t] => {
-            let n = parse_n(n)?;
-            let t: usize = t.parse().map_err(|_| format!("bad t in {spec:?}"))?;
-            if t >= n {
-                return Err("t-resilience requires t < n".into());
-            }
-            Ok(Adversary::t_resilient(n, t))
-        }
-        ["k-of", n, k] => {
-            let n = parse_n(n)?;
-            let k: usize = k.parse().map_err(|_| format!("bad k in {spec:?}"))?;
-            if !(1..=n).contains(&k) {
-                return Err("k-obstruction-freedom requires 1 ≤ k ≤ n".into());
-            }
-            Ok(Adversary::k_obstruction_free(n, k))
-        }
-        ["fig5b"] => Ok(zoo::figure_5b_adversary()),
-        ["custom", n, sets] => {
-            let n = parse_n(n)?;
-            let mut live = Vec::new();
-            for block in sets.split(';') {
-                let block = block.trim().trim_start_matches('{').trim_end_matches('}');
-                let mut cs = ColorSet::EMPTY;
-                for name in block.split(',') {
-                    let name = name.trim();
-                    let idx: usize = name
-                        .strip_prefix('p')
-                        .and_then(|d| d.parse::<usize>().ok())
-                        .ok_or_else(|| format!("bad process name {name:?}"))?;
-                    if idx == 0 || idx > n {
-                        return Err(format!("process {name} outside 1..={n}"));
-                    }
-                    cs = cs.with(ProcessId::new(idx - 1));
-                }
-                if cs.is_empty() {
-                    return Err("empty live set".into());
-                }
-                live.push(cs);
-            }
-            Ok(if closure {
-                Adversary::superset_closure(n, live)
-            } else {
-                Adversary::from_live_sets(n, live)
-            })
-        }
-        _ => Err(format!("unrecognized model spec {spec:?}")),
-    }
-}
-
-fn parse_n(s: &str) -> Result<usize, String> {
-    let n: usize = s.parse().map_err(|_| format!("bad process count {s:?}"))?;
-    if !(1..=5).contains(&n) {
-        return Err("process counts 1..=5 are supported (Chr² explodes beyond)".into());
-    }
-    Ok(n)
+    Ok(ModelSpec::parse(spec, closure)?.adversary())
 }
 
 fn analyze(args: &[String]) -> Result<Option<String>, FactError> {
@@ -325,6 +308,8 @@ fn analyze(args: &[String]) -> Result<Option<String>, FactError> {
 }
 
 fn solve(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, FactError> {
+    let mut args: Vec<String> = args.to_vec();
+    let store_dir = extract_value_flag(&mut args, "--store")?;
     let spec = args
         .first()
         .ok_or_else(|| "solve needs a model spec".to_string())?;
@@ -343,36 +328,62 @@ fn solve(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fa
             n
         }
     };
-    let a = parse_model(spec, false)?;
-    let n = a.num_processes();
-    if !(1..n).contains(&k) {
-        return Err(FactError::Usage(format!(
-            "k must be in 1..{n} to be interesting"
-        )));
+    let model = ModelSpec::parse(spec, false)?;
+    let task = TaskSpec::set_consensus(model.num_processes(), k)?;
+    let a = model.adversary();
+    let store = match &store_dir {
+        None => None,
+        Some(dir) => Some(
+            VerdictStore::open(std::path::Path::new(dir))
+                .map_err(|e| FactError::Runtime(format!("open store {dir:?}: {e}")))?,
+        ),
+    };
+    println!("model setcon = {}; deciding {k}-set consensus…", a.setcon());
+    let key = StoreKey::new(&model, &task, max_iters);
+    if let Some(store) = &store {
+        if let Some(stored) = store.get(&key) {
+            act_service::SERVE_HIT.add(1);
+            act_service::SERVE_HIT.emit();
+            let verdict = stored.to_solvability().ok_or_else(|| {
+                FactError::Runtime("stored verdict did not decode (corrupt store?)".into())
+            })?;
+            println!("(served from store)");
+            return report_verdict(&verdict);
+        }
     }
+    let n = model.num_processes();
     let alpha = AgreementFunction::of_adversary(&a);
     if alpha.alpha(ColorSet::full(n)) == 0 {
         return Err(FactError::Runtime("the model admits no runs".into()));
     }
     let r_a = fair_affine_task(&alpha);
-    let values: Vec<u64> = (0..=k as u64).collect();
-    let t = SetConsensus::new(n, k, &values);
-    println!("model setcon = {}; deciding {k}-set consensus…", a.setcon());
+    let t = task.task();
     let mut config = SearchConfig::new(5_000_000);
     if let Some(ms) = deadline_ms {
         config = config.with_deadline(std::time::Duration::from_millis(ms));
     }
     // One DomainCache across the deepening loop: each new ℓ extends the
     // R_A^ℓ tower by a single subdivision round instead of rebuilding.
+    // The loop itself is `deepening_verdict`, shared with the server so
+    // both front ends return byte-identical verdicts.
     let mut cache = DomainCache::new();
-    let mut verdict = set_consensus_verdict_with_config(&mut cache, &t, &r_a, 1, &config);
-    for iters in 2..=max_iters {
-        if !matches!(verdict, Solvability::NoMapUpTo { .. }) {
-            break;
+    let verdict = deepening_verdict(&mut cache, &t, &r_a, max_iters, &config);
+    if let Some(store) = &store {
+        // Only authoritative verdicts persist; a timed-out or exhausted
+        // outcome is a fact about this run's budget, not the model.
+        if let Some(stored) = StoredVerdict::from_solvability(&verdict) {
+            store.put(&key, &stored);
         }
-        verdict = set_consensus_verdict_with_config(&mut cache, &t, &r_a, iters, &config);
     }
-    match &verdict {
+    report_verdict(&verdict)
+}
+
+/// Prints a verdict the way `solve` always has, mapping `timed-out` to
+/// its exit code. Shared by the engine and store paths, so a warm run's
+/// output differs from a cold one only by the `(served from store)`
+/// marker line.
+fn report_verdict(verdict: &Solvability) -> Result<Option<String>, FactError> {
+    match verdict {
         Solvability::Solvable { iterations, .. } => {
             println!(
                 "SOLVABLE with {iterations} iteration(s) of R_A (map verified by construction)"
@@ -392,6 +403,50 @@ fn solve(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fa
         }
     }
     Ok(Some(verdict.verdict_name().to_string()))
+}
+
+fn serve(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, FactError> {
+    let options = parse_serve_options(args, deadline_ms)?;
+    act_service::serve(options).map_err(|e| FactError::Runtime(format!("serve: {e}")))?;
+    Ok(Some("drained".into()))
+}
+
+/// Parses the `serve` flags into [`ServeOptions`].
+fn parse_serve_options(
+    args: &[String],
+    deadline_ms: Option<u64>,
+) -> Result<ServeOptions, FactError> {
+    let mut args: Vec<String> = args.to_vec();
+    let store_dir = extract_value_flag(&mut args, "--store")?;
+    let addr = extract_value_flag(&mut args, "--addr")?;
+    let workers = extract_count_flag(&mut args, "--workers")?;
+    let queue = extract_count_flag(&mut args, "--queue")?;
+    let stdio = match args.iter().position(|a| a == "--stdio") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    if let Some(stray) = args.first() {
+        return Err(FactError::Usage(format!(
+            "serve does not take positional argument {stray:?}"
+        )));
+    }
+    let mut config = ServeConfig::default();
+    if let Some(w) = workers {
+        config.workers = w;
+    }
+    if let Some(q) = queue {
+        config.queue_capacity = q;
+    }
+    config.deadline_ms = deadline_ms;
+    Ok(ServeOptions {
+        addr,
+        stdio,
+        store_dir: store_dir.map(PathBuf::from),
+        config,
+    })
 }
 
 fn simulate(args: &[String]) -> Result<Option<String>, FactError> {
@@ -602,6 +657,10 @@ mod tests {
         let e = run(&["frobnicate".into()], None).unwrap_err();
         assert_eq!(e.exit_code(), 2);
         assert!(e.is_usage());
+        // …and so are malformed specs, everywhere they can appear.
+        let e = run(&["solve".into(), "nope:3".into(), "1".into()], None).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(e.is_usage());
         // …while failures on well-formed invocations are runtime (exit 1).
         let e = run(
             &["replay".into(), "/no/such/file".into(), "t-res:3:1".into()],
@@ -691,5 +750,66 @@ mod tests {
 
         let mut bad: Vec<String> = vec!["census".into(), "--report".into()];
         assert!(extract_report_flag(&mut bad).is_err());
+    }
+
+    #[test]
+    fn serve_options_parse() {
+        let args: Vec<String> = [
+            "--stdio",
+            "--store",
+            "/tmp/s",
+            "--workers",
+            "3",
+            "--queue",
+            "16",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_serve_options(&args, Some(250)).unwrap();
+        assert!(opts.stdio);
+        assert_eq!(
+            opts.store_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/s"))
+        );
+        assert_eq!(opts.config.workers, 3);
+        assert_eq!(opts.config.queue_capacity, 16);
+        assert_eq!(opts.config.deadline_ms, Some(250));
+
+        let defaults = parse_serve_options(&[], None).unwrap();
+        assert!(!defaults.stdio);
+        assert_eq!(defaults.addr, None);
+        assert_eq!(defaults.config.workers, ServeConfig::default().workers);
+
+        let bad: Vec<String> = vec!["--workers".into(), "0".into()];
+        assert!(parse_serve_options(&bad, None).is_err());
+        let stray: Vec<String> = vec!["t-res:3:1".into()];
+        assert!(parse_serve_options(&stray, None).is_err());
+    }
+
+    #[test]
+    fn solve_warms_and_reads_the_store() {
+        let dir = std::env::temp_dir().join(format!("fact-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.display().to_string();
+        let solve = |args: &[&str]| {
+            let mut full: Vec<String> = vec!["solve".into(), "t-res:3:1".into(), "2".into()];
+            full.extend(args.iter().map(|s| s.to_string()));
+            run(&full, None)
+        };
+        let hits_before = act_service::SERVE_HIT.get();
+        // Cold: runs the engine and persists the verdict…
+        assert_eq!(
+            solve(&["--store", &dir_arg]).unwrap(),
+            Some("solvable".into())
+        );
+        assert_eq!(act_service::SERVE_HIT.get(), hits_before);
+        // …warm: identical verdict, answered from the store.
+        assert_eq!(
+            solve(&["--store", &dir_arg]).unwrap(),
+            Some("solvable".into())
+        );
+        assert_eq!(act_service::SERVE_HIT.get(), hits_before + 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,322 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line. Every request carries an
+//! `op` and an optional client-chosen `id` (echoed back, default 0):
+//!
+//! ```json
+//! {"op":"solve","id":1,"model":"t-res:3:1","k":1,"iters":2}
+//! {"op":"solve","id":2,"model":"k-of:3:2","k":2,"deadline_ms":500}
+//! {"op":"stats","id":3}
+//! {"op":"shutdown","id":4}
+//! ```
+//!
+//! Responses are flat JSON objects; absent fields are `null`:
+//!
+//! ```json
+//! {"id":1,"op":"solve","ok":true,"verdict":"solvable","iterations":1,
+//!  "witness_len":30,"source":"store","authoritative":true, ...}
+//! {"id":9,"op":"error","ok":false,"error":"...","code":2, ...}
+//! ```
+//!
+//! Error `code`s follow the CLI exit-code vocabulary where they overlap
+//! — `1` runtime, `2` usage (malformed request or spec) — plus the
+//! serving-only classes `5` (backpressure: bounded queue full, retry
+//! later) and `6` (draining: the server is shutting down).
+
+use fact::{ModelSpec, TaskSpec};
+use serde::{Deserialize, Serialize, Value};
+
+/// Version of the request/response schema.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Error code: runtime failure while answering a well-formed query.
+pub const CODE_RUNTIME: u64 = 1;
+/// Error code: malformed request or spec (the CLI's usage exit code).
+pub const CODE_USAGE: u64 = 2;
+/// Error code: backpressure — the bounded queue is full, retry later.
+pub const CODE_BACKPRESSURE: u64 = 5;
+/// Error code: the server is draining and accepts no new queries.
+pub const CODE_DRAINING: u64 = 6;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id (0 when omitted).
+    pub id: u64,
+    /// What the client asked for.
+    pub body: RequestBody,
+}
+
+/// The operation a request names.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestBody {
+    /// Decide `k`-set consensus under `model` deepening to `iters`.
+    Solve {
+        /// The model, parsed through the canonical parser.
+        model: ModelSpec,
+        /// The task (validated `k` against the model's process count).
+        task: TaskSpec,
+        /// Deepening bound `ℓ` (≥ 1).
+        iters: usize,
+        /// Optional per-request wall-clock budget for the search.
+        deadline_ms: Option<u64>,
+    },
+    /// Snapshot the serving counters.
+    Stats,
+    /// Drain the queue and stop the server.
+    Shutdown,
+}
+
+/// Parses one request line. On failure returns `(id, message)` — the id
+/// is recovered from the malformed request when possible so the error
+/// reply still correlates.
+pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
+    let v: Value = serde_json::from_str(line).map_err(|e| (0, format!("bad JSON: {e}")))?;
+    let id = opt_u64(&v, "id").unwrap_or(0);
+    let fail = |msg: String| (id, msg);
+    let op = match v.field("op") {
+        Ok(Value::Str(s)) => s.clone(),
+        _ => return Err(fail("missing string field `op`".into())),
+    };
+    let body = match op.as_str() {
+        "solve" => {
+            let model_text = match v.field("model") {
+                Ok(Value::Str(s)) => s.clone(),
+                _ => return Err(fail("solve needs a string `model`".into())),
+            };
+            let model = ModelSpec::parse(&model_text, false).map_err(&fail)?;
+            let k =
+                opt_u64(&v, "k").ok_or_else(|| fail("solve needs an integer `k`".into()))? as usize;
+            let task = TaskSpec::set_consensus(model.num_processes(), k).map_err(&fail)?;
+            let iters = opt_u64(&v, "iters").unwrap_or(1) as usize;
+            if iters == 0 {
+                return Err(fail("iters must be at least 1".into()));
+            }
+            RequestBody::Solve {
+                model,
+                task,
+                iters,
+                deadline_ms: opt_u64(&v, "deadline_ms"),
+            }
+        }
+        "stats" => RequestBody::Stats,
+        "shutdown" => RequestBody::Shutdown,
+        other => return Err(fail(format!("unknown op {other:?}"))),
+    };
+    Ok(Request { id, body })
+}
+
+/// An optional unsigned field of a request object.
+fn opt_u64(v: &Value, name: &str) -> Option<u64> {
+    match v.field(name) {
+        Ok(Value::UInt(n)) => Some(*n),
+        Ok(Value::Int(n)) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Counter snapshot carried by a `stats` response.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Queries answered from the store.
+    pub hits: u64,
+    /// Queries that needed (or joined) an engine run.
+    pub misses: u64,
+    /// Queries coalesced onto an in-flight identical computation.
+    pub coalesced: u64,
+    /// Engine runs executed by workers.
+    pub engine_runs: u64,
+    /// Store entries degraded to misses (truncated / bad checksum).
+    pub store_corrupt: u64,
+    /// Queries rejected with a backpressure reply.
+    pub rejected: u64,
+    /// Jobs admitted and waiting for a worker right now.
+    pub queue_depth: u64,
+    /// Jobs admitted (queued or running) right now.
+    pub inflight: u64,
+    /// Worker threads serving the queue.
+    pub workers: u64,
+}
+
+/// One response line (flat; unused fields are `null` on the wire).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the request id (0 when the request carried none).
+    pub id: u64,
+    /// `solve` | `stats` | `shutdown` | `error`.
+    pub op: String,
+    /// Whether the request was answered (a non-authoritative verdict is
+    /// still `ok: true` — the *request* succeeded).
+    pub ok: bool,
+    /// Verdict name for `solve` replies.
+    pub verdict: Option<String>,
+    /// Iteration count of the verdict.
+    pub iterations: Option<u64>,
+    /// Size of the witnessing map (vertices mapped), for `solvable`.
+    pub witness_len: Option<u64>,
+    /// Where the answer came from: `store`, `engine`, or `coalesced`.
+    pub source: Option<String>,
+    /// Whether the verdict is authoritative (`solvable` / `no-map`).
+    /// `false` marks `exhausted` / `timed-out`, which are never served
+    /// from or written to the persistent store.
+    pub authoritative: Option<bool>,
+    /// Error message for `error` replies.
+    pub error: Option<String>,
+    /// Error class for `error` replies (see the module docs).
+    pub code: Option<u64>,
+    /// Counter snapshot for `stats` replies.
+    pub stats: Option<StatsBody>,
+}
+
+impl Response {
+    fn blank(id: u64, op: &str, ok: bool) -> Response {
+        Response {
+            id,
+            op: op.to_string(),
+            ok,
+            verdict: None,
+            iterations: None,
+            witness_len: None,
+            source: None,
+            authoritative: None,
+            error: None,
+            code: None,
+            stats: None,
+        }
+    }
+
+    /// A `solve` reply.
+    pub fn solve(
+        id: u64,
+        verdict: &str,
+        iterations: u64,
+        witness_len: u64,
+        source: &str,
+        authoritative: bool,
+    ) -> Response {
+        let mut r = Response::blank(id, "solve", true);
+        r.verdict = Some(verdict.to_string());
+        r.iterations = Some(iterations);
+        r.witness_len = Some(witness_len);
+        r.source = Some(source.to_string());
+        r.authoritative = Some(authoritative);
+        r
+    }
+
+    /// An `error` reply.
+    pub fn error(id: u64, code: u64, message: &str) -> Response {
+        let mut r = Response::blank(id, "error", false);
+        r.error = Some(message.to_string());
+        r.code = Some(code);
+        r
+    }
+
+    /// A `stats` reply.
+    pub fn stats(id: u64, stats: StatsBody) -> Response {
+        let mut r = Response::blank(id, "stats", true);
+        r.stats = Some(stats);
+        r
+    }
+
+    /// The `shutdown` acknowledgement, sent after the drain completes.
+    pub fn shutdown(id: u64) -> Response {
+        Response::blank(id, "shutdown", true)
+    }
+
+    /// The response as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| {
+            format!(
+                "{{\"id\":{},\"op\":\"error\",\"ok\":false,\"error\":\"encode: {e}\",\"code\":1}}",
+                self.id
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_requests_parse_with_defaults() {
+        let r = parse_request(r#"{"op":"solve","id":7,"model":"t-res:3:1","k":1}"#).unwrap();
+        assert_eq!(r.id, 7);
+        match r.body {
+            RequestBody::Solve {
+                model,
+                task,
+                iters,
+                deadline_ms,
+            } => {
+                assert_eq!(model.canonical_string(), "t-res:3:1");
+                assert_eq!(task.canonical_string(), "set-consensus:3:1");
+                assert_eq!(iters, 1);
+                assert_eq!(deadline_ms, None);
+            }
+            other => panic!("expected solve, got {other:?}"),
+        }
+        let r =
+            parse_request(r#"{"op":"solve","model":"k-of:3:2","k":2,"iters":3,"deadline_ms":250}"#)
+                .unwrap();
+        assert_eq!(r.id, 0);
+        assert!(matches!(
+            r.body,
+            RequestBody::Solve {
+                iters: 3,
+                deadline_ms: Some(250),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_fail_with_correlated_ids() {
+        assert_eq!(parse_request("not json").unwrap_err().0, 0);
+        let (id, msg) =
+            parse_request(r#"{"op":"solve","id":9,"model":"nope:3","k":1}"#).unwrap_err();
+        assert_eq!(id, 9);
+        assert!(msg.contains("unrecognized model spec"));
+        let (id, _) = parse_request(r#"{"op":"solve","id":3,"model":"t-res:3:1"}"#).unwrap_err();
+        assert_eq!(id, 3);
+        assert!(parse_request(r#"{"op":"frobnicate","id":1}"#).is_err());
+        assert!(parse_request(r#"{"id":1}"#).is_err());
+        // k out of range is a spec validation error, same as the CLI's.
+        assert!(parse_request(r#"{"op":"solve","model":"t-res:3:1","k":3}"#).is_err());
+        assert!(parse_request(r#"{"op":"solve","model":"t-res:3:1","k":1,"iters":0}"#).is_err());
+    }
+
+    #[test]
+    fn stats_and_shutdown_parse() {
+        assert_eq!(
+            parse_request(r#"{"op":"stats","id":2}"#).unwrap().body,
+            RequestBody::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap().body,
+            RequestBody::Shutdown
+        );
+    }
+
+    #[test]
+    fn responses_encode_and_reparse() {
+        let line = Response::solve(4, "solvable", 1, 30, "store", true).encode();
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert!(matches!(v.field("verdict"), Ok(Value::Str(s)) if s == "solvable"));
+        assert!(matches!(v.field("ok"), Ok(Value::Bool(true))));
+        assert!(matches!(v.field("authoritative"), Ok(Value::Bool(true))));
+        assert!(matches!(v.field("error"), Ok(Value::Null)));
+
+        let line = Response::error(0, CODE_USAGE, "bad spec").encode();
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert!(matches!(v.field("code"), Ok(Value::UInt(2))));
+
+        let round: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(round.code, Some(CODE_USAGE));
+        assert!(!round.ok);
+
+        let line = Response::stats(1, StatsBody::default()).encode();
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert!(v.field("stats").unwrap().field("hits").is_ok());
+    }
+}

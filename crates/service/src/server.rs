@@ -1,0 +1,301 @@
+//! The operational front end: newline-delimited JSON over TCP or stdio.
+//!
+//! * **TCP** — the listener binds (by default `127.0.0.1:0`, letting the
+//!   OS pick a free port) and prints `fact-serve listening on ADDR` as
+//!   its first stdout line, so harnesses can scrape the assigned port.
+//!   Each connection gets a thread; requests on one connection are
+//!   answered in order, and clients open several connections for
+//!   concurrency.
+//! * **stdio** — one request per stdin line, one response per stdout
+//!   line; used by tests and pipelines (`fact-cli serve --stdio`). EOF
+//!   drains and exits cleanly.
+//!
+//! There is no signal handling (the crate is std-only): **graceful
+//! shutdown is a wire request**. A `{"op":"shutdown"}` stops admission,
+//! lets every queued and running job finish and answer its waiters,
+//! joins the workers, and only then acknowledges — so a client that has
+//! seen the `shutdown` response knows the queue was drained, and the
+//! serve loop exits.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{
+    parse_request, RequestBody, Response, CODE_BACKPRESSURE, CODE_DRAINING, CODE_USAGE,
+};
+use crate::scheduler::{Scheduler, ServeConfig, Served, SolveQuery, Submitted};
+use crate::store::VerdictStore;
+
+/// How the serve loop is wired up.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// TCP listen address (`None` = `127.0.0.1:0`, OS-assigned port).
+    /// Ignored under `stdio`.
+    pub addr: Option<String>,
+    /// Serve stdin/stdout instead of TCP.
+    pub stdio: bool,
+    /// Directory of the persistent verdict store (`None` = memory only).
+    pub store_dir: Option<PathBuf>,
+    /// Scheduler tuning.
+    pub config: ServeConfig,
+}
+
+/// Runs the query service until a `shutdown` request (or stdin EOF in
+/// stdio mode) completes its drain.
+pub fn serve(options: ServeOptions) -> std::io::Result<()> {
+    let store = match &options.store_dir {
+        Some(dir) => VerdictStore::open(dir)?,
+        None => VerdictStore::in_memory(),
+    };
+    let scheduler = Scheduler::new(Arc::new(store), options.config.clone());
+    scheduler.start_workers();
+    if options.stdio {
+        serve_stdio(&scheduler)
+    } else {
+        serve_tcp(&scheduler, options.addr.as_deref().unwrap_or("127.0.0.1:0"))
+    }
+}
+
+fn serve_stdio(scheduler: &Arc<Scheduler>) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_line(scheduler, &line);
+        writeln!(out, "{}", response.encode())?;
+        out.flush()?;
+        if shutdown {
+            return Ok(());
+        }
+    }
+    scheduler.drain();
+    Ok(())
+}
+
+fn serve_tcp(scheduler: &Arc<Scheduler>, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    {
+        let mut out = std::io::stdout();
+        writeln!(out, "fact-serve listening on {}", listener.local_addr()?)?;
+        out.flush()?;
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nonblocking(false)?;
+                let scheduler = Arc::clone(scheduler);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || handle_connection(stream, &scheduler, &stop));
+            }
+            // Nonblocking accept doubles as the stop-flag poll: sleep a
+            // beat and re-check, so a shutdown on any connection ends
+            // the loop within ~25ms of the drain completing.
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, scheduler: &Arc<Scheduler>, stop: &AtomicBool) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_line(scheduler, &line);
+        let sent = writeln!(writer, "{}", response.encode()).and_then(|()| writer.flush());
+        if sent.is_err() {
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Answers one request line. The boolean is the shutdown signal: when
+/// set, the drain has already completed and the loop should exit after
+/// writing the response.
+fn handle_line(scheduler: &Arc<Scheduler>, line: &str) -> (Response, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err((id, message)) => return (Response::error(id, CODE_USAGE, &message), false),
+    };
+    match request.body {
+        RequestBody::Solve {
+            model,
+            task,
+            iters,
+            deadline_ms,
+        } => {
+            let span = act_obs::span("serve.request");
+            let submitted = scheduler.submit(SolveQuery {
+                model,
+                task,
+                iters,
+                deadline_ms,
+            });
+            let response = match submitted {
+                Submitted::Ready(s) => solve_response(request.id, s),
+                Submitted::Pending(rx) => {
+                    let served = rx.recv().unwrap_or(Served::Failed {
+                        error: "scheduler shut down before answering".into(),
+                        code: CODE_DRAINING,
+                    });
+                    solve_response(request.id, served)
+                }
+                Submitted::Busy { depth } => Response::error(
+                    request.id,
+                    CODE_BACKPRESSURE,
+                    &format!("queue full at depth {depth}; retry later"),
+                ),
+                Submitted::Draining => {
+                    Response::error(request.id, CODE_DRAINING, "server is draining")
+                }
+            };
+            span.finish().bool("ok", response.ok).emit();
+            (response, false)
+        }
+        RequestBody::Stats => (
+            Response::stats(request.id, scheduler.stats_snapshot()),
+            false,
+        ),
+        RequestBody::Shutdown => {
+            scheduler.drain();
+            (Response::shutdown(request.id), true)
+        }
+    }
+}
+
+fn solve_response(id: u64, served: Served) -> Response {
+    match served {
+        Served::Authoritative { verdict, source } => Response::solve(
+            id,
+            &verdict.verdict,
+            verdict.iterations,
+            verdict.witness.len() as u64,
+            source,
+            true,
+        ),
+        Served::Unreliable {
+            verdict,
+            iterations,
+        } => Response::solve(id, &verdict, iterations, 0, "engine", false),
+        Served::Failed { error, code } => Response::error(id, code, &error),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact::{ModelSpec, TaskSpec};
+    use serde::Value;
+
+    fn scheduler() -> Arc<Scheduler> {
+        let sched = Scheduler::new(Arc::new(VerdictStore::in_memory()), ServeConfig::default());
+        sched.start_workers();
+        sched
+    }
+
+    #[test]
+    fn solve_stats_and_errors_round_trip_through_handle_line() {
+        let _serial = crate::test_serial_guard();
+        let sched = scheduler();
+
+        let (resp, shutdown) =
+            handle_line(&sched, r#"{"op":"solve","id":1,"model":"t-res:3:1","k":2}"#);
+        assert!(!shutdown);
+        assert!(resp.ok);
+        // setcon(t-res:3:1) = 2, so 2-set consensus solves at ℓ = 1.
+        assert_eq!(resp.verdict.as_deref(), Some("solvable"));
+        assert_eq!(resp.authoritative, Some(true));
+        assert_eq!(resp.source.as_deref(), Some("engine"));
+
+        // Identical query again: served from the store this time.
+        let (resp, _) = handle_line(&sched, r#"{"op":"solve","id":2,"model":"t-res:3:1","k":2}"#);
+        assert_eq!(resp.source.as_deref(), Some("store"));
+        assert_eq!(resp.verdict.as_deref(), Some("solvable"));
+
+        let (resp, _) = handle_line(&sched, r#"{"op":"stats","id":3}"#);
+        let stats = resp.stats.expect("stats body");
+        assert!(stats.hits >= 1);
+        assert!(stats.engine_runs >= 1);
+        assert_eq!(stats.workers, 2);
+
+        let (resp, shutdown) =
+            handle_line(&sched, r#"{"op":"solve","id":4,"model":"bogus","k":1}"#);
+        assert!(!shutdown);
+        assert!(!resp.ok);
+        assert_eq!(resp.code, Some(CODE_USAGE));
+
+        let (resp, shutdown) = handle_line(&sched, r#"{"op":"shutdown","id":5}"#);
+        assert!(shutdown);
+        assert!(resp.ok);
+        assert_eq!(resp.op, "shutdown");
+
+        // After the drain, new solves are refused as draining.
+        let (resp, _) = handle_line(
+            &sched,
+            r#"{"op":"solve","id":6,"model":"t-res:3:1","k":2,"iters":2}"#,
+        );
+        assert!(!resp.ok);
+        assert_eq!(resp.code, Some(CODE_DRAINING));
+    }
+
+    #[test]
+    fn timed_out_solves_are_reported_but_never_stored() {
+        let _serial = crate::test_serial_guard();
+        let sched = scheduler();
+        // k-of:3:1 solves 1-set consensus, so the search has real work to
+        // do — a zero deadline must expire before it finds the map.
+        let line = r#"{"op":"solve","id":1,"model":"k-of:3:1","k":1,"deadline_ms":0}"#;
+        let (resp, _) = handle_line(&sched, line);
+        assert!(resp.ok, "a timed-out answer is still an answered request");
+        assert_eq!(resp.verdict.as_deref(), Some("timed-out"));
+        assert_eq!(resp.authoritative, Some(false));
+        let key = SolveQuery {
+            model: ModelSpec::parse("k-of:3:1", false).unwrap(),
+            task: TaskSpec::set_consensus(3, 1).unwrap(),
+            iters: 1,
+            deadline_ms: None,
+        }
+        .key();
+        assert!(
+            sched.store().get(&key).is_none(),
+            "resource outcomes must not be persisted"
+        );
+        sched.drain();
+    }
+
+    #[test]
+    fn responses_are_single_json_lines() {
+        let _serial = crate::test_serial_guard();
+        let sched = scheduler();
+        let (resp, _) = handle_line(&sched, r#"{"op":"stats"}"#);
+        let encoded = resp.encode();
+        assert!(!encoded.contains('\n'));
+        let v: Value = serde_json::from_str(&encoded).unwrap();
+        assert!(matches!(v.field("op"), Ok(Value::Str(s)) if s == "stats"));
+        sched.drain();
+    }
+}

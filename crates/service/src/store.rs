@@ -1,0 +1,493 @@
+//! The content-addressed verdict store.
+//!
+//! Verdicts (and their witnessing maps) are keyed by a canonical hash of
+//! `(model spec, task spec, level, engine schema version)` — all taken
+//! from the canonical spellings of [`fact::ModelSpec`] /
+//! [`fact::TaskSpec`], so two spellings of the same query share one
+//! entry. The store is two-tier:
+//!
+//! * an **in-memory LRU** over decoded entries (bounded; hit promotion);
+//! * an **on-disk tier**: one JSON file per entry, named by the content
+//!   hash, written atomically (temp file + rename) so concurrent readers
+//!   never observe a partial write, and carrying a format version and an
+//!   FNV-1a checksum of the payload.
+//!
+//! Loading is corruption-tolerant by construction: an unreadable,
+//! truncated, unparsable, or checksum-mismatched file is a **miss**
+//! (counted by [`SERVE_STORE_CORRUPT`](crate::SERVE_STORE_CORRUPT)),
+//! never a panic and never a wrong verdict; a format- or schema-version
+//! bump is a *clean* miss (old entries are simply invisible under the
+//! new key). Only authoritative verdicts — `solvable` with its witness,
+//! or `no-map` — are ever persisted: `exhausted` and `timed-out` are
+//! resource outcomes, not facts about the model, and
+//! [`StoredVerdict::from_solvability`] refuses them.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use act_tasks::ENGINE_SCHEMA_VERSION;
+use act_topology::{VertexId, VertexMap};
+use fact::{ModelSpec, Solvability, TaskSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::SERVE_STORE_CORRUPT;
+
+/// Version of the on-disk entry format. Bumping it makes every existing
+/// entry a clean miss (the envelope check rejects old files without
+/// counting them as corrupt).
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// The canonical identity of one solvability query.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// Canonical model spelling ([`ModelSpec::canonical_string`]).
+    pub model: String,
+    /// Canonical task spelling ([`TaskSpec::canonical_string`]).
+    pub task: String,
+    /// The deepening bound `ℓ` the query ran with.
+    pub level: u32,
+    /// [`ENGINE_SCHEMA_VERSION`] at write time: a bump invalidates every
+    /// stored verdict by changing the content address.
+    pub engine_schema: u32,
+}
+
+impl StoreKey {
+    /// The key of a `solve` query at the current engine schema.
+    pub fn new(model: &ModelSpec, task: &TaskSpec, level: usize) -> StoreKey {
+        StoreKey {
+            model: model.canonical_string(),
+            task: task.canonical_string(),
+            level: level as u32,
+            engine_schema: ENGINE_SCHEMA_VERSION,
+        }
+    }
+
+    /// The canonical text the content address is derived from.
+    fn canonical_text(&self) -> String {
+        format!(
+            "fact-serve|{}|{}|{}|{}",
+            self.model, self.task, self.level, self.engine_schema
+        )
+    }
+
+    /// The 128-bit content address (two independently seeded FNV-1a
+    /// hashes of the canonical text).
+    pub fn content_hash(&self) -> u128 {
+        let text = self.canonical_text();
+        let lo = fnv1a64(0xcbf29ce484222325, text.as_bytes());
+        let hi = fnv1a64(0x6c62272e07bb0142, text.as_bytes());
+        ((hi as u128) << 64) | lo as u128
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`, from the given offset basis.
+fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// An authoritative stored verdict: `solvable` (with the witnessing
+/// vertex map) or `no-map`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredVerdict {
+    /// `"solvable"` or `"no-map"` ([`Solvability::verdict_name`]).
+    pub verdict: String,
+    /// The iteration count of the verdict (`Solvable::iterations` or
+    /// `NoMapUpTo::max_iterations`).
+    pub iterations: u64,
+    /// The witnessing map as canonical sorted `(vertex, image)` index
+    /// pairs; empty for `no-map`.
+    pub witness: Vec<(u64, u64)>,
+}
+
+impl StoredVerdict {
+    /// Encodes an authoritative verdict, or `None` for `exhausted` /
+    /// `timed-out` — those must never be persisted as facts.
+    pub fn from_solvability(v: &Solvability) -> Option<StoredVerdict> {
+        match v {
+            Solvability::Solvable { iterations, map } => Some(StoredVerdict {
+                verdict: v.verdict_name().to_string(),
+                iterations: *iterations as u64,
+                witness: map
+                    .entries()
+                    .into_iter()
+                    .map(|(a, b)| (a.index() as u64, b.index() as u64))
+                    .collect(),
+            }),
+            Solvability::NoMapUpTo { max_iterations } => Some(StoredVerdict {
+                verdict: v.verdict_name().to_string(),
+                iterations: *max_iterations as u64,
+                witness: Vec::new(),
+            }),
+            Solvability::Exhausted { .. } | Solvability::TimedOut { .. } => None,
+        }
+    }
+
+    /// Decodes back into the solver's verdict type.
+    pub fn to_solvability(&self) -> Option<Solvability> {
+        match self.verdict.as_str() {
+            "solvable" => Some(Solvability::Solvable {
+                iterations: self.iterations as usize,
+                map: VertexMap::from_entries(self.witness.iter().map(|&(a, b)| {
+                    (
+                        VertexId::from_index(a as usize),
+                        VertexId::from_index(b as usize),
+                    )
+                })),
+            }),
+            "no-map" => Some(Solvability::NoMapUpTo {
+                max_iterations: self.iterations as usize,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// On-disk envelope of one entry. Flat named fields only (the vendored
+/// serde derive's supported shape); the witness rides as two parallel
+/// index columns.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct DiskEntry {
+    format: u32,
+    model: String,
+    task: String,
+    level: u32,
+    engine_schema: u32,
+    verdict: String,
+    iterations: u64,
+    witness_from: Vec<u64>,
+    witness_to: Vec<u64>,
+    checksum: u64,
+}
+
+impl DiskEntry {
+    fn new(key: &StoreKey, v: &StoredVerdict) -> DiskEntry {
+        let mut e = DiskEntry {
+            format: STORE_FORMAT_VERSION,
+            model: key.model.clone(),
+            task: key.task.clone(),
+            level: key.level,
+            engine_schema: key.engine_schema,
+            verdict: v.verdict.clone(),
+            iterations: v.iterations,
+            witness_from: v.witness.iter().map(|&(a, _)| a).collect(),
+            witness_to: v.witness.iter().map(|&(_, b)| b).collect(),
+            checksum: 0,
+        };
+        e.checksum = e.payload_checksum();
+        e
+    }
+
+    /// FNV-1a over every field except `checksum`, in a fixed order.
+    fn payload_checksum(&self) -> u64 {
+        let mut text = format!(
+            "{}|{}|{}|{}|{}|{}|{}",
+            self.format,
+            self.model,
+            self.task,
+            self.level,
+            self.engine_schema,
+            self.verdict,
+            self.iterations
+        );
+        for (a, b) in self.witness_from.iter().zip(&self.witness_to) {
+            text.push_str(&format!("|{a}:{b}"));
+        }
+        fnv1a64(0xcbf29ce484222325, text.as_bytes())
+    }
+
+    fn into_verdict(self) -> StoredVerdict {
+        StoredVerdict {
+            verdict: self.verdict,
+            iterations: self.iterations,
+            witness: self.witness_from.into_iter().zip(self.witness_to).collect(),
+        }
+    }
+}
+
+/// The two-tier verdict store. All methods are `&self` and thread-safe;
+/// multiple processes may share one directory (writes are atomic
+/// renames, so readers never see partial entries).
+pub struct VerdictStore {
+    dir: Option<PathBuf>,
+    memory: Mutex<MemoryTier>,
+    tmp_seq: AtomicU64,
+}
+
+struct MemoryTier {
+    map: HashMap<u128, (StoredVerdict, u64)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl MemoryTier {
+    fn get(&mut self, hash: u128) -> Option<StoredVerdict> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&hash).map(|(v, stamp)| {
+            *stamp = clock;
+            v.clone()
+        })
+    }
+
+    fn put(&mut self, hash: u128, v: StoredVerdict) {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.insert(hash, (v, clock));
+        while self.map.len() > self.capacity {
+            // Evict the least-recently-used entry; the map is bounded
+            // (default 1024), so the linear scan is cheap next to one
+            // engine run.
+            let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, (_, stamp))| *stamp) else {
+                break;
+            };
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// Default in-memory tier capacity (entries).
+const DEFAULT_MEMORY_CAPACITY: usize = 1024;
+
+impl VerdictStore {
+    /// A store with no disk tier (tests, ephemeral servers).
+    pub fn in_memory() -> VerdictStore {
+        VerdictStore {
+            dir: None,
+            memory: Mutex::new(MemoryTier {
+                map: HashMap::new(),
+                clock: 0,
+                capacity: DEFAULT_MEMORY_CAPACITY,
+            }),
+            tmp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens (creating if needed) the on-disk tier at `dir`.
+    pub fn open(dir: &Path) -> std::io::Result<VerdictStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut store = VerdictStore::in_memory();
+        store.dir = Some(dir.to_path_buf());
+        Ok(store)
+    }
+
+    /// Overrides the in-memory tier's capacity (entries; minimum 1).
+    pub fn with_memory_capacity(self, capacity: usize) -> VerdictStore {
+        self.memory
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .capacity = capacity.max(1);
+        self
+    }
+
+    /// The on-disk path of `key`'s entry, when a disk tier is configured.
+    pub fn entry_path(&self, key: &StoreKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{:032x}.json", key.content_hash())))
+    }
+
+    /// Looks `key` up: memory tier first, then disk (promoting a disk
+    /// hit into memory). Any malformed disk entry degrades to `None`.
+    pub fn get(&self, key: &StoreKey) -> Option<StoredVerdict> {
+        let hash = key.content_hash();
+        if let Some(v) = self
+            .memory
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(hash)
+        {
+            return Some(v);
+        }
+        let v = self.load_from_disk(key)?;
+        self.memory
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .put(hash, v.clone());
+        Some(v)
+    }
+
+    /// Persists an authoritative verdict under `key` (memory + disk).
+    /// Returns `false` — and stores nothing — for a non-authoritative
+    /// verdict string (anything but `solvable` / `no-map`).
+    pub fn put(&self, key: &StoreKey, v: &StoredVerdict) -> bool {
+        if v.verdict != "solvable" && v.verdict != "no-map" {
+            return false;
+        }
+        self.memory
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .put(key.content_hash(), v.clone());
+        if let Some(path) = self.entry_path(key) {
+            let entry = DiskEntry::new(key, v);
+            if let Err(e) = self.write_atomically(&path, &entry) {
+                // A failed persist is a warm-cache loss, not a failure
+                // of the query itself.
+                if act_obs::enabled() {
+                    act_obs::event("serve.store.write_failed")
+                        .str("error", &e.to_string())
+                        .emit();
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of entries currently resident in the memory tier.
+    pub fn memory_len(&self) -> usize {
+        self.memory
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    fn write_atomically(&self, path: &Path, entry: &DiskEntry) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(entry)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, json)?;
+        // The rename is the commit point: concurrent readers see either
+        // the old complete entry or the new complete entry, never bytes
+        // in between.
+        std::fs::rename(&tmp, path)
+    }
+
+    fn load_from_disk(&self, key: &StoreKey) -> Option<StoredVerdict> {
+        let path = self.entry_path(key)?;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                SERVE_STORE_CORRUPT.add(1);
+                return None;
+            }
+        };
+        let entry: DiskEntry = match serde_json::from_str(&text) {
+            Ok(e) => e,
+            Err(_) => {
+                SERVE_STORE_CORRUPT.add(1);
+                self.emit_corrupt(&path, "parse");
+                return None;
+            }
+        };
+        if entry.format != STORE_FORMAT_VERSION {
+            // An older/newer format is a clean miss, not corruption.
+            return None;
+        }
+        if entry.checksum != entry.payload_checksum() {
+            SERVE_STORE_CORRUPT.add(1);
+            self.emit_corrupt(&path, "checksum");
+            return None;
+        }
+        if entry.model != key.model
+            || entry.task != key.task
+            || entry.level != key.level
+            || entry.engine_schema != key.engine_schema
+        {
+            // A content-hash collision (or a hand-edited file): the
+            // payload is not an answer to this query.
+            SERVE_STORE_CORRUPT.add(1);
+            self.emit_corrupt(&path, "key-mismatch");
+            return None;
+        }
+        if entry.witness_from.len() != entry.witness_to.len() {
+            SERVE_STORE_CORRUPT.add(1);
+            self.emit_corrupt(&path, "witness-shape");
+            return None;
+        }
+        Some(entry.into_verdict())
+    }
+
+    fn emit_corrupt(&self, path: &Path, kind: &str) {
+        if act_obs::enabled() {
+            act_obs::event("serve.store.corrupt")
+                .str("path", &path.display().to_string())
+                .str("kind", kind)
+                .emit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(level: usize) -> StoreKey {
+        StoreKey::new(
+            &ModelSpec::parse("t-res:3:1", false).unwrap(),
+            &TaskSpec::set_consensus(3, 1).unwrap(),
+            level,
+        )
+    }
+
+    fn verdict() -> StoredVerdict {
+        StoredVerdict {
+            verdict: "solvable".into(),
+            iterations: 2,
+            witness: vec![(0, 1), (3, 2)],
+        }
+    }
+
+    #[test]
+    fn content_hashes_are_canonical_and_distinct() {
+        assert_eq!(key(2).content_hash(), key(2).content_hash());
+        assert_ne!(key(1).content_hash(), key(2).content_hash());
+        let mut bumped = key(2);
+        bumped.engine_schema += 1;
+        assert_ne!(bumped.content_hash(), key(2).content_hash());
+    }
+
+    #[test]
+    fn memory_tier_round_trips_and_evicts_lru() {
+        let store = VerdictStore::in_memory().with_memory_capacity(2);
+        let (k1, k2, k3) = (key(1), key(2), key(3));
+        assert!(store.put(&k1, &verdict()));
+        assert!(store.put(&k2, &verdict()));
+        assert_eq!(store.get(&k1), Some(verdict())); // refresh k1
+        assert!(store.put(&k3, &verdict())); // evicts k2 (LRU)
+        assert_eq!(store.memory_len(), 2);
+        assert!(store.get(&k1).is_some());
+        assert!(store.get(&k2).is_none());
+        assert!(store.get(&k3).is_some());
+    }
+
+    #[test]
+    fn non_authoritative_verdicts_are_refused() {
+        let store = VerdictStore::in_memory();
+        let mut v = verdict();
+        v.verdict = "timed-out".into();
+        assert!(!store.put(&key(1), &v));
+        assert!(store.get(&key(1)).is_none());
+        v.verdict = "exhausted".into();
+        assert!(!store.put(&key(1), &v));
+        assert_eq!(store.memory_len(), 0);
+    }
+
+    #[test]
+    fn solvability_round_trips_only_authoritative_verdicts() {
+        let no_map = Solvability::NoMapUpTo { max_iterations: 3 };
+        let stored = StoredVerdict::from_solvability(&no_map).unwrap();
+        assert_eq!(stored.verdict, "no-map");
+        assert!(matches!(
+            stored.to_solvability(),
+            Some(Solvability::NoMapUpTo { max_iterations: 3 })
+        ));
+        assert!(
+            StoredVerdict::from_solvability(&Solvability::Exhausted { iterations: 1 }).is_none()
+        );
+        assert!(
+            StoredVerdict::from_solvability(&Solvability::TimedOut { iterations: 1 }).is_none()
+        );
+    }
+}

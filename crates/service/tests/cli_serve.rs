@@ -1,0 +1,209 @@
+//! End-to-end tests of the `fact-cli` binary's serving surface: the
+//! `solve --store` warm path, the `serve --stdio` wire protocol, the
+//! CLI/server store sharing, and the exit-code contract.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use serde::Value;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fact-cli"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fact-cli-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the serve loop over stdio, feeding it `requests` (the last one
+/// should be a shutdown) and returning one parsed response per request.
+fn serve_stdio(dir: &std::path::Path, requests: &[&str]) -> Vec<Value> {
+    let mut child = bin()
+        .args(["serve", "--stdio", "--workers", "2", "--store"])
+        .arg(dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn fact-cli serve --stdio");
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        for r in requests {
+            writeln!(stdin, "{r}").expect("write request");
+        }
+    }
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "serve must drain and exit 0: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let responses: Vec<Value> = stdout
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("each response line is JSON"))
+        .collect();
+    assert_eq!(responses.len(), requests.len(), "one response per request");
+    responses
+}
+
+fn str_field<'v>(v: &'v Value, name: &str) -> &'v str {
+    match v.field(name) {
+        Ok(Value::Str(s)) => s,
+        other => panic!("expected string field {name}, got {other:?}"),
+    }
+}
+
+fn u64_field(v: &Value, name: &str) -> u64 {
+    match v.field(name) {
+        Ok(Value::UInt(n)) => *n,
+        other => panic!("expected integer field {name}, got {other:?}"),
+    }
+}
+
+#[test]
+fn solve_store_makes_the_second_run_warm() {
+    let dir = temp_dir("warm");
+    let run = || {
+        let out = bin()
+            .args(["solve", "t-res:3:1", "2", "--store"])
+            .arg(&dir)
+            .output()
+            .expect("run fact-cli solve");
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let cold = run();
+    assert!(cold.contains("SOLVABLE with 1 iteration(s)"), "{cold}");
+    assert!(!cold.contains("served from store"), "{cold}");
+    let warm = run();
+    assert!(warm.contains("(served from store)"), "{warm}");
+    // Identical verdict line, cold and warm.
+    let verdict_line = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("SOLVABLE"))
+            .map(str::to_string)
+    };
+    assert_eq!(verdict_line(&cold), verdict_line(&warm));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stdio_serve_answers_coalesces_and_drains() {
+    let dir = temp_dir("stdio");
+    let responses = serve_stdio(
+        &dir,
+        &[
+            r#"{"op":"solve","id":1,"model":"t-res:3:1","k":2}"#,
+            r#"{"op":"solve","id":2,"model":"t-res:3:1","k":2}"#,
+            r#"{"op":"solve","id":3,"model":"nope:9","k":1}"#,
+            r#"{"op":"stats","id":4}"#,
+            r#"{"op":"shutdown","id":5}"#,
+        ],
+    );
+
+    let cold = &responses[0];
+    assert_eq!(str_field(cold, "verdict"), "solvable");
+    assert_eq!(str_field(cold, "source"), "engine");
+    assert!(matches!(cold.field("authoritative"), Ok(Value::Bool(true))));
+
+    // Same query again: a store hit, byte-identical verdict fields.
+    let warm = &responses[1];
+    assert_eq!(str_field(warm, "source"), "store");
+    assert_eq!(str_field(warm, "verdict"), str_field(cold, "verdict"));
+    assert_eq!(u64_field(warm, "iterations"), u64_field(cold, "iterations"));
+    assert_eq!(
+        u64_field(warm, "witness_len"),
+        u64_field(cold, "witness_len")
+    );
+
+    // Malformed model spec: an error reply with the usage code, and the
+    // server keeps serving.
+    let bad = &responses[2];
+    assert!(matches!(bad.field("ok"), Ok(Value::Bool(false))));
+    assert_eq!(u64_field(bad, "code"), 2);
+
+    let stats = responses[3].field("stats").expect("stats body");
+    assert_eq!(u64_field(stats, "hits"), 1);
+    assert_eq!(u64_field(stats, "misses"), 1);
+    assert_eq!(u64_field(stats, "engine_runs"), 1);
+    assert_eq!(u64_field(stats, "workers"), 2);
+
+    let bye = &responses[4];
+    assert_eq!(str_field(bye, "op"), "shutdown");
+    assert!(matches!(bye.field("ok"), Ok(Value::Bool(true))));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_and_server_share_one_store() {
+    let dir = temp_dir("shared");
+    // Warm the store with a one-shot CLI run…
+    let out = bin()
+        .args(["solve", "k-of:3:2", "2", "1", "--store"])
+        .arg(&dir)
+        .output()
+        .expect("run fact-cli solve");
+    assert!(out.status.success(), "{out:?}");
+
+    // …then the server answers the same query from it, no engine run.
+    let responses = serve_stdio(
+        &dir,
+        &[
+            r#"{"op":"solve","id":1,"model":"k-of:3:2","k":2,"iters":1}"#,
+            r#"{"op":"stats","id":2}"#,
+            r#"{"op":"shutdown","id":3}"#,
+        ],
+    );
+    assert_eq!(str_field(&responses[0], "source"), "store");
+    assert_eq!(str_field(&responses[0], "verdict"), "solvable");
+    let stats = responses[1].field("stats").expect("stats body");
+    assert_eq!(u64_field(stats, "engine_runs"), 0);
+    assert_eq!(u64_field(stats, "hits"), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_specs_exit_with_the_usage_code() {
+    for args in [
+        vec!["solve", "nope:3", "1"],
+        vec!["solve", "t-res:3:3", "1"],
+        vec!["solve", "t-res:3:1", "0"],
+        vec!["analyze", "wait-free:9"],
+        vec!["serve", "--workers", "0"],
+        vec!["serve", "t-res:3:1"],
+    ] {
+        let out = bin().args(&args).output().expect("run fact-cli");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2 (usage), got {out:?}"
+        );
+    }
+}
+
+#[test]
+fn a_corrupted_store_entry_recomputes_instead_of_lying() {
+    let dir = temp_dir("recompute");
+    let solve = || {
+        bin()
+            .args(["solve", "t-res:3:1", "2", "--store"])
+            .arg(&dir)
+            .output()
+            .expect("run fact-cli solve")
+    };
+    let cold = solve();
+    assert!(cold.status.success());
+    // Damage every stored entry in place.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+    }
+    let recomputed = solve();
+    assert!(recomputed.status.success(), "{recomputed:?}");
+    let stdout = String::from_utf8(recomputed.stdout).unwrap();
+    // Not a store hit — the entry was unusable, so the engine re-ran and
+    // produced the same verdict.
+    assert!(!stdout.contains("served from store"), "{stdout}");
+    assert!(stdout.contains("SOLVABLE with 1 iteration(s)"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -112,6 +112,15 @@ pub fn mapsearch_threads() -> usize {
 /// panic and entered degraded mode (telemetry; see [`act_obs::Counter`]).
 pub static ENGINE_DEGRADED: act_obs::Counter = act_obs::Counter::new("engine.degraded_total");
 
+/// Version stamp of the search engine's *observable semantics*: the
+/// verdict vocabulary, the deterministic witness rule (lowest branch
+/// index), and the carried-map encoding. Persistent verdict stores key
+/// entries by it, so bump it whenever a change could make a previously
+/// stored verdict or witness disagree with what the engine would compute
+/// today — stale entries then become clean cache misses instead of
+/// wrong answers.
+pub const ENGINE_SCHEMA_VERSION: u32 = 1;
+
 /// Deterministic fault-injection hooks for the parallel engine, used by
 /// the chaos suite: arm a root-branch index and the next parallel map
 /// search panics when a worker reaches that branch. The hooks only fire

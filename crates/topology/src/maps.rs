@@ -66,6 +66,25 @@ impl VertexMap {
         self.map.is_empty()
     }
 
+    /// The map as `(vertex, image)` pairs sorted by vertex — a canonical
+    /// flat encoding: two equal maps always produce the same pair list,
+    /// so persisted witnesses are byte-stable.
+    pub fn entries(&self) -> Vec<(VertexId, VertexId)> {
+        let mut pairs: Vec<(VertexId, VertexId)> = self.map.iter().map(|(&v, &i)| (v, i)).collect();
+        pairs.sort();
+        pairs
+    }
+
+    /// Rebuilds a map from `(vertex, image)` pairs (the inverse of
+    /// [`VertexMap::entries`]); later duplicates win.
+    pub fn from_entries<I: IntoIterator<Item = (VertexId, VertexId)>>(pairs: I) -> VertexMap {
+        let mut m = VertexMap::new();
+        for (v, image) in pairs {
+            m.set(v, image);
+        }
+        m
+    }
+
     /// Whether every vertex used by `domain` has an image.
     pub fn is_total_on(&self, domain: &Complex) -> bool {
         domain
@@ -216,5 +235,26 @@ mod tests {
         assert_eq!(m.len(), 1);
         assert!(!m.is_empty());
         let _ = ProcessId::new(0);
+    }
+
+    #[test]
+    fn entries_round_trip_canonically() {
+        let mut m = VertexMap::new();
+        for (v, i) in [(3, 0), (0, 2), (7, 1)] {
+            m.set(VertexId::from_index(v), VertexId::from_index(i));
+        }
+        let pairs = m.entries();
+        // Sorted by vertex regardless of insertion order.
+        assert_eq!(
+            pairs,
+            vec![
+                (VertexId::from_index(0), VertexId::from_index(2)),
+                (VertexId::from_index(3), VertexId::from_index(0)),
+                (VertexId::from_index(7), VertexId::from_index(1)),
+            ]
+        );
+        let back = VertexMap::from_entries(pairs.clone());
+        assert_eq!(back, m);
+        assert_eq!(back.entries(), pairs);
     }
 }
