@@ -1,0 +1,233 @@
+//! JSON-lines campaign checkpoints: one self-contained record per batch,
+//! appended with a single atomic write, so a killed campaign resumes
+//! from its last completed batch with exact coverage.
+//!
+//! The file is append-only and torn-tail tolerant: loading scans every
+//! line, ignores any that fails to parse (a write cut short by the
+//! kill), and returns the *last* valid record whose fingerprint matches
+//! the resuming campaign's. A file whose valid records all belong to a
+//! different fingerprint is an error, never silently restarted.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamp carried by every checkpoint line.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Additive coverage counters for a campaign (or a batch of it). All
+/// fields merge commutatively via [`absorb`](Coverage::absorb), which is
+/// what makes per-batch worker fan-out and checkpoint resume exact.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Runs executed.
+    pub runs: u64,
+    /// Scheduler steps executed across all runs.
+    pub steps: u64,
+    /// Runs whose whole correct set terminated.
+    pub live: u64,
+    /// Runs that violated at least one invariant.
+    pub violations: u64,
+    /// Violating runs that were force-injected (`--inject-liveness`).
+    pub injected_violations: u64,
+    /// Violations whose shrunk signature matched an existing artifact.
+    pub deduped: u64,
+    /// Runs driven under a fault plan.
+    pub faulted_runs: u64,
+    /// Fault events actually applied by the injector.
+    pub faults_applied: u64,
+    /// Content hashes of the distinct `R_A` facets (well, simplices of
+    /// `Chr² s`) that completed runs decided into.
+    pub facets: BTreeSet<u64>,
+    /// Violation counts per invariant name.
+    pub invariant_violations: BTreeMap<String, u64>,
+}
+
+impl Coverage {
+    /// Merges `other` into `self` (commutative and associative).
+    pub fn absorb(&mut self, other: &Coverage) {
+        self.runs += other.runs;
+        self.steps += other.steps;
+        self.live += other.live;
+        self.violations += other.violations;
+        self.injected_violations += other.injected_violations;
+        self.deduped += other.deduped;
+        self.faulted_runs += other.faulted_runs;
+        self.faults_applied += other.faults_applied;
+        self.facets.extend(other.facets.iter().copied());
+        for (name, count) in &other.invariant_violations {
+            *self.invariant_violations.entry(name.clone()).or_insert(0) += count;
+        }
+    }
+}
+
+/// One checkpoint line: the campaign's complete resumable state after a
+/// batch (there is deliberately nothing else to restore).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Checkpoint schema version ([`CHECKPOINT_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// The owning campaign's configuration fingerprint.
+    pub fingerprint: String,
+    /// Runs completed so far (the next batch starts here).
+    pub cursor: u64,
+    /// Whether the campaign's population is exhausted.
+    pub done: bool,
+    /// Coverage accumulated through `cursor`.
+    pub coverage: Coverage,
+    /// Signatures of artifacts written so far (sorted), the dedup set.
+    pub artifact_sigs: Vec<String>,
+    /// Artifacts written so far (equals `artifact_sigs.len()`, kept as a
+    /// counter for the report).
+    pub artifacts_written: u64,
+}
+
+/// Appends one checkpoint line to `path` (creating the file and parent
+/// directories on first use). The line is serialized fully before a
+/// single `write_all`, so a concurrent reader sees either the whole
+/// record or a torn tail that loading skips.
+pub fn append_checkpoint(path: &Path, checkpoint: &Checkpoint) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating checkpoint directory {parent:?}: {e}"))?;
+        }
+    }
+    let mut line =
+        serde_json::to_string(checkpoint).map_err(|e| format!("serializing checkpoint: {e}"))?;
+    line.push('\n');
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("opening checkpoint file {path:?}: {e}"))?;
+    file.write_all(line.as_bytes())
+        .map_err(|e| format!("appending checkpoint to {path:?}: {e}"))?;
+    file.flush()
+        .map_err(|e| format!("flushing checkpoint to {path:?}: {e}"))?;
+    Ok(())
+}
+
+/// Loads the most recent valid checkpoint for `fingerprint` from `path`.
+///
+/// Returns `Ok(None)` when the file does not exist or holds no valid
+/// record. Unparseable lines (torn tails, stray garbage) are skipped;
+/// a file whose valid records belong only to a *different* fingerprint
+/// is rejected so one campaign cannot resume another's state.
+pub fn load_latest_checkpoint(
+    path: &Path,
+    fingerprint: &str,
+) -> Result<Option<Checkpoint>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("reading checkpoint file {path:?}: {e}")),
+    };
+    let mut latest: Option<Checkpoint> = None;
+    let mut foreign = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(cp) = serde_json::from_str::<Checkpoint>(line) else {
+            continue; // torn tail or corruption: a skipped line, never an abort
+        };
+        if cp.schema != CHECKPOINT_SCHEMA_VERSION {
+            continue;
+        }
+        if cp.fingerprint == fingerprint {
+            latest = Some(cp);
+        } else {
+            foreign = true;
+        }
+    }
+    if latest.is_none() && foreign {
+        return Err(format!(
+            "checkpoint file {path:?} belongs to a different campaign (fingerprint mismatch)"
+        ));
+    }
+    Ok(latest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkpoint(fingerprint: &str, cursor: u64) -> Checkpoint {
+        let mut coverage = Coverage {
+            runs: cursor,
+            steps: 10 * cursor,
+            live: cursor / 2,
+            ..Coverage::default()
+        };
+        coverage.facets.insert(cursor);
+        coverage
+            .invariant_violations
+            .insert("liveness-fair".into(), 1);
+        Checkpoint {
+            schema: CHECKPOINT_SCHEMA_VERSION,
+            fingerprint: fingerprint.to_string(),
+            cursor,
+            done: false,
+            coverage,
+            artifact_sigs: vec![format!("{cursor:032x}")],
+            artifacts_written: 1,
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("act-campaign-ckpt-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("ckpt.jsonl")
+    }
+
+    #[test]
+    fn append_and_load_round_trip_keeps_the_latest() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load_latest_checkpoint(&path, "f1").unwrap(), None);
+        append_checkpoint(&path, &checkpoint("f1", 100)).unwrap();
+        append_checkpoint(&path, &checkpoint("f1", 200)).unwrap();
+        let loaded = load_latest_checkpoint(&path, "f1").unwrap().unwrap();
+        assert_eq!(loaded, checkpoint("f1", 200));
+    }
+
+    #[test]
+    fn torn_tail_is_skipped() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        append_checkpoint(&path, &checkpoint("f1", 100)).unwrap();
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"schema\":1,\"fingerprint\":\"f1\",\"curso")
+            .unwrap();
+        drop(file);
+        let loaded = load_latest_checkpoint(&path, "f1").unwrap().unwrap();
+        assert_eq!(loaded.cursor, 100);
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_rejected_not_restarted() {
+        let path = temp_path("foreign");
+        let _ = std::fs::remove_file(&path);
+        append_checkpoint(&path, &checkpoint("theirs", 100)).unwrap();
+        let err = load_latest_checkpoint(&path, "ours").unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+    }
+
+    #[test]
+    fn coverage_absorb_is_commutative() {
+        let (a, b) = (checkpoint("f", 3).coverage, checkpoint("f", 7).coverage);
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.runs, 10);
+        assert_eq!(ab.invariant_violations["liveness-fair"], 2);
+    }
+}

@@ -1,0 +1,325 @@
+//! The pluggable run-level invariants a campaign mines for, and the
+//! [`MonotonicityGuard`] wrapper that watches a run for termination
+//! regressions as it executes.
+//!
+//! Each invariant inspects one completed run (its [`RunRecord`]) in the
+//! context of the campaign's model ([`CampaignContext`]) and either
+//! passes or reports a violation message. The default set:
+//!
+//! * [`INVARIANT_LIVENESS`] — under a fair adversary every correct
+//!   process must decide (FACT Lemmas 5–6); exempt for exhaustive-tier
+//!   runs cut off by the depth bound, which are truncations rather than
+//!   fair schedules;
+//! * [`INVARIANT_MONOTONICITY`] — termination is monotone: a process
+//!   that has decided stays decided, and `step`'s return value agrees
+//!   with `has_terminated`;
+//! * [`INVARIANT_VERDICT`] — when the solver says the model's
+//!   set-consensus task is solvable via `R_A`, every live run's outputs
+//!   must resolve to a simplex of `R_A`'s complex (run/solver
+//!   agreement);
+//! * [`INVARIANT_WELLFORMED`] — the run's trace is internally
+//!   consistent (schedule length, participant membership, crash
+//!   budgets) and survives a JSON round-trip.
+
+use act_runtime::{FaultPlan, RunOutcome, System, Trace};
+use act_topology::{ColorSet, ProcessId};
+use fact::{outputs_to_simplex, AlgorithmOneOutput};
+
+use crate::runner::CampaignContext;
+
+/// Name of the fair-schedule liveness invariant.
+pub const INVARIANT_LIVENESS: &str = "liveness-fair";
+/// Name of the correct-set monotonicity invariant.
+pub const INVARIANT_MONOTONICITY: &str = "correct-set-monotonicity";
+/// Name of the run/solver verdict-agreement invariant.
+pub const INVARIANT_VERDICT: &str = "verdict-agreement";
+/// Name of the trace well-formedness invariant.
+pub const INVARIANT_WELLFORMED: &str = "trace-wellformed";
+
+/// Everything an invariant may inspect about one completed run.
+pub struct RunRecord<'a> {
+    /// The run's outcome (schedule, termination, liveness judgement).
+    pub outcome: &'a RunOutcome,
+    /// The participating processes.
+    pub participants: ColorSet,
+    /// Whether the run was cut off by an exploration depth bound (the
+    /// liveness invariant does not apply to truncated runs).
+    pub truncated_by_depth: bool,
+    /// Whether the [`MonotonicityGuard`] observed no regression.
+    pub monotonicity_ok: bool,
+    /// The outputs the system's decided processes produced.
+    pub outputs: &'a [AlgorithmOneOutput],
+    /// The fault plan the run was driven under, if any.
+    pub fault_plan: Option<&'a FaultPlan>,
+    /// The scheduler step bound the run was driven under.
+    pub max_steps: usize,
+}
+
+/// A run-level invariant a campaign checks on every run.
+pub trait Invariant: Send + Sync {
+    /// The invariant's stable name (used in signatures, coverage maps,
+    /// and artifact reasons).
+    fn name(&self) -> &'static str;
+    /// Checks one run; `Err` carries a human-readable violation message.
+    fn check(&self, ctx: &CampaignContext, run: &RunRecord<'_>) -> Result<(), String>;
+}
+
+/// The default invariant set, in a fixed order.
+pub fn default_invariants() -> Vec<Box<dyn Invariant>> {
+    vec![
+        Box::new(LivenessFair),
+        Box::new(CorrectSetMonotonicity),
+        Box::new(VerdictAgreement),
+        Box::new(TraceWellFormed),
+    ]
+}
+
+/// Checks `run` against every invariant; returns the sorted names of
+/// the violated ones (empty for a clean run).
+pub fn check_all(
+    invariants: &[Box<dyn Invariant>],
+    ctx: &CampaignContext,
+    run: &RunRecord<'_>,
+) -> Vec<String> {
+    let mut violated: Vec<String> = invariants
+        .iter()
+        .filter(|inv| inv.check(ctx, run).is_err())
+        .map(|inv| inv.name().to_string())
+        .collect();
+    violated.sort();
+    violated
+}
+
+struct LivenessFair;
+
+impl Invariant for LivenessFair {
+    fn name(&self) -> &'static str {
+        INVARIANT_LIVENESS
+    }
+
+    fn check(&self, _ctx: &CampaignContext, run: &RunRecord<'_>) -> Result<(), String> {
+        if run.truncated_by_depth || run.outcome.all_correct_terminated {
+            Ok(())
+        } else {
+            Err(format!(
+                "correct set {:?} did not terminate within {} steps of a fair schedule \
+                 (terminated: {:?})",
+                run.outcome.correct, run.max_steps, run.outcome.terminated
+            ))
+        }
+    }
+}
+
+struct CorrectSetMonotonicity;
+
+impl Invariant for CorrectSetMonotonicity {
+    fn name(&self) -> &'static str {
+        INVARIANT_MONOTONICITY
+    }
+
+    fn check(&self, _ctx: &CampaignContext, run: &RunRecord<'_>) -> Result<(), String> {
+        if run.monotonicity_ok {
+            Ok(())
+        } else {
+            Err(
+                "a process regressed from terminated to running (or `step` disagreed \
+                 with `has_terminated`)"
+                    .to_string(),
+            )
+        }
+    }
+}
+
+struct VerdictAgreement;
+
+impl Invariant for VerdictAgreement {
+    fn name(&self) -> &'static str {
+        INVARIANT_VERDICT
+    }
+
+    fn check(&self, ctx: &CampaignContext, run: &RunRecord<'_>) -> Result<(), String> {
+        // Falsifiable only for live runs with outputs, and only when the
+        // solver committed to "solvable via R_A" for this model.
+        if !run.outcome.all_correct_terminated
+            || run.outputs.is_empty()
+            || ctx.solver_solvable != Some(true)
+        {
+            return Ok(());
+        }
+        match outputs_to_simplex(ctx.affine.complex(), run.outputs) {
+            Some(simplex) if ctx.affine.complex().contains_simplex(&simplex) => Ok(()),
+            Some(simplex) => Err(format!(
+                "decided outputs resolve to {simplex:?}, which is not a simplex of R_A \
+                 although the solver found the task solvable via R_A"
+            )),
+            None => Err(
+                "decided outputs do not resolve to any simplex of Chr² s although the \
+                 solver found the task solvable via R_A"
+                    .to_string(),
+            ),
+        }
+    }
+}
+
+struct TraceWellFormed;
+
+impl Invariant for TraceWellFormed {
+    fn name(&self) -> &'static str {
+        INVARIANT_WELLFORMED
+    }
+
+    fn check(&self, _ctx: &CampaignContext, run: &RunRecord<'_>) -> Result<(), String> {
+        let outcome = run.outcome;
+        if outcome.schedule.len() != outcome.steps {
+            return Err(format!(
+                "schedule length {} disagrees with step count {}",
+                outcome.schedule.len(),
+                outcome.steps
+            ));
+        }
+        for p in &outcome.schedule {
+            if !run.participants.contains(*p) {
+                return Err(format!("scheduled process {p:?} is not a participant"));
+            }
+        }
+        for (index, budget) in outcome.crash_budgets.iter().enumerate() {
+            if let Some(budget) = budget {
+                let taken = outcome
+                    .schedule
+                    .iter()
+                    .filter(|p| p.index() == index)
+                    .count() as u32;
+                if taken > *budget {
+                    return Err(format!(
+                        "process {index} took {taken} steps against a crash budget of {budget}"
+                    ));
+                }
+            }
+        }
+        let trace = Trace::from_outcome(run.participants, outcome);
+        let json =
+            serde_json::to_string(&trace).map_err(|e| format!("trace failed to serialize: {e}"))?;
+        let back: Trace = serde_json::from_str(&json)
+            .map_err(|e| format!("trace failed to round-trip through JSON: {e}"))?;
+        if back != trace {
+            return Err("trace changed under a JSON round-trip".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// A [`System`] wrapper that observes every step for termination
+/// monotonicity. Clone-safe, so the exhaustive tier can fork it through
+/// [`explore_iter`](act_runtime::explore_iter): each branch carries its
+/// own observation state.
+#[derive(Clone)]
+pub struct MonotonicityGuard<S> {
+    inner: S,
+    terminated: Vec<bool>,
+    ok: bool,
+}
+
+impl<S: System> MonotonicityGuard<S> {
+    /// Wraps `inner`, snapshotting its current termination state.
+    pub fn new(inner: S) -> MonotonicityGuard<S> {
+        let terminated = (0..inner.num_processes())
+            .map(|i| inner.has_terminated(ProcessId::new(i)))
+            .collect();
+        MonotonicityGuard {
+            inner,
+            terminated,
+            ok: true,
+        }
+    }
+
+    /// The wrapped system.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Whether no monotonicity regression has been observed.
+    pub fn ok(&self) -> bool {
+        self.ok
+    }
+}
+
+impl<S: System> System for MonotonicityGuard<S> {
+    fn step(&mut self, p: ProcessId) -> bool {
+        let result = self.inner.step(p);
+        if result != self.inner.has_terminated(p) {
+            self.ok = false;
+        }
+        for (index, was) in self.terminated.iter_mut().enumerate() {
+            let now = self.inner.has_terminated(ProcessId::new(index));
+            if *was && !now {
+                self.ok = false;
+            }
+            *was = now;
+        }
+        result
+    }
+
+    fn has_terminated(&self, p: ProcessId) -> bool {
+        self.inner.has_terminated(p)
+    }
+
+    fn num_processes(&self) -> usize {
+        self.inner.num_processes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Terminates process 0 after two steps, then — when `regress` is
+    /// set — forgets the termination on the step after that.
+    #[derive(Clone)]
+    struct Flaky {
+        count: usize,
+        regress: bool,
+    }
+
+    impl System for Flaky {
+        fn step(&mut self, p: ProcessId) -> bool {
+            if p.index() == 0 {
+                self.count += 1;
+                if self.regress && self.count == 3 {
+                    self.count = 0; // un-terminates process 0
+                }
+            }
+            self.has_terminated(p)
+        }
+        fn has_terminated(&self, p: ProcessId) -> bool {
+            p.index() == 0 && self.count >= 2
+        }
+        fn num_processes(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn guard_accepts_monotone_termination() {
+        let mut guard = MonotonicityGuard::new(Flaky {
+            count: 0,
+            regress: false,
+        });
+        for _ in 0..4 {
+            guard.step(ProcessId::new(0));
+        }
+        assert!(guard.ok());
+        assert!(guard.inner().has_terminated(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn guard_flags_a_termination_regression() {
+        let mut guard = MonotonicityGuard::new(Flaky {
+            count: 0,
+            regress: true,
+        });
+        for _ in 0..3 {
+            guard.step(ProcessId::new(0));
+        }
+        assert!(!guard.ok());
+    }
+}

@@ -1,0 +1,107 @@
+//! The auto-shrinker: reduces a violating run to a minimal replayable
+//! trace by greedy deletion, re-verifying after every candidate edit
+//! that the *original* violated invariants still reproduce under
+//! replay.
+//!
+//! Three deletion moves, iterated to a fixpoint:
+//!
+//! 1. **round deletion** — contiguous schedule blocks, halving the
+//!    block size down to single steps (classic delta debugging);
+//! 2. **process deletion** — every step of one process at once (kills
+//!    whole actors that are irrelevant to the failure);
+//! 3. **fault deletion** — fault-plan events (provenance only: replay
+//!    never re-injects, so events that survive shrinking are the ones
+//!    that shaped the failing schedule).
+//!
+//! A candidate is accepted iff its replayed violated-invariant set is a
+//! superset of the original violation's — the shrunk artifact can gain
+//! incidental violations but can never lose the one it documents.
+//! Every accepted edit strictly shrinks the trace (fewer steps or fewer
+//! fault events), so termination is structural.
+
+use act_runtime::Trace;
+
+use crate::invariants::Invariant;
+use crate::runner::{evaluate_trace, CampaignContext, Violation};
+
+/// Shrinks `violation`'s trace as far as greedy deletion allows. If the
+/// original trace unexpectedly fails to reproduce under replay (it
+/// shouldn't: campaign runs are deterministic), it is returned unshrunk
+/// so the artifact still documents the run as executed.
+pub fn shrink_violation(
+    ctx: &CampaignContext,
+    invariants: &[Box<dyn Invariant>],
+    violation: &Violation,
+) -> Trace {
+    let original = &violation.violated;
+    let reproduces = |candidate: &Trace| -> bool {
+        evaluate_trace(ctx, invariants, candidate, violation.max_steps)
+            .map(|violated| original.iter().all(|name| violated.contains(name)))
+            .unwrap_or(false)
+    };
+    let mut best = violation.trace.clone();
+    if !reproduces(&best) {
+        return best;
+    }
+    loop {
+        let mut improved = false;
+
+        // Round deletion: contiguous blocks, large to small.
+        let mut size = (best.steps.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < best.steps.len() {
+                let end = (start + size).min(best.steps.len());
+                let mut candidate = best.clone();
+                candidate.steps.drain(start..end);
+                if reproduces(&candidate) {
+                    best = candidate;
+                    improved = true;
+                    // Same start: the tail shifted into this window.
+                } else {
+                    start += size;
+                }
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+
+        // Process deletion: drop every step of one process.
+        for p in best.participants.iter() {
+            let index = p.index() as u32;
+            if !best.steps.contains(&index) {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate.steps.retain(|&s| s != index);
+            if reproduces(&candidate) {
+                best = candidate;
+                improved = true;
+            }
+        }
+
+        // Fault deletion: events last-to-first, then the empty plan.
+        while let Some(plan) = best.fault_plan.clone() {
+            let mut candidate = best.clone();
+            if plan.events.is_empty() {
+                candidate.fault_plan = None;
+            } else {
+                let mut plan = plan;
+                plan.events.pop();
+                candidate.fault_plan = Some(plan);
+            }
+            if reproduces(&candidate) {
+                best = candidate;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+
+        if !improved {
+            return best;
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Canonical violation signatures: the campaign's failure-dedup key.
+//!
+//! Two violating runs are *the same failure* exactly when their shrunk
+//! traces normalize to the same canonical text — participants, correct
+//! set, crash budgets, the normalized event (step) sequence, the
+//! residual fault events, and the **sorted set of violated invariant
+//! names**. Including the violated set is what guarantees dedup never
+//! merges runs that broke different invariants, even when their traces
+//! coincide. The text is hashed with the verdict store's
+//! content-address machinery ([`act_obs::content_hash128`]), so
+//! campaign artifact names and store keys are computed identically.
+
+use std::fmt::Write as _;
+
+use act_runtime::{FaultEvent, Trace};
+
+/// The canonical text a signature hashes. Exposed for tests that want
+/// to assert *why* two signatures differ.
+pub fn canonical_text(model: &str, trace: &Trace, violated: &[String]) -> String {
+    let mut text = String::new();
+    let _ = write!(text, "campaign-violation|model={model}");
+    let _ = write!(text, "|participants={:x}", trace.participants.bits());
+    match trace.correct {
+        Some(correct) => {
+            let _ = write!(text, "|correct={:x}", correct.bits());
+        }
+        None => text.push_str("|correct=-"),
+    }
+    text.push_str("|budgets=");
+    match &trace.crash_budgets {
+        Some(budgets) => {
+            for (i, b) in budgets.iter().enumerate() {
+                if i > 0 {
+                    text.push(',');
+                }
+                match b {
+                    Some(b) => {
+                        let _ = write!(text, "{b}");
+                    }
+                    None => text.push('-'),
+                }
+            }
+        }
+        None => text.push('-'),
+    }
+    text.push_str("|steps=");
+    for (i, s) in trace.steps.iter().enumerate() {
+        if i > 0 {
+            text.push(',');
+        }
+        let _ = write!(text, "{s}");
+    }
+    text.push_str("|faults=");
+    if let Some(plan) = &trace.fault_plan {
+        for (i, event) in plan.events.iter().enumerate() {
+            if i > 0 {
+                text.push(';');
+            }
+            match event {
+                FaultEvent::Crash { step, process } => {
+                    let _ = write!(text, "crash@{step}:p{process}");
+                }
+                FaultEvent::Stall {
+                    process,
+                    from_step,
+                    duration,
+                } => {
+                    let _ = write!(text, "stall:p{process}@{from_step}+{duration}");
+                }
+                FaultEvent::Perturb { step, offset } => {
+                    let _ = write!(text, "perturb@{step}:{offset}");
+                }
+            }
+        }
+    }
+    let mut violated: Vec<&str> = violated.iter().map(String::as_str).collect();
+    violated.sort_unstable();
+    violated.dedup();
+    let _ = write!(text, "|violated={}", violated.join("+"));
+    text
+}
+
+/// The 128-bit signature of a (normally shrunk) violating trace.
+pub fn violation_signature(model: &str, trace: &Trace, violated: &[String]) -> u128 {
+    act_obs::content_hash128(canonical_text(model, trace, violated).as_bytes())
+}
+
+/// Renders a signature as the 32-hex-digit form used in artifact file
+/// names and checkpoint dedup sets.
+pub fn signature_hex(signature: u128) -> String {
+    format!("{signature:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_runtime::{FaultPlan, RunOutcome};
+    use act_topology::{ColorSet, ProcessId};
+
+    fn trace() -> Trace {
+        let outcome = RunOutcome {
+            steps: 3,
+            terminated: ColorSet::from_indices([0]),
+            all_correct_terminated: false,
+            schedule: vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(0)],
+            correct: ColorSet::full(3),
+            crash_budgets: vec![None, Some(2), None],
+        };
+        Trace::from_outcome(ColorSet::full(3), &outcome)
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let violated = vec!["liveness-fair".to_string()];
+        assert_eq!(
+            violation_signature("t-res:3:1", &trace(), &violated),
+            violation_signature("t-res:3:1", &trace(), &violated),
+        );
+    }
+
+    #[test]
+    fn distinct_violated_invariant_sets_never_collide() {
+        let one = vec!["liveness-fair".to_string()];
+        let two = vec![
+            "liveness-fair".to_string(),
+            "correct-set-monotonicity".to_string(),
+        ];
+        assert_ne!(
+            violation_signature("t-res:3:1", &trace(), &one),
+            violation_signature("t-res:3:1", &trace(), &two),
+        );
+    }
+
+    #[test]
+    fn violated_order_does_not_matter() {
+        let ab = vec!["a".to_string(), "b".to_string()];
+        let ba = vec!["b".to_string(), "a".to_string()];
+        assert_eq!(
+            violation_signature("m", &trace(), &ab),
+            violation_signature("m", &trace(), &ba),
+        );
+    }
+
+    #[test]
+    fn schedule_model_and_faults_feed_the_signature() {
+        let violated = vec!["liveness-fair".to_string()];
+        let base = trace();
+        assert_ne!(
+            violation_signature("t-res:3:1", &base, &violated),
+            violation_signature("wait-free:3", &base, &violated),
+        );
+        let mut shorter = base.clone();
+        shorter.steps.pop();
+        assert_ne!(
+            violation_signature("m", &base, &violated),
+            violation_signature("m", &shorter, &violated),
+        );
+        let faulted = base.clone().with_fault_plan(FaultPlan::seeded(7, 3, 16));
+        assert_ne!(
+            violation_signature("m", &base, &violated),
+            violation_signature("m", &faulted, &violated),
+        );
+    }
+}

@@ -80,6 +80,7 @@ enum Phase {
 /// let outcome = run_adversarial(&mut sys, ColorSet::full(3), correct, &mut rng, |_| 0, 100_000);
 /// assert!(outcome.all_correct_terminated);
 /// ```
+#[derive(Clone)]
 pub struct AlgorithmOneSystem<'a> {
     alpha: &'a AgreementFunction,
     n: usize,

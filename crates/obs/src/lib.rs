@@ -333,6 +333,30 @@ impl Event {
     }
 }
 
+/// 64-bit FNV-1a over `bytes`, from the given offset basis.
+///
+/// This is the workspace's shared content-hashing primitive: the
+/// verdict store (`act-service`) derives its content addresses from it,
+/// and the campaign runner (`act-campaign`) signs normalized failure
+/// traces with the same machinery, so the two layers' keys are computed
+/// identically.
+pub fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The canonical 128-bit content address: two independently seeded
+/// FNV-1a hashes ([`fnv1a64`]) of the same bytes, concatenated.
+pub fn content_hash128(bytes: &[u8]) -> u128 {
+    let lo = fnv1a64(0xcbf29ce484222325, bytes);
+    let hi = fnv1a64(0x6c62272e07bb0142, bytes);
+    ((hi as u128) << 64) | lo as u128
+}
+
 /// A monotonic wall-clock span. Created by [`span`]; does not read the
 /// clock when telemetry is disabled.
 pub struct Span {
@@ -345,6 +369,17 @@ pub fn span(name: &'static str) -> Span {
     Span {
         name,
         start: enabled().then(Instant::now),
+    }
+}
+
+/// Starts a span that reads the clock even when telemetry is disabled,
+/// for callers that need the duration itself (throughput computations
+/// like campaign runs/sec), not just the telemetry event. `finish` is
+/// still a no-op without a sink.
+pub fn timer(name: &'static str) -> Span {
+    Span {
+        name,
+        start: Some(Instant::now()),
     }
 }
 

@@ -8,7 +8,9 @@
 //!   snapshot memory, plus the OSP-driven [`OracleIs`];
 //! * [`System`] and the schedulers — explicit replayable schedules
 //!   ([`run_schedule`]), seeded adversarial sampling ([`run_adversarial`])
-//!   and bounded exhaustive exploration ([`explore_schedules`]);
+//!   and bounded exhaustive exploration ([`explore_schedules`], or the
+//!   streaming [`explore_iter`] for campaigns that must not hold the
+//!   run set in memory);
 //! * [`FaultPlan`] / [`FaultInjector`] — the chaos layer: seeded,
 //!   replayable crash / stall / perturbation injection into the
 //!   schedulers ([`run_adversarial_with_faults`],
@@ -57,7 +59,7 @@ pub use immediate::{osp_from_views, IsProcess, IsShared, IsSystem, OracleIs};
 pub use memory::{RegisterArray, SnapshotMemory};
 pub use objects::{AdaptiveConsensusObject, AgreementBound};
 pub use scheduler::{
-    explore_schedules, explore_schedules_cloned, run_adversarial, run_schedule, RunOutcome,
-    Schedule, ScheduleError, System, LIVENESS_FAILURES,
+    explore_iter, explore_schedules, explore_schedules_cloned, run_adversarial, run_schedule,
+    ExploreIter, ExploreOrder, RunOutcome, Schedule, ScheduleError, System, LIVENESS_FAILURES,
 };
 pub use trace::{Trace, TraceArtifact};

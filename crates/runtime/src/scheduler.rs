@@ -363,6 +363,144 @@ where
     stats.runs
 }
 
+/// The enumeration order of a streaming exploration ([`explore_iter`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExploreOrder {
+    /// Depth-first: the run *sequence* is identical to
+    /// [`explore_schedules`] / [`explore_schedules_cloned`] from the same
+    /// initial state, including under depth aborts and run caps.
+    DepthFirst,
+    /// Breadth-first: shortest runs first. On a fully explored scope the
+    /// run *set* is identical to [`DepthFirst`](ExploreOrder::DepthFirst)
+    /// (only the order differs); under a `max_runs` cap the visited
+    /// prefix differs, so exhaustiveness checks should leave the cap
+    /// above the scope's run count.
+    BreadthFirst,
+}
+
+/// A streaming, deterministic exploration of the schedule tree: the
+/// pull-based (iterator) form of [`explore_schedules_cloned`].
+///
+/// Where the visitor-based explorers push every run through a callback
+/// in one uninterruptible recursion, this iterator yields one
+/// `(final system, outcome)` pair per maximal (or depth-aborted) run and
+/// can be suspended, resumed, or abandoned between runs — which is what
+/// long-running campaign runners need to interleave checkpointing with
+/// enumeration. Memory is bounded by the live frontier
+/// (`O(depth × branching)` for depth-first), never by the number of runs.
+///
+/// Construct with [`explore_iter`].
+pub struct ExploreIter<S: System + Clone> {
+    participants: ColorSet,
+    correct: ColorSet,
+    max_depth: usize,
+    max_runs: usize,
+    order: ExploreOrder,
+    frontier: std::collections::VecDeque<(S, Schedule)>,
+    stats: ExploreStats,
+    span: Option<act_obs::Span>,
+    done: bool,
+}
+
+/// Streams the bounded exhaustive exploration of `initial` as an
+/// iterator over `(final system, outcome)` pairs — the same run space as
+/// [`explore_schedules_cloned`], enumerated in the chosen
+/// [`ExploreOrder`] without ever materializing the run set.
+pub fn explore_iter<S: System + Clone>(
+    initial: &S,
+    participants: ColorSet,
+    correct: ColorSet,
+    max_depth: usize,
+    max_runs: usize,
+    order: ExploreOrder,
+) -> ExploreIter<S> {
+    assert!(
+        correct.is_subset_of(participants),
+        "correct processes must participate"
+    );
+    let mut frontier = std::collections::VecDeque::new();
+    frontier.push_back((initial.clone(), Schedule::new()));
+    ExploreIter {
+        participants,
+        correct,
+        max_depth,
+        max_runs,
+        order,
+        frontier,
+        stats: ExploreStats::default(),
+        span: Some(act_obs::span("scheduler.explore")),
+        done: false,
+    }
+}
+
+impl<S: System + Clone> ExploreIter<S> {
+    /// Runs yielded so far.
+    pub fn runs(&self) -> usize {
+        self.stats.runs
+    }
+
+    fn finish(&mut self) {
+        self.done = true;
+        if let Some(span) = self.span.take() {
+            let strategy = match self.order {
+                ExploreOrder::DepthFirst => "stream-dfs",
+                ExploreOrder::BreadthFirst => "stream-bfs",
+            };
+            self.stats.emit(span, strategy);
+        }
+    }
+}
+
+impl<S: System + Clone> Iterator for ExploreIter<S> {
+    type Item = (S, RunOutcome);
+
+    fn next(&mut self) -> Option<(S, RunOutcome)> {
+        if self.done {
+            return None;
+        }
+        while self.stats.runs < self.max_runs {
+            let node = match self.order {
+                ExploreOrder::DepthFirst => self.frontier.pop_back(),
+                ExploreOrder::BreadthFirst => self.frontier.pop_front(),
+            };
+            let Some((sys, prefix)) = node else { break };
+            let correct_pending = self.correct.iter().any(|p| !sys.has_terminated(p));
+            if !correct_pending || prefix.len() >= self.max_depth {
+                let outcome = explored_outcome(&sys, self.correct, correct_pending, &prefix);
+                self.stats.visit_run(&outcome);
+                return Some((sys, outcome));
+            }
+            // Interior node: expand the children. Depth-first pushes them
+            // in reverse so the lowest process pops first — the exact
+            // preorder of the recursive explorers.
+            let expand = |frontier: &mut std::collections::VecDeque<(S, Schedule)>,
+                          p: ProcessId| {
+                let mut child = sys.clone();
+                child.step(p);
+                let mut schedule = prefix.clone();
+                schedule.push(p);
+                frontier.push_back((child, schedule));
+            };
+            let children = self.participants.iter().filter(|&p| !sys.has_terminated(p));
+            match self.order {
+                ExploreOrder::DepthFirst => {
+                    let children: Vec<ProcessId> = children.collect();
+                    for p in children.into_iter().rev() {
+                        expand(&mut self.frontier, p);
+                    }
+                }
+                ExploreOrder::BreadthFirst => {
+                    for p in children {
+                        expand(&mut self.frontier, p);
+                    }
+                }
+            }
+        }
+        self.finish();
+        None
+    }
+}
+
 /// Telemetry tallies of one exploration.
 #[derive(Default)]
 struct ExploreStats {
@@ -734,6 +872,132 @@ mod tests {
             assert_eq!(count_f, count_c, "run counts agree (n={n}, k={k})");
             assert_eq!(via_factory, via_clone, "identical run sets (n={n}, k={k})");
         }
+    }
+
+    #[test]
+    fn streamed_and_collected_run_sets_are_identical() {
+        // Satellite regression: the pull-based iterator must stream
+        // exactly the run sequence the visitor-based explorers collect —
+        // same schedules, same outcomes, same truncation under caps —
+        // without ever holding the run set in memory.
+        type Visited = Vec<(Schedule, RunOutcome)>;
+        let cases = [
+            // (n, k, participants, correct, max_depth, max_runs)
+            (2, 1, ColorSet::full(2), ColorSet::full(2), 10, 1000),
+            (
+                3,
+                2,
+                ColorSet::full(3),
+                ColorSet::from_indices([0]),
+                8,
+                1000,
+            ),
+            (3, 3, ColorSet::full(3), ColorSet::full(3), 4, 1000), // depth aborts
+            (3, 3, ColorSet::full(3), ColorSet::full(3), 100, 17), // run cap
+            (
+                3,
+                2,
+                ColorSet::from_indices([0, 2]),
+                ColorSet::from_indices([0, 2]),
+                10,
+                1000,
+            ),
+        ];
+        for (n, k, participants, correct, max_depth, max_runs) in cases {
+            let mut collected: Visited = Vec::new();
+            let count = explore_schedules(
+                || Countdown::new(n, k),
+                participants,
+                correct,
+                max_depth,
+                max_runs,
+                |_sys, o| collected.push((o.schedule.clone(), o.clone())),
+            );
+            let streamed: Visited = explore_iter(
+                &Countdown::new(n, k),
+                participants,
+                correct,
+                max_depth,
+                max_runs,
+                ExploreOrder::DepthFirst,
+            )
+            .map(|(_sys, o)| (o.schedule.clone(), o))
+            .collect();
+            assert_eq!(streamed.len(), count, "run counts agree (n={n}, k={k})");
+            assert_eq!(
+                streamed, collected,
+                "identical run sequences (n={n}, k={k})"
+            );
+
+            // Breadth-first visits the same run *set* when nothing was
+            // truncated by the cap (orders differ, so compare sorted).
+            if count < max_runs {
+                let mut bfs: Visited = explore_iter(
+                    &Countdown::new(n, k),
+                    participants,
+                    correct,
+                    max_depth,
+                    max_runs,
+                    ExploreOrder::BreadthFirst,
+                )
+                .map(|(_sys, o)| (o.schedule.clone(), o))
+                .collect();
+                let mut dfs = streamed.clone();
+                bfs.sort_by(|a, b| a.0.cmp(&b.0));
+                dfs.sort_by(|a, b| a.0.cmp(&b.0));
+                assert_eq!(bfs, dfs, "BFS and DFS agree as sets (n={n}, k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn breadth_first_streaming_is_exhaustive_with_analytic_count() {
+        // Interleavings of n processes taking k steps each: the
+        // multinomial (nk)! / (k!)^n.
+        fn multinomial(n: usize, k: usize) -> usize {
+            let fact = |m: usize| (1..=m).product::<usize>();
+            fact(n * k) / fact(k).pow(n as u32)
+        }
+        for (n, k) in [(2, 1), (2, 2), (3, 1), (3, 2)] {
+            let participants = ColorSet::full(n);
+            let runs = explore_iter(
+                &Countdown::new(n, k),
+                participants,
+                participants,
+                n * k + 1,
+                usize::MAX,
+                ExploreOrder::BreadthFirst,
+            )
+            .count();
+            assert_eq!(runs, multinomial(n, k), "n={n}, k={k}");
+        }
+    }
+
+    #[test]
+    fn iterator_suspends_and_resumes_between_runs() {
+        let participants = ColorSet::full(3);
+        let mut iter = explore_iter(
+            &Countdown::new(3, 2),
+            participants,
+            participants,
+            100,
+            usize::MAX,
+            ExploreOrder::DepthFirst,
+        );
+        let first: Vec<Schedule> = iter.by_ref().take(5).map(|(_, o)| o.schedule).collect();
+        assert_eq!(iter.runs(), 5);
+        let rest: Vec<Schedule> = iter.map(|(_, o)| o.schedule).collect();
+        let mut replayed: Vec<Schedule> = Vec::new();
+        explore_schedules(
+            || Countdown::new(3, 2),
+            participants,
+            participants,
+            100,
+            usize::MAX,
+            |_, o| replayed.push(o.schedule.clone()),
+        );
+        let resumed: Vec<Schedule> = first.into_iter().chain(rest).collect();
+        assert_eq!(resumed, replayed, "a paused iterator loses no runs");
     }
 
     #[test]

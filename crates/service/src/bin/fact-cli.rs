@@ -7,6 +7,7 @@
 //! $ fact-cli solve t-res:3:1 1 --store target/verdicts
 //! $ fact-cli serve --addr 127.0.0.1:7878 --store target/verdicts
 //! $ fact-cli simulate fig5b 200
+//! $ fact-cli campaign t-res:3:1 --samples 1000000 --workers 8 --checkpoint c.jsonl
 //! $ fact-cli census
 //! $ fact-cli solve t-res:3:1 2 --report report.json
 //! $ fact-cli validate-report report.json
@@ -155,6 +156,18 @@ fn extract_count_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<usize
     }
 }
 
+/// Removes a bare boolean `<flag>` from the argument list, returning
+/// whether it was present.
+fn extract_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        None => false,
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+    }
+}
+
 /// Removes `--threads <n>` from the argument list, returning the count.
 fn extract_threads_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
     match args.iter().position(|a| a == "--threads") {
@@ -204,6 +217,17 @@ usage:
   fact-cli serve [--stdio] [--addr H:P]  run the solvability query service
             [--store <dir>] [--workers <n>] [--queue <n>]
   fact-cli simulate <model> <runs>       run Algorithm 1 under adversarial schedules
+  fact-cli campaign <model>              large randomized run campaign with invariant
+                                         mining, failure dedup, and auto-shrinking
+            [--scope sampled|exhaustive] population tier (default sampled)
+            [--samples <n>]              sampled-tier run count (default 100000)
+            [--depth <d>]                exhaustive-tier schedule depth (default 6)
+            [--workers <n>] [--batch <n>] [--seed <n>] [--max-steps <n>]
+            [--fault-rate <pct>]         share of runs driven under a fault plan
+            [--checkpoint <path>]        JSON-lines checkpoint file [--resume]
+            [--artifacts <dir>]          where shrunk violation traces land
+            [--inject-liveness <i,j,..>] force synthetic violations at run indices
+            [--no-solver-check]          skip the solver verdict-agreement oracle
   fact-cli census                        survey all 3-process adversaries
   fact-cli validate-report <path>        check a --report JSON file
   fact-cli replay <path> <model>         replay a captured trace artifact
@@ -237,6 +261,7 @@ fn run(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fact
         Some("solve") => solve(&args[1..], deadline_ms),
         Some("serve") => serve(&args[1..], deadline_ms),
         Some("simulate") => simulate(&args[1..]),
+        Some("campaign") => campaign(&args[1..]),
         Some("census") => census(),
         Some("validate-report") => validate_report(&args[1..]),
         Some("replay") => replay(&args[1..]),
@@ -502,6 +527,137 @@ fn simulate(args: &[String]) -> Result<Option<String>, FactError> {
     let decisions = executed_set_consensus(&r_a, &alpha, &its[0], full, &proposals);
     println!("µ_Q consensus on one executed run: {decisions:?}");
     Ok(Some(format!("{runs} runs live and safe")))
+}
+
+fn campaign(args: &[String]) -> Result<Option<String>, FactError> {
+    let mut args = args.to_vec();
+    let scope_kind = extract_value_flag(&mut args, "--scope")?;
+    let samples = extract_count_flag(&mut args, "--samples")?;
+    let depth = extract_count_flag(&mut args, "--depth")?;
+    let workers = extract_count_flag(&mut args, "--workers")?;
+    let batch = extract_count_flag(&mut args, "--batch")?;
+    let max_steps = extract_count_flag(&mut args, "--max-steps")?;
+    let seed = extract_value_flag(&mut args, "--seed")?
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|_| format!("bad --seed value {raw:?}"))
+        })
+        .transpose()?;
+    let fault_rate = extract_value_flag(&mut args, "--fault-rate")?
+        .map(|raw| {
+            raw.parse::<u8>()
+                .ok()
+                .filter(|p| *p <= 100)
+                .ok_or_else(|| format!("bad --fault-rate value {raw:?} (want 0..=100)"))
+        })
+        .transpose()?;
+    let checkpoint = extract_value_flag(&mut args, "--checkpoint")?;
+    let artifacts = extract_value_flag(&mut args, "--artifacts")?;
+    let inject = extract_value_flag(&mut args, "--inject-liveness")?
+        .map(|raw| {
+            raw.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --inject-liveness index {s:?}"))
+                })
+                .collect::<Result<Vec<u64>, String>>()
+        })
+        .transpose()?;
+    let resume = extract_bool_flag(&mut args, "--resume");
+    let no_solver_check = extract_bool_flag(&mut args, "--no-solver-check");
+    let spec = args
+        .first()
+        .ok_or_else(|| "campaign needs a model spec".to_string())?;
+    if let Some(stray) = args.get(1) {
+        return Err(FactError::Usage(format!("unexpected argument {stray:?}")));
+    }
+
+    let mut config = act_campaign::CampaignConfig::new(spec);
+    config.scope = match scope_kind.as_deref() {
+        None | Some("sampled") => act_campaign::Scope::Sampled {
+            samples: samples.unwrap_or(100_000) as u64,
+        },
+        Some("exhaustive") => {
+            if samples.is_some() {
+                return Err(FactError::Usage(
+                    "--samples applies to the sampled scope only".into(),
+                ));
+            }
+            act_campaign::Scope::Exhaustive {
+                max_depth: depth.unwrap_or(6),
+            }
+        }
+        Some(other) => {
+            return Err(FactError::Usage(format!(
+                "bad --scope {other:?} (want sampled or exhaustive)"
+            )))
+        }
+    };
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    if let Some(workers) = workers {
+        config.workers = workers;
+    }
+    if let Some(batch) = batch {
+        config.batch = batch as u64;
+    }
+    if let Some(max_steps) = max_steps {
+        config.max_steps = max_steps;
+    }
+    if let Some(fault_rate) = fault_rate {
+        config.fault_rate_percent = fault_rate;
+    }
+    config.checkpoint = checkpoint.map(PathBuf::from);
+    config.artifacts = artifacts.map(PathBuf::from);
+    config.resume = resume;
+    config.inject_liveness = inject.unwrap_or_default();
+    config.solver_check = !no_solver_check;
+
+    let report = act_campaign::run_campaign(&config).map_err(FactError::Runtime)?;
+    let coverage = &report.coverage;
+    println!(
+        "campaign              : {} runs ({} resumed + {} executed), {:.0} runs/sec",
+        report.cursor,
+        report.resumed_from,
+        report.cursor - report.resumed_from,
+        report.runs_per_sec()
+    );
+    println!(
+        "liveness              : {} live runs, {} scheduler steps",
+        coverage.live, coverage.steps
+    );
+    println!(
+        "fault injection       : {} faulted runs, {} fault events applied",
+        coverage.faulted_runs, coverage.faults_applied
+    );
+    println!("distinct output facets: {}", coverage.facets.len());
+    println!(
+        "violations            : {} total ({} injected, {} deduplicated)",
+        coverage.violations, coverage.injected_violations, coverage.deduped
+    );
+    for (invariant, count) in &coverage.invariant_violations {
+        println!("  {invariant:<24} ×{count}");
+    }
+    for path in &report.new_artifacts {
+        println!("artifact              : {}", path.display());
+    }
+    let uninjected = coverage.violations - coverage.injected_violations;
+    if uninjected > 0 {
+        return Err(FactError::Runtime(format!(
+            "campaign mined {uninjected} uninjected invariant violation(s); \
+             shrunk artifacts: {:?}",
+            report.artifact_sigs
+        )));
+    }
+    Ok(Some(format!(
+        "{} runs, {} violations ({} injected), {} artifact(s)",
+        report.cursor,
+        coverage.violations,
+        coverage.injected_violations,
+        report.artifact_sigs.len()
+    )))
 }
 
 fn census() -> Result<Option<String>, FactError> {

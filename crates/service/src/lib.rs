@@ -47,7 +47,9 @@ use fact::{set_consensus_verdict_with_config, DomainCache, Solvability};
 pub use protocol::{Request, RequestBody, Response, StatsBody, PROTOCOL_VERSION};
 pub use scheduler::{Scheduler, ServeConfig, Served, SolveQuery, Submitted};
 pub use server::{serve, ServeOptions};
-pub use store::{StoreKey, StoredVerdict, VerdictStore, STORE_FORMAT_VERSION};
+pub use store::{
+    content_hash128, fnv1a64, StoreKey, StoredVerdict, VerdictStore, STORE_FORMAT_VERSION,
+};
 
 /// Queries answered from the store (memory or disk tier).
 pub static SERVE_HIT: Counter = Counter::new("serve.hit");

@@ -75,22 +75,15 @@ impl StoreKey {
     /// The 128-bit content address (two independently seeded FNV-1a
     /// hashes of the canonical text).
     pub fn content_hash(&self) -> u128 {
-        let text = self.canonical_text();
-        let lo = fnv1a64(0xcbf29ce484222325, text.as_bytes());
-        let hi = fnv1a64(0x6c62272e07bb0142, text.as_bytes());
-        ((hi as u128) << 64) | lo as u128
+        content_hash128(self.canonical_text().as_bytes())
     }
 }
 
-/// 64-bit FNV-1a over `bytes`, from the given offset basis.
-fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
-    let mut h = basis;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+/// The store's canonical 128-bit content address: two independently
+/// seeded FNV-1a hashes over the same bytes. Shared with the campaign
+/// layer, which signs normalized failure traces with the same machinery
+/// so artifact names and store keys hash identically.
+pub use act_obs::{content_hash128, fnv1a64};
 
 /// An authoritative stored verdict: `solvable` (with the witnessing
 /// vertex map) or `no-map`.

@@ -1,0 +1,231 @@
+//! Property tests for the campaign runner's mining pipeline (PR 6):
+//! the auto-shrinker always reproduces the original violation under
+//! replay, failure dedup never merges runs that violated different
+//! invariants, and the exhaustive tier's streamed BFS enumeration is
+//! exhaustive — its run count matches the analytic schedule count the
+//! golden-count suite pins.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use act_campaign::{
+    default_invariants, evaluate_trace, run_campaign_in, shrink_violation, violation_signature,
+    CampaignConfig, CampaignContext, Scope, Violation, INVARIANT_LIVENESS,
+};
+use act_runtime::{run_adversarial, Trace, TraceArtifact};
+use fact::AlgorithmOneSystem;
+use rand::SeedableRng;
+
+/// One context per process: every test shares the t-res:3:1 model
+/// (solver check off — these tests exercise the mining pipeline, not
+/// the verdict oracle).
+fn ctx() -> &'static CampaignContext {
+    static CTX: OnceLock<CampaignContext> = OnceLock::new();
+    CTX.get_or_init(|| CampaignContext::new("t-res:3:1", false).expect("context builds"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("act-campaign-inv-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds a genuine liveness violation by cutting a full-participation
+/// adversarial run off after `max_steps` steps.
+fn truncated_violation(seed: u64, max_steps: usize) -> Violation {
+    let ctx = ctx();
+    let mut sys = AlgorithmOneSystem::new(&ctx.alpha, ctx.participants);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let outcome = run_adversarial(
+        &mut sys,
+        ctx.participants,
+        ctx.participants,
+        &mut rng,
+        |_| 0,
+        max_steps,
+    );
+    assert!(
+        !outcome.all_correct_terminated,
+        "{max_steps} steps must be too few for Algorithm 1 to decide"
+    );
+    Violation {
+        index: seed,
+        violated: vec![INVARIANT_LIVENESS.to_string()],
+        trace: Trace::from_outcome(ctx.participants, &outcome),
+        max_steps,
+        injected: true,
+    }
+}
+
+#[test]
+fn shrinker_output_always_reproduces_the_original_violation() {
+    let ctx = ctx();
+    let invariants = default_invariants();
+    for seed in 0..8 {
+        let violation = truncated_violation(seed, 3 + (seed as usize % 5));
+        let shrunk = shrink_violation(ctx, &invariants, &violation);
+        let replayed = evaluate_trace(ctx, &invariants, &shrunk, violation.max_steps)
+            .expect("shrunk trace replays");
+        for name in &violation.violated {
+            assert!(
+                replayed.contains(name),
+                "shrunk trace of seed {seed} lost the original violation {name}: {replayed:?}"
+            );
+        }
+        assert!(
+            shrunk.steps.len() <= violation.trace.steps.len(),
+            "shrinking never grows the trace"
+        );
+        // A full-participation liveness violation has a schedule-free
+        // minimal form: nobody moves, nobody decides.
+        assert!(
+            shrunk.steps.is_empty(),
+            "greedy deletion reaches the empty schedule, got {:?}",
+            shrunk.steps
+        );
+    }
+}
+
+#[test]
+fn dedup_never_merges_runs_with_distinct_violated_invariants() {
+    let violation = truncated_violation(11, 4);
+    let model = ctx().spec.canonical_string();
+    let liveness_only = violation_signature(&model, &violation.trace, &violation.violated);
+    let with_monotonicity = violation_signature(
+        &model,
+        &violation.trace,
+        &[
+            INVARIANT_LIVENESS.to_string(),
+            "correct-set-monotonicity".to_string(),
+        ],
+    );
+    assert_ne!(
+        liveness_only, with_monotonicity,
+        "identical traces with different violated sets must not share a signature"
+    );
+}
+
+#[test]
+fn campaign_emits_one_deduped_shrunk_artifact_for_injected_violations() {
+    let dir = temp_dir("artifact");
+    let mut config = CampaignConfig::new("t-res:3:1");
+    config.scope = Scope::Sampled { samples: 600 };
+    config.seed = 99;
+    config.workers = 2;
+    config.batch = 200;
+    config.fault_rate_percent = 30;
+    config.solver_check = false;
+    config.artifacts = Some(dir.join("artifacts"));
+    config.inject_liveness = vec![17, 404];
+    let report = run_campaign_in(ctx(), &config).expect("campaign completes");
+    assert_eq!(report.coverage.violations, 2);
+    assert_eq!(report.coverage.injected_violations, 2);
+    assert_eq!(report.coverage.deduped, 1, "the second violation dedups");
+    assert_eq!(report.new_artifacts.len(), 1);
+    assert_eq!(report.artifact_sigs.len(), 1);
+
+    // The artifact replays to the same violation it documents.
+    let artifact = TraceArtifact::load(&report.new_artifacts[0]).expect("artifact loads");
+    assert_eq!(artifact.reason, format!("campaign:{INVARIANT_LIVENESS}"));
+    let invariants = default_invariants();
+    let replayed = evaluate_trace(
+        ctx(),
+        &invariants,
+        &artifact.trace,
+        artifact.max_steps as usize,
+    )
+    .expect("artifact trace replays");
+    assert!(replayed.contains(&INVARIANT_LIVENESS.to_string()));
+}
+
+/// The exhaustive tier is exhaustive: with a depth bound no process can
+/// decide within, every length-`depth` word over the participants is
+/// one run, so the count is the analytic `n^depth` — the same closed
+/// form the golden-count suite pins for `explore_schedules`.
+#[test]
+fn exhaustive_bfs_matches_the_analytic_schedule_count() {
+    for (depth, expected) in [(2usize, 9u64), (4, 81)] {
+        let mut config = CampaignConfig::new("t-res:3:1");
+        config.scope = Scope::Exhaustive { max_depth: depth };
+        config.solver_check = false;
+        config.batch = 25;
+        let report = run_campaign_in(ctx(), &config).expect("exhaustive campaign completes");
+        assert!(report.done);
+        assert_eq!(
+            report.coverage.runs, expected,
+            "depth {depth}: expected 3^{depth} = {expected} enumerated runs"
+        );
+        assert_eq!(
+            report.coverage.violations, 0,
+            "depth-truncated runs are not liveness violations"
+        );
+    }
+}
+
+/// Cross-check against the scheduler's collecting explorer: the
+/// campaign's streamed enumeration visits exactly as many runs as
+/// `explore_schedules` reports for the same bounds.
+#[test]
+fn exhaustive_tier_agrees_with_the_collecting_explorer() {
+    let ctx = ctx();
+    let depth = 3;
+    let sys = AlgorithmOneSystem::new(&ctx.alpha, ctx.participants);
+    let collected = act_runtime::explore_schedules(
+        || sys.clone(),
+        ctx.participants,
+        ctx.participants,
+        depth,
+        1_000_000,
+        |_, _| {},
+    ) as u64;
+    let mut config = CampaignConfig::new("t-res:3:1");
+    config.scope = Scope::Exhaustive { max_depth: depth };
+    config.solver_check = false;
+    let report = run_campaign_in(ctx, &config).expect("exhaustive campaign completes");
+    assert_eq!(report.coverage.runs, collected);
+}
+
+/// With the solver oracle armed, a sampled campaign on a solvable model
+/// mines no violations: every live run's outputs land in R_A (the
+/// verdict-agreement invariant holds) and fair schedules terminate.
+#[test]
+fn solver_armed_campaign_mines_no_violations_on_a_solvable_model() {
+    let ctx_solver = CampaignContext::new("t-res:3:1", true).expect("context with solver");
+    assert_eq!(
+        ctx_solver.solver_solvable,
+        Some(true),
+        "2-set consensus is solvable under t-res:3:1 via R_A"
+    );
+    let mut config = CampaignConfig::new("t-res:3:1");
+    config.scope = Scope::Sampled { samples: 300 };
+    config.seed = 5;
+    config.workers = 2;
+    config.fault_rate_percent = 40;
+    let report = run_campaign_in(&ctx_solver, &config).expect("campaign completes");
+    assert_eq!(report.coverage.violations, 0, "no genuine violations exist");
+    assert!(report.coverage.live >= 295, "nearly all runs are live");
+    assert!(!report.coverage.facets.is_empty());
+}
+
+/// The campaign rejects a checkpoint written by a different campaign.
+#[test]
+fn resume_rejects_a_foreign_fingerprint() {
+    let dir = temp_dir("foreign");
+    let path = dir.join("ckpt.jsonl");
+    let mut config = CampaignConfig::new("t-res:3:1");
+    config.scope = Scope::Sampled { samples: 50 };
+    config.batch = 25;
+    config.solver_check = false;
+    config.checkpoint = Some(path.clone());
+    run_campaign_in(ctx(), &config).expect("first campaign completes");
+
+    let mut other = config.clone();
+    other.seed += 1;
+    other.resume = true;
+    let err = match run_campaign_in(ctx(), &other) {
+        Err(err) => err,
+        Ok(_) => panic!("resume against a foreign checkpoint must fail"),
+    };
+    assert!(err.contains("fingerprint mismatch"), "{err}");
+}

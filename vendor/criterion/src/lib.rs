@@ -60,16 +60,53 @@ struct BenchRecord {
     mean_ns: u128,
     min_ns: u128,
     max_ns: u128,
+    /// Per-result numeric fields ([`record_result_metric`]) flattened
+    /// into the result's JSON row (throughputs, worker counts, …).
+    extra: Vec<(String, f64)>,
 }
 
+/// The result registry is keyed by benchmark id: re-running an id
+/// overwrites its record in place (first-appearance order preserved),
+/// so a report can never contain duplicate ids.
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 static METRICS: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+/// Per-result metrics recorded before their benchmark has run; merged
+/// into the record when [`report`] creates it.
+static PENDING_RESULT_METRICS: Mutex<Vec<(String, String, f64)>> = Mutex::new(Vec::new());
 
 /// Records a named scalar alongside the timing results (figure counts,
 /// problem sizes, …); it lands in the `metrics` object of the JSON
 /// report written by [`write_json_report`].
 pub fn record_metric(key: &str, value: u64) {
     METRICS.lock().unwrap().push((key.to_string(), value));
+}
+
+/// Attaches a numeric field to the result row of benchmark `id` (the
+/// full id as reported, e.g. `"group/name/param"`). Works in either
+/// order: if the result already exists the field is set (overwriting a
+/// previous value for the same key); otherwise it is held until the
+/// benchmark reports. This is how benches publish derived quantities —
+/// `runs_per_sec`, `workers` — as first-class columns of their row
+/// rather than as detached global metrics.
+pub fn record_result_metric(id: &str, key: &str, value: f64) {
+    let mut results = RESULTS.lock().unwrap();
+    if let Some(record) = results.iter_mut().find(|r| r.id == id) {
+        set_extra(&mut record.extra, key, value);
+        return;
+    }
+    drop(results);
+    PENDING_RESULT_METRICS
+        .lock()
+        .unwrap()
+        .push((id.to_string(), key.to_string(), value));
+}
+
+fn set_extra(extra: &mut Vec<(String, f64)>, key: &str, value: f64) {
+    if let Some(slot) = extra.iter_mut().find(|(k, _)| k == key) {
+        slot.1 = value;
+    } else {
+        extra.push((key.to_string(), value));
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -92,20 +129,27 @@ fn json_escape(s: &str) -> String {
 pub fn write_json_report(name: &str) {
     let results = RESULTS.lock().unwrap();
     let metrics = METRICS.lock().unwrap();
-    let results = dedupe_by_id(&results);
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(name)));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"id\": \"{}\", \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+        let mut row = format!(
+            "    {{\"id\": \"{}\", \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}",
             json_escape(&r.id),
             r.samples,
             r.mean_ns,
             r.min_ns,
             r.max_ns,
+        );
+        for (key, value) in &r.extra {
+            let value = if value.is_finite() { *value } else { 0.0 };
+            row.push_str(&format!(", \"{}\": {}", json_escape(key), value));
+        }
+        row.push_str(&format!(
+            "}}{}\n",
             if i + 1 < results.len() { "," } else { "" }
         ));
+        json.push_str(&row);
     }
     json.push_str("  ],\n  \"metrics\": {");
     for (i, (k, v)) in metrics.iter().enumerate() {
@@ -124,21 +168,6 @@ pub fn write_json_report(name: &str) {
     }
 }
 
-/// Keeps one record per id — the **last** run wins (a re-run of a
-/// benchmark supersedes its earlier timing), at the position of the id's
-/// first appearance so report order stays stable.
-fn dedupe_by_id(results: &[BenchRecord]) -> Vec<&BenchRecord> {
-    let mut order: Vec<&str> = Vec::new();
-    let mut last: std::collections::HashMap<&str, &BenchRecord> = std::collections::HashMap::new();
-    for r in results {
-        if !last.contains_key(r.id.as_str()) {
-            order.push(&r.id);
-        }
-        last.insert(&r.id, r);
-    }
-    order.into_iter().map(|id| last[id]).collect()
-}
-
 fn report(id: &str, durations: &[Duration]) {
     if durations.is_empty() {
         println!("{id:<50} no samples");
@@ -148,13 +177,43 @@ fn report(id: &str, durations: &[Duration]) {
     let mean = total / durations.len() as u32;
     let min = durations.iter().min().unwrap();
     let max = durations.iter().max().unwrap();
-    RESULTS.lock().unwrap().push(BenchRecord {
+    let mut extra = Vec::new();
+    {
+        let mut pending = PENDING_RESULT_METRICS.lock().unwrap();
+        pending.retain(|(pid, key, value)| {
+            if pid == id {
+                set_extra(&mut extra, key, *value);
+                false
+            } else {
+                true
+            }
+        });
+    }
+    let record = BenchRecord {
         id: id.to_string(),
         samples: durations.len(),
         mean_ns: mean.as_nanos(),
         min_ns: min.as_nanos(),
         max_ns: max.as_nanos(),
-    });
+        extra,
+    };
+    let mut results = RESULTS.lock().unwrap();
+    if let Some(existing) = results.iter_mut().find(|r| r.id == id) {
+        // A re-run supersedes its earlier timing in place, so the
+        // registry (and the JSON report) never holds duplicate ids.
+        // Previously-attached result metrics survive unless the re-run
+        // recorded new ones.
+        let mut merged = record;
+        for (key, value) in existing.extra.drain(..) {
+            if !merged.extra.iter().any(|(k, _)| *k == key) {
+                merged.extra.push((key, value));
+            }
+        }
+        *existing = merged;
+    } else {
+        results.push(record);
+    }
+    drop(results);
     println!(
         "{id:<50} time: [{} {} {}]  ({} samples)",
         fmt_duration(*min),
@@ -286,23 +345,54 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
-    fn record(id: &str, mean_ns: u128) -> BenchRecord {
-        BenchRecord {
-            id: id.to_string(),
-            samples: 3,
-            mean_ns,
-            min_ns: mean_ns - 1,
-            max_ns: mean_ns + 1,
-        }
+    /// The registry is process-global; tests touching it share one lock
+    /// so the harness's parallelism cannot interleave them.
+    fn registry_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn reset_registry() {
+        RESULTS.lock().unwrap().clear();
+        PENDING_RESULT_METRICS.lock().unwrap().clear();
     }
 
     #[test]
-    fn duplicate_result_ids_keep_the_last_run() {
-        let records = vec![record("a/1", 10), record("b/1", 20), record("a/1", 30)];
-        let deduped = dedupe_by_id(&records);
-        assert_eq!(deduped.len(), 2);
-        assert_eq!(deduped[0].id, "a/1");
-        assert_eq!(deduped[0].mean_ns, 30, "the re-run supersedes the first");
-        assert_eq!(deduped[1].id, "b/1");
+    fn rerun_overwrites_its_record_in_place() {
+        let _guard = registry_guard();
+        reset_registry();
+        report("a/1", &[Duration::from_nanos(10)]);
+        report("b/1", &[Duration::from_nanos(20)]);
+        report("a/1", &[Duration::from_nanos(30)]);
+        let results = RESULTS.lock().unwrap();
+        assert_eq!(results.len(), 2, "no duplicate ids in the registry");
+        assert_eq!(results[0].id, "a/1", "first-appearance order is stable");
+        assert_eq!(results[0].mean_ns, 30, "the re-run supersedes the first");
+        assert_eq!(results[1].id, "b/1");
+    }
+
+    #[test]
+    fn result_metrics_attach_in_either_order_and_survive_reruns() {
+        let _guard = registry_guard();
+        reset_registry();
+        // Before the result exists: held as pending.
+        record_result_metric("c/4", "workers", 4.0);
+        report("c/4", &[Duration::from_nanos(10)]);
+        // After: set directly, overwriting a previous value per key.
+        record_result_metric("c/4", "runs_per_sec", 100.0);
+        record_result_metric("c/4", "runs_per_sec", 250.0);
+        {
+            let results = RESULTS.lock().unwrap();
+            let extra = &results[0].extra;
+            assert_eq!(extra.len(), 2);
+            assert!(extra.contains(&("workers".to_string(), 4.0)));
+            assert!(extra.contains(&("runs_per_sec".to_string(), 250.0)));
+        }
+        // A re-run keeps attached metrics it did not replace.
+        report("c/4", &[Duration::from_nanos(12)]);
+        let results = RESULTS.lock().unwrap();
+        assert_eq!(results[0].mean_ns, 12);
+        assert!(results[0].extra.contains(&("workers".to_string(), 4.0)));
+        assert!(PENDING_RESULT_METRICS.lock().unwrap().is_empty());
     }
 }
