@@ -7,7 +7,17 @@ query runs the engine exactly once (the rest are store hits or
 coalesced joins), errors answer with the usage code without killing the
 connection, and a wire shutdown drains the server.
 
-Usage: python3 ci/serve_smoke.py HOST:PORT EXPECTED_WORKERS
+Besides the default mixed workload, two phases exercise the persistent
+tower store across a server restart:
+
+* ``cold``  — a fresh store: every query is an engine run, and the
+  domain towers it builds are persisted alongside the verdicts;
+* ``restart`` — the same store, a new server process: previously seen
+  queries answer from the verdict store, a *new* query (same model,
+  deeper ``iters``) must run the engine but load its tower levels from
+  the store instead of rebuilding them (``tower_hits`` > 0).
+
+Usage: python3 ci/serve_smoke.py HOST:PORT EXPECTED_WORKERS [PHASE]
 """
 
 import json
@@ -17,12 +27,27 @@ import sys
 import threading
 
 THREADS = 6
-QUERIES = [
-    ("t-res:3:1", 1),
-    ("t-res:3:1", 2),
-    ("k-of:3:2", 2),
-    ("t-res:3:2", 2),
-]
+# (model, k, iters or None) per phase. The restart phase re-asks one
+# cold-phase query (a verdict-store hit across the restart) and asks one
+# new query at a deeper level (an engine run that finds its lower tower
+# levels already persisted).
+WORKLOADS = {
+    "mixed": [
+        ("t-res:3:1", 1, None),
+        ("t-res:3:1", 2, None),
+        ("k-of:3:2", 2, None),
+        ("t-res:3:2", 2, None),
+    ],
+    "cold": [
+        ("t-res:3:1", 2, 1),
+        ("t-res:3:1", 2, 2),
+        ("k-of:3:2", 2, 1),
+    ],
+    "restart": [
+        ("t-res:3:1", 2, 2),
+        ("k-of:3:2", 2, 2),
+    ],
+}
 
 
 def connect(host, port):
@@ -39,12 +64,14 @@ def rpc(sock, reader, request):
     return response
 
 
-def client(host, port, tid, solved, errored):
+def client(host, port, tid, queries, solved, errored):
     sock, reader = connect(host, port)
     try:
-        for i, (model, k) in enumerate(QUERIES):
-            r = rpc(sock, reader, {"op": "solve", "id": tid * 100 + i, "model": model, "k": k})
-            solved.append(r)
+        for i, (model, k, iters) in enumerate(queries):
+            request = {"op": "solve", "id": tid * 100 + i, "model": model, "k": k}
+            if iters is not None:
+                request["iters"] = iters
+            solved.append(rpc(sock, reader, request))
         bad = rpc(
             sock, reader, {"op": "solve", "id": tid * 100 + 99, "model": "bogus:9", "k": 1}
         )
@@ -55,12 +82,14 @@ def client(host, port, tid, solved, errored):
 
 def main():
     addr, expected_workers = sys.argv[1], int(sys.argv[2])
+    phase = sys.argv[3] if len(sys.argv) > 3 else "mixed"
+    queries = WORKLOADS[phase]
     host, port = addr.rsplit(":", 1)
     port = int(port)
 
     solved, errored = [], []
     threads = [
-        threading.Thread(target=client, args=(host, port, tid, solved, errored))
+        threading.Thread(target=client, args=(host, port, tid, queries, solved, errored))
         for tid in range(THREADS)
     ]
     for t in threads:
@@ -68,7 +97,7 @@ def main():
     for t in threads:
         t.join()
 
-    assert len(solved) == THREADS * len(QUERIES), len(solved)
+    assert len(solved) == THREADS * len(queries), len(solved)
     for r in solved:
         assert r["ok"], r
         assert r["authoritative"], r
@@ -86,24 +115,37 @@ def main():
 
     sock, reader = connect(host, port)
     stats = rpc(sock, reader, {"op": "stats", "id": 1})["stats"]
-    distinct, total = len(QUERIES), len(solved)
+    distinct, total = len(queries), len(solved)
     assert stats["workers"] == expected_workers, stats
-    # Single flight: one engine run per distinct query, never more.
-    assert stats["engine_runs"] == distinct, stats
-    assert stats["misses"] == distinct, stats
-    assert stats["hits"] + stats["coalesced"] == total - distinct, stats
+    if phase == "restart":
+        # One query is a verdict-store hit from the previous lifetime;
+        # the other is new and runs the engine exactly once — but its
+        # lower tower levels come from the store, not from subdivision.
+        assert stats["engine_runs"] == 1, stats
+        assert stats["misses"] == 1, stats
+        assert stats["hits"] + stats["coalesced"] == total - 1, stats
+        assert stats["hits"] >= THREADS, stats
+        assert stats["tower_hits"] >= 1, stats
+    else:
+        # Single flight: one engine run per distinct query, never more.
+        assert stats["engine_runs"] == distinct, stats
+        assert stats["misses"] == distinct, stats
+        assert stats["hits"] + stats["coalesced"] == total - distinct, stats
     assert stats["store_corrupt"] == 0, stats
+    assert stats["tower_corrupt"] == 0, stats
     assert stats["rejected"] == 0, stats
     assert stats["queue_depth"] == 0 and stats["inflight"] == 0, stats
 
-    # Every authoritative verdict is on disk, one entry per distinct query.
+    # Every authoritative verdict is on disk, one entry per distinct
+    # query — tower levels live under towers/, never at the top level.
     entries = [f for f in os.listdir("serve-store") if f.endswith(".json")]
-    assert len(entries) == distinct, entries
+    expected_entries = {"mixed": 4, "cold": 3, "restart": 4}[phase]
+    assert len(entries) == expected_entries, entries
 
     bye = rpc(sock, reader, {"op": "shutdown", "id": 2})
     assert bye["ok"] and bye["op"] == "shutdown", bye
     sock.close()
-    print(f"serve smoke OK at {expected_workers} worker(s): {stats}")
+    print(f"serve smoke OK ({phase}, {expected_workers} worker(s)): {stats}")
 
 
 if __name__ == "__main__":

@@ -47,5 +47,5 @@ pub use fair::{fair_affine_task, fair_affine_task_with, CriticalSideCondition};
 pub use known::{
     k_obstruction_free_task, max_contention_of_task, t_resilient_task, wait_free_task,
 };
-pub use task::AffineTask;
+pub use task::{AffineTask, APPLY_CALLS};
 pub use views::{view2_carrier, views_of, Views};

@@ -6,6 +6,13 @@ use std::fmt;
 
 use act_topology::{all_recipes, ColorSet, Complex, ProcessId, Recipe, Simplex, VertexId};
 
+/// Process-global count of affine subdivision rounds: one per
+/// [`AffineTask::apply_to`] call, i.e. one per domain-tower level actually
+/// built. This is the unit of work a domain cache saves — regression tests
+/// diff it to prove that a cached extension costs exactly one round and a
+/// store-backed warm restart costs zero.
+pub static APPLY_CALLS: act_obs::Counter = act_obs::Counter::new("affine.apply_to");
+
 /// An affine task: a pure, non-empty, chromatic sub-complex `L ⊆ Chr² s`
 /// (Section 2 of the paper). The associated task is `(s, L, Δ)` with
 /// `Δ(t) = L ∩ Chr²(t)` for every face `t ⊆ s`.
@@ -130,6 +137,7 @@ impl AffineTask {
     /// inside `Chr² σ`, glued along shared faces. Applying to the standard
     /// simplex `m` times yields `L^m`.
     pub fn apply_to(&self, complex: &Complex) -> Complex {
+        APPLY_CALLS.add(1);
         complex.subdivide_patterned(2, |colors| self.recipes(colors))
     }
 

@@ -75,6 +75,6 @@ pub use simulation::{
 pub use solver::{
     affine_domain, affine_domain_cached, set_consensus_verdict, set_consensus_verdict_cached,
     set_consensus_verdict_with_config, solve_in_fair_model, solve_in_model,
-    solve_in_model_with_config, DomainCache, Solvability,
+    solve_in_model_with_config, DomainCache, Solvability, TowerPersistence, DOMAIN_CACHE_EVICTIONS,
 };
 pub use spec::{ModelSpec, TaskSpec, MAX_PROCESSES};

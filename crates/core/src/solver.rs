@@ -74,19 +74,77 @@ pub fn affine_domain(task: &AffineTask, inputs: &Complex, iterations: usize) -> 
     c
 }
 
-/// An incrementally maintained tower of domains `R_A^1(I) ⊆ … ⊆ R_A^ℓ(I)`.
+/// Pluggable persistence behind a [`DomainCache`]: load and store single
+/// tower levels `R_A^ℓ(I)` addressed by the content hashes of the affine
+/// complex and the input complex.
+///
+/// The service layer implements this on its content-addressed store so a
+/// restarted server (or a cold `fact-cli solve --store` run) reloads
+/// towers instead of resubdividing. Implementations own durability and
+/// corruption handling; a `load_level` returning `None` simply means "not
+/// available — build it", and the cache re-validates whatever is returned
+/// before trusting it.
+pub trait TowerPersistence: Send + Sync {
+    /// The persisted level `level` (1-based) of the tower for
+    /// `(affine_hash, inputs_hash)`, or `None` on any miss.
+    fn load_level(&self, affine_hash: u128, inputs_hash: u128, level: usize) -> Option<Complex>;
+
+    /// Persists level `level` (1-based) of the tower. Failures are the
+    /// implementation's to swallow — persistence is an accelerator, never
+    /// a correctness dependency.
+    fn store_level(&self, affine_hash: u128, inputs_hash: u128, level: usize, domain: &Complex);
+}
+
+/// Process-global count of towers evicted from [`DomainCache`]s (the
+/// bounded per-cache LRU overflowed). Pairs with the `domain.cache.evict`
+/// event, which carries the evicted tower's depth.
+pub static DOMAIN_CACHE_EVICTIONS: act_obs::Counter = act_obs::Counter::new("domain.cache.evict");
+
+/// Towers a [`DomainCache`] keeps before evicting the least recently used.
+const DEFAULT_TOWER_CAPACITY: usize = 4;
+
+/// One cached tower `R_A^1(I) ⊆ … ⊆ R_A^ℓ(I)` and the key it serves.
+#[derive(Clone, Debug)]
+struct Tower {
+    /// Content hash of the affine task's complex.
+    affine_hash: u128,
+    /// Content hash of the input complex.
+    inputs_hash: u128,
+    /// The last `(affine.complex(), inputs)` pair that resolved to this
+    /// tower — kept for the `Arc`-identity fast path that skips
+    /// re-hashing on repeated queries with the same representation.
+    affine_src: Complex,
+    /// The input complex the tower is built over.
+    inputs: Complex,
+    /// `levels[ℓ - 1] = R_A^ℓ(I)`.
+    levels: Vec<Complex>,
+    /// LRU stamp: the cache clock at the last query.
+    stamp: u64,
+}
+
+/// An incrementally maintained set of domain towers
+/// `R_A^1(I) ⊆ … ⊆ R_A^ℓ(I)`, keyed by content hash.
 ///
 /// [`affine_domain`] rebuilds from scratch on every call, so a pipeline
 /// that tries `ℓ = 1, …, L` pays `1 + 2 + ⋯ + L` subdivision rounds — and
 /// each round is the dominant cost at depth. The cache keeps every level
-/// built so far and extends the tower by exactly **one** `apply_to` per
-/// new level, turning the pipeline's domain cost linear in `L`.
+/// built so far and extends a tower by exactly **one** `apply_to` per new
+/// level (asserted against [`act_affine::APPLY_CALLS`] by the regression
+/// suite), turning the pipeline's domain cost linear in `L`.
 ///
-/// The cache is keyed by `(affine.complex(), inputs)` — an [`AffineTask`]
-/// is fully determined by its complex (its recipes are derived from it) —
-/// and is transparently invalidated when either changes. Levels are
-/// structurally equal (`==`) to the from-scratch [`affine_domain`] builds
-/// thanks to the subdivision engine's deterministic interning.
+/// Towers are keyed by the 128-bit content hashes of
+/// `(affine.complex(), inputs)` — an [`AffineTask`] is fully determined by
+/// its complex — with an `Arc`-identity fast path so steady-state queries
+/// never rehash or deep-compare. A bounded LRU (default
+/// 4 towers) keeps alternating workloads from thrashing: switching keys
+/// retains the previous tower, and overflow evicts the least recently
+/// used with a `domain.cache.evict` event instead of dropping silently.
+///
+/// With [`DomainCache::set_persistence`], missing levels are first sought
+/// in a [`TowerPersistence`] store (zero `apply_to` on a warm restart) and
+/// freshly built levels are written back. Levels are structurally equal
+/// (`==`) to the from-scratch [`affine_domain`] builds thanks to the
+/// subdivision engine's deterministic interning.
 ///
 /// # Examples
 ///
@@ -105,81 +163,196 @@ pub fn affine_domain(task: &AffineTask, inputs: &Complex, iterations: usize) -> 
 /// assert_eq!(d3, affine_domain(&affine, &inputs, 3));
 /// assert_eq!(cache.cached_levels(), 3);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone)]
 pub struct DomainCache {
-    /// `(affine.complex(), inputs)` the tower was built for.
-    key: Option<(Complex, Complex)>,
-    /// `levels[ℓ - 1] = R_A^ℓ(I)`.
-    levels: Vec<Complex>,
+    towers: Vec<Tower>,
+    capacity: usize,
+    clock: u64,
+    persistence: Option<std::sync::Arc<dyn TowerPersistence>>,
+}
+
+impl std::fmt::Debug for DomainCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainCache")
+            .field("towers", &self.towers)
+            .field("capacity", &self.capacity)
+            .field("clock", &self.clock)
+            .field("persistent", &self.persistence.is_some())
+            .finish()
+    }
+}
+
+impl Default for DomainCache {
+    fn default() -> DomainCache {
+        DomainCache::new()
+    }
 }
 
 impl DomainCache {
-    /// An empty cache.
+    /// An empty cache with the default tower capacity.
     pub fn new() -> DomainCache {
-        DomainCache::default()
+        DomainCache::with_capacity(DEFAULT_TOWER_CAPACITY)
     }
 
-    /// How many levels of the tower are currently cached.
+    /// An empty cache holding at most `capacity` towers (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> DomainCache {
+        DomainCache {
+            towers: Vec::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            persistence: None,
+        }
+    }
+
+    /// Attaches a persistence backend: missing tower levels are loaded
+    /// from it before being built, and freshly built levels are written
+    /// back. Returns `self` for builder-style construction.
+    pub fn with_persistence(mut self, p: std::sync::Arc<dyn TowerPersistence>) -> DomainCache {
+        self.set_persistence(p);
+        self
+    }
+
+    /// Attaches a persistence backend (see [`Self::with_persistence`]).
+    pub fn set_persistence(&mut self, p: std::sync::Arc<dyn TowerPersistence>) {
+        self.persistence = Some(p);
+    }
+
+    /// How many levels of the *most recently queried* tower are cached.
     pub fn cached_levels(&self) -> usize {
-        self.levels.len()
+        self.mru().map_or(0, |t| t.levels.len())
     }
 
-    /// The domain `R_A^ℓ(I)`, reusing every previously built level and
-    /// running at most `ℓ − cached_levels` new subdivision rounds.
+    /// How many towers are currently resident.
+    pub fn resident_towers(&self) -> usize {
+        self.towers.len()
+    }
+
+    fn mru(&self) -> Option<&Tower> {
+        self.towers.iter().max_by_key(|t| t.stamp)
+    }
+
+    fn mru_mut(&mut self) -> Option<&mut Tower> {
+        self.towers.iter_mut().max_by_key(|t| t.stamp)
+    }
+
+    /// The domain `R_A^ℓ(I)`, reusing every previously built level of the
+    /// matching tower and running at most `ℓ − cached` new subdivision
+    /// rounds — fewer when a persistence backend already holds them.
     ///
     /// # Panics
     ///
     /// Panics if `iterations` is zero.
     pub fn domain(&mut self, affine: &AffineTask, inputs: &Complex, iterations: usize) -> &Complex {
         assert!(iterations >= 1, "at least one iteration");
-        let matches = self
-            .key
-            .as_ref()
-            .is_some_and(|(a, i)| a == affine.complex() && i == inputs);
-        if !matches {
-            self.key = Some((affine.complex().clone(), inputs.clone()));
-            self.levels.clear();
-        }
+        let idx = self.resolve_tower(affine, inputs);
+        let persistence = self.persistence.clone();
+        let tower = &mut self.towers[idx];
         // Self-healing: a poisoned tower level (empty, or a level count
         // that does not strictly grow — e.g. a worker died mid-build in a
         // previous use) is detected and the tower rebuilt from the last
         // sound level, instead of serving a corrupt domain.
-        if let Some(bad) = self.first_invalid_level(inputs) {
+        if let Some(bad) = first_invalid_level(&tower.levels, inputs) {
             if act_obs::enabled() {
                 act_obs::event("solver.cache_rebuilt")
                     .u64("level", bad as u64)
-                    .u64("cached", self.levels.len() as u64)
+                    .u64("cached", tower.levels.len() as u64)
                     .emit();
             }
-            self.levels.truncate(bad - 1);
+            tower.levels.truncate(bad - 1);
         }
-        while self.levels.len() < iterations {
-            let next = affine.apply_to(self.levels.last().unwrap_or(inputs));
-            self.levels.push(next);
+        while tower.levels.len() < iterations {
+            let level = tower.levels.len() + 1;
+            let next = {
+                let prev = tower.levels.last().unwrap_or(inputs);
+                let loaded = persistence
+                    .as_ref()
+                    .and_then(|p| p.load_level(tower.affine_hash, tower.inputs_hash, level))
+                    .filter(|c| loaded_level_is_sound(c, prev, inputs));
+                match loaded {
+                    Some(c) => c,
+                    None => {
+                        let built = affine.apply_to(prev);
+                        if let Some(p) = &persistence {
+                            p.store_level(tower.affine_hash, tower.inputs_hash, level, &built);
+                        }
+                        built
+                    }
+                }
+            };
+            tower.levels.push(next);
         }
-        &self.levels[iterations - 1]
+        &tower.levels[iterations - 1]
     }
 
-    /// The first (1-based) tower level that is structurally unsound:
-    /// empty, or whose subdivision level does not strictly exceed its
-    /// predecessor's. `None` when the whole tower is sound.
-    fn first_invalid_level(&self, inputs: &Complex) -> Option<usize> {
-        let mut prev = inputs.level();
-        for (i, c) in self.levels.iter().enumerate() {
-            if c.facet_count() == 0 || c.level() <= prev {
-                return Some(i + 1);
+    /// Finds (or creates) the tower for `(affine, inputs)` and marks it
+    /// most recently used. Pointer-identical representations hit without
+    /// hashing; otherwise the content hashes decide, so structurally
+    /// equal complexes built independently still share a tower.
+    fn resolve_tower(&mut self, affine: &AffineTask, inputs: &Complex) -> usize {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(i) = self.towers.iter().position(|t| {
+            t.affine_src.same_representation(affine.complex())
+                && t.inputs.same_representation(inputs)
+        }) {
+            self.towers[i].stamp = clock;
+            return i;
+        }
+        let affine_hash = affine.complex().content_hash();
+        let inputs_hash = inputs.content_hash();
+        if let Some(i) = self
+            .towers
+            .iter()
+            .position(|t| t.affine_hash == affine_hash && t.inputs_hash == inputs_hash)
+        {
+            let t = &mut self.towers[i];
+            // Re-point the identity memo at the representation we just
+            // saw, so the next query with it takes the fast path.
+            t.affine_src = affine.complex().clone();
+            t.inputs = inputs.clone();
+            t.stamp = clock;
+            return i;
+        }
+        if self.towers.len() >= self.capacity {
+            let lru = self
+                .towers
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| t.stamp)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1 and the cache is full");
+            let evicted = self.towers.swap_remove(lru);
+            DOMAIN_CACHE_EVICTIONS.add(1);
+            if act_obs::enabled() {
+                act_obs::event("domain.cache.evict")
+                    .u64("levels", evicted.levels.len() as u64)
+                    .u64("resident", self.towers.len() as u64)
+                    .u64("affine_hash", evicted.affine_hash as u64)
+                    .u64("inputs_hash", evicted.inputs_hash as u64)
+                    .emit();
             }
-            prev = c.level();
         }
-        None
+        self.towers.push(Tower {
+            affine_hash,
+            inputs_hash,
+            affine_src: affine.complex().clone(),
+            inputs: inputs.clone(),
+            levels: Vec::new(),
+            stamp: clock,
+        });
+        self.towers.len() - 1
     }
 
-    /// Chaos hook: corrupts tower level `level` (1-based) in place,
-    /// returning whether the level existed. The next [`Self::domain`]
-    /// call must detect the poison and rebuild from the preceding sound
-    /// level — exercised by the chaos suite.
+    /// Chaos hook: corrupts tower level `level` (1-based) of the most
+    /// recently queried tower in place, returning whether the level
+    /// existed. The next [`Self::domain`] call must detect the poison and
+    /// rebuild from the preceding sound level — exercised by the chaos
+    /// suite.
     pub fn poison_level(&mut self, level: usize) -> bool {
-        match level.checked_sub(1).and_then(|i| self.levels.get_mut(i)) {
+        let Some(tower) = self.mru_mut() else {
+            return false;
+        };
+        match level.checked_sub(1).and_then(|i| tower.levels.get_mut(i)) {
             Some(slot) => {
                 *slot = Complex::standard(1);
                 true
@@ -187,6 +360,32 @@ impl DomainCache {
             None => false,
         }
     }
+}
+
+/// The first (1-based) tower level that is structurally unsound: empty,
+/// or whose subdivision level does not strictly exceed its predecessor's.
+/// `None` when the whole tower is sound.
+fn first_invalid_level(levels: &[Complex], inputs: &Complex) -> Option<usize> {
+    let mut prev = inputs.level();
+    for (i, c) in levels.iter().enumerate() {
+        if c.facet_count() == 0 || c.level() <= prev {
+            return Some(i + 1);
+        }
+        prev = c.level();
+    }
+    None
+}
+
+/// Sanity checks on a level loaded from persistence before it is trusted
+/// as part of a tower: non-void, strictly deeper than its predecessor,
+/// same process count, and anchored at the same base complex. The store's
+/// checksums make corruption here unlikely; this is defense in depth so a
+/// bad entry degrades to a rebuild, never to a wrong domain.
+fn loaded_level_is_sound(c: &Complex, prev: &Complex, inputs: &Complex) -> bool {
+    c.facet_count() > 0
+        && c.level() > prev.level()
+        && c.num_processes() == inputs.num_processes()
+        && *c.base() == *inputs
 }
 
 /// [`affine_domain`] through a [`DomainCache`]: identical result, but
@@ -521,6 +720,67 @@ mod tests {
         let cached = set_consensus_verdict_cached(&mut cache, &t, &affine, 1, 2_000_000);
         let direct = set_consensus_verdict(&t, &affine, 1, 2_000_000);
         assert!(cached.is_solvable() && direct.is_solvable());
+    }
+
+    #[test]
+    fn alternating_keys_keep_both_towers_resident() {
+        // The old single-key cache thrashed to zero hits when two models
+        // (or input complexes) alternated. The LRU must retain both.
+        let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+        let affine = act_affine::fair_affine_task(&alpha);
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let rainbow = rainbow_inputs(&t);
+        let full = t.inputs().clone();
+
+        let mut cache = DomainCache::new();
+        cache.domain(&affine, &rainbow, 2);
+        cache.domain(&affine, &full, 1);
+        assert_eq!(cache.resident_towers(), 2);
+        assert_eq!(cache.cached_levels(), 1, "MRU tower is the `full` one");
+        // Switching back does not rebuild: the rainbow tower still holds
+        // both of its levels.
+        cache.domain(&affine, &rainbow, 1);
+        assert_eq!(cache.cached_levels(), 2);
+        assert_eq!(cache.resident_towers(), 2);
+
+        // Structurally equal inputs built independently (different Arcs)
+        // resolve to the same tower via the content hash.
+        let rainbow2 = rainbow_inputs(&t);
+        assert!(!rainbow.same_representation(&rainbow2));
+        cache.domain(&affine, &rainbow2, 2);
+        assert_eq!(cache.resident_towers(), 2);
+        assert_eq!(cache.cached_levels(), 2);
+    }
+
+    #[test]
+    fn overflowing_the_tower_capacity_evicts_lru_with_an_event() {
+        let sink = act_obs::MemorySink::shared();
+        act_obs::install(sink.clone());
+        let evictions_before = DOMAIN_CACHE_EVICTIONS.get();
+
+        let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+        let affine = act_affine::fair_affine_task(&alpha);
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let rainbow = rainbow_inputs(&t);
+        let full = t.inputs().clone();
+
+        let mut cache = DomainCache::with_capacity(1);
+        cache.domain(&affine, &rainbow, 1);
+        cache.domain(&affine, &full, 1); // evicts the rainbow tower
+        assert_eq!(cache.resident_towers(), 1);
+        assert_eq!(DOMAIN_CACHE_EVICTIONS.get() - evictions_before, 1);
+
+        act_obs::uninstall();
+        let evicts: Vec<String> = sink
+            .lines()
+            .iter()
+            .filter(|l| l.contains("\"ev\":\"domain.cache.evict\""))
+            .cloned()
+            .collect();
+        assert!(
+            evicts.iter().any(|l| l.contains("\"levels\":1")),
+            "eviction event carries the dropped tower depth: {evicts:?}"
+        );
     }
 
     #[test]

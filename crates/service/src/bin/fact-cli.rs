@@ -390,8 +390,18 @@ fn solve(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fa
     // One DomainCache across the deepening loop: each new ℓ extends the
     // R_A^ℓ tower by a single subdivision round instead of rebuilding.
     // The loop itself is `deepening_verdict`, shared with the server so
-    // both front ends return byte-identical verdicts.
+    // both front ends return byte-identical verdicts. With `--store`, the
+    // cache is backed by the tower store under `<store>/towers`, so a
+    // cold process reloads persisted R_A^ℓ levels instead of
+    // resubdividing them.
     let mut cache = DomainCache::new();
+    if let Some(store) = &store {
+        if let Some(dir) = store.disk_dir() {
+            if let Ok(towers) = act_service::TowerStore::open(dir) {
+                cache.set_persistence(std::sync::Arc::new(towers));
+            }
+        }
+    }
     let verdict = deepening_verdict(&mut cache, &t, &r_a, max_iters, &config);
     if let Some(store) = &store {
         // Only authoritative verdicts persist; a timed-out or exhausted

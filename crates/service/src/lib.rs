@@ -48,7 +48,8 @@ pub use protocol::{Request, RequestBody, Response, StatsBody, PROTOCOL_VERSION};
 pub use scheduler::{Scheduler, ServeConfig, Served, SolveQuery, Submitted};
 pub use server::{serve, ServeOptions};
 pub use store::{
-    content_hash128, fnv1a64, StoreKey, StoredVerdict, VerdictStore, STORE_FORMAT_VERSION,
+    content_hash128, fnv1a64, StoreKey, StoredVerdict, TowerKey, TowerStore, VerdictStore,
+    STORE_FORMAT_VERSION, TOWER_FORMAT_VERSION,
 };
 
 /// Queries answered from the store (memory or disk tier).
@@ -65,6 +66,15 @@ pub static SERVE_STORE_CORRUPT: Counter = Counter::new("serve.store.corrupt");
 pub static SERVE_ENGINE_RUNS: Counter = Counter::new("serve.engine.runs");
 /// Queries rejected with a backpressure reply (bounded queue full).
 pub static SERVE_REJECTED: Counter = Counter::new("serve.rejected");
+/// Domain-tower levels served from the tower store (each one is a
+/// subdivision round — an `apply_to` — the engine did not have to run).
+pub static SERVE_TOWER_HIT: Counter = Counter::new("serve.tower.hit");
+/// Tower-store lookups that found no entry and fell back to building the
+/// level in-process.
+pub static SERVE_TOWER_MISS: Counter = Counter::new("serve.tower.miss");
+/// Tower-store entries that failed to load (truncated, bad checksum, bad
+/// payload) and were degraded to counted misses.
+pub static SERVE_TOWER_CORRUPT: Counter = Counter::new("serve.tower.corrupt");
 /// Instantaneous scheduler queue depth (jobs admitted, not yet picked
 /// up by a worker).
 pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new("serve.queue_depth");

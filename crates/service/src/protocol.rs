@@ -128,6 +128,13 @@ pub struct StatsBody {
     pub engine_runs: u64,
     /// Store entries degraded to misses (truncated / bad checksum).
     pub store_corrupt: u64,
+    /// Domain-tower levels served from the tower store (subdivision
+    /// rounds the engine did not have to run).
+    pub tower_hits: u64,
+    /// Tower-store lookups that found nothing and built in-process.
+    pub tower_misses: u64,
+    /// Tower-store entries degraded to counted misses.
+    pub tower_corrupt: u64,
     /// Queries rejected with a backpressure reply.
     pub rejected: u64,
     /// Jobs admitted and waiting for a worker right now.

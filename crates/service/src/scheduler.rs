@@ -185,6 +185,10 @@ struct TowerMap {
 /// The batching, single-flight scheduler over a shared [`VerdictStore`].
 pub struct Scheduler {
     store: Arc<VerdictStore>,
+    /// Persistent `R_A^ℓ` towers, opened under the verdict store's disk
+    /// directory (`<store>/towers`). `None` for memory-only stores: no
+    /// disk, nothing to warm-restart from.
+    tower_store: Option<Arc<crate::TowerStore>>,
     config: ServeConfig,
     state: Mutex<SchedState>,
     job_ready: Condvar,
@@ -198,8 +202,13 @@ impl Scheduler {
     /// of identical queries first and assert that exactly one engine run
     /// serves them all.
     pub fn new(store: Arc<VerdictStore>, config: ServeConfig) -> Arc<Scheduler> {
+        let tower_store = store
+            .disk_dir()
+            .and_then(|dir| crate::TowerStore::open(dir).ok())
+            .map(Arc::new);
         Arc::new(Scheduler {
             store,
+            tower_store,
             config,
             state: Mutex::new(SchedState {
                 queue: VecDeque::new(),
@@ -284,6 +293,9 @@ impl Scheduler {
             coalesced: SERVE_COALESCED.get(),
             engine_runs: SERVE_ENGINE_RUNS.get(),
             store_corrupt: crate::SERVE_STORE_CORRUPT.get(),
+            tower_hits: crate::SERVE_TOWER_HIT.get(),
+            tower_misses: crate::SERVE_TOWER_MISS.get(),
+            tower_corrupt: crate::SERVE_TOWER_CORRUPT.get(),
             rejected: SERVE_REJECTED.get(),
             queue_depth: state.queue.len() as u64,
             inflight: (state.queue.len() + state.running) as u64,
@@ -363,9 +375,16 @@ impl Scheduler {
         if alpha.alpha(ColorSet::full(adversary.num_processes())) == 0 {
             return Err("the model admits no runs".into());
         }
+        let mut cache = DomainCache::new();
+        if let Some(ts) = &self.tower_store {
+            // Store-backed towers: a fresh slot (cold process, or one
+            // rebuilt after an eviction or panic) reloads its levels from
+            // disk instead of resubdividing.
+            cache.set_persistence(Arc::clone(ts) as Arc<dyn fact::TowerPersistence>);
+        }
         let slot = Arc::new(Mutex::new(TowerSlot {
             affine: fair_affine_task(&alpha),
-            cache: DomainCache::new(),
+            cache,
         }));
         towers.slots.insert(tower_key, (Arc::clone(&slot), clock));
         while towers.slots.len() > self.config.tower_capacity.max(1) {

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use act_tasks::ENGINE_SCHEMA_VERSION;
-use act_topology::{VertexId, VertexMap};
+use act_topology::{Complex, VertexId, VertexMap};
 use fact::{ModelSpec, Solvability, TaskSpec};
 use serde::{Deserialize, Serialize};
 
@@ -332,6 +332,13 @@ impl VerdictStore {
         true
     }
 
+    /// The disk-tier directory, when one is configured. The tower store
+    /// ([`TowerStore`]) nests under it so verdict entries and tower
+    /// entries share one `--store` root without mixing files.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
     /// Number of entries currently resident in the memory tier.
     pub fn memory_len(&self) -> usize {
         self.memory
@@ -409,6 +416,279 @@ impl VerdictStore {
                 .str("kind", kind)
                 .emit();
         }
+    }
+}
+
+/// Version of the on-disk tower entry format. Bumping it makes every
+/// existing tower entry a clean miss.
+pub const TOWER_FORMAT_VERSION: u32 = 1;
+
+/// Sub-directory of the verdict store root that holds tower entries —
+/// kept apart so tooling that enumerates `*.json` verdict entries at the
+/// root is unaffected by tower persistence.
+const TOWER_SUBDIR: &str = "towers";
+
+/// The canonical identity of one persisted domain-tower level
+/// `R_A^ℓ(I)`: the content hashes of the affine task's complex and the
+/// input complex (see [`act_topology::Complex::content_hash`]) plus the
+/// 1-based level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TowerKey {
+    /// Content hash of `affine.complex()`.
+    pub affine_hash: u128,
+    /// Content hash of the input complex the tower is built over.
+    pub inputs_hash: u128,
+    /// The 1-based tower level.
+    pub level: u32,
+}
+
+impl TowerKey {
+    /// The canonical text the content address is derived from. Includes
+    /// both the entry format and the portable-complex layout version, so
+    /// bumping either makes old entries invisible (a clean miss) instead
+    /// of counted corruption.
+    fn canonical_text(&self) -> String {
+        format!(
+            "fact-tower|{:032x}|{:032x}|{}|{}|{}",
+            self.affine_hash,
+            self.inputs_hash,
+            self.level,
+            TOWER_FORMAT_VERSION,
+            act_topology::PORTABLE_FORMAT_VERSION,
+        )
+    }
+
+    /// The 128-bit content address of this tower level.
+    pub fn content_hash(&self) -> u128 {
+        content_hash128(self.canonical_text().as_bytes())
+    }
+}
+
+/// On-disk envelope of one tower level. Flat named fields only; the
+/// complex rides as the hex encoding of its portable byte form
+/// ([`act_topology::Complex::encode_portable`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct TowerDiskEntry {
+    format: u32,
+    affine_hash: String,
+    inputs_hash: String,
+    level: u32,
+    portable_format: u32,
+    complex_hex: String,
+    checksum: u64,
+}
+
+impl TowerDiskEntry {
+    fn new(key: &TowerKey, domain: &act_topology::Complex) -> TowerDiskEntry {
+        let mut e = TowerDiskEntry {
+            format: TOWER_FORMAT_VERSION,
+            affine_hash: format!("{:032x}", key.affine_hash),
+            inputs_hash: format!("{:032x}", key.inputs_hash),
+            level: key.level,
+            portable_format: act_topology::PORTABLE_FORMAT_VERSION,
+            complex_hex: hex_encode(&domain.encode_portable()),
+            checksum: 0,
+        };
+        e.checksum = e.payload_checksum();
+        e
+    }
+
+    /// FNV-1a over every field except `checksum`, in a fixed order.
+    fn payload_checksum(&self) -> u64 {
+        let text = format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.format,
+            self.affine_hash,
+            self.inputs_hash,
+            self.level,
+            self.portable_format,
+            self.complex_hex,
+        );
+        fnv1a64(0xcbf29ce484222325, text.as_bytes())
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes = text.as_bytes();
+    let nibble = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+/// The content-addressed store of domain towers `R_A^ℓ(I)`: one
+/// checksummed JSON file per tower level, under the `towers/`
+/// sub-directory of a verdict-store root.
+///
+/// The store implements [`fact::TowerPersistence`], so any
+/// [`fact::DomainCache`] can be backed by it: on a warm restart the
+/// cache loads each missing level from here (zero subdivision rounds)
+/// instead of rebuilding the tower. Writes are atomic renames; loading
+/// follows the verdict store's corruption discipline — a truncated,
+/// unparsable, checksum-mismatched, or undecodable entry is a miss
+/// counted by [`SERVE_TOWER_CORRUPT`](crate::SERVE_TOWER_CORRUPT),
+/// never a panic, and a format-version bump is a *clean* miss. Hits and
+/// clean misses are counted by
+/// [`SERVE_TOWER_HIT`](crate::SERVE_TOWER_HIT) /
+/// [`SERVE_TOWER_MISS`](crate::SERVE_TOWER_MISS).
+pub struct TowerStore {
+    dir: PathBuf,
+    tmp_seq: AtomicU64,
+}
+
+impl TowerStore {
+    /// Opens (creating if needed) the tower store under `root/towers`,
+    /// where `root` is a verdict-store directory.
+    pub fn open(root: &Path) -> std::io::Result<TowerStore> {
+        let dir = root.join(TOWER_SUBDIR);
+        std::fs::create_dir_all(&dir)?;
+        Ok(TowerStore {
+            dir,
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The on-disk path of `key`'s entry.
+    pub fn entry_path(&self, key: &TowerKey) -> PathBuf {
+        self.dir.join(format!("{:032x}.json", key.content_hash()))
+    }
+
+    /// Loads and validates one tower level. Every failure mode degrades
+    /// to `None`; corruption (as opposed to absence or a format bump) is
+    /// counted and reported via `serve.tower.corrupt` events.
+    pub fn load(&self, key: &TowerKey) -> Option<act_topology::Complex> {
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                crate::SERVE_TOWER_CORRUPT.add(1);
+                return None;
+            }
+        };
+        let entry: TowerDiskEntry = match serde_json::from_str(&text) {
+            Ok(e) => e,
+            Err(_) => {
+                crate::SERVE_TOWER_CORRUPT.add(1);
+                self.emit_corrupt(&path, "parse");
+                return None;
+            }
+        };
+        if entry.format != TOWER_FORMAT_VERSION {
+            // An older/newer format is a clean miss, not corruption.
+            return None;
+        }
+        if entry.checksum != entry.payload_checksum() {
+            crate::SERVE_TOWER_CORRUPT.add(1);
+            self.emit_corrupt(&path, "checksum");
+            return None;
+        }
+        if entry.affine_hash != format!("{:032x}", key.affine_hash)
+            || entry.inputs_hash != format!("{:032x}", key.inputs_hash)
+            || entry.level != key.level
+            || entry.portable_format != act_topology::PORTABLE_FORMAT_VERSION
+        {
+            // A content-hash collision (or a hand-edited file): the
+            // payload is not the tower level this key names.
+            crate::SERVE_TOWER_CORRUPT.add(1);
+            self.emit_corrupt(&path, "key-mismatch");
+            return None;
+        }
+        let Some(bytes) = hex_decode(&entry.complex_hex) else {
+            crate::SERVE_TOWER_CORRUPT.add(1);
+            self.emit_corrupt(&path, "payload-hex");
+            return None;
+        };
+        match act_topology::Complex::decode_portable(&bytes) {
+            Ok(c) => Some(c),
+            Err(_) => {
+                crate::SERVE_TOWER_CORRUPT.add(1);
+                self.emit_corrupt(&path, "payload-decode");
+                None
+            }
+        }
+    }
+
+    /// Persists one tower level under `key` (atomic rename). A failed
+    /// write is a warm-cache loss, never an error for the caller.
+    pub fn store(&self, key: &TowerKey, domain: &act_topology::Complex) {
+        let path = self.entry_path(key);
+        let entry = TowerDiskEntry::new(key, domain);
+        let json = match serde_json::to_string(&entry) {
+            Ok(j) => j,
+            Err(_) => return,
+        };
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = std::fs::write(&tmp, json).and_then(|_| std::fs::rename(&tmp, &path));
+        if let Err(e) = write {
+            if act_obs::enabled() {
+                act_obs::event("serve.tower.write_failed")
+                    .str("error", &e.to_string())
+                    .emit();
+            }
+        }
+    }
+
+    fn emit_corrupt(&self, path: &Path, kind: &str) {
+        if act_obs::enabled() {
+            act_obs::event("serve.tower.corrupt")
+                .str("path", &path.display().to_string())
+                .str("kind", kind)
+                .emit();
+        }
+    }
+}
+
+impl fact::TowerPersistence for TowerStore {
+    fn load_level(&self, affine_hash: u128, inputs_hash: u128, level: usize) -> Option<Complex> {
+        let key = TowerKey {
+            affine_hash,
+            inputs_hash,
+            level: level as u32,
+        };
+        match self.load(&key) {
+            Some(c) => {
+                crate::SERVE_TOWER_HIT.add(1);
+                Some(c)
+            }
+            None => {
+                crate::SERVE_TOWER_MISS.add(1);
+                None
+            }
+        }
+    }
+
+    fn store_level(&self, affine_hash: u128, inputs_hash: u128, level: usize, domain: &Complex) {
+        let key = TowerKey {
+            affine_hash,
+            inputs_hash,
+            level: level as u32,
+        };
+        self.store(&key, domain);
     }
 }
 

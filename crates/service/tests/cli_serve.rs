@@ -192,12 +192,20 @@ fn a_corrupted_store_entry_recomputes_instead_of_lying() {
     };
     let cold = solve();
     assert!(cold.status.success());
-    // Damage every stored entry in place.
-    for entry in std::fs::read_dir(&dir).unwrap() {
-        let path = entry.unwrap().path();
-        let text = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+    // Damage every stored entry in place — verdict entries at the root
+    // and persisted tower levels under `towers/` alike.
+    fn damage_all(dir: &std::path::Path) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                damage_all(&path);
+            } else {
+                let text = std::fs::read_to_string(&path).unwrap();
+                std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+            }
+        }
     }
+    damage_all(&dir);
     let recomputed = solve();
     assert!(recomputed.status.success(), "{recomputed:?}");
     let stdout = String::from_utf8(recomputed.stdout).unwrap();

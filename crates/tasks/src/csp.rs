@@ -98,6 +98,12 @@ pub(crate) struct State {
     /// residue is always re-validated against the current domains
     /// before it is trusted.
     pub(crate) residues: Vec<u32>,
+    /// dom/wdeg weights: per variable, the summed weight of its
+    /// constraints. Every constraint starts at weight 1; each wipe-out a
+    /// constraint causes bumps all of its members. Conflict weights are
+    /// *not* undone on backtrack — they are the search's memory of where
+    /// the hard conflicts live, steering branching toward them.
+    pub(crate) wdeg: Vec<u64>,
 }
 
 impl Tables {
@@ -132,6 +138,11 @@ impl Tables {
             count,
             trail: Vec::new(),
             residues: vec![NO_RESIDUE; self.residue_len],
+            wdeg: self
+                .constraints_of
+                .iter()
+                .map(|cs| cs.len().max(1) as u64)
+                .collect(),
         }
     }
 }
@@ -246,12 +257,31 @@ pub(crate) fn propagate(
                 stats.residue_misses += 1;
                 let supports = &c.data.supports[c.data.pos_off[pos] as usize + val as usize];
                 match supports.iter().find(|&&t| state.tuple_valid(tables, c, t)) {
-                    Some(&t) => state.residues[ridx] = t,
+                    Some(&t) => {
+                        // Seed the found tuple multi-directionally: it
+                        // witnesses *every* (position, value) pair it
+                        // covers, so future lookups from the sibling
+                        // positions start from a fresh residue instead
+                        // of a table scan.
+                        let base = t as usize * c.data.arity;
+                        for pos2 in 0..c.data.arity {
+                            let val2 = c.data.tuples[base + pos2];
+                            let off2 = c.data.pos_off[pos2];
+                            state.residues
+                                [c.residue_base as usize + off2 as usize + val2 as usize] = t;
+                        }
+                    }
                     None => {
                         state.remove(tables, m, val);
                         stats.prunes += 1;
                         removed = true;
                         if state.count[m] == 0 {
+                            // dom/wdeg: this constraint caused a
+                            // wipe-out — bump the weight of all of its
+                            // members so branching gravitates here.
+                            for &cm in c.members.iter() {
+                                state.wdeg[cm as usize] += 1;
+                            }
                             stats.wipeouts += 1;
                             return false;
                         }

@@ -1,11 +1,20 @@
-//! The map-search engine: trail-backtracking MRV search over the bitset
-//! CSP of [`crate::csp`], run serially or fanned out over scoped worker
-//! threads that split the root variable's candidate values.
+//! The map-search engine: trail-backtracking conflict-directed dom/wdeg
+//! search over the bitset CSP of [`crate::csp`], run serially or fanned
+//! out over scoped worker threads that split the root variable's
+//! candidate values.
+//!
+//! Branching minimizes `domain size / conflict weight` ([`pick_branch_var`]):
+//! every constraint starts at weight 1, and each wipe-out a constraint
+//! causes bumps all of its members, so the search gravitates toward the
+//! variables implicated in past conflicts. With no conflicts seen the
+//! rule degrades to plain MRV. Root branches cleanly refuted (`NoMap`,
+//! never a budget/deadline cut) are recorded in a shared nogood store so
+//! the serial retry of a panicked chunk never redoes finished work.
 //!
 //! # Parallel protocol
 //!
-//! After the root GAC fixpoint, the engine picks the same
-//! smallest-domain variable the serial search would branch on first and
+//! After the root GAC fixpoint, the engine picks the same dom/wdeg
+//! variable the serial search would branch on first and
 //! partitions its values into contiguous chunks, one per worker
 //! (reusing [`act_topology::parallel_map_ranges_catch`], the subdivision
 //! engine's deterministic fork/join with panic containment). Each worker
@@ -42,6 +51,7 @@
 //! subtree with no map (no worker ran out of budget or time, and no
 //! branch was lost to a panic), `Exhausted`/`TimedOut` otherwise.
 
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -119,7 +129,11 @@ pub static ENGINE_DEGRADED: act_obs::Counter = act_obs::Counter::new("engine.deg
 /// stored verdict or witness disagree with what the engine would compute
 /// today — stale entries then become clean cache misses instead of
 /// wrong answers.
-pub const ENGINE_SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 = plain MRV branching; 2 = conflict-directed dom/wdeg
+/// branching with multi-directional residues (different witnesses for
+/// the same solvable instance).
+pub const ENGINE_SCHEMA_VERSION: u32 = 2;
 
 /// Deterministic fault-injection hooks for the parallel engine, used by
 /// the chaos suite: arm a root-branch index and the next parallel map
@@ -247,17 +261,29 @@ enum Assign {
     Aborted,
 }
 
-/// Recursive MRV backtracking over the shared tables. Leaves the state
-/// fully assigned on [`Assign::Found`].
+/// Picks the unassigned variable minimizing `count / wdeg` — classic
+/// conflict-directed dom/wdeg branching. Compared by cross-multiplication
+/// (`count[a]·wdeg[b] < count[b]·wdeg[a]`) so no floats are involved;
+/// ties break on the lower index, which keeps the pick deterministic and
+/// degrades to plain MRV while no conflicts have been seen (all weights
+/// equal). `None` means every domain is a singleton.
+fn pick_branch_var(tables: &Tables, state: &State) -> Option<usize> {
+    (0..tables.vars.len())
+        .filter(|&i| state.count[i] > 1)
+        .min_by(|&a, &b| {
+            let lhs = state.count[a] as u64 * state.wdeg[b];
+            let rhs = state.count[b] as u64 * state.wdeg[a];
+            lhs.cmp(&rhs).then(a.cmp(&b))
+        })
+}
+
+/// Recursive dom/wdeg backtracking over the shared tables. Leaves the
+/// state fully assigned on [`Assign::Found`].
 fn search(tables: &Tables, state: &mut State, stats: &mut SearchStats, limits: &Limits) -> Assign {
     if limits.abort.load(Ordering::Relaxed) {
         return limits.abort_kind();
     }
-    // Pick the unassigned variable with the smallest domain > 1.
-    let var = (0..tables.vars.len())
-        .filter(|&i| state.count[i] > 1)
-        .min_by_key(|&i| state.count[i]);
-    let var = match var {
+    let var = match pick_branch_var(tables, state) {
         None => return Assign::Found, // all singletons and GAC-consistent
         Some(v) => v,
     };
@@ -312,6 +338,41 @@ fn record_witness(best: &Mutex<Option<(usize, VertexMap)>>, branch: usize, map: 
     }
 }
 
+/// Shared nogood store of root branch *values* proven `NoMap` by a
+/// clean, complete refutation (a root-level wipe-out or an exhausted
+/// subtree — never a budget, deadline, or abort cut, which leave the
+/// subtree unexplored). A recorded value may be skipped soundly by any
+/// later attempt at the same branch: the serial retry of a panicked
+/// chunk reuses the branches its worker finished before dying. The set
+/// is keyed by value, not branch index, so it stays meaningful across
+/// the retry's re-enumeration. Poisoned-lock recovery matches
+/// [`record_witness`]: the set only ever grows by completed insertions.
+struct NogoodStore {
+    refuted: Mutex<HashSet<u32>>,
+}
+
+impl NogoodStore {
+    fn new() -> NogoodStore {
+        NogoodStore {
+            refuted: Mutex::new(HashSet::new()),
+        }
+    }
+
+    fn contains(&self, val: u32) -> bool {
+        self.refuted
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .contains(&val)
+    }
+
+    fn record(&self, val: u32) {
+        self.refuted
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(val);
+    }
+}
+
 /// Per-worker report for telemetry and verdict aggregation.
 struct WorkerReport {
     id: usize,
@@ -329,6 +390,8 @@ fn emit_worker_event(report: &WorkerReport) {
             .u64("wipeouts", report.stats.wipeouts as u64)
             .u64("residue_hits", report.stats.residue_hits as u64)
             .u64("residue_misses", report.stats.residue_misses as u64)
+            .u64("nogoods_recorded", report.stats.nogoods_recorded as u64)
+            .u64("nogoods_skipped", report.stats.nogoods_skipped as u64)
             .str("reason", report.reason)
             .emit();
     }
@@ -368,11 +431,9 @@ pub(crate) fn run(
         deadline,
     };
 
-    // The root branching variable: the serial search's first MRV pick.
-    let split = (0..tables.vars.len())
-        .filter(|&i| root.count[i] > 1)
-        .min_by_key(|&i| root.count[i]);
-    let split = match split {
+    // The root branching variable: the serial search's first dom/wdeg
+    // pick (which at the root, before any conflict, is the MRV pick).
+    let split = match pick_branch_var(&tables, &root) {
         None => {
             // GAC alone solved it.
             stats.workers = 1;
@@ -407,6 +468,7 @@ pub(crate) fn run(
     // The winning witness is the one from the lowest branch index that
     // reported Found — a deterministic rule given the reported set.
     let best: Mutex<Option<(usize, VertexMap)>> = Mutex::new(None);
+    let nogoods = NogoodStore::new();
     let worker_id = AtomicUsize::new(0);
     let chunk_results = parallel_map_ranges_catch(branches.len(), workers, |range| {
         let id = worker_id.fetch_add(1, Ordering::Relaxed);
@@ -425,9 +487,13 @@ pub(crate) fn run(
                 }
                 break;
             }
+            if nogoods.contains(branches[b]) {
+                wstats.nogoods_skipped += 1;
+                continue;
+            }
             let mark = state.trail.len();
             assign(&tables, &mut state, split, branches[b]);
-            if propagate(&tables, &mut state, Some(split), &mut wstats) {
+            let refuted = if propagate(&tables, &mut state, Some(split), &mut wstats) {
                 match search(&tables, &mut state, &mut wstats, &limits) {
                     Assign::Found => {
                         let map = extract_map(&tables, &state);
@@ -449,8 +515,15 @@ pub(crate) fn run(
                         reason = "aborted";
                         break;
                     }
-                    Assign::NoMap => {}
+                    Assign::NoMap => true,
                 }
+            } else {
+                // A root-level wipe-out refutes the branch outright.
+                true
+            };
+            if refuted {
+                nogoods.record(branches[b]);
+                wstats.nogoods_recorded += 1;
             }
             state.undo_to(&tables, mark);
         }
@@ -497,6 +570,12 @@ pub(crate) fn run(
                         }
                         break;
                     }
+                    // The panicked worker may have cleanly refuted this
+                    // branch before dying — its nogood spares the retry.
+                    if nogoods.contains(branches[b]) {
+                        wstats.nogoods_skipped += 1;
+                        continue;
+                    }
                     let attempt = catch_unwind(AssertUnwindSafe(|| {
                         chaos::maybe_panic(b);
                         let mut state = root.clone();
@@ -522,6 +601,10 @@ pub(crate) fn run(
                         }
                         Ok((outcome, map, bstats)) => {
                             wstats.absorb(&bstats);
+                            if matches!(outcome, Assign::NoMap) {
+                                nogoods.record(branches[b]);
+                                wstats.nogoods_recorded += 1;
+                            }
                             match outcome {
                                 Assign::Found => {
                                     if let Some(map) = map {

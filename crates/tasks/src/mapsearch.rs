@@ -95,6 +95,13 @@ pub struct SearchStats {
     pub residue_hits: usize,
     /// GAC residual-support checks that had to rescan the table.
     pub residue_misses: usize,
+    /// Root branches recorded as nogoods: proven `NoMap` by a clean,
+    /// complete refutation (never from a budget / deadline / abort cut).
+    pub nogoods_recorded: usize,
+    /// Root branches skipped because the shared nogood store already
+    /// held a clean refutation (mostly the serial-retry path reusing
+    /// work a panicked worker finished before dying).
+    pub nogoods_skipped: usize,
     /// Worker panics caught and contained by the parallel engine (each
     /// one triggers a serial retry of the poisoned chunk).
     pub caught_panics: usize,
@@ -123,6 +130,8 @@ impl SearchStats {
         self.wipeouts += other.wipeouts;
         self.residue_hits += other.residue_hits;
         self.residue_misses += other.residue_misses;
+        self.nogoods_recorded += other.nogoods_recorded;
+        self.nogoods_skipped += other.nogoods_skipped;
     }
 }
 
@@ -204,6 +213,8 @@ pub fn find_carried_map_with_config(
             .u64("residue_hits", stats.residue_hits as u64)
             .u64("residue_misses", stats.residue_misses as u64)
             .f64("residue_hit_rate", stats.residue_hit_rate())
+            .u64("nogoods_recorded", stats.nogoods_recorded as u64)
+            .u64("nogoods_skipped", stats.nogoods_skipped as u64)
             .u64("caught_panics", stats.caught_panics as u64)
             .bool("degraded", stats.degraded)
             .emit();

@@ -46,6 +46,7 @@ mod intern;
 mod maps;
 mod osp;
 mod parallel;
+mod portable;
 mod simplex;
 mod subdivision;
 
@@ -65,5 +66,6 @@ pub use osp::{fubini, ordered_set_partitions, osp_table, Osp, OspError};
 pub use parallel::{
     parallel_filter_facets, parallel_map_ranges, parallel_map_ranges_catch, subdivision_threads,
 };
+pub use portable::{PortableError, PORTABLE_FORMAT_VERSION};
 pub use simplex::{Faces, Simplex, VertexId};
 pub use subdivision::{all_recipes, Recipe};

@@ -1,0 +1,101 @@
+//! Exact-cost regression tests for the incremental [`DomainCache`]: the
+//! whole point of the cache is that deepening a tower `R_A^ℓ(I)` by one
+//! level runs exactly **one** subdivision round, and that a restart
+//! backed by a persisted tower store runs **zero**. These tests pin
+//! those counts against [`act_affine::APPLY_CALLS`], so a regression to
+//! rebuild-on-every-query (the original no-op cache bug) fails loudly
+//! instead of just showing up as a slow benchmark.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use act_adversary::AgreementFunction;
+use act_affine::{fair_affine_task, AffineTask, APPLY_CALLS};
+use act_service::TowerStore;
+use act_topology::Complex;
+use fact::{affine_domain, DomainCache, TowerPersistence};
+
+/// [`APPLY_CALLS`] is process-global: tests that assert exact deltas
+/// must not interleave with anything else that subdivides.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fact-tower-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small affine task over the 2-process standard input complex.
+fn small_instance() -> (AffineTask, Complex) {
+    let alpha = AgreementFunction::k_concurrency(2, 2);
+    (fair_affine_task(&alpha), Complex::standard(2))
+}
+
+#[test]
+fn extending_a_tower_by_one_level_costs_exactly_one_apply_to() {
+    let _guard = serial();
+    let (r_a, inputs) = small_instance();
+    let mut cache = DomainCache::new();
+
+    let before = APPLY_CALLS.get();
+    cache.domain(&r_a, &inputs, 1);
+    assert_eq!(APPLY_CALLS.get() - before, 1, "ℓ = 1 is one round");
+
+    // Deepening 1 → 2 reuses the cached level and runs exactly one
+    // more subdivision round — never a full rebuild.
+    let before = APPLY_CALLS.get();
+    let d2 = cache.domain(&r_a, &inputs, 2).clone();
+    assert_eq!(APPLY_CALLS.get() - before, 1, "ℓ = 2 extends by one round");
+    assert_eq!(d2, affine_domain(&r_a, &inputs, 2));
+
+    // Re-asking any already-built level is free.
+    let before = APPLY_CALLS.get();
+    assert_eq!(cache.domain(&r_a, &inputs, 2), &d2);
+    assert!(cache.domain(&r_a, &inputs, 1).facet_count() > 0);
+    assert_eq!(APPLY_CALLS.get() - before, 0, "cached levels re-serve free");
+    assert_eq!(cache.cached_levels(), 2);
+}
+
+#[test]
+fn a_store_backed_warm_restart_runs_zero_apply_to() {
+    let _guard = serial();
+    let (r_a, inputs) = small_instance();
+    let dir = temp_dir("warm-restart");
+    let store = Arc::new(TowerStore::open(&dir).expect("open tower store"));
+
+    // A first lifetime builds the tower and persists every level.
+    {
+        let mut cache =
+            DomainCache::new().with_persistence(Arc::clone(&store) as Arc<dyn TowerPersistence>);
+        assert!(cache.domain(&r_a, &inputs, 2).facet_count() > 0);
+    }
+
+    // A restarted lifetime (fresh cache, same store) must load both
+    // levels instead of subdividing.
+    let before = APPLY_CALLS.get();
+    let mut restarted =
+        DomainCache::new().with_persistence(Arc::clone(&store) as Arc<dyn TowerPersistence>);
+    let d2 = restarted.domain(&r_a, &inputs, 2).clone();
+    assert_eq!(
+        APPLY_CALLS.get() - before,
+        0,
+        "a warm restart rebuilds nothing"
+    );
+    // …and what it loads is structurally identical to a scratch build.
+    assert_eq!(d2, affine_domain(&r_a, &inputs, 2));
+
+    // Deepening past the persisted levels costs exactly the one new
+    // round, which is then itself persisted for the next lifetime.
+    let before = APPLY_CALLS.get();
+    restarted.domain(&r_a, &inputs, 3);
+    assert_eq!(APPLY_CALLS.get() - before, 1);
+
+    let before = APPLY_CALLS.get();
+    let mut third =
+        DomainCache::new().with_persistence(Arc::clone(&store) as Arc<dyn TowerPersistence>);
+    assert!(third.domain(&r_a, &inputs, 3).facet_count() > 0);
+    assert_eq!(APPLY_CALLS.get() - before, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

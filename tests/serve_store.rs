@@ -6,10 +6,10 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use act_service::{
-    Scheduler, ServeConfig, Served, SolveQuery, StoreKey, StoredVerdict, Submitted, VerdictStore,
-    SERVE_ENGINE_RUNS, SERVE_STORE_CORRUPT,
+    Scheduler, ServeConfig, Served, SolveQuery, StoreKey, StoredVerdict, Submitted, TowerStore,
+    VerdictStore, SERVE_ENGINE_RUNS, SERVE_STORE_CORRUPT, SERVE_TOWER_CORRUPT,
 };
-use fact::{ModelSpec, TaskSpec};
+use fact::{ModelSpec, TaskSpec, TowerPersistence};
 
 /// Serializes the tests that diff process-global counters.
 fn serial() -> MutexGuard<'static, ()> {
@@ -158,6 +158,55 @@ fn schema_and_format_bumps_are_clean_misses() {
         corrupt_before,
         "version bumps must not count as corruption"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_tower_entries_degrade_to_counted_misses_and_recompute() {
+    let _guard = serial();
+    let dir = temp_dir("tower-corrupt");
+    let store = Arc::new(TowerStore::open(&dir).unwrap());
+    let alpha = act_adversary::AgreementFunction::k_concurrency(2, 2);
+    let r_a = act_affine::fair_affine_task(&alpha);
+    let inputs = act_topology::Complex::standard(2);
+
+    // A first lifetime persists the tower levels…
+    {
+        let mut cache = fact::DomainCache::new()
+            .with_persistence(Arc::clone(&store) as Arc<dyn TowerPersistence>);
+        assert!(cache.domain(&r_a, &inputs, 2).facet_count() > 0);
+    }
+    // …which are then damaged on disk (truncated mid-entry).
+    let towers_dir = dir.join("towers");
+    let mut damaged = 0;
+    for entry in std::fs::read_dir(&towers_dir).unwrap() {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        damaged += 1;
+    }
+    assert!(damaged >= 2, "both levels were persisted");
+
+    // A restarted lifetime must count the corruption, fall back to
+    // building from scratch, and still produce the exact domain.
+    let corrupt_before = SERVE_TOWER_CORRUPT.get();
+    let mut restarted =
+        fact::DomainCache::new().with_persistence(Arc::clone(&store) as Arc<dyn TowerPersistence>);
+    let recomputed = restarted.domain(&r_a, &inputs, 2).clone();
+    assert_eq!(
+        SERVE_TOWER_CORRUPT.get() - corrupt_before,
+        damaged as u64,
+        "every damaged entry is a counted miss, never a panic"
+    );
+    assert_eq!(recomputed, fact::affine_domain(&r_a, &inputs, 2));
+
+    // The recompute re-persisted sound entries: a third lifetime loads
+    // them cleanly with no further corruption counted.
+    let corrupt_before = SERVE_TOWER_CORRUPT.get();
+    let mut third =
+        fact::DomainCache::new().with_persistence(Arc::clone(&store) as Arc<dyn TowerPersistence>);
+    assert_eq!(third.domain(&r_a, &inputs, 2), &recomputed);
+    assert_eq!(SERVE_TOWER_CORRUPT.get(), corrupt_before);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -101,6 +101,20 @@ pub fn record_result_metric(id: &str, key: &str, value: f64) {
         .push((id.to_string(), key.to_string(), value));
 }
 
+/// Reads back the mean of an already-reported benchmark, in
+/// nanoseconds. This is how benches derive metrics (speedups, ratios)
+/// from *the same run* that produced the result rows — computing a
+/// metric from a separate ad-hoc timing loop makes the `metrics` block
+/// disagree with the rows it claims to summarize.
+pub fn result_mean_ns(id: &str) -> Option<u64> {
+    RESULTS
+        .lock()
+        .unwrap()
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.mean_ns as u64)
+}
+
 fn set_extra(extra: &mut Vec<(String, f64)>, key: &str, value: f64) {
     if let Some(slot) = extra.iter_mut().find(|(k, _)| k == key) {
         slot.1 = value;
@@ -369,6 +383,15 @@ mod tests {
         assert_eq!(results[0].id, "a/1", "first-appearance order is stable");
         assert_eq!(results[0].mean_ns, 30, "the re-run supersedes the first");
         assert_eq!(results[1].id, "b/1");
+    }
+
+    #[test]
+    fn result_mean_ns_reads_back_reported_rows() {
+        let _guard = registry_guard();
+        reset_registry();
+        assert_eq!(result_mean_ns("d/1"), None);
+        report("d/1", &[Duration::from_nanos(40), Duration::from_nanos(60)]);
+        assert_eq!(result_mean_ns("d/1"), Some(50));
     }
 
     #[test]

@@ -250,12 +250,19 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Advance one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole run of plain (unescaped) bytes
+                    // with one UTF-8 validation. `"` and `\` are ASCII
+                    // and never occur inside a multi-byte sequence, so
+                    // splitting at them is UTF-8-safe.
+                    let rest = &self.bytes[self.pos..];
+                    let end = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .ok_or_else(|| Error::msg("unterminated string"))?;
+                    let chunk = std::str::from_utf8(&rest[..end])
                         .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    s.push_str(chunk);
+                    self.pos += end;
                 }
                 None => return Err(Error::msg("unterminated string")),
             }
