@@ -30,7 +30,9 @@
 //! verified against this `R_A` for `n ≤ 4`.
 
 use act_adversary::AgreementFunction;
-use act_topology::{parallel_filter_facets, subdivision_threads, Complex, Simplex};
+use act_topology::{
+    parallel_filter_facets, subdivision_threads, ColorPerm, ColorSet, Complex, Simplex,
+};
 
 use crate::contention::is_contention_simplex;
 use crate::critical::CriticalAnalysis;
@@ -107,6 +109,102 @@ fn restrict_to_fair(
         |crit, sigma| facet_satisfies_p(chr2, crit, sigma, side),
     );
     chr2.sub_complex(kept)
+}
+
+/// The result of the symmetry-quotiented `R_A` census
+/// ([`fair_census_quotiented`]): facet counts obtained from one
+/// representative `Chr`-facet per orbit, without materializing `Chr² s`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FairCensus {
+    /// The facet count of `R_A`: Σ over orbits of
+    /// `orbit_size × |surviving representative-expansion facets|`.
+    pub facet_count: usize,
+    /// Number of `Chr s` facet orbits examined (compositions of `n`:
+    /// 4, 8, 16 for n = 3, 4, 5 — versus 13, 75, 541 facets).
+    pub orbit_count: usize,
+    /// The facet count of the ambient `Chr² s`, from the same census.
+    pub chr2_facet_count: usize,
+}
+
+/// Whether an agreement function is invariant under every color
+/// permutation. Checked on the adjacent transpositions, which generate
+/// `S_n`. Symmetric adversaries (`k`-obstruction-free, `t`-resilient,
+/// wait-free) qualify; Figure 5b's adversary does not.
+pub fn alpha_is_symmetric(alpha: &AgreementFunction) -> bool {
+    let n = alpha.num_processes();
+    for i in 0..n.saturating_sub(1) {
+        let mut images: Vec<usize> = (0..n).collect();
+        images.swap(i, i + 1);
+        let perm = ColorPerm::from_images(&images).expect("a transposition is a bijection");
+        for s in ColorSet::full(n).subsets() {
+            if alpha.alpha(perm.apply_colors(s)) != alpha.alpha(s) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The symmetry-quotiented `R_A` census with the default (union) side
+/// condition; see [`fair_census_quotiented_with`].
+pub fn fair_census_quotiented(alpha: &AgreementFunction) -> Option<FairCensus> {
+    fair_census_quotiented_with(alpha, CriticalSideCondition::Union)
+}
+
+/// Counts the facets of `R_A` through the color-symmetry quotient: the
+/// facets of `Chr s` are partitioned into orbits (compositions of `n`),
+/// only one representative per orbit is expanded to level 2 (against the
+/// *full* `Chr s` as parent, so carrier and view lookups are exact), and
+/// Definition 9 is evaluated on those expansions alone. Each surviving
+/// representative facet stands for `orbit_size` facets of `R_A`.
+///
+/// This avoids building `Chr² s` entirely — 16 representative expansions
+/// of 541 recipes each instead of 292 681 facets at `n = 5` — which is
+/// what makes the n = 5 census tractable.
+///
+/// Sound only for color-symmetric agreement functions (Definition 9 is
+/// equivariant exactly when `α` is); returns `None` otherwise, and callers
+/// fall back to the direct [`fair_affine_task_with`] construction.
+///
+/// # Panics
+///
+/// Panics if `alpha` is structurally invalid or `α(Π) = 0`.
+pub fn fair_census_quotiented_with(
+    alpha: &AgreementFunction,
+    side: CriticalSideCondition,
+) -> Option<FairCensus> {
+    let n = alpha.num_processes();
+    alpha
+        .validate()
+        .expect("structurally valid agreement function");
+    assert!(
+        alpha.alpha(ColorSet::full(n)) >= 1,
+        "the model must admit at least one run (α(Π) ≥ 1)"
+    );
+    if !alpha_is_symmetric(alpha) {
+        return None;
+    }
+    let chr = Complex::standard(n).chromatic_subdivision();
+    let quotient = chr.chromatic_subdivision_quotiented();
+    let reps = quotient.representatives();
+    let mut crit = CriticalAnalysis::new(&chr, alpha);
+    let mut facet_count = 0usize;
+    let mut chr2_facet_count = 0usize;
+    for expansion in quotient.orbit_expansions() {
+        let size = expansion.orbit.orbit_size();
+        chr2_facet_count += size * expansion.rep_facets.len();
+        let surviving = expansion
+            .rep_facets
+            .iter()
+            .filter(|sigma| facet_satisfies_p(reps, &mut crit, sigma, side))
+            .count();
+        facet_count += size * surviving;
+    }
+    Some(FairCensus {
+        facet_count,
+        orbit_count: quotient.orbits().len(),
+        chr2_facet_count,
+    })
 }
 
 /// Whether every subset `θ` of the facet `σ` satisfies `P(θ, σ)`.
@@ -186,6 +284,69 @@ mod tests {
         let c3 = r3.complex().facet_count();
         assert!(c1 <= c2 && c2 <= c3, "{c1} ≤ {c2} ≤ {c3} violated");
         assert_eq!(c3, 169, "3-concurrency over 3 processes is wait-free");
+    }
+
+    #[test]
+    fn quotient_census_matches_direct_construction() {
+        // The tentpole parity gate: for every symmetric model, the
+        // quotiented census equals the facet count of the directly built
+        // R_A, and the ambient count equals |Chr² s|.
+        let models: Vec<AgreementFunction> = vec![
+            AgreementFunction::k_concurrency(3, 1),
+            AgreementFunction::k_concurrency(3, 2),
+            AgreementFunction::of_adversary(&Adversary::wait_free(3)),
+            AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1)),
+            AgreementFunction::k_concurrency(4, 2),
+        ];
+        for alpha in &models {
+            for side in [
+                CriticalSideCondition::Union,
+                CriticalSideCondition::TripleIntersection,
+            ] {
+                let census = fair_census_quotiented_with(alpha, side)
+                    .expect("symmetric model has a census");
+                let direct = fair_affine_task_with(alpha, side);
+                assert_eq!(
+                    census.facet_count,
+                    direct.complex().facet_count(),
+                    "model {alpha:?}, side {side:?}"
+                );
+                let n = alpha.num_processes();
+                let fubini2 = act_topology::fubini(n) * act_topology::fubini(n);
+                assert_eq!(census.chr2_facet_count as u64, fubini2);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_alpha_has_no_quotient_census() {
+        let alpha = AgreementFunction::of_adversary(&zoo::figure_5b_adversary());
+        assert!(!alpha_is_symmetric(&alpha));
+        assert!(fair_census_quotiented(&alpha).is_none());
+    }
+
+    #[test]
+    fn n5_census_is_reachable() {
+        // Previously unreachable: |Chr² s| = 541² = 292 681 facets at
+        // n = 5. The census touches only 16 representative expansions.
+        let alpha = AgreementFunction::k_concurrency(5, 2);
+        let census = fair_census_quotiented(&alpha).unwrap();
+        assert_eq!(census.orbit_count, 16, "compositions of 5");
+        assert_eq!(census.chr2_facet_count, 541 * 541);
+        assert!(census.facet_count > 0 && census.facet_count < 541 * 541);
+    }
+
+    #[test]
+    fn apply_to_shared_matches_apply_to() {
+        let alpha = AgreementFunction::k_concurrency(3, 1);
+        let task = fair_affine_task(&alpha);
+        let base = Complex::standard(3);
+        let l1_direct = task.apply_to(&base);
+        let l1_shared = task.apply_to_shared(&base);
+        assert_eq!(l1_direct, l1_shared, "level 1 byte-identical");
+        let l2_direct = task.apply_to(&l1_direct);
+        let l2_shared = task.apply_to_shared(&l1_shared);
+        assert_eq!(l2_direct, l2_shared, "level 2 byte-identical");
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub use contention::{
     are_contending, contention_complex, is_contention_simplex, max_contention_dim,
 };
 pub use critical::{CriticalAnalysis, CriticalInfo};
-pub use fair::{fair_affine_task, fair_affine_task_with, CriticalSideCondition};
+pub use fair::{
+    alpha_is_symmetric, fair_affine_task, fair_affine_task_with, fair_census_quotiented,
+    fair_census_quotiented_with, CriticalSideCondition, FairCensus,
+};
 pub use known::{
     k_obstruction_free_task, max_contention_of_task, t_resilient_task, wait_free_task,
 };

@@ -96,6 +96,15 @@ impl AffineTask {
             .complex
             .parent()
             .expect("level-2 complexes have a parent");
+        // Base vertices resolved by color, not by index: a color-permuted
+        // affine complex (see `act_topology::permute_complex`) keeps its
+        // vertex numbering, so vertex `i` need not carry color `i`.
+        let base = self.complex.base();
+        let mut base_vertex: HashMap<ProcessId, VertexId> = HashMap::new();
+        for i in 0..base.num_vertices() {
+            let v = VertexId::from_index(i);
+            base_vertex.insert(base.color(v), v);
+        }
         let mut out = Vec::new();
         'recipes: for recipe in all_recipes(participants, 2) {
             let r1 = &recipe[0];
@@ -104,8 +113,7 @@ impl AffineTask {
             let mut level1: HashMap<ProcessId, VertexId> = HashMap::new();
             for c in participants.iter() {
                 let view1 = r1.view_of(c).expect("recipe covers all participants");
-                let carrier0 =
-                    Simplex::from_vertices(view1.iter().map(|p| VertexId::from_index(p.index())));
+                let carrier0 = Simplex::from_vertices(view1.iter().map(|p| base_vertex[&p]));
                 match parent.find_vertex(c, &carrier0) {
                     Some(v) => {
                         level1.insert(c, v);
@@ -139,6 +147,18 @@ impl AffineTask {
     pub fn apply_to(&self, complex: &Complex) -> Complex {
         APPLY_CALLS.add(1);
         complex.subdivide_patterned(2, |colors| self.recipes(colors))
+    }
+
+    /// [`AffineTask::apply_to`] with symmetry-orbit sharing: one
+    /// representative facet per color-symmetry orbit of `complex` is
+    /// expanded directly and the rest are transported
+    /// ([`Complex::subdivide_patterned_orbit_shared`]). Byte-identical to
+    /// `apply_to`; facets whose recipe sets are not equivariant fall back
+    /// to direct expansion, so this is always correct — just faster when
+    /// the input (and the task) are symmetric.
+    pub fn apply_to_shared(&self, complex: &Complex) -> Complex {
+        APPLY_CALLS.add(1);
+        complex.subdivide_patterned_orbit_shared(2, |colors| self.recipes(colors))
     }
 
     /// The iterated task `L^m` over the standard simplex, a sub-complex of

@@ -21,7 +21,13 @@
 //!   reuse. CI enforces `cached_speedup_x100 >= 150` over `scratch`;
 //! * `warm_restart` — a *fresh* cache per sample, backed by a
 //!   `TowerStore` populated by an earlier process lifetime: every level
-//!   is decoded from disk, zero subdivisions run.
+//!   is decoded from disk, zero subdivisions run;
+//! * `orbit_hit` — the cache already holds the tower for one coloring
+//!   of the query and a *color-permuted* client asks for the same
+//!   domain: the resident tower is transported along the permutation
+//!   (`domain.cache.orbit_hit`), zero subdivisions run. Each sample
+//!   clones the seeded cache so every measurement is a fresh orbit
+//!   transport, not a resident-tower lookup.
 //!
 //! The `speedup_vs_pr2*` metrics compare against the mean recorded by
 //! the PR-2 engine for the same instance in `BENCH_perf_scaling.json`
@@ -31,13 +37,14 @@
 use std::sync::Arc;
 
 use act_adversary::{Adversary, AgreementFunction};
-use act_affine::fair_affine_task;
+use act_affine::{fair_affine_task, AffineTask};
 use act_bench::{banner, metric};
 use act_service::TowerStore;
 use act_tasks::{
     consensus, find_carried_map, find_carried_map_with_config, find_carried_map_with_stats,
     SearchConfig, SetConsensus, Task,
 };
+use act_topology::{permute_complex, ColorPerm};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fact::{affine_domain, DomainCache, TowerPersistence};
 
@@ -136,6 +143,25 @@ fn bench(c: &mut Criterion) {
             cache.domain(&r_a, &inputs, 2).facet_count()
         })
     });
+    g.bench_with_input(BenchmarkId::new("r_a_l2", "orbit_hit"), &(), |b, ()| {
+        // A color-permuted client asks for the tower the cache already
+        // holds in another coloring: the resident tower is transported
+        // along the permutation instead of being rebuilt. The seeded
+        // cache is cloned per sample (cheap Arc clones) so every
+        // measurement performs the transport, not a resident lookup.
+        let perm = ColorPerm::from_images(&[2, 0, 1]).expect("a 3-cycle is a bijection");
+        let r_a_p = AffineTask::new(
+            format!("{}-permuted", r_a.name()),
+            permute_complex(r_a.complex(), &perm),
+        );
+        let inputs_p = permute_complex(&inputs, &perm);
+        let mut seeded = DomainCache::new();
+        seeded.domain(&r_a, &inputs, 2);
+        b.iter(|| {
+            let mut cache = seeded.clone();
+            cache.domain(&r_a_p, &inputs_p, 2).facet_count()
+        })
+    });
     g.finish();
     let _ = std::fs::remove_dir_all(&store_dir);
 
@@ -171,16 +197,19 @@ fn bench(c: &mut Criterion) {
     let extend = row_mean_ns("p6_domain_build/r_a_l2/extend");
     let cached = row_mean_ns("p6_domain_build/r_a_l2/cached");
     let warm = row_mean_ns("p6_domain_build/r_a_l2/warm_restart");
+    let orbit = row_mean_ns("p6_domain_build/r_a_l2/orbit_hit");
     metric("domain_scratch_l2_mean_ns", scratch);
     metric("domain_extend_l2_mean_ns", extend);
     metric("domain_cached_l2_mean_ns", cached);
     metric("warm_restart_l2_mean_ns", warm);
+    metric("orbit_hit_l2_mean_ns", orbit);
     metric("cached_speedup_x100", scratch * 100 / cached.max(1));
     metric("extend_speedup_x100", scratch * 100 / extend.max(1));
     metric("warm_restart_speedup_x100", scratch * 100 / warm.max(1));
+    metric("orbit_hit_speedup_x100", scratch * 100 / orbit.max(1));
     println!(
         "R_A²(I): scratch {scratch} ns, extend {extend} ns, cached {cached} ns, \
-         warm restart {warm} ns"
+         warm restart {warm} ns, orbit hit {orbit} ns"
     );
 
     // Residual-support effectiveness on the reference search (telemetry

@@ -4,13 +4,18 @@
 //! function of system size.
 
 use act_adversary::{Adversary, AgreementFunction, SetconSolver};
-use act_affine::fair_affine_task;
+use act_affine::{fair_affine_task, fair_census_quotiented};
 use act_bench::{banner, metric};
 use act_tasks::{find_carried_map, SetConsensus};
 use act_topology::{subdivision_threads, ColorSet, Complex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fact::affine_domain;
 use std::time::Instant;
+
+/// The mean of row `id`, which must have been reported in this run.
+fn row_mean_ns(id: &str) -> u64 {
+    criterion::result_mean_ns(id).unwrap_or_else(|| panic!("benchmark row {id:?} did not run"))
+}
 
 fn print_experiment_data() {
     banner("P1-P5", "scaling envelope");
@@ -67,7 +72,21 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
-    // P2: R_A construction scaling.
+    // P2: R_A construction scaling — direct builds for n ≤ 4, and the
+    // symmetry-quotiented census alongside them. Quotiented and direct
+    // must agree on the facet count (verdict parity is checked before
+    // any timing), and the quotient is what makes n = 5 reachable at
+    // all: 16 representative orbit expansions instead of the 292 681
+    // facets of Chr² s.
+    for n in 3..=4usize {
+        let alpha = AgreementFunction::k_concurrency(n, n - 1);
+        let census = fair_census_quotiented(&alpha).expect("k-concurrency is color-symmetric");
+        assert_eq!(
+            census.facet_count,
+            fair_affine_task(&alpha).complex().facet_count(),
+            "quotiented census must agree with the direct build at n = {n}"
+        );
+    }
     let mut g = c.benchmark_group("p2_r_a_scaling");
     for n in 2..=4usize {
         g.bench_with_input(BenchmarkId::new("r_a_kof", n), &n, |b, &n| {
@@ -75,7 +94,46 @@ fn bench(c: &mut Criterion) {
             b.iter(|| fair_affine_task(&alpha).complex().facet_count())
         });
     }
+    for n in 3..=4usize {
+        g.bench_with_input(BenchmarkId::new("r_a_kof_quotient", n), &n, |b, &n| {
+            let alpha = AgreementFunction::k_concurrency(n, n - 1);
+            b.iter(|| {
+                fair_census_quotiented(&alpha)
+                    .expect("k-concurrency is color-symmetric")
+                    .facet_count
+            })
+        });
+    }
+    // Previously unreachable: the direct build materializes Chr² s
+    // (292 681 facets at n = 5) before Definition 9 prunes it; the
+    // quotiented census never builds it and lands in tens of
+    // milliseconds.
+    g.bench_with_input(BenchmarkId::new("r_a_kof", 5usize), &5usize, |b, &n| {
+        let alpha = AgreementFunction::k_concurrency(n, n - 1);
+        b.iter(|| {
+            fair_census_quotiented(&alpha)
+                .expect("k-concurrency is color-symmetric")
+                .facet_count
+        })
+    });
     g.finish();
+    let n5 = fair_census_quotiented(&AgreementFunction::k_concurrency(5, 4))
+        .expect("k-concurrency is color-symmetric");
+    metric("r_a_kof5_facets", n5.facet_count as u64);
+    metric("r_a_kof5_orbits", n5.orbit_count as u64);
+    metric("r_a_kof5_chr2_facets", n5.chr2_facet_count as u64);
+    // Quotiented-vs-direct speedup on the same instance, read back from
+    // the rows of this very run (CI perf-smoke enforces the n = 4 one).
+    let direct3 = row_mean_ns("p2_r_a_scaling/r_a_kof/3");
+    let quotient3 = row_mean_ns("p2_r_a_scaling/r_a_kof_quotient/3");
+    let direct4 = row_mean_ns("p2_r_a_scaling/r_a_kof/4");
+    let quotient4 = row_mean_ns("p2_r_a_scaling/r_a_kof_quotient/4");
+    metric("quotient_speedup_n3_x100", direct3 * 100 / quotient3.max(1));
+    metric("quotient_speedup_x100", direct4 * 100 / quotient4.max(1));
+    println!(
+        "R_A quotient: n = 3 direct {direct3} ns vs quotient {quotient3} ns, \
+         n = 4 direct {direct4} ns vs quotient {quotient4} ns"
+    );
 
     // P3: setcon scaling over adversary size.
     let mut g = c.benchmark_group("p3_setcon_scaling");
@@ -90,10 +148,17 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
-    // P5: serial vs parallel subdivision on Chr² s, n = 4.
+    // P5: serial vs parallel subdivision on Chr² s, n = 4 — fixed 1-,
+    // 2- and 4-worker rows (plus the ambient default when it differs)
+    // so the parallel-scaling claim is backed by recorded numbers on
+    // every run, not just on many-core hosts.
     let mut g = c.benchmark_group("p5_parallel_subdivision");
     let chr4 = Complex::standard(4).chromatic_subdivision();
-    for &threads in &[1usize, subdivision_threads()] {
+    let mut worker_rows = vec![1usize, 2, 4];
+    if !worker_rows.contains(&subdivision_threads()) {
+        worker_rows.push(subdivision_threads());
+    }
+    for &threads in &worker_rows {
         g.bench_with_input(
             BenchmarkId::new("chr2_n4", threads),
             &threads,
@@ -101,6 +166,14 @@ fn bench(c: &mut Criterion) {
         );
     }
     g.finish();
+    let p5_serial = row_mean_ns("p5_parallel_subdivision/chr2_n4/1");
+    let p5_best = worker_rows
+        .iter()
+        .filter(|&&w| w > 1)
+        .map(|&w| row_mean_ns(&format!("p5_parallel_subdivision/chr2_n4/{w}")))
+        .min()
+        .unwrap_or(p5_serial);
+    metric("p5_parallel_speedup_x100", p5_serial * 100 / p5_best.max(1));
 
     // P4: map search on the solvable side.
     c.bench_function("p4_map_search_2set_1res", |b| {

@@ -130,6 +130,14 @@ pub struct CampaignConfig {
     /// the `verdict-agreement` invariant is armed. Disable for runs
     /// that only exercise the scheduler (e.g. benchmarks).
     pub solver_check: bool,
+    /// With [`solver_check`](Self::solver_check), run the solver under
+    /// *both* subdivision strategies (direct and symmetry-quotiented
+    /// orbit-shared towers) and abort the campaign on any verdict
+    /// disagreement. Parity is guaranteed by construction, so this is a
+    /// free cross-check of the quotient machinery; it does not alter
+    /// the run population or the armed verdict (and so stays out of the
+    /// campaign fingerprint).
+    pub quotient_oracle: bool,
 }
 
 impl CampaignConfig {
@@ -150,6 +158,7 @@ impl CampaignConfig {
             artifacts: None,
             inject_liveness: Vec::new(),
             solver_check: true,
+            quotient_oracle: false,
         }
     }
 
@@ -204,6 +213,7 @@ mod tests {
         same.batch = 123;
         same.checkpoint = Some(PathBuf::from("/tmp/elsewhere.jsonl"));
         same.resume = true;
+        same.quotient_oracle = true;
         assert_eq!(base.fingerprint_hex(), same.fingerprint_hex());
 
         let mut other_seed = base.clone();

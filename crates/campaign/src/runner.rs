@@ -23,7 +23,8 @@ use act_runtime::{
 };
 use act_topology::{ColorSet, ProcessId};
 use fact::{
-    set_consensus_verdict_cached, AlgorithmOneSystem, DomainCache, ModelSpec, Solvability, TaskSpec,
+    set_consensus_verdict_cached, AlgorithmOneSystem, DomainCache, DomainExpansion, ModelSpec,
+    Solvability, TaskSpec,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -69,6 +70,24 @@ impl CampaignContext {
     /// `solver_check`, runs the set-consensus solver once for the
     /// model's setcon level so runs can be judged against its verdict.
     pub fn new(model: &str, solver_check: bool) -> Result<CampaignContext, String> {
+        CampaignContext::new_with_oracle(model, solver_check, false)
+    }
+
+    /// Like [`Self::new`], but with `quotient_oracle` set the solver
+    /// check runs **twice** — once over directly expanded subdivision
+    /// towers ([`DomainExpansion::Direct`]) and once over the
+    /// symmetry-quotiented, orbit-shared towers
+    /// ([`DomainExpansion::OrbitShared`]) — and demands verdict parity.
+    /// Quotient-then-expand equals direct expansion by construction, so
+    /// a disagreement is a genuine engine bug; the context (and thus
+    /// the whole campaign) fails loudly rather than arming the
+    /// `verdict-agreement` invariant with a verdict the engine itself
+    /// cannot agree on. Requires `solver_check` to have any effect.
+    pub fn new_with_oracle(
+        model: &str,
+        solver_check: bool,
+        quotient_oracle: bool,
+    ) -> Result<CampaignContext, String> {
         let spec = ModelSpec::parse(model, false)?;
         let adversary = spec.adversary();
         let n = adversary.num_processes();
@@ -89,13 +108,20 @@ impl CampaignContext {
             // consensus (clamped to the task-spec range 1..n).
             let k = adversary.setcon().clamp(1, n - 1);
             let task = TaskSpec::set_consensus(n, k)?.task();
-            let mut cache = DomainCache::new();
-            let mut verdict =
-                set_consensus_verdict_cached(&mut cache, &task, &affine, 1, 5_000_000);
-            if matches!(verdict, Solvability::NoMapUpTo { .. }) {
-                verdict = set_consensus_verdict_cached(&mut cache, &task, &affine, 2, 5_000_000);
+            let verdict = solver_verdict(&task, &affine, DomainExpansion::OrbitShared);
+            let solvable = matches!(verdict, Solvability::Solvable { .. });
+            if quotient_oracle {
+                let direct = solver_verdict(&task, &affine, DomainExpansion::Direct);
+                let direct_solvable = matches!(direct, Solvability::Solvable { .. });
+                if solvable != direct_solvable {
+                    return Err(format!(
+                        "quotient oracle: verdict disagreement for {k}-set consensus \
+                         under {model}: orbit-shared towers say solvable={solvable}, \
+                         directly expanded towers say solvable={direct_solvable}"
+                    ));
+                }
             }
-            Some(matches!(verdict, Solvability::Solvable { .. }))
+            Some(solvable)
         } else {
             None
         };
@@ -108,6 +134,22 @@ impl CampaignContext {
             solver_solvable,
         })
     }
+}
+
+/// One solver pass under a fixed subdivision strategy: level 1 first,
+/// escalating to level 2 when level 1 is inconclusive (mirrors the
+/// single-expansion check campaigns have always run).
+fn solver_verdict(
+    task: &act_tasks::SetConsensus,
+    affine: &AffineTask,
+    expansion: DomainExpansion,
+) -> Solvability {
+    let mut cache = DomainCache::new().with_expansion(expansion);
+    let mut verdict = set_consensus_verdict_cached(&mut cache, task, affine, 1, 5_000_000);
+    if matches!(verdict, Solvability::NoMapUpTo { .. }) {
+        verdict = set_consensus_verdict_cached(&mut cache, task, affine, 2, 5_000_000);
+    }
+    verdict
 }
 
 /// A violating run, as found (pre-shrink).
@@ -161,7 +203,11 @@ impl CampaignReport {
 /// over [`run_campaign_in`] for callers (like the CLI) that run one
 /// campaign per context.
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, String> {
-    let ctx = CampaignContext::new(&config.model, config.solver_check)?;
+    let ctx = CampaignContext::new_with_oracle(
+        &config.model,
+        config.solver_check,
+        config.quotient_oracle,
+    )?;
     run_campaign_in(&ctx, config)
 }
 

@@ -75,6 +75,7 @@ pub use simulation::{
 pub use solver::{
     affine_domain, affine_domain_cached, set_consensus_verdict, set_consensus_verdict_cached,
     set_consensus_verdict_with_config, solve_in_fair_model, solve_in_model,
-    solve_in_model_with_config, DomainCache, Solvability, TowerPersistence, DOMAIN_CACHE_EVICTIONS,
+    solve_in_model_with_config, DomainCache, DomainExpansion, Solvability, TowerPersistence,
+    DOMAIN_CACHE_EVICTIONS, DOMAIN_CACHE_ORBIT_HITS,
 };
 pub use spec::{ModelSpec, TaskSpec, MAX_PROCESSES};

@@ -5,7 +5,9 @@
 use act_adversary::AgreementFunction;
 use act_affine::AffineTask;
 use act_tasks::{find_carried_map_with_config, SearchConfig, SearchResult, Task};
-use act_topology::{Complex, VertexMap};
+use act_topology::{
+    canonical_pair_hashes, permute_complex, ColorPerm, Complex, VertexMap, SYMMETRY_MAX_DEGREE,
+};
 
 /// The verdict of the bounded FACT pipeline.
 #[derive(Clone, Debug)]
@@ -100,8 +102,44 @@ pub trait TowerPersistence: Send + Sync {
 /// event, which carries the evicted tower's depth.
 pub static DOMAIN_CACHE_EVICTIONS: act_obs::Counter = act_obs::Counter::new("domain.cache.evict");
 
+/// Process-global count of domain-cache orbit hits: queries whose tower
+/// was obtained by color-permuting a resident tower of the same symmetry
+/// class instead of subdividing from scratch. Pairs with the
+/// `domain.cache.orbit_hit` event.
+pub static DOMAIN_CACHE_ORBIT_HITS: act_obs::Counter =
+    act_obs::Counter::new("domain.cache.orbit_hit");
+
 /// Towers a [`DomainCache`] keeps before evicting the least recently used.
 const DEFAULT_TOWER_CAPACITY: usize = 4;
+
+/// How a [`DomainCache`] runs the subdivision rounds that build new tower
+/// levels. Both strategies produce byte-identical complexes; the knob
+/// exists so the campaign layer can run one solver per strategy and assert
+/// verdict parity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DomainExpansion {
+    /// [`AffineTask::apply_to`]: every facet of the previous level is
+    /// expanded directly.
+    Direct,
+    /// [`AffineTask::apply_to_shared`] (the default): one representative
+    /// facet per color-symmetry orbit of the previous level is expanded
+    /// and the rest are transported — byte-identical output, fewer recipe
+    /// expansions on symmetric levels.
+    #[default]
+    OrbitShared,
+}
+
+/// The canonical (symmetry-quotiented) identity of a tower: the content
+/// hashes of the jointly canonicalized `(affine.complex(), inputs)` pair
+/// and the permutation carrying this tower's frame onto the canonical
+/// frame (see [`canonical_pair_hashes`]). Two queries differing only by a
+/// color permutation share one canonical key.
+#[derive(Clone, Debug)]
+struct CanonKey {
+    affine: u128,
+    inputs: u128,
+    to_canonical: ColorPerm,
+}
 
 /// One cached tower `R_A^1(I) ⊆ … ⊆ R_A^ℓ(I)` and the key it serves.
 #[derive(Clone, Debug)]
@@ -120,6 +158,28 @@ struct Tower {
     levels: Vec<Complex>,
     /// LRU stamp: the cache clock at the last query.
     stamp: u64,
+    /// Lazily computed canonical identity — `None` until an orbit probe
+    /// or a persistence round first needs it.
+    canon: Option<CanonKey>,
+}
+
+impl Tower {
+    /// The canonical key, computed on first use and memoized. The joint
+    /// canonicalization enumerates `S_n` (guarded by
+    /// [`SYMMETRY_MAX_DEGREE`]), so callers only reach for this when a
+    /// cross-frame probe or a persistence round actually needs it.
+    fn canon_key(&mut self) -> &CanonKey {
+        if self.canon.is_none() {
+            let (affine, inputs, to_canonical) =
+                canonical_pair_hashes(&self.affine_src, &self.inputs);
+            self.canon = Some(CanonKey {
+                affine,
+                inputs,
+                to_canonical,
+            });
+        }
+        self.canon.as_ref().expect("just computed")
+    }
 }
 
 /// An incrementally maintained set of domain towers
@@ -135,16 +195,28 @@ struct Tower {
 /// Towers are keyed by the 128-bit content hashes of
 /// `(affine.complex(), inputs)` — an [`AffineTask`] is fully determined by
 /// its complex — with an `Arc`-identity fast path so steady-state queries
-/// never rehash or deep-compare. A bounded LRU (default
-/// 4 towers) keeps alternating workloads from thrashing: switching keys
-/// retains the previous tower, and overflow evicts the least recently
-/// used with a `domain.cache.evict` event instead of dropping silently.
+/// never rehash or deep-compare. A query that matches no resident key but
+/// is a **color permutation** of a resident tower still hits: the towers'
+/// canonical pair hashes ([`canonical_pair_hashes`], lazily memoized per
+/// tower) identify the symmetry class, and the resident levels are
+/// transported into the query's frame with [`permute_complex`] — counted
+/// by [`DOMAIN_CACHE_ORBIT_HITS`] and the `domain.cache.orbit_hit` event.
+/// A bounded LRU (default 4 towers) keeps alternating workloads from
+/// thrashing: switching keys retains the previous tower, and overflow
+/// evicts the least recently used with a `domain.cache.evict` event
+/// instead of dropping silently.
 ///
 /// With [`DomainCache::set_persistence`], missing levels are first sought
 /// in a [`TowerPersistence`] store (zero `apply_to` on a warm restart) and
-/// freshly built levels are written back. Levels are structurally equal
-/// (`==`) to the from-scratch [`affine_domain`] builds thanks to the
-/// subdivision engine's deterministic interning.
+/// freshly built levels are written back — keyed and stored in the
+/// *canonical* frame, so all members of a symmetry class of queries share
+/// one persisted tower. Levels built or reloaded in the query's own frame
+/// are structurally equal (`==`) to the from-scratch [`affine_domain`]
+/// builds thanks to the subdivision engine's deterministic interning;
+/// orbit-transported levels are color-consistent isomorphs
+/// ([`Complex::same_complex`]) anchored at a byte-identical base, which
+/// preserves every verdict (and the validity, though not necessarily the
+/// numbering, of witnessing maps).
 ///
 /// # Examples
 ///
@@ -169,6 +241,7 @@ pub struct DomainCache {
     capacity: usize,
     clock: u64,
     persistence: Option<std::sync::Arc<dyn TowerPersistence>>,
+    expansion: DomainExpansion,
 }
 
 impl std::fmt::Debug for DomainCache {
@@ -178,6 +251,7 @@ impl std::fmt::Debug for DomainCache {
             .field("capacity", &self.capacity)
             .field("clock", &self.clock)
             .field("persistent", &self.persistence.is_some())
+            .field("expansion", &self.expansion)
             .finish()
     }
 }
@@ -201,7 +275,26 @@ impl DomainCache {
             capacity: capacity.max(1),
             clock: 0,
             persistence: None,
+            expansion: DomainExpansion::default(),
         }
+    }
+
+    /// Overrides the subdivision strategy for freshly built levels (see
+    /// [`DomainExpansion`]). Returns `self` for builder-style
+    /// construction.
+    pub fn with_expansion(mut self, expansion: DomainExpansion) -> DomainCache {
+        self.expansion = expansion;
+        self
+    }
+
+    /// Overrides the subdivision strategy (see [`Self::with_expansion`]).
+    pub fn set_expansion(&mut self, expansion: DomainExpansion) {
+        self.expansion = expansion;
+    }
+
+    /// The subdivision strategy used for freshly built levels.
+    pub fn expansion(&self) -> DomainExpansion {
+        self.expansion
     }
 
     /// Attaches a persistence backend: missing tower levels are loaded
@@ -246,7 +339,15 @@ impl DomainCache {
         assert!(iterations >= 1, "at least one iteration");
         let idx = self.resolve_tower(affine, inputs);
         let persistence = self.persistence.clone();
+        let expansion = self.expansion;
         let tower = &mut self.towers[idx];
+        // Persistence is keyed by the *canonical* (symmetry-quotiented)
+        // pair hashes, so color-permuted queries load and store the same
+        // entries; levels are persisted in the canonical frame and
+        // permuted into the tower's frame on load. For a same-frame
+        // restart the round trip is byte-identical (`permute_complex`
+        // round-trips exactly).
+        let store_key = persistence.as_ref().map(|_| tower.canon_key().clone());
         // Self-healing: a poisoned tower level (empty, or a level count
         // that does not strictly grow — e.g. a worker died mid-build in a
         // previous use) is detected and the tower rebuilt from the last
@@ -264,16 +365,24 @@ impl DomainCache {
             let level = tower.levels.len() + 1;
             let next = {
                 let prev = tower.levels.last().unwrap_or(inputs);
-                let loaded = persistence
+                let loaded = store_key
                     .as_ref()
-                    .and_then(|p| p.load_level(tower.affine_hash, tower.inputs_hash, level))
+                    .zip(persistence.as_ref())
+                    .and_then(|(k, p)| {
+                        let stored = p.load_level(k.affine, k.inputs, level)?;
+                        Some(from_canonical_frame(stored, &k.to_canonical))
+                    })
                     .filter(|c| loaded_level_is_sound(c, prev, inputs));
                 match loaded {
                     Some(c) => c,
                     None => {
-                        let built = affine.apply_to(prev);
-                        if let Some(p) = &persistence {
-                            p.store_level(tower.affine_hash, tower.inputs_hash, level, &built);
+                        let built = match expansion {
+                            DomainExpansion::Direct => affine.apply_to(prev),
+                            DomainExpansion::OrbitShared => affine.apply_to_shared(prev),
+                        };
+                        if let Some((k, p)) = store_key.as_ref().zip(persistence.as_ref()) {
+                            let canonical = to_canonical_frame(&built, &k.to_canonical);
+                            p.store_level(k.affine, k.inputs, level, &canonical);
                         }
                         built
                     }
@@ -286,8 +395,19 @@ impl DomainCache {
 
     /// Finds (or creates) the tower for `(affine, inputs)` and marks it
     /// most recently used. Pointer-identical representations hit without
-    /// hashing; otherwise the content hashes decide, so structurally
-    /// equal complexes built independently still share a tower.
+    /// hashing; structurally equal complexes built independently share a
+    /// tower via the content hashes; and a query that is a *color
+    /// permutation* of a resident tower hits via the canonical pair
+    /// hashes — its levels are transported into the query's frame with
+    /// [`permute_complex`] instead of being rebuilt (an **orbit hit**,
+    /// counted by [`DOMAIN_CACHE_ORBIT_HITS`]).
+    ///
+    /// A transported tower's base is byte-identical to the query inputs
+    /// (joint canonicalization pins it), so carrier semantics — and with
+    /// them every verdict — are exact; the interior levels are
+    /// color-consistent isomorphs (`same_complex`) of what a from-scratch
+    /// build would produce, which can renumber vertices and hence relabel
+    /// (but never invalidate) a witnessing map.
     fn resolve_tower(&mut self, affine: &AffineTask, inputs: &Complex) -> usize {
         self.clock += 1;
         let clock = self.clock;
@@ -313,6 +433,79 @@ impl DomainCache {
             t.stamp = clock;
             return i;
         }
+        // Orbit probe: only pay for joint canonicalization when at least
+        // one resident tower could possibly be a color-permuted match.
+        let n = inputs.num_processes();
+        let mut canon = None;
+        if n <= SYMMETRY_MAX_DEGREE
+            && self
+                .towers
+                .iter()
+                .any(|t| t.inputs.num_processes() == n && !t.levels.is_empty())
+        {
+            let (qa, qi, to_canonical) = canonical_pair_hashes(affine.complex(), inputs);
+            let query_canon = CanonKey {
+                affine: qa,
+                inputs: qi,
+                to_canonical,
+            };
+            for i in 0..self.towers.len() {
+                if self.towers[i].inputs.num_processes() != n || self.towers[i].levels.is_empty() {
+                    continue;
+                }
+                let tc = self.towers[i].canon_key();
+                if tc.affine != query_canon.affine || tc.inputs != query_canon.inputs {
+                    continue;
+                }
+                // query = π · tower with π = σ_q⁻¹ ∘ σ_t (both sides land
+                // on the same canonical frame).
+                let to_query = query_canon.to_canonical.inverse().compose(&tc.to_canonical);
+                let levels: Vec<Complex> = self.towers[i]
+                    .levels
+                    .iter()
+                    .map(|l| permute_complex(l, &to_query))
+                    .collect();
+                debug_assert!(
+                    levels.iter().all(|l| *l.base() == *inputs),
+                    "a transported tower is anchored at the query inputs"
+                );
+                DOMAIN_CACHE_ORBIT_HITS.add(1);
+                if act_obs::enabled() {
+                    act_obs::event("domain.cache.orbit_hit")
+                        .u64("levels", levels.len() as u64)
+                        .u64("resident", self.towers.len() as u64)
+                        .u64("affine_hash", affine_hash as u64)
+                        .u64("inputs_hash", inputs_hash as u64)
+                        .emit();
+                }
+                return self.push_tower(Tower {
+                    affine_hash,
+                    inputs_hash,
+                    affine_src: affine.complex().clone(),
+                    inputs: inputs.clone(),
+                    levels,
+                    stamp: clock,
+                    canon: Some(query_canon),
+                });
+            }
+            // No orbit match: keep the canonical key we just paid for so
+            // a persistence round (or a later probe) does not recompute.
+            canon = Some(query_canon);
+        }
+        self.push_tower(Tower {
+            affine_hash,
+            inputs_hash,
+            affine_src: affine.complex().clone(),
+            inputs: inputs.clone(),
+            levels: Vec::new(),
+            stamp: clock,
+            canon,
+        })
+    }
+
+    /// Pushes a tower, evicting the least recently used one first when
+    /// the cache is at capacity. Returns the new tower's index.
+    fn push_tower(&mut self, tower: Tower) -> usize {
         if self.towers.len() >= self.capacity {
             let lru = self
                 .towers
@@ -332,14 +525,7 @@ impl DomainCache {
                     .emit();
             }
         }
-        self.towers.push(Tower {
-            affine_hash,
-            inputs_hash,
-            affine_src: affine.complex().clone(),
-            inputs: inputs.clone(),
-            levels: Vec::new(),
-            stamp: clock,
-        });
+        self.towers.push(tower);
         self.towers.len() - 1
     }
 
@@ -359,6 +545,28 @@ impl DomainCache {
             }
             None => false,
         }
+    }
+}
+
+/// A level as persisted: pushed through the tower's canonicalizing
+/// permutation so color-permuted queries address one entry. The identity
+/// (the common case for already-canonical frames) is free.
+fn to_canonical_frame(c: &Complex, to_canonical: &ColorPerm) -> Complex {
+    if to_canonical.is_identity() {
+        c.clone()
+    } else {
+        permute_complex(c, to_canonical)
+    }
+}
+
+/// A persisted (canonical-frame) level pulled back into the tower's own
+/// frame — the inverse of [`to_canonical_frame`], so a same-frame round
+/// trip is byte-identical.
+fn from_canonical_frame(c: Complex, to_canonical: &ColorPerm) -> Complex {
+    if to_canonical.is_identity() {
+        c
+    } else {
+        permute_complex(&c, &to_canonical.inverse())
     }
 }
 
@@ -807,6 +1015,184 @@ mod tests {
         // Out-of-range levels are reported, not panicked on.
         assert!(!cache.poison_level(0));
         assert!(!cache.poison_level(99));
+    }
+
+    /// An in-memory [`TowerPersistence`] for exercising the canonical
+    /// store keying without the service crate.
+    #[derive(Default)]
+    struct MapPersistence {
+        entries: std::sync::Mutex<std::collections::HashMap<(u128, u128, usize), Complex>>,
+        loads: std::sync::atomic::AtomicU64,
+        stores: std::sync::atomic::AtomicU64,
+    }
+
+    impl MapPersistence {
+        fn loads(&self) -> u64 {
+            self.loads.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        fn stores(&self) -> u64 {
+            self.stores.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    impl TowerPersistence for MapPersistence {
+        fn load_level(
+            &self,
+            affine_hash: u128,
+            inputs_hash: u128,
+            level: usize,
+        ) -> Option<Complex> {
+            let hit = self
+                .entries
+                .lock()
+                .unwrap()
+                .get(&(affine_hash, inputs_hash, level))
+                .cloned();
+            if hit.is_some() {
+                self.loads.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+            hit
+        }
+
+        fn store_level(&self, affine_hash: u128, inputs_hash: u128, level: usize, domain: &Complex) {
+            self.stores.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.entries
+                .lock()
+                .unwrap()
+                .insert((affine_hash, inputs_hash, level), domain.clone());
+        }
+    }
+
+    /// The color-permuted image of a query: both the affine task and the
+    /// inputs pushed through `π`, as a client with relabeled processes
+    /// would pose it.
+    fn permuted_query(
+        affine: &AffineTask,
+        inputs: &Complex,
+        perm: &act_topology::ColorPerm,
+    ) -> (AffineTask, Complex) {
+        (
+            AffineTask::new(
+                format!("{}-permuted", affine.name()),
+                act_topology::permute_complex(affine.complex(), perm),
+            ),
+            act_topology::permute_complex(inputs, perm),
+        )
+    }
+
+    #[test]
+    fn color_permuted_queries_share_a_tower_via_orbit_hit() {
+        let alpha = AgreementFunction::k_concurrency(3, 2);
+        let affine = act_affine::fair_affine_task(&alpha);
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let inputs = rainbow_inputs(&t);
+        let perm = act_topology::ColorPerm::from_images(&[2, 0, 1]).unwrap();
+        let (affine_p, inputs_p) = permuted_query(&affine, &inputs, &perm);
+
+        // A test-local persistence backend doubles as a subdivision
+        // detector: building a level stores it, an orbit hit stores
+        // nothing. (Process-global counters race with concurrent tests.)
+        let probe = std::sync::Arc::new(MapPersistence::default());
+        let mut cache = DomainCache::new()
+            .with_persistence(probe.clone() as std::sync::Arc<dyn TowerPersistence>);
+        cache.domain(&affine, &inputs, 2);
+        assert_eq!(probe.stores(), 2, "the first query builds both levels");
+        let hits_before = DOMAIN_CACHE_ORBIT_HITS.get();
+        let transported = cache.domain(&affine_p, &inputs_p, 2).clone();
+        assert_eq!(
+            probe.stores(),
+            2,
+            "an orbit hit costs zero subdivision rounds"
+        );
+        assert_eq!(probe.loads(), 0, "and zero persistence loads");
+        assert!(DOMAIN_CACHE_ORBIT_HITS.get() > hits_before);
+        assert_eq!(cache.resident_towers(), 2, "both frames stay resident");
+
+        // The transported tower is anchored byte-identically at the
+        // permuted inputs and is the same complex a direct build yields.
+        let direct = affine_domain(&affine_p, &inputs_p, 2);
+        assert_eq!(*transported.base(), inputs_p);
+        assert_eq!(transported.facet_count(), direct.facet_count());
+        assert!(transported.same_complex(&direct));
+
+        // Once resident, the transported tower serves its frame via the
+        // ordinary fast path — no second orbit hit.
+        cache.domain(&affine_p, &inputs_p, 1);
+        assert_eq!(DOMAIN_CACHE_ORBIT_HITS.get() - hits_before, 1);
+
+        // Verdict parity across the frames: 2-set consensus under
+        // 2-concurrency is solvable in either coloring.
+        let direct_verdict = find_carried_map(&t, &affine_domain(&affine, &inputs, 1), 2_000_000);
+        let t_p = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let transported_l1 = cache.domain(&affine_p, &inputs_p, 1).clone();
+        let shared_verdict = find_carried_map(&t_p, &transported_l1, 2_000_000);
+        assert_eq!(
+            direct_verdict.into_map().is_some(),
+            shared_verdict.into_map().is_some(),
+            "orbit sharing never changes a verdict"
+        );
+    }
+
+    #[test]
+    fn persisted_towers_are_shared_across_color_permutations() {
+        let alpha = AgreementFunction::k_concurrency(3, 2);
+        let affine = act_affine::fair_affine_task(&alpha);
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let inputs = rainbow_inputs(&t);
+        let persistence = std::sync::Arc::new(MapPersistence::default());
+
+        // One lifetime builds and persists the tower in its own frame.
+        {
+            let mut warm = DomainCache::new()
+                .with_persistence(persistence.clone() as std::sync::Arc<dyn TowerPersistence>);
+            warm.domain(&affine, &inputs, 2);
+        }
+        assert_eq!(persistence.stores(), 2, "both levels persisted");
+
+        // A cold process asking the *same* query reloads byte-identical
+        // levels: the canonical frame round-trips exactly. A reload never
+        // stores, so `stores()` staying put proves nothing was rebuilt.
+        let mut same_frame = DomainCache::new()
+            .with_persistence(persistence.clone() as std::sync::Arc<dyn TowerPersistence>);
+        let reloaded = same_frame.domain(&affine, &inputs, 2).clone();
+        assert_eq!(persistence.loads(), 2, "both levels reloaded");
+        assert_eq!(persistence.stores(), 2, "nothing rebuilt or rewritten");
+        assert_eq!(reloaded, affine_domain(&affine, &inputs, 2));
+
+        // A cold process asking the color-PERMUTED query addresses the
+        // same canonical entries: zero subdivision rounds there too.
+        let perm = act_topology::ColorPerm::from_images(&[1, 2, 0]).unwrap();
+        let (affine_p, inputs_p) = permuted_query(&affine, &inputs, &perm);
+        let loads_before = persistence.loads();
+        let mut permuted_frame = DomainCache::new()
+            .with_persistence(persistence.clone() as std::sync::Arc<dyn TowerPersistence>);
+        let transported = permuted_frame.domain(&affine_p, &inputs_p, 2).clone();
+        assert_eq!(
+            persistence.loads() - loads_before,
+            2,
+            "the permuted query is served from the shared persisted tower"
+        );
+        assert_eq!(*transported.base(), inputs_p);
+        assert!(transported.same_complex(&affine_domain(&affine_p, &inputs_p, 2)));
+        // No duplicate entries were written for the permuted frame.
+        assert_eq!(persistence.stores(), 2);
+    }
+
+    #[test]
+    fn direct_and_orbit_shared_expansion_agree_byte_for_byte() {
+        let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+        let affine = act_affine::fair_affine_task(&alpha);
+        let inputs = Complex::standard(3);
+        let mut direct = DomainCache::new().with_expansion(DomainExpansion::Direct);
+        let mut shared = DomainCache::new().with_expansion(DomainExpansion::OrbitShared);
+        for level in 1..=2 {
+            assert_eq!(
+                direct.domain(&affine, &inputs, level),
+                shared.domain(&affine, &inputs, level),
+                "expansion strategies must be byte-identical at level {level}"
+            );
+        }
     }
 
     #[test]

@@ -228,6 +228,8 @@ usage:
             [--artifacts <dir>]          where shrunk violation traces land
             [--inject-liveness <i,j,..>] force synthetic violations at run indices
             [--no-solver-check]          skip the solver verdict-agreement oracle
+            [--quotient-oracle]          cross-check the solver verdict under both
+                                         direct and symmetry-quotiented towers
   fact-cli census                        survey all 3-process adversaries
   fact-cli validate-report <path>        check a --report JSON file
   fact-cli replay <path> <model>         replay a captured trace artifact
@@ -576,6 +578,7 @@ fn campaign(args: &[String]) -> Result<Option<String>, FactError> {
         .transpose()?;
     let resume = extract_bool_flag(&mut args, "--resume");
     let no_solver_check = extract_bool_flag(&mut args, "--no-solver-check");
+    let quotient_oracle = extract_bool_flag(&mut args, "--quotient-oracle");
     let spec = args
         .first()
         .ok_or_else(|| "campaign needs a model spec".to_string())?;
@@ -624,6 +627,12 @@ fn campaign(args: &[String]) -> Result<Option<String>, FactError> {
     config.resume = resume;
     config.inject_liveness = inject.unwrap_or_default();
     config.solver_check = !no_solver_check;
+    config.quotient_oracle = quotient_oracle;
+    if quotient_oracle && no_solver_check {
+        return Err(FactError::Usage(
+            "--quotient-oracle needs the solver check (drop --no-solver-check)".into(),
+        ));
+    }
 
     let report = act_campaign::run_campaign(&config).map_err(FactError::Runtime)?;
     let coverage = &report.coverage;

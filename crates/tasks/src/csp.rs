@@ -12,13 +12,16 @@
 //! the facet's intern-key signature — and shared by every search worker
 //! behind `Arc`s; only the mutable [`State`] is cloned per worker.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use act_topology::{parallel_map_ranges, Complex, ProcessId, Simplex, VertexId};
+use act_topology::{
+    chain_action, parallel_map_ranges, ChainAction, Complex, LabelMatching, ProcessId, Simplex,
+    VertexId,
+};
 
 use crate::mapsearch::SearchStats;
-use crate::task::Task;
+use crate::task::{Task, TaskSymmetry};
 
 /// Sentinel for "no residual support cached yet".
 const NO_RESIDUE: u32 = u32::MAX;
@@ -73,8 +76,12 @@ pub(crate) struct Tables {
     /// Per variable: start word of its domain bitset in
     /// [`State::words`]; `word_off[vars.len()]` is the total word count.
     pub(crate) word_off: Vec<u32>,
-    /// The table constraints, one per facet of the domain.
+    /// The table constraints: one per facet of the domain, followed by
+    /// the symmetry-breaking (lex-leader) constraints.
     pub(crate) constraints: Vec<TableConstraint>,
+    /// How many leading entries of `constraints` are facet constraints;
+    /// the rest are lex-leader symmetry breakers.
+    pub(crate) facet_constraints: usize,
     /// Per variable: indices of constraints it appears in.
     pub(crate) constraints_of: Vec<Vec<u32>>,
     /// Total residue-slot count across all constraints.
@@ -392,11 +399,165 @@ fn build_tuple_data(
     }))
 }
 
+/// The depth-1 lex-leader symmetry breakers derived from the task's
+/// declared symmetries: removals from variable 0's domain (unary
+/// constraints) plus binary table constraints.
+struct LexBreak {
+    /// The pivot variable the breakers anchor at (position 0 of the
+    /// lex order).
+    pivot: usize,
+    /// Value indices to remove from the pivot's initial domain.
+    removals: Vec<u32>,
+    /// Binary constraints `(members, tuple data)` over `(pivot, u)`.
+    constraints: Vec<(Vec<u32>, Arc<TupleData>)>,
+}
+
+/// Lifts each declared [`TaskSymmetry`] to the concrete search domain
+/// and output complex (skipping any that does not act on both) and emits
+/// the first position of the lex-leader constraint `A ≤_lex g(A)` for
+/// a fixed variable order: `A(v₀) ≤ π_O(A(π_D⁻¹(v₀)))`, compared by
+/// output-vertex index. The order anchors at a deterministic *pivot*
+/// `v₀` — the variable with the largest candidate list (lowest index on
+/// ties), where a single inequality excises the most assignments;
+/// corner variables with singleton domains would make every breaker
+/// vacuous. When `π_D` fixes `v₀` this is a unary filter; otherwise a
+/// binary table constraint. Both are *implied* by the full
+/// lex-leader constraint, which the lex-least solution of every orbit
+/// satisfies — so satisfiability is preserved, every surviving witness
+/// is a genuine solution of the original query (no un-canonicalization
+/// step is needed), and unsolvable instances stay unsolvable.
+///
+/// For a genuine symmetry the candidate lists themselves are
+/// equivariant (`π_O` maps `u`'s candidates bijectively onto `v₀`'s),
+/// so a breaker can never be empty and the unary filter can never wipe
+/// variable 0 out; either would only arise from a bogus declaration,
+/// and is skipped rather than trusted as an unsolvability proof.
+fn lex_leader_constraints(
+    task: &dyn Task,
+    domain: &Complex,
+    vars: &[VertexId],
+    var_of: &HashMap<VertexId, u32>,
+    values: &[Arc<Vec<VertexId>>],
+) -> LexBreak {
+    let mut lex = LexBreak {
+        pivot: 0,
+        removals: Vec::new(),
+        constraints: Vec::new(),
+    };
+    let symmetries = task.symmetries();
+    if symmetries.is_empty() || vars.is_empty() {
+        return lex;
+    }
+    let pivot = (0..vars.len())
+        .max_by(|&a, &b| values[a].len().cmp(&values[b].len()).then(b.cmp(&a)))
+        .unwrap_or(0);
+    lex.pivot = pivot;
+    let outputs = task.outputs();
+    let top = domain.level();
+    let v0 = vars[pivot];
+    let d0 = &values[pivot];
+    let mut keep = vec![true; d0.len()];
+    let mut seen: HashSet<(u32, Vec<u32>)> = HashSet::new();
+    for sym in &symmetries {
+        let Some((dom_action, out_action)) = lift_symmetry(sym, domain, outputs) else {
+            continue;
+        };
+        // u = π_D⁻¹(v₀): scan the top-level map for v₀'s preimage.
+        let Some(u) = dom_action
+            .level_map(top)
+            .iter()
+            .position(|&img| img == v0)
+            .map(VertexId::from_index)
+        else {
+            continue; // v₀ outside the action's range (defensive)
+        };
+        if u == v0 {
+            for (a, &w) in d0.iter().enumerate() {
+                if out_action.apply_vertex(0, w).index() < w.index() {
+                    keep[a] = false;
+                }
+            }
+            continue;
+        }
+        let Some(&mu) = var_of.get(&u) else { continue };
+        let du = &values[mu as usize];
+        let images: Vec<usize> = du
+            .iter()
+            .map(|&w| out_action.apply_vertex(0, w).index())
+            .collect();
+        let mut tuples: Vec<u32> = Vec::new();
+        for (a, &wa) in d0.iter().enumerate() {
+            for (b, &img) in images.iter().enumerate() {
+                if wa.index() <= img {
+                    tuples.extend_from_slice(&[a as u32, b as u32]);
+                }
+            }
+        }
+        if tuples.is_empty() {
+            continue; // only a bogus declaration gets here
+        }
+        if tuples.len() == 2 * d0.len() * du.len() {
+            continue; // vacuous: every pair allowed
+        }
+        if !seen.insert((mu, tuples.clone())) {
+            continue; // duplicate breaker from another group element
+        }
+        let pos_off = vec![0, d0.len() as u32, (d0.len() + du.len()) as u32];
+        let mut supports: Vec<Vec<u32>> = vec![Vec::new(); d0.len() + du.len()];
+        for t in 0..tuples.len() / 2 {
+            supports[tuples[t * 2] as usize].push(t as u32);
+            supports[d0.len() + tuples[t * 2 + 1] as usize].push(t as u32);
+        }
+        lex.constraints.push((
+            vec![pivot as u32, mu],
+            Arc::new(TupleData {
+                arity: 2,
+                pos_off,
+                tuples,
+                supports,
+            }),
+        ));
+    }
+    if keep.iter().any(|&k| k) {
+        lex.removals = (0..d0.len() as u32).filter(|&a| !keep[a as usize]).collect();
+    }
+    lex
+}
+
+/// Checks that a declared symmetry genuinely acts on the concrete search
+/// domain and the output complex: both color-permutation lifts must
+/// exist ([`chain_action`]) and map the respective facet sets onto
+/// themselves.
+fn lift_symmetry(
+    sym: &TaskSymmetry,
+    domain: &Complex,
+    outputs: &Complex,
+) -> Option<(ChainAction, ChainAction)> {
+    let in_matching = match &sym.input_labels {
+        Some(m) => LabelMatching::Relabeled(m),
+        None => LabelMatching::Strict,
+    };
+    let dom_action = chain_action(domain, &sym.color, in_matching)?;
+    if !dom_action.preserves_facets(domain) {
+        return None;
+    }
+    let out_matching = match &sym.output_labels {
+        Some(m) => LabelMatching::Relabeled(m),
+        None => LabelMatching::Strict,
+    };
+    let out_action = chain_action(outputs, &sym.color, out_matching)?;
+    if !out_action.preserves_facets(outputs) {
+        return None;
+    }
+    Some((dom_action, out_action))
+}
+
 /// Builds the CSP for the carried-map search: candidate lists memoized
 /// by `(color, base-carrier)`, constraint tables built concurrently over
 /// facet chunks (up to `threads` workers) and memoized by the facet's
-/// intern-key signature. Returns `None` when some vertex has no
-/// candidate or some facet no allowed tuple — the search is then
+/// intern-key signature, plus depth-1 lex-leader symmetry breakers for
+/// the task's declared symmetries. Returns `None` when some vertex has
+/// no candidate or some facet no allowed tuple — the search is then
 /// unsatisfiable without visiting a single node.
 pub(crate) fn build(task: &dyn Task, domain: &Complex, threads: usize) -> Option<(Tables, State)> {
     let outputs = task.outputs();
@@ -477,6 +638,22 @@ pub(crate) fn build(task: &dyn Task, domain: &Complex, threads: usize) -> Option
         residue_len += c.data.pos_off.last().copied().unwrap_or(0);
         constraints.push(c);
     }
+    let facet_constraints = constraints.len();
+
+    // Symmetry breaking: only the lex-least witness of each solution
+    // orbit survives, so equivalent subtrees are pruned instead of
+    // re-searched. Lex breakers propagate through the same GAC machinery
+    // as the facet tables.
+    let lex = lex_leader_constraints(task, domain, &vars, &var_of, &values);
+    for (members, data) in lex.constraints {
+        let residue_base = residue_len;
+        residue_len += data.pos_off.last().copied().unwrap_or(0);
+        constraints.push(TableConstraint {
+            members,
+            data,
+            residue_base,
+        });
+    }
 
     let mut constraints_of = vec![Vec::new(); vars.len()];
     for (ci, c) in constraints.iter().enumerate() {
@@ -498,10 +675,16 @@ pub(crate) fn build(task: &dyn Task, domain: &Complex, threads: usize) -> Option
         values,
         word_off,
         constraints,
+        facet_constraints,
         constraints_of,
         residue_len: residue_len as usize,
     };
-    let state = tables.initial_state();
+    let mut state = tables.initial_state();
+    // Unary lex filters land on the trail at the root, where nothing
+    // ever backtracks past them.
+    for val in lex.removals {
+        state.remove(&tables, lex.pivot, val);
+    }
     Some((tables, state))
 }
 
@@ -516,18 +699,24 @@ mod tests {
         let domain = t.inputs().iterated_subdivision(1);
         let (tables, state) = build(&t, &domain, 1).expect("satisfiable");
         assert_eq!(tables.vars.len(), domain.used_vertices().len());
-        assert_eq!(tables.constraints.len(), domain.facet_count());
+        assert_eq!(tables.facet_constraints, domain.facet_count());
+        assert!(tables.constraints.len() >= tables.facet_constraints);
         for c in &tables.constraints {
             assert!(c.data.num_tuples() > 0, "empty tables are rejected early");
         }
+        let mut narrowed = 0usize;
         for var in 0..tables.vars.len() {
             let vals = state.domain_values(&tables, var);
-            assert_eq!(vals.len(), tables.values[var].len());
+            // Only the lex pivot may have been narrowed by unary filters.
+            assert!(!vals.is_empty());
+            assert!(vals.len() <= tables.values[var].len());
+            narrowed += usize::from(vals.len() < tables.values[var].len());
             assert_eq!(state.count[var] as usize, vals.len());
             for &val in &vals {
                 assert!(state.contains(&tables, var, val));
             }
         }
+        assert!(narrowed <= 1, "unary lex filters touch only the pivot");
     }
 
     #[test]
@@ -579,7 +768,10 @@ mod tests {
         let (tables, _) = build(&t, &domain, 1).expect("satisfiable");
         let mut by_sig: HashMap<Vec<(ProcessId, Simplex)>, *const TupleData> = HashMap::new();
         let mut shared = 0usize;
-        for (ci, c) in tables.constraints.iter().enumerate() {
+        for (ci, c) in tables.constraints[..tables.facet_constraints]
+            .iter()
+            .enumerate()
+        {
             let sig = domain.simplex_signature(&domain.facets()[ci]);
             match by_sig.get(&sig) {
                 Some(&ptr) => {
@@ -595,6 +787,36 @@ mod tests {
             }
         }
         assert!(shared > 0, "interned subdivisions repeat signatures");
+    }
+
+    #[test]
+    fn lex_breakers_are_emitted_and_nonempty_for_symmetric_tasks() {
+        // consensus(2, [0,1]) declares both the pure color swap and the
+        // diagonal (color, value) swap; the concrete Chr¹ pseudosphere
+        // domain admits both actions, so at least one breaker (unary or
+        // binary) must survive, and every binary breaker must keep at
+        // least one tuple (candidate lists are equivariant).
+        let t = consensus(2, &[0, 1]);
+        assert!(!t.symmetries().is_empty());
+        let domain = t.inputs().iterated_subdivision(1);
+        let (tables, state) = build(&t, &domain, 1).expect("builds");
+        let breakers = &tables.constraints[tables.facet_constraints..];
+        let pivot = (0..tables.vars.len())
+            .max_by(|&a, &b| {
+                tables.values[a]
+                    .len()
+                    .cmp(&tables.values[b].len())
+                    .then(b.cmp(&a))
+            })
+            .unwrap();
+        let filtered = tables.values[pivot].len() - state.count[pivot] as usize;
+        assert!(breakers.len() + filtered > 0, "some breaker must be active");
+        for c in breakers {
+            assert_eq!(c.data.arity, 2);
+            assert_eq!(c.members[0] as usize, pivot, "breakers anchor at the pivot");
+            assert!(c.data.num_tuples() > 0);
+        }
+        assert!(state.count[pivot] > 0, "unary filters never wipe the pivot out");
     }
 
     #[test]

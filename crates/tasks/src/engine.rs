@@ -132,8 +132,11 @@ pub static ENGINE_DEGRADED: act_obs::Counter = act_obs::Counter::new("engine.deg
 ///
 /// History: 1 = plain MRV branching; 2 = conflict-directed dom/wdeg
 /// branching with multi-directional residues (different witnesses for
-/// the same solvable instance).
-pub const ENGINE_SCHEMA_VERSION: u32 = 2;
+/// the same solvable instance); 3 = lex-leader symmetry breaking over
+/// the task's declared symmetries (only the lex-least witness of each
+/// solution orbit survives, so witnesses for symmetric instances moved
+/// again).
+pub const ENGINE_SCHEMA_VERSION: u32 = 3;
 
 /// Deterministic fault-injection hooks for the parallel engine, used by
 /// the chaos suite: arm a root-branch index and the next parallel map
@@ -416,7 +419,8 @@ pub(crate) fn run(
         None => return SearchResult::Unsolvable,
     };
     stats.variables = tables.vars.len();
-    stats.constraints = tables.constraints.len();
+    stats.constraints = tables.facet_constraints;
+    stats.symmetry_constraints = tables.constraints.len() - tables.facet_constraints;
     if !propagate(&tables, &mut root, None, stats) {
         return SearchResult::Unsolvable;
     }

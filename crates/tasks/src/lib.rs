@@ -43,5 +43,6 @@ pub use sperner::{
     sperner_certificate, SpernerLabeling,
 };
 pub use task::{
-    consensus, participants_of, pseudosphere, LeaderElection, SetConsensus, Task, TrivialTask,
+    consensus, participants_of, pseudosphere, LeaderElection, SetConsensus, Task, TaskSymmetry,
+    TrivialTask,
 };

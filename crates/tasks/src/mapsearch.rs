@@ -79,6 +79,10 @@ pub struct SearchStats {
     pub variables: usize,
     /// Table constraints (facets of the domain).
     pub constraints: usize,
+    /// Lex-leader symmetry-breaking constraints added on top of the
+    /// facet tables (0 when the task declares no symmetries or none act
+    /// on the concrete domain).
+    pub symmetry_constraints: usize,
     /// Backtracking nodes visited (summed across workers).
     pub nodes: usize,
     /// Candidate values pruned by generalized arc consistency.
@@ -205,6 +209,7 @@ pub fn find_carried_map_with_config(
             .u64("depth", stats.depth as u64)
             .u64("variables", stats.variables as u64)
             .u64("constraints", stats.constraints as u64)
+            .u64("symmetry_constraints", stats.symmetry_constraints as u64)
             .u64("nodes", stats.nodes as u64)
             .u64("prunes", stats.prunes as u64)
             .u64("wipeouts", stats.wipeouts as u64)
@@ -412,6 +417,75 @@ mod tests {
             let (result, _) = find_carried_map_with_config(&t, &domain, &config);
             assert!(result.is_unsolvable(), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_verdicts_and_witness_validity() {
+        // Solvable symmetric instance: the lex-least witness survives
+        // the breakers and is a genuine solution of the ORIGINAL query —
+        // no un-canonicalization step exists or is needed.
+        let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+        let domain = chr_domain(&t, 1);
+        let (result, stats) = find_carried_map_with_stats(&t, &domain, 100_000);
+        let map = result.into_map().expect("solvable with breakers");
+        assert!(verify_carried_map(&t, &domain, &map));
+        assert_eq!(stats.constraints, domain.facet_count());
+
+        // Unsolvable symmetric instances stay exactly unsolvable, at
+        // every thread count (breakers are deterministic, so the
+        // determinism guarantee is untouched).
+        let t = consensus(2, &[0, 1]);
+        let domain = chr_domain(&t, 2);
+        for threads in [1usize, 2, 4] {
+            let config = SearchConfig::serial(1_000_000).with_threads(threads);
+            let (result, _) = find_carried_map_with_config(&t, &domain, &config);
+            assert!(result.is_unsolvable(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn witnesses_transport_along_symmetry_actions() {
+        // The witness orbit: pushing a found map through a task symmetry
+        // (`act_topology::transport_vertex_map`) yields another valid
+        // witness of the same query — the equivalence class the
+        // lex-leader breakers quotient by.
+        use act_topology::{chain_action, transport_vertex_map, LabelMatching};
+        let t = SetConsensus::new(2, 2, &[0, 1, 2]);
+        let domain = chr_domain(&t, 1);
+        let map = find_carried_map(&t, &domain, 100_000)
+            .into_map()
+            .expect("solvable");
+        let mut transported_some = false;
+        for sym in t.symmetries() {
+            let in_matching = match &sym.input_labels {
+                Some(m) => LabelMatching::Relabeled(m),
+                None => LabelMatching::Strict,
+            };
+            let Some(g) = chain_action(&domain, &sym.color, in_matching) else {
+                continue;
+            };
+            if !g.preserves_facets(&domain) {
+                continue;
+            }
+            let out_matching = match &sym.output_labels {
+                Some(m) => LabelMatching::Relabeled(m),
+                None => LabelMatching::Strict,
+            };
+            let Some(h) = chain_action(t.outputs(), &sym.color, out_matching) else {
+                continue;
+            };
+            let transported = transport_vertex_map(
+                &map,
+                g.level_map(domain.level()),
+                h.inverse().level_map(0),
+            );
+            assert!(
+                verify_carried_map(&t, &domain, &transported),
+                "the witness orbit stays inside the solution set"
+            );
+            transported_some = true;
+        }
+        assert!(transported_some, "some declared symmetry acts on Chr¹");
     }
 
     #[test]

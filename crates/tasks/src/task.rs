@@ -1,6 +1,31 @@
 //! Distributed tasks `(I, O, Δ)` as chromatic complexes plus a carrier map.
 
-use act_topology::{ColorSet, Complex, ProcessId, Simplex};
+use std::collections::HashMap;
+
+use act_topology::{ColorPerm, ColorSet, Complex, ProcessId, Simplex, SYMMETRY_MAX_DEGREE};
+
+/// A declared symmetry of a task: a color permutation `π`, optionally
+/// paired with label relabelings, under which the task is invariant:
+/// `I` and `O` map onto themselves and
+/// `output ∈ Δ(input)  ⟺  g(output) ∈ Δ(g(input))`.
+///
+/// The label maps must be bijections on the labels they touch; `None`
+/// means labels are fixed. Implementations of [`Task::symmetries`] are
+/// trusted to return only genuine symmetries — the map search uses them
+/// to add symmetry-breaking (lex-leader) constraints, so a bogus entry
+/// can prune real solutions. The search independently verifies that each
+/// declared symmetry lifts to an automorphism of the concrete search
+/// domain and of the output complex (via [`act_topology::chain_action`])
+/// and silently skips the ones that do not.
+#[derive(Clone, Debug)]
+pub struct TaskSymmetry {
+    /// The color permutation `π`.
+    pub color: ColorPerm,
+    /// Relabeling applied to input labels alongside `π` (`None` = fixed).
+    pub input_labels: Option<HashMap<u64, u64>>,
+    /// Relabeling applied to output labels alongside `π` (`None` = fixed).
+    pub output_labels: Option<HashMap<u64, u64>>,
+}
 
 /// A distributed task `T = (I, O, Δ)` (Section 2 of the paper).
 ///
@@ -31,6 +56,14 @@ pub trait Task: Send + Sync {
     /// Only called with `input ∈ I`, `output ∈ O` and
     /// `χ(output) ⊆ χ(input)`; must be monotone in `output`.
     fn allows(&self, input: &Simplex, output: &Simplex) -> bool;
+
+    /// The task's declared symmetries (see [`TaskSymmetry`]); the map
+    /// search breaks them with lex-leader constraints so only one witness
+    /// per orbit is explored. The default — no symmetries — is always
+    /// sound. Every returned entry must be a genuine symmetry of `Δ`.
+    fn symmetries(&self) -> Vec<TaskSymmetry> {
+        Vec::new()
+    }
 }
 
 /// Builds the pseudosphere input complex: every process independently
@@ -230,6 +263,40 @@ impl Task for SetConsensus {
         decided.dedup();
         decided.len() <= self.k && decided.iter().all(|d| proposed.contains(d))
     }
+
+    fn symmetries(&self) -> Vec<TaskSymmetry> {
+        // Validity and k-agreement see only the *sets* of proposed and
+        // decided values, so every color permutation π fixes Δ outright.
+        // With exactly n distinct proposal values the diagonal action
+        // that also relabels values[i] → values[π(i)] is a symmetry too
+        // — the one that survives on rainbow-restricted inputs, where
+        // process i proposes the i-th value.
+        if self.n > SYMMETRY_MAX_DEGREE {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for perm in ColorPerm::all(self.n) {
+            if perm.is_identity() {
+                continue;
+            }
+            out.push(TaskSymmetry {
+                color: perm.clone(),
+                input_labels: None,
+                output_labels: None,
+            });
+            if self.values.len() == self.n {
+                let map: HashMap<u64, u64> = (0..self.n)
+                    .map(|i| (self.values[i], self.values[perm.apply(ProcessId::new(i)).index()]))
+                    .collect();
+                out.push(TaskSymmetry {
+                    color: perm,
+                    input_labels: Some(map.clone()),
+                    output_labels: Some(map),
+                });
+            }
+        }
+        out
+    }
 }
 
 /// Consensus: 1-set consensus.
@@ -319,6 +386,10 @@ impl Task for LeaderElection {
     }
     fn allows(&self, input: &Simplex, output: &Simplex) -> bool {
         self.inner.allows(input, output)
+    }
+    fn symmetries(&self) -> Vec<TaskSymmetry> {
+        // Δ is literally the inner consensus-on-ids Δ.
+        self.inner.symmetries()
     }
 }
 
@@ -456,5 +527,53 @@ mod tests {
         let t = LeaderElection::new(3);
         assert_eq!(t.inputs().facet_count(), 27);
         assert_eq!(t.num_processes(), 3);
+        assert_eq!(t.symmetries().len(), SetConsensus::new(3, 1, &[0, 1, 2]).symmetries().len());
+    }
+
+    #[test]
+    fn declared_symmetries_are_genuine() {
+        // The symmetry-breaking search trusts `symmetries()`: verify the
+        // contract exhaustively for a small instance — each declared
+        // action lifts to I and O and commutes with Δ on every
+        // (input facet, output facet) pair.
+        use act_topology::{chain_action, LabelMatching};
+        let t = SetConsensus::new(3, 2, &[0, 1, 2]);
+        let syms = t.symmetries();
+        // 5 non-identity permutations of S₃, pure only (4 values ≠ n is
+        // false here: 3 values == n=3, so diagonal entries double it).
+        assert_eq!(syms.len(), 10);
+        for sym in &syms {
+            let in_matching = match &sym.input_labels {
+                Some(m) => LabelMatching::Relabeled(m),
+                None => LabelMatching::Strict,
+            };
+            let gi = chain_action(t.inputs(), &sym.color, in_matching)
+                .expect("inputs admit the action");
+            assert!(gi.preserves_facets(t.inputs()));
+            let out_matching = match &sym.output_labels {
+                Some(m) => LabelMatching::Relabeled(m),
+                None => LabelMatching::Strict,
+            };
+            let go = chain_action(t.outputs(), &sym.color, out_matching)
+                .expect("outputs admit the action");
+            assert!(go.preserves_facets(t.outputs()));
+            for input in t.inputs().facets() {
+                for output in t.outputs().facets() {
+                    assert_eq!(
+                        t.allows(input, output),
+                        t.allows(&gi.apply_simplex(0, input), &go.apply_simplex(0, output)),
+                        "Δ must be invariant under every declared symmetry"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tasks_without_declared_symmetries_default_to_none() {
+        assert!(TrivialTask::new(2, &[0, 1]).symmetries().is_empty());
+        // With values.len() != n only the pure color actions are
+        // declared: S₂ has one non-identity element.
+        assert_eq!(SetConsensus::new(2, 1, &[0, 1, 2]).symmetries().len(), 1);
     }
 }

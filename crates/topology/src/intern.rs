@@ -138,6 +138,10 @@ impl FacetAccumulator {
         }
     }
 
+    pub(crate) fn len(&self) -> usize {
+        self.facets.len()
+    }
+
     pub(crate) fn into_facets(self) -> Vec<Simplex> {
         self.facets
     }

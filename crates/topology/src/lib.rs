@@ -49,6 +49,7 @@ mod parallel;
 mod portable;
 mod simplex;
 mod subdivision;
+mod symmetry;
 
 pub use color::{ColorSet, Iter, ProcessId, Subsets, MAX_PROCESSES};
 pub use complex::{CanonicalVertex, Complex, SimplexSet, VertexData};
@@ -68,4 +69,9 @@ pub use parallel::{
 };
 pub use portable::{PortableError, PORTABLE_FORMAT_VERSION};
 pub use simplex::{Faces, Simplex, VertexId};
-pub use subdivision::{all_recipes, Recipe};
+pub use subdivision::{all_recipes, OrbitExpansion, QuotientedSubdivision, Recipe};
+pub use symmetry::{
+    canonical_complex, canonical_pair_hashes, chain_action, permute_complex, symmetry_group,
+    symmetry_group_inferred, transport_vertex_map, ChainAction, ColorPerm, FacetOrbit,
+    LabelMatching, SymmetryGroup, SYMMETRY_MAX_DEGREE,
+};

@@ -14,6 +14,11 @@ use serde::{Deserialize, Serialize};
 pub struct VertexId(pub(crate) u32);
 
 impl VertexId {
+    /// Sentinel for "no vertex": used by image tables during orbit
+    /// transport. Never issued by an arena (a level would need 2³² − 1
+    /// real vertices first).
+    pub const NONE: VertexId = VertexId(u32::MAX);
+
     /// The zero-based index of this vertex in its level's vertex table.
     #[inline]
     pub fn index(self) -> usize {

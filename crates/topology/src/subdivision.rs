@@ -23,6 +23,9 @@ use crate::intern::{FacetAccumulator, InternArena};
 use crate::osp::{osp_table, Osp};
 use crate::parallel::{parallel_map_ranges, subdivision_threads};
 use crate::simplex::{Simplex, VertexId};
+use crate::symmetry::{
+    symmetry_group, symmetry_group_inferred, ChainAction, FacetOrbit, LabelMatching, SymmetryGroup,
+};
 
 /// A facet of `Chr^ℓ σ` described relative to `σ`: one ordered set
 /// partition of `χ(σ)` per subdivision round.
@@ -136,6 +139,199 @@ fn remap(simplex: &Simplex, map: &[VertexId]) -> Simplex {
     Simplex::from_vertices(simplex.vertices().iter().map(|&v| map[v.index()]))
 }
 
+/// The push-order trace of one facet's expansion: per recipe, per round,
+/// the `(color, issued id)` pairs in intern order. Recording a
+/// representative's expansion lets orbit members be *transported* — their
+/// vertices derived by id remapping instead of carrier recomputation —
+/// while reproducing the exact intern sequence of a direct expansion.
+struct RecordedExpansion {
+    rounds: Vec<Vec<Vec<(ProcessId, VertexId)>>>,
+}
+
+/// [`expand_facet`] with push-order recording (same intern sequence).
+fn expand_facet_recorded(
+    input: &Complex,
+    facet: &Simplex,
+    recipe_set: &[Recipe],
+    builders: &mut [LevelBuilder],
+) -> RecordedExpansion {
+    let colors = input.colors(facet);
+    let mut recorded = Vec::with_capacity(recipe_set.len());
+    for recipe in recipe_set {
+        let mut current_ids: Vec<(ProcessId, VertexId, Simplex, ColorSet)> = facet
+            .vertices()
+            .iter()
+            .map(|&v| {
+                let d = input.vertex(v);
+                (d.color, v, d.base_carrier.clone(), d.base_colors)
+            })
+            .collect();
+        let mut recipe_rounds = Vec::with_capacity(recipe.len());
+        for (round, osp) in recipe.iter().enumerate() {
+            assert_eq!(osp.ground(), colors, "recipe OSP ground set mismatch");
+            let builder = &mut builders[round];
+            let mut next_ids = Vec::with_capacity(current_ids.len());
+            for &(c, _, _, _) in &current_ids {
+                let view = osp.view_of(c).expect("osp covers every color of the facet");
+                let carrier = Simplex::from_vertices(
+                    current_ids
+                        .iter()
+                        .filter(|&&(cc, _, _, _)| view.contains(cc))
+                        .map(|&(_, v, _, _)| v),
+                );
+                let mut base_carrier = Simplex::empty();
+                let mut base_colors = ColorSet::EMPTY;
+                for &(cc, _, ref bc, bcol) in &current_ids {
+                    if view.contains(cc) {
+                        base_carrier = base_carrier.union(bc);
+                        base_colors = base_colors.union(bcol);
+                    }
+                }
+                let id = builder
+                    .arena
+                    .intern(c, carrier, base_carrier.clone(), base_colors);
+                next_ids.push((c, id, base_carrier, base_colors));
+            }
+            builder.facets.push(Simplex::from_vertices(
+                next_ids.iter().map(|&(_, v, _, _)| v),
+            ));
+            recipe_rounds.push(next_ids.iter().map(|&(c, v, _, _)| (c, v)).collect());
+            current_ids = next_ids;
+        }
+        recorded.push(recipe_rounds);
+    }
+    RecordedExpansion { rounds: recorded }
+}
+
+/// Resolves each of a member's recipes to the representative's recipe
+/// index under the inverse permutation, or `None` when some recipe has no
+/// counterpart (a non-equivariant recipe function). The result depends
+/// only on the (orbit, group element) pair, so callers cache it across
+/// the orbit's members instead of re-permuting and re-hashing every
+/// recipe per member.
+fn resolve_rep_indices(
+    facet_recipes: &[Recipe],
+    rep_recipe_index: &HashMap<Recipe, usize>,
+    action: &ChainAction,
+) -> Option<Vec<usize>> {
+    let inv = action.perm().inverse();
+    facet_recipes
+        .iter()
+        .map(|recipe| rep_recipe_index.get(&inv.apply_recipe(recipe)).copied())
+        .collect()
+}
+
+/// Expands an orbit member by transporting its representative's recorded
+/// expansion through a chain action: every vertex is derived by remapping
+/// the representative's recorded ids (input-level carriers through the
+/// action, deeper carriers through the image tables) instead of
+/// recomputing views and carrier unions.
+///
+/// Expansion is color-equivariant, so the interned keys — and therefore
+/// ids, tables, and facet order — are exactly those of a direct expansion
+/// of the member. `rep_indices` comes from [`resolve_rep_indices`]; a
+/// member whose recipes fail to resolve is expanded directly by the
+/// caller instead.
+///
+/// `images[round][rep_id]` caches the image of an issued id under this
+/// action's element ([`VertexId::NONE`] = not yet computed). The intern
+/// arena is content-addressed, so the image of a recorded id is a pure
+/// function of `(recorded vertex data, element)` and can be reused across
+/// recipes and members: repeat occurrences — the large majority, since
+/// expansions share most vertices between recipes — skip the carrier
+/// remapping, the allocations, and the intern probe entirely.
+fn transport_facet(
+    input: &Complex,
+    facet: &Simplex,
+    rep_indices: &[usize],
+    rep_record: &RecordedExpansion,
+    action: &ChainAction,
+    images: &mut [Vec<VertexId>],
+    builders: &mut [LevelBuilder],
+) {
+    if rep_indices.is_empty() {
+        return;
+    }
+    let inv = action.perm().inverse();
+    let input_map = action.level_map(input.level());
+    let base_map = action.level_map(0);
+    let perm = action.perm();
+    // The member's per-round color order: colors of its sorted vertices
+    // (constant across rounds, exactly as in a direct expansion). The
+    // representative's round order is equally constant, so the position of
+    // each member color's preimage is resolved once, not per vertex.
+    let facet_colors: Vec<ProcessId> = facet
+        .vertices()
+        .iter()
+        .map(|&v| input.color(v))
+        .collect();
+    let rep_order = &rep_record.rounds[rep_indices[0]][0];
+    let rep_pos: Vec<usize> = facet_colors
+        .iter()
+        .map(|&c| {
+            let rc = inv.apply(c);
+            rep_order
+                .iter()
+                .position(|&(col, _)| col == rc)
+                .expect("representative round covers every color")
+        })
+        .collect();
+    let mut issued: Vec<VertexId> = Vec::with_capacity(facet_colors.len());
+    for &rep_idx in rep_indices {
+        let recipe_rounds = &rep_record.rounds[rep_idx];
+        for (round, rep_round) in recipe_rounds.iter().enumerate() {
+            let builder = &mut builders[round];
+            let (prev_images, cur_images) = images.split_at_mut(round);
+            let cur_images = &mut cur_images[0];
+            issued.clear();
+            for (i, &c) in facet_colors.iter().enumerate() {
+                let rep_id = rep_round[rep_pos[i]].1;
+                let slot = rep_id.index();
+                if cur_images.len() <= slot {
+                    cur_images.resize(slot + 1, VertexId::NONE);
+                }
+                let id = if cur_images[slot] != VertexId::NONE {
+                    cur_images[slot]
+                } else {
+                    // Borrow the recorded vertex only long enough to remap
+                    // its data — cloning it would cost two simplex
+                    // allocations per vertex on the transport hot path.
+                    let (carrier, base_carrier, base_colors) = {
+                        let d = builder
+                            .arena
+                            .vertex(rep_id)
+                            .expect("recorded id is interned");
+                        let carrier = if round == 0 {
+                            remap(&d.carrier, input_map)
+                        } else {
+                            // Carrier ids come from the previous round of
+                            // this recipe, whose images are all recorded.
+                            let prev = &prev_images[round - 1];
+                            Simplex::from_vertices(d.carrier.vertices().iter().map(|&v| {
+                                let img = prev[v.index()];
+                                debug_assert!(img != VertexId::NONE);
+                                img
+                            }))
+                        };
+                        (
+                            carrier,
+                            remap(&d.base_carrier, base_map),
+                            perm.apply_colors(d.base_colors),
+                        )
+                    };
+                    let id = builder.arena.intern(c, carrier, base_carrier, base_colors);
+                    cur_images[slot] = id;
+                    id
+                };
+                issued.push(id);
+            }
+            builder
+                .facets
+                .push(Simplex::from_vertices(issued.iter().copied()));
+        }
+    }
+}
+
 /// Merges per-chunk builder chains into one global chain, replaying every
 /// chunk's intern and facet sequences *in chunk order*.
 ///
@@ -172,6 +368,29 @@ fn merge_builder_chains(chunks: Vec<Vec<LevelBuilder>>, depth: usize) -> Vec<Lev
         }
     }
     global
+}
+
+/// Assembles a builder chain into the final complex, threading each level's
+/// parent pointer from `input`.
+fn assemble_chain(input: &Complex, builders: Vec<LevelBuilder>, depth: usize) -> Complex {
+    let mut parent = input.clone();
+    let mut result = None;
+    for (i, b) in builders.into_iter().enumerate() {
+        let (vertices, key_index) = b.arena.into_parts();
+        let structure = Arc::new(Structure {
+            n: input.num_processes(),
+            level: parent.level() + 1,
+            parent: Some(parent.clone()),
+            vertices,
+            key_index,
+        });
+        let complex = Complex::assemble(structure, b.facets.into_facets());
+        parent = complex.clone();
+        if i + 1 == depth {
+            result = Some(complex);
+        }
+    }
+    result.expect("depth >= 1")
 }
 
 impl Complex {
@@ -312,25 +531,7 @@ impl Complex {
             merge_builder_chains(chunk_chains, depth)
         };
 
-        // Assemble the chain of complexes.
-        let mut parent = self.clone();
-        let mut result = None;
-        for (i, b) in builders.into_iter().enumerate() {
-            let (vertices, key_index) = b.arena.into_parts();
-            let structure = Arc::new(Structure {
-                n: self.num_processes(),
-                level: parent.level() + 1,
-                parent: Some(parent.clone()),
-                vertices,
-                key_index,
-            });
-            let complex = Complex::assemble(structure, b.facets.into_facets());
-            parent = complex.clone();
-            if i + 1 == depth {
-                result = Some(complex);
-            }
-        }
-        let result = result.expect("depth >= 1");
+        let result = assemble_chain(self, builders, depth);
         if act_obs::enabled() {
             span.finish()
                 .u64("depth", depth as u64)
@@ -341,6 +542,173 @@ impl Complex {
                 .emit();
         }
         result
+    }
+
+    /// [`Complex::subdivide_patterned`] with symmetry-orbit sharing: one
+    /// representative facet per color-symmetry orbit is expanded directly;
+    /// every other orbit member is *transported* — derived from the
+    /// representative's recorded expansion by applying the group element,
+    /// skipping all view/carrier recomputation.
+    ///
+    /// The result is byte-identical to [`Complex::subdivide_patterned`]
+    /// (same vertex tables, ids, and facet order): transport reproduces the
+    /// exact intern sequence of a direct expansion. Facets whose recipes
+    /// are not equivariant under the acting group element fall back to
+    /// direct expansion, so the method is total. With a trivial symmetry
+    /// group this delegates to the threaded direct build.
+    ///
+    /// Emits a `subdivision.orbit` span with the orbit census and the
+    /// transported/direct split.
+    pub fn subdivide_patterned_orbit_shared<F>(&self, depth: usize, recipes: F) -> Complex
+    where
+        F: Fn(ColorSet) -> Vec<Recipe>,
+    {
+        assert!(depth >= 1, "subdivision depth must be at least 1");
+        let group = symmetry_group_inferred(self);
+        if group.order() <= 1 {
+            return self.subdivide_patterned_threaded(depth, recipes, subdivision_threads());
+        }
+        let span = act_obs::span("subdivision.orbit");
+
+        let mut recipe_cache: HashMap<ColorSet, Arc<Vec<Recipe>>> = HashMap::new();
+        for facet in self.facets() {
+            let colors = self.colors(facet);
+            assert_eq!(
+                colors.len(),
+                facet.len(),
+                "subdivide_patterned requires a chromatic complex"
+            );
+            recipe_cache.entry(colors).or_insert_with(|| {
+                let set = recipes(colors);
+                for recipe in &set {
+                    assert_eq!(recipe.len(), depth, "recipe depth mismatch");
+                }
+                Arc::new(set)
+            });
+        }
+
+        let orbits = group.orbits_of_facets();
+        let facets = self.facets();
+        let mut assignment: Vec<(usize, usize)> = vec![(0, 0); facets.len()];
+        for (oi, orbit) in orbits.iter().enumerate() {
+            for &(fi, gi) in &orbit.members {
+                assignment[fi] = (oi, gi);
+            }
+        }
+        let mut records: Vec<Option<(RecordedExpansion, HashMap<Recipe, usize>)>> =
+            (0..orbits.len()).map(|_| None).collect();
+        // Recipe resolution depends only on the (orbit, group element)
+        // pair, so it is cached across an orbit's members instead of
+        // re-permuting and re-hashing every recipe per member.
+        let mut resolved: HashMap<(usize, usize), Option<Vec<usize>>> = HashMap::new();
+        // Per-element image tables (`images[gi][round][rep_id]`), shared
+        // across every orbit: the intern arena is content-addressed, so an
+        // issued id's image under a fixed group element never changes.
+        let mut images: Vec<Vec<Vec<VertexId>>> = vec![vec![Vec::new(); depth]; group.order()];
+        let mut builders = LevelBuilder::new_chain(depth);
+        let mut transported = 0u64;
+        let mut expanded = 0u64;
+        for (fi, facet) in facets.iter().enumerate() {
+            let (oi, gi) = assignment[fi];
+            let recipe_set = &recipe_cache[&self.colors(facet)];
+            if fi == orbits[oi].representative {
+                let record = expand_facet_recorded(self, facet, recipe_set, &mut builders);
+                let index: HashMap<Recipe, usize> = recipe_set
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (r.clone(), i))
+                    .collect();
+                records[oi] = Some((record, index));
+                expanded += 1;
+            } else {
+                let (record, index) = records[oi]
+                    .as_ref()
+                    .expect("orbit representatives have the smallest facet index");
+                let rep_indices = resolved
+                    .entry((oi, gi))
+                    .or_insert_with(|| resolve_rep_indices(recipe_set, index, group.element(gi)));
+                match rep_indices {
+                    Some(rep_indices) => {
+                        transport_facet(
+                            self,
+                            facet,
+                            rep_indices,
+                            record,
+                            group.element(gi),
+                            &mut images[gi],
+                            &mut builders,
+                        );
+                        transported += 1;
+                    }
+                    None => {
+                        expand_facet(self, facet, &recipe_cache, &mut builders);
+                        expanded += 1;
+                    }
+                }
+            }
+        }
+        let result = assemble_chain(self, builders, depth);
+        if act_obs::enabled() {
+            span.finish()
+                .u64("depth", depth as u64)
+                .u64("orbits", orbits.len() as u64)
+                .u64("group_order", group.order() as u64)
+                .u64("facets_in", facets.len() as u64)
+                .u64("facets_out", result.facet_count() as u64)
+                .u64("transported", transported)
+                .u64("expanded_direct", expanded)
+                .emit();
+        }
+        result
+    }
+
+    /// The quotiented standard chromatic subdivision: computes the orbit
+    /// census of this complex's facets under its color-symmetry group and
+    /// expands only one representative per orbit.
+    ///
+    /// The returned [`QuotientedSubdivision`] holds the partial subdivision
+    /// of the representatives (a genuine sub-complex of `Chr K`, with this
+    /// complex as parent so carrier/star lookups against the full level
+    /// work) together with the orbits; full materialization is opt-in via
+    /// [`QuotientedSubdivision::expand`]. The full facet count is available
+    /// without expansion as Σ orbit_size × representative-expansion size.
+    pub fn chromatic_subdivision_quotiented(&self) -> QuotientedSubdivision {
+        let span = act_obs::span("subdivision.orbit");
+        let group = symmetry_group(self, LabelMatching::Blind);
+        let orbits = group.orbits_of_facets();
+        let mut recipe_cache: HashMap<ColorSet, Arc<Vec<Recipe>>> = HashMap::new();
+        let mut builders = LevelBuilder::new_chain(1);
+        let mut rep_ranges = Vec::with_capacity(orbits.len());
+        for orbit in &orbits {
+            let facet = &self.facets()[orbit.representative];
+            let colors = self.colors(facet);
+            assert_eq!(colors.len(), facet.len(), "requires a chromatic complex");
+            let recipe_set = recipe_cache
+                .entry(colors)
+                .or_insert_with(|| Arc::new(all_recipes(colors, 1)));
+            let start = builders[0].facets.len();
+            let _ = expand_facet_recorded(self, facet, recipe_set, &mut builders);
+            rep_ranges.push(start..builders[0].facets.len());
+        }
+        let representatives = assemble_chain(self, builders, 1);
+        if act_obs::enabled() {
+            span.finish()
+                .u64("depth", 1)
+                .u64("orbits", orbits.len() as u64)
+                .u64("group_order", group.order() as u64)
+                .u64("facets_in", self.facet_count() as u64)
+                .u64("facets_out", representatives.facet_count() as u64)
+                .u64("transported", 0)
+                .u64("expanded_direct", orbits.len() as u64)
+                .emit();
+        }
+        QuotientedSubdivision {
+            input: self.clone(),
+            group,
+            orbits,
+            representatives,
+            rep_ranges,
+        }
     }
 
     /// Resolves the simplex of this complex described by a recipe relative
@@ -469,6 +837,86 @@ impl Complex {
         }
         rounds.reverse();
         rounds
+    }
+}
+
+/// The result of [`Complex::chromatic_subdivision_quotiented`]: one
+/// expanded representative per facet orbit, with the orbit census needed to
+/// account for (or lazily regenerate) the rest of `Chr K`.
+pub struct QuotientedSubdivision {
+    input: Complex,
+    group: SymmetryGroup,
+    orbits: Vec<FacetOrbit>,
+    representatives: Complex,
+    rep_ranges: Vec<std::ops::Range<usize>>,
+}
+
+/// One orbit's view of the quotiented subdivision: the census entry plus
+/// the representative's expansion facets (simplices of
+/// [`QuotientedSubdivision::representatives`]).
+pub struct OrbitExpansion<'a> {
+    /// The orbit census entry (representative index, members, sizes).
+    pub orbit: &'a FacetOrbit,
+    /// The facets of the representative's chromatic subdivision.
+    pub rep_facets: &'a [Simplex],
+}
+
+impl QuotientedSubdivision {
+    /// The subdivided input complex.
+    pub fn input(&self) -> &Complex {
+        &self.input
+    }
+
+    /// The color-symmetry group the quotient was taken under.
+    pub fn group(&self) -> &SymmetryGroup {
+        &self.group
+    }
+
+    /// The facet orbits of the input complex.
+    pub fn orbits(&self) -> &[FacetOrbit] {
+        &self.orbits
+    }
+
+    /// The partial subdivision containing the representatives' expansions.
+    /// Its parent is the *full* input level, so carrier and star lookups
+    /// against the ambient complex work unchanged.
+    pub fn representatives(&self) -> &Complex {
+        &self.representatives
+    }
+
+    /// The expansion facets of orbit `i`'s representative.
+    pub fn rep_facets(&self, i: usize) -> &[Simplex] {
+        &self.representatives.facets()[self.rep_ranges[i].clone()]
+    }
+
+    /// Lazy per-orbit iteration: each item pairs an orbit census entry with
+    /// its representative's expansion facets. Full materialization stays
+    /// opt-in ([`QuotientedSubdivision::expand`]).
+    pub fn orbit_expansions(&self) -> impl Iterator<Item = OrbitExpansion<'_>> {
+        self.orbits
+            .iter()
+            .enumerate()
+            .map(|(i, orbit)| OrbitExpansion {
+                orbit,
+                rep_facets: self.rep_facets(i),
+            })
+    }
+
+    /// The facet count of the full subdivision, from the census alone:
+    /// Σ orbit_size × representative-expansion size.
+    pub fn total_facet_count(&self) -> usize {
+        self.orbits
+            .iter()
+            .zip(&self.rep_ranges)
+            .map(|(o, r)| o.orbit_size() * r.len())
+            .sum()
+    }
+
+    /// Materializes the full subdivision `Chr K`, byte-identical to
+    /// [`Complex::chromatic_subdivision`].
+    pub fn expand(&self) -> Complex {
+        self.input
+            .subdivide_patterned_orbit_shared(1, |colors| all_recipes(colors, 1))
     }
 }
 
@@ -663,6 +1111,80 @@ mod tests {
         assert_eq!(serial, parallel);
         // Intermediate levels are merged identically too.
         assert_eq!(serial.parent().unwrap(), parallel.parent().unwrap());
+    }
+
+    #[test]
+    fn orbit_shared_subdivision_is_byte_identical_to_direct() {
+        // Transport reproduces the exact intern sequence, so `==` (which
+        // compares vertex tables, ids, and facet lists) holds — the
+        // load-bearing invariant for towers, hashes, and persistence.
+        let inputs = [
+            Complex::standard(3).chromatic_subdivision(),
+            Complex::standard(4).chromatic_subdivision(),
+            Complex::standard(3).iterated_subdivision(2),
+        ];
+        for input in &inputs {
+            let direct = input.chromatic_subdivision_threaded(1);
+            let shared = input.subdivide_patterned_orbit_shared(1, |c| all_recipes(c, 1));
+            assert_eq!(direct, shared);
+            assert_eq!(direct.facets(), shared.facets());
+        }
+    }
+
+    #[test]
+    fn orbit_shared_depth_two_matches_direct() {
+        let s = Complex::standard(3).chromatic_subdivision();
+        let direct = s.subdivide_patterned_threaded(2, |c| all_recipes(c, 2), 1);
+        let shared = s.subdivide_patterned_orbit_shared(2, |c| all_recipes(c, 2));
+        assert_eq!(direct, shared);
+        assert_eq!(direct.parent().unwrap(), shared.parent().unwrap());
+    }
+
+    #[test]
+    fn orbit_shared_on_labeled_rainbow_base() {
+        // Rainbow input labels break strict symmetry; the label-blind
+        // action still shares expansions, and the result is identical.
+        let verts = vec![
+            (ProcessId::new(0), 7),
+            (ProcessId::new(1), 8),
+            (ProcessId::new(2), 9),
+        ];
+        let base = Complex::from_labeled_vertices(3, verts, vec![vec![0, 1, 2]]);
+        let chr = base.chromatic_subdivision();
+        let direct = chr.subdivide_patterned_threaded(2, |c| all_recipes(c, 2), 1);
+        let shared = chr.subdivide_patterned_orbit_shared(2, |c| all_recipes(c, 2));
+        assert_eq!(direct, shared);
+    }
+
+    #[test]
+    fn quotiented_census_accounts_for_every_facet() {
+        for n in 2..=4 {
+            let s = Complex::standard(n);
+            let q = s.chromatic_subdivision_quotiented();
+            assert_eq!(q.total_facet_count() as u64, fubini(n), "n = {n}");
+            let chr1 = s.chromatic_subdivision();
+            let q2 = chr1.chromatic_subdivision_quotiented();
+            assert_eq!(
+                q2.total_facet_count(),
+                chr1.chromatic_subdivision().facet_count(),
+                "Chr² census, n = {n}"
+            );
+            // The representatives complex is a genuine partial subdivision
+            // sharing the full input level as parent.
+            assert_eq!(q2.representatives().parent().unwrap(), &chr1);
+            let lazy: usize = q2
+                .orbit_expansions()
+                .map(|e| e.orbit.orbit_size() * e.rep_facets.len())
+                .sum();
+            assert_eq!(lazy, q2.total_facet_count());
+        }
+    }
+
+    #[test]
+    fn quotient_then_expand_equals_direct() {
+        let s = Complex::standard(3);
+        let q = s.chromatic_subdivision_quotiented();
+        assert_eq!(q.expand(), s.chromatic_subdivision());
     }
 
     #[test]

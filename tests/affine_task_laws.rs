@@ -134,3 +134,32 @@ fn census_facet_count_statistics() {
     assert!(*max <= 169);
     assert!(counts.contains(&169), "wait-free is in the census");
 }
+
+/// Orbit-shared application is byte-identical to direct application even
+/// when the inputs' labels are tied to colors (rainbow set-consensus
+/// inputs, where process `i` holds value `i`). Pure color permutations do
+/// not preserve such a complex — the blind symmetry group is trivial —
+/// and only the *inferred* diagonal color-and-label action lets the
+/// orbit-shared build transport instead of falling back to a direct
+/// expansion. This pins the mechanism and the exactness of its output.
+#[test]
+fn orbit_shared_application_is_byte_identical_on_rainbow_inputs() {
+    use act_adversary::Adversary;
+    use act_tasks::{SetConsensus, Task};
+    use act_topology::{symmetry_group, symmetry_group_inferred, LabelMatching};
+
+    let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+    let r_a = fair_affine_task(&alpha);
+    let inputs = SetConsensus::new(3, 2, &[0, 1, 2]).rainbow_inputs();
+    let level1 = r_a.apply_to(&inputs);
+
+    // The mechanism: blind matching sees nothing, inference recovers the
+    // full diagonal S_3.
+    assert_eq!(symmetry_group(&level1, LabelMatching::Blind).order(), 1);
+    assert_eq!(symmetry_group_inferred(&level1).order(), 6);
+
+    // The law: transported and direct builds are byte-identical (same
+    // vertex tables, ids, and facet order — not merely isomorphic).
+    assert_eq!(r_a.apply_to_shared(&level1), r_a.apply_to(&level1));
+    assert_eq!(r_a.apply_to_shared(&inputs), r_a.apply_to(&inputs));
+}

@@ -208,6 +208,26 @@ fn solver_armed_campaign_mines_no_violations_on_a_solvable_model() {
     assert!(!report.coverage.facets.is_empty());
 }
 
+/// The quotient oracle runs the solver under both direct and
+/// orbit-shared tower expansion and demands verdict parity. Parity is a
+/// theorem, so building the oracle context must succeed and must arm
+/// exactly the same verdict the single-expansion check arms.
+#[test]
+fn quotient_oracle_context_agrees_with_the_single_expansion_check() {
+    let with_oracle = CampaignContext::new_with_oracle("t-res:3:1", true, true)
+        .expect("oracle context builds: direct and quotiented verdicts agree");
+    assert_eq!(with_oracle.solver_solvable, Some(true));
+
+    let without = CampaignContext::new("t-res:3:1", true).expect("plain context builds");
+    assert_eq!(with_oracle.solver_solvable, without.solver_solvable);
+
+    // Without the solver check the oracle has nothing to compare and is
+    // a no-op rather than an error.
+    let unarmed = CampaignContext::new_with_oracle("t-res:3:1", false, true)
+        .expect("oracle without solver check is a no-op");
+    assert_eq!(unarmed.solver_solvable, None);
+}
+
 /// The campaign rejects a checkpoint written by a different campaign.
 #[test]
 fn resume_rejects_a_foreign_fingerprint() {

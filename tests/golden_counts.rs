@@ -132,3 +132,48 @@ fn golden_t_resilient_and_wait_free_counts() {
     let wait_free = AgreementFunction::of_adversary(&Adversary::wait_free(3));
     assert_eq!(fair_affine_task(&wait_free).complex().facet_count(), 169);
 }
+
+/// Symmetry quotients of the figure complexes: the facets of `Chr s` are
+/// the ordered set partitions of `n` colors (Fubini numbers), and their
+/// `S_n`-orbits are the *compositions* of `n` — `2^(n-1)` of them. Orbit
+/// sizes must sum back to the golden facet counts, which is exactly the
+/// bookkeeping the orbit-shared expansion and the quotiented `R_A` census
+/// rely on.
+#[test]
+fn golden_chr_orbit_census_sums_to_fubini() {
+    use act_topology::{symmetry_group, LabelMatching};
+    for n in 2..=5usize {
+        let chr = Complex::standard(n).chromatic_subdivision();
+        let group = symmetry_group(&chr, LabelMatching::Strict);
+        assert_eq!(group.order(), (1..=n).product::<usize>(), "S_{n} acts");
+        let orbits = group.orbits_of_facets();
+        assert_eq!(orbits.len(), 1 << (n - 1), "compositions of {n}");
+        let total: usize = orbits.iter().map(|o| o.orbit_size()).sum();
+        assert_eq!(total as u64, fubini(n), "orbit sizes sum to Fubini({n})");
+    }
+}
+
+/// The symmetry-quotiented `R_A` census agrees with the direct build
+/// where the direct build is feasible (n = 3, 4), and pins the
+/// previously-unreachable n = 5 point: `R_{4-conc}` has 264 556 facets
+/// inside the 292 681-facet `Chr² s`, computed from only 16 orbit
+/// representatives.
+#[test]
+fn golden_quotiented_r_a_census() {
+    use act_affine::fair_census_quotiented;
+    for n in 3..=4usize {
+        let alpha = AgreementFunction::k_concurrency(n, n - 1);
+        let census = fair_census_quotiented(&alpha).expect("k-concurrency is color-symmetric");
+        assert_eq!(
+            census.facet_count,
+            fair_affine_task(&alpha).complex().facet_count(),
+            "quotient ≡ direct, n = {n}"
+        );
+        assert_eq!(census.orbit_count, 1 << (n - 1), "compositions of {n}");
+    }
+    let n5 = fair_census_quotiented(&AgreementFunction::k_concurrency(5, 4))
+        .expect("k-concurrency is color-symmetric");
+    assert_eq!(n5.facet_count, 264_556, "R_4-conc, n = 5");
+    assert_eq!(n5.orbit_count, 16, "compositions of 5");
+    assert_eq!(n5.chr2_facet_count, 292_681, "541² = Fubini(5)²");
+}

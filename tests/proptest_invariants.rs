@@ -116,6 +116,26 @@ proptest! {
     }
 
     #[test]
+    fn canonical_form_is_perm_invariant_and_idempotent(
+        n in 2usize..=4,
+        fi in 0usize..1000,
+        gi in 0usize..24,
+    ) {
+        use act_topology::{symmetry_group, LabelMatching};
+        let chr = Complex::standard(n).chromatic_subdivision();
+        let group = symmetry_group(&chr, LabelMatching::Strict);
+        let facet = &chr.facets()[fi % chr.facet_count()];
+        let action = group.element(gi % group.order());
+        let image = action.apply_simplex(chr.level(), facet);
+        let canon = group.canonical_form(facet);
+        // Constant on the orbit: a randomly permuted facet canonicalizes
+        // to the same representative…
+        prop_assert_eq!(&group.canonical_form(&image), &canon);
+        // …and canonicalizing a canonical form is the identity.
+        prop_assert_eq!(&group.canonical_form(&canon), &canon);
+    }
+
+    #[test]
     fn subdivision_carriers_are_consistent(seed in 0u64..500) {
         // Pick a pseudo-random facet of Chr² s and check carrier algebra.
         let chr2 = Complex::standard(3).iterated_subdivision(2);
