@@ -1,0 +1,224 @@
+"""CI chaos smoke for the replicated fact-serve cluster.
+
+Stands up a 2-peer cluster as real ``fact-cli serve`` processes, then
+walks it through the full self-healing story under an injected fault
+plan:
+
+1. **Torn write** — peer B runs under a chaos plan that truncates its
+   2nd store write mid-entry (committed *without* the atomic rename, so
+   the corruption is really on disk). B's background scrub must detect
+   it against the Merkle index and repair it from the memory tier
+   (``scrub_repaired`` >= 1, and the corruption never surfaces to a
+   client).
+2. **Kill a replica mid-workload** — the same plan kills B (exit code
+   42) at a request sequence number reached while the workload is still
+   running. Every client request — issued through the resilient
+   ``fact-cli query`` client with both peers listed — must still
+   succeed by failing over to A. Zero failed requests is the bar.
+3. **Restart + convergence** — B restarts on its old address against
+   its old store. After its anti-entropy round, A and B must report an
+   identical Merkle root covering every verdict the workload produced.
+
+Usage: python3 ci/cluster_smoke.py [FACT_CLI_PATH]
+"""
+
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+KILL_EXIT_CODE = 42
+# High enough that phase 1 plus the scrub-wait stats polling (<= ~170
+# requests worst case) can never fire it early; the poke loop after the
+# scrub check drives the sequence the rest of the way deliberately.
+KILL_AT_REQUEST = 250
+# (model, k): phase 1 runs the first three before the kill, phase 2 the
+# rest (plus re-asks of phase 1) after it.
+PHASE1 = [("t-res:3:1", 2), ("t-res:3:2", 2), ("k-of:3:2", 2)]
+PHASE2 = [("k-of:3:1", 1), ("wait-free:3", 2), ("t-res:3:1", 2), ("k-of:3:2", 2)]
+
+
+def free_port():
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def wait_listening(port, deadline_s=30):
+    start = time.time()
+    while time.time() - start < deadline_s:
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=1):
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise AssertionError(f"port {port} never started accepting")
+
+
+def rpc(port, request, timeout=30):
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall((json.dumps(request) + "\n").encode())
+        line = sock.makefile("r", encoding="utf-8").readline()
+    assert line, f"peer :{port} closed the connection before answering {request}"
+    response = json.loads(line)
+    assert response["id"] == request["id"], (request, response)
+    return response
+
+
+class Cluster:
+    def __init__(self, fact_cli):
+        self.fact_cli = fact_cli
+        self.root = tempfile.mkdtemp(prefix="fact-cluster-smoke-")
+        self.ports = [free_port(), free_port()]
+        self.peers = ",".join(f"127.0.0.1:{p}" for p in self.ports)
+        self.procs = [None, None]
+
+    def store_dir(self, i):
+        return os.path.join(self.root, f"store-{i}")
+
+    def start_peer(self, i, fault_plan=None):
+        cmd = [
+            self.fact_cli, "serve",
+            "--addr", f"127.0.0.1:{self.ports[i]}",
+            "--store", self.store_dir(i),
+            "--peers", self.peers,
+            "--self-index", str(i),
+            "--scrub-interval-ms", "200",
+        ]
+        if fault_plan is not None:
+            plan_path = os.path.join(self.root, f"fault-plan-{i}.json")
+            with open(plan_path, "w") as f:
+                json.dump(fault_plan, f)
+            cmd += ["--fault-plan", plan_path]
+        self.procs[i] = subprocess.Popen(
+            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+        wait_listening(self.ports[i])
+
+    def query(self, model, k, proof=False):
+        """One request through the resilient client; returns its stdout."""
+        cmd = [
+            self.fact_cli, "query", model, str(k),
+            "--peers", self.peers,
+            "--deadline-ms", "60000",
+        ]
+        if proof:
+            cmd.append("--proof")
+        done = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+        assert done.returncode == 0, (
+            f"client request {model}/{k} failed (exit {done.returncode}): "
+            f"{done.stderr.strip()}"
+        )
+        return done.stdout
+
+    def shutdown_peer(self, i):
+        if self.procs[i] is None:
+            return
+        try:
+            rpc(self.ports[i], {"op": "shutdown", "id": 999})
+        except (OSError, AssertionError):
+            pass
+        self.procs[i].wait(timeout=30)
+
+    def cleanup(self):
+        for p in self.procs:
+            if p is not None and p.poll() is None:
+                p.kill()
+                p.wait()
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+def main():
+    fact_cli = sys.argv[1] if len(sys.argv) > 1 else "target/release/fact-cli"
+    cluster = Cluster(fact_cli)
+    try:
+        # Peer B carries the whole chaos plan: one torn store write early,
+        # one kill at a request sequence the post-scrub poking will reach.
+        plan = {
+            "seed": 7,
+            "events": [
+                {"kind": "torn-write", "at_put": 2, "keep_bytes": 17},
+                {"kind": "kill-peer", "at_request": KILL_AT_REQUEST},
+            ],
+        }
+        cluster.start_peer(0)
+        cluster.start_peer(1, fault_plan=plan)
+
+        # Phase 1: warm the cluster. Replication factor 2 over 2 peers
+        # means every verdict lands on both — so B takes at least three
+        # store writes and the torn one is among them.
+        for model, k in PHASE1:
+            out = cluster.query(model, k)
+            assert "verdict" in out, out
+
+        # One proof-carrying request: the client verifies the Merkle
+        # inclusion proof itself and fails hard on a bad one.
+        out = cluster.query("t-res:3:1", 2, proof=True)
+        assert "VERIFIED" in out, out
+
+        # B's background scrub (200 ms period) must find the torn entry
+        # and repair it from the memory tier.
+        deadline = time.time() + 15
+        while True:
+            stats = rpc(cluster.ports[1], {"op": "stats", "id": 1})["stats"]
+            if stats["scrub_repaired"] >= 1:
+                break
+            assert time.time() < deadline, f"scrub never repaired the torn write: {stats}"
+            time.sleep(0.1)
+        assert stats["scrub_quarantined"] == 0, stats
+
+        # Kill B mid-workload: poke it until the plan's kill-peer event
+        # fires (every handled request advances the sequence), while the
+        # client workload keeps running against the cluster.
+        for poke in range(KILL_AT_REQUEST + 50):
+            if cluster.procs[1].poll() is not None:
+                break
+            try:
+                rpc(cluster.ports[1], {"op": "stats", "id": 100 + poke}, timeout=5)
+            except (OSError, AssertionError):
+                pass  # the killed process closes the socket without replying
+        rc = cluster.procs[1].wait(timeout=30)
+        assert rc == KILL_EXIT_CODE, f"expected chaos kill exit {KILL_EXIT_CODE}, got {rc}"
+
+        # Phase 2: B is dead and still listed — every request must
+        # succeed anyway via failover to A.
+        for model, k in PHASE2:
+            out = cluster.query(model, k)
+            assert "verdict" in out, out
+
+        # Restart B on its old address/store; its startup anti-entropy
+        # plus one explicit sync round must converge it to A's root.
+        cluster.start_peer(1)
+        sync = rpc(cluster.ports[1], {"op": "sync", "id": 2})
+        assert sync["ok"], sync
+        root_a = rpc(cluster.ports[0], {"op": "root", "id": 3})
+        root_b = rpc(cluster.ports[1], {"op": "root", "id": 4})
+        assert root_a["ok"] and root_b["ok"], (root_a, root_b)
+        assert root_a["merkle_root"] == root_b["merkle_root"], (root_a, root_b)
+        assert root_a["entry_count"] == root_b["entry_count"] == 5, (root_a, root_b)
+
+        # cluster-stats agrees: both peers reachable, roots converged.
+        done = subprocess.run(
+            [fact_cli, "cluster-stats", "--peers", cluster.peers],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert done.returncode == 0, done.stderr
+        assert "roots converged" in done.stdout, done.stdout
+
+        cluster.shutdown_peer(0)
+        cluster.shutdown_peer(1)
+        print(
+            "cluster smoke OK: torn write repaired, replica killed (exit 42) with "
+            "zero failed client requests, roots converged on "
+            f"{root_a['merkle_root'][:12]}… with {root_a['entry_count']} entries"
+        )
+    finally:
+        cluster.cleanup()
+
+
+if __name__ == "__main__":
+    main()

@@ -303,8 +303,8 @@ mod tests {
                 CriticalSideCondition::Union,
                 CriticalSideCondition::TripleIntersection,
             ] {
-                let census = fair_census_quotiented_with(alpha, side)
-                    .expect("symmetric model has a census");
+                let census =
+                    fair_census_quotiented_with(alpha, side).expect("symmetric model has a census");
                 let direct = fair_affine_task_with(alpha, side);
                 assert_eq!(
                     census.facet_count,

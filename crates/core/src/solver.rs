@@ -1055,8 +1055,15 @@ mod tests {
             hit
         }
 
-        fn store_level(&self, affine_hash: u128, inputs_hash: u128, level: usize, domain: &Complex) {
-            self.stores.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        fn store_level(
+            &self,
+            affine_hash: u128,
+            inputs_hash: u128,
+            level: usize,
+            domain: &Complex,
+        ) {
+            self.stores
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             self.entries
                 .lock()
                 .unwrap()

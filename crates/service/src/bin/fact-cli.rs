@@ -31,7 +31,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use act_service::{
-    deepening_verdict, ServeConfig, ServeOptions, StoreKey, StoredVerdict, VerdictStore,
+    deepening_verdict, ClusterClient, ClusterConfig, ServeConfig, ServeFaultPlan, ServeOptions,
+    StoreKey, StoredVerdict, VerdictStore,
 };
 use fact::adversary::{zoo, Adversary, AgreementFunction};
 use fact::affine::fair_affine_task;
@@ -216,6 +217,16 @@ usage:
             [--store <dir>]              answer from / persist into a verdict store
   fact-cli serve [--stdio] [--addr H:P]  run the solvability query service
             [--store <dir>] [--workers <n>] [--queue <n>]
+            [--peers H:P,H:P,...]        full cluster membership (incl. self)
+            [--self-index <i>]           which --peers entry this server is
+            [--scrub-interval-ms <ms>]   background Merkle scrub period
+            [--sync-interval-ms <ms>]    background anti-entropy period
+            [--fault-plan <path>]        install a chaos plan (JSON; testing)
+  fact-cli query <model> <k> [iters]     resilient client: solve via a cluster
+            --peers H:P,H:P,...          with retry/backoff/replica failover
+            [--proof]                    demand + verify a Merkle proof
+            [--seed <n>]                 jitter seed (replayable retries)
+  fact-cli cluster-stats --peers H:P,... per-peer counters + root convergence
   fact-cli simulate <model> <runs>       run Algorithm 1 under adversarial schedules
   fact-cli campaign <model>              large randomized run campaign with invariant
                                          mining, failure dedup, and auto-shrinking
@@ -245,6 +256,7 @@ options:
 exit codes: 0 success | 1 runtime failure | 2 usage error
             3 degraded run (a search branch was lost to a caught panic)
             4 search deadline expired
+            42 chaos plan killed the server (kill-peer event; testing only)
 
 models: wait-free:N | t-res:N:T | k-of:N:K | fig5b | custom:N:{p1,p2};{p3};...
 
@@ -262,6 +274,8 @@ fn run(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fact
         Some("analyze") => analyze(&args[1..]),
         Some("solve") => solve(&args[1..], deadline_ms),
         Some("serve") => serve(&args[1..], deadline_ms),
+        Some("query") => query(&args[1..], deadline_ms),
+        Some("cluster-stats") => cluster_stats(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
         Some("census") => census(),
@@ -458,6 +472,16 @@ fn parse_serve_options(
     let addr = extract_value_flag(&mut args, "--addr")?;
     let workers = extract_count_flag(&mut args, "--workers")?;
     let queue = extract_count_flag(&mut args, "--queue")?;
+    let peers = extract_value_flag(&mut args, "--peers")?;
+    let self_index = extract_value_flag(&mut args, "--self-index")?
+        .map(|raw| {
+            raw.parse::<usize>()
+                .map_err(|_| format!("bad --self-index value {raw:?}"))
+        })
+        .transpose()?;
+    let fault_plan_path = extract_value_flag(&mut args, "--fault-plan")?;
+    let scrub_interval_ms = extract_millis_flag(&mut args, "--scrub-interval-ms")?;
+    let sync_interval_ms = extract_millis_flag(&mut args, "--sync-interval-ms")?;
     let stdio = match args.iter().position(|a| a == "--stdio") {
         Some(i) => {
             args.remove(i);
@@ -470,6 +494,33 @@ fn parse_serve_options(
             "serve does not take positional argument {stray:?}"
         )));
     }
+    let cluster = match (peers, self_index) {
+        (None, None) => None,
+        (Some(_), None) => {
+            return Err(FactError::Usage(
+                "--peers needs --self-index (which peer this server is)".into(),
+            ))
+        }
+        (None, Some(_)) => return Err(FactError::Usage("--self-index needs --peers".into())),
+        (Some(list), Some(self_index)) => {
+            let peers = parse_peer_list(&list)?;
+            if self_index >= peers.len() {
+                return Err(FactError::Usage(format!(
+                    "--self-index {self_index} out of range for {} peer(s)",
+                    peers.len()
+                )));
+            }
+            Some(ClusterConfig::new(peers, self_index))
+        }
+    };
+    let fault_plan = match fault_plan_path {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| FactError::Runtime(format!("read fault plan {path:?}: {e}")))?;
+            Some(ServeFaultPlan::from_json(&text).map_err(FactError::Usage)?)
+        }
+    };
     let mut config = ServeConfig::default();
     if let Some(w) = workers {
         config.workers = w;
@@ -483,7 +534,182 @@ fn parse_serve_options(
         stdio,
         store_dir: store_dir.map(PathBuf::from),
         config,
+        cluster,
+        fault_plan,
+        scrub_interval_ms,
+        sync_interval_ms,
     })
+}
+
+/// Removes `<flag> <ms>` (a millisecond count, 0 allowed) from the
+/// argument list.
+fn extract_millis_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    match extract_value_flag(args, flag)? {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("bad {flag} value {raw:?}")),
+    }
+}
+
+/// Splits a `--peers` list (`host:port,host:port,…`) into addresses.
+fn parse_peer_list(list: &str) -> Result<Vec<String>, FactError> {
+    let peers: Vec<String> = list
+        .split(',')
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect();
+    if peers.is_empty() {
+        return Err(FactError::Usage("--peers list is empty".into()));
+    }
+    for p in &peers {
+        if !p.contains(':') {
+            return Err(FactError::Usage(format!(
+                "bad peer address {p:?} (want host:port)"
+            )));
+        }
+    }
+    Ok(peers)
+}
+
+/// `fact-cli query <model> <k> [iters] --peers a,b,…` — the resilient
+/// client path: retries with jittered backoff, honors `retry_after_ms`
+/// hints, rotates to replicas on failure, and propagates the remaining
+/// `--deadline-ms` budget to the server on every attempt.
+fn query(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, FactError> {
+    let mut args: Vec<String> = args.to_vec();
+    let peers = extract_value_flag(&mut args, "--peers")?
+        .ok_or_else(|| "query needs --peers host:port[,host:port…]".to_string())?;
+    let peers = parse_peer_list(&peers)?;
+    let seed = extract_value_flag(&mut args, "--seed")?
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|_| format!("bad --seed value {raw:?}"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let proof = extract_bool_flag(&mut args, "--proof");
+    let spec = args
+        .first()
+        .ok_or_else(|| "query needs a model spec".to_string())?;
+    let k: usize = args
+        .get(1)
+        .ok_or_else(|| "query needs k".to_string())?
+        .parse()
+        .map_err(|_| "bad k".to_string())?;
+    let iters: usize = match args.get(2) {
+        None => 1,
+        Some(raw) => {
+            let n: usize = raw.parse().map_err(|_| format!("bad iters {raw:?}"))?;
+            if n == 0 {
+                return Err(FactError::Usage("iters must be at least 1".into()));
+            }
+            n
+        }
+    };
+    // Validate the spec locally so a typo is a usage error here, not a
+    // round-trip to the cluster.
+    ModelSpec::parse(spec, false)?;
+    let client = ClusterClient::new(peers, seed);
+    let response = client
+        .solve(spec, k, iters, proof, deadline_ms)
+        .map_err(|e| FactError::Runtime(format!("query: {e}")))?;
+    if !response.ok {
+        return Err(FactError::Runtime(format!(
+            "server error: {} (code {})",
+            response.error.as_deref().unwrap_or("unknown"),
+            response.code.unwrap_or(0)
+        )));
+    }
+    let verdict = response.verdict.clone().unwrap_or_default();
+    println!(
+        "verdict       : {verdict} ({}, source {})",
+        if response.authoritative == Some(true) {
+            "authoritative"
+        } else {
+            "unreliable"
+        },
+        response.source.as_deref().unwrap_or("?")
+    );
+    if proof {
+        match response.verified_proof() {
+            Some(p) => println!(
+                "merkle proof  : VERIFIED against root {:032x} ({} step(s))",
+                p.root,
+                p.path.len()
+            ),
+            None if response.proof_entry.is_some() => {
+                return Err(FactError::Runtime(
+                    "merkle proof FAILED verification — store integrity suspect".into(),
+                ))
+            }
+            None => println!("merkle proof  : none (verdict was not store-committed)"),
+        }
+    }
+    Ok(Some(verdict))
+}
+
+/// `fact-cli cluster-stats --peers a,b,…` — per-peer serving counters,
+/// Merkle roots, and scrub/replication health, one row per reachable
+/// peer. Exits nonzero when live peers disagree on the Merkle root.
+fn cluster_stats(args: &[String]) -> Result<Option<String>, FactError> {
+    let mut args: Vec<String> = args.to_vec();
+    let peers = extract_value_flag(&mut args, "--peers")?
+        .ok_or_else(|| "cluster-stats needs --peers host:port[,host:port…]".to_string())?;
+    let peers = parse_peer_list(&peers)?;
+    if let Some(stray) = args.first() {
+        return Err(FactError::Usage(format!("unexpected argument {stray:?}")));
+    }
+    let mut roots = std::collections::BTreeSet::new();
+    let mut reachable = 0usize;
+    for (i, peer) in peers.iter().enumerate() {
+        let client = ClusterClient::new(vec![peer.clone()], i as u64);
+        match client.stats() {
+            Err(e) => println!("peer {i} {peer}: UNREACHABLE ({e})"),
+            Ok(resp) => {
+                let Some(stats) = resp.stats else {
+                    println!("peer {i} {peer}: malformed stats reply");
+                    continue;
+                };
+                reachable += 1;
+                roots.insert(stats.merkle_root.clone());
+                println!(
+                    "peer {i} {peer}: entries={} root={} hits={} engine_runs={} \
+                     scrub(runs={} corrupt={} repaired={} quarantined={}) \
+                     peer(forwards={} failovers={} replications={} sync_pulls={})",
+                    stats.merkle_entries,
+                    &stats.merkle_root[..12.min(stats.merkle_root.len())],
+                    stats.hits,
+                    stats.engine_runs,
+                    stats.scrub_runs,
+                    stats.scrub_corrupt,
+                    stats.scrub_repaired,
+                    stats.scrub_quarantined,
+                    stats.peer_forwards,
+                    stats.failovers,
+                    stats.peer_replications,
+                    stats.peer_sync_pulls,
+                );
+            }
+        }
+    }
+    if reachable == 0 {
+        return Err(FactError::Runtime("no peer was reachable".into()));
+    }
+    if roots.len() > 1 {
+        return Err(FactError::Runtime(format!(
+            "live peers disagree on the Merkle root ({} distinct roots) — \
+             run {{\"op\":\"sync\"}} or wait for anti-entropy",
+            roots.len()
+        )));
+    }
+    let summary = format!(
+        "{reachable}/{} peer(s) reachable, roots converged",
+        peers.len()
+    );
+    println!("{summary}");
+    Ok(Some(summary))
 }
 
 fn simulate(args: &[String]) -> Result<Option<String>, FactError> {
@@ -955,11 +1181,90 @@ mod tests {
         assert!(!defaults.stdio);
         assert_eq!(defaults.addr, None);
         assert_eq!(defaults.config.workers, ServeConfig::default().workers);
+        assert!(defaults.cluster.is_none());
+        assert!(defaults.fault_plan.is_none());
+        assert_eq!(defaults.scrub_interval_ms, None);
+        assert_eq!(defaults.sync_interval_ms, None);
 
         let bad: Vec<String> = vec!["--workers".into(), "0".into()];
         assert!(parse_serve_options(&bad, None).is_err());
         let stray: Vec<String> = vec!["t-res:3:1".into()];
         assert!(parse_serve_options(&stray, None).is_err());
+    }
+
+    #[test]
+    fn cluster_serve_flags_parse() {
+        let args: Vec<String> = [
+            "--peers",
+            "127.0.0.1:7001,127.0.0.1:7002",
+            "--self-index",
+            "1",
+            "--scrub-interval-ms",
+            "500",
+            "--sync-interval-ms",
+            "250",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_serve_options(&args, None).unwrap();
+        let cluster = opts.cluster.expect("cluster config");
+        assert_eq!(cluster.peers.len(), 2);
+        assert_eq!(cluster.self_index, 1);
+        assert_eq!(opts.scrub_interval_ms, Some(500));
+        assert_eq!(opts.sync_interval_ms, Some(250));
+
+        // --peers without --self-index (and vice versa) is a usage error…
+        let half: Vec<String> = vec!["--peers".into(), "a:1,b:2".into()];
+        assert!(parse_serve_options(&half, None).is_err());
+        let other: Vec<String> = vec!["--self-index".into(), "0".into()];
+        assert!(parse_serve_options(&other, None).is_err());
+        // …as are an out-of-range index and a portless peer.
+        let oob: Vec<String> = vec![
+            "--peers".into(),
+            "a:1,b:2".into(),
+            "--self-index".into(),
+            "2".into(),
+        ];
+        assert!(parse_serve_options(&oob, None).is_err());
+        assert!(parse_peer_list("localhost").is_err());
+        assert!(parse_peer_list("").is_err());
+        assert_eq!(parse_peer_list("a:1, b:2,").unwrap(), vec!["a:1", "b:2"]);
+    }
+
+    #[test]
+    fn query_and_cluster_stats_validate_their_arguments() {
+        // Missing --peers is a usage error for both commands.
+        let e = run(&["query".into(), "t-res:3:1".into(), "2".into()], None).unwrap_err();
+        assert!(e.is_usage());
+        let e = run(&["cluster-stats".into()], None).unwrap_err();
+        assert!(e.is_usage());
+        // A bad model spec fails locally, before any network attempt.
+        let e = run(
+            &[
+                "query".into(),
+                "nope:3".into(),
+                "1".into(),
+                "--peers".into(),
+                "127.0.0.1:1".into(),
+            ],
+            None,
+        )
+        .unwrap_err();
+        assert!(e.is_usage());
+        // A well-formed query against a dead peer is a runtime failure.
+        let e = run(
+            &[
+                "query".into(),
+                "t-res:3:1".into(),
+                "2".into(),
+                "--peers".into(),
+                "127.0.0.1:1".into(),
+            ],
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1);
     }
 
     #[test]

@@ -35,6 +35,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod client;
+pub mod cluster;
+pub mod merkle;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
@@ -44,9 +48,13 @@ use act_obs::{Counter, Gauge};
 use act_tasks::SearchConfig;
 use fact::{set_consensus_verdict_with_config, DomainCache, Solvability};
 
+pub use chaos::{ServeFaultEvent, ServeFaultPlan, KILL_EXIT_CODE};
+pub use client::{ClientError, ClusterClient, RetryPolicy};
+pub use cluster::{ClusterConfig, PeerRing, REPLICATION_FACTOR};
+pub use merkle::{InclusionProof, MerkleIndex, ScrubReport};
 pub use protocol::{Request, RequestBody, Response, StatsBody, PROTOCOL_VERSION};
 pub use scheduler::{Scheduler, ServeConfig, Served, SolveQuery, Submitted};
-pub use server::{serve, ServeOptions};
+pub use server::{serve, spawn_server, ServeOptions, ServerHandle};
 pub use store::{
     content_hash128, fnv1a64, StoreKey, StoredVerdict, TowerKey, TowerStore, VerdictStore,
     STORE_FORMAT_VERSION, TOWER_FORMAT_VERSION,
@@ -78,6 +86,40 @@ pub static SERVE_TOWER_CORRUPT: Counter = Counter::new("serve.tower.corrupt");
 /// Instantaneous scheduler queue depth (jobs admitted, not yet picked
 /// up by a worker).
 pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new("serve.queue_depth");
+/// Scrub passes completed over the verdict store.
+pub static SERVE_SCRUB_RUNS: Counter = Counter::new("serve.scrub.runs");
+/// Entries a scrub pass found corrupt (checksum, parse, leaf, or key
+/// mismatch against the Merkle index).
+pub static SERVE_SCRUB_CORRUPT: Counter = Counter::new("serve.scrub.corrupt");
+/// Corrupt entries a scrub pass rewrote from a good copy (memory tier
+/// or a replicating peer).
+pub static SERVE_SCRUB_REPAIRED: Counter = Counter::new("serve.scrub.repaired");
+/// Corrupt entries with no good copy anywhere: moved to `quarantine/`
+/// for recompute (the entry becomes a clean miss).
+pub static SERVE_SCRUB_QUARANTINED: Counter = Counter::new("serve.scrub.quarantined");
+/// Inclusion proofs attached to query replies (`"proof": true` solves).
+pub static SERVE_MERKLE_PROOFS: Counter = Counter::new("serve.merkle.proofs");
+/// Anti-entropy rounds that found diverged Merkle roots (and therefore
+/// exchanged entry lists).
+pub static SERVE_MERKLE_MISMATCH: Counter = Counter::new("serve.merkle.mismatch");
+/// Requests forwarded to the key's owner peer (this server was not an
+/// owner under the consistent-hash ring).
+pub static SERVE_PEER_FORWARDS: Counter = Counter::new("serve.peer.forwards");
+/// Forwards that failed over to a replica because an owner was down.
+pub static SERVE_PEER_FAILOVERS: Counter = Counter::new("serve.peer.failovers");
+/// Fresh verdicts write-through-replicated to owner peers.
+pub static SERVE_PEER_REPLICATIONS: Counter = Counter::new("serve.peer.replications");
+/// Entries pulled from peers by anti-entropy sync (or a scrub repair
+/// that fetched its good copy remotely).
+pub static SERVE_PEER_SYNC_PULLS: Counter = Counter::new("serve.peer.sync_pulls");
+/// Peer RPCs that failed outright (connect, io, or malformed reply).
+pub static SERVE_PEER_UNREACHABLE: Counter = Counter::new("serve.peer.unreachable");
+/// Client-side retries (connect failures, timeouts, backpressure waits,
+/// replica fallbacks) performed by [`ClusterClient`].
+pub static SERVE_CLIENT_RETRIES: Counter = Counter::new("serve.client.retries");
+/// Serve-path faults actually injected by an installed
+/// [`ServeFaultPlan`].
+pub static SERVE_CHAOS_INJECTED: Counter = Counter::new("serve.chaos.injected");
 
 /// Serializes tests that assert deltas on the process-global serving
 /// counters (the test harness runs modules in parallel by default).

@@ -1,0 +1,404 @@
+//! Merkle tree over the content-addressed verdict entries.
+//!
+//! The verdict store's entries are immutable facts keyed by a 128-bit
+//! content address. This module maintains a binary Merkle tree over
+//! those entries so that:
+//!
+//! * one **root hash** summarizes the whole store — two replicas with
+//!   the same root provably hold the same entry set, so anti-entropy
+//!   sync ([`crate::cluster`]) can skip converged peers with one
+//!   round-trip;
+//! * a query reply can carry an **inclusion proof** — a logarithmic
+//!   sibling path from the entry's leaf to the root — so a client can
+//!   check that the verdict it received is the one the store committed
+//!   to, without re-running the engine or trusting the transport;
+//! * the background **scrub** pass ([`crate::store::VerdictStore::scrub`])
+//!   can re-checksum every entry file against the leaf the index
+//!   recorded at write time and repair (or quarantine) silent disk
+//!   corruption.
+//!
+//! The hash is the store's FNV-128 ([`content_hash128`]) — not
+//! cryptographic, but collision-stable for the fault model this layer
+//! defends against (bit rot, torn writes, truncation, version skew),
+//! and dependency-free. Leaves are ordered by entry content hash, so
+//! the root is a pure function of the entry *set*: insertion order,
+//! process restarts, and replication direction cannot change it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+pub use act_obs::content_hash128;
+
+/// Root of the empty tree (no entries). Zero is unreachable as a real
+/// node hash output domain value in practice and reads clearly in logs.
+pub const EMPTY_ROOT: u128 = 0;
+
+/// The leaf hash of one entry: binds the entry's content address (its
+/// query identity) to the hash of its on-disk bytes, under a domain tag
+/// so leaves can never collide with interior nodes.
+pub fn leaf_hash(entry_hash: u128, file_hash: u128) -> u128 {
+    content_hash128(format!("fact-merkle-leaf|{entry_hash:032x}|{file_hash:032x}").as_bytes())
+}
+
+/// An interior node: hash of the concatenated child hashes, domain-tagged.
+fn node_hash(left: u128, right: u128) -> u128 {
+    content_hash128(format!("fact-merkle-node|{left:032x}|{right:032x}").as_bytes())
+}
+
+/// One step of an inclusion proof: the sibling hash and whether that
+/// sibling sits to the *left* of the path node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The sibling's hash at this level.
+    pub sibling: u128,
+    /// `true` when the sibling is the left child (the path node is the
+    /// right child).
+    pub sibling_is_left: bool,
+}
+
+/// An inclusion proof for one entry: recomputing the leaf from
+/// `(entry_hash, file_hash)` and folding the sibling path must
+/// reproduce `root`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InclusionProof {
+    /// The entry's content address (the store key hash).
+    pub entry_hash: u128,
+    /// Hash of the entry's serialized bytes at commit time.
+    pub file_hash: u128,
+    /// Sibling path, leaf level first. Levels where the path node is an
+    /// odd last node (promoted unchanged) contribute no step.
+    pub path: Vec<ProofStep>,
+    /// The root the proof commits to.
+    pub root: u128,
+}
+
+impl InclusionProof {
+    /// Recomputes the root from the leaf and the sibling path. `true`
+    /// iff it matches the committed root: any tampering with the entry
+    /// identity, the byte hash, a sibling, or the root itself fails.
+    pub fn verify(&self) -> bool {
+        let mut h = leaf_hash(self.entry_hash, self.file_hash);
+        for step in &self.path {
+            h = if step.sibling_is_left {
+                node_hash(step.sibling, h)
+            } else {
+                node_hash(h, step.sibling)
+            };
+        }
+        h == self.root
+    }
+
+    /// Verifies the proof *and* that `bytes` are the exact entry bytes
+    /// it commits to — a single flipped byte in the entry fails.
+    pub fn verify_entry_bytes(&self, bytes: &[u8]) -> bool {
+        content_hash128(bytes) == self.file_hash && self.verify()
+    }
+
+    /// The sibling path in wire form: `"l:<hex>"` when the sibling is
+    /// the left child, `"r:<hex>"` otherwise.
+    pub fn encode_path(&self) -> Vec<String> {
+        self.path
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}:{:032x}",
+                    if s.sibling_is_left { 'l' } else { 'r' },
+                    s.sibling
+                )
+            })
+            .collect()
+    }
+
+    /// Rebuilds a proof from its wire fields ([`Self::encode_path`] plus
+    /// the three hex hashes). Any malformed field is `None` — a client
+    /// treats that exactly like a failed verification.
+    pub fn decode(
+        entry_hash: &str,
+        file_hash: &str,
+        path: &[String],
+        root: &str,
+    ) -> Option<InclusionProof> {
+        let mut steps = Vec::with_capacity(path.len());
+        for item in path {
+            let (side, hex) = item.split_once(':')?;
+            let sibling_is_left = match side {
+                "l" => true,
+                "r" => false,
+                _ => return None,
+            };
+            steps.push(ProofStep {
+                sibling: parse_hash_hex(hex)?,
+                sibling_is_left,
+            });
+        }
+        Some(InclusionProof {
+            entry_hash: parse_hash_hex(entry_hash)?,
+            file_hash: parse_hash_hex(file_hash)?,
+            path: steps,
+            root: parse_hash_hex(root)?,
+        })
+    }
+}
+
+/// Parses a 32-digit lowercase hex hash (the store's on-the-wire and
+/// file-name spelling).
+pub fn parse_hash_hex(text: &str) -> Option<u128> {
+    if text.len() != 32 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u128::from_str_radix(text, 16).ok()
+}
+
+/// The store-side index: every entry's `(content hash → byte hash)`
+/// pair, kept sorted so the tree shape is canonical.
+#[derive(Clone, Debug, Default)]
+pub struct MerkleIndex {
+    leaves: BTreeMap<u128, u128>,
+}
+
+impl MerkleIndex {
+    /// An empty index (root [`EMPTY_ROOT`]).
+    pub fn new() -> MerkleIndex {
+        MerkleIndex::default()
+    }
+
+    /// Records (or refreshes) one entry's byte hash.
+    pub fn insert(&mut self, entry_hash: u128, file_hash: u128) {
+        self.leaves.insert(entry_hash, file_hash);
+    }
+
+    /// Forgets one entry (quarantine, external deletion).
+    pub fn remove(&mut self, entry_hash: u128) {
+        self.leaves.remove(&entry_hash);
+    }
+
+    /// The recorded byte hash of one entry, if indexed.
+    pub fn file_hash(&self, entry_hash: u128) -> Option<u128> {
+        self.leaves.get(&entry_hash).copied()
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Every `(entry hash, byte hash)` pair in canonical (sorted) order
+    /// — the anti-entropy exchange unit.
+    pub fn entries(&self) -> Vec<(u128, u128)> {
+        self.leaves.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// The current root hash ([`EMPTY_ROOT`] when empty).
+    pub fn root(&self) -> u128 {
+        let mut level: Vec<u128> = self.leaves.iter().map(|(&e, &f)| leaf_hash(e, f)).collect();
+        if level.is_empty() {
+            return EMPTY_ROOT;
+        }
+        while level.len() > 1 {
+            level = fold_level(&level);
+        }
+        level[0]
+    }
+
+    /// The inclusion proof for one entry under the current root, or
+    /// `None` when the entry is not indexed.
+    pub fn proof(&self, entry_hash: u128) -> Option<InclusionProof> {
+        let file_hash = self.file_hash(entry_hash)?;
+        let mut level: Vec<u128> = self.leaves.iter().map(|(&e, &f)| leaf_hash(e, f)).collect();
+        let mut pos = self.leaves.range(..entry_hash).count();
+        let mut path = Vec::new();
+        while level.len() > 1 {
+            let sibling = pos ^ 1;
+            if sibling < level.len() {
+                path.push(ProofStep {
+                    sibling: level[sibling],
+                    sibling_is_left: sibling < pos,
+                });
+            }
+            // An odd last node is promoted unchanged: no step recorded.
+            level = fold_level(&level);
+            pos /= 2;
+        }
+        Some(InclusionProof {
+            entry_hash,
+            file_hash,
+            path,
+            root: level[0],
+        })
+    }
+}
+
+/// One tree level up: pair left-to-right; an odd last node is promoted
+/// unchanged (so singleton subtrees never re-hash).
+fn fold_level(level: &[u128]) -> Vec<u128> {
+    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+    for pair in level.chunks(2) {
+        next.push(match pair {
+            [l, r] => node_hash(*l, *r),
+            [one] => *one,
+            _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+        });
+    }
+    next
+}
+
+/// The root in its canonical wire spelling (32 hex digits).
+pub fn root_hex(root: u128) -> String {
+    format!("{root:032x}")
+}
+
+/// Serializable scrub outcome, carried by `scrub` wire replies and
+/// returned by [`crate::store::VerdictStore::scrub`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Entry files examined.
+    pub checked: u64,
+    /// Entries whose bytes no longer validated (checksum, parse, leaf
+    /// mismatch, key mismatch).
+    pub corrupt: u64,
+    /// Corrupt entries rewritten from a good copy (memory tier or peer).
+    pub repaired: u64,
+    /// Corrupt entries with no good copy: moved aside for recompute.
+    pub quarantined: u64,
+    /// Index refreshes for entries written by other processes (or
+    /// removed externally) since the last pass.
+    pub refreshed: u64,
+}
+
+impl ScrubReport {
+    /// Folds another pass's counts into this one.
+    pub fn absorb(&mut self, other: &ScrubReport) {
+        self.checked += other.checked;
+        self.corrupt += other.corrupt;
+        self.repaired += other.repaired;
+        self.quarantined += other.quarantined;
+        self.refreshed += other.refreshed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(n: u64) -> MerkleIndex {
+        let mut idx = MerkleIndex::new();
+        for i in 0..n {
+            idx.insert(
+                content_hash128(format!("entry-{i}").as_bytes()),
+                content_hash128(format!("bytes-{i}").as_bytes()),
+            );
+        }
+        idx
+    }
+
+    #[test]
+    fn root_is_order_independent_and_content_sensitive() {
+        let mut a = MerkleIndex::new();
+        let mut b = MerkleIndex::new();
+        for i in 0..7u64 {
+            a.insert(
+                content_hash128(format!("e{i}").as_bytes()),
+                content_hash128(format!("f{i}").as_bytes()),
+            );
+        }
+        for i in (0..7u64).rev() {
+            b.insert(
+                content_hash128(format!("e{i}").as_bytes()),
+                content_hash128(format!("f{i}").as_bytes()),
+            );
+        }
+        assert_eq!(a.root(), b.root());
+        assert_ne!(a.root(), EMPTY_ROOT);
+        b.insert(content_hash128(b"e0"), content_hash128(b"different"));
+        assert_ne!(a.root(), b.root());
+        assert_eq!(MerkleIndex::new().root(), EMPTY_ROOT);
+    }
+
+    #[test]
+    fn proofs_verify_for_every_entry_at_every_size() {
+        for n in 1..=17u64 {
+            let idx = index(n);
+            let root = idx.root();
+            for (entry, file) in idx.entries() {
+                let proof = idx.proof(entry).expect("indexed entry has a proof");
+                assert_eq!(proof.root, root, "n={n}");
+                assert_eq!(proof.file_hash, file);
+                assert!(proof.verify(), "n={n} entry={entry:032x}");
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_proofs_fail() {
+        let idx = index(9);
+        let entry = idx.entries()[4].0;
+        let good = idx.proof(entry).unwrap();
+        assert!(good.verify());
+
+        let mut bad = good.clone();
+        bad.file_hash ^= 1;
+        assert!(!bad.verify());
+
+        let mut bad = good.clone();
+        bad.entry_hash ^= 1 << 77;
+        assert!(!bad.verify());
+
+        let mut bad = good.clone();
+        bad.root ^= 1;
+        assert!(!bad.verify());
+
+        if !good.path.is_empty() {
+            let mut bad = good.clone();
+            bad.path[0].sibling ^= 1;
+            assert!(!bad.verify());
+            let mut bad = good.clone();
+            bad.path[0].sibling_is_left = !bad.path[0].sibling_is_left;
+            assert!(!bad.verify());
+        }
+    }
+
+    #[test]
+    fn wire_encoding_round_trips() {
+        let idx = index(6);
+        let entry = idx.entries()[3].0;
+        let proof = idx.proof(entry).unwrap();
+        let decoded = InclusionProof::decode(
+            &format!("{:032x}", proof.entry_hash),
+            &format!("{:032x}", proof.file_hash),
+            &proof.encode_path(),
+            &root_hex(proof.root),
+        )
+        .expect("wire fields decode");
+        assert_eq!(decoded, proof);
+        assert!(decoded.verify());
+
+        assert!(InclusionProof::decode("xyz", "00", &[], "00").is_none());
+        assert!(InclusionProof::decode(
+            &format!("{:032x}", proof.entry_hash),
+            &format!("{:032x}", proof.file_hash),
+            &["m:0123".into()],
+            &root_hex(proof.root),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn entry_bytes_binding_detects_any_flip() {
+        let mut idx = MerkleIndex::new();
+        let bytes = b"the entry payload".to_vec();
+        let entry = content_hash128(b"the-key");
+        idx.insert(entry, content_hash128(&bytes));
+        let proof = idx.proof(entry).unwrap();
+        assert!(proof.verify_entry_bytes(&bytes));
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x20;
+            assert!(!proof.verify_entry_bytes(&flipped), "flip at {i}");
+        }
+    }
+}

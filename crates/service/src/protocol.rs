@@ -21,13 +21,23 @@
 //! Error `code`s follow the CLI exit-code vocabulary where they overlap
 //! — `1` runtime, `2` usage (malformed request or spec) — plus the
 //! serving-only classes `5` (backpressure: bounded queue full, retry
-//! later) and `6` (draining: the server is shutting down).
+//! after the reply's `retry_after_ms`) and `6` (draining: the server is
+//! shutting down).
+//!
+//! Version 2 adds the cluster surface: `solve` accepts `"proof":true`
+//! (the reply then carries a Merkle inclusion proof), any request may
+//! carry `"fwd":true` (an intra-cluster forward — the receiver answers
+//! locally instead of re-forwarding), and the peer ops `root`,
+//! `entries`, `fetch`, `replicate`, `scrub`, and `sync` drive
+//! anti-entropy and repair (see [`crate::cluster`]). All response
+//! fields are additive, so v1 clients keep working.
 
+use crate::merkle::{parse_hash_hex, InclusionProof, ScrubReport};
 use fact::{ModelSpec, TaskSpec};
 use serde::{Deserialize, Serialize, Value};
 
 /// Version of the request/response schema.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Error code: runtime failure while answering a well-formed query.
 pub const CODE_RUNTIME: u64 = 1;
@@ -43,6 +53,9 @@ pub const CODE_DRAINING: u64 = 6;
 pub struct Request {
     /// Client-chosen correlation id (0 when omitted).
     pub id: u64,
+    /// Whether this line is an intra-cluster forward (`"fwd":true`):
+    /// the receiver must answer locally, never forward again.
+    pub forwarded: bool,
     /// What the client asked for.
     pub body: RequestBody,
 }
@@ -60,11 +73,32 @@ pub enum RequestBody {
         iters: usize,
         /// Optional per-request wall-clock budget for the search.
         deadline_ms: Option<u64>,
+        /// Whether the reply should carry a Merkle inclusion proof for
+        /// a store-committed verdict.
+        proof: bool,
     },
     /// Snapshot the serving counters.
     Stats,
     /// Drain the queue and stop the server.
     Shutdown,
+    /// Peer op: report the store's Merkle root and entry count.
+    Root,
+    /// Peer op: list every `(entry hash, file hash)` pair.
+    Entries,
+    /// Peer op: ship one entry's canonical serialized bytes.
+    Fetch {
+        /// Content address of the wanted entry.
+        hash: u128,
+    },
+    /// Peer op: accept one replicated entry (validated before commit).
+    Replicate {
+        /// The entry's canonical serialized bytes.
+        entry: String,
+    },
+    /// Operator op: run one scrub pass now and report it.
+    Scrub,
+    /// Operator op: run one anti-entropy round against every peer now.
+    SyncNow,
 }
 
 /// Parses one request line. On failure returns `(id, message)` — the id
@@ -97,13 +131,37 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
                 task,
                 iters,
                 deadline_ms: opt_u64(&v, "deadline_ms"),
+                proof: opt_bool(&v, "proof"),
             }
         }
         "stats" => RequestBody::Stats,
         "shutdown" => RequestBody::Shutdown,
+        "root" => RequestBody::Root,
+        "entries" => RequestBody::Entries,
+        "fetch" => {
+            let hash = match v.field("hash") {
+                Ok(Value::Str(s)) => parse_hash_hex(s)
+                    .ok_or_else(|| fail("fetch needs a 32-hex-digit `hash`".into()))?,
+                _ => return Err(fail("fetch needs a string `hash`".into())),
+            };
+            RequestBody::Fetch { hash }
+        }
+        "replicate" => {
+            let entry = match v.field("entry") {
+                Ok(Value::Str(s)) => s.clone(),
+                _ => return Err(fail("replicate needs a string `entry`".into())),
+            };
+            RequestBody::Replicate { entry }
+        }
+        "scrub" => RequestBody::Scrub,
+        "sync" => RequestBody::SyncNow,
         other => return Err(fail(format!("unknown op {other:?}"))),
     };
-    Ok(Request { id, body })
+    Ok(Request {
+        id,
+        forwarded: opt_bool(&v, "fwd"),
+        body,
+    })
 }
 
 /// An optional unsigned field of a request object.
@@ -113,6 +171,17 @@ fn opt_u64(v: &Value, name: &str) -> Option<u64> {
         Ok(Value::Int(n)) if *n >= 0 => Some(*n as u64),
         _ => None,
     }
+}
+
+/// An optional boolean field of a request object (absent → `false`).
+fn opt_bool(v: &Value, name: &str) -> bool {
+    matches!(v.field(name), Ok(Value::Bool(true)))
+}
+
+/// The backpressure retry hint for a given queue depth: ~10 ms per
+/// queued job (a cheap query's service time), capped at one second.
+pub fn retry_after_for_depth(queue_depth: u64) -> u64 {
+    ((queue_depth + 1) * 10).min(1_000)
 }
 
 /// Counter snapshot carried by a `stats` response.
@@ -143,6 +212,27 @@ pub struct StatsBody {
     pub inflight: u64,
     /// Worker threads serving the queue.
     pub workers: u64,
+    /// The store's current Merkle root (32 hex digits; all zeros when
+    /// empty).
+    pub merkle_root: String,
+    /// Entries committed under the Merkle root.
+    pub merkle_entries: u64,
+    /// Scrub passes completed.
+    pub scrub_runs: u64,
+    /// Entries scrub found corrupt.
+    pub scrub_corrupt: u64,
+    /// Corrupt entries scrub repaired from a good copy.
+    pub scrub_repaired: u64,
+    /// Corrupt entries scrub quarantined (no good copy anywhere).
+    pub scrub_quarantined: u64,
+    /// Requests forwarded to an owner peer.
+    pub peer_forwards: u64,
+    /// Forwards that failed over to a replica (an owner was down).
+    pub failovers: u64,
+    /// Fresh verdicts write-through-replicated to peers.
+    pub peer_replications: u64,
+    /// Entries pulled from peers by anti-entropy sync.
+    pub peer_sync_pulls: u64,
 }
 
 /// One response line (flat; unused fields are `null` on the wire).
@@ -173,6 +263,30 @@ pub struct Response {
     pub code: Option<u64>,
     /// Counter snapshot for `stats` replies.
     pub stats: Option<StatsBody>,
+    /// Backpressure hint: milliseconds to wait before retrying
+    /// (code-5 `error` replies; derived from the queue depth).
+    pub retry_after_ms: Option<u64>,
+    /// The store's Merkle root (32 hex digits) for `root`, `sync`, and
+    /// proof-carrying `solve` replies.
+    pub merkle_root: Option<String>,
+    /// Entry count under the root, for `root` replies.
+    pub entry_count: Option<u64>,
+    /// Inclusion proof: the entry's content address.
+    pub proof_entry: Option<String>,
+    /// Inclusion proof: the hash of the entry's committed bytes.
+    pub proof_file: Option<String>,
+    /// Inclusion proof: the sibling path, leaf first (`"l:<hex>"` /
+    /// `"r:<hex>"`).
+    pub proof_path: Option<Vec<String>>,
+    /// Entry listing for `entries` replies (`"<entry>:<file>"` hex
+    /// pairs).
+    pub entries: Option<Vec<String>>,
+    /// One entry's canonical serialized bytes, for `fetch` replies.
+    pub entry: Option<String>,
+    /// Scrub outcome, for `scrub` replies.
+    pub scrub: Option<ScrubReport>,
+    /// Entries pulled during the round, for `sync` replies.
+    pub pulled: Option<u64>,
 }
 
 impl Response {
@@ -189,6 +303,16 @@ impl Response {
             error: None,
             code: None,
             stats: None,
+            retry_after_ms: None,
+            merkle_root: None,
+            entry_count: None,
+            proof_entry: None,
+            proof_file: None,
+            proof_path: None,
+            entries: None,
+            entry: None,
+            scrub: None,
+            pulled: None,
         }
     }
 
@@ -215,6 +339,104 @@ impl Response {
         let mut r = Response::blank(id, "error", false);
         r.error = Some(message.to_string());
         r.code = Some(code);
+        r
+    }
+
+    /// A backpressure (`code` 5) reply with the structured retry hint:
+    /// roughly one scheduling quantum per queued job, capped at a
+    /// second, so a deep queue pushes clients further out.
+    pub fn backpressure(id: u64, queue_depth: u64) -> Response {
+        let mut r = Response::error(id, CODE_BACKPRESSURE, "queue full, retry later");
+        r.retry_after_ms = Some(retry_after_for_depth(queue_depth));
+        r
+    }
+
+    /// Attaches a Merkle inclusion proof to a reply (proof-carrying
+    /// `solve`).
+    pub fn with_proof(mut self, proof: &InclusionProof) -> Response {
+        self.proof_entry = Some(format!("{:032x}", proof.entry_hash));
+        self.proof_file = Some(format!("{:032x}", proof.file_hash));
+        self.proof_path = Some(proof.encode_path());
+        self.merkle_root = Some(format!("{:032x}", proof.root));
+        self
+    }
+
+    /// Extracts and verifies the inclusion proof a reply carries.
+    /// `None` when any field is absent, malformed, or fails
+    /// verification — callers treat all three identically (an
+    /// unverified answer).
+    pub fn verified_proof(&self) -> Option<InclusionProof> {
+        let proof = InclusionProof::decode(
+            self.proof_entry.as_deref()?,
+            self.proof_file.as_deref()?,
+            self.proof_path.as_deref()?,
+            self.merkle_root.as_deref()?,
+        )?;
+        proof.verify().then_some(proof)
+    }
+
+    /// A `root` reply.
+    pub fn root(id: u64, root: u128, entry_count: u64) -> Response {
+        let mut r = Response::blank(id, "root", true);
+        r.merkle_root = Some(format!("{root:032x}"));
+        r.entry_count = Some(entry_count);
+        r
+    }
+
+    /// An `entries` reply listing `(entry hash, file hash)` pairs.
+    pub fn entries(id: u64, pairs: &[(u128, u128)]) -> Response {
+        let mut r = Response::blank(id, "entries", true);
+        r.entries = Some(
+            pairs
+                .iter()
+                .map(|(e, f)| format!("{e:032x}:{f:032x}"))
+                .collect(),
+        );
+        r
+    }
+
+    /// Splits an `entries` reply back into hash pairs (malformed items
+    /// are dropped — the sync round simply won't pull them).
+    pub fn decode_entries(&self) -> Vec<(u128, u128)> {
+        self.entries
+            .as_deref()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|item| {
+                let (e, f) = item.split_once(':')?;
+                Some((parse_hash_hex(e)?, parse_hash_hex(f)?))
+            })
+            .collect()
+    }
+
+    /// A `fetch` reply (`ok: false` with no entry when the peer does
+    /// not hold it).
+    pub fn fetch(id: u64, entry: Option<String>) -> Response {
+        let mut r = Response::blank(id, "fetch", entry.is_some());
+        r.entry = entry;
+        r
+    }
+
+    /// A `replicate` acknowledgement (`accepted` = the bytes validated
+    /// and were committed).
+    pub fn replicate(id: u64, accepted: bool) -> Response {
+        Response::blank(id, "replicate", accepted)
+    }
+
+    /// A `scrub` reply carrying the pass's report and the post-scrub
+    /// root.
+    pub fn scrub(id: u64, report: ScrubReport, root: u128) -> Response {
+        let mut r = Response::blank(id, "scrub", true);
+        r.scrub = Some(report);
+        r.merkle_root = Some(format!("{root:032x}"));
+        r
+    }
+
+    /// A `sync` reply: entries pulled this round and the post-sync root.
+    pub fn sync(id: u64, pulled: u64, root: u128) -> Response {
+        let mut r = Response::blank(id, "sync", true);
+        r.pulled = Some(pulled);
+        r.merkle_root = Some(format!("{root:032x}"));
         r
     }
 
@@ -249,17 +471,20 @@ mod tests {
     fn solve_requests_parse_with_defaults() {
         let r = parse_request(r#"{"op":"solve","id":7,"model":"t-res:3:1","k":1}"#).unwrap();
         assert_eq!(r.id, 7);
+        assert!(!r.forwarded);
         match r.body {
             RequestBody::Solve {
                 model,
                 task,
                 iters,
                 deadline_ms,
+                proof,
             } => {
                 assert_eq!(model.canonical_string(), "t-res:3:1");
                 assert_eq!(task.canonical_string(), "set-consensus:3:1");
                 assert_eq!(iters, 1);
                 assert_eq!(deadline_ms, None);
+                assert!(!proof);
             }
             other => panic!("expected solve, got {other:?}"),
         }
@@ -291,6 +516,126 @@ mod tests {
         // k out of range is a spec validation error, same as the CLI's.
         assert!(parse_request(r#"{"op":"solve","model":"t-res:3:1","k":3}"#).is_err());
         assert!(parse_request(r#"{"op":"solve","model":"t-res:3:1","k":1,"iters":0}"#).is_err());
+    }
+
+    #[test]
+    fn proof_and_forward_markers_parse() {
+        let r =
+            parse_request(r#"{"op":"solve","model":"t-res:3:1","k":1,"proof":true,"fwd":true}"#)
+                .unwrap();
+        assert!(r.forwarded);
+        assert!(matches!(r.body, RequestBody::Solve { proof: true, .. }));
+    }
+
+    #[test]
+    fn cluster_ops_parse() {
+        assert_eq!(
+            parse_request(r#"{"op":"root","id":1}"#).unwrap().body,
+            RequestBody::Root
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"entries"}"#).unwrap().body,
+            RequestBody::Entries
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"scrub"}"#).unwrap().body,
+            RequestBody::Scrub
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"sync"}"#).unwrap().body,
+            RequestBody::SyncNow
+        );
+        let hash = format!("{:032x}", 0xabcdu128);
+        let r = parse_request(&format!(r#"{{"op":"fetch","hash":"{hash}"}}"#)).unwrap();
+        assert_eq!(r.body, RequestBody::Fetch { hash: 0xabcd });
+        assert!(parse_request(r#"{"op":"fetch","hash":"zz"}"#).is_err());
+        assert!(parse_request(r#"{"op":"fetch"}"#).is_err());
+        let r = parse_request(r#"{"op":"replicate","entry":"{}"}"#).unwrap();
+        assert_eq!(
+            r.body,
+            RequestBody::Replicate {
+                entry: "{}".to_string()
+            }
+        );
+        assert!(parse_request(r#"{"op":"replicate"}"#).is_err());
+    }
+
+    #[test]
+    fn backpressure_replies_carry_the_retry_hint() {
+        let r = Response::backpressure(3, 7);
+        assert_eq!(r.code, Some(CODE_BACKPRESSURE));
+        assert_eq!(r.retry_after_ms, Some(80));
+        let line = r.encode();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.retry_after_ms, Some(80));
+        // The hint grows with depth and saturates at a second.
+        assert_eq!(retry_after_for_depth(0), 10);
+        assert!(retry_after_for_depth(50) > retry_after_for_depth(5));
+        assert_eq!(retry_after_for_depth(1_000_000), 1_000);
+    }
+
+    #[test]
+    fn cluster_replies_round_trip() {
+        let line = Response::root(1, 0xdeadbeef, 4).encode();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(
+            back.merkle_root.as_deref(),
+            Some(&format!("{:032x}", 0xdeadbeefu128)[..])
+        );
+        assert_eq!(back.entry_count, Some(4));
+
+        let pairs = vec![(1u128, 2u128), (3, 4)];
+        let line = Response::entries(2, &pairs).encode();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.decode_entries(), pairs);
+
+        let line = Response::fetch(3, Some("{\"x\":1}".to_string())).encode();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.entry.as_deref(), Some("{\"x\":1}"));
+        assert!(!Response::fetch(3, None).ok);
+
+        let report = ScrubReport {
+            checked: 5,
+            corrupt: 1,
+            repaired: 1,
+            quarantined: 0,
+            refreshed: 0,
+        };
+        let line = Response::scrub(4, report.clone(), 7).encode();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.scrub, Some(report));
+
+        let line = Response::sync(5, 2, 7).encode();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.pulled, Some(2));
+    }
+
+    #[test]
+    fn proof_fields_round_trip_and_verify() {
+        use crate::merkle::MerkleIndex;
+        let mut idx = MerkleIndex::new();
+        for i in 0..5u64 {
+            idx.insert(
+                crate::content_hash128(format!("e{i}").as_bytes()),
+                crate::content_hash128(format!("f{i}").as_bytes()),
+            );
+        }
+        let entry = idx.entries()[2].0;
+        let proof = idx.proof(entry).unwrap();
+        let line = Response::solve(1, "solvable", 1, 0, "store", true)
+            .with_proof(&proof)
+            .encode();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        let verified = back.verified_proof().expect("proof survives the wire");
+        assert_eq!(verified, proof);
+        // A tampered wire proof is indistinguishable from no proof.
+        let mut tampered = back.clone();
+        tampered.proof_file = Some(format!("{:032x}", proof.file_hash ^ 1));
+        assert!(tampered.verified_proof().is_none());
+        assert!(Response::solve(1, "solvable", 1, 0, "store", true)
+            .verified_proof()
+            .is_none());
     }
 
     #[test]

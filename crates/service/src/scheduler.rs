@@ -182,6 +182,10 @@ struct TowerMap {
     clock: u64,
 }
 
+/// The write-through replication hook: called with the content hash of
+/// every freshly persisted authoritative verdict.
+pub type Replicator = Arc<dyn Fn(u128) + Send + Sync>;
+
 /// The batching, single-flight scheduler over a shared [`VerdictStore`].
 pub struct Scheduler {
     store: Arc<VerdictStore>,
@@ -194,6 +198,9 @@ pub struct Scheduler {
     job_ready: Condvar,
     towers: Mutex<TowerMap>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Write-through replication hook: the cluster layer ships the
+    /// committed bytes to the other owners.
+    replicator: Mutex<Option<Replicator>>,
 }
 
 impl Scheduler {
@@ -222,7 +229,15 @@ impl Scheduler {
                 clock: 0,
             }),
             workers: Mutex::new(Vec::new()),
+            replicator: Mutex::new(None),
         })
+    }
+
+    /// Installs the write-through replication hook (see the `replicator`
+    /// field). The server wires the cluster layer in through this seam,
+    /// keeping the scheduler free of any peer knowledge.
+    pub fn set_replicator(&self, hook: Replicator) {
+        *self.replicator.lock().unwrap_or_else(|e| e.into_inner()) = Some(hook);
     }
 
     /// The store this scheduler answers from and writes to.
@@ -300,6 +315,16 @@ impl Scheduler {
             queue_depth: state.queue.len() as u64,
             inflight: (state.queue.len() + state.running) as u64,
             workers: self.lock_workers().len() as u64,
+            merkle_root: format!("{:032x}", self.store.merkle_root()),
+            merkle_entries: self.store.merkle_len() as u64,
+            scrub_runs: crate::SERVE_SCRUB_RUNS.get(),
+            scrub_corrupt: crate::SERVE_SCRUB_CORRUPT.get(),
+            scrub_repaired: crate::SERVE_SCRUB_REPAIRED.get(),
+            scrub_quarantined: crate::SERVE_SCRUB_QUARANTINED.get(),
+            peer_forwards: crate::SERVE_PEER_FORWARDS.get(),
+            failovers: crate::SERVE_PEER_FAILOVERS.get(),
+            peer_replications: crate::SERVE_PEER_REPLICATIONS.get(),
+            peer_sync_pulls: crate::SERVE_PEER_SYNC_PULLS.get(),
         }
     }
 
@@ -451,7 +476,16 @@ impl Scheduler {
         };
         match StoredVerdict::from_solvability(&verdict) {
             Some(stored) => {
-                self.store.put(&query.key(), &stored);
+                let key = query.key();
+                self.store.put(&key, &stored);
+                let hook = self
+                    .replicator
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone();
+                if let Some(hook) = hook {
+                    hook(key.content_hash());
+                }
                 Served::Authoritative {
                     verdict: stored,
                     source: "engine",

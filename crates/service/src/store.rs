@@ -32,7 +32,17 @@ use act_topology::{Complex, VertexId, VertexMap};
 use fact::{ModelSpec, Solvability, TaskSpec};
 use serde::{Deserialize, Serialize};
 
-use crate::SERVE_STORE_CORRUPT;
+use crate::merkle::{parse_hash_hex, InclusionProof, MerkleIndex, ScrubReport};
+use crate::{
+    SERVE_SCRUB_CORRUPT, SERVE_SCRUB_QUARANTINED, SERVE_SCRUB_REPAIRED, SERVE_SCRUB_RUNS,
+    SERVE_STORE_CORRUPT,
+};
+
+/// Sub-directory of the store root where scrub moves corrupt entries it
+/// cannot repair. Quarantined files keep their name plus a `.corrupt`
+/// suffix, so the root's `*.json` census (and the content-address space)
+/// never sees them again.
+const QUARANTINE_SUBDIR: &str = "quarantine";
 
 /// Version of the on-disk entry format. Bumping it makes every existing
 /// entry a clean miss (the envelope check rejects old files without
@@ -204,17 +214,56 @@ impl DiskEntry {
     }
 }
 
+/// Parses serialized entry bytes without validating them.
+fn parse_entry_text(text: &str) -> Option<DiskEntry> {
+    serde_json::from_str(text).ok()
+}
+
+/// Full validation of serialized entry bytes against the content
+/// address they claim: parse, format version, payload checksum, witness
+/// shape, authoritative verdict string, and the self-consistency of the
+/// key fields with `hash`. The error is the failure kind (`"format"`
+/// is the *clean-miss* kind — an old format version, not corruption).
+fn validate_entry_text(hash: u128, text: &str) -> Result<DiskEntry, &'static str> {
+    let Some(entry) = parse_entry_text(text) else {
+        return Err("parse");
+    };
+    if entry.format != STORE_FORMAT_VERSION {
+        return Err("format");
+    }
+    if entry.checksum != entry.payload_checksum() {
+        return Err("checksum");
+    }
+    if entry.witness_from.len() != entry.witness_to.len() {
+        return Err("witness-shape");
+    }
+    if entry.verdict != "solvable" && entry.verdict != "no-map" {
+        return Err("verdict");
+    }
+    let key = StoreKey {
+        model: entry.model.clone(),
+        task: entry.task.clone(),
+        level: entry.level,
+        engine_schema: entry.engine_schema,
+    };
+    if key.content_hash() != hash {
+        return Err("key-mismatch");
+    }
+    Ok(entry)
+}
+
 /// The two-tier verdict store. All methods are `&self` and thread-safe;
 /// multiple processes may share one directory (writes are atomic
 /// renames, so readers never see partial entries).
 pub struct VerdictStore {
     dir: Option<PathBuf>,
     memory: Mutex<MemoryTier>,
+    merkle: Mutex<MerkleIndex>,
     tmp_seq: AtomicU64,
 }
 
 struct MemoryTier {
-    map: HashMap<u128, (StoredVerdict, u64)>,
+    map: HashMap<u128, (StoreKey, StoredVerdict, u64)>,
     clock: u64,
     capacity: usize,
 }
@@ -223,21 +272,27 @@ impl MemoryTier {
     fn get(&mut self, hash: u128) -> Option<StoredVerdict> {
         self.clock += 1;
         let clock = self.clock;
-        self.map.get_mut(&hash).map(|(v, stamp)| {
+        self.map.get_mut(&hash).map(|(_, v, stamp)| {
             *stamp = clock;
             v.clone()
         })
     }
 
-    fn put(&mut self, hash: u128, v: StoredVerdict) {
+    /// The full `(key, verdict)` pair, *without* LRU promotion — the
+    /// scrub pass peeks at residency, it is not an access.
+    fn peek_entry(&self, hash: u128) -> Option<(StoreKey, StoredVerdict)> {
+        self.map.get(&hash).map(|(k, v, _)| (k.clone(), v.clone()))
+    }
+
+    fn put(&mut self, hash: u128, key: StoreKey, v: StoredVerdict) {
         self.clock += 1;
         let clock = self.clock;
-        self.map.insert(hash, (v, clock));
+        self.map.insert(hash, (key, v, clock));
         while self.map.len() > self.capacity {
             // Evict the least-recently-used entry; the map is bounded
             // (default 1024), so the linear scan is cheap next to one
             // engine run.
-            let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, (_, stamp))| *stamp) else {
+            let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, (_, _, stamp))| *stamp) else {
                 break;
             };
             self.map.remove(&oldest);
@@ -258,16 +313,59 @@ impl VerdictStore {
                 clock: 0,
                 capacity: DEFAULT_MEMORY_CAPACITY,
             }),
+            merkle: Mutex::new(MerkleIndex::new()),
             tmp_seq: AtomicU64::new(0),
         }
     }
 
-    /// Opens (creating if needed) the on-disk tier at `dir`.
+    /// Opens (creating if needed) the on-disk tier at `dir` and builds
+    /// the Merkle index from the entries already present (invalid files
+    /// are left unindexed for the scrub pass to repair or quarantine).
     pub fn open(dir: &Path) -> std::io::Result<VerdictStore> {
         std::fs::create_dir_all(dir)?;
         let mut store = VerdictStore::in_memory();
         store.dir = Some(dir.to_path_buf());
+        store.rebuild_index();
         Ok(store)
+    }
+
+    /// Rescans the disk tier and rebuilds the Merkle index from every
+    /// *valid* entry file. Only called while `&mut` (open): running
+    /// servers converge through [`Self::scrub`] instead.
+    fn rebuild_index(&mut self) {
+        let mut index = MerkleIndex::new();
+        for (hash, text) in self.disk_entries() {
+            if validate_entry_text(hash, &text).is_ok() {
+                index.insert(hash, content_hash128(text.as_bytes()));
+            }
+        }
+        *self.merkle.lock().unwrap_or_else(|e| e.into_inner()) = index;
+    }
+
+    /// Every `(content hash, file text)` pair at the store root whose
+    /// file name is a well-formed content address.
+    fn disk_entries(&self) -> Vec<(u128, String)> {
+        let Some(dir) = self.dir.as_ref() else {
+            return Vec::new();
+        };
+        let Ok(read) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in read.flatten() {
+            let name = entry.file_name();
+            let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
+                continue;
+            };
+            let Some(hash) = parse_hash_hex(stem) else {
+                continue;
+            };
+            if let Ok(text) = std::fs::read_to_string(entry.path()) {
+                out.push((hash, text));
+            }
+        }
+        out.sort_by_key(|&(h, _)| h);
+        out
     }
 
     /// Overrides the in-memory tier's capacity (entries; minimum 1).
@@ -302,24 +400,38 @@ impl VerdictStore {
         self.memory
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .put(hash, v.clone());
+            .put(hash, key.clone(), v.clone());
         Some(v)
     }
 
-    /// Persists an authoritative verdict under `key` (memory + disk).
-    /// Returns `false` — and stores nothing — for a non-authoritative
-    /// verdict string (anything but `solvable` / `no-map`).
+    /// Persists an authoritative verdict under `key` (memory + disk) and
+    /// records its leaf in the Merkle index. Returns `false` — and
+    /// stores nothing — for a non-authoritative verdict string (anything
+    /// but `solvable` / `no-map`).
+    ///
+    /// The index records the hash of the *intended* serialized bytes
+    /// even when the disk write fails or is torn by an installed
+    /// [`crate::chaos::ServeFaultPlan`]: the index is the store's
+    /// commitment, and the scrub pass repairs the disk back to it.
     pub fn put(&self, key: &StoreKey, v: &StoredVerdict) -> bool {
         if v.verdict != "solvable" && v.verdict != "no-map" {
             return false;
         }
+        let hash = key.content_hash();
         self.memory
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .put(key.content_hash(), v.clone());
+            .put(hash, key.clone(), v.clone());
+        let entry = DiskEntry::new(key, v);
+        let Ok(json) = serde_json::to_string_pretty(&entry) else {
+            return true;
+        };
+        self.merkle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(hash, content_hash128(json.as_bytes()));
         if let Some(path) = self.entry_path(key) {
-            let entry = DiskEntry::new(key, v);
-            if let Err(e) = self.write_atomically(&path, &entry) {
+            if let Err(e) = self.write_atomically(&path, &json) {
                 // A failed persist is a warm-cache loss, not a failure
                 // of the query itself.
                 if act_obs::enabled() {
@@ -348,9 +460,250 @@ impl VerdictStore {
             .len()
     }
 
-    fn write_atomically(&self, path: &Path, entry: &DiskEntry) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(entry)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    /// The current Merkle root over every committed entry
+    /// ([`crate::merkle::EMPTY_ROOT`] when the store is empty).
+    pub fn merkle_root(&self) -> u128 {
+        self.merkle.lock().unwrap_or_else(|e| e.into_inner()).root()
+    }
+
+    /// Number of entries in the Merkle index.
+    pub fn merkle_len(&self) -> usize {
+        self.merkle.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Every indexed `(entry hash, file hash)` pair in canonical order —
+    /// the anti-entropy exchange unit.
+    pub fn entry_list(&self) -> Vec<(u128, u128)> {
+        self.merkle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries()
+    }
+
+    /// The inclusion proof of `key`'s entry under the current root, or
+    /// `None` when the entry is not committed.
+    pub fn inclusion_proof(&self, key: &StoreKey) -> Option<InclusionProof> {
+        self.merkle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .proof(key.content_hash())
+    }
+
+    /// The canonical serialized bytes of the entry addressed by `hash` —
+    /// what replication and anti-entropy fetch ship between peers. Disk
+    /// tier first (the committed bytes), falling back to re-encoding the
+    /// memory tier's copy; `None` when the entry is unknown or its disk
+    /// copy no longer validates.
+    pub fn raw_entry(&self, hash: u128) -> Option<String> {
+        if let Some(dir) = self.dir.as_ref() {
+            let path = dir.join(format!("{hash:032x}.json"));
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if validate_entry_text(hash, &text).is_ok() {
+                    return Some(text);
+                }
+            }
+        }
+        let (key, v) = self
+            .memory
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .peek_entry(hash)?;
+        serde_json::to_string_pretty(&DiskEntry::new(&key, &v)).ok()
+    }
+
+    /// Accepts a replicated entry in its serialized form (a peer's
+    /// [`Self::raw_entry`]). The bytes are fully validated — parse,
+    /// format, checksum, witness shape, and self-consistent content
+    /// address — before being committed verbatim, so a corrupt or
+    /// tampered replica can never poison this store. Returns `false`
+    /// (and stores nothing) for invalid bytes.
+    pub fn put_raw_entry(&self, json: &str) -> bool {
+        let Some(entry) = parse_entry_text(json) else {
+            return false;
+        };
+        let key = StoreKey {
+            model: entry.model.clone(),
+            task: entry.task.clone(),
+            level: entry.level,
+            engine_schema: entry.engine_schema,
+        };
+        let hash = key.content_hash();
+        if validate_entry_text(hash, json).is_err() {
+            return false;
+        }
+        self.memory.lock().unwrap_or_else(|e| e.into_inner()).put(
+            hash,
+            key.clone(),
+            entry.clone().into_verdict(),
+        );
+        self.merkle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(hash, content_hash128(json.as_bytes()));
+        if let Some(path) = self.entry_path(&key) {
+            let _ = self.write_atomically(&path, json);
+        }
+        true
+    }
+
+    /// One scrub pass: re-reads and re-validates every entry file at the
+    /// store root, repairs corrupt ones from the memory tier or — via
+    /// the optional `fetch` callback (a peer lookup by content hash) —
+    /// from a replica, and quarantines what nothing can restore (moved
+    /// to `quarantine/`, dropped from the index, so the entry becomes a
+    /// clean recomputable miss). Valid entries unknown to the index
+    /// (written by another process sharing the directory) are adopted.
+    ///
+    /// Counted by the `serve.scrub.*` counters; returns this pass's
+    /// [`ScrubReport`]. A store without a disk tier only reconciles the
+    /// index against the memory tier (nothing to corrupt).
+    pub fn scrub(&self, fetch: Option<&dyn Fn(u128) -> Option<String>>) -> ScrubReport {
+        let span = act_obs::span("serve.store.scrub");
+        let mut report = ScrubReport::default();
+        let disk = self.disk_entries();
+        let mut seen: Vec<u128> = Vec::with_capacity(disk.len());
+        for (hash, text) in disk {
+            report.checked += 1;
+            seen.push(hash);
+            match validate_entry_text(hash, &text) {
+                Ok(_) => {
+                    let file_hash = content_hash128(text.as_bytes());
+                    let mut index = self.merkle.lock().unwrap_or_else(|e| e.into_inner());
+                    if index.file_hash(hash) != Some(file_hash) {
+                        index.insert(hash, file_hash);
+                        report.refreshed += 1;
+                    }
+                }
+                Err("format") => {
+                    // A format-version bump is a clean miss everywhere:
+                    // the scrub neither repairs nor quarantines it.
+                }
+                Err(kind) => {
+                    report.corrupt += 1;
+                    SERVE_SCRUB_CORRUPT.add(1);
+                    self.emit_corrupt_kind("serve.scrub.corrupt", hash, kind);
+                    if self.repair_entry(hash, fetch) {
+                        report.repaired += 1;
+                        SERVE_SCRUB_REPAIRED.add(1);
+                    } else {
+                        self.quarantine(hash);
+                        report.quarantined += 1;
+                        SERVE_SCRUB_QUARANTINED.add(1);
+                    }
+                }
+            }
+        }
+        if self.dir.is_some() {
+            // Entries the index still carries but whose file vanished
+            // (external deletion): treat like corruption — restore or
+            // forget.
+            seen.sort_unstable();
+            let indexed = self.entry_list();
+            for (hash, _) in indexed {
+                if seen.binary_search(&hash).is_ok() {
+                    continue;
+                }
+                report.checked += 1;
+                report.corrupt += 1;
+                SERVE_SCRUB_CORRUPT.add(1);
+                self.emit_corrupt_kind("serve.scrub.corrupt", hash, "missing");
+                if self.repair_entry(hash, fetch) {
+                    report.repaired += 1;
+                    SERVE_SCRUB_REPAIRED.add(1);
+                } else {
+                    self.merkle
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(hash);
+                    report.quarantined += 1;
+                    SERVE_SCRUB_QUARANTINED.add(1);
+                }
+            }
+        } else {
+            report.checked = self.merkle_len() as u64;
+        }
+        SERVE_SCRUB_RUNS.add(1);
+        if act_obs::enabled() {
+            span.finish()
+                .u64("checked", report.checked)
+                .u64("corrupt", report.corrupt)
+                .u64("repaired", report.repaired)
+                .u64("quarantined", report.quarantined)
+                .emit();
+        }
+        report
+    }
+
+    /// Restores `hash`'s entry file from the best available good copy:
+    /// the memory tier (re-encoded canonically), else a `fetch`ed peer
+    /// copy (validated before commit). `true` on success.
+    fn repair_entry(&self, hash: u128, fetch: Option<&dyn Fn(u128) -> Option<String>>) -> bool {
+        let resident = self
+            .memory
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .peek_entry(hash);
+        if let Some((key, v)) = resident {
+            if let Ok(json) = serde_json::to_string_pretty(&DiskEntry::new(&key, &v)) {
+                if let Some(path) = self.entry_path(&key) {
+                    if self.write_atomically(&path, &json).is_ok() {
+                        self.merkle
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(hash, content_hash128(json.as_bytes()));
+                        return true;
+                    }
+                }
+            }
+        }
+        if let Some(fetch) = fetch {
+            if let Some(json) = fetch(hash) {
+                if validate_entry_text(hash, &json).is_ok() {
+                    return self.put_raw_entry(&json);
+                }
+            }
+        }
+        false
+    }
+
+    /// Moves `hash`'s entry file into `quarantine/` (dropping it from
+    /// the index), preserving the corrupt bytes for post-mortems while
+    /// turning the entry into a clean miss. Deletion is the fallback if
+    /// the move itself fails.
+    fn quarantine(&self, hash: u128) {
+        self.merkle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(hash);
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let src = dir.join(format!("{hash:032x}.json"));
+        let qdir = dir.join(QUARANTINE_SUBDIR);
+        let moved = std::fs::create_dir_all(&qdir)
+            .and_then(|_| std::fs::rename(&src, qdir.join(format!("{hash:032x}.json.corrupt"))));
+        if moved.is_err() {
+            let _ = std::fs::remove_file(&src);
+        }
+    }
+
+    fn emit_corrupt_kind(&self, event: &str, hash: u128, kind: &str) {
+        if act_obs::enabled() {
+            act_obs::event(event)
+                .str("entry", &format!("{hash:032x}"))
+                .str("kind", kind)
+                .emit();
+        }
+    }
+
+    fn write_atomically(&self, path: &Path, json: &str) -> std::io::Result<()> {
+        if let Some(keep) = crate::chaos::torn_write(json.len()) {
+            // An injected torn write: commit a truncated prefix directly
+            // to the final path, deliberately bypassing the atomic
+            // rename — this is the crash-mid-write the rename discipline
+            // normally makes unobservable.
+            return std::fs::write(path, &json.as_bytes()[..keep]);
+        }
         let tmp = path.with_extension(format!(
             "tmp.{}.{}",
             std::process::id(),

@@ -519,7 +519,9 @@ fn lex_leader_constraints(
         ));
     }
     if keep.iter().any(|&k| k) {
-        lex.removals = (0..d0.len() as u32).filter(|&a| !keep[a as usize]).collect();
+        lex.removals = (0..d0.len() as u32)
+            .filter(|&a| !keep[a as usize])
+            .collect();
     }
     lex
 }
@@ -816,7 +818,10 @@ mod tests {
             assert_eq!(c.members[0] as usize, pivot, "breakers anchor at the pivot");
             assert!(c.data.num_tuples() > 0);
         }
-        assert!(state.count[pivot] > 0, "unary filters never wipe the pivot out");
+        assert!(
+            state.count[pivot] > 0,
+            "unary filters never wipe the pivot out"
+        );
     }
 
     #[test]

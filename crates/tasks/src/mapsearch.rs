@@ -474,11 +474,8 @@ mod tests {
             let Some(h) = chain_action(t.outputs(), &sym.color, out_matching) else {
                 continue;
             };
-            let transported = transport_vertex_map(
-                &map,
-                g.level_map(domain.level()),
-                h.inverse().level_map(0),
-            );
+            let transported =
+                transport_vertex_map(&map, g.level_map(domain.level()), h.inverse().level_map(0));
             assert!(
                 verify_carried_map(&t, &domain, &transported),
                 "the witness orbit stays inside the solution set"

@@ -286,7 +286,12 @@ impl Task for SetConsensus {
             });
             if self.values.len() == self.n {
                 let map: HashMap<u64, u64> = (0..self.n)
-                    .map(|i| (self.values[i], self.values[perm.apply(ProcessId::new(i)).index()]))
+                    .map(|i| {
+                        (
+                            self.values[i],
+                            self.values[perm.apply(ProcessId::new(i)).index()],
+                        )
+                    })
                     .collect();
                 out.push(TaskSymmetry {
                     color: perm,
@@ -527,7 +532,10 @@ mod tests {
         let t = LeaderElection::new(3);
         assert_eq!(t.inputs().facet_count(), 27);
         assert_eq!(t.num_processes(), 3);
-        assert_eq!(t.symmetries().len(), SetConsensus::new(3, 1, &[0, 1, 2]).symmetries().len());
+        assert_eq!(
+            t.symmetries().len(),
+            SetConsensus::new(3, 1, &[0, 1, 2]).symmetries().len()
+        );
     }
 
     #[test]
@@ -547,8 +555,8 @@ mod tests {
                 Some(m) => LabelMatching::Relabeled(m),
                 None => LabelMatching::Strict,
             };
-            let gi = chain_action(t.inputs(), &sym.color, in_matching)
-                .expect("inputs admit the action");
+            let gi =
+                chain_action(t.inputs(), &sym.color, in_matching).expect("inputs admit the action");
             assert!(gi.preserves_facets(t.inputs()));
             let out_matching = match &sym.output_labels {
                 Some(m) => LabelMatching::Relabeled(m),

@@ -260,11 +260,7 @@ fn transport_facet(
     // (constant across rounds, exactly as in a direct expansion). The
     // representative's round order is equally constant, so the position of
     // each member color's preimage is resolved once, not per vertex.
-    let facet_colors: Vec<ProcessId> = facet
-        .vertices()
-        .iter()
-        .map(|&v| input.color(v))
-        .collect();
+    let facet_colors: Vec<ProcessId> = facet.vertices().iter().map(|&v| input.color(v)).collect();
     let rep_order = &rep_record.rounds[rep_indices[0]][0];
     let rep_pos: Vec<usize> = facet_colors
         .iter()

@@ -81,7 +81,10 @@ impl ColorPerm {
 
     /// Whether this is the identity.
     pub fn is_identity(&self) -> bool {
-        self.images.iter().enumerate().all(|(i, &img)| i as u32 == img)
+        self.images
+            .iter()
+            .enumerate()
+            .all(|(i, &img)| i as u32 == img)
     }
 
     /// The image `π(p)` of a color.
@@ -232,11 +235,7 @@ impl ChainAction {
 
     /// The image of a simplex at level `l`.
     pub fn apply_simplex(&self, level: usize, s: &Simplex) -> Simplex {
-        Simplex::from_vertices(
-            s.vertices()
-                .iter()
-                .map(|&v| self.levels[level][v.index()]),
-        )
+        Simplex::from_vertices(s.vertices().iter().map(|&v| self.levels[level][v.index()]))
     }
 
     /// The inverse action (inverse permutation, inverted level maps).
@@ -316,9 +315,7 @@ pub fn chain_action(
         let candidates = by_color.get(&target_color)?;
         let source_class_len = by_color.get(&d.color).map_or(0, Vec::len);
         let image = match matching {
-            LabelMatching::Blind if candidates.len() == 1 && source_class_len == 1 => {
-                candidates[0]
-            }
+            LabelMatching::Blind if candidates.len() == 1 && source_class_len == 1 => candidates[0],
             LabelMatching::Relabeled(map) => {
                 let target_label = *map.get(&d.label)?;
                 unique_with_label(base, candidates, target_label)?
@@ -341,9 +338,8 @@ pub fn chain_action(
         let mut map: Vec<VertexId> = Vec::with_capacity(level.num_vertices());
         for i in 0..level.num_vertices() {
             let d = level.vertex(VertexId::from_index(i));
-            let mapped_carrier = Simplex::from_vertices(
-                d.carrier.vertices().iter().map(|&v| prev_map[v.index()]),
-            );
+            let mapped_carrier =
+                Simplex::from_vertices(d.carrier.vertices().iter().map(|&v| prev_map[v.index()]));
             let image = level.find_vertex(perm.apply(d.color), &mapped_carrier)?;
             let id = level.vertex(image);
             let mapped_base = Simplex::from_vertices(
@@ -352,8 +348,7 @@ pub fn chain_action(
                     .iter()
                     .map(|&v| base_map[v.index()]),
             );
-            if id.base_carrier != mapped_base
-                || id.base_colors != perm.apply_colors(d.base_colors)
+            if id.base_carrier != mapped_base || id.base_colors != perm.apply_colors(d.base_colors)
             {
                 return None;
             }
@@ -455,11 +450,8 @@ impl SymmetryGroup {
     pub fn orbits_of_facets(&self) -> Vec<FacetOrbit> {
         let level = self.complex.level();
         let facets = self.complex.facets();
-        let index_of: HashMap<&Simplex, usize> = facets
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f, i))
-            .collect();
+        let index_of: HashMap<&Simplex, usize> =
+            facets.iter().enumerate().map(|(i, f)| (f, i)).collect();
         let mut assigned = vec![false; facets.len()];
         let mut orbits = Vec::new();
         for rep in 0..facets.len() {
@@ -959,10 +951,8 @@ mod tests {
         let base = Complex::standard(3);
         let (ha, hb, perm) = canonical_pair_hashes(&chr, &base);
         for p in ColorPerm::all(3) {
-            let (ha2, hb2, perm2) = canonical_pair_hashes(
-                &permute_complex(&chr, &p),
-                &permute_complex(&base, &p),
-            );
+            let (ha2, hb2, perm2) =
+                canonical_pair_hashes(&permute_complex(&chr, &p), &permute_complex(&base, &p));
             assert_eq!((ha, hb), (ha2, hb2), "class invariant");
             // The minimizing permutations compose coherently: applying
             // them lands both queries on the identical canonical pair.

@@ -145,7 +145,7 @@ fn census_facet_count_statistics() {
 #[test]
 fn orbit_shared_application_is_byte_identical_on_rainbow_inputs() {
     use act_adversary::Adversary;
-    use act_tasks::{SetConsensus, Task};
+    use act_tasks::SetConsensus;
     use act_topology::{symmetry_group, symmetry_group_inferred, LabelMatching};
 
     let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
