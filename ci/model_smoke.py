@@ -1,0 +1,100 @@
+"""CI smoke client for the model-family namespaces of `fact-cli serve`.
+
+Runs against a freshly started server with an empty store, so every
+counter assert below is *exact*:
+
+* ``alpha:`` — an agreement-function query runs the engine once, then
+  answers from the verdict store, including under a different spelling
+  of the same α-model (canonicalization means one store key);
+* ``fpc:`` — a finalization-statistics query computes once and then
+  answers from the summary cache, again across spellings, with
+  bit-identical statistics;
+* ``stats`` — the counters account for exactly the traffic above
+  (hits/misses/engine runs and the fpc hit/miss/corrupt tiers).
+
+Usage: python3 ci/model_smoke.py HOST:PORT
+"""
+
+import json
+import socket
+import sys
+
+# alpha-kconc:3:2 spelled out: table[P] = min(|P|, 2) over the 3-process
+# subset lattice in bitmask order.
+ALPHA_SHORT = "alpha-kconc:3:2"
+ALPHA_LONG = "alpha:3:01121222"
+
+FPC_SHORT = "fpc:16:4:berserk"
+FPC_LONG = "fpc:16:4:berserk:10:500"  # the defaults, spelled out
+
+
+def connect(host, port):
+    sock = socket.create_connection((host, port), timeout=60)
+    return sock, sock.makefile("r", encoding="utf-8")
+
+
+def rpc(sock, reader, request):
+    sock.sendall((json.dumps(request) + "\n").encode())
+    line = reader.readline()
+    assert line, "server closed the connection before answering"
+    response = json.loads(line)
+    assert response["id"] == request["id"], (request, response)
+    return response
+
+
+def main():
+    addr = sys.argv[1]
+    host, port = addr.rsplit(":", 1)
+    sock, reader = connect(host, int(port))
+
+    # --- the α namespace -------------------------------------------------
+    cold = rpc(sock, reader, {"op": "solve", "id": 1, "model": ALPHA_SHORT, "k": 2})
+    assert cold["ok"] and cold["authoritative"], cold
+    assert cold["source"] == "engine", cold
+    warm = rpc(sock, reader, {"op": "solve", "id": 2, "model": ALPHA_SHORT, "k": 2})
+    assert warm["ok"] and warm["source"] == "store", warm
+    assert warm["verdict"] == cold["verdict"], (cold, warm)
+    # A different spelling of the same α-model is the same store entry.
+    spelled = rpc(sock, reader, {"op": "solve", "id": 3, "model": ALPHA_LONG, "k": 2})
+    assert spelled["ok"] and spelled["source"] == "store", spelled
+    assert spelled["verdict"] == cold["verdict"], (cold, spelled)
+    # A malformed α table answers usage code 2 without killing anything.
+    bad = rpc(sock, reader, {"op": "solve", "id": 4, "model": "alpha:3:0110", "k": 1})
+    assert not bad["ok"] and bad["code"] == 2, bad
+
+    # --- the fpc namespace -----------------------------------------------
+    fpc_cold = rpc(
+        sock, reader, {"op": "fpc", "id": 5, "spec": FPC_SHORT, "runs": 400, "seed": 7}
+    )
+    assert fpc_cold["ok"] and fpc_cold["source"] == "engine", fpc_cold
+    stats_cold = fpc_cold["fpc"]
+    assert stats_cold["runs"] == 400 and stats_cold["seed"] == 7, stats_cold
+    assert stats_cold["spec"] == FPC_LONG, stats_cold
+    assert 0 < stats_cold["rounds_p50"] <= stats_cold["rounds_p99"], stats_cold
+    fpc_warm = rpc(
+        sock, reader, {"op": "fpc", "id": 6, "spec": FPC_LONG, "runs": 400, "seed": 7}
+    )
+    assert fpc_warm["ok"] and fpc_warm["source"] == "store", fpc_warm
+    assert fpc_warm["fpc"] == stats_cold, (stats_cold, fpc_warm["fpc"])
+    bad_fpc = rpc(sock, reader, {"op": "fpc", "id": 7, "spec": "fpc:2:9:berserk"})
+    assert not bad_fpc["ok"] and bad_fpc["code"] == 2, bad_fpc
+
+    # --- exact counter accounting ----------------------------------------
+    stats = rpc(sock, reader, {"op": "stats", "id": 8})["stats"]
+    assert stats["hits"] == 2, stats        # ids 2 and 3
+    assert stats["misses"] == 1, stats      # id 1
+    assert stats["engine_runs"] == 1, stats
+    assert stats["fpc_hits"] == 1, stats    # id 6
+    assert stats["fpc_misses"] == 1, stats  # id 5
+    assert stats["fpc_corrupt"] == 0, stats
+
+    shutdown = rpc(sock, reader, {"op": "shutdown", "id": 9})
+    assert shutdown["ok"], shutdown
+    sock.close()
+    print("model smoke OK:", {k: stats[k] for k in
+                              ("hits", "misses", "engine_runs",
+                               "fpc_hits", "fpc_misses", "fpc_corrupt")})
+
+
+if __name__ == "__main__":
+    main()

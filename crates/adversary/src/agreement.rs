@@ -27,6 +27,26 @@ use crate::setcon::SetconSolver;
 /// assert_eq!(alpha.alpha(ColorSet::from_indices([0])), 0); // solo runs not 1-resilient
 /// alpha.validate().unwrap();
 /// ```
+///
+/// Every agreement function obeys the lattice laws of Kuznetsov–Rieutord:
+/// monotonicity under `⊆`, growth bounded by the added processes, and the
+/// bounded-decrease property the liveness proof leans on:
+///
+/// ```
+/// use act_adversary::{Adversary, AgreementFunction};
+/// use act_topology::ColorSet;
+///
+/// let alpha = AgreementFunction::of_adversary(&Adversary::wait_free(3));
+/// let full = ColorSet::full(3);
+/// for p in full.subsets() {
+///     for q in full.minus(p).iter() {
+///         let bigger = p.with(q);
+///         assert!(alpha.alpha(p) <= alpha.alpha(bigger)); // monotone under ⊆
+///         assert!(alpha.alpha(bigger) <= alpha.alpha(p) + 1); // bounded growth
+///     }
+/// }
+/// assert!(alpha.has_bounded_decrease()); // α(P \ Q) ≥ α(P) − |Q|
+/// ```
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AgreementFunction {
     n: usize,
@@ -115,6 +135,55 @@ impl AgreementFunction {
     /// `α(P) = min(|P|, k)`.
     pub fn k_concurrency(n: usize, k: usize) -> AgreementFunction {
         AgreementFunction::from_fn(n, |p| p.len().min(k))
+    }
+
+    /// Builds an agreement function directly from its table over the
+    /// subset lattice — `table[P.bits()] = α(P)` — validating the
+    /// lattice laws up front so a stored or user-supplied table can
+    /// never name an ill-formed α-model.
+    ///
+    /// # Errors
+    ///
+    /// Rejects tables of the wrong length (`2^n` entries are required),
+    /// values exceeding `n`, and tables violating [`validate`]
+    /// (monotonicity, bounded growth, `α(P) ≤ |P|`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_adversary::AgreementFunction;
+    ///
+    /// // 2-process wait-freedom: α(∅)=0, α({p1})=1, α({p2})=1, α(Π)=2.
+    /// let alpha = AgreementFunction::from_table(2, vec![0, 1, 1, 2]).unwrap();
+    /// assert_eq!(alpha, AgreementFunction::k_concurrency(2, 2));
+    /// // A non-monotone table is refused.
+    /// assert!(AgreementFunction::from_table(2, vec![0, 1, 1, 0]).is_err());
+    /// ```
+    ///
+    /// [`validate`]: AgreementFunction::validate
+    pub fn from_table(n: usize, table: Vec<u8>) -> Result<AgreementFunction, String> {
+        if table.len() != 1usize << n {
+            return Err(format!(
+                "an agreement table over {n} processes needs {} entries, got {}",
+                1usize << n,
+                table.len()
+            ));
+        }
+        if let Some(&v) = table.iter().find(|&&v| v as usize > n) {
+            return Err(format!(
+                "agreement power {v} exceeds the number of processes ({n})"
+            ));
+        }
+        let alpha = AgreementFunction { n, table };
+        alpha.validate().map_err(|e| e.to_string())?;
+        Ok(alpha)
+    }
+
+    /// The table over the subset lattice: entry `i` is `α` of the
+    /// participating set whose bitmask is `i` (so entry `0` is `α(∅)`
+    /// and the last entry is `α(Π)`).
+    pub fn table(&self) -> &[u8] {
+        &self.table
     }
 
     /// The number of processes.
@@ -268,6 +337,20 @@ mod tests {
             bad.validate(),
             Err(AgreementFunctionError::ExceedsCardinality { .. })
         ));
+    }
+
+    #[test]
+    fn from_table_round_trips_and_validates() {
+        let alpha = AgreementFunction::of_adversary(&Adversary::t_resilient(3, 1));
+        let rebuilt = AgreementFunction::from_table(3, alpha.table().to_vec()).unwrap();
+        assert_eq!(rebuilt, alpha);
+
+        // Wrong length, over-n values, and law violations are refused.
+        assert!(AgreementFunction::from_table(3, vec![0, 1]).is_err());
+        assert!(AgreementFunction::from_table(2, vec![0, 1, 1, 3]).is_err());
+        assert!(AgreementFunction::from_table(2, vec![0, 1, 1, 0]).is_err());
+        assert!(AgreementFunction::from_table(2, vec![0, 0, 0, 2]).is_err());
+        assert!(AgreementFunction::from_table(2, vec![1, 1, 1, 1]).is_err());
     }
 
     #[test]

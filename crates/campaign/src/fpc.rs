@@ -1,0 +1,510 @@
+//! The FPC run family: seeded probabilistic-consensus runs streamed
+//! through the campaign engine.
+//!
+//! An FPC campaign reuses the whole campaign chassis — batch-synchronous
+//! worker fleet, per-index seed derivation, chaos kills, checkpointed
+//! resume, violation dedup — but its runs are [`act_fpc`] simulations
+//! instead of Algorithm 1 schedules. Run `i` simulates under
+//! `derive_seed(campaign seed, i)` (the same SplitMix64 derivation
+//! `fact-cli fpc` uses, so campaigns and ad-hoc batches sample identical
+//! populations), and each run is judged against the FPC invariants:
+//!
+//! * `fpc-agreement-on-finalize` — finalized honest nodes agree;
+//! * `fpc-monotone-finalization` — no opinion changes after finality;
+//! * `fpc-seeded-replayability` — re-simulating `(spec, seed)`
+//!   reproduces the trajectory fingerprint bit-for-bit.
+//!
+//! Coverage maps naturally: `steps` counts rounds, `live` counts fully
+//! finalized runs, and `facets` collects distinct trajectory
+//! fingerprints. Injected violations (the `--inject-liveness` indices)
+//! flip one finalized node's opinion post-finalization — a synthetic
+//! safety failure the first two invariants must both catch, which is the
+//! forced-violation self-test CI runs.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use act_fpc::stats::derive_seed;
+use act_fpc::{simulate_run, FpcOutcome, FpcSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::{
+    append_checkpoint, load_latest_checkpoint, Checkpoint, Coverage, CHECKPOINT_SCHEMA_VERSION,
+};
+use crate::invariants::{
+    resolve_invariant_names, FAMILY_FPC, INVARIANT_FPC_AGREEMENT, INVARIANT_FPC_MONOTONE,
+    INVARIANT_FPC_REPLAY,
+};
+use crate::runner::CampaignReport;
+use crate::signature::signature_hex;
+use crate::{
+    chaos, CampaignConfig, Scope, CAMPAIGN_ARTIFACTS, CAMPAIGN_CHECKPOINTS, CAMPAIGN_DEDUPED,
+    CAMPAIGN_RUNS, CAMPAIGN_VIOLATIONS,
+};
+
+/// A violating FPC run, as found. FPC runs are pure functions of
+/// `(spec, seed, injected)`, so the artifact *is* the replay recipe —
+/// no trace shrinking applies.
+#[derive(Clone, Debug)]
+pub struct FpcViolation {
+    /// The run's campaign index.
+    pub index: u64,
+    /// The derived per-run stream seed.
+    pub seed: u64,
+    /// Sorted names of the violated invariants.
+    pub violated: Vec<String>,
+    /// The run's outcome.
+    pub outcome: FpcOutcome,
+    /// Whether the violation was force-injected.
+    pub injected: bool,
+}
+
+/// The persisted artifact for one deduplicated FPC violation: enough to
+/// replay the run exactly (`simulate_run(spec, seed, injected)`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpcViolationArtifact {
+    /// Artifact schema version (1).
+    pub schema_version: u64,
+    /// `fpc-campaign:<violated invariants, joined with +>`.
+    pub reason: String,
+    /// Canonical spec text of the workload.
+    pub spec: String,
+    /// The violating run's campaign index.
+    pub run_index: u64,
+    /// The violating run's derived stream seed.
+    pub seed: u64,
+    /// Whether the violation was force-injected.
+    pub injected: bool,
+    /// Rounds the run executed.
+    pub rounds: u64,
+    /// Honest nodes that finalized.
+    pub finalized: u64,
+    /// The run's trajectory fingerprint, as fixed-width hex.
+    pub fingerprint: String,
+}
+
+/// Runs an FPC campaign (sampled tier only — the population is a seeded
+/// sample space, not an enumerable schedule tree). Mirrors
+/// [`run_campaign`](crate::run_campaign)'s resume/checkpoint contract:
+/// coverage is worker-count invariant and a killed campaign resumes
+/// from its last batch boundary.
+pub fn run_fpc_campaign(config: &CampaignConfig) -> Result<CampaignReport, String> {
+    let timer = act_obs::timer("campaign.fpc");
+    let spec = FpcSpec::parse(&config.model)?;
+    if config.batch == 0 {
+        return Err("batch size must be at least 1".to_string());
+    }
+    if config.resume && config.checkpoint.is_none() {
+        return Err("--resume requires a checkpoint file".to_string());
+    }
+    let samples = match config.scope {
+        Scope::Sampled { samples } => samples,
+        Scope::Exhaustive { .. } => {
+            return Err(
+                "fpc campaigns are sampled-only (seeded run populations have no \
+                 exhaustive schedule tree); use --samples"
+                    .to_string(),
+            )
+        }
+    };
+    let active = resolve_invariant_names(config.invariants.as_deref(), FAMILY_FPC)?;
+    let fingerprint = config.fingerprint_hex();
+
+    let mut state = FpcState {
+        coverage: Coverage::default(),
+        cursor: 0,
+        done: false,
+        sigs: BTreeSet::new(),
+        artifacts_written: 0,
+        new_artifacts: Vec::new(),
+    };
+    let mut resumed_from = 0;
+    if config.resume {
+        let path = config.checkpoint.as_ref().expect("checked above");
+        if let Some(cp) = load_latest_checkpoint(path, &fingerprint)? {
+            state.coverage = cp.coverage;
+            state.cursor = cp.cursor;
+            state.done = cp.done;
+            state.sigs = cp.artifact_sigs.into_iter().collect();
+            state.artifacts_written = cp.artifacts_written;
+            resumed_from = cp.cursor;
+        }
+    }
+
+    let injected = config.injected_indices();
+    while !state.done && state.cursor < samples {
+        chaos::maybe_kill(state.cursor);
+        let end = (state.cursor + config.batch).min(samples);
+        let (batch_coverage, violations) =
+            run_fpc_batch(&spec, config, &active, &injected, state.cursor, end);
+        state.coverage.absorb(&batch_coverage);
+        state.cursor = end;
+        state.done = state.cursor == samples;
+        settle_fpc_batch(&spec, config, &fingerprint, violations, &mut state)?;
+    }
+
+    let elapsed_us = timer.elapsed_us().unwrap_or(0);
+    timer
+        .finish()
+        .u64("cursor", state.cursor)
+        .bool("done", state.done)
+        .emit();
+    Ok(CampaignReport {
+        coverage: state.coverage,
+        cursor: state.cursor,
+        done: state.done,
+        resumed_from,
+        new_artifacts: state.new_artifacts,
+        artifact_sigs: state.sigs.into_iter().collect(),
+        elapsed_us,
+    })
+}
+
+/// The mutable FPC campaign state a checkpoint line snapshots (same
+/// shape as the adversarial tier's).
+struct FpcState {
+    coverage: Coverage,
+    cursor: u64,
+    done: bool,
+    sigs: BTreeSet<String>,
+    artifacts_written: u64,
+    new_artifacts: Vec<PathBuf>,
+}
+
+/// Fans a contiguous index range out over the worker fleet. Each run is
+/// a pure function of its index, so the merged coverage is identical
+/// for any worker count.
+fn run_fpc_batch(
+    spec: &FpcSpec,
+    config: &CampaignConfig,
+    active: &[&'static str],
+    injected: &[u64],
+    start: u64,
+    end: u64,
+) -> (Coverage, Vec<FpcViolation>) {
+    let count = end - start;
+    let workers = (config.workers.max(1) as u64).min(count).max(1);
+    let chunk = count.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let lo = start + w * chunk;
+            let hi = (lo + chunk).min(end);
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move || {
+                let mut coverage = Coverage::default();
+                let mut violations = Vec::new();
+                for index in lo..hi {
+                    execute_fpc_run(
+                        spec,
+                        config,
+                        active,
+                        injected,
+                        index,
+                        &mut coverage,
+                        &mut violations,
+                    );
+                }
+                (coverage, violations)
+            }));
+        }
+        let mut coverage = Coverage::default();
+        let mut violations = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok((c, v)) => {
+                    coverage.absorb(&c);
+                    violations.extend(v);
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        violations.sort_by_key(|v| v.index);
+        (coverage, violations)
+    })
+}
+
+fn execute_fpc_run(
+    spec: &FpcSpec,
+    config: &CampaignConfig,
+    active: &[&'static str],
+    injected: &[u64],
+    index: u64,
+    coverage: &mut Coverage,
+    violations: &mut Vec<FpcViolation>,
+) {
+    let seed = derive_seed(config.seed, index);
+    let inject = injected.binary_search(&index).is_ok();
+    let outcome = simulate_run(spec, seed, inject);
+
+    let mut violated: Vec<String> = Vec::new();
+    if active.contains(&INVARIANT_FPC_AGREEMENT) && !outcome.agreement_ok {
+        violated.push(INVARIANT_FPC_AGREEMENT.to_string());
+    }
+    if active.contains(&INVARIANT_FPC_MONOTONE) && outcome.post_finalization_flips > 0 {
+        violated.push(INVARIANT_FPC_MONOTONE.to_string());
+    }
+    if active.contains(&INVARIANT_FPC_REPLAY)
+        && simulate_run(spec, seed, inject).fingerprint != outcome.fingerprint
+    {
+        violated.push(INVARIANT_FPC_REPLAY.to_string());
+    }
+    violated.sort();
+
+    coverage.runs += 1;
+    coverage.steps += outcome.rounds as u64;
+    CAMPAIGN_RUNS.add(1);
+    if outcome.terminated {
+        coverage.live += 1;
+    }
+    coverage.facets.insert(outcome.fingerprint);
+    if !violated.is_empty() {
+        coverage.violations += 1;
+        if inject {
+            coverage.injected_violations += 1;
+        }
+        for name in &violated {
+            *coverage
+                .invariant_violations
+                .entry(name.clone())
+                .or_insert(0) += 1;
+        }
+        CAMPAIGN_VIOLATIONS.add(1);
+        violations.push(FpcViolation {
+            index,
+            seed,
+            violated,
+            outcome,
+            injected: inject,
+        });
+    }
+}
+
+/// Deduplicates and persists a batch's violations, then appends the
+/// batch's checkpoint line (artifacts land before the checkpoint that
+/// records their signatures, exactly like the adversarial tier).
+/// Violations deduplicate by failure *shape* — `(spec, violated set,
+/// injected)` — so a campaign that trips one invariant a thousand times
+/// writes one artifact and counts 999 dedups.
+fn settle_fpc_batch(
+    spec: &FpcSpec,
+    config: &CampaignConfig,
+    fingerprint: &str,
+    violations: Vec<FpcViolation>,
+    state: &mut FpcState,
+) -> Result<(), String> {
+    let model = spec.canonical_string();
+    for violation in violations {
+        let sig_text = format!(
+            "fact-fpc-violation|{model}|{}|injected={}",
+            violation.violated.join("+"),
+            violation.injected
+        );
+        let sig = signature_hex(act_obs::content_hash128(sig_text.as_bytes()));
+        if state.sigs.insert(sig.clone()) {
+            let path = write_fpc_artifact(
+                config
+                    .artifacts
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from("target/campaign-artifacts"))
+                    .as_path(),
+                &sig,
+                &model,
+                &violation,
+            )?;
+            state.artifacts_written += 1;
+            CAMPAIGN_ARTIFACTS.add(1);
+            act_obs::event("campaign.fpc.artifact")
+                .str("signature", &sig)
+                .str("path", &path.display().to_string())
+                .str("violated", &violation.violated.join("+"))
+                .u64("run_index", violation.index)
+                .emit();
+            state.new_artifacts.push(path);
+        } else {
+            state.coverage.deduped += 1;
+            CAMPAIGN_DEDUPED.add(1);
+        }
+    }
+    if let Some(path) = &config.checkpoint {
+        let checkpoint = Checkpoint {
+            schema: CHECKPOINT_SCHEMA_VERSION,
+            fingerprint: fingerprint.to_string(),
+            cursor: state.cursor,
+            done: state.done,
+            coverage: state.coverage.clone(),
+            artifact_sigs: state.sigs.iter().cloned().collect(),
+            artifacts_written: state.artifacts_written,
+        };
+        append_checkpoint(path, &checkpoint)?;
+        CAMPAIGN_CHECKPOINTS.add(1);
+    }
+    act_obs::event("campaign.fpc.batch")
+        .u64("cursor", state.cursor)
+        .u64("violations", state.coverage.violations)
+        .bool("done", state.done)
+        .emit();
+    Ok(())
+}
+
+/// Writes one FPC violation artifact (atomically: temp file + rename,
+/// keyed by signature so resumes rewrite byte-identical content).
+fn write_fpc_artifact(
+    dir: &Path,
+    sig: &str,
+    model: &str,
+    violation: &FpcViolation,
+) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating artifact dir {dir:?}: {e}"))?;
+    let artifact = FpcViolationArtifact {
+        schema_version: 1,
+        reason: format!("fpc-campaign:{}", violation.violated.join("+")),
+        spec: model.to_string(),
+        run_index: violation.index,
+        seed: violation.seed,
+        injected: violation.injected,
+        rounds: violation.outcome.rounds as u64,
+        finalized: violation.outcome.finalized,
+        fingerprint: format!("{:016x}", violation.outcome.fingerprint),
+    };
+    let json = serde_json::to_string_pretty(&artifact)
+        .map_err(|e| format!("serializing artifact: {e}"))?;
+    let path = dir.join(format!("fpc-campaign-{sig}.json"));
+    let tmp = dir.join(format!(".fpc-campaign-{sig}.json.tmp"));
+    std::fs::write(&tmp, json).map_err(|e| format!("writing artifact {tmp:?}: {e}"))?;
+    std::fs::rename(&tmp, &path).map_err(|e| format!("publishing artifact {path:?}: {e}"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(model: &str, samples: u64) -> CampaignConfig {
+        let mut config = CampaignConfig::new(model);
+        config.scope = Scope::Sampled { samples };
+        config.batch = 50;
+        config.solver_check = false;
+        config.artifacts = Some(std::env::temp_dir().join(format!(
+            "fact-fpc-artifacts-{}-{model_slug}",
+            std::process::id(),
+            model_slug = model.replace(':', "_")
+        )));
+        config
+    }
+
+    #[test]
+    fn coverage_is_worker_count_invariant() {
+        let mut one = config("fpc:16:4:berserk:5:500", 200);
+        one.workers = 1;
+        let mut four = one.clone();
+        four.workers = 4;
+        let a = run_fpc_campaign(&one).unwrap();
+        let b = run_fpc_campaign(&four).unwrap();
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.cursor, 200);
+        assert!(a.done);
+        assert!(a.coverage.live > 0, "berserk at minority must finalize");
+        assert!(
+            a.coverage.facets.len() > 100,
+            "trajectories must be diverse, got {}",
+            a.coverage.facets.len()
+        );
+    }
+
+    #[test]
+    fn injected_flips_violate_and_dedup() {
+        // The berserk minority at seed 0xFAC7 produces no organic
+        // violations over this index range (pinned by a 20k-run sweep
+        // over the same derived-seed population), so the two injections
+        // account for every violation exactly.
+        let mut cfg = config("fpc:32:8:berserk:10:700", 120);
+        cfg.inject_liveness = vec![10, 70];
+        let report = run_fpc_campaign(&cfg).unwrap();
+        assert_eq!(report.coverage.violations, 2);
+        assert_eq!(report.coverage.injected_violations, 2);
+        // Both injections share one failure shape: one artifact, one dedup.
+        assert_eq!(report.new_artifacts.len(), 1);
+        assert_eq!(report.coverage.deduped, 1);
+        assert_eq!(
+            report.coverage.invariant_violations[INVARIANT_FPC_AGREEMENT],
+            2
+        );
+        assert_eq!(
+            report.coverage.invariant_violations[INVARIANT_FPC_MONOTONE],
+            2
+        );
+
+        let json = std::fs::read_to_string(&report.new_artifacts[0]).unwrap();
+        let artifact: FpcViolationArtifact = serde_json::from_str(&json).unwrap();
+        assert_eq!(artifact.spec, "fpc:32:8:berserk:10:700");
+        assert!(artifact.injected);
+        assert_eq!(artifact.run_index, 10);
+        // The artifact replays: same (spec, seed, injected) reproduces
+        // the recorded fingerprint.
+        let spec = FpcSpec::parse(&artifact.spec).unwrap();
+        let replay = simulate_run(&spec, artifact.seed, artifact.injected);
+        assert_eq!(format!("{:016x}", replay.fingerprint), artifact.fingerprint);
+        assert!(!replay.agreement_ok);
+    }
+
+    #[test]
+    fn killed_campaign_resumes_to_identical_final_coverage() {
+        let dir = std::env::temp_dir().join(format!("fact-fpc-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let full = config("fpc:16:4:berserk:5:500", 150);
+        let uninterrupted = run_fpc_campaign(&full).unwrap();
+
+        // Same campaign, killed at the batch boundary at cursor 100,
+        // then resumed (under a different worker count, which must not
+        // matter).
+        let mut victim = full.clone();
+        victim.checkpoint = Some(dir.join("fpc.jsonl"));
+        chaos::kill_once_at_cursor(100);
+        let panic =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_fpc_campaign(&victim)));
+        chaos::disarm();
+        assert!(panic.is_err(), "the armed kill must abort the campaign");
+
+        let mut resumed_config = victim.clone();
+        resumed_config.resume = true;
+        resumed_config.workers = 3;
+        let resumed = run_fpc_campaign(&resumed_config).unwrap();
+        assert_eq!(resumed.resumed_from, 100);
+        assert_eq!(resumed.cursor, 150);
+        assert!(resumed.done);
+        assert_eq!(resumed.coverage, uninterrupted.coverage);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhaustive_scope_and_wrong_family_are_rejected() {
+        let mut cfg = config("fpc:8:0:cautious", 10);
+        cfg.scope = Scope::Exhaustive { max_depth: 3 };
+        assert!(run_fpc_campaign(&cfg).unwrap_err().contains("sampled-only"));
+
+        let mut cfg = config("fpc:8:0:cautious", 10);
+        cfg.invariants = Some(vec!["liveness-fair".to_string()]);
+        let err = run_fpc_campaign(&cfg).unwrap_err();
+        assert!(err.contains("adversarial"), "{err}");
+
+        let bad = config("fpc:8:8:cautious", 10);
+        assert!(run_fpc_campaign(&bad).is_err(), "bad spec must fail");
+    }
+
+    #[test]
+    fn invariant_selection_narrows_judging() {
+        // With only the replay invariant active, injected flips are not
+        // violations at all.
+        let mut cfg = config("fpc:16:0:cautious:5:800", 60);
+        cfg.inject_liveness = vec![5];
+        cfg.invariants = Some(vec![INVARIANT_FPC_REPLAY.to_string()]);
+        let report = run_fpc_campaign(&cfg).unwrap();
+        assert_eq!(report.coverage.violations, 0);
+        assert!(report.new_artifacts.is_empty());
+    }
+}

@@ -36,6 +36,119 @@ pub const INVARIANT_VERDICT: &str = "verdict-agreement";
 /// Name of the trace well-formedness invariant.
 pub const INVARIANT_WELLFORMED: &str = "trace-wellformed";
 
+/// Name of the FPC finalized-nodes-agree invariant.
+pub const INVARIANT_FPC_AGREEMENT: &str = "fpc-agreement-on-finalize";
+/// Name of the FPC no-post-finalization-flips invariant.
+pub const INVARIANT_FPC_MONOTONE: &str = "fpc-monotone-finalization";
+/// Name of the FPC replay-fingerprint invariant.
+pub const INVARIANT_FPC_REPLAY: &str = "fpc-seeded-replayability";
+
+/// The adversarial (Algorithm 1 scheduling) run family.
+pub const FAMILY_ADVERSARIAL: &str = "adversarial";
+/// The FPC (probabilistic consensus) run family.
+pub const FAMILY_FPC: &str = "fpc";
+
+/// One registry row: an invariant's stable name, the run family whose
+/// campaigns check it, and a one-line description.
+#[derive(Clone, Copy, Debug)]
+pub struct InvariantInfo {
+    /// The invariant's stable name (what `--invariants` selects).
+    pub name: &'static str,
+    /// The run family (`adversarial` or `fpc`) it applies to.
+    pub family: &'static str,
+    /// A one-line human-readable description.
+    pub description: &'static str,
+}
+
+/// Every invariant the campaign engine knows, across both run families,
+/// in a fixed order (the `--list-invariants` table).
+pub fn invariant_registry() -> Vec<InvariantInfo> {
+    let mut rows: Vec<InvariantInfo> = default_invariants()
+        .iter()
+        .map(|inv| InvariantInfo {
+            name: inv.name(),
+            family: FAMILY_ADVERSARIAL,
+            description: inv.description(),
+        })
+        .collect();
+    rows.extend([
+        InvariantInfo {
+            name: INVARIANT_FPC_AGREEMENT,
+            family: FAMILY_FPC,
+            description: "every pair of finalized honest nodes holds the same opinion",
+        },
+        InvariantInfo {
+            name: INVARIANT_FPC_MONOTONE,
+            family: FAMILY_FPC,
+            description: "a finalized node's opinion never changes afterwards",
+        },
+        InvariantInfo {
+            name: INVARIANT_FPC_REPLAY,
+            family: FAMILY_FPC,
+            description: "re-simulating (spec, seed) reproduces the trajectory fingerprint",
+        },
+    ]);
+    rows
+}
+
+/// Resolves a `--invariants` selection against the registry for one run
+/// family. `None` selects the family's full set; `Some` names must all
+/// exist (a usage error otherwise — the CLI exits 2) and belong to
+/// `family`. Returns the active names in registry order.
+pub fn resolve_invariant_names(
+    selection: Option<&[String]>,
+    family: &str,
+) -> Result<Vec<&'static str>, String> {
+    let registry = invariant_registry();
+    let Some(selection) = selection else {
+        return Ok(registry
+            .iter()
+            .filter(|info| info.family == family)
+            .map(|info| info.name)
+            .collect());
+    };
+    let mut selected: Vec<&'static str> = Vec::new();
+    for name in selection {
+        let Some(info) = registry.iter().find(|info| info.name == name) else {
+            return Err(format!(
+                "unknown invariant {name:?} (fact-cli campaign --list-invariants shows the registry)"
+            ));
+        };
+        if info.family != family {
+            return Err(format!(
+                "invariant {name:?} belongs to the {} run family, but this campaign runs the \
+                 {family} family",
+                info.family
+            ));
+        }
+        if !selected.contains(&info.name) {
+            selected.push(info.name);
+        }
+    }
+    if selected.is_empty() {
+        return Err("at least one invariant must be selected".to_string());
+    }
+    // Registry order, not selection order, so campaigns are spelled-order
+    // independent.
+    Ok(registry
+        .iter()
+        .filter(|info| selected.contains(&info.name))
+        .map(|info| info.name)
+        .collect())
+}
+
+/// The adversarial invariant set a selection activates, in the fixed
+/// default order (the whole set for `None`).
+pub fn selected_invariants(
+    selection: Option<&[String]>,
+) -> Result<Vec<Box<dyn Invariant>>, String> {
+    let names = resolve_invariant_names(selection, FAMILY_ADVERSARIAL)?;
+    Ok(default_invariants()
+        .into_iter()
+        .filter(|inv| names.contains(&inv.name()))
+        .collect())
+}
+
 /// Everything an invariant may inspect about one completed run.
 pub struct RunRecord<'a> {
     /// The run's outcome (schedule, termination, liveness judgement).
@@ -60,6 +173,8 @@ pub trait Invariant: Send + Sync {
     /// The invariant's stable name (used in signatures, coverage maps,
     /// and artifact reasons).
     fn name(&self) -> &'static str;
+    /// A one-line description (the `--list-invariants` registry row).
+    fn description(&self) -> &'static str;
     /// Checks one run; `Err` carries a human-readable violation message.
     fn check(&self, ctx: &CampaignContext, run: &RunRecord<'_>) -> Result<(), String>;
 }
@@ -97,6 +212,10 @@ impl Invariant for LivenessFair {
         INVARIANT_LIVENESS
     }
 
+    fn description(&self) -> &'static str {
+        "every correct process decides within the step bound of a fair schedule"
+    }
+
     fn check(&self, _ctx: &CampaignContext, run: &RunRecord<'_>) -> Result<(), String> {
         if run.truncated_by_depth || run.outcome.all_correct_terminated {
             Ok(())
@@ -117,6 +236,10 @@ impl Invariant for CorrectSetMonotonicity {
         INVARIANT_MONOTONICITY
     }
 
+    fn description(&self) -> &'static str {
+        "a terminated process stays terminated and `step` agrees with `has_terminated`"
+    }
+
     fn check(&self, _ctx: &CampaignContext, run: &RunRecord<'_>) -> Result<(), String> {
         if run.monotonicity_ok {
             Ok(())
@@ -135,6 +258,10 @@ struct VerdictAgreement;
 impl Invariant for VerdictAgreement {
     fn name(&self) -> &'static str {
         INVARIANT_VERDICT
+    }
+
+    fn description(&self) -> &'static str {
+        "live runs' outputs resolve to a simplex of R_A when the solver says solvable"
     }
 
     fn check(&self, ctx: &CampaignContext, run: &RunRecord<'_>) -> Result<(), String> {
@@ -166,6 +293,10 @@ struct TraceWellFormed;
 impl Invariant for TraceWellFormed {
     fn name(&self) -> &'static str {
         INVARIANT_WELLFORMED
+    }
+
+    fn description(&self) -> &'static str {
+        "the trace is internally consistent and survives a JSON round-trip"
     }
 
     fn check(&self, _ctx: &CampaignContext, run: &RunRecord<'_>) -> Result<(), String> {
@@ -309,6 +440,61 @@ mod tests {
         }
         assert!(guard.ok());
         assert!(guard.inner().has_terminated(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn registry_names_families_and_selection() {
+        let registry = invariant_registry();
+        assert_eq!(registry.len(), 7);
+        let adversarial: Vec<&str> = registry
+            .iter()
+            .filter(|i| i.family == FAMILY_ADVERSARIAL)
+            .map(|i| i.name)
+            .collect();
+        assert_eq!(
+            adversarial,
+            vec![
+                INVARIANT_LIVENESS,
+                INVARIANT_MONOTONICITY,
+                INVARIANT_VERDICT,
+                INVARIANT_WELLFORMED
+            ]
+        );
+        let fpc: Vec<&str> = registry
+            .iter()
+            .filter(|i| i.family == FAMILY_FPC)
+            .map(|i| i.name)
+            .collect();
+        assert_eq!(
+            fpc,
+            vec![
+                INVARIANT_FPC_AGREEMENT,
+                INVARIANT_FPC_MONOTONE,
+                INVARIANT_FPC_REPLAY
+            ]
+        );
+
+        // None selects the whole family; Some resolves in registry order
+        // regardless of spelling order.
+        assert_eq!(resolve_invariant_names(None, FAMILY_FPC).unwrap(), fpc);
+        let spelled = vec![
+            INVARIANT_WELLFORMED.to_string(),
+            INVARIANT_LIVENESS.to_string(),
+        ];
+        assert_eq!(
+            resolve_invariant_names(Some(&spelled), FAMILY_ADVERSARIAL).unwrap(),
+            vec![INVARIANT_LIVENESS, INVARIANT_WELLFORMED]
+        );
+        let boxed = selected_invariants(Some(&spelled)).unwrap();
+        assert_eq!(boxed.len(), 2);
+        assert_eq!(boxed[0].name(), INVARIANT_LIVENESS);
+
+        // Unknown names and cross-family selections are usage errors.
+        assert!(resolve_invariant_names(Some(&["nope".to_string()]), FAMILY_FPC).is_err());
+        assert!(
+            resolve_invariant_names(Some(&[INVARIANT_LIVENESS.to_string()]), FAMILY_FPC).is_err()
+        );
+        assert!(resolve_invariant_names(Some(&[]), FAMILY_FPC).is_err());
     }
 
     #[test]

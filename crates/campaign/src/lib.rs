@@ -38,6 +38,7 @@
 
 pub mod chaos;
 pub mod checkpoint;
+pub mod fpc;
 pub mod invariants;
 pub mod runner;
 pub mod shrink;
@@ -48,9 +49,13 @@ use std::path::PathBuf;
 use act_obs::Counter;
 
 pub use checkpoint::{append_checkpoint, load_latest_checkpoint, Checkpoint, Coverage};
+pub use fpc::run_fpc_campaign;
 pub use invariants::{
-    check_all, default_invariants, Invariant, MonotonicityGuard, RunRecord, INVARIANT_LIVENESS,
-    INVARIANT_MONOTONICITY, INVARIANT_VERDICT, INVARIANT_WELLFORMED,
+    check_all, default_invariants, invariant_registry, resolve_invariant_names,
+    selected_invariants, Invariant, InvariantInfo, MonotonicityGuard, RunRecord,
+    FAMILY_ADVERSARIAL, FAMILY_FPC, INVARIANT_FPC_AGREEMENT, INVARIANT_FPC_MONOTONE,
+    INVARIANT_FPC_REPLAY, INVARIANT_LIVENESS, INVARIANT_MONOTONICITY, INVARIANT_VERDICT,
+    INVARIANT_WELLFORMED,
 };
 pub use runner::{
     evaluate_trace, run_campaign, run_campaign_in, CampaignContext, CampaignReport, Violation,
@@ -138,6 +143,12 @@ pub struct CampaignConfig {
     /// the run population or the armed verdict (and so stays out of the
     /// campaign fingerprint).
     pub quotient_oracle: bool,
+    /// Restrict the checked invariants to these registry names (`None`
+    /// checks the model's full run-family set). Selections feed the
+    /// fingerprint — a campaign that judges runs differently is a
+    /// different campaign — but the default `None` keeps the historical
+    /// fingerprint text, so existing checkpoints stay resumable.
+    pub invariants: Option<Vec<String>>,
 }
 
 impl CampaignConfig {
@@ -159,6 +170,7 @@ impl CampaignConfig {
             inject_liveness: Vec::new(),
             solver_check: true,
             quotient_oracle: false,
+            invariants: None,
         }
     }
 
@@ -172,7 +184,7 @@ impl CampaignConfig {
         inject.sort_unstable();
         inject.dedup();
         let inject: Vec<String> = inject.iter().map(|i| i.to_string()).collect();
-        format!(
+        let mut text = format!(
             "fact-campaign|model={}|scope={}|seed={}|max_steps={}|fault_rate={}|inject={}|solver={}",
             self.model,
             scope,
@@ -181,7 +193,14 @@ impl CampaignConfig {
             self.fault_rate_percent,
             inject.join(","),
             self.solver_check,
-        )
+        );
+        if let Some(selection) = &self.invariants {
+            let mut selection = selection.clone();
+            selection.sort();
+            selection.dedup();
+            text.push_str(&format!("|invariants={}", selection.join(",")));
+        }
+        text
     }
 
     /// The campaign's 32-hex-digit fingerprint (the verdict store's
@@ -198,6 +217,12 @@ impl CampaignConfig {
         inject.sort_unstable();
         inject.dedup();
         inject
+    }
+
+    /// Whether the model names an FPC workload (the `fpc:` run family)
+    /// rather than an adversary-backed model.
+    pub fn is_fpc(&self) -> bool {
+        self.model.starts_with("fpc:")
     }
 }
 
@@ -227,6 +252,15 @@ mod tests {
         let mut other_inject = base.clone();
         other_inject.inject_liveness = vec![42];
         assert_ne!(base.fingerprint_hex(), other_inject.fingerprint_hex());
+
+        // An invariant selection changes the campaign; its spelling
+        // order does not.
+        let mut selected = base.clone();
+        selected.invariants = Some(vec!["liveness-fair".into(), "trace-wellformed".into()]);
+        assert_ne!(base.fingerprint_hex(), selected.fingerprint_hex());
+        let mut reordered = selected.clone();
+        reordered.invariants = Some(vec!["trace-wellformed".into(), "liveness-fair".into()]);
+        assert_eq!(selected.fingerprint_hex(), reordered.fingerprint_hex());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::checkpoint::{
     append_checkpoint, load_latest_checkpoint, Checkpoint, Coverage, CHECKPOINT_SCHEMA_VERSION,
 };
-use crate::invariants::{check_all, default_invariants, Invariant, MonotonicityGuard, RunRecord};
+use crate::invariants::{check_all, selected_invariants, Invariant, MonotonicityGuard, RunRecord};
 use crate::shrink::shrink_violation;
 use crate::signature::{signature_hex, violation_signature};
 use crate::{
@@ -89,7 +89,12 @@ impl CampaignContext {
         quotient_oracle: bool,
     ) -> Result<CampaignContext, String> {
         let spec = ModelSpec::parse(model, false)?;
-        let adversary = spec.adversary();
+        // Adversarial campaigns schedule real runs against the model's
+        // live sets, so they need an adversary — α-only specs (which
+        // have no unique adversary) are solve/serve-side models.
+        let adversary = spec
+            .adversary()
+            .map_err(|e| format!("campaigns need an adversary-backed model: {e}"))?;
         let n = adversary.num_processes();
         let participants = ColorSet::full(n);
         let alpha = AgreementFunction::of_adversary(&adversary);
@@ -170,6 +175,7 @@ pub struct Violation {
 
 /// What one campaign invocation did (a resumed invocation reports the
 /// *cumulative* coverage, including the resumed-from prefix).
+#[derive(Debug)]
 pub struct CampaignReport {
     /// Cumulative coverage through `cursor`.
     pub coverage: Coverage,
@@ -201,8 +207,13 @@ impl CampaignReport {
 
 /// Builds the model context and runs the campaign. Convenience wrapper
 /// over [`run_campaign_in`] for callers (like the CLI) that run one
-/// campaign per context.
+/// campaign per context. `fpc:` models dispatch to the FPC run family
+/// ([`run_fpc_campaign`](crate::fpc::run_fpc_campaign)); everything
+/// else is an adversarial campaign.
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, String> {
+    if config.is_fpc() {
+        return crate::fpc::run_fpc_campaign(config);
+    }
     let ctx = CampaignContext::new_with_oracle(
         &config.model,
         config.solver_check,
@@ -226,7 +237,7 @@ pub fn run_campaign_in(
         return Err("--resume requires a checkpoint file".to_string());
     }
     let fingerprint = config.fingerprint_hex();
-    let invariants = default_invariants();
+    let invariants = selected_invariants(config.invariants.as_deref())?;
 
     let mut state = CampaignState {
         coverage: Coverage::default(),

@@ -7,7 +7,9 @@
 //! This module is the single parser both front ends use:
 //!
 //! * [`ModelSpec`] — `wait-free:N`, `t-res:N:T`, `k-of:N:K`, `fig5b`,
-//!   and `custom:N:{p1,p2};{p3};…` (with optional superset closure);
+//!   `custom:N:{p1,p2};{p3};…` (with optional superset closure), and the
+//!   agreement-function family `alpha:N:<table>` / `alpha-kconc:N:K`
+//!   (a model given directly by its α, Kuznetsov–Rieutord);
 //! * [`TaskSpec`] — `set-consensus:N:K`, the decision problems the FACT
 //!   pipeline answers (`k`-set consensus over values `0..=k`);
 //! * [`ModelSpec::canonical_string`] / [`TaskSpec::canonical_string`] —
@@ -20,7 +22,7 @@
 //! maps to [`FactError::Usage`](crate::FactError) (exit code 2) and the
 //! server maps to an error reply with the same code.
 
-use act_adversary::Adversary;
+use act_adversary::{Adversary, AgreementFunction};
 use act_tasks::SetConsensus;
 use act_topology::{ColorSet, ProcessId};
 
@@ -59,6 +61,18 @@ pub enum ModelSpec {
         /// The live sets, sorted and deduplicated.
         live: Vec<ColorSet>,
     },
+    /// `alpha:N:<table>` — a model given directly by its agreement
+    /// function α, tabulated over the subset lattice: digit `i` of
+    /// `<table>` is `α` of the participating set whose bitmask is `i`
+    /// (`2^N` digits, each in `0..=N`). The shorthand
+    /// `alpha-kconc:N:K` names `α(P) = min(|P|, K)` and canonicalizes
+    /// to the table form, so both spellings share one store key.
+    Alpha {
+        /// Process count.
+        n: usize,
+        /// The α table in bits order, validated at parse time.
+        table: Vec<u8>,
+    },
 }
 
 impl ModelSpec {
@@ -86,6 +100,34 @@ impl ModelSpec {
                 Ok(ModelSpec::KObstructionFree { n, k })
             }
             ["fig5b"] => Ok(ModelSpec::Fig5b),
+            ["alpha", n, table] => {
+                let n = parse_n(n)?;
+                let digits: Vec<u8> = table
+                    .chars()
+                    .map(|c| {
+                        c.to_digit(10)
+                            .map(|d| d as u8)
+                            .ok_or_else(|| format!("bad α digit {c:?} in {spec:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let alpha = AgreementFunction::from_table(n, digits)?;
+                Ok(ModelSpec::Alpha {
+                    n,
+                    table: alpha.table().to_vec(),
+                })
+            }
+            ["alpha-kconc", n, k] => {
+                let n = parse_n(n)?;
+                let k: usize = k.parse().map_err(|_| format!("bad k in {spec:?}"))?;
+                if !(1..=n).contains(&k) {
+                    return Err("α-k-concurrency requires 1 ≤ k ≤ n".into());
+                }
+                let alpha = AgreementFunction::k_concurrency(n, k);
+                Ok(ModelSpec::Alpha {
+                    n,
+                    table: alpha.table().to_vec(),
+                })
+            }
             ["custom", n, sets] => {
                 let n = parse_n(n)?;
                 let mut live = Vec::new();
@@ -142,6 +184,10 @@ impl ModelSpec {
                     .collect();
                 format!("custom:{n}:{}", sets.join(";"))
             }
+            ModelSpec::Alpha { n, table } => {
+                let digits: String = table.iter().map(|d| char::from(b'0' + d)).collect();
+                format!("alpha:{n}:{digits}")
+            }
         }
     }
 
@@ -151,19 +197,50 @@ impl ModelSpec {
             ModelSpec::WaitFree { n }
             | ModelSpec::TResilient { n, .. }
             | ModelSpec::KObstructionFree { n, .. }
-            | ModelSpec::Custom { n, .. } => *n,
+            | ModelSpec::Custom { n, .. }
+            | ModelSpec::Alpha { n, .. } => *n,
             ModelSpec::Fig5b => 3,
         }
     }
 
     /// Builds the adversary this spec names.
-    pub fn adversary(&self) -> Adversary {
+    ///
+    /// # Errors
+    ///
+    /// `alpha:` specs describe a model by its agreement function alone —
+    /// many distinct adversaries share one α, so no single adversary can
+    /// be built for them. Callers that only need the model's solvability
+    /// behaviour should use [`agreement_function`] instead, which every
+    /// variant supports.
+    ///
+    /// [`agreement_function`]: ModelSpec::agreement_function
+    pub fn adversary(&self) -> Result<Adversary, String> {
         match self {
-            ModelSpec::WaitFree { n } => Adversary::wait_free(*n),
-            ModelSpec::TResilient { n, t } => Adversary::t_resilient(*n, *t),
-            ModelSpec::KObstructionFree { n, k } => Adversary::k_obstruction_free(*n, *k),
-            ModelSpec::Fig5b => act_adversary::zoo::figure_5b_adversary(),
-            ModelSpec::Custom { n, live } => Adversary::from_live_sets(*n, live.clone()),
+            ModelSpec::WaitFree { n } => Ok(Adversary::wait_free(*n)),
+            ModelSpec::TResilient { n, t } => Ok(Adversary::t_resilient(*n, *t)),
+            ModelSpec::KObstructionFree { n, k } => Ok(Adversary::k_obstruction_free(*n, *k)),
+            ModelSpec::Fig5b => Ok(act_adversary::zoo::figure_5b_adversary()),
+            ModelSpec::Custom { n, live } => Ok(Adversary::from_live_sets(*n, live.clone())),
+            ModelSpec::Alpha { .. } => Err(format!(
+                "{} is an α-model with no unique adversary; it is defined by its agreement \
+                 function (use a wait-free/t-res/k-of/custom spec where an adversary is required)",
+                self.canonical_string()
+            )),
+        }
+    }
+
+    /// The agreement function of this model: the parsed table for
+    /// `alpha:` specs, `α(P) = setcon(A|P)` for adversary-backed specs.
+    /// Every variant supports this, which is what lets the solver, the
+    /// tower cache, and the serving stack treat α-models exactly like
+    /// adversary models — `R_A` is a function of α alone.
+    pub fn agreement_function(&self) -> AgreementFunction {
+        match self {
+            ModelSpec::Alpha { n, table } => AgreementFunction::from_table(*n, table.clone())
+                .expect("alpha tables are validated at parse time"),
+            _ => AgreementFunction::of_adversary(
+                &self.adversary().expect("non-α specs name an adversary"),
+            ),
         }
     }
 }
@@ -250,6 +327,7 @@ mod tests {
             ModelSpec::parse("wait-free:3", false)
                 .unwrap()
                 .adversary()
+                .unwrap()
                 .len(),
             7
         );
@@ -257,6 +335,7 @@ mod tests {
             ModelSpec::parse("t-res:3:1", false)
                 .unwrap()
                 .adversary()
+                .unwrap()
                 .setcon(),
             2
         );
@@ -264,17 +343,19 @@ mod tests {
             ModelSpec::parse("k-of:4:2", false)
                 .unwrap()
                 .adversary()
+                .unwrap()
                 .setcon(),
             2
         );
         assert!(ModelSpec::parse("fig5b", false)
             .unwrap()
             .adversary()
+            .unwrap()
             .is_superset_closed());
         let custom = ModelSpec::parse("custom:3:{p2};{p1,p3}", true).unwrap();
-        assert_eq!(custom.adversary(), zoo::figure_5b_adversary());
+        assert_eq!(custom.adversary().unwrap(), zoo::figure_5b_adversary());
         let raw = ModelSpec::parse("custom:3:{p2};{p1,p3}", false).unwrap();
-        assert_eq!(raw.adversary().len(), 2);
+        assert_eq!(raw.adversary().unwrap().len(), 2);
     }
 
     #[test]
@@ -325,7 +406,7 @@ mod tests {
         let canon = closed.canonical_string();
         let reparsed = ModelSpec::parse(&canon, false).unwrap();
         assert_eq!(closed, reparsed);
-        assert_eq!(reparsed.adversary(), zoo::figure_5b_adversary());
+        assert_eq!(reparsed.adversary().unwrap(), zoo::figure_5b_adversary());
     }
 
     #[test]
@@ -345,10 +426,58 @@ mod tests {
     }
 
     #[test]
+    fn alpha_specs_parse_validate_and_canonicalize() {
+        // The shorthand canonicalizes to the table form, so both
+        // spellings share one store key.
+        let short = ModelSpec::parse("alpha-kconc:3:1", false).unwrap();
+        assert_eq!(short.canonical_string(), "alpha:3:01111111");
+        let long = ModelSpec::parse("alpha:3:01111111", false).unwrap();
+        assert_eq!(short, long);
+        assert_eq!(short.num_processes(), 3);
+
+        // Round trip through the canonical string.
+        let reparsed = ModelSpec::parse(&short.canonical_string(), false).unwrap();
+        assert_eq!(reparsed, short);
+
+        // α-models have no unique adversary but always an α.
+        assert!(short.adversary().is_err());
+        let alpha = short.agreement_function();
+        assert_eq!(alpha, act_adversary::AgreementFunction::k_concurrency(3, 1));
+
+        // Ill-formed tables are refused at parse time: wrong length,
+        // non-digit, non-monotone, α(∅) > 0.
+        for bad in [
+            "alpha:3:011",
+            "alpha:2:01x2",
+            "alpha:2:0110",
+            "alpha:2:1112",
+            "alpha-kconc:3:0",
+            "alpha-kconc:3:4",
+            "alpha:9:0",
+        ] {
+            assert!(ModelSpec::parse(bad, false).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn alpha_of_adversary_matches_the_adversary_backed_spec() {
+        // `alpha:(A)` — the α-model of an adversary spec — computes the
+        // same agreement function as the adversary itself.
+        for spec in ["wait-free:3", "t-res:3:1", "k-of:4:2", "fig5b"] {
+            let m = ModelSpec::parse(spec, false).unwrap();
+            let alpha = m.agreement_function();
+            let table: String = alpha.table().iter().map(|d| d.to_string()).collect();
+            let alpha_spec = format!("alpha:{}:{table}", m.num_processes());
+            let a = ModelSpec::parse(&alpha_spec, false).unwrap();
+            assert_eq!(a.agreement_function(), alpha, "{spec} α round-trips");
+        }
+    }
+
+    #[test]
     fn num_processes_matches_the_adversary() {
         for spec in ["wait-free:2", "t-res:3:1", "k-of:4:2", "fig5b"] {
             let m = ModelSpec::parse(spec, false).unwrap();
-            assert_eq!(m.num_processes(), m.adversary().num_processes());
+            assert_eq!(m.num_processes(), m.adversary().unwrap().num_processes());
         }
     }
 }

@@ -1,0 +1,230 @@
+//! Fast Probabilistic Consensus (FPC) as a deterministic, seeded
+//! workload.
+//!
+//! FPC (Popov–Buchanan; cf. the `FPC-on-a-set` simulations) is a binary
+//! voting protocol: every node holds an opinion in `{0, 1}`, and each
+//! round every honest node queries a random quorum, compares the mean
+//! of the answers against a *common random threshold*, and adopts the
+//! majority side. A node **finalizes** once its opinion has survived
+//! [`FINALITY_ROUNDS`] consecutive rounds; the random thresholds make
+//! it exponentially hard for an adversary to keep the network split.
+//!
+//! This crate is the model-family backend behind the `fpc:` spec
+//! namespace: a simulator whose every run is a pure function of
+//! `(spec, seed)`, so finalization statistics are replayable,
+//! campaign-shardable across worker fleets, and cacheable by content
+//! address exactly like solvability verdicts.
+//!
+//! * [`FpcSpec`] — the parsed, canonicalizable `fpc:N:M:STRATEGY[:Q[:O]]`
+//!   spec (node count, malicious count, strategy, quorum size, initial
+//!   ones share);
+//! * [`simulate_run`](sim::simulate_run) — one seeded run, returning an
+//!   [`FpcOutcome`](sim::FpcOutcome) with its trajectory fingerprint;
+//! * [`run_stats`](stats::run_stats) — a batch of runs aggregated into
+//!   [`FpcStats`](stats::FpcStats) (failure rates, rounds-to-finality
+//!   percentiles, combined fingerprint).
+
+pub mod sim;
+pub mod stats;
+
+pub use sim::{simulate_run, FpcOutcome};
+pub use stats::{derive_seed, run_stats, FpcStats};
+
+/// Consecutive unchanged rounds before a node finalizes its opinion.
+pub const FINALITY_ROUNDS: u32 = 5;
+
+/// Cooling-off rounds before finality streaks start counting: the first
+/// rounds of a run are still mixing, and finalizing during them lets a
+/// minority node lock in the losing value.
+pub const WARMUP_ROUNDS: u32 = 2;
+
+/// Round budget: a run that has not fully finalized by then is a
+/// termination failure.
+pub const MAX_ROUNDS: u32 = 100;
+
+/// Common-threshold range in per-mille: each round draws
+/// `τ ∈ [0.500, 0.667]` uniformly, shared by every honest node.
+pub const THRESHOLD_LO_PERMILLE: u64 = 500;
+/// Upper end of the common-threshold range (per-mille).
+pub const THRESHOLD_HI_PERMILLE: u64 = 667;
+
+/// The largest supported node count (simulation is `O(rounds · N · Q)`).
+pub const MAX_NODES: usize = 10_000;
+
+/// What the malicious nodes answer when queried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FpcStrategy {
+    /// Every malicious node reports the current *minority* opinion of
+    /// the honest nodes (one shared answer per round) — the classic
+    /// convergence-delaying cautious adversary.
+    Cautious,
+    /// Each malicious node answers each query adversarially for that
+    /// querier: the opposite of the asker's current opinion, trying to
+    /// keep the network split.
+    Berserk,
+    /// A static split: the first half of the malicious nodes always
+    /// report `1`, the rest always report `0`.
+    FixedSplit,
+}
+
+impl FpcStrategy {
+    /// The spec-text name of this strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            FpcStrategy::Cautious => "cautious",
+            FpcStrategy::Berserk => "berserk",
+            FpcStrategy::FixedSplit => "fixed-split",
+        }
+    }
+
+    /// Parses a spec-text strategy name.
+    pub fn parse(name: &str) -> Result<FpcStrategy, String> {
+        match name {
+            "cautious" => Ok(FpcStrategy::Cautious),
+            "berserk" => Ok(FpcStrategy::Berserk),
+            "fixed-split" => Ok(FpcStrategy::FixedSplit),
+            other => Err(format!(
+                "unknown FPC strategy {other:?} (cautious | berserk | fixed-split)"
+            )),
+        }
+    }
+}
+
+/// A parsed, canonicalizable FPC workload spec.
+///
+/// Spec text: `fpc:N:M:STRATEGY[:QUORUM[:ONES_PERMILLE]]` — `N` nodes of
+/// which `M` are malicious, playing `STRATEGY`; honest nodes query
+/// `QUORUM` peers per round (default `min(10, N−1)`); `ONES_PERMILLE`
+/// of the honest nodes start with opinion `1` (default 500). The
+/// canonical string always spells all five fields, so every spelling of
+/// one workload shares one content address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FpcSpec {
+    /// Total node count (honest + malicious).
+    pub nodes: usize,
+    /// Malicious node count (`< nodes`; the malicious nodes are the
+    /// last `malicious` indices).
+    pub malicious: usize,
+    /// What the malicious nodes answer.
+    pub strategy: FpcStrategy,
+    /// Quorum size each honest node samples per round.
+    pub quorum: usize,
+    /// Share of honest nodes starting with opinion `1`, in per-mille.
+    pub ones_permille: u64,
+}
+
+impl FpcSpec {
+    /// Parses an `fpc:` spec, filling defaulted fields.
+    pub fn parse(spec: &str) -> Result<FpcSpec, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let (nodes, malicious, strategy, rest) = match parts.as_slice() {
+            ["fpc", n, m, s, rest @ ..] if rest.len() <= 2 => (*n, *m, *s, rest),
+            _ => {
+                return Err(format!(
+                    "unrecognized fpc spec {spec:?} (fpc:N:M:STRATEGY[:QUORUM[:ONES_PERMILLE]])"
+                ))
+            }
+        };
+        let nodes: usize = nodes
+            .parse()
+            .map_err(|_| format!("bad node count in {spec:?}"))?;
+        if !(2..=MAX_NODES).contains(&nodes) {
+            return Err(format!("fpc needs 2..={MAX_NODES} nodes"));
+        }
+        let malicious: usize = malicious
+            .parse()
+            .map_err(|_| format!("bad malicious count in {spec:?}"))?;
+        if malicious >= nodes {
+            return Err("fpc needs at least one honest node (m < n)".into());
+        }
+        let strategy = FpcStrategy::parse(strategy)?;
+        let quorum = match rest.first() {
+            None => 10.min(nodes - 1),
+            Some(q) => {
+                let q: usize = q.parse().map_err(|_| format!("bad quorum in {spec:?}"))?;
+                if !(1..nodes).contains(&q) {
+                    return Err(format!("fpc quorum must be in 1..{nodes}"));
+                }
+                q
+            }
+        };
+        let ones_permille = match rest.get(1) {
+            None => 500,
+            Some(o) => {
+                let o: u64 = o
+                    .parse()
+                    .map_err(|_| format!("bad ones-permille in {spec:?}"))?;
+                if o > 1000 {
+                    return Err("fpc ones-permille must be at most 1000".into());
+                }
+                o
+            }
+        };
+        Ok(FpcSpec {
+            nodes,
+            malicious,
+            strategy,
+            quorum,
+            ones_permille,
+        })
+    }
+
+    /// The canonical text of this spec (round-trips through [`parse`];
+    /// always spells all five fields).
+    ///
+    /// [`parse`]: FpcSpec::parse
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "fpc:{}:{}:{}:{}:{}",
+            self.nodes,
+            self.malicious,
+            self.strategy.name(),
+            self.quorum,
+            self.ones_permille
+        )
+    }
+
+    /// The honest node count.
+    pub fn honest(&self) -> usize {
+        self.nodes - self.malicious
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_default_and_canonicalize() {
+        let s = FpcSpec::parse("fpc:32:8:berserk").unwrap();
+        assert_eq!(s.quorum, 10);
+        assert_eq!(s.ones_permille, 500);
+        assert_eq!(s.canonical_string(), "fpc:32:8:berserk:10:500");
+        let t = FpcSpec::parse(&s.canonical_string()).unwrap();
+        assert_eq!(s, t);
+
+        let tiny = FpcSpec::parse("fpc:4:0:cautious").unwrap();
+        assert_eq!(tiny.quorum, 3, "default quorum clamps to n-1");
+        assert_eq!(
+            FpcSpec::parse("fpc:16:4:fixed-split:5:900").unwrap().quorum,
+            5
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "fpc:1:0:cautious",
+            "fpc:8:8:cautious",
+            "fpc:8:2:sneaky",
+            "fpc:8:2:berserk:0",
+            "fpc:8:2:berserk:8",
+            "fpc:8:2:berserk:3:1001",
+            "fpc:8:2",
+            "fpc:x:2:berserk",
+            "alpha:3:01111111",
+        ] {
+            assert!(FpcSpec::parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+}

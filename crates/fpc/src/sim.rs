@@ -1,0 +1,207 @@
+//! One seeded FPC run: synchronous rounds of quorum sampling against a
+//! common random threshold, with per-node finalization tracking.
+//!
+//! Everything here is a pure function of `(spec, seed, inject_flip)`:
+//! the round thresholds, every quorum sample, and the malicious answers
+//! all come from one ChaCha8 stream, so a run replays bit-identically
+//! on any worker — which is what makes FPC campaigns shardable and the
+//! `seeded-replayability` invariant checkable at all.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{
+    FpcSpec, FpcStrategy, FINALITY_ROUNDS, MAX_ROUNDS, THRESHOLD_HI_PERMILLE,
+    THRESHOLD_LO_PERMILLE, WARMUP_ROUNDS,
+};
+
+/// The result of one FPC run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FpcOutcome {
+    /// Rounds executed (≤ [`MAX_ROUNDS`]).
+    pub rounds: u32,
+    /// Honest nodes that finalized.
+    pub finalized: u64,
+    /// Whether every pair of finalized honest nodes agrees.
+    pub agreement_ok: bool,
+    /// Whether every honest node finalized within the round budget.
+    pub terminated: bool,
+    /// Opinion changes observed *after* a node finalized — zero by
+    /// construction unless a violation was injected.
+    pub post_finalization_flips: u64,
+    /// Honest nodes holding opinion `1` at the end.
+    pub final_ones: u64,
+    /// FNV-1a fingerprint of the full trajectory (thresholds and every
+    /// node's opinion, round by round): two runs with equal fingerprints
+    /// took identical paths.
+    pub fingerprint: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_mix(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= byte as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Runs one seeded FPC simulation. With `inject_flip`, one finalized
+/// node's opinion is deliberately flipped after finalization — the
+/// campaign's forced-violation self-test, proving the invariants can
+/// fail.
+pub fn simulate_run(spec: &FpcSpec, seed: u64, inject_flip: bool) -> FpcOutcome {
+    let n = spec.nodes;
+    let honest = spec.honest();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut fingerprint = FNV_OFFSET;
+
+    // Honest nodes are indices 0..honest, malicious honest..n. The
+    // first `ones_permille`-share of honest nodes start at 1; the seed
+    // then permutes behaviour via the sampling stream, so the fixed
+    // assignment loses no generality across a campaign.
+    let start_ones = (honest as u64 * spec.ones_permille / 1000) as usize;
+    let mut opinions: Vec<u8> = (0..n).map(|i| u8::from(i < start_ones)).collect();
+    // Streak of consecutive rounds each honest node's opinion survived,
+    // and the round it finalized (0 = not yet).
+    let mut streak = vec![0u32; honest];
+    let mut finalized_at = vec![0u32; honest];
+    let mut post_finalization_flips = 0u64;
+
+    let mut rounds = 0u32;
+    for round in 1..=MAX_ROUNDS {
+        rounds = round;
+        // One common threshold per round, shared by every honest node.
+        let tau = rng.gen_range(THRESHOLD_LO_PERMILLE..=THRESHOLD_HI_PERMILLE);
+        fnv_mix(&mut fingerprint, tau);
+
+        // Cautious malice answers with the honest minority of the
+        // pre-round opinions, one shared answer for the whole round.
+        let honest_ones: u64 = opinions[..honest].iter().map(|&o| o as u64).sum();
+        let cautious_answer = u8::from(2 * honest_ones <= honest as u64);
+
+        let mut next = opinions.clone();
+        for i in 0..honest {
+            if finalized_at[i] != 0 {
+                continue; // finalized nodes hold their opinion
+            }
+            let mut ones = 0u64;
+            for _ in 0..spec.quorum {
+                // Uniform peer other than i.
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let answer = if j < honest {
+                    opinions[j]
+                } else {
+                    match spec.strategy {
+                        FpcStrategy::Cautious => cautious_answer,
+                        FpcStrategy::Berserk => 1 - opinions[i],
+                        FpcStrategy::FixedSplit => u8::from(j - honest < spec.malicious / 2),
+                    }
+                };
+                ones += answer as u64;
+            }
+            // Adopt 1 iff the sampled mean clears the common threshold.
+            next[i] = u8::from(ones * 1000 >= tau * spec.quorum as u64);
+        }
+
+        for i in 0..honest {
+            if finalized_at[i] != 0 {
+                continue;
+            }
+            if next[i] == opinions[i] && round > WARMUP_ROUNDS {
+                streak[i] += 1;
+                if streak[i] >= FINALITY_ROUNDS {
+                    finalized_at[i] = round;
+                }
+            } else {
+                streak[i] = 0;
+            }
+        }
+        opinions = next;
+        for &o in &opinions {
+            fnv_mix(&mut fingerprint, o as u64);
+        }
+        if finalized_at.iter().all(|&r| r != 0) {
+            break;
+        }
+    }
+
+    if inject_flip {
+        // Flip the first finalized node post-finalization: a synthetic
+        // safety violation the invariants must catch.
+        if let Some(i) = finalized_at.iter().position(|&r| r != 0) {
+            opinions[i] = 1 - opinions[i];
+            post_finalization_flips += 1;
+            fnv_mix(&mut fingerprint, 0xF11F);
+        }
+    }
+
+    let finalized = finalized_at.iter().filter(|&&r| r != 0).count() as u64;
+    let decided: Vec<u8> = (0..honest)
+        .filter(|&i| finalized_at[i] != 0)
+        .map(|i| opinions[i])
+        .collect();
+    let agreement_ok = decided.windows(2).all(|w| w[0] == w[1]);
+    FpcOutcome {
+        rounds,
+        finalized,
+        agreement_ok,
+        terminated: finalized == honest as u64,
+        post_finalization_flips,
+        final_ones: opinions[..honest].iter().map(|&o| o as u64).sum(),
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let spec = FpcSpec::parse("fpc:32:8:berserk").unwrap();
+        let a = simulate_run(&spec, 42, false);
+        let b = simulate_run(&spec, 42, false);
+        assert_eq!(a, b);
+        let c = simulate_run(&spec, 43, false);
+        assert_ne!(a.fingerprint, c.fingerprint, "seeds must matter");
+    }
+
+    #[test]
+    fn honest_network_finalizes_in_agreement() {
+        let spec = FpcSpec::parse("fpc:16:0:cautious:5:800").unwrap();
+        for seed in 0..20 {
+            let out = simulate_run(&spec, seed, false);
+            assert!(out.terminated, "seed {seed} did not terminate");
+            assert!(out.agreement_ok, "seed {seed} disagreed");
+            assert_eq!(out.post_finalization_flips, 0);
+            assert!(out.rounds >= FINALITY_ROUNDS);
+        }
+    }
+
+    #[test]
+    fn injected_flip_breaks_agreement_accounting() {
+        let spec = FpcSpec::parse("fpc:16:0:cautious:5:800").unwrap();
+        let out = simulate_run(&spec, 7, true);
+        assert_eq!(out.post_finalization_flips, 1);
+        // All nodes converge to one value; flipping a finalized node
+        // therefore breaks agreement whenever ≥ 2 nodes finalized.
+        assert!(!out.agreement_ok);
+    }
+
+    #[test]
+    fn unanimous_start_is_stable() {
+        // Every honest node starts at 1 with no malice: opinions never
+        // move, so finality arrives as soon as the warmup has passed and
+        // the streak fills.
+        let spec = FpcSpec::parse("fpc:8:0:cautious:3:1000").unwrap();
+        let out = simulate_run(&spec, 1, false);
+        assert_eq!(out.rounds, WARMUP_ROUNDS + FINALITY_ROUNDS);
+        assert_eq!(out.final_ones, 8);
+        assert!(out.terminated && out.agreement_ok);
+    }
+}

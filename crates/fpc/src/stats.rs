@@ -1,0 +1,134 @@
+//! Finalization statistics over a batch of seeded FPC runs.
+//!
+//! A batch is addressed by `(spec, runs, seed)`: run `i` uses the
+//! SplitMix64-derived stream seed `derive_seed(seed, i)`, so any
+//! contiguous shard of the batch can be produced independently on any
+//! worker and the aggregate is worker-count-invariant. The aggregate
+//! carries a combined fingerprint over every run's trajectory
+//! fingerprint — the value the `seeded-replayability` checks (and the
+//! serving layer's cached summaries) compare.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sim::simulate_run;
+use crate::FpcSpec;
+
+/// Aggregated finalization statistics for one `(spec, runs, seed)`
+/// batch. All fields are integers so the summary JSON is stable across
+/// platforms (mean is carried in thousandths).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpcStats {
+    /// Canonical spec text of the workload.
+    pub spec: String,
+    /// Runs aggregated.
+    pub runs: u64,
+    /// Batch seed (run `i` uses the derived seed for index `i`).
+    pub seed: u64,
+    /// Runs where two finalized honest nodes disagreed.
+    pub agreement_failures: u64,
+    /// Runs where some honest node missed the round budget.
+    pub termination_failures: u64,
+    /// Median rounds-to-finality.
+    pub rounds_p50: u64,
+    /// 99th-percentile rounds-to-finality.
+    pub rounds_p99: u64,
+    /// Worst rounds-to-finality in the batch.
+    pub rounds_max: u64,
+    /// Mean rounds-to-finality, in thousandths of a round.
+    pub mean_rounds_milli: u64,
+    /// FNV-1a combination of every run's trajectory fingerprint, as
+    /// fixed-width hex: equal batches replay bit-identically.
+    pub fingerprint: String,
+}
+
+/// The per-run stream seed for `index` within a batch seeded `seed`
+/// (the campaign runner's SplitMix64 derivation, so `fact-cli fpc` and
+/// FPC campaigns sample identical populations).
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add((index.wrapping_add(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs the whole batch and aggregates it. Deterministic in
+/// `(spec, runs, seed)`; `runs` must be at least 1.
+pub fn run_stats(spec: &FpcSpec, runs: u64, seed: u64) -> FpcStats {
+    let mut rounds: Vec<u64> = Vec::with_capacity(runs as usize);
+    let mut agreement_failures = 0u64;
+    let mut termination_failures = 0u64;
+    let mut combined = 0xcbf2_9ce4_8422_2325u64;
+    for index in 0..runs {
+        let out = simulate_run(spec, derive_seed(seed, index), false);
+        if !out.agreement_ok {
+            agreement_failures += 1;
+        }
+        if !out.terminated {
+            termination_failures += 1;
+        }
+        rounds.push(out.rounds as u64);
+        for byte in out.fingerprint.to_le_bytes() {
+            combined ^= byte as u64;
+            combined = combined.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    rounds.sort_unstable();
+    let total: u64 = rounds.iter().sum();
+    FpcStats {
+        spec: spec.canonical_string(),
+        runs,
+        seed,
+        agreement_failures,
+        termination_failures,
+        rounds_p50: percentile(&rounds, 50),
+        rounds_p99: percentile(&rounds, 99),
+        rounds_max: *rounds.last().unwrap_or(&0),
+        mean_rounds_milli: total * 1000 / runs.max(1),
+        fingerprint: format!("{combined:016x}"),
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_deterministic_and_sane() {
+        let spec = FpcSpec::parse("fpc:32:4:cautious:5:700").unwrap();
+        let a = run_stats(&spec, 200, 0xFAC7);
+        let b = run_stats(&spec, 200, 0xFAC7);
+        assert_eq!(a, b, "same (spec, runs, seed) must reproduce");
+        assert!(a.rounds_p50 <= a.rounds_p99);
+        assert!(a.rounds_p99 <= a.rounds_max);
+        assert!(a.mean_rounds_milli >= 1000 * crate::FINALITY_ROUNDS as u64);
+        let c = run_stats(&spec, 200, 0xFAC8);
+        assert_ne!(a.fingerprint, c.fingerprint, "seed must matter");
+    }
+
+    #[test]
+    fn stats_survive_a_json_round_trip() {
+        let spec = FpcSpec::parse("fpc:8:2:fixed-split").unwrap();
+        let stats = run_stats(&spec, 50, 7);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: FpcStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 99), 99);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+}

@@ -31,8 +31,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use act_service::{
-    deepening_verdict, ClusterClient, ClusterConfig, ServeConfig, ServeFaultPlan, ServeOptions,
-    StoreKey, StoredVerdict, VerdictStore,
+    deepening_verdict, ClusterClient, ClusterConfig, FpcCache, ServeConfig, ServeFaultPlan,
+    ServeOptions, StoreKey, StoredVerdict, VerdictStore, FPC_DEFAULT_RUNS, FPC_DEFAULT_SEED,
+    FPC_MAX_RUNS,
 };
 use fact::adversary::{zoo, Adversary, AgreementFunction};
 use fact::affine::fair_affine_task;
@@ -219,6 +220,8 @@ usage:
             [--store <dir>] [--workers <n>] [--queue <n>]
             [--peers H:P,H:P,...]        full cluster membership (incl. self)
             [--self-index <i>]           which --peers entry this server is
+            [--replication-factor <r>]   distinct owners per entry (default 2)
+            [--ring-weights w1,w2,...]   per-peer ring weights (default all 1)
             [--scrub-interval-ms <ms>]   background Merkle scrub period
             [--sync-interval-ms <ms>]    background anti-entropy period
             [--fault-plan <path>]        install a chaos plan (JSON; testing)
@@ -241,6 +244,11 @@ usage:
             [--no-solver-check]          skip the solver verdict-agreement oracle
             [--quotient-oracle]          cross-check the solver verdict under both
                                          direct and symmetry-quotiented towers
+            [--invariants <a,b,..>]      judge only the named invariants
+            [--list-invariants]          print the invariant registry and exit
+  fact-cli fpc <workload>                seeded FPC finalization statistics
+            [--runs <n>] [--seed <n>]    batch size and base seed
+            [--store <dir>]              cache summaries under <dir>/fpc
   fact-cli census                        survey all 3-process adversaries
   fact-cli validate-report <path>        check a --report JSON file
   fact-cli replay <path> <model>         replay a captured trace artifact
@@ -259,6 +267,8 @@ exit codes: 0 success | 1 runtime failure | 2 usage error
             42 chaos plan killed the server (kill-peer event; testing only)
 
 models: wait-free:N | t-res:N:T | k-of:N:K | fig5b | custom:N:{p1,p2};{p3};...
+        alpha:N:<table> | alpha-kconc:N:K   agreement-function (α) model families
+        fpc:N:M:STRATEGY[:Q[:O]]            FPC workloads (fpc subcommand + serve)
 
 serving: `serve` speaks newline-delimited JSON (see README \"Serving\");
 shutdown is the wire request {\"op\":\"shutdown\"} — it drains the queue,
@@ -278,6 +288,7 @@ fn run(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fact
         Some("cluster-stats") => cluster_stats(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
+        Some("fpc") => fpc(&args[1..]),
         Some("census") => census(),
         Some("validate-report") => validate_report(&args[1..]),
         Some("replay") => replay(&args[1..]),
@@ -287,9 +298,10 @@ fn run(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fact
 }
 
 /// Parses a model spec into an adversary (through the canonical
-/// [`ModelSpec`] parser shared with the serving layer).
+/// [`ModelSpec`] parser shared with the serving layer). Rejects
+/// `alpha:` specs, which name no unique adversary.
 fn parse_model(spec: &str, closure: bool) -> Result<Adversary, String> {
-    Ok(ModelSpec::parse(spec, closure)?.adversary())
+    ModelSpec::parse(spec, closure)?.adversary()
 }
 
 fn analyze(args: &[String]) -> Result<Option<String>, FactError> {
@@ -297,29 +309,51 @@ fn analyze(args: &[String]) -> Result<Option<String>, FactError> {
         .first()
         .ok_or_else(|| "analyze needs a model spec".to_string())?;
     let closure = args.iter().any(|a| a == "--closure");
-    let a = parse_model(spec, closure)?;
-    let n = a.num_processes();
-    let verdict = Some(format!(
-        "setcon={} fair={}",
-        a.setcon(),
-        a.fairness_witness().is_none()
-    ));
-    println!("adversary        : {a}");
-    println!("live sets        : {}", a.len());
-    println!("superset-closed  : {}", a.is_superset_closed());
-    println!("symmetric        : {}", a.is_symmetric());
-    match a.fairness_witness() {
-        None => println!("fair             : yes"),
-        Some(w) => println!(
-            "fair             : NO (setcon(A|{},{}) = {} ≠ min(|Q|, setcon(A|P)) = {})",
-            w.p, w.q, w.restricted_power, w.expected_power
-        ),
+    let model = ModelSpec::parse(spec, closure)?;
+    let n = model.num_processes();
+    let alpha = model.agreement_function();
+    let verdict;
+    match model.adversary() {
+        Ok(a) => {
+            verdict = Some(format!(
+                "setcon={} fair={}",
+                a.setcon(),
+                a.fairness_witness().is_none()
+            ));
+            println!("adversary        : {a}");
+            println!("live sets        : {}", a.len());
+            println!("superset-closed  : {}", a.is_superset_closed());
+            println!("symmetric        : {}", a.is_symmetric());
+            match a.fairness_witness() {
+                None => println!("fair             : yes"),
+                Some(w) => println!(
+                    "fair             : NO (setcon(A|{},{}) = {} ≠ min(|Q|, setcon(A|P)) = {})",
+                    w.p, w.q, w.restricted_power, w.expected_power
+                ),
+            }
+            println!("setcon           : {}", a.setcon());
+            if a.is_superset_closed() {
+                println!("csize            : {}", a.csize());
+            }
+        }
+        Err(_) => {
+            // An α-model: no adversary to report on, but the agreement
+            // function (validated at parse time) and its affine task
+            // carry the whole analysis.
+            let power = alpha.alpha(ColorSet::full(n));
+            verdict = Some(format!("setcon={power} alpha-model=true"));
+            println!("model            : α-model {}", model.canonical_string());
+            println!("setcon (α(Π))    : {power}");
+            println!(
+                "bounded decrease : {}",
+                if alpha.has_bounded_decrease() {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            );
+        }
     }
-    println!("setcon           : {}", a.setcon());
-    if a.is_superset_closed() {
-        println!("csize            : {}", a.csize());
-    }
-    let alpha = AgreementFunction::of_adversary(&a);
     println!("agreement function:");
     for p in ColorSet::full(n).non_empty_subsets() {
         println!("  alpha({p}) = {}", alpha.alpha(p));
@@ -371,7 +405,10 @@ fn solve(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fa
     };
     let model = ModelSpec::parse(spec, false)?;
     let task = TaskSpec::set_consensus(model.num_processes(), k)?;
-    let a = model.adversary();
+    // The whole solve path is a function of the model's agreement
+    // function — `R_A` is built from α alone — so α-models and
+    // adversary models share every line below, store keys included.
+    let alpha = model.agreement_function();
     let store = match &store_dir {
         None => None,
         Some(dir) => Some(
@@ -379,7 +416,11 @@ fn solve(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fa
                 .map_err(|e| FactError::Runtime(format!("open store {dir:?}: {e}")))?,
         ),
     };
-    println!("model setcon = {}; deciding {k}-set consensus…", a.setcon());
+    let n = model.num_processes();
+    println!(
+        "model setcon = {}; deciding {k}-set consensus…",
+        alpha.alpha(ColorSet::full(n))
+    );
     let key = StoreKey::new(&model, &task, max_iters);
     if let Some(store) = &store {
         if let Some(stored) = store.get(&key) {
@@ -392,8 +433,6 @@ fn solve(args: &[String], deadline_ms: Option<u64>) -> Result<Option<String>, Fa
             return report_verdict(&verdict);
         }
     }
-    let n = model.num_processes();
-    let alpha = AgreementFunction::of_adversary(&a);
     if alpha.alpha(ColorSet::full(n)) == 0 {
         return Err(FactError::Runtime("the model admits no runs".into()));
     }
@@ -479,6 +518,18 @@ fn parse_serve_options(
                 .map_err(|_| format!("bad --self-index value {raw:?}"))
         })
         .transpose()?;
+    let replication = extract_count_flag(&mut args, "--replication-factor")?;
+    let ring_weights = extract_value_flag(&mut args, "--ring-weights")?
+        .map(|raw| {
+            raw.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad --ring-weights entry {s:?}"))
+                })
+                .collect::<Result<Vec<usize>, String>>()
+        })
+        .transpose()?;
     let fault_plan_path = extract_value_flag(&mut args, "--fault-plan")?;
     let scrub_interval_ms = extract_millis_flag(&mut args, "--scrub-interval-ms")?;
     let sync_interval_ms = extract_millis_flag(&mut args, "--sync-interval-ms")?;
@@ -494,6 +545,7 @@ fn parse_serve_options(
             "serve does not take positional argument {stray:?}"
         )));
     }
+    let placement_flags = replication.is_some() || ring_weights.is_some();
     let cluster = match (peers, self_index) {
         (None, None) => None,
         (Some(_), None) => {
@@ -510,9 +562,39 @@ fn parse_serve_options(
                     peers.len()
                 )));
             }
-            Some(ClusterConfig::new(peers, self_index))
+            let mut cluster = ClusterConfig::new(peers, self_index);
+            if let Some(rf) = replication {
+                if rf > cluster.peers.len() {
+                    return Err(FactError::Usage(format!(
+                        "--replication-factor {rf} exceeds the {} peer(s)",
+                        cluster.peers.len()
+                    )));
+                }
+                cluster.replication = rf;
+            }
+            if let Some(weights) = ring_weights {
+                if weights.len() != cluster.peers.len() {
+                    return Err(FactError::Usage(format!(
+                        "--ring-weights has {} entries for {} peer(s)",
+                        weights.len(),
+                        cluster.peers.len()
+                    )));
+                }
+                if weights.iter().all(|&w| w == 0) {
+                    return Err(FactError::Usage(
+                        "--ring-weights needs at least one non-zero entry".into(),
+                    ));
+                }
+                cluster.weights = weights;
+            }
+            Some(cluster)
         }
     };
+    if cluster.is_none() && placement_flags {
+        return Err(FactError::Usage(
+            "--replication-factor/--ring-weights need --peers".into(),
+        ));
+    }
     let fault_plan = match fault_plan_path {
         None => None,
         Some(path) => {
@@ -769,6 +851,13 @@ fn simulate(args: &[String]) -> Result<Option<String>, FactError> {
 
 fn campaign(args: &[String]) -> Result<Option<String>, FactError> {
     let mut args = args.to_vec();
+    if extract_bool_flag(&mut args, "--list-invariants") {
+        println!("{:<28} {:<12} description", "invariant", "run family");
+        for info in act_campaign::invariant_registry() {
+            println!("{:<28} {:<12} {}", info.name, info.family, info.description);
+        }
+        return Ok(Some("listed the invariant registry".into()));
+    }
     let scope_kind = extract_value_flag(&mut args, "--scope")?;
     let samples = extract_count_flag(&mut args, "--samples")?;
     let depth = extract_count_flag(&mut args, "--depth")?;
@@ -802,6 +891,11 @@ fn campaign(args: &[String]) -> Result<Option<String>, FactError> {
                 .collect::<Result<Vec<u64>, String>>()
         })
         .transpose()?;
+    let invariants = extract_value_flag(&mut args, "--invariants")?.map(|raw| {
+        raw.split(',')
+            .map(|s| s.trim().to_string())
+            .collect::<Vec<_>>()
+    });
     let resume = extract_bool_flag(&mut args, "--resume");
     let no_solver_check = extract_bool_flag(&mut args, "--no-solver-check");
     let quotient_oracle = extract_bool_flag(&mut args, "--quotient-oracle");
@@ -810,6 +904,16 @@ fn campaign(args: &[String]) -> Result<Option<String>, FactError> {
         .ok_or_else(|| "campaign needs a model spec".to_string())?;
     if let Some(stray) = args.get(1) {
         return Err(FactError::Usage(format!("unexpected argument {stray:?}")));
+    }
+    // Validate an invariant selection up front so an unknown name is a
+    // usage error (exit 2), not a runtime failure mid-campaign.
+    if let Some(selection) = &invariants {
+        let family = if spec.starts_with("fpc:") {
+            act_campaign::FAMILY_FPC
+        } else {
+            act_campaign::FAMILY_ADVERSARIAL
+        };
+        act_campaign::resolve_invariant_names(Some(selection), family).map_err(FactError::Usage)?;
     }
 
     let mut config = act_campaign::CampaignConfig::new(spec);
@@ -852,6 +956,7 @@ fn campaign(args: &[String]) -> Result<Option<String>, FactError> {
     config.artifacts = artifacts.map(PathBuf::from);
     config.resume = resume;
     config.inject_liveness = inject.unwrap_or_default();
+    config.invariants = invariants;
     config.solver_check = !no_solver_check;
     config.quotient_oracle = quotient_oracle;
     if quotient_oracle && no_solver_check {
@@ -877,7 +982,11 @@ fn campaign(args: &[String]) -> Result<Option<String>, FactError> {
         "fault injection       : {} faulted runs, {} fault events applied",
         coverage.faulted_runs, coverage.faults_applied
     );
-    println!("distinct output facets: {}", coverage.facets.len());
+    if config.is_fpc() {
+        println!("distinct trajectories : {}", coverage.facets.len());
+    } else {
+        println!("distinct output facets: {}", coverage.facets.len());
+    }
     println!(
         "violations            : {} total ({} injected, {} deduplicated)",
         coverage.violations, coverage.injected_violations, coverage.deduped
@@ -902,6 +1011,71 @@ fn campaign(args: &[String]) -> Result<Option<String>, FactError> {
         coverage.violations,
         coverage.injected_violations,
         report.artifact_sigs.len()
+    )))
+}
+
+fn fpc(args: &[String]) -> Result<Option<String>, FactError> {
+    let mut args = args.to_vec();
+    let runs = extract_count_flag(&mut args, "--runs")?
+        .map(|n| n as u64)
+        .unwrap_or(FPC_DEFAULT_RUNS);
+    let seed = extract_value_flag(&mut args, "--seed")?
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|_| format!("bad --seed value {raw:?}"))
+        })
+        .transpose()?
+        .unwrap_or(FPC_DEFAULT_SEED);
+    let store = extract_value_flag(&mut args, "--store")?;
+    let spec_text = args
+        .first()
+        .ok_or_else(|| "fpc needs a workload spec (fpc:N:M:STRATEGY[:Q[:O]])".to_string())?;
+    if let Some(stray) = args.get(1) {
+        return Err(FactError::Usage(format!("unexpected argument {stray:?}")));
+    }
+    let spec = act_fpc::FpcSpec::parse(spec_text).map_err(FactError::Usage)?;
+    if !(1..=FPC_MAX_RUNS).contains(&runs) {
+        return Err(FactError::Usage(format!(
+            "--runs must be in 1..={FPC_MAX_RUNS}"
+        )));
+    }
+    let cache = match &store {
+        Some(dir) => FpcCache::open(std::path::Path::new(dir))
+            .map_err(|e| FactError::Runtime(format!("opening store {dir:?}: {e}")))?,
+        None => FpcCache::in_memory(),
+    };
+    let (stats, source) = cache.summary(&spec, runs, seed);
+    println!("workload              : {}", stats.spec);
+    println!(
+        "batch                 : {} runs, seed {} ({source})",
+        stats.runs, stats.seed
+    );
+    println!(
+        "agreement failures    : {} ({} per mille)",
+        stats.agreement_failures,
+        stats.agreement_failures * 1000 / stats.runs.max(1)
+    );
+    println!(
+        "termination failures  : {} ({} per mille)",
+        stats.termination_failures,
+        stats.termination_failures * 1000 / stats.runs.max(1)
+    );
+    println!(
+        "rounds to finality    : p50 {}, p99 {}, max {}, mean {}.{:03}",
+        stats.rounds_p50,
+        stats.rounds_p99,
+        stats.rounds_max,
+        stats.mean_rounds_milli / 1000,
+        stats.mean_rounds_milli % 1000
+    );
+    println!("batch fingerprint     : {}", stats.fingerprint);
+    Ok(Some(format!(
+        "{} over {} runs: {} agree-fail, {} term-fail, p50 {} rounds ({source})",
+        stats.spec,
+        stats.runs,
+        stats.agreement_failures,
+        stats.termination_failures,
+        stats.rounds_p50
     )))
 }
 

@@ -49,10 +49,15 @@ use crate::{
 /// Default replication factor: every entry on two peers.
 pub const REPLICATION_FACTOR: usize = 2;
 
-/// Virtual nodes per peer on the hash circle — enough to spread
-/// ownership evenly across a handful of peers without making the ring
-/// scan noticeable.
+/// Virtual nodes per unit of peer weight on the hash circle — enough
+/// to spread ownership evenly across a handful of peers without making
+/// the ring scan noticeable. A peer of weight `w` projects
+/// `w * VNODES` points.
 const VNODES: usize = 16;
+
+/// Cap on a single peer's ring weight: beyond this the point count
+/// stops buying placement smoothness and only slows the ring scan.
+pub const MAX_RING_WEIGHT: usize = 64;
 
 /// Static cluster topology, identical on every peer.
 #[derive(Clone, Debug)]
@@ -64,6 +69,9 @@ pub struct ClusterConfig {
     pub self_index: usize,
     /// Number of distinct owners per entry (clamped to the peer count).
     pub replication: usize,
+    /// Per-peer ring weights (parallel to `peers`; empty means every
+    /// peer weighs 1). Must be identical on every peer, like `peers`.
+    pub weights: Vec<usize>,
     /// Peer connect timeout.
     pub connect_timeout_ms: u64,
     /// Peer read/write timeout.
@@ -72,14 +80,25 @@ pub struct ClusterConfig {
 
 impl ClusterConfig {
     /// A cluster of `peers` with this process at `self_index`, using
-    /// the default replication factor and timeouts.
+    /// the default replication factor, uniform weights, and timeouts.
     pub fn new(peers: Vec<String>, self_index: usize) -> ClusterConfig {
         ClusterConfig {
             peers,
             self_index,
             replication: REPLICATION_FACTOR,
+            weights: Vec::new(),
             connect_timeout_ms: 250,
             io_timeout_ms: 5_000,
+        }
+    }
+
+    /// The effective per-peer weights: `weights` when set, else 1 for
+    /// every peer.
+    pub fn effective_weights(&self) -> Vec<usize> {
+        if self.weights.is_empty() {
+            vec![1; self.peers.len()]
+        } else {
+            self.weights.clone()
         }
     }
 
@@ -120,11 +139,23 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 impl PeerRing {
-    /// The ring over `num_peers` peers.
+    /// The uniform ring over `num_peers` peers (every peer weighs 1).
     pub fn new(num_peers: usize) -> PeerRing {
-        let mut points = Vec::with_capacity(num_peers * VNODES);
-        for peer in 0..num_peers {
-            for vnode in 0..VNODES {
+        PeerRing::new_weighted(&vec![1; num_peers])
+    }
+
+    /// The ring where peer `i` projects `weights[i] * VNODES` points.
+    /// A zero weight keeps the peer addressable (it can still forward
+    /// and sync) but gives it no ownership arc. Point labels include
+    /// the vnode index only — not the weight — so growing a peer's
+    /// weight *extends* its point set instead of reshuffling it, and
+    /// the ring stays identical on every peer that agrees on the
+    /// weight vector.
+    pub fn new_weighted(weights: &[usize]) -> PeerRing {
+        let num_peers = weights.len();
+        let mut points = Vec::new();
+        for (peer, &weight) in weights.iter().enumerate() {
+            for vnode in 0..weight.min(MAX_RING_WEIGHT) * VNODES {
                 let point = scramble(crate::content_hash128(
                     format!("fact-ring|{peer}|{vnode}").as_bytes(),
                 ));
@@ -167,7 +198,7 @@ pub struct Cluster {
 impl Cluster {
     /// Builds the handle (and its ring) for `config`.
     pub fn new(config: ClusterConfig) -> Cluster {
-        let ring = PeerRing::new(config.peers.len());
+        let ring = PeerRing::new_weighted(&config.effective_weights());
         Cluster { config, ring }
     }
 
@@ -430,6 +461,88 @@ mod tests {
                 n > 100,
                 "peer {peer} owns {n}/1000 primaries — unbalanced ring"
             );
+        }
+    }
+
+    #[test]
+    fn weighted_rings_skew_primary_ownership_toward_heavy_peers() {
+        // Peer 0 weighs 3, the rest weigh 1: it should own roughly
+        // half the primaries (3 of 6 weight units), and certainly far
+        // more than a uniform quarter.
+        let ring = PeerRing::new_weighted(&[3, 1, 1, 1]);
+        let mut counts = [0usize; 4];
+        for i in 0..2_000u64 {
+            let hash = crate::content_hash128(format!("wkey-{i}").as_bytes());
+            let owners = ring.owners(hash, 2);
+            assert_eq!(owners.len(), 2);
+            counts[owners[0]] += 1;
+        }
+        assert!(
+            counts[0] > 700,
+            "weight-3 peer owns {}/2000 primaries — weights not honored",
+            counts[0]
+        );
+        for (peer, &n) in counts.iter().enumerate().skip(1) {
+            assert!(n > 100, "peer {peer} owns {n}/2000 primaries");
+        }
+    }
+
+    #[test]
+    fn growing_a_weight_extends_rather_than_reshuffles_the_point_set() {
+        // Every point of the lighter ring appears in the heavier one:
+        // raising a peer's weight only *adds* arcs, so most keys keep
+        // their owners (bounded data movement, the consistent-hashing
+        // point).
+        let light = PeerRing::new_weighted(&[1, 1, 1]);
+        let heavy = PeerRing::new_weighted(&[1, 2, 1]);
+        for p in &light.points {
+            assert!(heavy.points.contains(p));
+        }
+        let mut moved = 0usize;
+        for i in 0..1_000u64 {
+            let hash = crate::content_hash128(format!("gkey-{i}").as_bytes());
+            if light.owners(hash, 1) != heavy.owners(hash, 1) {
+                moved += 1;
+            }
+        }
+        assert!(
+            moved < 500,
+            "{moved}/1000 primaries moved — reshuffled ring"
+        );
+    }
+
+    #[test]
+    fn zero_weight_peers_own_nothing_but_stay_addressable() {
+        let ring = PeerRing::new_weighted(&[1, 0, 1]);
+        for i in 0..500u64 {
+            let hash = crate::content_hash128(format!("zkey-{i}").as_bytes());
+            let owners = ring.owners(hash, 3);
+            assert!(!owners.contains(&1), "zero-weight peer owns {hash:x}");
+        }
+        // The config layer still counts it as a peer (it can forward,
+        // sync, and serve fetches — it just holds no primary arc).
+        let mut config = ClusterConfig::new(vec!["a:1".into(), "b:2".into(), "c:3".into()], 1);
+        config.weights = vec![1, 0, 1];
+        let cluster = Cluster::new(config);
+        assert_eq!(cluster.config().peers.len(), 3);
+        assert!(!cluster.is_owner(42));
+    }
+
+    #[test]
+    fn replication_factor_is_config_driven() {
+        let peers = vec!["a:1".into(), "b:2".into(), "c:3".into(), "d:4".into()];
+        let mut config = ClusterConfig::new(peers, 0);
+        assert_eq!(config.replication, REPLICATION_FACTOR);
+        config.replication = 3;
+        let cluster = Cluster::new(config);
+        for i in 0..100u64 {
+            let hash = crate::content_hash128(format!("rkey-{i}").as_bytes());
+            let owners = cluster.owners(hash);
+            assert_eq!(owners.len(), 3);
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "owners must be distinct peers");
         }
     }
 

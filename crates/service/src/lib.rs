@@ -38,6 +38,7 @@
 pub mod chaos;
 pub mod client;
 pub mod cluster;
+pub mod fpccache;
 pub mod merkle;
 pub mod protocol;
 pub mod scheduler;
@@ -51,6 +52,9 @@ use fact::{set_consensus_verdict_with_config, DomainCache, Solvability};
 pub use chaos::{ServeFaultEvent, ServeFaultPlan, KILL_EXIT_CODE};
 pub use client::{ClientError, ClusterClient, RetryPolicy};
 pub use cluster::{ClusterConfig, PeerRing, REPLICATION_FACTOR};
+pub use fpccache::{
+    summary_key, FpcCache, FPC_DEFAULT_RUNS, FPC_DEFAULT_SEED, FPC_MAX_RUNS, FPC_SUMMARY_SCHEMA,
+};
 pub use merkle::{InclusionProof, MerkleIndex, ScrubReport};
 pub use protocol::{Request, RequestBody, Response, StatsBody, PROTOCOL_VERSION};
 pub use scheduler::{Scheduler, ServeConfig, Served, SolveQuery, Submitted};
@@ -120,6 +124,13 @@ pub static SERVE_CLIENT_RETRIES: Counter = Counter::new("serve.client.retries");
 /// Serve-path faults actually injected by an installed
 /// [`ServeFaultPlan`].
 pub static SERVE_CHAOS_INJECTED: Counter = Counter::new("serve.chaos.injected");
+/// `fpc:` queries answered from a cached summary.
+pub static SERVE_FPC_HITS: Counter = Counter::new("serve.fpc.hits");
+/// `fpc:` queries that had to simulate the batch.
+pub static SERVE_FPC_MISSES: Counter = Counter::new("serve.fpc.misses");
+/// Cached FPC summaries that failed validate-on-read and were degraded
+/// to misses.
+pub static SERVE_FPC_CORRUPT: Counter = Counter::new("serve.fpc.corrupt");
 
 /// Serializes tests that assert deltas on the process-global serving
 /// counters (the test harness runs modules in parallel by default).

@@ -32,7 +32,9 @@
 //! anti-entropy and repair (see [`crate::cluster`]). All response
 //! fields are additive, so v1 clients keep working.
 
+use crate::fpccache::{FPC_DEFAULT_RUNS, FPC_DEFAULT_SEED, FPC_MAX_RUNS};
 use crate::merkle::{parse_hash_hex, InclusionProof, ScrubReport};
+use act_fpc::{FpcSpec, FpcStats};
 use fact::{ModelSpec, TaskSpec};
 use serde::{Deserialize, Serialize, Value};
 
@@ -76,6 +78,16 @@ pub enum RequestBody {
         /// Whether the reply should carry a Merkle inclusion proof for
         /// a store-committed verdict.
         proof: bool,
+    },
+    /// Answer an FPC finalization-statistics query from the summary
+    /// cache (simulating and committing the batch on a miss).
+    Fpc {
+        /// The workload, parsed through the canonical `fpc:` parser.
+        spec: FpcSpec,
+        /// Batch size (1..=[`FPC_MAX_RUNS`]).
+        runs: u64,
+        /// Batch seed.
+        seed: u64,
     },
     /// Snapshot the serving counters.
     Stats,
@@ -132,6 +144,22 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
                 iters,
                 deadline_ms: opt_u64(&v, "deadline_ms"),
                 proof: opt_bool(&v, "proof"),
+            }
+        }
+        "fpc" => {
+            let spec_text = match v.field("spec") {
+                Ok(Value::Str(s)) => s.clone(),
+                _ => return Err(fail("fpc needs a string `spec`".into())),
+            };
+            let spec = FpcSpec::parse(&spec_text).map_err(&fail)?;
+            let runs = opt_u64(&v, "runs").unwrap_or(FPC_DEFAULT_RUNS);
+            if !(1..=FPC_MAX_RUNS).contains(&runs) {
+                return Err(fail(format!("fpc runs must be in 1..={FPC_MAX_RUNS}")));
+            }
+            RequestBody::Fpc {
+                spec,
+                runs,
+                seed: opt_u64(&v, "seed").unwrap_or(FPC_DEFAULT_SEED),
             }
         }
         "stats" => RequestBody::Stats,
@@ -233,6 +261,12 @@ pub struct StatsBody {
     pub peer_replications: u64,
     /// Entries pulled from peers by anti-entropy sync.
     pub peer_sync_pulls: u64,
+    /// `fpc:` queries answered from a cached summary.
+    pub fpc_hits: u64,
+    /// `fpc:` queries that simulated the batch.
+    pub fpc_misses: u64,
+    /// Cached FPC summaries degraded to misses by validate-on-read.
+    pub fpc_corrupt: u64,
 }
 
 /// One response line (flat; unused fields are `null` on the wire).
@@ -287,6 +321,8 @@ pub struct Response {
     pub scrub: Option<ScrubReport>,
     /// Entries pulled during the round, for `sync` replies.
     pub pulled: Option<u64>,
+    /// Finalization statistics, for `fpc` replies.
+    pub fpc: Option<FpcStats>,
 }
 
 impl Response {
@@ -313,6 +349,7 @@ impl Response {
             entry: None,
             scrub: None,
             pulled: None,
+            fpc: None,
         }
     }
 
@@ -437,6 +474,15 @@ impl Response {
         let mut r = Response::blank(id, "sync", true);
         r.pulled = Some(pulled);
         r.merkle_root = Some(format!("{root:032x}"));
+        r
+    }
+
+    /// An `fpc` reply carrying the batch's finalization statistics and
+    /// where they came from (`store` / `engine`).
+    pub fn fpc(id: u64, stats: FpcStats, source: &str) -> Response {
+        let mut r = Response::blank(id, "fpc", true);
+        r.fpc = Some(stats);
+        r.source = Some(source.to_string());
         r
     }
 
@@ -636,6 +682,42 @@ mod tests {
         assert!(Response::solve(1, "solvable", 1, 0, "store", true)
             .verified_proof()
             .is_none());
+    }
+
+    #[test]
+    fn fpc_requests_parse_and_replies_round_trip() {
+        let r = parse_request(r#"{"op":"fpc","id":4,"spec":"fpc:32:8:berserk"}"#).unwrap();
+        match r.body {
+            RequestBody::Fpc { spec, runs, seed } => {
+                assert_eq!(spec.canonical_string(), "fpc:32:8:berserk:10:500");
+                assert_eq!(runs, FPC_DEFAULT_RUNS);
+                assert_eq!(seed, FPC_DEFAULT_SEED);
+            }
+            other => panic!("expected fpc, got {other:?}"),
+        }
+        let r =
+            parse_request(r#"{"op":"fpc","spec":"fpc:16:4:cautious:5:700","runs":500,"seed":9}"#)
+                .unwrap();
+        assert!(matches!(
+            r.body,
+            RequestBody::Fpc {
+                runs: 500,
+                seed: 9,
+                ..
+            }
+        ));
+        // Malformed specs and out-of-range batches are usage errors.
+        assert!(parse_request(r#"{"op":"fpc","spec":"fpc:1:0:cautious"}"#).is_err());
+        assert!(parse_request(r#"{"op":"fpc","spec":"t-res:3:1"}"#).is_err());
+        assert!(parse_request(r#"{"op":"fpc"}"#).is_err());
+        assert!(parse_request(r#"{"op":"fpc","spec":"fpc:8:0:cautious","runs":0}"#).is_err());
+
+        let stats = act_fpc::run_stats(&FpcSpec::parse("fpc:8:2:berserk:3:500").unwrap(), 10, 3);
+        let line = Response::fpc(4, stats.clone(), "engine").encode();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.fpc, Some(stats));
+        assert_eq!(back.source.as_deref(), Some("engine"));
+        assert!(back.ok);
     }
 
     #[test]

@@ -32,7 +32,6 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
-use act_adversary::AgreementFunction;
 use act_affine::{fair_affine_task, AffineTask};
 use act_tasks::{SearchConfig, SetConsensus};
 use act_topology::ColorSet;
@@ -325,6 +324,9 @@ impl Scheduler {
             failovers: crate::SERVE_PEER_FAILOVERS.get(),
             peer_replications: crate::SERVE_PEER_REPLICATIONS.get(),
             peer_sync_pulls: crate::SERVE_PEER_SYNC_PULLS.get(),
+            fpc_hits: crate::SERVE_FPC_HITS.get(),
+            fpc_misses: crate::SERVE_FPC_MISSES.get(),
+            fpc_corrupt: crate::SERVE_FPC_CORRUPT.get(),
         }
     }
 
@@ -395,9 +397,8 @@ impl Scheduler {
             *stamp = clock;
             return Ok(Arc::clone(slot));
         }
-        let adversary = query.model.adversary();
-        let alpha = AgreementFunction::of_adversary(&adversary);
-        if alpha.alpha(ColorSet::full(adversary.num_processes())) == 0 {
+        let alpha = query.model.agreement_function();
+        if alpha.alpha(ColorSet::full(query.model.num_processes())) == 0 {
             return Err("the model admits no runs".into());
         }
         let mut cache = DomainCache::new();

@@ -36,6 +36,7 @@ use std::time::Duration;
 
 use crate::chaos::{self, ServeFaultPlan, WireAction};
 use crate::cluster::{Cluster, ClusterConfig};
+use crate::fpccache::FpcCache;
 use crate::merkle::ScrubReport;
 use crate::protocol::{parse_request, RequestBody, Response, CODE_DRAINING, CODE_USAGE};
 use crate::scheduler::{Scheduler, ServeConfig, Served, SolveQuery, Submitted};
@@ -70,6 +71,7 @@ pub struct ServeOptions {
 struct ServeCtx {
     scheduler: Arc<Scheduler>,
     cluster: Option<Arc<Cluster>>,
+    fpc: FpcCache,
 }
 
 impl ServeCtx {
@@ -119,7 +121,15 @@ fn build_ctx(options: &ServeOptions) -> std::io::Result<Arc<ServeCtx>> {
     if let Some(plan) = &options.fault_plan {
         chaos::install(plan.clone());
     }
-    Ok(Arc::new(ServeCtx { scheduler, cluster }))
+    let fpc = match &options.store_dir {
+        Some(dir) => FpcCache::open(dir)?,
+        None => FpcCache::in_memory(),
+    };
+    Ok(Arc::new(ServeCtx {
+        scheduler,
+        cluster,
+        fpc,
+    }))
 }
 
 /// Spawns the background scrub / anti-entropy loops. Both poll `stop`
@@ -395,6 +405,15 @@ fn handle_line(ctx: &Arc<ServeCtx>, line: &str) -> (Response, bool) {
             span.finish().bool("ok", response.ok).emit();
             (response, false)
         }
+        RequestBody::Fpc { spec, runs, seed } => {
+            // FPC summaries are answered locally everywhere: the batch
+            // is a pure function of the key, so any peer's answer is
+            // identical and placement buys nothing.
+            let span = act_obs::span("serve.fpc");
+            let (stats, source) = ctx.fpc.summary(&spec, runs, seed);
+            span.finish().str("source", source).emit();
+            (Response::fpc(request.id, stats, source), false)
+        }
         RequestBody::Stats => (
             Response::stats(request.id, scheduler.stats_snapshot()),
             false,
@@ -471,6 +490,7 @@ mod tests {
         Arc::new(ServeCtx {
             scheduler: sched,
             cluster: None,
+            fpc: FpcCache::in_memory(),
         })
     }
 
@@ -629,6 +649,37 @@ mod tests {
     }
 
     #[test]
+    fn fpc_queries_hit_the_summary_cache_on_the_second_ask() {
+        let _serial = crate::test_serial_guard();
+        let ctx = test_ctx();
+        let hits_before = crate::SERVE_FPC_HITS.get();
+        let misses_before = crate::SERVE_FPC_MISSES.get();
+        let (first, _) = handle_line(
+            &ctx,
+            r#"{"op":"fpc","id":1,"spec":"fpc:16:4:berserk","runs":200,"seed":7}"#,
+        );
+        assert!(first.ok);
+        assert_eq!(first.source.as_deref(), Some("engine"));
+        let stats = first.fpc.clone().expect("fpc reply carries statistics");
+        assert_eq!(stats.runs, 200);
+        assert_eq!(stats.spec, "fpc:16:4:berserk:10:500");
+        // A different spelling of the same workload shares the content
+        // address: the second ask is a store hit with identical stats.
+        let (second, _) = handle_line(
+            &ctx,
+            r#"{"op":"fpc","id":2,"spec":"fpc:16:4:berserk:10:500","runs":200,"seed":7}"#,
+        );
+        assert_eq!(second.source.as_deref(), Some("store"));
+        assert_eq!(second.fpc, Some(stats));
+        assert_eq!(crate::SERVE_FPC_MISSES.get() - misses_before, 1);
+        assert_eq!(crate::SERVE_FPC_HITS.get() - hits_before, 1);
+        // A malformed fpc spec is a code-2 usage error on the wire.
+        let (bad, _) = handle_line(&ctx, r#"{"op":"fpc","id":3,"spec":"fpc:1:0:cautious"}"#);
+        assert!(!bad.ok);
+        assert_eq!(bad.code, Some(CODE_USAGE));
+    }
+
+    #[test]
     fn backpressure_replies_carry_retry_hints() {
         let _serial = crate::test_serial_guard();
         let sched = Scheduler::new(
@@ -642,6 +693,7 @@ mod tests {
         let ctx = Arc::new(ServeCtx {
             scheduler: sched,
             cluster: None,
+            fpc: FpcCache::in_memory(),
         });
         let (first, _) = handle_line(&ctx, r#"{"op":"stats","id":0}"#);
         assert!(first.ok);
